@@ -1,0 +1,185 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Chand, Felber, Garofalakis — ICDE'07, Section 5).
+//
+// Each figure is reproduced as a text table with the same series the
+// paper plots. Absolute numbers differ (synthetic DTD stand-ins, scaled
+// workloads) but the qualitative shapes — which representation wins, how
+// error decays with sample size, how compression trades accuracy — are
+// the reproduction targets; see EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [--dtd nitf|xcbl|both] [--figure all|workload|4|5|6|7|8|9|10]
+//	            [--docs N] [--pos N] [--neg N] [--pairs N]
+//	            [--sizes 50,100,...] [--alphas 1.0,0.9,...]
+//	            [--hash-size N] [--seed N] [--full]
+//
+// --full selects the paper's scale (10000 docs, 1000+1000 queries, 5000
+// pairs); the default scale finishes in minutes and preserves shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"treesim/internal/dtd"
+	"treesim/internal/experiment"
+)
+
+func main() {
+	var (
+		dtdFlag  = flag.String("dtd", "both", "schema: nitf, xcbl or both")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, workload, 4, 5, 6, 7, 8, 9, 10")
+		docs     = flag.Int("docs", 2000, "corpus size |D|")
+		pos      = flag.Int("pos", 300, "positive query count |SP|")
+		neg      = flag.Int("neg", 300, "negative query count |SN|")
+		pairs    = flag.Int("pairs", 1000, "random pattern pairs for metric figures")
+		sizes    = flag.String("sizes", csvInts(experiment.DefaultSizes), "hash/set size sweep")
+		alphas   = flag.String("alphas", csvFloats(experiment.DefaultAlphas), "compression ratio sweep")
+		hashSize = flag.Int("hash-size", 1000, "hash size for the compression figure")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		full     = flag.Bool("full", false, "paper scale: 10000 docs, 1000+1000 queries, 5000 pairs")
+		csvDir   = flag.String("csv", "", "also write figure data as CSV files into this directory")
+	)
+	flag.Parse()
+	if *full {
+		*docs, *pos, *neg, *pairs = 10000, 1000, 1000, 5000
+	}
+
+	sizeList, err := parseInts(*sizes)
+	if err != nil {
+		fatal("bad --sizes: %v", err)
+	}
+	alphaList, err := parseFloats(*alphas)
+	if err != nil {
+		fatal("bad --alphas: %v", err)
+	}
+
+	var schemas []*dtd.DTD
+	switch *dtdFlag {
+	case "nitf":
+		schemas = []*dtd.DTD{dtd.NITFLike()}
+	case "xcbl":
+		schemas = []*dtd.DTD{dtd.XCBLLike()}
+	case "both":
+		schemas = []*dtd.DTD{dtd.NITFLike(), dtd.XCBLLike()}
+	default:
+		fatal("unknown --dtd %q", *dtdFlag)
+	}
+
+	for _, d := range schemas {
+		cfg := experiment.WorkloadConfig{
+			Docs: *docs, Positive: *pos, Negative: *neg, Seed: *seed,
+		}
+		fmt.Printf("== building workload for %s (docs=%d, SP=%d, SN=%d) ==\n",
+			d.Name, *docs, *pos, *neg)
+		w := experiment.BuildWorkload(d, cfg)
+		st := w.Stats()
+		if *figure == "all" || *figure == "workload" {
+			fmt.Printf("# Table: workload characteristics (Section 5.1)\n%s\n\n", st)
+		}
+		writeCSV := func(name string, write func(f *os.File) error) {
+			if *csvDir == "" {
+				return
+			}
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal("%v", err)
+			}
+			path := filepath.Join(*csvDir, d.Name+"-"+name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if err := write(f); err != nil {
+				fatal("write %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("(CSV written to %s)\n", path)
+		}
+		switch *figure {
+		case "all":
+			selPts := experiment.SelectivitySweep(w, sizeList, *seed)
+			experiment.WriteSelectivityTable(os.Stdout, d.Name, selPts)
+			writeCSV("fig456", func(f *os.File) error { return experiment.WriteSelectivityCSV(f, d.Name, selPts) })
+			fmt.Println()
+			metPts := experiment.MetricSweep(w, sizeList, *pairs, *seed)
+			experiment.WriteMetricTable(os.Stdout, d.Name, metPts)
+			writeCSV("fig789", func(f *os.File) error { return experiment.WriteMetricCSV(f, d.Name, metPts) })
+			fmt.Println()
+			cmpPts := experiment.CompressionSweep(w, alphaList, *hashSize, *seed)
+			experiment.WriteCompressionTable(os.Stdout, d.Name, cmpPts)
+			writeCSV("fig10", func(f *os.File) error { return experiment.WriteCompressionCSV(f, d.Name, cmpPts) })
+			fmt.Println()
+		case "4", "5", "6":
+			pts := experiment.SelectivitySweep(w, sizeList, *seed)
+			experiment.WriteSelectivityTable(os.Stdout, d.Name, pts)
+			writeCSV("fig456", func(f *os.File) error { return experiment.WriteSelectivityCSV(f, d.Name, pts) })
+			fmt.Println()
+		case "7", "8", "9":
+			pts := experiment.MetricSweep(w, sizeList, *pairs, *seed)
+			experiment.WriteMetricTable(os.Stdout, d.Name, pts)
+			writeCSV("fig789", func(f *os.File) error { return experiment.WriteMetricCSV(f, d.Name, pts) })
+			fmt.Println()
+		case "10":
+			pts := experiment.CompressionSweep(w, alphaList, *hashSize, *seed)
+			experiment.WriteCompressionTable(os.Stdout, d.Name, pts)
+			writeCSV("fig10", func(f *os.File) error { return experiment.WriteCompressionCSV(f, d.Name, pts) })
+			fmt.Println()
+		case "workload":
+			// already printed
+		default:
+			fatal("unknown --figure %q", *figure)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func csvInts(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func csvFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

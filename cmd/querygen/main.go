@@ -1,0 +1,102 @@
+// Command querygen generates tree-pattern subscription workloads from a
+// DTD with the paper's parameters (h, p*, p//, pλ, θ).
+//
+// Usage:
+//
+//	querygen [--dtd nitf|xcbl|media|<file.dtd>] [--n N] [--seed N]
+//	         [--height N] [--pwild P] [--pdesc P] [--pbranch P] [--theta T]
+//	         [--corpus dir]
+//
+// With --corpus, patterns are classified against the XML files in the
+// directory and printed with a +/- prefix (positive/negative).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"treesim/internal/corpus"
+	"treesim/internal/dtd"
+	"treesim/internal/pattern"
+	"treesim/internal/querygen"
+	"treesim/internal/xmltree"
+)
+
+func main() {
+	var (
+		dtdFlag = flag.String("dtd", "nitf", "schema: nitf, xcbl, media, or a .dtd file path")
+		n       = flag.Int("n", 20, "number of distinct patterns")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		height  = flag.Int("height", 10, "maximum pattern height h")
+		pwild   = flag.Float64("pwild", 0.1, "wildcard probability p*")
+		pdesc   = flag.Float64("pdesc", 0.1, "descendant probability p//")
+		pbranch = flag.Float64("pbranch", 0.1, "branching probability pλ")
+		theta   = flag.Float64("theta", 1, "Zipf skew θ for tag selection")
+		corpus  = flag.String("corpus", "", "directory of XML files to classify against")
+	)
+	flag.Parse()
+
+	d, err := loadDTD(*dtdFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
+	opts := querygen.Options{
+		MaxHeight:      *height,
+		WildcardProb:   *pwild,
+		DescendantProb: *pdesc,
+		BranchProb:     *pbranch,
+		Theta:          *theta,
+		Seed:           *seed,
+	}
+	g := querygen.New(d, opts)
+	patterns := g.GenerateDistinct(*n)
+
+	var docs []*xmltree.Tree
+	if *corpus != "" {
+		docs, err = loadCorpus(*corpus)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	for _, p := range patterns {
+		if docs == nil {
+			fmt.Println(p)
+			continue
+		}
+		mark := "-"
+		for _, doc := range docs {
+			if pattern.Matches(doc, p) {
+				mark = "+"
+				break
+			}
+		}
+		fmt.Printf("%s %s\n", mark, p)
+	}
+}
+
+func loadDTD(spec string) (*dtd.DTD, error) {
+	switch spec {
+	case "nitf":
+		return dtd.NITFLike(), nil
+	case "xcbl":
+		return dtd.XCBLLike(), nil
+	case "media":
+		return dtd.Media(), nil
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("load DTD: %w", err)
+	}
+	return dtd.Parse(filepath.Base(spec), "", string(data))
+}
+
+func loadCorpus(dir string) ([]*xmltree.Tree, error) {
+	return corpus.LoadDir(dir, xmltree.ParseOptions{})
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "querygen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command treesim builds a document synopsis over a corpus of XML files
+// and answers tree-pattern selectivity and similarity queries — the
+// paper's system as a command-line tool.
+//
+// Usage:
+//
+//	treesim [--corpus dir | --load file] [--rep hashes|sets|counters]
+//	        [--size N] [--metric m1|m2|m3] [--compress α] [--stats]
+//	        [--save file] PATTERN [PATTERN...]
+//
+// With one pattern, prints its estimated selectivity. With two or more,
+// prints each pattern's selectivity and the pairwise similarity matrix
+// under the chosen metric. --save persists the synopsis; --load resumes
+// from a saved synopsis (optionally ingesting more documents from
+// --corpus first).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"treesim/internal/core"
+	"treesim/internal/corpus"
+	"treesim/internal/matchset"
+	"treesim/internal/metrics"
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+func main() {
+	var (
+		corpus   = flag.String("corpus", "", "directory of XML documents")
+		loadPath = flag.String("load", "", "load a previously saved synopsis")
+		savePath = flag.String("save", "", "save the synopsis after ingesting")
+		rep      = flag.String("rep", "hashes", "matching-set representation: hashes, sets, counters")
+		size     = flag.Int("size", 1000, "per-node hash size / reservoir size")
+		metric   = flag.String("metric", "m3", "similarity metric: m1, m2, m3")
+		compress = flag.Float64("compress", 1.0, "compress the synopsis to this ratio before querying")
+		stats    = flag.Bool("stats", false, "print synopsis statistics")
+		seed     = flag.Int64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+	if (*corpus == "" && *loadPath == "") || (flag.NArg() == 0 && *savePath == "") {
+		fmt.Fprintln(os.Stderr, "usage: treesim [--corpus dir | --load file] [flags] PATTERN [PATTERN...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var kind matchset.Kind
+	switch strings.ToLower(*rep) {
+	case "hashes":
+		kind = matchset.KindHashes
+	case "sets":
+		kind = matchset.KindSets
+	case "counters":
+		kind = matchset.KindCounters
+	default:
+		fatal("unknown representation %q", *rep)
+	}
+	var m metrics.Metric
+	switch strings.ToLower(*metric) {
+	case "m1":
+		m = metrics.M1
+	case "m2":
+		m = metrics.M2
+	case "m3":
+		m = metrics.M3
+	default:
+		fatal("unknown metric %q", *metric)
+	}
+
+	pats := make([]*pattern.Pattern, flag.NArg())
+	for i, arg := range flag.Args() {
+		p, err := pattern.Parse(arg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		pats[i] = p
+	}
+
+	var est *core.Estimator
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		est, err = core.LoadEstimator(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("loaded synopsis with %d observed documents from %s\n",
+			est.DocsObserved(), *loadPath)
+	} else {
+		est = core.NewEstimator(core.Config{
+			Representation: kind,
+			HashCapacity:   *size,
+			SetCapacity:    *size,
+			Seed:           *seed,
+		})
+	}
+	if *corpus != "" {
+		n, err := feedCorpus(est, *corpus)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("observed %d documents from %s\n", n, *corpus)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := est.Save(f); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("synopsis saved to %s\n", *savePath)
+	}
+
+	if *compress < 1 {
+		achieved := est.Compress(*compress)
+		fmt.Printf("synopsis compressed to %.1f%% of its size\n", 100*achieved)
+	}
+	if *stats {
+		st := est.Stats()
+		fmt.Printf("synopsis: %d nodes, %d edges, %d labels, %d entries (|HS| = %d)\n",
+			st.Nodes, st.Edges, st.Labels, st.Entries, st.Size())
+	}
+
+	for i, p := range pats {
+		fmt.Printf("P(%s) = %.4f\n", p, est.Selectivity(p))
+		_ = i
+	}
+	if len(pats) > 1 {
+		fmt.Printf("\nsimilarity matrix (%s):\n", m)
+		sim := est.SimilarityMatrix(m, pats)
+		for i := range sim {
+			cells := make([]string, len(sim[i]))
+			for j := range sim[i] {
+				cells[j] = fmt.Sprintf("%.3f", sim[i][j])
+			}
+			fmt.Printf("  p%d: %s\n", i, strings.Join(cells, "  "))
+		}
+	}
+}
+
+func feedCorpus(est *core.Estimator, dir string) (int, error) {
+	docs, err := corpus.LoadDir(dir, xmltree.ParseOptions{})
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range docs {
+		est.ObserveTree(t)
+	}
+	return len(docs), nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "treesim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+package treesim_test
+
+import (
+	"fmt"
+
+	"treesim"
+)
+
+// The basic flow: observe a stream, then ask for selectivities and
+// similarities.
+func Example() {
+	est := treesim.New(treesim.Config{
+		Representation: treesim.Hashes,
+		HashCapacity:   1000,
+		Seed:           1,
+	})
+	stream := []string{
+		`<media><CD><composer><last><Mozart/></last></composer></CD></media>`,
+		`<media><CD><composer><last><Brahms/></last></composer></CD></media>`,
+		`<media><book><author><last><Mozart/></last></author></book></media>`,
+	}
+	for _, xml := range stream {
+		doc, err := treesim.ParseXMLString(xml)
+		if err != nil {
+			panic(err)
+		}
+		est.ObserveTree(doc)
+	}
+	p := treesim.MustParsePattern("/media/CD")
+	q := treesim.MustParsePattern("//composer")
+	fmt.Printf("P(p) = %.2f\n", est.Selectivity(p))
+	fmt.Printf("M3(p,q) = %.2f\n", est.Similarity(treesim.M3, p, q))
+	// Output:
+	// P(p) = 0.67
+	// M3(p,q) = 1.00
+}
+
+// Figure 1 of the paper: pa and pd are syntactically unrelated but
+// select the same documents, while pb never matches.
+func Example_figure1() {
+	est := treesim.New(treesim.Config{Representation: treesim.Sets, SetCapacity: 1 << 16, Seed: 1})
+	doc, _ := treesim.ParseXMLString(
+		`<media><book><author><first><William/></first><last><Shakespeare/></last></author>` +
+			`<title><Hamlet/></title></book>` +
+			`<CD><composer><first><Wolfgang/></first><last><Mozart/></last></composer>` +
+			`<title><Requiem/></title></CD></media>`)
+	est.ObserveTree(doc)
+	pa := treesim.MustParsePattern("/media/CD/*/last/Mozart")
+	pb := treesim.MustParsePattern("//CD/Mozart")
+	pd := treesim.MustParsePattern("//composer/last/Mozart")
+	fmt.Println(treesim.Matches(doc, pa), treesim.Matches(doc, pb), treesim.Matches(doc, pd))
+	fmt.Printf("M3(pa,pd) = %.0f, M3(pa,pb) = %.0f\n",
+		est.Similarity(treesim.M3, pa, pd), est.Similarity(treesim.M3, pa, pb))
+	// Output:
+	// true false true
+	// M3(pa,pd) = 1, M3(pa,pb) = 0
+}
+
+// Containment and minimization of subscriptions.
+func ExampleContainsPattern() {
+	p := treesim.MustParsePattern("//b")
+	q := treesim.MustParsePattern("/a/b[c]")
+	fmt.Println(treesim.ContainsPattern(p, q)) // every /a/b[c] doc has a b somewhere
+	fmt.Println(treesim.ContainsPattern(q, p))
+	fmt.Println(treesim.MinimizePattern(treesim.MustParsePattern("/a[b][b/c]")))
+	// Output:
+	// true
+	// false
+	// /a/b/c
+}
+
+// Sliding-window estimation forgets old interest regimes.
+func ExampleWindowEstimator() {
+	w := treesim.NewWindow(2)
+	for _, xml := range []string{"<a><x/></a>", "<a><x/></a>", "<a><y/></a>", "<a><y/></a>"} {
+		doc, _ := treesim.ParseXMLString(xml)
+		w.ObserveTree(doc)
+	}
+	fmt.Printf("%.0f %.0f\n",
+		w.Selectivity(treesim.MustParsePattern("//x")),
+		w.Selectivity(treesim.MustParsePattern("//y")))
+	// Output:
+	// 0 1
+}

@@ -1,0 +1,64 @@
+// Quickstart: feed a handful of XML documents to the estimator and ask
+// for tree-pattern selectivities and similarities — the paper's
+// Figure 1 scenario (media libraries, CD subscriptions).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treesim"
+)
+
+func main() {
+	est := treesim.New(treesim.Config{
+		Representation: treesim.Hashes,
+		HashCapacity:   1000,
+		Seed:           1,
+	})
+
+	// A small stream of media documents. Text values (composer names,
+	// titles) are modeled as leaf elements, as in the paper's Figure 1.
+	stream := []string{
+		`<media><CD><composer><first/><last><Mozart/></last></composer><title><Requiem/></title></CD></media>`,
+		`<media><CD><composer><first/><last><Mozart/></last></composer><title><Jupiter/></title></CD></media>`,
+		`<media><CD><composer><first/><last><Brahms/></last></composer><title><Requiem/></title></CD></media>`,
+		`<media><book><author><first/><last><Shakespeare/></last></author><title><Hamlet/></title></book></media>`,
+		`<media><book><author><first/><last><Mozart/></last></author><title><Letters/></title></book></media>`,
+	}
+	for _, doc := range stream {
+		t, err := treesim.ParseXMLString(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est.ObserveTree(t)
+	}
+	fmt.Printf("observed %d documents\n\n", est.DocsObserved())
+
+	// The four subscriptions of the paper's Figure 1.
+	subs := map[string]string{
+		"pa": "/media/CD/*/last/Mozart",
+		"pb": "//CD/Mozart",
+		"pc": "/.[//CD]//Mozart",
+		"pd": "//composer/last/Mozart",
+	}
+	for _, name := range []string{"pa", "pb", "pc", "pd"} {
+		sel, err := est.SelectivityXPath(subs[name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P(%s = %s) = %.2f\n", name, subs[name], sel)
+	}
+
+	// pa and pd look unrelated syntactically but select the same
+	// documents on this stream — exactly the insight the paper's
+	// similarity metrics capture.
+	fmt.Println()
+	for _, pair := range [][2]string{{"pa", "pd"}, {"pa", "pb"}, {"pa", "pc"}} {
+		sim, err := est.SimilarityXPath(treesim.M3, subs[pair[0]], subs[pair[1]])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("M3(%s, %s) = %.2f\n", pair[0], pair[1], sim)
+	}
+}

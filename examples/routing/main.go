@@ -1,0 +1,68 @@
+// Semantic-community routing: the paper's motivating application.
+//
+// A population of consumers subscribes with tree patterns; the estimator
+// watches the document stream and computes pairwise subscription
+// similarities; consumers are clustered into semantic communities; and a
+// dissemination simulation compares flooding, exact per-consumer
+// filtering, and community-based routing on traffic and accuracy.
+//
+// The clustering threshold is the knob: strict thresholds keep delivery
+// precise but fragment the population (many communities to test per
+// document); loose thresholds cut routing work at the cost of precision
+// and recall. Accurate similarity estimation is what makes the strict
+// end of that trade-off reachable at all.
+package main
+
+import (
+	"fmt"
+
+	"treesim"
+	"treesim/internal/cluster"
+	"treesim/internal/routing"
+)
+
+func main() {
+	d := treesim.NITFLikeDTD()
+	history := treesim.GenerateDocuments(d, 600, 21) // observed history
+	live := treesim.GenerateDocuments(d, 200, 22)    // traffic to route
+
+	// Consumer subscriptions: generated patterns that match something.
+	var subs []*treesim.Pattern
+	for _, p := range treesim.GeneratePatterns(d, 600, 23) {
+		for _, doc := range history {
+			if treesim.Matches(doc, p) {
+				subs = append(subs, p)
+				break
+			}
+		}
+		if len(subs) == 60 {
+			break
+		}
+	}
+	fmt.Printf("%d consumers, %d history docs, %d live docs\n\n", len(subs), len(history), len(live))
+
+	// Estimate similarities over the observed history.
+	est := treesim.New(treesim.Config{Representation: treesim.Hashes, HashCapacity: 500, Seed: 3})
+	for _, doc := range history {
+		est.ObserveTree(doc)
+	}
+	sim := est.SimilarityMatrix(treesim.M3, subs)
+
+	net := routing.NewNetwork(subs)
+	fmt.Println("baselines:")
+	fmt.Println("  " + net.Run(live, routing.Flood).String())
+	fmt.Println("  " + net.Run(live, routing.Filtered).String())
+	fmt.Printf("  (naive per-consumer filtering would cost %d evaluations)\n\n", len(live)*len(subs))
+
+	for _, threshold := range []float64{0.75, 0.5, 0.25} {
+		communities := cluster.Greedy(sim, threshold)
+		net.SetCommunities(communities)
+		res := net.Run(live, routing.Communities)
+		q := cluster.Evaluate(sim, communities)
+		fmt.Printf("threshold %.2f: %d communities (%d singletons)\n", threshold, q.Communities, q.Singletons)
+		fmt.Println("  " + res.String())
+	}
+	fmt.Println("\nStrict thresholds keep precision/recall near the exact router;")
+	fmt.Println("looser ones cut per-document community tests toward flooding —")
+	fmt.Println("the trade-off that makes accurate similarity estimation matter.")
+}

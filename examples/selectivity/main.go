@@ -1,0 +1,79 @@
+// Selectivity estimation at scale: generate a news-like corpus and
+// workload (as in the paper's evaluation), build synopses under all
+// three matching-set representations, and compare estimated vs. exact
+// selectivities — a miniature of the paper's Figure 4.
+package main
+
+import (
+	"fmt"
+
+	"treesim"
+)
+
+func main() {
+	d := treesim.NITFLikeDTD()
+	fmt.Printf("schema: %s (%d elements)\n", d.Name, d.Len())
+
+	docs := treesim.GenerateDocuments(d, 800, 42)
+	patterns := treesim.GeneratePatterns(d, 400, 43)
+
+	// Keep the patterns that match at least one document, with their
+	// exact selectivities as ground truth.
+	type ground struct {
+		p     *treesim.Pattern
+		exact float64
+	}
+	var positives []ground
+	for _, p := range patterns {
+		n := 0
+		for _, doc := range docs {
+			if treesim.Matches(doc, p) {
+				n++
+			}
+		}
+		if n > 0 {
+			positives = append(positives, ground{p, float64(n) / float64(len(docs))})
+		}
+		if len(positives) == 60 {
+			break
+		}
+	}
+	fmt.Printf("corpus: %d documents, %d positive patterns\n\n", len(docs), len(positives))
+
+	for _, cfg := range []struct {
+		name string
+		conf treesim.Config
+	}{
+		{"Counters", treesim.Config{Representation: treesim.Counters, Seed: 7}},
+		{"Sets(500)", treesim.Config{Representation: treesim.Sets, SetCapacity: 500, Seed: 7}},
+		{"Hashes(500)", treesim.Config{Representation: treesim.Hashes, HashCapacity: 500, Seed: 7}},
+	} {
+		est := treesim.New(cfg.conf)
+		for _, doc := range docs {
+			est.ObserveTree(doc)
+		}
+		var errSum float64
+		worst, worstIdx := 0.0, 0
+		for i, g := range positives {
+			got := est.Selectivity(g.p)
+			rel := abs(got-g.exact) / g.exact
+			errSum += rel
+			if rel > worst {
+				worst, worstIdx = rel, i
+			}
+		}
+		st := est.Stats()
+		fmt.Printf("%-12s Erel = %5.1f%%   |HS| = %-7d worst pattern: %s (%.0f%% off)\n",
+			cfg.name, 100*errSum/float64(len(positives)), st.Size(),
+			positives[worstIdx].p, 100*worst)
+	}
+	fmt.Println("\nHashes should achieve the lowest error at a comparable budget —")
+	fmt.Println("the paper's central selectivity result (Figure 4).")
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

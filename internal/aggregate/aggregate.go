@@ -1,0 +1,265 @@
+// Package aggregate implements tree-pattern subscription aggregation:
+// replacing a set of subscriptions by a smaller set of more general
+// patterns, bounding the precision lost. This is the technique of Chan,
+// Fan, Felber, Garofalakis & Rastogi, "Tree Pattern Aggregation for
+// Scalable XML Data Dissemination" (VLDB'02) — reference [4] of the
+// paper — whose whole premise is exactly what the similarity estimator
+// enables: aggregation decisions guided by selectivity estimates over
+// the observed document stream.
+//
+// The aggregation operator is a structural upper bound: Generalize(p, q)
+// returns a pattern that contains both p and q (every document matching
+// either also matches the result). The aggregator greedily merges the
+// pair whose upper bound has the least estimated selectivity increase
+// until the subscription set fits the target size.
+package aggregate
+
+import (
+	"sort"
+
+	"treesim/internal/pattern"
+)
+
+// Generalize returns a pattern containing both p and q. The bound is
+// built structurally: shared root constraints are merged recursively;
+// constraints present on only one side are dropped (dropping constraints
+// generalizes); label disagreements unify to wildcards; child/descendant
+// disagreements unify to descendants. The result is minimized.
+func Generalize(p, q *pattern.Pattern) *pattern.Pattern {
+	// Containment shortcuts keep the bound tight.
+	if pattern.Contains(p, q) {
+		return p.Clone()
+	}
+	if pattern.Contains(q, p) {
+		return q.Clone()
+	}
+	out := pattern.New()
+	out.Root.Children = mergeChildLists(p.Root.Children, q.Root.Children, true)
+	return out.Minimize()
+}
+
+// mergeChildLists pairs up the two child lists and merges each pair into
+// an upper bound; unpaired children are dropped (dropping a constraint
+// generalizes). atRoot tracks the special root semantics (a tag child
+// constrains the document root itself).
+func mergeChildLists(a, b []*pattern.Node, atRoot bool) []*pattern.Node {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	// Work on sorted copies for determinism.
+	as := sortedNodes(a)
+	bs := sortedNodes(b)
+	usedA := make([]bool, len(as))
+	usedB := make([]bool, len(bs))
+	var out []*pattern.Node
+	// Pass 1: pair children whose (descendant-unwrapped) labels agree.
+	for i, an := range as {
+		_, ai := splitDesc(an)
+		for j, bn := range bs {
+			if usedB[j] {
+				continue
+			}
+			_, bi := splitDesc(bn)
+			if ai.Label != bi.Label {
+				continue
+			}
+			usedA[i], usedB[j] = true, true
+			if m := mergePair(an, bn, atRoot); m != nil {
+				out = append(out, m)
+			}
+			break
+		}
+	}
+	// Pass 2: leftovers pair in sorted order, unifying labels to
+	// wildcards.
+	j := 0
+	for i := range as {
+		if usedA[i] {
+			continue
+		}
+		for j < len(bs) && usedB[j] {
+			j++
+		}
+		if j >= len(bs) {
+			break
+		}
+		usedA[i], usedB[j] = true, true
+		if m := mergePair(as[i], bs[j], atRoot); m != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// mergePair merges two sibling constraints into an upper bound, or
+// returns nil when no useful bound exists (the pair contributes no
+// constraint).
+func mergePair(a, b *pattern.Node, atRoot bool) *pattern.Node {
+	ad, an := splitDesc(a)
+	bd, bn := splitDesc(b)
+	label := an.Label
+	switch {
+	case an.Label == bn.Label:
+		// keep label
+	case an.Label == pattern.Wildcard || bn.Label == pattern.Wildcard:
+		label = pattern.Wildcard
+	default:
+		// Distinct tags unify to a wildcard.
+		label = pattern.Wildcard
+	}
+	node := &pattern.Node{Label: label}
+	node.Children = mergeChildLists(an.Children, bn.Children, false)
+	// At the root, a bare wildcard constraint ("some root exists") is
+	// vacuous and a descendant wildcard likewise.
+	if atRoot && label == pattern.Wildcard && len(node.Children) == 0 {
+		return nil
+	}
+	if ad || bd {
+		// Either side reaches its node via a descendant edge: the bound
+		// must too.
+		return &pattern.Node{Label: pattern.Descendant, Children: []*pattern.Node{node}}
+	}
+	return node
+}
+
+// splitDesc unwraps a descendant operator: returns whether the
+// constraint is descendant-reached and the underlying node.
+func splitDesc(n *pattern.Node) (bool, *pattern.Node) {
+	if n.Label == pattern.Descendant {
+		return true, n.Children[0]
+	}
+	return false, n
+}
+
+func sortedNodes(ns []*pattern.Node) []*pattern.Node {
+	out := append([]*pattern.Node{}, ns...)
+	sort.Slice(out, func(i, j int) bool {
+		return nodeKey(out[i]) < nodeKey(out[j])
+	})
+	return out
+}
+
+func nodeKey(n *pattern.Node) string {
+	p := &pattern.Pattern{Root: &pattern.Node{Label: pattern.Root, Children: []*pattern.Node{n}}}
+	return p.Clone().Canonicalize().String()
+}
+
+// Selectivities estimates pattern match probabilities; the synopsis
+// estimator satisfies it (it is exactly metrics.Source, re-declared
+// here to keep the package free-standing).
+type Selectivities interface {
+	// P estimates the probability that a document matches p.
+	P(p *pattern.Pattern) float64
+	// PAnd estimates the probability that a document matches both.
+	PAnd(p, q *pattern.Pattern) float64
+}
+
+// Result describes an aggregation outcome.
+type Result struct {
+	// Patterns is the aggregated subscription set.
+	Patterns []*pattern.Pattern
+	// Groups maps each aggregated pattern to the indices of the input
+	// subscriptions it covers.
+	Groups [][]int
+	// EstimatedLoss is the total estimated selectivity increase
+	// (spurious-match probability added by generalization), summed over
+	// merges.
+	EstimatedLoss float64
+}
+
+// Aggregate reduces the subscription set to at most target patterns by
+// greedily merging the pair whose upper bound adds the least estimated
+// selectivity (false-positive probability), as estimated by est over
+// the observed stream. The containment relation is exploited first:
+// subscriptions contained in another collapse for free.
+func Aggregate(subs []*pattern.Pattern, target int, est Selectivities) Result {
+	if target < 1 {
+		target = 1
+	}
+	type entry struct {
+		p     *pattern.Pattern
+		group []int
+		sel   float64
+	}
+	var entries []*entry
+	for i, p := range subs {
+		entries = append(entries, &entry{p: p, group: []int{i}, sel: est.P(p)})
+	}
+	res := Result{}
+
+	// Phase 1: free merges via containment.
+	for i := 0; i < len(entries); i++ {
+		for j := len(entries) - 1; j > i; j-- {
+			if pattern.Contains(entries[i].p, entries[j].p) {
+				entries[i].group = append(entries[i].group, entries[j].group...)
+				entries = append(entries[:j], entries[j+1:]...)
+			} else if pattern.Contains(entries[j].p, entries[i].p) {
+				entries[j].group = append(entries[j].group, entries[i].group...)
+				entries[i] = entries[j]
+				entries = append(entries[:j], entries[j+1:]...)
+			}
+		}
+	}
+
+	// Phase 2: greedy least-loss merging until the target is met. Pair
+	// losses are cached: a merge only invalidates pairs involving the
+	// merged entries, so each round costs O(n) new evaluations instead
+	// of O(n²).
+	type pairInfo struct {
+		bound *pattern.Pattern
+		loss  float64
+	}
+	cache := make(map[[2]*entry]pairInfo)
+	evalPair := func(a, b *entry) pairInfo {
+		key := [2]*entry{a, b}
+		if pi, ok := cache[key]; ok {
+			return pi
+		}
+		bound := Generalize(a.p, b.p)
+		// Loss: estimated selectivity the bound adds beyond the union
+		// of the two originals, P(bound) − P(pa ∨ pb).
+		union := a.sel + b.sel - est.PAnd(a.p, b.p)
+		if union > 1 {
+			union = 1
+		}
+		loss := est.P(bound) - union
+		if loss < 0 {
+			loss = 0
+		}
+		pi := pairInfo{bound: bound, loss: loss}
+		cache[key] = pi
+		return pi
+	}
+	for len(entries) > target {
+		bestI, bestJ := -1, -1
+		var best pairInfo
+		for i := 0; i < len(entries); i++ {
+			for j := i + 1; j < len(entries); j++ {
+				pi := evalPair(entries[i], entries[j])
+				if bestI < 0 || pi.loss < best.loss {
+					bestI, bestJ, best = i, j, pi
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		merged := &entry{
+			p:     best.bound,
+			group: append(append([]int{}, entries[bestI].group...), entries[bestJ].group...),
+			sel:   est.P(best.bound),
+		}
+		res.EstimatedLoss += best.loss
+		entries = append(entries[:bestJ], entries[bestJ+1:]...)
+		entries[bestI] = merged
+		// Stale cache entries reference dead *entry pointers and are
+		// simply never looked up again; no invalidation needed.
+	}
+
+	for _, e := range entries {
+		sort.Ints(e.group)
+		res.Patterns = append(res.Patterns, e.p)
+		res.Groups = append(res.Groups, e.group)
+	}
+	return res
+}

@@ -1,0 +1,230 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/matchset"
+	"treesim/internal/pattern"
+	"treesim/internal/selectivity"
+	"treesim/internal/synopsis"
+	"treesim/internal/xmltree"
+)
+
+func TestGeneralizeContainsBoth(t *testing.T) {
+	cases := [][2]string{
+		{"/a/b", "/a/c"},
+		{"/a/b", "//b"},
+		{"/a[b][c]", "/a[b][d]"},
+		{"/a/b/c", "/a//c"},
+		{"/media/CD", "/media/book"},
+		{"/a", "/b"},
+		{"/a[b/c]", "/a[b/d]"},
+		{"//x[y]", "//x[z]"},
+		{"/a/*/c", "/a/b/c"},
+	}
+	for _, c := range cases {
+		p, q := pattern.MustParse(c[0]), pattern.MustParse(c[1])
+		g := Generalize(p, q)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Generalize(%s, %s) invalid: %v", c[0], c[1], err)
+		}
+		if !pattern.Contains(g, p) || !pattern.Contains(g, q) {
+			t.Errorf("Generalize(%s, %s) = %s does not contain both", c[0], c[1], g)
+		}
+	}
+}
+
+func TestGeneralizeContainmentShortcut(t *testing.T) {
+	p := pattern.MustParse("//b")
+	q := pattern.MustParse("/a/b")
+	g := Generalize(p, q)
+	if !g.Equal(p) {
+		t.Errorf("Generalize(container, contained) = %s, want %s", g, p)
+	}
+}
+
+func TestGeneralizeKeepsSharedStructure(t *testing.T) {
+	// Shared branches must survive generalization, not collapse to "/."
+	g := Generalize(pattern.MustParse("/a[b][c]"), pattern.MustParse("/a[b][d]"))
+	if !pattern.Contains(g, pattern.MustParse("/a/b")) {
+		t.Errorf("generalization %s lost too much structure", g)
+	}
+	// It must still require a and b.
+	doc, _ := xmltree.ParseCompact("a(x)")
+	if pattern.Matches(doc, g) {
+		t.Errorf("generalization %s dropped the b constraint entirely", g)
+	}
+}
+
+// TestGeneralizeSoundnessRandom: Generalize must produce a container of
+// both inputs for random pattern pairs (checked both by the containment
+// test and by random documents).
+func TestGeneralizeSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"a", "b", "c"}
+	var randPat func() *pattern.Pattern
+	randPat = func() *pattern.Pattern {
+		var build func(depth int, allowDesc bool) *pattern.Node
+		build = func(depth int, allowDesc bool) *pattern.Node {
+			r := rng.Float64()
+			var n *pattern.Node
+			switch {
+			case allowDesc && r < 0.15:
+				n = &pattern.Node{Label: pattern.Descendant}
+				n.Children = []*pattern.Node{build(depth+1, false)}
+				return n
+			case r < 0.25:
+				n = &pattern.Node{Label: pattern.Wildcard}
+			default:
+				n = &pattern.Node{Label: labels[rng.Intn(len(labels))]}
+			}
+			if depth < 3 {
+				for i := 0; i < rng.Intn(3); i++ {
+					n.Children = append(n.Children, build(depth+1, true))
+				}
+			}
+			return n
+		}
+		p := pattern.New()
+		p.Root.Children = []*pattern.Node{build(1, true)}
+		return p
+	}
+	var randDoc func() *xmltree.Tree
+	randDoc = func() *xmltree.Tree {
+		var build func(depth int) *xmltree.Node
+		build = func(depth int) *xmltree.Node {
+			n := &xmltree.Node{Label: labels[rng.Intn(len(labels))]}
+			if depth < 4 {
+				for i := 0; i < rng.Intn(3); i++ {
+					n.Children = append(n.Children, build(depth+1))
+				}
+			}
+			return n
+		}
+		return &xmltree.Tree{Root: build(1)}
+	}
+	for trial := 0; trial < 300; trial++ {
+		p, q := randPat(), randPat()
+		g := Generalize(p, q)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid bound for (%s, %s): %v", p, q, err)
+		}
+		for i := 0; i < 25; i++ {
+			d := randDoc()
+			if (pattern.Matches(d, p) || pattern.Matches(d, q)) && !pattern.Matches(d, g) {
+				t.Fatalf("unsound bound: doc %s matches %s or %s but not %s", d, p, q, g)
+			}
+		}
+	}
+}
+
+func buildEstimator(t *testing.T, docs []string) *selectivity.Estimator {
+	t.Helper()
+	s := synopsis.New(synopsis.Options{Kind: matchset.KindSets, SetCapacity: 1 << 20, Seed: 1})
+	for _, spec := range docs {
+		tr, err := xmltree.ParseCompact(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Insert(tr)
+	}
+	return selectivity.New(s)
+}
+
+func TestAggregateContainmentPhase(t *testing.T) {
+	est := buildEstimator(t, []string{"a(b(c))", "a(b)", "a(x)"})
+	subs := []*pattern.Pattern{
+		pattern.MustParse("/a/b"),
+		pattern.MustParse("/a/b/c"), // contained in the first
+		pattern.MustParse("//b"),    // contains both
+	}
+	res := Aggregate(subs, 2, est)
+	if len(res.Patterns) != 1 {
+		t.Fatalf("containment phase should collapse all three into //b: %v", res.Patterns)
+	}
+	if !res.Patterns[0].Equal(pattern.MustParse("//b")) {
+		t.Errorf("representative = %s, want //b", res.Patterns[0])
+	}
+	if len(res.Groups[0]) != 3 {
+		t.Errorf("group = %v, want all three", res.Groups[0])
+	}
+	if res.EstimatedLoss != 0 {
+		t.Errorf("containment merges must be free, loss = %v", res.EstimatedLoss)
+	}
+}
+
+func TestAggregateGreedyMerging(t *testing.T) {
+	// Corpus where /a/b and /a/c co-occur but /x/y is disjoint.
+	est := buildEstimator(t, []string{
+		"a(b,c)", "a(b,c)", "a(b,c)", "x(y)", "x(y)",
+	})
+	subs := []*pattern.Pattern{
+		pattern.MustParse("/a/b"),
+		pattern.MustParse("/a/c"),
+		pattern.MustParse("/x/y"),
+	}
+	res := Aggregate(subs, 2, est)
+	if len(res.Patterns) != 2 {
+		t.Fatalf("aggregated to %d patterns, want 2", len(res.Patterns))
+	}
+	// The cheap merge is /a/b with /a/c (their bound /a[*] or similar
+	// adds no documents); merging anything with /x/y would add spurious
+	// matches.
+	for i, g := range res.Groups {
+		if len(g) == 2 {
+			// The merged pair must be {0, 1}.
+			if g[0] != 0 || g[1] != 1 {
+				t.Errorf("merged pair = %v, want [0 1] (pattern %s)", g, res.Patterns[i])
+			}
+		}
+	}
+}
+
+func TestAggregateCoversAllInputs(t *testing.T) {
+	est := buildEstimator(t, []string{"a(b)", "a(c)", "d(e)", "d(f)"})
+	subs := []*pattern.Pattern{
+		pattern.MustParse("/a/b"),
+		pattern.MustParse("/a/c"),
+		pattern.MustParse("/d/e"),
+		pattern.MustParse("/d/f"),
+	}
+	res := Aggregate(subs, 2, est)
+	seen := make(map[int]bool)
+	for gi, g := range res.Groups {
+		for _, idx := range g {
+			if seen[idx] {
+				t.Fatalf("input %d covered twice", idx)
+			}
+			seen[idx] = true
+			// The group's representative must contain the original.
+			if !pattern.Contains(res.Patterns[gi], subs[idx]) {
+				t.Errorf("representative %s does not contain input %s",
+					res.Patterns[gi], subs[idx])
+			}
+		}
+	}
+	if len(seen) != len(subs) {
+		t.Errorf("covered %d of %d inputs", len(seen), len(subs))
+	}
+}
+
+func TestAggregateTargetOne(t *testing.T) {
+	est := buildEstimator(t, []string{"a(b)", "c(d)"})
+	subs := []*pattern.Pattern{
+		pattern.MustParse("/a/b"),
+		pattern.MustParse("/c/d"),
+	}
+	res := Aggregate(subs, 1, est)
+	if len(res.Patterns) != 1 {
+		t.Fatalf("want a single representative, got %d", len(res.Patterns))
+	}
+	// The only sound bound of two disjoint rooted paths is (close to)
+	// the empty pattern.
+	for _, doc := range []string{"a(b)", "c(d)"} {
+		tr, _ := xmltree.ParseCompact(doc)
+		if !pattern.Matches(tr, res.Patterns[0]) {
+			t.Errorf("representative %s misses %s", res.Patterns[0], doc)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// blockMatrix builds a similarity matrix with two tight blocks
+// {0,1,2} and {3,4} plus an outlier 5.
+func blockMatrix() [][]float64 {
+	n := 6
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		sim[i][i] = 1
+	}
+	set := func(i, j int, v float64) { sim[i][j], sim[j][i] = v, v }
+	set(0, 1, 0.9)
+	set(0, 2, 0.8)
+	set(1, 2, 0.85)
+	set(3, 4, 0.95)
+	set(0, 3, 0.1)
+	set(1, 4, 0.05)
+	return sim
+}
+
+func TestGreedyBlocks(t *testing.T) {
+	got := Greedy(blockMatrix(), 0.5)
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Greedy = %v, want %v", got, want)
+	}
+}
+
+func TestGreedyCoversAllExactlyOnce(t *testing.T) {
+	sim := blockMatrix()
+	comms := Greedy(sim, 0.5)
+	seen := make(map[int]int)
+	for _, c := range comms {
+		for _, i := range c {
+			seen[i]++
+		}
+	}
+	if len(seen) != len(sim) {
+		t.Fatalf("covered %d of %d items", len(seen), len(sim))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("item %d appears %d times", i, c)
+		}
+	}
+}
+
+func TestGreedyThresholdExtremes(t *testing.T) {
+	sim := blockMatrix()
+	// Threshold 0: everything joins the first seed's community.
+	all := Greedy(sim, 0)
+	if len(all) != 1 || len(all[0]) != 6 {
+		t.Errorf("threshold 0: %v", all)
+	}
+	// Threshold above 1: all singletons.
+	solo := Greedy(sim, 1.01)
+	if len(solo) != 6 {
+		t.Errorf("threshold 1.01: %v", solo)
+	}
+}
+
+func TestGreedyEmpty(t *testing.T) {
+	if got := Greedy(nil, 0.5); len(got) != 0 {
+		t.Errorf("Greedy(nil) = %v", got)
+	}
+}
+
+func TestKMedoidsBlocks(t *testing.T) {
+	got := KMedoids(blockMatrix(), 2, 1)
+	if len(got) != 2 {
+		t.Fatalf("KMedoids returned %d clusters, want 2", len(got))
+	}
+	// The large block must land together.
+	var big []int
+	for _, c := range got {
+		if len(c) >= 3 {
+			big = c
+		}
+	}
+	sort.Ints(big)
+	hasAll := func(c []int, want ...int) bool {
+		m := make(map[int]bool)
+		for _, i := range c {
+			m[i] = true
+		}
+		for _, w := range want {
+			if !m[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if big == nil || !hasAll(big, 0, 1, 2) {
+		t.Errorf("KMedoids split the tight block: %v", got)
+	}
+}
+
+func TestKMedoidsClamping(t *testing.T) {
+	sim := blockMatrix()
+	if got := KMedoids(sim, 100, 1); len(got) > len(sim) {
+		t.Errorf("k > n produced %d clusters", len(got))
+	}
+	if got := KMedoids(sim, 0, 1); len(got) != 1 {
+		t.Errorf("k=0 should clamp to 1, got %d clusters", len(got))
+	}
+	if got := KMedoids(nil, 3, 1); got != nil {
+		t.Errorf("empty input should return nil, got %v", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	sim := blockMatrix()
+	comms := Greedy(sim, 0.5)
+	q := Evaluate(sim, comms)
+	if q.Communities != 3 || q.Singletons != 1 {
+		t.Errorf("Quality = %+v", q)
+	}
+	if q.IntraSim <= q.InterSim {
+		t.Errorf("intra %v should exceed inter %v for a good clustering", q.IntraSim, q.InterSim)
+	}
+	if q.String() == "" {
+		t.Error("empty Quality string")
+	}
+}

@@ -1,0 +1,282 @@
+// Package core ties the paper's pieces into one streaming estimator: it
+// maintains the document synopsis over an XML stream and answers
+// tree-pattern selectivity and similarity queries over it. This is the
+// system a content-based router embeds to discover semantic communities
+// of consumers (Chand, Felber, Garofalakis, ICDE'07).
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"treesim/internal/dtd"
+	"treesim/internal/matchset"
+	"treesim/internal/metrics"
+	"treesim/internal/pattern"
+	"treesim/internal/selectivity"
+	"treesim/internal/synopsis"
+	"treesim/internal/xmltree"
+)
+
+// Representation selects the matching-set compression scheme.
+type Representation = matchset.Kind
+
+// Representation values.
+const (
+	// Counters is the per-node counter baseline (independence
+	// assumptions at branching points).
+	Counters = matchset.KindCounters
+	// Sets is document-level reservoir sampling with exact ID sets.
+	Sets = matchset.KindSets
+	// Hashes is per-node distinct sampling (the paper's best scheme).
+	Hashes = matchset.KindHashes
+)
+
+// Config configures an Estimator.
+type Config struct {
+	// Representation selects Counters (the zero value), Sets or Hashes.
+	// Hashes is the paper's recommended scheme.
+	Representation Representation
+	// HashCapacity is the per-node sample bound h for Hashes (default
+	// 1000, the paper's sweet spot).
+	HashCapacity int
+	// SetCapacity is the reservoir size k for Sets (default 1000).
+	SetCapacity int
+	// Seed makes all sampling deterministic.
+	Seed int64
+	// ExactRootCard uses the exact stream length as the selectivity
+	// denominator instead of the estimated |S(rs)| (ablation knob; the
+	// paper uses the estimate).
+	ExactRootCard bool
+	// ParseOptions controls how raw XML maps to trees (text nodes,
+	// attributes).
+	ParseOptions xmltree.ParseOptions
+	// DTD, when set, enables the paper's footnote-2 enhancement:
+	// patterns that are structurally impossible under the schema are
+	// answered P = 0 without consulting the synopsis, eliminating
+	// residual negative-query error for schema-valid streams.
+	DTD *dtd.DTD
+}
+
+// Estimator is a streaming tree-pattern selectivity and similarity
+// estimator. It is safe for concurrent use; queries and stream updates
+// serialize on an internal mutex (query-time caches mutate shared
+// state, so reads lock too).
+type Estimator struct {
+	mu  sync.Mutex
+	cfg Config
+	syn *synopsis.Synopsis
+	sel *selectivity.Estimator
+}
+
+// NewEstimator returns an estimator with the given configuration.
+func NewEstimator(cfg Config) *Estimator {
+	syn := synopsis.New(synopsis.Options{
+		Kind:          cfg.Representation,
+		HashCapacity:  cfg.HashCapacity,
+		SetCapacity:   cfg.SetCapacity,
+		Seed:          cfg.Seed,
+		ExactRootCard: cfg.ExactRootCard,
+	})
+	return &Estimator{cfg: cfg, syn: syn, sel: selectivity.New(syn)}
+}
+
+// Config returns the estimator's configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// Synopsis exposes the underlying synopsis (for inspection, pruning
+// experiments and size accounting). Callers that mutate it must not race
+// with other estimator calls.
+func (e *Estimator) Synopsis() *synopsis.Synopsis { return e.syn }
+
+// ObserveTree feeds one document into the synopsis and returns its
+// stream identifier.
+func (e *Estimator) ObserveTree(t *xmltree.Tree) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.syn.Insert(t)
+}
+
+// ObserveXML parses one XML document from r and feeds it in.
+func (e *Estimator) ObserveXML(r io.Reader) (uint64, error) {
+	t, err := xmltree.Parse(r, e.cfg.ParseOptions)
+	if err != nil {
+		return 0, fmt.Errorf("core: observe: %w", err)
+	}
+	return e.ObserveTree(t), nil
+}
+
+// DocsObserved returns the stream length |H| so far.
+func (e *Estimator) DocsObserved() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.syn.DocsObserved()
+}
+
+// Selectivity estimates P(p): the fraction of stream documents matching
+// the pattern. With Config.DTD set, structurally infeasible patterns
+// short-circuit to 0.
+func (e *Estimator) Selectivity(p *pattern.Pattern) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.p(p)
+}
+
+// p is Selectivity with the lock already held.
+func (e *Estimator) p(pat *pattern.Pattern) float64 {
+	if e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, pat) {
+		return 0
+	}
+	return e.sel.P(pat)
+}
+
+// SelectivityXPath is Selectivity over an XPath string.
+func (e *Estimator) SelectivityXPath(xpath string) (float64, error) {
+	p, err := pattern.Parse(xpath)
+	if err != nil {
+		return 0, err
+	}
+	return e.Selectivity(p), nil
+}
+
+// Joint estimates P(p ∧ q).
+func (e *Estimator) Joint(p, q *pattern.Pattern) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pAnd(p, q)
+}
+
+// pAnd is Joint with the lock already held: with a DTD configured, an
+// infeasible conjunction short-circuits to 0.
+func (e *Estimator) pAnd(p, q *pattern.Pattern) float64 {
+	if e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, pattern.MergeRoots(p, q)) {
+		return 0
+	}
+	return e.sel.PAnd(p, q)
+}
+
+// lockedSource adapts the estimator's DTD-filtered probabilities to
+// metrics.Source. The caller must hold e.mu.
+type lockedSource struct{ e *Estimator }
+
+func (s lockedSource) P(p *pattern.Pattern) float64       { return s.e.p(p) }
+func (s lockedSource) PAnd(p, q *pattern.Pattern) float64 { return s.e.pAnd(p, q) }
+
+// Similarity estimates the proximity metric m between two subscriptions.
+func (e *Estimator) Similarity(m metrics.Metric, p, q *pattern.Pattern) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return metrics.Similarity(lockedSource{e}, m, p, q)
+}
+
+// SimilarityXPath is Similarity over XPath strings.
+func (e *Estimator) SimilarityXPath(m metrics.Metric, px, qx string) (float64, error) {
+	p, err := pattern.Parse(px)
+	if err != nil {
+		return 0, err
+	}
+	q, err := pattern.Parse(qx)
+	if err != nil {
+		return 0, err
+	}
+	return e.Similarity(m, p, q), nil
+}
+
+// Compress prunes the synopsis to the target fraction of its current
+// size (paper, Section 3.3) and returns the achieved ratio.
+func (e *Estimator) Compress(targetRatio float64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.syn.Compress(synopsis.CompressOptions{TargetRatio: targetRatio})
+}
+
+// Stats returns the synopsis size statistics.
+func (e *Estimator) Stats() synopsis.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.syn.Stats()
+}
+
+// Save serializes the estimator's synopsis state to w. A saved
+// estimator restores with identical query answers; continued streaming
+// after Load is statistically (not bitwise) equivalent because random
+// sources are re-seeded.
+func (e *Estimator) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.syn.Encode(w)
+}
+
+// LoadEstimator reconstructs an estimator saved with Save. The
+// configuration is restored from the stream; parse options revert to
+// the zero value unless set afterwards via cfg overrides.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	syn, err := synopsis.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	opts := syn.Options()
+	cfg := Config{
+		Representation: opts.Kind,
+		HashCapacity:   opts.HashCapacity,
+		SetCapacity:    opts.SetCapacity,
+		Seed:           opts.Seed,
+		ExactRootCard:  opts.ExactRootCard,
+	}
+	return &Estimator{cfg: cfg, syn: syn, sel: selectivity.New(syn)}, nil
+}
+
+// SimilarityMatrix computes the full pairwise similarity matrix of a
+// subscription set under metric m. The result is row-major: result[i][j]
+// = m(subs[i], subs[j]).
+//
+// Conjunctions factorize over SEL — SEL(p ∧ q) = SEL(p) ∩ SEL(q) — so
+// the matrix needs only one SEL evaluation per subscription plus one
+// matching-set intersection per pair, instead of one SEL evaluation of
+// a merged pattern per pair.
+func (e *Estimator) SimilarityMatrix(m metrics.Metric, subs []*pattern.Pattern) [][]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(subs)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	// One SEL evaluation per subscription; infeasible patterns (DTD
+	// mode) evaluate to nil and contribute zero everywhere.
+	vals := make([]matchset.Value, n)
+	ps := make([]float64, n)
+	for i, p := range subs {
+		if e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, p) {
+			continue
+		}
+		vals[i] = e.sel.Evaluate(p)
+		ps[i] = e.sel.EvaluateCard(vals[i])
+	}
+	for i := 0; i < n; i++ {
+		// The diagonal uses P(p∧p) = P(p), which is exact. (Pairwise
+		// Similarity under Counters instead reports P(p)² for the
+		// self-conjunction — the independence assumption does not know
+		// that p∧p ≡ p.)
+		out[i][i] = m.Eval(metrics.Probs{P: ps[i], Q: ps[i], And: ps[i]})
+		for j := i + 1; j < n; j++ {
+			var and float64
+			switch {
+			case vals[i] == nil || vals[j] == nil:
+				and = 0
+			case e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, pattern.MergeRoots(subs[i], subs[j])):
+				and = 0
+			default:
+				and = e.sel.EvaluateCard(vals[i].Intersect(vals[j]))
+			}
+			out[i][j] = m.Eval(metrics.Probs{P: ps[i], Q: ps[j], And: and})
+			if m.Symmetric() {
+				out[j][i] = out[i][j]
+			} else {
+				out[j][i] = m.Eval(metrics.Probs{P: ps[j], Q: ps[i], And: and})
+			}
+		}
+	}
+	return out
+}

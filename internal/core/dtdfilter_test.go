@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"treesim/internal/dtd"
+	"treesim/internal/metrics"
+	"treesim/internal/pattern"
+	"treesim/internal/xmlgen"
+)
+
+func TestDTDFilterZerosInfeasiblePatterns(t *testing.T) {
+	d := dtd.Media()
+	docs := xmlgen.New(d, xmlgen.Options{Seed: 4}).GenerateN(100)
+
+	plain := NewEstimator(Config{Representation: Hashes, HashCapacity: 100, Seed: 2})
+	filtered := NewEstimator(Config{Representation: Hashes, HashCapacity: 100, Seed: 2, DTD: d})
+	for _, doc := range docs {
+		plain.ObserveTree(doc)
+		filtered.ObserveTree(doc)
+	}
+
+	// Feasible patterns answer identically with and without the filter.
+	for _, q := range []string{"/media/CD", "//composer/last", "/media[book][CD]"} {
+		p := pattern.MustParse(q)
+		if a, b := plain.Selectivity(p), filtered.Selectivity(p); a != b {
+			t.Errorf("feasible %s: plain %v, filtered %v", q, a, b)
+		}
+	}
+	// Structurally impossible patterns are exactly 0 with the filter.
+	impossible := pattern.MustParse("//composer/title")
+	if got := filtered.Selectivity(impossible); got != 0 {
+		t.Errorf("infeasible pattern P = %v, want 0", got)
+	}
+	// An infeasible conjunction of two feasible patterns.
+	p := pattern.MustParse("/media/book")
+	q := pattern.MustParse("/CD") // wrong root: infeasible alone too
+	if got := filtered.Joint(p, q); got != 0 {
+		t.Errorf("infeasible conjunction = %v, want 0", got)
+	}
+	// Similarity against an infeasible pattern is 0 for all metrics.
+	for _, m := range metrics.All {
+		if got := filtered.Similarity(m, p, impossible); got != 0 {
+			t.Errorf("%s with infeasible operand = %v, want 0", m, got)
+		}
+	}
+	// And the similarity matrix respects the filter.
+	mtx := filtered.SimilarityMatrix(metrics.M3, []*pattern.Pattern{p, impossible})
+	if mtx[0][1] != 0 || mtx[1][1] != 0 {
+		t.Errorf("matrix with infeasible pattern: %v", mtx)
+	}
+}
+
+func TestDTDFilterImprovesNegativeQueries(t *testing.T) {
+	// For schema-valid streams, structurally infeasible negatives are
+	// answered 0 even with a tiny, error-prone synopsis.
+	d := dtd.Media()
+	docs := xmlgen.New(d, xmlgen.Options{Seed: 9}).GenerateN(200)
+	filtered := NewEstimator(Config{Representation: Counters, Seed: 2, DTD: d})
+	for _, doc := range docs {
+		filtered.ObserveTree(doc)
+	}
+	// Counters would answer > 0 for this (both paths exist separately);
+	// the DTD rules the combination out entirely.
+	q := pattern.MustParse("/media/book/author/first/last")
+	if got := filtered.Selectivity(q); got != 0 {
+		t.Errorf("infeasible deep path = %v, want 0", got)
+	}
+}

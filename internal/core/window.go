@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"treesim/internal/matchset"
+	"treesim/internal/metrics"
+	"treesim/internal/pattern"
+	"treesim/internal/selectivity"
+	"treesim/internal/synopsis"
+	"treesim/internal/xmltree"
+)
+
+// WindowEstimator estimates tree-pattern selectivity and similarity
+// over the most recent W documents of the stream — an extension beyond
+// the paper for routing systems whose interest profiles drift. It keeps
+// exact matching sets (Sets representation, no sampling) and expires
+// the oldest document from the whole synopsis as each new one arrives,
+// so answers always reflect exactly the current window.
+//
+// Memory is proportional to the distinct path structure of the window
+// plus W set entries per path level; for bounded-memory estimation over
+// unbounded history, use the standard Estimator with Hashes instead.
+type WindowEstimator struct {
+	mu     sync.Mutex
+	window int
+	syn    *synopsis.Synopsis
+	sel    *selectivity.Estimator
+	live   []uint64 // FIFO of document ids currently in the window
+	parse  xmltree.ParseOptions
+}
+
+// NewWindowEstimator returns an estimator over a sliding window of the
+// given size (≥ 1).
+func NewWindowEstimator(window int, parse xmltree.ParseOptions) *WindowEstimator {
+	if window < 1 {
+		panic("core: window must be >= 1")
+	}
+	syn := synopsis.New(synopsis.Options{
+		Kind:        matchset.KindSets,
+		NoReservoir: true,
+	})
+	return &WindowEstimator{
+		window: window,
+		syn:    syn,
+		sel:    selectivity.New(syn),
+		parse:  parse,
+	}
+}
+
+// Window returns the configured window size.
+func (e *WindowEstimator) Window() int { return e.window }
+
+// Len returns the number of documents currently in the window.
+func (e *WindowEstimator) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.live)
+}
+
+// ObserveTree slides the window forward by one document.
+func (e *WindowEstimator) ObserveTree(t *xmltree.Tree) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.syn.Insert(t)
+	e.live = append(e.live, id)
+	for len(e.live) > e.window {
+		oldest := e.live[0]
+		e.live = e.live[1:]
+		if err := e.syn.RemoveDocument(oldest); err != nil {
+			// Sets mode always supports removal; reaching here is a
+			// programming error worth surfacing loudly.
+			panic(fmt.Sprintf("core: window eviction failed: %v", err))
+		}
+	}
+	return id
+}
+
+// ObserveXML parses one document from r and slides the window.
+func (e *WindowEstimator) ObserveXML(r io.Reader) (uint64, error) {
+	t, err := xmltree.Parse(r, e.parse)
+	if err != nil {
+		return 0, fmt.Errorf("core: window observe: %w", err)
+	}
+	return e.ObserveTree(t), nil
+}
+
+// Selectivity returns the exact fraction of window documents matching p
+// (exact up to skeleton semantics).
+func (e *WindowEstimator) Selectivity(p *pattern.Pattern) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sel.P(p)
+}
+
+// Similarity returns metric m over the window.
+func (e *WindowEstimator) Similarity(m metrics.Metric, p, q *pattern.Pattern) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return metrics.Similarity(e.sel, m, p, q)
+}
+
+// Stats returns the synopsis size statistics for the current window.
+func (e *WindowEstimator) Stats() synopsis.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.syn.Stats()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"treesim/internal/metrics"
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+func obs(t *testing.T, e *WindowEstimator, spec string) {
+	t.Helper()
+	tr, err := xmltree.ParseCompact(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ObserveTree(tr)
+}
+
+func TestWindowSlides(t *testing.T) {
+	e := NewWindowEstimator(3, xmltree.ParseOptions{})
+	p := pattern.MustParse("/a/x")
+	// Fill with x docs.
+	for i := 0; i < 3; i++ {
+		obs(t, e, "a(x)")
+	}
+	if got := e.Selectivity(p); got != 1 {
+		t.Fatalf("P = %v, want 1", got)
+	}
+	// Slide in y docs; x docs expire one by one.
+	obs(t, e, "a(y)")
+	if got := e.Selectivity(p); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("P after 1 slide = %v, want 2/3", got)
+	}
+	obs(t, e, "a(y)")
+	obs(t, e, "a(y)")
+	if got := e.Selectivity(p); got != 0 {
+		t.Errorf("P after full turnover = %v, want 0", got)
+	}
+	if e.Len() != 3 {
+		t.Errorf("Len = %d, want 3", e.Len())
+	}
+	// The expired structure must be pruned from the synopsis.
+	if e.Stats().Nodes != 3 { // root, a, y
+		t.Errorf("nodes = %d, want 3 (expired paths pruned)", e.Stats().Nodes)
+	}
+}
+
+func TestWindowSimilarityDrift(t *testing.T) {
+	e := NewWindowEstimator(4, xmltree.ParseOptions{})
+	p := pattern.MustParse("//x")
+	q := pattern.MustParse("//y")
+	// Phase 1: x and y always co-occur.
+	for i := 0; i < 4; i++ {
+		obs(t, e, "a(x,y)")
+	}
+	if got := e.Similarity(metrics.M3, p, q); got != 1 {
+		t.Fatalf("phase-1 M3 = %v, want 1", got)
+	}
+	// Phase 2: interests diverge; the window forgets the old regime.
+	for i := 0; i < 4; i++ {
+		obs(t, e, "a(x)")
+	}
+	if got := e.Similarity(metrics.M3, p, q); got != 0 {
+		t.Errorf("phase-2 M3 = %v, want 0 (drift forgotten)", got)
+	}
+}
+
+func TestWindowObserveXML(t *testing.T) {
+	e := NewWindowEstimator(2, xmltree.ParseOptions{})
+	if _, err := e.ObserveXML(strings.NewReader("<a><b/></a>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ObserveXML(strings.NewReader("<bad")); err == nil {
+		t.Error("bad XML should error")
+	}
+	if got := e.Selectivity(pattern.MustParse("/a/b")); got != 1 {
+		t.Errorf("P = %v, want 1", got)
+	}
+	if e.Window() != 2 {
+		t.Errorf("Window = %d", e.Window())
+	}
+}
+
+func TestWindowPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewWindowEstimator(0, xmltree.ParseOptions{})
+}

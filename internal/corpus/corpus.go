@@ -1,0 +1,65 @@
+// Package corpus loads and stores XML document collections on disk,
+// shared by the command-line tools: a corpus is a directory of .xml
+// files, read in deterministic (lexicographic) order.
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"treesim/internal/xmltree"
+)
+
+// LoadDir parses every .xml file in dir (non-recursive), in
+// lexicographic order.
+func LoadDir(dir string, opts xmltree.ParseOptions) ([]*xmltree.Tree, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".xml" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("corpus: no .xml files in %s", dir)
+	}
+	sort.Strings(names)
+	docs := make([]*xmltree.Tree, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		t, err := xmltree.Parse(f, opts)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s: %w", name, err)
+		}
+		docs = append(docs, t)
+	}
+	return docs, nil
+}
+
+// SaveDir writes the documents as doc00000.xml … into dir, creating it
+// if needed.
+func SaveDir(dir string, docs []*xmltree.Tree, indent bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	for i, doc := range docs {
+		s, err := xmltree.XMLString(doc, indent)
+		if err != nil {
+			return fmt.Errorf("corpus: doc %d: %w", i, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("doc%05d.xml", i))
+		if err := os.WriteFile(path, []byte(s+"\n"), 0o644); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treesim/internal/xmltree"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var docs []*xmltree.Tree
+	for _, s := range []string{"a(b,c)", "x(y(z))", "solo"} {
+		tr, err := xmltree.ParseCompact(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, tr)
+	}
+	if err := SaveDir(dir, docs, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(docs) {
+		t.Fatalf("loaded %d docs, want %d", len(got), len(docs))
+	}
+	for i := range docs {
+		if !got[i].Root.Equal(docs[i].Root) {
+			t.Errorf("doc %d: %s != %s", i, got[i], docs[i])
+		}
+	}
+}
+
+func TestLoadDirDeterministicOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Write files in non-lexicographic creation order.
+	for _, f := range []struct{ name, body string }{
+		{"b.xml", "<b/>"},
+		{"a.xml", "<a/>"},
+		{"c.xml", "<c/>"},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, err := LoadDir(dir, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i, d := range docs {
+		if d.Root.Label != want[i] {
+			t.Errorf("doc %d root = %q, want %q", i, d.Root.Label, want[i])
+		}
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir("/nonexistent-dir-xyz", xmltree.ParseOptions{}); err == nil {
+		t.Error("missing dir should error")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty, xmltree.ParseOptions{}); err == nil {
+		t.Error("empty dir should error")
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "bad.xml"), []byte("<unclosed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(bad, xmltree.ParseOptions{}); err == nil {
+		t.Error("malformed XML should error")
+	}
+}
+
+func TestLoadDirIgnoresNonXML(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.xml"), []byte("<a/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := LoadDir(dir, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Errorf("loaded %d docs, want 1", len(docs))
+	}
+}

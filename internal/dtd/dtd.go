@@ -1,0 +1,382 @@
+// Package dtd models Document Type Definitions: named elements with
+// content models (sequences, choices, repetition quantifiers, PCDATA).
+// It provides a parser for the <!ELEMENT …> subset of the DTD syntax, a
+// serializer, and a deterministic synthesizer used to reproduce the
+// paper's two evaluation schemas:
+//
+//   - a "NITF-like" news DTD (123 elements, choice-rich and optional,
+//     mildly recursive — high structural variability), and
+//   - an "xCBL-like" business-document DTD (569 elements, rigid
+//     sequences — low variability).
+//
+// The real NITF and xCBL DTDs are not redistributable here; DESIGN.md
+// documents why these synthetic stand-ins preserve the experimental
+// regimes that matter (element counts, variability, selectivity ranges).
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Quant is an occurrence quantifier on a content particle.
+type Quant int
+
+const (
+	// One means exactly once (no suffix).
+	One Quant = iota
+	// Opt means zero or one ("?").
+	Opt
+	// Star means zero or more ("*").
+	Star
+	// Plus means one or more ("+").
+	Plus
+)
+
+func (q Quant) String() string {
+	switch q {
+	case Opt:
+		return "?"
+	case Star:
+		return "*"
+	case Plus:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// ContentKind discriminates content-model nodes.
+type ContentKind int
+
+const (
+	// KindEmpty is the EMPTY content model.
+	KindEmpty ContentKind = iota
+	// KindPCData is character data (#PCDATA).
+	KindPCData
+	// KindAny is the ANY content model.
+	KindAny
+	// KindName references a child element.
+	KindName
+	// KindSeq is an ordered sequence "(a, b, c)".
+	KindSeq
+	// KindChoice is an alternation "(a | b | c)".
+	KindChoice
+)
+
+// Content is a content-model node. Quant applies to the whole node.
+type Content struct {
+	Kind  ContentKind
+	Name  string     // KindName only
+	Parts []*Content // KindSeq / KindChoice only
+	Quant Quant
+}
+
+// Element is a named element declaration.
+type Element struct {
+	Name    string
+	Content *Content
+}
+
+// DTD is a set of element declarations with a designated root.
+type DTD struct {
+	// Name describes the DTD (e.g. "nitf-like").
+	Name string
+	// RootName is the document root element.
+	RootName string
+
+	elements map[string]*Element
+	order    []string
+}
+
+// NewDTD returns an empty DTD with the given descriptive name and root
+// element name. The root element must still be declared with Declare.
+func NewDTD(name, root string) *DTD {
+	return &DTD{Name: name, RootName: root, elements: make(map[string]*Element)}
+}
+
+// Declare adds an element declaration. Redeclaring a name replaces its
+// content model.
+func (d *DTD) Declare(name string, content *Content) *Element {
+	e, ok := d.elements[name]
+	if !ok {
+		e = &Element{Name: name}
+		d.elements[name] = e
+		d.order = append(d.order, name)
+	}
+	e.Content = content
+	return e
+}
+
+// Element returns the declaration of name, or nil.
+func (d *DTD) Element(name string) *Element { return d.elements[name] }
+
+// Len returns the number of declared elements.
+func (d *DTD) Len() int { return len(d.order) }
+
+// Names returns the declared element names in declaration order.
+func (d *DTD) Names() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Validate checks that the root and every referenced element are
+// declared.
+func (d *DTD) Validate() error {
+	if d.RootName == "" {
+		return fmt.Errorf("dtd %s: no root element", d.Name)
+	}
+	if d.Element(d.RootName) == nil {
+		return fmt.Errorf("dtd %s: root element %q not declared", d.Name, d.RootName)
+	}
+	for _, name := range d.order {
+		e := d.elements[name]
+		if e.Content == nil {
+			return fmt.Errorf("dtd %s: element %q has no content model", d.Name, name)
+		}
+		if err := d.validateContent(name, e.Content); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *DTD) validateContent(owner string, c *Content) error {
+	switch c.Kind {
+	case KindEmpty, KindPCData, KindAny:
+		return nil
+	case KindName:
+		if d.Element(c.Name) == nil {
+			return fmt.Errorf("dtd %s: element %q references undeclared %q", d.Name, owner, c.Name)
+		}
+		return nil
+	case KindSeq, KindChoice:
+		if len(c.Parts) == 0 {
+			return fmt.Errorf("dtd %s: element %q has an empty group", d.Name, owner)
+		}
+		for _, p := range c.Parts {
+			if err := d.validateContent(owner, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("dtd %s: element %q has unknown content kind %d", d.Name, owner, int(c.Kind))
+	}
+}
+
+// ChildNames returns the set of element names that may appear as direct
+// children of the named element, sorted. The workload generator walks
+// this relation.
+func (d *DTD) ChildNames(name string) []string {
+	e := d.Element(name)
+	if e == nil || e.Content == nil {
+		return nil
+	}
+	set := make(map[string]struct{})
+	collectNames(e.Content, set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectNames(c *Content, set map[string]struct{}) {
+	switch c.Kind {
+	case KindName:
+		set[c.Name] = struct{}{}
+	case KindSeq, KindChoice:
+		for _, p := range c.Parts {
+			collectNames(p, set)
+		}
+	}
+}
+
+// HasPCData reports whether the element's content model allows
+// character data (text values).
+func (d *DTD) HasPCData(name string) bool {
+	e := d.Element(name)
+	if e == nil || e.Content == nil {
+		return false
+	}
+	var rec func(c *Content) bool
+	rec = func(c *Content) bool {
+		switch c.Kind {
+		case KindPCData, KindAny:
+			return true
+		case KindSeq, KindChoice:
+			for _, p := range c.Parts {
+				if rec(p) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(e.Content)
+}
+
+// Reachable returns the element names reachable from the root (root
+// included), sorted.
+func (d *DTD) Reachable() []string {
+	seen := make(map[string]struct{})
+	var rec func(name string)
+	rec = func(name string) {
+		if _, ok := seen[name]; ok {
+			return
+		}
+		seen[name] = struct{}{}
+		for _, c := range d.ChildNames(name) {
+			rec(c)
+		}
+	}
+	if d.Element(d.RootName) != nil {
+		rec(d.RootName)
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MinDepths returns, for every element, the minimum document depth
+// needed to expand it (a leaf element has depth 1). The document
+// generator uses this to respect its depth budget when forced to pick
+// among choice alternatives.
+func (d *DTD) MinDepths() map[string]int {
+	const inf = 1 << 20
+	depth := make(map[string]int, len(d.order))
+	for _, n := range d.order {
+		depth[n] = inf
+	}
+	var contentDepth func(c *Content) int
+	contentDepth = func(c *Content) int {
+		switch c.Kind {
+		case KindEmpty, KindPCData, KindAny:
+			return 0
+		case KindName:
+			if c.Quant == Opt || c.Quant == Star {
+				return 0 // may be omitted entirely
+			}
+			return depth[c.Name]
+		case KindSeq:
+			max := 0
+			for _, p := range c.Parts {
+				if v := contentDepth(p); v > max {
+					max = v
+				}
+			}
+			if c.Quant == Opt || c.Quant == Star {
+				return 0
+			}
+			return max
+		case KindChoice:
+			min := inf
+			for _, p := range c.Parts {
+				if v := contentDepth(p); v < min {
+					min = v
+				}
+			}
+			if c.Quant == Opt || c.Quant == Star {
+				return 0
+			}
+			return min
+		default:
+			return 0
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range d.order {
+			e := d.elements[n]
+			v := 1 + contentDepth(e.Content)
+			if v < depth[n] {
+				depth[n] = v
+				changed = true
+			}
+		}
+	}
+	return depth
+}
+
+// String serializes the DTD in <!ELEMENT …> syntax.
+func (d *DTD) String() string {
+	var b strings.Builder
+	for _, name := range d.order {
+		e := d.elements[name]
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", name, e.Content.String())
+	}
+	return b.String()
+}
+
+// String serializes a content model.
+func (c *Content) String() string {
+	var b strings.Builder
+	c.write(&b, true)
+	return b.String()
+}
+
+func (c *Content) write(b *strings.Builder, top bool) {
+	switch c.Kind {
+	case KindEmpty:
+		b.WriteString("EMPTY")
+	case KindAny:
+		b.WriteString("ANY")
+	case KindPCData:
+		if top {
+			b.WriteString("(#PCDATA)")
+		} else {
+			b.WriteString("#PCDATA")
+		}
+	case KindName:
+		b.WriteString(c.Name)
+		b.WriteString(c.Quant.String())
+	case KindSeq, KindChoice:
+		sep := ", "
+		if c.Kind == KindChoice {
+			sep = " | "
+		}
+		b.WriteByte('(')
+		for i, p := range c.Parts {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			p.write(b, false)
+		}
+		b.WriteByte(')')
+		b.WriteString(c.Quant.String())
+	}
+}
+
+// Convenience constructors for content models.
+
+// Name references a child element with a quantifier.
+func Name(name string, q Quant) *Content { return &Content{Kind: KindName, Name: name, Quant: q} }
+
+// Seq builds an ordered sequence.
+func Seq(parts ...*Content) *Content { return &Content{Kind: KindSeq, Parts: parts} }
+
+// SeqQ builds a quantified sequence.
+func SeqQ(q Quant, parts ...*Content) *Content {
+	return &Content{Kind: KindSeq, Parts: parts, Quant: q}
+}
+
+// Choice builds an alternation.
+func Choice(parts ...*Content) *Content { return &Content{Kind: KindChoice, Parts: parts} }
+
+// ChoiceQ builds a quantified alternation.
+func ChoiceQ(q Quant, parts ...*Content) *Content {
+	return &Content{Kind: KindChoice, Parts: parts, Quant: q}
+}
+
+// Empty is the EMPTY content model.
+func Empty() *Content { return &Content{Kind: KindEmpty} }
+
+// PCData is the (#PCDATA) content model.
+func PCData() *Content { return &Content{Kind: KindPCData} }

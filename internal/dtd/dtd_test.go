@@ -1,0 +1,226 @@
+package dtd
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDeclareAndValidate(t *testing.T) {
+	d := NewDTD("t", "a")
+	d.Declare("a", Seq(Name("b", One), Name("c", Opt)))
+	d.Declare("b", PCData())
+	d.Declare("c", Empty())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d, want 3", d.Len())
+	}
+	if got := d.ChildNames("a"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("ChildNames(a) = %v", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := NewDTD("t", "a")
+	d.Declare("a", Name("missing", One))
+	if err := d.Validate(); err == nil {
+		t.Error("undeclared reference should fail validation")
+	}
+	d2 := NewDTD("t", "nope")
+	d2.Declare("a", Empty())
+	if err := d2.Validate(); err == nil {
+		t.Error("undeclared root should fail validation")
+	}
+	d3 := NewDTD("t", "")
+	if err := d3.Validate(); err == nil {
+		t.Error("empty root should fail validation")
+	}
+}
+
+func TestContentString(t *testing.T) {
+	cases := []struct {
+		c    *Content
+		want string
+	}{
+		{Empty(), "EMPTY"},
+		{PCData(), "(#PCDATA)"},
+		{Name("a", Star), "a*"},
+		{Seq(Name("a", One), Name("b", Opt)), "(a, b?)"},
+		{Choice(Name("a", One), Name("b", Plus)), "(a | b+)"},
+		{SeqQ(Star, Name("a", One), ChoiceQ(Opt, Name("b", One), Name("c", One))), "(a, (b | c)?)*"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+<!-- a comment -->
+<!ELEMENT media (book*, CD*)>
+<!ELEMENT book (author+, title)>
+<!ELEMENT CD (composer?, title, interpreter*)>
+<!ELEMENT author (first?, last)>
+<!ELEMENT composer (first?, last)>
+<!ELEMENT interpreter (ensemble | soloist)>
+<!ATTLIST book isbn CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT ensemble (#PCDATA)>
+<!ELEMENT soloist (#PCDATA)>
+`
+	d, err := Parse("media", "", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RootName != "media" {
+		t.Errorf("root = %q, want media", d.RootName)
+	}
+	if d.Len() != 11 {
+		t.Errorf("Len = %d, want 11", d.Len())
+	}
+	if got := d.Element("CD").Content.String(); got != "(composer?, title, interpreter*)" {
+		t.Errorf("CD content = %q", got)
+	}
+	// Serialize and reparse.
+	d2, err := Parse("media2", "media", d.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.Len() != d.Len() {
+		t.Errorf("reparse Len = %d, want %d", d2.Len(), d.Len())
+	}
+	for _, n := range d.Names() {
+		if d2.Element(n) == nil {
+			t.Errorf("reparse lost element %q", n)
+		}
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	d, err := Parse("t", "", `<!ELEMENT p (#PCDATA | em | strong)*><!ELEMENT em (#PCDATA)><!ELEMENT strong EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Element("p").Content
+	if c.Kind != KindChoice || c.Quant != Star || len(c.Parts) != 2 {
+		t.Errorf("mixed content parsed as %s", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<!ELEMENT >",
+		"<!ELEMENT a>",
+		"<!ELEMENT a (b,|c)>",
+		"<!ELEMENT a (b c)>",
+		"<!ELEMENT a (b",
+		"garbage",
+	}
+	for _, src := range bad {
+		if _, err := Parse("t", "", src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestMinDepths(t *testing.T) {
+	d := NewDTD("t", "a")
+	d.Declare("a", Seq(Name("b", One), Name("deep", Opt)))
+	d.Declare("b", PCData())
+	d.Declare("deep", Name("deeper", One))
+	d.Declare("deeper", Empty())
+	md := d.MinDepths()
+	// a needs itself + mandatory b => depth 2 (deep is optional).
+	if md["a"] != 2 {
+		t.Errorf("MinDepth(a) = %d, want 2", md["a"])
+	}
+	if md["b"] != 1 || md["deeper"] != 1 {
+		t.Errorf("leaf depths = %d,%d, want 1,1", md["b"], md["deeper"])
+	}
+	if md["deep"] != 2 {
+		t.Errorf("MinDepth(deep) = %d, want 2", md["deep"])
+	}
+}
+
+func TestMinDepthsRecursive(t *testing.T) {
+	// Optional recursion must not blow up min depth.
+	d := NewDTD("t", "block")
+	d.Declare("block", Seq(Name("p", One), Name("block", Star)))
+	d.Declare("p", PCData())
+	md := d.MinDepths()
+	if md["block"] != 2 {
+		t.Errorf("MinDepth(block) = %d, want 2", md["block"])
+	}
+}
+
+func TestSynthesizedShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d    *DTD
+		n    int
+	}{
+		{"nitf-like", NITFLike(), 123},
+		{"xcbl-like", XCBLLike(), 569},
+	} {
+		if err := tc.d.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := tc.d.Len(); got != tc.n {
+			t.Errorf("%s: %d elements, want %d", tc.name, got, tc.n)
+		}
+		// Every element must be reachable from the root.
+		if got := len(tc.d.Reachable()); got != tc.n {
+			t.Errorf("%s: only %d/%d elements reachable", tc.name, got, tc.n)
+		}
+	}
+}
+
+func TestSynthesisDeterministic(t *testing.T) {
+	a, b := NITFLike(), NITFLike()
+	if a.String() != b.String() {
+		t.Error("NITFLike is not deterministic")
+	}
+}
+
+func TestSynthesisShapeDifference(t *testing.T) {
+	// News DTDs must contain choices and stars; business DTDs must be
+	// dominated by plain sequences.
+	news, biz := NITFLike().String(), XCBLLike().String()
+	if !strings.Contains(news, "|") {
+		t.Error("news-like DTD has no choices")
+	}
+	newsOpt := strings.Count(news, "?") + strings.Count(news, "*")
+	bizOpt := strings.Count(biz, "?") + strings.Count(biz, "*")
+	// Normalize per element.
+	newsRate := float64(newsOpt) / 123
+	bizRate := float64(bizOpt) / 569
+	if newsRate <= bizRate {
+		t.Errorf("news optionality %.2f should exceed business %.2f", newsRate, bizRate)
+	}
+}
+
+func TestMediaDTD(t *testing.T) {
+	d := Media()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ChildNames("CD"); !reflect.DeepEqual(got, []string{"composer", "interpreter", "title"}) {
+		t.Errorf("ChildNames(CD) = %v", got)
+	}
+}
+
+func TestSynthesizePanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Synthesize(SynthOptions{Elements: 1})
+}

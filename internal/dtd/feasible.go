@@ -1,0 +1,195 @@
+package dtd
+
+import "treesim/internal/pattern"
+
+// Feasible reports whether any document valid for the DTD could match
+// the pattern: the pattern's label structure must be embeddable in the
+// DTD's parent-child graph. The check is sound and complete for the
+// structural level it models (element nesting; content-model ordering
+// and cardinality are ignored, so a pattern may be Feasible yet match
+// no finite corpus).
+//
+// This implements the enhancement sketched in the paper's footnote 2:
+// with a DTD at hand, structurally impossible (negative) queries can be
+// rejected without consulting the synopsis at all.
+func Feasible(d *DTD, p *pattern.Pattern) bool {
+	if p == nil || p.Root == nil {
+		return false
+	}
+	if err := d.Validate(); err != nil {
+		return false
+	}
+	f := &feasibility{
+		d:    d,
+		kids: make(map[string][]string),
+		memo: make(map[feaKey]feaState),
+	}
+	for _, name := range d.Names() {
+		f.kids[name] = d.ChildNames(name)
+	}
+	for _, v := range p.Root.Children {
+		if !f.rootConstraint(d.RootName, v) {
+			return false
+		}
+	}
+	return true
+}
+
+type feaKey struct {
+	elem string
+	node *pattern.Node
+}
+
+// feaState is the memo entry state for the least-fixed-point evaluation
+// over the (possibly cyclic) DTD graph.
+type feaState int8
+
+const (
+	feaUnknown feaState = iota
+	feaInProgress
+	feaFalse
+	feaTrue
+)
+
+type feasibility struct {
+	d    *DTD
+	kids map[string][]string
+	memo map[feaKey]feaState
+}
+
+// rootConstraint mirrors the exact matcher's root semantics over the
+// DTD graph: a tag child constrains the root element's name; "//"
+// re-roots at any element reachable from (or equal to) the context
+// element.
+func (f *feasibility) rootConstraint(elem string, v *pattern.Node) bool {
+	switch v.Label {
+	case pattern.Descendant:
+		c := v.Children[0]
+		ok := false
+		f.forEachDescOrSelf(elem, func(e string) bool {
+			if f.rootConstraint(e, c) {
+				ok = true
+				return false
+			}
+			return true
+		})
+		return ok
+	case pattern.Wildcard:
+		for _, v2 := range v.Children {
+			if r, _ := f.sat(elem, v2); !r {
+				return false
+			}
+		}
+		return true
+	default:
+		if elem != v.Label {
+			return false
+		}
+		for _, v2 := range v.Children {
+			if r, _ := f.sat(elem, v2); !r {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// sat reports whether constraint v can hold at some document node of
+// element type elem, i.e. whether the pair is in the least fixed point
+// of the feasibility equations over the (cyclic) DTD graph.
+//
+// The second result reports whether the computation depended on an
+// in-progress (guarded) entry. In a monotone system, derived TRUE
+// results are always sound and cacheable; FALSE results are cacheable
+// only when they did not rely on a guard's provisional false, otherwise
+// they stay uncached and are recomputed in an outer context.
+func (f *feasibility) sat(elem string, v *pattern.Node) (res, provisional bool) {
+	key := feaKey{elem, v}
+	switch f.memo[key] {
+	case feaTrue:
+		return true, false
+	case feaFalse:
+		return false, false
+	case feaInProgress:
+		return false, true
+	}
+	f.memo[key] = feaInProgress
+	res, provisional = f.satCompute(elem, v)
+	switch {
+	case res:
+		f.memo[key] = feaTrue
+		provisional = false
+	case !provisional:
+		f.memo[key] = feaFalse
+	default:
+		f.memo[key] = feaUnknown // provisional false: do not cache
+	}
+	return res, provisional
+}
+
+func (f *feasibility) satCompute(elem string, v *pattern.Node) (res, provisional bool) {
+	// allAt evaluates the conjunction of v's children at element e.
+	allAt := func(e string) (bool, bool) {
+		prov := false
+		for _, v2 := range v.Children {
+			r, p := f.sat(e, v2)
+			prov = prov || p
+			if !r {
+				return false, prov
+			}
+		}
+		return true, prov
+	}
+	switch v.Label {
+	case pattern.Descendant:
+		f.forEachDescOrSelf(elem, func(e string) bool {
+			r, p := allAt(e)
+			provisional = provisional || p
+			if r {
+				res = true
+				return false
+			}
+			return true
+		})
+	case pattern.Wildcard:
+		for _, child := range f.kids[elem] {
+			r, p := allAt(child)
+			provisional = provisional || p
+			if r {
+				res = true
+				break
+			}
+		}
+	default:
+		for _, child := range f.kids[elem] {
+			if child != v.Label {
+				continue
+			}
+			res, provisional = allAt(child)
+			break
+		}
+	}
+	if res {
+		provisional = false
+	}
+	return res, provisional
+}
+
+// forEachDescOrSelf visits elem and every element reachable below it,
+// stopping early when fn returns false.
+func (f *feasibility) forEachDescOrSelf(elem string, fn func(string) bool) {
+	seen := make(map[string]bool)
+	stack := []string{elem}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		if !fn(e) {
+			return
+		}
+		stack = append(stack, f.kids[e]...)
+	}
+}

@@ -1,0 +1,253 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a DTD from the <!ELEMENT …> subset of the DTD syntax.
+// Attribute lists, entities, comments and conditional sections are
+// skipped. The first declared element becomes the root unless rootName
+// is non-empty.
+//
+// Supported content syntax:
+//
+//	EMPTY | ANY | (#PCDATA) | (#PCDATA | a | b)* | group
+//	group = '(' particle (',' particle)* ')' quant?
+//	      | '(' particle ('|' particle)+ ')' quant?
+//	particle = name quant? | group | #PCDATA
+//	quant = '?' | '*' | '+'
+func Parse(name, rootName, src string) (*DTD, error) {
+	p := &dtdParser{in: src}
+	var decls []*Element
+	for {
+		p.skipIrrelevant()
+		if p.eof() {
+			break
+		}
+		e, err := p.parseElementDecl()
+		if err != nil {
+			return nil, fmt.Errorf("dtd %s: %w", name, err)
+		}
+		decls = append(decls, e)
+	}
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("dtd %s: no element declarations", name)
+	}
+	if rootName == "" {
+		rootName = decls[0].Name
+	}
+	d := NewDTD(name, rootName)
+	for _, e := range decls {
+		d.Declare(e.Name, e.Content)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+type dtdParser struct {
+	in  string
+	pos int
+}
+
+func (p *dtdParser) eof() bool { return p.pos >= len(p.in) }
+
+func (p *dtdParser) skipSpace() {
+	for !p.eof() && isSpace(p.in[p.pos]) {
+		p.pos++
+	}
+}
+
+// skipIrrelevant advances past whitespace, comments and non-ELEMENT
+// declarations until the next "<!ELEMENT" or EOF.
+func (p *dtdParser) skipIrrelevant() {
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return
+		}
+		rest := p.in[p.pos:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest, "-->")
+			if end < 0 {
+				p.pos = len(p.in)
+				return
+			}
+			p.pos += end + 3
+		case strings.HasPrefix(rest, "<!ELEMENT"):
+			return
+		case strings.HasPrefix(rest, "<!"):
+			// Skip other declarations (<!ATTLIST, <!ENTITY, …).
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				p.pos = len(p.in)
+				return
+			}
+			p.pos += end + 1
+		default:
+			// Unknown junk: stop at it so the caller reports an error.
+			return
+		}
+	}
+}
+
+func (p *dtdParser) parseElementDecl() (*Element, error) {
+	if !strings.HasPrefix(p.in[p.pos:], "<!ELEMENT") {
+		return nil, fmt.Errorf("expected <!ELEMENT at offset %d", p.pos)
+	}
+	p.pos += len("<!ELEMENT")
+	p.skipSpace()
+	name := p.parseName()
+	if name == "" {
+		return nil, fmt.Errorf("expected element name at offset %d", p.pos)
+	}
+	p.skipSpace()
+	c, err := p.parseContent()
+	if err != nil {
+		return nil, fmt.Errorf("element %s: %w", name, err)
+	}
+	p.skipSpace()
+	if p.eof() || p.in[p.pos] != '>' {
+		return nil, fmt.Errorf("element %s: expected '>' at offset %d", name, p.pos)
+	}
+	p.pos++
+	return &Element{Name: name, Content: c}, nil
+}
+
+func (p *dtdParser) parseName() string {
+	start := p.pos
+	for !p.eof() && isNameChar(p.in[p.pos]) {
+		p.pos++
+	}
+	return p.in[start:p.pos]
+}
+
+func (p *dtdParser) parseContent() (*Content, error) {
+	switch {
+	case strings.HasPrefix(p.in[p.pos:], "EMPTY"):
+		p.pos += len("EMPTY")
+		return Empty(), nil
+	case strings.HasPrefix(p.in[p.pos:], "ANY"):
+		p.pos += len("ANY")
+		return &Content{Kind: KindAny}, nil
+	case !p.eof() && p.in[p.pos] == '(':
+		return p.parseGroup()
+	default:
+		return nil, fmt.Errorf("expected content model at offset %d", p.pos)
+	}
+}
+
+func (p *dtdParser) parseGroup() (*Content, error) {
+	if p.in[p.pos] != '(' {
+		return nil, fmt.Errorf("expected '(' at offset %d", p.pos)
+	}
+	p.pos++
+	var parts []*Content
+	sep := byte(0)
+	hasPCData := false
+	for {
+		p.skipSpace()
+		part, err := p.parseParticle()
+		if err != nil {
+			return nil, err
+		}
+		if part.Kind == KindPCData {
+			hasPCData = true
+		} else {
+			parts = append(parts, part)
+		}
+		p.skipSpace()
+		if p.eof() {
+			return nil, fmt.Errorf("unterminated group")
+		}
+		switch p.in[p.pos] {
+		case ',', '|':
+			if sep == 0 {
+				sep = p.in[p.pos]
+			} else if sep != p.in[p.pos] {
+				return nil, fmt.Errorf("mixed ',' and '|' in one group at offset %d", p.pos)
+			}
+			p.pos++
+		case ')':
+			p.pos++
+			q := p.parseQuant()
+			var c *Content
+			switch {
+			case hasPCData && len(parts) == 0:
+				c = PCData()
+			case hasPCData:
+				// Mixed content (#PCDATA | a | b)*: model as a starred
+				// choice of the element parts.
+				c = &Content{Kind: KindChoice, Parts: parts, Quant: Star}
+				return c, nil
+			case sep == '|':
+				c = &Content{Kind: KindChoice, Parts: parts}
+			case len(parts) == 1:
+				c = parts[0]
+				// A single-particle group: the group quantifier wraps
+				// the particle. Compose conservatively: an outer * or ?
+				// dominates.
+				if q != One {
+					if c.Quant == One {
+						c.Quant = q
+						return c, nil
+					}
+					return &Content{Kind: KindSeq, Parts: []*Content{c}, Quant: q}, nil
+				}
+				return c, nil
+			default:
+				c = &Content{Kind: KindSeq, Parts: parts}
+			}
+			c.Quant = q
+			return c, nil
+		default:
+			return nil, fmt.Errorf("expected ',', '|' or ')' at offset %d", p.pos)
+		}
+	}
+}
+
+func (p *dtdParser) parseParticle() (*Content, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("unexpected end of input in group")
+	}
+	if p.in[p.pos] == '(' {
+		return p.parseGroup()
+	}
+	if strings.HasPrefix(p.in[p.pos:], "#PCDATA") {
+		p.pos += len("#PCDATA")
+		return PCData(), nil
+	}
+	name := p.parseName()
+	if name == "" {
+		return nil, fmt.Errorf("expected name at offset %d", p.pos)
+	}
+	return Name(name, p.parseQuant()), nil
+}
+
+func (p *dtdParser) parseQuant() Quant {
+	if p.eof() {
+		return One
+	}
+	switch p.in[p.pos] {
+	case '?':
+		p.pos++
+		return Opt
+	case '*':
+		p.pos++
+		return Star
+	case '+':
+		p.pos++
+		return Plus
+	}
+	return One
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '-' || c == '_' || c == '.' || c == ':'
+}

@@ -1,0 +1,332 @@
+package dtd
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Shape selects the structural character of a synthesized DTD.
+type Shape int
+
+const (
+	// ShapeNews mimics document-centric news schemas (NITF): rich in
+	// choices and optional/repeatable content, mildly recursive — high
+	// structural variability across documents.
+	ShapeNews Shape = iota
+	// ShapeBusiness mimics data-centric business schemas (xCBL):
+	// rigid sequences with mostly mandatory children — low variability.
+	ShapeBusiness
+)
+
+// SynthOptions configures Synthesize.
+type SynthOptions struct {
+	// Name is the DTD's descriptive name.
+	Name string
+	// Elements is the number of element declarations to produce.
+	Elements int
+	// Levels is the depth of the element hierarchy (≥ 2).
+	Levels int
+	// Seed makes the construction deterministic.
+	Seed int64
+	// Shape selects news-like or business-like structure.
+	Shape Shape
+}
+
+// Synthesize deterministically constructs a DTD with the requested
+// element count and shape. Every element is reachable from the root: the
+// hierarchy is built level by level with each element assigned a primary
+// parent, plus shape-dependent extra references (choices, repetitions,
+// and — for news — occasional optional recursion).
+func Synthesize(opts SynthOptions) *DTD {
+	if opts.Elements < 2 {
+		panic("dtd: need at least 2 elements")
+	}
+	if opts.Levels < 2 {
+		opts.Levels = 2
+	}
+	if opts.Levels > opts.Elements {
+		opts.Levels = opts.Elements
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	names := elementNames(opts.Shape, opts.Elements)
+
+	// Distribute elements over levels: root alone at level 0, the rest
+	// spread with gently growing level sizes.
+	sizes := levelSizes(opts.Elements, opts.Levels)
+	levels := make([][]string, opts.Levels)
+	idx := 0
+	for l := 0; l < opts.Levels; l++ {
+		levels[l] = names[idx : idx+sizes[l]]
+		idx += sizes[l]
+	}
+
+	d := NewDTD(opts.Name, names[0])
+	// Assign each non-root element a primary parent on the previous
+	// level (round-robin keeps it deterministic and reaches everything).
+	kids := make(map[string][]string)
+	for l := 1; l < opts.Levels; l++ {
+		parents := levels[l-1]
+		for i, child := range levels[l] {
+			p := parents[i%len(parents)]
+			kids[p] = append(kids[p], child)
+		}
+	}
+
+	for l := 0; l < opts.Levels; l++ {
+		for _, name := range levels[l] {
+			k := kids[name]
+			var extras []string
+			if l+1 < opts.Levels {
+				// Shape-dependent cross references within the next level.
+				extraProb := 0.30
+				if opts.Shape == ShapeBusiness {
+					extraProb = 0.10
+				}
+				for rng.Float64() < extraProb && len(levels[l+1]) > 0 {
+					extras = append(extras, levels[l+1][rng.Intn(len(levels[l+1]))])
+				}
+			}
+			var recursive string
+			if opts.Shape == ShapeNews && l > 0 && rng.Float64() < 0.08 {
+				// Optional recursion to an ancestor-or-self level keeps
+				// news content models finitely expandable.
+				rl := rng.Intn(l + 1)
+				recursive = levels[rl][rng.Intn(len(levels[rl]))]
+			}
+			d.Declare(name, contentModel(rng, opts.Shape, k, extras, recursive))
+		}
+	}
+	if err := d.Validate(); err != nil {
+		panic(fmt.Sprintf("dtd: synthesized DTD invalid: %v", err))
+	}
+	return d
+}
+
+// contentModel builds the content model for one element given its
+// assigned children, extra references, and optional recursive
+// reference.
+func contentModel(rng *rand.Rand, shape Shape, kids, extras []string, recursive string) *Content {
+	all := append(append([]string{}, kids...), extras...)
+	if len(all) == 0 {
+		// Leaf element.
+		if rng.Float64() < 0.5 {
+			return PCData()
+		}
+		return Empty()
+	}
+	var parts []*Content
+	if shape == ShapeNews {
+		// Optionally bundle a few children into a starred choice.
+		if len(all) >= 2 && rng.Float64() < 0.45 {
+			n := 2 + rng.Intn(min(3, len(all)-1))
+			var alts []*Content
+			for _, c := range all[:n] {
+				alts = append(alts, Name(c, One))
+			}
+			q := Star
+			if rng.Float64() < 0.3 {
+				q = Opt
+			}
+			parts = append(parts, ChoiceQ(q, alts...))
+			all = all[n:]
+		}
+		for _, c := range all {
+			parts = append(parts, Name(c, newsQuant(rng)))
+		}
+	} else {
+		if len(all) >= 2 && rng.Float64() < 0.08 {
+			parts = append(parts, Choice(Name(all[0], One), Name(all[1], One)))
+			all = all[2:]
+		}
+		for _, c := range all {
+			parts = append(parts, Name(c, businessQuant(rng)))
+		}
+	}
+	if recursive != "" {
+		parts = append(parts, Name(recursive, Star))
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return Seq(parts...)
+}
+
+func newsQuant(rng *rand.Rand) Quant {
+	switch r := rng.Float64(); {
+	case r < 0.25:
+		return One
+	case r < 0.65:
+		return Opt
+	case r < 0.9:
+		return Star
+	default:
+		return Plus
+	}
+}
+
+func businessQuant(rng *rand.Rand) Quant {
+	// Business documents are dominated by mandatory fields; the
+	// resulting high co-occurrence of sibling paths is what gives the
+	// real xCBL corpus its extreme compressibility.
+	switch r := rng.Float64(); {
+	case r < 0.70:
+		return One
+	case r < 0.94:
+		return Opt
+	default:
+		return Star
+	}
+}
+
+func levelSizes(elements, levels int) []int {
+	sizes := make([]int, levels)
+	sizes[0] = 1
+	remaining := elements - 1
+	// Weight level l by l+1 so deeper levels hold more elements.
+	totalW := 0
+	for l := 1; l < levels; l++ {
+		totalW += l + 1
+	}
+	assigned := 0
+	for l := 1; l < levels; l++ {
+		s := remaining * (l + 1) / totalW
+		if s < 1 {
+			s = 1
+		}
+		sizes[l] = s
+		assigned += s
+	}
+	// Fix rounding drift on the last level.
+	sizes[levels-1] += remaining - assigned
+	if sizes[levels-1] < 1 {
+		// Borrow from the largest level if rounding starved the last.
+		for l := 1; l < levels-1 && sizes[levels-1] < 1; l++ {
+			if sizes[l] > 1 {
+				sizes[l]--
+				sizes[levels-1]++
+			}
+		}
+	}
+	return sizes
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// newsVocab seeds realistic NITF-ish element names.
+var newsVocab = []string{
+	"nitf", "head", "title", "meta", "docdata", "doc-id", "date.issue",
+	"date.release", "du-key", "urgency", "fixture", "body", "body.head",
+	"hedline", "hl1", "hl2", "byline", "bytag", "distributor", "dateline",
+	"location", "story.date", "abstract", "body.content", "block", "p",
+	"em", "strong", "br", "hr", "a", "q", "sub", "sup", "pre", "media",
+	"media-reference", "media-caption", "media-producer", "media-metadata",
+	"caption", "tagline", "note", "table", "tr", "td", "th", "tbody",
+	"thead", "tfoot", "col", "colgroup", "ol", "ul", "li", "dl", "dt",
+	"dd", "bq", "credit", "datasource", "person", "org", "event",
+	"function", "object.title", "virtloc", "classifier", "identified-content",
+	"keyword", "key-list", "series", "revision-history", "rights",
+	"rights.owner", "rights.startdate", "rights.enddate", "rights.agent",
+	"rights.geography", "rights.type", "rights.limitations", "body.end",
+	"pubdata", "ds", "fn", "lang", "num", "frac", "money", "chron",
+	"postaddr", "state", "region", "country", "city", "alt-code",
+	"nitf-table", "nitf-table-metadata", "nitf-table-summary", "nitf-col",
+}
+
+// businessVocab seeds realistic xCBL-ish element names.
+var businessVocab = []string{
+	"Order", "OrderHeader", "OrderNumber", "BuyerOrderNumber",
+	"SellerOrderNumber", "OrderIssueDate", "OrderReferences",
+	"AccountCode", "ContractReferences", "Contract", "ContractID",
+	"OrderDates", "RequestedShipByDate", "RequestedDeliverByDate",
+	"PromiseDate", "CancelAfterDate", "OrderParty", "BuyerParty",
+	"SellerParty", "ShipToParty", "BillToParty", "Party", "PartyID",
+	"NameAddress", "Name1", "Name2", "Street", "StreetSupplement1",
+	"PostalCode", "City", "Region", "RegionCoded", "Country",
+	"CountryCoded", "Contact", "ContactName", "ContactFunction",
+	"ContactNumber", "ContactNumberValue", "ContactNumberTypeCoded",
+	"OrderDetail", "ListOfItemDetail", "ItemDetail", "BaseItemDetail",
+	"LineItemNum", "LineItemType", "ItemIdentifiers", "PartNumbers",
+	"SellerPartNumber", "BuyerPartNumber", "ManufacturerPartNumber",
+	"PartID", "PartNumber", "ItemDescription", "Quantity",
+	"QuantityValue", "UnitOfMeasurement", "UOMCoded", "PricingDetail",
+	"ListOfPrice", "Price", "UnitPrice", "UnitPriceValue", "Currency",
+	"CurrencyCoded", "PriceBasisQuantity", "CalculatedPriceBasisQuantity",
+	"Tax", "TaxPercent", "TaxableAmount", "TaxAmount", "TaxLocation",
+	"TaxCategoryCoded", "DeliveryDetail", "ShipmentMethodOfPayment",
+	"TransportRouting", "TransportMode", "TransportMeans", "CarrierName",
+	"OrderSummary", "NumberOfLines", "TotalAmount", "MonetaryValue",
+	"MonetaryAmount", "LanguageCoded", "PaymentTerms", "PaymentTerm",
+	"DiscountPercent", "DiscountDaysDue", "NetDaysDue", "PaymentMean",
+	"ListOfTransportRouting", "TermsOfDelivery", "TermsOfDeliveryFunction",
+	"ShipmentPackaging", "PackageDetail", "PackageTypeCoded",
+}
+
+func elementNames(shape Shape, n int) []string {
+	var vocab []string
+	var pattern string
+	if shape == ShapeNews {
+		vocab, pattern = newsVocab, "x-sec%03d"
+	} else {
+		vocab, pattern = businessVocab, "Field%03d"
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i < len(vocab) {
+			out = append(out, vocab[i])
+		} else {
+			out = append(out, fmt.Sprintf(pattern, i-len(vocab)))
+		}
+	}
+	return out
+}
+
+// NITFLike returns the paper's first evaluation schema stand-in: a
+// news-like DTD with exactly 123 elements.
+func NITFLike() *DTD {
+	return Synthesize(SynthOptions{
+		Name:     "nitf-like",
+		Elements: 123,
+		Levels:   9,
+		Seed:     20070415, // ICDE'07
+		Shape:    ShapeNews,
+	})
+}
+
+// XCBLLike returns the paper's second evaluation schema stand-in: a
+// business-like DTD with exactly 569 elements.
+func XCBLLike() *DTD {
+	return Synthesize(SynthOptions{
+		Name:     "xcbl-like",
+		Elements: 569,
+		Levels:   12,
+		Seed:     20020601,
+		Shape:    ShapeBusiness,
+	})
+}
+
+// Media returns the small hand-written DTD behind the paper's Figure 1
+// examples (media libraries with books and CDs); used by the examples
+// and tests.
+func Media() *DTD {
+	d := NewDTD("media", "media")
+	d.Declare("media", Seq(Name("book", Star), Name("CD", Star)))
+	d.Declare("book", Seq(Name("author", Plus), Name("title", One)))
+	d.Declare("CD", Seq(Name("composer", Opt), Name("title", One), Name("interpreter", Star)))
+	d.Declare("author", Seq(Name("first", Opt), Name("last", One)))
+	d.Declare("composer", Seq(Name("first", Opt), Name("last", One)))
+	d.Declare("interpreter", Choice(Name("ensemble", One), Name("soloist", One)))
+	d.Declare("title", PCData())
+	d.Declare("first", PCData())
+	d.Declare("last", PCData())
+	d.Declare("ensemble", PCData())
+	d.Declare("soloist", PCData())
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"treesim/internal/metrics"
+)
+
+// CSV export of the figure series, for external plotting. Columns match
+// the text tables; one row per point.
+
+// WriteSelectivityCSV writes Figure 4/5/6 data as CSV.
+func WriteSelectivityCSV(w io.Writer, dtdName string, pts []SelectivityPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dtd", "representation", "max_size", "erel_positive", "esqr_negative", "synopsis_size"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			dtdName,
+			p.Kind.String(),
+			strconv.Itoa(p.Size),
+			formatFloat(p.Erel),
+			formatFloat(p.Esqr),
+			strconv.Itoa(p.SynopsisSize),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMetricCSV writes Figure 7/8/9 data as CSV.
+func WriteMetricCSV(w io.Writer, dtdName string, pts []MetricPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dtd", "representation", "max_size", "erel_m1", "erel_m2", "erel_m3", "skipped_m1", "skipped_m2", "skipped_m3"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			dtdName,
+			p.Kind.String(),
+			strconv.Itoa(p.Size),
+			formatFloat(p.Erel[metrics.M1]),
+			formatFloat(p.Erel[metrics.M2]),
+			formatFloat(p.Erel[metrics.M3]),
+			strconv.Itoa(p.Skipped[metrics.M1]),
+			strconv.Itoa(p.Skipped[metrics.M2]),
+			strconv.Itoa(p.Skipped[metrics.M3]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCompressionCSV writes Figure 10 data as CSV.
+func WriteCompressionCSV(w io.Writer, dtdName string, pts []CompressionPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dtd", "target_alpha", "achieved_alpha", "erel_positive", "esqr_negative", "synopsis_size"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			dtdName,
+			formatFloat(p.TargetAlpha),
+			formatFloat(p.AchievedAlpha),
+			formatFloat(p.Erel),
+			formatFloat(p.Esqr),
+			strconv.Itoa(p.SynopsisSize),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%.6g", v)
+}

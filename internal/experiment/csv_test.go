@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestCSVExports(t *testing.T) {
+	w := buildTiny(t)
+	sel := SelectivitySweep(w, []int{100}, 1)
+	met := MetricSweep(w, []int{100}, 20, 1)
+	cmp := CompressionSweep(w, []float64{0.8}, 100, 1)
+
+	var b1, b2, b3 strings.Builder
+	if err := WriteSelectivityCSV(&b1, "nitf-like", sel); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricCSV(&b2, "nitf-like", met); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompressionCSV(&b3, "nitf-like", cmp); err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{"sel": b1.String(), "met": b2.String(), "cmp": b3.String()} {
+		recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: invalid CSV: %v", name, err)
+		}
+		if len(recs) < 2 {
+			t.Fatalf("%s: no data rows", name)
+		}
+		// Every row must match the header width.
+		for i, r := range recs {
+			if len(r) != len(recs[0]) {
+				t.Fatalf("%s row %d: %d cols, want %d", name, i, len(r), len(recs[0]))
+			}
+		}
+	}
+	// Row counts: kinds — counters once + sets/hashes per size.
+	recs, _ := csv.NewReader(strings.NewReader(b1.String())).ReadAll()
+	if got := len(recs) - 1; got != 3 {
+		t.Errorf("selectivity rows = %d, want 3 (counters + sets + hashes at one size)", got)
+	}
+}

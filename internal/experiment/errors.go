@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"math"
+
+	"treesim/internal/metrics"
+	"treesim/internal/selectivity"
+)
+
+// ErelPositive is the paper's average absolute relative error over
+// positive queries:
+//
+//	Erel = (1/|SP|) Σ |P'(p) − P(p)| / P(p)
+func ErelPositive(est *selectivity.Estimator, w *Workload) float64 {
+	if len(w.Positive) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range w.Positive {
+		exact := w.ExactP(p)
+		sum += math.Abs(est.P(p)-exact) / exact
+	}
+	return sum / float64(len(w.Positive))
+}
+
+// EsqrNegative is the paper's root mean square error over negative
+// queries (whose exact selectivity is 0):
+//
+//	Esqr = sqrt((1/|SN|) Σ (P'(p) − 0)²)
+func EsqrNegative(est *selectivity.Estimator, w *Workload) float64 {
+	if len(w.Negative) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range w.Negative {
+		v := est.P(p)
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(w.Negative)))
+}
+
+// MetricErel is the paper's average absolute relative error of an
+// estimated proximity metric over pattern pairs:
+//
+//	Erel(Mi) = (1/|pairs|) Σ |M'i(p,q) − Mi(p,q)| / Mi(p,q)
+//
+// Pairs whose exact metric value is 0 have an undefined relative error
+// and are skipped; the second return value counts them.
+func MetricErel(m metrics.Metric, est metrics.Source, w *Workload, pairs []Pair) (erel float64, skipped int) {
+	exact := ExactSource{W: w}
+	sum, n := 0.0, 0
+	for _, pr := range pairs {
+		p, q := w.Positive[pr.I], w.Positive[pr.J]
+		truth := metrics.Similarity(exact, m, p, q)
+		if truth == 0 {
+			skipped++
+			continue
+		}
+		got := metrics.Similarity(est, m, p, q)
+		sum += math.Abs(got-truth) / truth
+		n++
+	}
+	if n == 0 {
+		return 0, skipped
+	}
+	return sum / float64(n), skipped
+}
+
+// The synopsis estimator must satisfy metrics.Source so estimated and
+// exact similarities share one evaluation path.
+var _ metrics.Source = (*selectivity.Estimator)(nil)

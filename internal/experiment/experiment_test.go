@@ -1,0 +1,204 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"treesim/internal/dtd"
+	"treesim/internal/matchset"
+	"treesim/internal/metrics"
+	"treesim/internal/pattern"
+	"treesim/internal/selectivity"
+)
+
+// tinyConfig keeps unit-test workloads fast.
+func tinyConfig(seed int64) WorkloadConfig {
+	return WorkloadConfig{Docs: 150, Positive: 40, Negative: 40, Seed: seed}
+}
+
+func buildTiny(t *testing.T) *Workload {
+	t.Helper()
+	return BuildWorkload(dtd.NITFLike(), tinyConfig(3))
+}
+
+func TestBuildWorkloadInvariants(t *testing.T) {
+	w := buildTiny(t)
+	if len(w.Docs) != 150 || len(w.Positive) != 40 || len(w.Negative) != 40 {
+		t.Fatalf("sizes: %d docs, %d pos, %d neg", len(w.Docs), len(w.Positive), len(w.Negative))
+	}
+	// Every positive pattern matches ≥ 1 doc; negatives match none.
+	for i, p := range w.Positive {
+		if w.MatchSets[i].Count() == 0 {
+			t.Errorf("positive pattern %d has empty match set: %s", i, p)
+		}
+	}
+	for _, p := range w.Negative {
+		for _, d := range w.Docs {
+			if pattern.Matches(d, p) {
+				t.Errorf("negative pattern matches: %s", p)
+				break
+			}
+		}
+	}
+}
+
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	a := BuildWorkload(dtd.NITFLike(), tinyConfig(9))
+	b := BuildWorkload(dtd.NITFLike(), tinyConfig(9))
+	for i := range a.Positive {
+		if a.Positive[i].String() != b.Positive[i].String() {
+			t.Fatalf("positive %d differs", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Error("stats differ across same-seed builds")
+	}
+}
+
+func TestExactSourceConsistency(t *testing.T) {
+	w := buildTiny(t)
+	src := ExactSource{W: w}
+	p, q := w.Positive[0], w.Positive[1]
+	// P(p∧q) ≤ min(P(p), P(q)).
+	and := src.PAnd(p, q)
+	if and > math.Min(src.P(p), src.P(q))+1e-12 {
+		t.Error("exact PAnd exceeds marginals")
+	}
+	// PAnd(p,p) = P(p).
+	if got := src.PAnd(p, p); math.Abs(got-src.P(p)) > 1e-12 {
+		t.Errorf("PAnd(p,p) = %v, want %v", got, src.P(p))
+	}
+}
+
+func TestErrorMetricsExactEstimatorIsZero(t *testing.T) {
+	// An unbounded Sets synopsis evaluates selectivities exactly under
+	// skeleton semantics. For workloads where skeleton and document
+	// semantics coincide on the query set, Erel is 0; in general it is
+	// the (small) skeleton gap. Assert near-zero.
+	w := buildTiny(t)
+	s := buildSynopsis(w, matchset.KindSets, 1<<20, 5)
+	est := selectivity.New(s)
+	if erel := ErelPositive(est, w); erel > 0.02 {
+		t.Errorf("Erel of exact estimator = %v, want ≈ 0 (skeleton gap only)", erel)
+	}
+	// Negative queries: skeleton semantics can only over-approximate,
+	// so Esqr may be > 0 but must be tiny.
+	if esqr := EsqrNegative(est, w); esqr > 0.05 {
+		t.Errorf("Esqr of exact estimator = %v, want ≈ 0", esqr)
+	}
+}
+
+func TestMetricErelZeroForExactSource(t *testing.T) {
+	w := buildTiny(t)
+	pairs := w.RandomPairs(100, 7)
+	for _, m := range metrics.All {
+		erel, _ := MetricErel(m, ExactSource{W: w}, w, pairs)
+		if erel != 0 {
+			t.Errorf("%s: Erel of exact source vs itself = %v, want 0", m, erel)
+		}
+	}
+}
+
+func TestSelectivitySweepShape(t *testing.T) {
+	w := buildTiny(t)
+	sizes := []int{50, 400}
+	pts := SelectivitySweep(w, sizes, 11)
+	// counters(1) + sets(2) + hashes(2)
+	if len(pts) != 5 {
+		t.Fatalf("%d points, want 5", len(pts))
+	}
+	byKind := make(map[matchset.Kind][]SelectivityPoint)
+	for _, p := range pts {
+		byKind[p.Kind] = append(byKind[p.Kind], p)
+		if p.SynopsisSize <= 0 {
+			t.Errorf("non-positive synopsis size: %+v", p)
+		}
+		if p.Erel < 0 || p.Esqr < 0 {
+			t.Errorf("negative error: %+v", p)
+		}
+	}
+	// Larger hash samples must not be (much) worse.
+	h := byKind[matchset.KindHashes]
+	if h[1].Erel > h[0].Erel+0.10 {
+		t.Errorf("hashes: error grew with size: %v -> %v", h[0].Erel, h[1].Erel)
+	}
+	// Synopsis size grows with sample size for hashes.
+	if h[1].SynopsisSize <= h[0].SynopsisSize {
+		t.Errorf("hashes synopsis size did not grow: %d -> %d", h[0].SynopsisSize, h[1].SynopsisSize)
+	}
+}
+
+func TestMetricSweepShape(t *testing.T) {
+	w := buildTiny(t)
+	pts := MetricSweep(w, []int{400}, 60, 13)
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3 (one per kind)", len(pts))
+	}
+	for _, p := range pts {
+		for _, m := range metrics.All {
+			if _, ok := p.Erel[m]; !ok {
+				t.Errorf("%v size %d missing metric %s", p.Kind, p.Size, m)
+			}
+		}
+	}
+}
+
+func TestCompressionSweepShape(t *testing.T) {
+	w := buildTiny(t)
+	pts := CompressionSweep(w, []float64{1.0, 0.5}, 400, 17)
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	if pts[1].AchievedAlpha > 0.65 {
+		t.Errorf("compression to 0.5 achieved only %v", pts[1].AchievedAlpha)
+	}
+	// Heavier compression should not improve positive-query accuracy.
+	if pts[1].Erel+0.02 < pts[0].Erel {
+		t.Errorf("compressed synopsis more accurate than uncompressed: %v vs %v",
+			pts[1].Erel, pts[0].Erel)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	w := buildTiny(t)
+	st := w.Stats()
+	if st.Docs != 150 || st.Positive != 40 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.AvgSel <= 0 || st.AvgSel > 1 {
+		t.Errorf("avg selectivity %v out of (0,1]", st.AvgSel)
+	}
+	if st.Compaction <= 0 || st.Compaction > 1 {
+		t.Errorf("compaction %v out of (0,1]", st.Compaction)
+	}
+	if !strings.Contains(st.String(), "nitf-like") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	w := buildTiny(t)
+	var sb strings.Builder
+	WriteSelectivityTable(&sb, "nitf-like", SelectivitySweep(w, []int{100}, 1))
+	WriteMetricTable(&sb, "nitf-like", MetricSweep(w, []int{100}, 20, 1))
+	WriteCompressionTable(&sb, "nitf-like", CompressionSweep(w, []float64{0.8}, 100, 1))
+	out := sb.String()
+	for _, want := range []string{"Figures 4/5/6", "Figures 7/8/9", "Figure 10", "Counters", "Hashes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRandomPairsDistinct(t *testing.T) {
+	w := buildTiny(t)
+	for _, pr := range w.RandomPairs(200, 3) {
+		if pr.I == pr.J {
+			t.Fatal("pair with identical indices")
+		}
+		if pr.I < 0 || pr.I >= len(w.Positive) || pr.J < 0 || pr.J >= len(w.Positive) {
+			t.Fatal("pair index out of range")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"treesim/internal/matchset"
+	"treesim/internal/metrics"
+	"treesim/internal/selectivity"
+	"treesim/internal/synopsis"
+)
+
+// DefaultSizes is the paper's sweep over maximum hash/set sizes
+// (Figures 4–9 sweep 50 < h,k < 10000).
+var DefaultSizes = []int{50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// DefaultAlphas is the compression-ratio sweep of Figure 10.
+var DefaultAlphas = []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
+
+// Kinds lists the three matching-set representations in paper order.
+var Kinds = []matchset.Kind{matchset.KindCounters, matchset.KindSets, matchset.KindHashes}
+
+// buildSynopsis constructs a synopsis of the given kind/size over the
+// workload corpus.
+func buildSynopsis(w *Workload, kind matchset.Kind, size int, seed int64) *synopsis.Synopsis {
+	s := synopsis.New(synopsis.Options{
+		Kind:         kind,
+		HashCapacity: size,
+		SetCapacity:  size,
+		Seed:         seed,
+	})
+	for _, d := range w.Docs {
+		s.Insert(d)
+	}
+	return s
+}
+
+// SelectivityPoint is one point of the Figure 4/5/6 series.
+type SelectivityPoint struct {
+	Kind matchset.Kind
+	// Size is the maximum hash/set size (irrelevant for counters).
+	Size int
+	// Erel is the positive-query average absolute relative error
+	// (Figure 4); Esqr the negative-query RMSE (Figure 5).
+	Erel, Esqr float64
+	// SynopsisSize is |HS| in the paper's units (Figure 6's x-axis).
+	SynopsisSize int
+}
+
+// SelectivitySweep regenerates the data behind Figures 4, 5 and 6 for
+// one workload: for every representation and size bound, the positive
+// and negative query errors and the synopsis size. Counters appear once
+// (their synopsis has no size knob).
+func SelectivitySweep(w *Workload, sizes []int, seed int64) []SelectivityPoint {
+	var out []SelectivityPoint
+	for _, kind := range Kinds {
+		ks := sizes
+		if kind == matchset.KindCounters {
+			ks = sizes[:1] // counters have no size parameter
+		}
+		for _, size := range ks {
+			s := buildSynopsis(w, kind, size, seed)
+			est := selectivity.New(s)
+			pt := SelectivityPoint{
+				Kind:         kind,
+				Size:         size,
+				Erel:         ErelPositive(est, w),
+				Esqr:         EsqrNegative(est, w),
+				SynopsisSize: s.Size(),
+			}
+			if kind == matchset.KindCounters {
+				pt.Size = 0
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// MetricPoint is one point of the Figure 7/8/9 series.
+type MetricPoint struct {
+	Kind matchset.Kind
+	Size int
+	// Erel per metric (Figures 7, 8, 9 = M1, M2, M3).
+	Erel map[metrics.Metric]float64
+	// Skipped counts pairs with exact metric 0 (undefined relative
+	// error), excluded per metric.
+	Skipped map[metrics.Metric]int
+}
+
+// MetricSweep regenerates the data behind Figures 7–9: the average
+// absolute relative error of the estimated proximity metrics M1, M2, M3
+// over random positive-pattern pairs, for every representation and size.
+func MetricSweep(w *Workload, sizes []int, nPairs int, seed int64) []MetricPoint {
+	pairs := w.RandomPairs(nPairs, seed+17)
+	var out []MetricPoint
+	for _, kind := range Kinds {
+		ks := sizes
+		if kind == matchset.KindCounters {
+			ks = sizes[:1]
+		}
+		for _, size := range ks {
+			s := buildSynopsis(w, kind, size, seed)
+			est := selectivity.New(s)
+			pt := MetricPoint{
+				Kind:    kind,
+				Size:    size,
+				Erel:    make(map[metrics.Metric]float64, 3),
+				Skipped: make(map[metrics.Metric]int, 3),
+			}
+			if kind == matchset.KindCounters {
+				pt.Size = 0
+			}
+			for _, m := range metrics.All {
+				erel, skipped := MetricErel(m, est, w, pairs)
+				pt.Erel[m] = erel
+				pt.Skipped[m] = skipped
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// CompressionPoint is one point of the Figure 10 series.
+type CompressionPoint struct {
+	// TargetAlpha and AchievedAlpha are the requested and achieved
+	// compression ratios |HcS|/|HS|.
+	TargetAlpha, AchievedAlpha float64
+	Erel, Esqr                 float64
+	SynopsisSize               int
+}
+
+// CompressionSweep regenerates Figure 10: selectivity errors on a
+// Hashes synopsis (h = hashSize, the paper uses 1000) compressed to a
+// range of ratios α. Each point rebuilds the synopsis from the corpus
+// and compresses it with the paper's operation order.
+func CompressionSweep(w *Workload, alphas []float64, hashSize int, seed int64) []CompressionPoint {
+	var out []CompressionPoint
+	for _, alpha := range alphas {
+		s := buildSynopsis(w, matchset.KindHashes, hashSize, seed)
+		achieved := 1.0
+		if alpha < 1 {
+			achieved = s.Compress(synopsis.CompressOptions{TargetRatio: alpha})
+		} else {
+			// α = 1: lossless folds only.
+			achieved = s.Compress(synopsis.CompressOptions{TargetRatio: 1})
+		}
+		est := selectivity.New(s)
+		out = append(out, CompressionPoint{
+			TargetAlpha:   alpha,
+			AchievedAlpha: achieved,
+			Erel:          ErelPositive(est, w),
+			Esqr:          EsqrNegative(est, w),
+			SynopsisSize:  s.Size(),
+		})
+	}
+	return out
+}
+
+// WriteSelectivityTable renders Figure 4/5/6 data.
+func WriteSelectivityTable(out io.Writer, dtdName string, pts []SelectivityPoint) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# Figures 4/5/6 — selectivity estimation error (%s)\n", dtdName)
+	fmt.Fprintln(tw, "representation\tmax size\tErel(+) %\tlog10 Esqr(-)\t|HS|")
+	for _, p := range pts {
+		size := fmt.Sprintf("%d", p.Size)
+		if p.Size == 0 {
+			size = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%d\n",
+			p.Kind, size, 100*p.Erel, logOrDash(p.Esqr), p.SynopsisSize)
+	}
+	tw.Flush()
+}
+
+// WriteMetricTable renders Figure 7/8/9 data.
+func WriteMetricTable(out io.Writer, dtdName string, pts []MetricPoint) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# Figures 7/8/9 — proximity metric error (%s)\n", dtdName)
+	fmt.Fprintln(tw, "representation\tmax size\tErel(M1) %\tErel(M2) %\tErel(M3) %")
+	for _, p := range pts {
+		size := fmt.Sprintf("%d", p.Size)
+		if p.Size == 0 {
+			size = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\n",
+			p.Kind, size, 100*p.Erel[metrics.M1], 100*p.Erel[metrics.M2], 100*p.Erel[metrics.M3])
+	}
+	tw.Flush()
+}
+
+// WriteCompressionTable renders Figure 10 data.
+func WriteCompressionTable(out io.Writer, dtdName string, pts []CompressionPoint) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# Figure 10 — compressed synopsis (%s, Hashes)\n", dtdName)
+	fmt.Fprintln(tw, "target α\tachieved α\tErel(+) %\tlog10 Esqr(-)\t|HcS|")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.2f\t%s\t%d\n",
+			p.TargetAlpha, p.AchievedAlpha, 100*p.Erel, logOrDash(p.Esqr), p.SynopsisSize)
+	}
+	tw.Flush()
+}
+
+func logOrDash(v float64) string {
+	if v <= 0 {
+		return "-inf (0)"
+	}
+	return fmt.Sprintf("%.2f", math.Log10(v))
+}

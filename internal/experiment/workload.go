@@ -1,0 +1,224 @@
+// Package experiment reproduces the paper's evaluation (Section 5): it
+// builds document corpora and classified query workloads from the two
+// schema stand-ins, computes exact ground truth with the formal matcher,
+// and regenerates every figure — selectivity error sweeps (Figures 4–6),
+// proximity-metric error sweeps (Figures 7–9) and the compression study
+// (Figure 10) — plus the workload statistics of Section 5.1.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesim/internal/bitset"
+	"treesim/internal/dtd"
+	"treesim/internal/matching"
+	"treesim/internal/pattern"
+	"treesim/internal/querygen"
+	"treesim/internal/xmlgen"
+	"treesim/internal/xmltree"
+)
+
+// WorkloadConfig sizes a workload. The paper's full scale is Docs=10000,
+// Positive=Negative=1000, Pairs=5000; the defaults here are a laptop
+// scale that preserves every qualitative result.
+type WorkloadConfig struct {
+	// Docs is the corpus size |D|.
+	Docs int
+	// Positive and Negative are the SP / SN workload sizes.
+	Positive, Negative int
+	// TargetTagPairs calibrates document size (paper: ~100).
+	TargetTagPairs int
+	// QueryOpts defaults to the paper's parameters (h=10, p*=0.1,
+	// p//=0.1, pλ=0.1, θ=1) when zero.
+	QueryOpts querygen.Options
+	// Seed derives all workload randomness.
+	Seed int64
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Docs == 0 {
+		c.Docs = 2000
+	}
+	if c.Positive == 0 {
+		c.Positive = 300
+	}
+	if c.Negative == 0 {
+		c.Negative = 300
+	}
+	if c.TargetTagPairs == 0 {
+		c.TargetTagPairs = 100
+	}
+	if c.QueryOpts.MaxHeight == 0 {
+		c.QueryOpts = querygen.Defaults(c.Seed + 1)
+	}
+	return c
+}
+
+// Workload bundles a corpus, its classified query sets and exact ground
+// truth for one DTD.
+type Workload struct {
+	DTD    *dtd.DTD
+	Config WorkloadConfig
+	Docs   []*xmltree.Tree
+	// Positive (SP) patterns match ≥ 1 document; Negative (SN) match
+	// none.
+	Positive, Negative []*pattern.Pattern
+	// MatchSets holds, for each positive pattern, the exact set of
+	// matching document indices.
+	MatchSets []*bitset.Set
+
+	posIndex map[*pattern.Pattern]int
+}
+
+// BuildWorkload generates documents and queries for the DTD and computes
+// exact ground truth. Deterministic in (DTD, config).
+func BuildWorkload(d *dtd.DTD, cfg WorkloadConfig) *Workload {
+	cfg = cfg.withDefaults()
+	genOpts := xmlgen.Calibrate(d, cfg.TargetTagPairs, cfg.Seed)
+	docs := xmlgen.New(d, genOpts).GenerateN(cfg.Docs)
+	qg := querygen.New(d, cfg.QueryOpts)
+	cls := qg.ClassifyWorkload(docs, cfg.Positive, cfg.Negative)
+
+	w := &Workload{
+		DTD:      d,
+		Config:   cfg,
+		Docs:     docs,
+		Positive: cls.Positive,
+		Negative: cls.Negative,
+		posIndex: make(map[*pattern.Pattern]int, len(cls.Positive)),
+	}
+	// Exact match sets via the filtering engine (prefilter + exact
+	// matcher): iterate documents once, matching all positives.
+	eng := matching.NewEngine(w.Positive)
+	w.MatchSets = make([]*bitset.Set, len(w.Positive))
+	for i := range w.MatchSets {
+		w.MatchSets[i] = bitset.New(len(docs))
+	}
+	for di, doc := range docs {
+		for _, pi := range eng.Match(doc) {
+			w.MatchSets[pi].Add(di)
+		}
+	}
+	for i, p := range w.Positive {
+		w.posIndex[p] = i
+	}
+	return w
+}
+
+// ExactP returns the exact selectivity of a positive pattern.
+func (w *Workload) ExactP(p *pattern.Pattern) float64 {
+	i, ok := w.posIndex[p]
+	if !ok {
+		panic("experiment: pattern is not part of the positive workload")
+	}
+	return float64(w.MatchSets[i].Count()) / float64(len(w.Docs))
+}
+
+// ExactPAnd returns the exact conjunction probability of two positive
+// patterns.
+func (w *Workload) ExactPAnd(p, q *pattern.Pattern) float64 {
+	i, ok := w.posIndex[p]
+	j, ok2 := w.posIndex[q]
+	if !ok || !ok2 {
+		panic("experiment: pattern is not part of the positive workload")
+	}
+	return float64(w.MatchSets[i].AndCount(w.MatchSets[j])) / float64(len(w.Docs))
+}
+
+// ExactSource adapts the workload's ground truth to the metrics.Source
+// interface.
+type ExactSource struct{ W *Workload }
+
+// P returns the exact selectivity.
+func (s ExactSource) P(p *pattern.Pattern) float64 { return s.W.ExactP(p) }
+
+// PAnd returns the exact conjunction probability.
+func (s ExactSource) PAnd(p, q *pattern.Pattern) float64 { return s.W.ExactPAnd(p, q) }
+
+// Pair indexes a pattern pair within the positive workload.
+type Pair struct{ I, J int }
+
+// RandomPairs draws n random ordered pairs of distinct positive
+// patterns (the paper evaluates metrics over 5000 random SP pairs).
+func (w *Workload) RandomPairs(n int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pair, 0, n)
+	for len(out) < n {
+		i := rng.Intn(len(w.Positive))
+		j := rng.Intn(len(w.Positive))
+		if i != j {
+			out = append(out, Pair{i, j})
+		}
+	}
+	return out
+}
+
+// WorkloadStats reports the Section 5.1 workload characteristics.
+type WorkloadStats struct {
+	DTDName    string
+	Elements   int
+	Docs       int
+	MeanTags   float64
+	MaxDepth   int
+	Positive   int
+	Negative   int
+	AvgSel     float64 // average selectivity of SP patterns
+	MinSel     float64
+	MaxSel     float64
+	Compaction float64 // synopsis structural nodes / total corpus tags
+}
+
+// Stats computes the workload summary. Compaction is the ratio of
+// distinct skeleton label paths (synopsis nodes) to total corpus tag
+// count, the paper's "document compaction ratio".
+func (w *Workload) Stats() WorkloadStats {
+	st := WorkloadStats{
+		DTDName:  w.DTD.Name,
+		Elements: w.DTD.Len(),
+		Docs:     len(w.Docs),
+		Positive: len(w.Positive),
+		Negative: len(w.Negative),
+		MinSel:   1,
+	}
+	totalTags := 0
+	paths := make(map[string]struct{})
+	for _, d := range w.Docs {
+		totalTags += d.TagPairs()
+		if dep := d.Depth(); dep > st.MaxDepth {
+			st.MaxDepth = dep
+		}
+		for _, p := range xmltree.Skeleton(d).LabelPaths() {
+			paths[p] = struct{}{}
+		}
+	}
+	st.MeanTags = float64(totalTags) / float64(len(w.Docs))
+	if totalTags > 0 {
+		st.Compaction = float64(len(paths)) / float64(totalTags)
+	}
+	var sum float64
+	for i := range w.Positive {
+		sel := float64(w.MatchSets[i].Count()) / float64(len(w.Docs))
+		sum += sel
+		if sel < st.MinSel {
+			st.MinSel = sel
+		}
+		if sel > st.MaxSel {
+			st.MaxSel = sel
+		}
+	}
+	if len(w.Positive) > 0 {
+		st.AvgSel = sum / float64(len(w.Positive))
+	} else {
+		st.MinSel = 0
+	}
+	return st
+}
+
+func (st WorkloadStats) String() string {
+	return fmt.Sprintf(
+		"%s: %d elements, %d docs (mean %.1f tags, depth ≤ %d), SP=%d SN=%d, selectivity avg=%.2f%% min=%.2f%% max=%.2f%%, compaction=%.4f%%",
+		st.DTDName, st.Elements, st.Docs, st.MeanTags, st.MaxDepth,
+		st.Positive, st.Negative, 100*st.AvgSel, 100*st.MinSel, 100*st.MaxSel,
+		100*st.Compaction)
+}

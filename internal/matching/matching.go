@@ -1,0 +1,154 @@
+// Package matching is the multi-subscription XML filtering engine the
+// routing substrate uses: it matches each incoming document against a
+// large set of tree-pattern subscriptions. A required-tag prefilter
+// (every concrete tag in a pattern must occur in a matching document)
+// narrows the candidate set before the exact matcher runs, in the spirit
+// of the filtering engines the paper cites (XFilter/YFilter/XTrie).
+package matching
+
+import (
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+// Engine filters documents against a registered subscription set.
+type Engine struct {
+	patterns []*pattern.Pattern
+	// required holds each pattern's concrete tag set.
+	required [][]string
+	// byTag buckets pattern indices by one designated required tag (the
+	// lexicographically greatest, an arbitrary deterministic choice);
+	// patterns with no concrete tags are always candidates.
+	byTag      map[string][]int
+	unfiltered []int
+
+	// statCandidates / statMatched track prefilter effectiveness.
+	statCandidates int
+	statMatched    int
+	statDocs       int
+}
+
+// NewEngine returns an engine over the given subscriptions (the slice is
+// not retained; patterns are).
+func NewEngine(patterns []*pattern.Pattern) *Engine {
+	e := &Engine{byTag: make(map[string][]int)}
+	for _, p := range patterns {
+		e.Add(p)
+	}
+	return e
+}
+
+// Add registers a subscription and returns its index.
+func (e *Engine) Add(p *pattern.Pattern) int {
+	idx := len(e.patterns)
+	e.patterns = append(e.patterns, p)
+	tags := requiredTags(p)
+	e.required = append(e.required, tags)
+	if len(tags) == 0 {
+		e.unfiltered = append(e.unfiltered, idx)
+	} else {
+		// tags is sorted; bucket by the last (rarest tags tend to be
+		// deep/specific, and "greatest" is a deterministic stand-in
+		// without corpus statistics).
+		key := tags[len(tags)-1]
+		e.byTag[key] = append(e.byTag[key], idx)
+	}
+	return idx
+}
+
+// Len returns the number of registered subscriptions.
+func (e *Engine) Len() int { return len(e.patterns) }
+
+// Pattern returns the subscription at index i.
+func (e *Engine) Pattern(i int) *pattern.Pattern { return e.patterns[i] }
+
+// Match returns the indices of all subscriptions the document satisfies,
+// in increasing order.
+func (e *Engine) Match(t *xmltree.Tree) []int {
+	e.statDocs++
+	present := docTags(t)
+	var out []int
+	consider := func(idx int) {
+		for _, tag := range e.required[idx] {
+			if _, ok := present[tag]; !ok {
+				return
+			}
+		}
+		e.statCandidates++
+		if pattern.Matches(t, e.patterns[idx]) {
+			e.statMatched++
+			out = append(out, idx)
+		}
+	}
+	for _, idx := range e.unfiltered {
+		consider(idx)
+	}
+	for tag := range present {
+		for _, idx := range e.byTag[tag] {
+			consider(idx)
+		}
+	}
+	// Bucketing by a single tag yields each candidate at most once (a
+	// pattern lives in exactly one bucket), so no dedupe is needed —
+	// only ordering.
+	insertionSort(out)
+	return out
+}
+
+// Stats reports prefilter effectiveness counters: documents processed,
+// exact-match candidate evaluations, and successful matches.
+func (e *Engine) Stats() (docs, candidates, matched int) {
+	return e.statDocs, e.statCandidates, e.statMatched
+}
+
+// requiredTags returns the sorted set of concrete tags in p. Any
+// matching document must contain every one of them.
+func requiredTags(p *pattern.Pattern) []string {
+	set := make(map[string]struct{})
+	var rec func(n *pattern.Node)
+	rec = func(n *pattern.Node) {
+		switch n.Label {
+		case pattern.Root, pattern.Wildcard, pattern.Descendant:
+		default:
+			set[n.Label] = struct{}{}
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	out := make([]string, 0, len(set))
+	for tag := range set {
+		out = append(out, tag)
+	}
+	// Insertion sort keeps this allocation-light for small sets.
+	insertionSortStrings(out)
+	return out
+}
+
+func docTags(t *xmltree.Tree) map[string]struct{} {
+	set := make(map[string]struct{})
+	if t != nil && t.Root != nil {
+		t.Root.Walk(func(n *xmltree.Node) bool {
+			set[n.Label] = struct{}{}
+			return true
+		})
+	}
+	return set
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func insertionSortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package matching
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+func TestEngineMatchesExactly(t *testing.T) {
+	pats := []*pattern.Pattern{
+		pattern.MustParse("/a/b"),
+		pattern.MustParse("//c"),
+		pattern.MustParse("/a[b][c]"),
+		pattern.MustParse("/x"),
+		pattern.MustParse("/*"),
+	}
+	eng := NewEngine(pats)
+	doc, _ := xmltree.ParseCompact("a(b,c)")
+	got := eng.Match(&xmltree.Tree{Root: doc.Root})
+	want := []int{0, 1, 2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Match = %v, want %v", got, want)
+	}
+}
+
+func TestEngineAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	labels := []string{"a", "b", "c", "d"}
+	var randDoc func(depth int) *xmltree.Node
+	randDoc = func(depth int) *xmltree.Node {
+		n := &xmltree.Node{Label: labels[rng.Intn(len(labels))]}
+		if depth < 4 {
+			for i := 0; i < rng.Intn(3); i++ {
+				n.Children = append(n.Children, randDoc(depth+1))
+			}
+		}
+		return n
+	}
+	pats := []*pattern.Pattern{
+		pattern.MustParse("/a"), pattern.MustParse("/a/b"), pattern.MustParse("//c"),
+		pattern.MustParse("//b[c]"), pattern.MustParse("/a[b][c]"), pattern.MustParse("/*/d"),
+		pattern.MustParse("//a//d"), pattern.MustParse("/b/*"), pattern.MustParse("//d[a][b]"),
+	}
+	eng := NewEngine(pats)
+	for trial := 0; trial < 300; trial++ {
+		doc := &xmltree.Tree{Root: randDoc(1)}
+		got := eng.Match(doc)
+		var want []int
+		for i, p := range pats {
+			if pattern.Matches(doc, p) {
+				want = append(want, i)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("doc %s: Match = %v, brute force = %v", doc, got, want)
+		}
+	}
+}
+
+func TestPrefilterReducesCandidates(t *testing.T) {
+	// Patterns over disjoint tag vocabularies: a document with only
+	// tags {a,b} should never evaluate the x/y/z patterns.
+	var pats []*pattern.Pattern
+	for _, s := range []string{"/a/b", "/x/y", "//z", "/x[y][z]"} {
+		pats = append(pats, pattern.MustParse(s))
+	}
+	eng := NewEngine(pats)
+	doc, _ := xmltree.ParseCompact("a(b)")
+	eng.Match(doc)
+	docs, cands, matched := eng.Stats()
+	if docs != 1 {
+		t.Errorf("docs = %d", docs)
+	}
+	if cands != 1 {
+		t.Errorf("candidates = %d, want 1 (only /a/b shares tags)", cands)
+	}
+	if matched != 1 {
+		t.Errorf("matched = %d, want 1", matched)
+	}
+}
+
+func TestUnfilteredPatterns(t *testing.T) {
+	// Pure wildcard/descendant patterns have no required tags and must
+	// always be considered.
+	eng := NewEngine([]*pattern.Pattern{pattern.MustParse("/*"), pattern.MustParse("//*")})
+	doc, _ := xmltree.ParseCompact("whatever(child)")
+	got := eng.Match(doc)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Match = %v, want [0 1]", got)
+	}
+}
+
+func TestAddIncremental(t *testing.T) {
+	eng := NewEngine(nil)
+	if eng.Len() != 0 {
+		t.Fatal("new engine not empty")
+	}
+	i0 := eng.Add(pattern.MustParse("/a"))
+	i1 := eng.Add(pattern.MustParse("/b"))
+	if i0 != 0 || i1 != 1 || eng.Len() != 2 {
+		t.Errorf("Add indices %d,%d len %d", i0, i1, eng.Len())
+	}
+	if eng.Pattern(1).String() != "/b" {
+		t.Errorf("Pattern(1) = %s", eng.Pattern(1))
+	}
+	doc, _ := xmltree.ParseCompact("b")
+	if got := eng.Match(doc); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Match = %v", got)
+	}
+}

@@ -1,0 +1,80 @@
+package matchset
+
+// counterStore is the Counters representation: one float64 count of the
+// documents containing the node. Unlike Sets/Hashes stores, counter
+// stores hold the *full* matching-set cardinality (the synopsis
+// increments every node on a document's skeleton paths), because counts
+// cannot be recovered by unioning descendant counts.
+type counterStore struct {
+	f *Factory
+	c float64
+}
+
+func (s *counterStore) Kind() Kind { return KindCounters }
+
+func (s *counterStore) Add(id uint64) { s.c++ }
+
+func (s *counterStore) Remove(id uint64) {
+	panic("matchset: counters do not support removal")
+}
+
+func (s *counterStore) Value() Value { return countValue{c: s.c, n: s.f.totalDocs} }
+
+func (s *counterStore) Entries() int { return 1 }
+
+func (s *counterStore) SetTo(v Value) {
+	cv, ok := v.(countValue)
+	if !ok {
+		panic(kindMismatch(s.Value(), v))
+	}
+	s.c = cv.c
+}
+
+// countValue evaluates the SEL set algebra in "estimated count" space
+// under independence assumptions (paper, Section 4): union is max,
+// intersection is the product of the corresponding probabilities scaled
+// back to a count: c1·c2 / |H|.
+type countValue struct {
+	c float64
+	n func() float64
+}
+
+func (v countValue) Kind() Kind    { return KindCounters }
+func (v countValue) Card() float64 { return v.c }
+func (v countValue) IsZero() bool  { return v.c == 0 }
+
+func (v countValue) Union(o Value) Value {
+	ov, ok := o.(countValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	out := v
+	if ov.c > out.c {
+		out.c = ov.c
+	}
+	if out.n == nil {
+		out.n = ov.n
+	}
+	return out
+}
+
+func (v countValue) Intersect(o Value) Value {
+	ov, ok := o.(countValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	n := v.n
+	if n == nil {
+		n = ov.n
+	}
+	total := 0.0
+	if n != nil {
+		total = n()
+	}
+	if total == 0 {
+		return countValue{c: 0, n: n}
+	}
+	return countValue{c: v.c * ov.c / total, n: n}
+}
+
+func (s *counterStore) Dump() Dump { return Dump{Kind: KindCounters, Counter: s.c} }

@@ -1,0 +1,142 @@
+package matchset
+
+import "treesim/internal/sampling"
+
+// hashStore is the Hashes representation: a bounded per-node distinct
+// sample of the documents whose skeleton paths end at the node.
+type hashStore struct {
+	f *Factory
+	s *sampling.DistinctSample
+}
+
+func (s *hashStore) Kind() Kind { return KindHashes }
+
+func (s *hashStore) Add(id uint64) { s.s.Add(id) }
+
+func (s *hashStore) Remove(id uint64) { s.s.Remove(id) }
+
+func (s *hashStore) Value() Value {
+	if s.s.Size() == 0 && s.s.Level() == 0 {
+		return hashValue{hasher: s.f.hasher}
+	}
+	ids := make(map[uint64]struct{}, s.s.Size())
+	for _, x := range s.s.IDs() {
+		ids[x] = struct{}{}
+	}
+	return hashValue{level: s.s.Level(), ids: ids, hasher: s.f.hasher}
+}
+
+func (s *hashStore) Entries() int { return s.s.Size() }
+
+func (s *hashStore) SetTo(v Value) {
+	hv, ok := v.(hashValue)
+	if !ok {
+		panic(kindMismatch(s.Value(), v))
+	}
+	ns := sampling.NewDistinctSample(s.f.hasher, s.f.capacity)
+	// Re-inserting IDs reconstructs the sample; the level can only grow
+	// back to hv.level or beyond (capacity pressure), never shrink below
+	// the IDs' own levels, so the estimate stays consistent.
+	for x := range hv.ids {
+		ns.Add(x)
+	}
+	// The rebuilt sample must not claim a sampling rate higher than the
+	// value it came from: force the level up to hv.level if needed.
+	ns.ForceLevel(hv.level)
+	s.s = ns
+}
+
+// hashValue is an immutable distinct-sample view: the identifiers
+// retained at the given sampling level. Query-time unions and
+// intersections are not capacity-bounded (unlike store maintenance),
+// which only improves accuracy; levels still combine by max as required
+// for correctness.
+type hashValue struct {
+	level  int
+	ids    map[uint64]struct{}
+	hasher *sampling.Hasher
+}
+
+func (v hashValue) Kind() Kind   { return KindHashes }
+func (v hashValue) IsZero() bool { return len(v.ids) == 0 }
+
+func (v hashValue) Card() float64 {
+	return float64(len(v.ids)) * float64(uint64(1)<<uint(v.level))
+}
+
+func (v hashValue) Union(o Value) Value {
+	ov, ok := o.(hashValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	if len(v.ids) == 0 && v.level <= ov.level {
+		return ov
+	}
+	if len(ov.ids) == 0 && ov.level <= v.level {
+		return v
+	}
+	h := v.hasher
+	if h == nil {
+		h = ov.hasher
+	}
+	l := v.level
+	if ov.level > l {
+		l = ov.level
+	}
+	out := make(map[uint64]struct{}, len(v.ids)+len(ov.ids))
+	for x := range v.ids {
+		if h.Level(x) >= l {
+			out[x] = struct{}{}
+		}
+	}
+	for x := range ov.ids {
+		if h.Level(x) >= l {
+			out[x] = struct{}{}
+		}
+	}
+	return hashValue{level: l, ids: out, hasher: h}
+}
+
+func (v hashValue) Intersect(o Value) Value {
+	ov, ok := o.(hashValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	h := v.hasher
+	if h == nil {
+		h = ov.hasher
+	}
+	l := v.level
+	if ov.level > l {
+		l = ov.level
+	}
+	small, big := v.ids, ov.ids
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	out := make(map[uint64]struct{}, len(small))
+	for x := range small {
+		if h != nil && h.Level(x) < l {
+			continue
+		}
+		if _, ok := big[x]; ok {
+			out[x] = struct{}{}
+		}
+	}
+	return hashValue{level: l, ids: out, hasher: h}
+}
+
+// NewHashValue builds a Hashes-kind value directly; exported for tests.
+func NewHashValue(hasher *sampling.Hasher, level int, ids ...uint64) Value {
+	m := make(map[uint64]struct{}, len(ids))
+	for _, x := range ids {
+		if hasher.Level(x) >= level {
+			m[x] = struct{}{}
+		}
+	}
+	return hashValue{level: level, ids: m, hasher: hasher}
+}
+
+func (s *hashStore) Dump() Dump {
+	return Dump{Kind: KindHashes, Level: s.s.Level(), IDs: s.s.IDs()}
+}

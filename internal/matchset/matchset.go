@@ -1,0 +1,195 @@
+// Package matchset implements the three matching-set representations of
+// the paper (Section 3.2) behind a common interface:
+//
+//   - Counters: a per-node document count. Selectivity evaluation runs
+//     under independence assumptions — union becomes max, intersection
+//     becomes product (the baseline of Chan et al., VLDB'02).
+//   - Sets: plain document-identifier sets, bounded globally by
+//     document-level reservoir sampling (Vitter).
+//   - Hashes: per-node bounded distinct samples (Gibbons) supporting
+//     principled union/intersection/cardinality estimation (Ganguly et
+//     al.).
+//
+// A Store is the mutable per-synopsis-node representation; a Value is an
+// immutable query-time snapshot with set algebra, consumed by the SEL
+// selectivity algorithm. Values alias store internals for efficiency and
+// are invalidated by any synopsis mutation (the synopsis tracks a
+// version stamp for exactly this reason).
+package matchset
+
+import (
+	"fmt"
+
+	"treesim/internal/sampling"
+)
+
+// Kind selects a matching-set representation.
+type Kind int
+
+const (
+	// KindCounters stores one counter per node.
+	KindCounters Kind = iota
+	// KindSets stores exact ID sets over a reservoir-sampled document
+	// stream.
+	KindSets
+	// KindHashes stores bounded distinct samples per node.
+	KindHashes
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounters:
+		return "Counters"
+	case KindSets:
+		return "Sets"
+	case KindHashes:
+		return "Hashes"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is an immutable query-time matching set. Implementations must
+// never mutate their receivers or arguments; Union and Intersect return
+// fresh (or safely aliased) values. Mixing Values of different kinds
+// panics — it always indicates a bug.
+type Value interface {
+	// Kind identifies the representation.
+	Kind() Kind
+	// Union returns the union (counters: max).
+	Union(Value) Value
+	// Intersect returns the intersection (counters: product).
+	Intersect(Value) Value
+	// Card estimates the cardinality of the underlying document set.
+	Card() float64
+	// IsZero reports whether the value is known to be empty. Zero values
+	// short-circuit unions and intersections in SEL.
+	IsZero() bool
+}
+
+// Store is the mutable matching-set state attached to a synopsis node.
+type Store interface {
+	// Kind identifies the representation.
+	Kind() Kind
+	// Add records that the document with the given identifier matched.
+	Add(id uint64)
+	// Remove forgets a document (reservoir eviction). Counters do not
+	// support removal and panic.
+	Remove(id uint64)
+	// Value snapshots the store as an immutable query value.
+	Value() Value
+	// Entries returns the number of stored entries for the paper's
+	// synopsis size accounting (counters count as one entry).
+	Entries() int
+	// SetTo replaces the stored contents with the given value, applying
+	// the store's capacity bound. Used by the pruning operations.
+	SetTo(v Value)
+	// Dump snapshots the store for serialization; Factory.Restore
+	// rebuilds an equivalent store from it.
+	Dump() Dump
+}
+
+// Dump is a serializable snapshot of a Store. Exactly the fields
+// relevant to the store's kind are populated.
+type Dump struct {
+	// Kind identifies the representation.
+	Kind Kind
+	// Counter is the count (Counters only).
+	Counter float64
+	// Level is the distinct-sampling level (Hashes only).
+	Level int
+	// IDs are the retained document identifiers (Sets and Hashes).
+	IDs []uint64
+}
+
+// Factory builds stores and empty values for one representation with
+// shared configuration (hash function, capacities, stream length).
+type Factory struct {
+	kind Kind
+	// capacity bounds per-node samples (Hashes). Sets are bounded
+	// globally by the reservoir, Counters need no bound.
+	capacity int
+	hasher   *sampling.Hasher
+	// totalDocs reports the current stream length |H|; counter values
+	// need it to normalize intersections (product in probability space).
+	totalDocs func() float64
+}
+
+// NewFactory returns a factory for the given kind.
+//
+//   - KindCounters requires totalDocs.
+//   - KindSets requires nothing extra (capacity ignored).
+//   - KindHashes requires hasher and capacity ≥ 1.
+func NewFactory(kind Kind, capacity int, hasher *sampling.Hasher, totalDocs func() float64) *Factory {
+	switch kind {
+	case KindCounters:
+		if totalDocs == nil {
+			panic("matchset: counters require a totalDocs source")
+		}
+	case KindHashes:
+		if hasher == nil || capacity < 1 {
+			panic("matchset: hashes require a hasher and capacity >= 1")
+		}
+	case KindSets:
+		// nothing
+	default:
+		panic(fmt.Sprintf("matchset: unknown kind %d", int(kind)))
+	}
+	return &Factory{kind: kind, capacity: capacity, hasher: hasher, totalDocs: totalDocs}
+}
+
+// Kind returns the representation this factory builds.
+func (f *Factory) Kind() Kind { return f.kind }
+
+// NewStore returns an empty store.
+func (f *Factory) NewStore() Store {
+	switch f.kind {
+	case KindCounters:
+		return &counterStore{f: f}
+	case KindSets:
+		return &setStore{ids: make(map[uint64]struct{})}
+	default:
+		return &hashStore{f: f, s: sampling.NewDistinctSample(f.hasher, f.capacity)}
+	}
+}
+
+// Restore rebuilds a store from a Dump produced by a store of the same
+// kind. It panics on kind mismatch.
+func (f *Factory) Restore(d Dump) Store {
+	if d.Kind != f.kind {
+		panic(fmt.Sprintf("matchset: restore kind %s into factory of kind %s", d.Kind, f.kind))
+	}
+	switch f.kind {
+	case KindCounters:
+		return &counterStore{f: f, c: d.Counter}
+	case KindSets:
+		s := &setStore{ids: make(map[uint64]struct{}, len(d.IDs))}
+		for _, x := range d.IDs {
+			s.ids[x] = struct{}{}
+		}
+		return s
+	default:
+		hs := &hashStore{f: f, s: sampling.NewDistinctSample(f.hasher, f.capacity)}
+		for _, x := range d.IDs {
+			hs.s.Add(x)
+		}
+		hs.s.ForceLevel(d.Level)
+		return hs
+	}
+}
+
+// EmptyValue returns the empty query value of this representation.
+func (f *Factory) EmptyValue() Value {
+	switch f.kind {
+	case KindCounters:
+		return countValue{c: 0, n: f.totalDocs}
+	case KindSets:
+		return setValue{}
+	default:
+		return hashValue{}
+	}
+}
+
+func kindMismatch(a, b Value) string {
+	return fmt.Sprintf("matchset: mixed value kinds %s and %s", a.Kind(), b.Kind())
+}

@@ -1,0 +1,112 @@
+package matchset
+
+// setStore is the Sets representation: an exact set of document
+// identifiers. Bounding happens globally, at the document level, via the
+// reservoir owned by the synopsis: the store itself is unbounded but
+// only ever holds identifiers of currently sampled documents.
+type setStore struct {
+	ids map[uint64]struct{}
+}
+
+func (s *setStore) Kind() Kind { return KindSets }
+
+func (s *setStore) Add(id uint64) { s.ids[id] = struct{}{} }
+
+func (s *setStore) Remove(id uint64) { delete(s.ids, id) }
+
+func (s *setStore) Value() Value {
+	if len(s.ids) == 0 {
+		return setValue{}
+	}
+	return setValue{ids: s.ids}
+}
+
+func (s *setStore) Entries() int { return len(s.ids) }
+
+func (s *setStore) SetTo(v Value) {
+	sv, ok := v.(setValue)
+	if !ok {
+		panic(kindMismatch(s.Value(), v))
+	}
+	s.ids = make(map[uint64]struct{}, len(sv.ids))
+	for x := range sv.ids {
+		s.ids[x] = struct{}{}
+	}
+}
+
+// setValue is an immutable view of an ID set. A nil map is the empty
+// set. Union and Intersect never mutate; when a result equals one of the
+// operands it may alias that operand's map.
+type setValue struct {
+	ids map[uint64]struct{}
+}
+
+func (v setValue) Kind() Kind    { return KindSets }
+func (v setValue) Card() float64 { return float64(len(v.ids)) }
+func (v setValue) IsZero() bool  { return len(v.ids) == 0 }
+
+// Contains is used by tests and by exact-mode verification.
+func (v setValue) Contains(x uint64) bool {
+	_, ok := v.ids[x]
+	return ok
+}
+
+func (v setValue) Union(o Value) Value {
+	ov, ok := o.(setValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	if len(v.ids) == 0 {
+		return ov
+	}
+	if len(ov.ids) == 0 {
+		return v
+	}
+	out := make(map[uint64]struct{}, len(v.ids)+len(ov.ids))
+	for x := range v.ids {
+		out[x] = struct{}{}
+	}
+	for x := range ov.ids {
+		out[x] = struct{}{}
+	}
+	return setValue{ids: out}
+}
+
+func (v setValue) Intersect(o Value) Value {
+	ov, ok := o.(setValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	small, big := v.ids, ov.ids
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	if len(small) == 0 {
+		return setValue{}
+	}
+	out := make(map[uint64]struct{}, len(small))
+	for x := range small {
+		if _, ok := big[x]; ok {
+			out[x] = struct{}{}
+		}
+	}
+	return setValue{ids: out}
+}
+
+// NewSetValue builds a Sets-kind value from explicit identifiers; it is
+// exported for tests and for exact ground-truth evaluation.
+func NewSetValue(ids ...uint64) Value {
+	m := make(map[uint64]struct{}, len(ids))
+	for _, x := range ids {
+		m[x] = struct{}{}
+	}
+	return setValue{ids: m}
+}
+
+func (s *setStore) Dump() Dump {
+	ids := make([]uint64, 0, len(s.ids))
+	for x := range s.ids {
+		ids = append(ids, x)
+	}
+	return Dump{Kind: KindSets, IDs: ids}
+}

@@ -1,0 +1,101 @@
+// Package metrics implements the paper's tree-pattern proximity metrics
+// (Section 4):
+//
+//	M1(p,q) = P(p|q) = P(p∧q)/P(q)                      (asymmetric)
+//	M2(p,q) = (P(p|q) + P(q|p)) / 2                      (symmetric)
+//	M3(p,q) = P(p∧q) / P(p∨q)                            (symmetric)
+//
+// The formulas are evaluated over any probability source — the synopsis
+// estimator or exact ground truth — so estimated and true similarities
+// share one code path.
+package metrics
+
+import (
+	"fmt"
+
+	"treesim/internal/pattern"
+)
+
+// Metric identifies a proximity metric.
+type Metric int
+
+const (
+	// M1 is the conditional probability P(p|q).
+	M1 Metric = iota + 1
+	// M2 is the mean of the two conditional probabilities.
+	M2
+	// M3 is the ratio of the joint probability to the union probability
+	// (the Jaccard coefficient of the match sets).
+	M3
+)
+
+func (m Metric) String() string {
+	switch m {
+	case M1:
+		return "M1"
+	case M2:
+		return "M2"
+	case M3:
+		return "M3"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// All lists the three metrics in paper order.
+var All = []Metric{M1, M2, M3}
+
+// Symmetric reports whether the metric is symmetric in its arguments.
+func (m Metric) Symmetric() bool { return m == M2 || m == M3 }
+
+// Probs carries the three probabilities needed to evaluate any of the
+// metrics for a pattern pair (p, q).
+type Probs struct {
+	// P is P(p), Q is P(q), And is P(p ∧ q).
+	P, Q, And float64
+}
+
+// Eval computes the metric from the probabilities. Conventions for
+// degenerate inputs: a conditional with zero condition probability is 0,
+// and M3 with an empty union is 0. Estimated probabilities are not
+// clamped: if the estimator claims P(p∧q) > P(q), M1 exceeds 1 and the
+// error metrics will duly charge for it.
+func (m Metric) Eval(pr Probs) float64 {
+	switch m {
+	case M1:
+		return cond(pr.And, pr.Q)
+	case M2:
+		return (cond(pr.And, pr.Q) + cond(pr.And, pr.P)) / 2
+	case M3:
+		den := pr.P + pr.Q - pr.And
+		if den <= 0 {
+			return 0
+		}
+		return pr.And / den
+	default:
+		panic(fmt.Sprintf("metrics: unknown metric %d", int(m)))
+	}
+}
+
+func cond(joint, given float64) float64 {
+	if given == 0 {
+		return 0
+	}
+	return joint / given
+}
+
+// Source supplies pattern probabilities; both the synopsis estimator and
+// the exact ground-truth evaluator implement it.
+type Source interface {
+	// P estimates the probability that a document matches p.
+	P(p *pattern.Pattern) float64
+	// PAnd estimates the probability that a document matches both p and
+	// q.
+	PAnd(p, q *pattern.Pattern) float64
+}
+
+// Similarity evaluates metric m for the pair (p, q) over the given
+// probability source.
+func Similarity(src Source, m Metric, p, q *pattern.Pattern) float64 {
+	return m.Eval(Probs{P: src.P(p), Q: src.P(q), And: src.PAnd(p, q)})
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"treesim/internal/matchset"
+	"treesim/internal/pattern"
+	"treesim/internal/selectivity"
+	"treesim/internal/synopsis"
+	"treesim/internal/xmltree"
+)
+
+func TestMetricFormulas(t *testing.T) {
+	pr := Probs{P: 0.4, Q: 0.2, And: 0.1}
+	if got := M1.Eval(pr); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("M1 = %v, want 0.5", got)
+	}
+	// M2 = (0.1/0.2 + 0.1/0.4)/2 = (0.5+0.25)/2 = 0.375
+	if got := M2.Eval(pr); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("M2 = %v, want 0.375", got)
+	}
+	// M3 = 0.1/(0.4+0.2-0.1) = 0.2
+	if got := M3.Eval(pr); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("M3 = %v, want 0.2", got)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	zero := Probs{}
+	for _, m := range All {
+		if got := m.Eval(zero); got != 0 {
+			t.Errorf("%s(0,0,0) = %v, want 0", m, got)
+		}
+	}
+	// Identical patterns: all metrics are 1.
+	one := Probs{P: 0.3, Q: 0.3, And: 0.3}
+	for _, m := range All {
+		if got := m.Eval(one); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s(identical) = %v, want 1", m, got)
+		}
+	}
+	// Disjoint patterns: all metrics are 0.
+	disj := Probs{P: 0.3, Q: 0.4, And: 0}
+	for _, m := range All {
+		if got := m.Eval(disj); got != 0 {
+			t.Errorf("%s(disjoint) = %v, want 0", m, got)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	if M1.Symmetric() || !M2.Symmetric() || !M3.Symmetric() {
+		t.Error("symmetry flags wrong")
+	}
+	f := func(p, q, and float64) bool {
+		p, q, and = math.Abs(p), math.Abs(q), math.Abs(and)
+		// Make a consistent triple: and ≤ min(p,q) ≤ 1.
+		p, q = math.Mod(p, 1), math.Mod(q, 1)
+		and = math.Mod(and, 1) * math.Min(p, q)
+		a := Probs{P: p, Q: q, And: and}
+		b := Probs{P: q, Q: p, And: and}
+		return math.Abs(M2.Eval(a)-M2.Eval(b)) < 1e-12 &&
+			math.Abs(M3.Eval(a)-M3.Eval(b)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricBounds(t *testing.T) {
+	// For consistent probabilities (and ≤ min(p,q)), all metrics lie in
+	// [0,1] and M3 ≤ min(conditionals).
+	f := func(p, q, frac float64) bool {
+		p = math.Mod(math.Abs(p), 1)
+		q = math.Mod(math.Abs(q), 1)
+		and := math.Mod(math.Abs(frac), 1) * math.Min(p, q)
+		pr := Probs{P: p, Q: q, And: and}
+		m1, m2, m3 := M1.Eval(pr), M2.Eval(pr), M3.Eval(pr)
+		if m1 < 0 || m1 > 1+1e-12 || m2 < 0 || m2 > 1+1e-12 || m3 < 0 || m3 > 1+1e-12 {
+			return false
+		}
+		// M3 ≤ M2 always (Jaccard ≤ mean of conditionals).
+		return m3 <= m2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityOverEstimator(t *testing.T) {
+	docs := []string{"a(b(e))", "a(b(f))", "a(b,c(f,o))", "a(d,c(f,o))", "a(d(e))", "a(d(q))"}
+	s := synopsis.New(synopsis.Options{Kind: matchset.KindSets, SetCapacity: 1 << 20, Seed: 1})
+	for _, d := range docs {
+		tr, err := xmltree.ParseCompact(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Insert(tr)
+	}
+	est := selectivity.New(s)
+	p := pattern.MustParse("//f") // docs 1,2,3 => P = 1/2
+	q := pattern.MustParse("//o") // docs 2,3   => P = 1/3
+	// P(p∧q) = 1/3 (docs 2,3).
+	if got := Similarity(est, M1, p, q); math.Abs(got-1) > 1e-12 {
+		t.Errorf("M1(p|q) = %v, want 1 (every o-doc is an f-doc)", got)
+	}
+	if got := Similarity(est, M1, q, p); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("M1(q|p) = %v, want 2/3", got)
+	}
+	if got := Similarity(est, M2, p, q); math.Abs(got-(1+2.0/3)/2) > 1e-12 {
+		t.Errorf("M2 = %v, want 5/6", got)
+	}
+	// M3 = (1/3)/(1/2 + 1/3 - 1/3) = 2/3.
+	if got := Similarity(est, M3, p, q); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("M3 = %v, want 2/3", got)
+	}
+}
+
+func TestUnknownMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Metric(0).Eval(Probs{})
+}
+
+func TestMetricString(t *testing.T) {
+	if M1.String() != "M1" || M2.String() != "M2" || M3.String() != "M3" {
+		t.Error("metric names wrong")
+	}
+	if Metric(9).String() != "Metric(9)" {
+		t.Error("unknown metric name wrong")
+	}
+}

@@ -1,0 +1,207 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/xmltree"
+)
+
+func TestContainsBasics(t *testing.T) {
+	cases := []struct {
+		p, q string // does p contain q?
+		want bool
+	}{
+		{"/a", "/a", true},
+		{"/a", "/b", false},
+		{"/a", "/a/b", true},   // more constrained q
+		{"/a/b", "/a", false},  // q is weaker
+		{"//b", "/a/b", true},  // descendant generalizes a path
+		{"/a/b", "//b", false}, // but not vice versa
+		{"/*", "/a", true},     // wildcard generalizes a tag
+		{"/a", "/*", false},    // a wildcard doc-root may not be a
+		{"//*", "/a/b", true},  // something exists below the root? root itself qualifies
+		{"/a[b]", "/a[b][c]", true},
+		{"/a[b][c]", "/a[b]", false},
+		{"/a//c", "/a/b/c", true},
+		{"/a/b/c", "/a//c", false},
+		{"//c", "/a//c", true},
+		{"/a[//x]", "/a/b/x", true},
+		{"/a[//x]", "/a/x", true}, // depth exactly 1 is a valid ≥1 path
+		{"/.", "/a/b", true},      // the empty pattern contains all
+		{"/a", "/.", false},
+		{"/a/*/c", "/a/b/c", true},
+		{"/a/b/c", "/a/*/c", false},
+		{"//b[c]", "/a/b[c][d]", true},
+		{"//b[c]", "/a/b[d]", false},
+	}
+	for _, c := range cases {
+		p, q := MustParse(c.p), MustParse(c.q)
+		if got := Contains(p, q); got != c.want {
+			t.Errorf("Contains(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestContainsFigure1(t *testing.T) {
+	// The paper: "it trivially appears that pc contains pa", and there
+	// is no containment between pa and pd.
+	pa := MustParse("/media/CD/*/last/Mozart")
+	pc := MustParse("/.[//CD]//Mozart")
+	pd := MustParse("//composer/last/Mozart")
+	if !Contains(pc, pa) {
+		t.Error("pc should contain pa")
+	}
+	if Contains(pa, pc) {
+		t.Error("pa should not contain pc")
+	}
+	if Contains(pa, pd) || Contains(pd, pa) {
+		t.Error("pa and pd should be incomparable")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	if !Equivalent(MustParse("/a[b][c]"), MustParse("/a[c][b]")) {
+		t.Error("branch order should not matter")
+	}
+	if !Equivalent(MustParse("/a[b][b]"), MustParse("/a[b]")) {
+		t.Error("duplicate branches are redundant")
+	}
+	if Equivalent(MustParse("/a/b"), MustParse("//b")) {
+		t.Error("/a/b and //b are not equivalent")
+	}
+}
+
+// TestContainsSoundness: whenever Contains(p, q) is true, every document
+// matching q must match p.
+func TestContainsSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	checked := 0
+	for trial := 0; trial < 3000 && checked < 400; trial++ {
+		p := randomPattern(rng)
+		q := randomPattern(rng)
+		if !Contains(p, q) {
+			continue
+		}
+		checked++
+		for i := 0; i < 30; i++ {
+			d := randomDoc(rng)
+			if Matches(d, q) && !Matches(d, p) {
+				t.Fatalf("unsound: Contains(%s, %s) but doc %s matches q only", p, q, d)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("too few positive containments exercised: %d", checked)
+	}
+}
+
+func TestContainsReflexiveOnRandomPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		p := randomPattern(rng)
+		if !Contains(p, p) {
+			t.Fatalf("pattern does not contain itself: %s", p)
+		}
+	}
+}
+
+func TestMinimizeBasics(t *testing.T) {
+	cases := map[string]string{
+		"/a[b][b]":     "/a/b",
+		"/a[b][//b]":   "/a/b",     // b implies //b
+		"/a[b/c][b]":   "/a/b/c",   // b/c implies b
+		"/a[b][c]":     "/a[b][c]", // nothing redundant
+		"/a[*][b]":     "/a/b",     // b implies *
+		"/a[//c][b/c]": "/a/b/c",   // b/c implies //c
+		"/a/b":         "/a/b",
+	}
+	for in, want := range cases {
+		got := MustParse(in).Minimize()
+		wantP := MustParse(want)
+		if !got.Equal(wantP) {
+			t.Errorf("Minimize(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestMinimizeNested(t *testing.T) {
+	// Redundancy below the top level.
+	got := MustParse("/a/b[c][c][d]").Minimize()
+	if !got.Equal(MustParse("/a/b[c][d]")) {
+		t.Errorf("nested Minimize = %s", got)
+	}
+}
+
+func TestMinimizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		p := randomPattern(rng)
+		q := p.Minimize()
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Minimize(%s) invalid: %v", p, err)
+		}
+		for i := 0; i < 20; i++ {
+			d := randomDoc(rng)
+			if Matches(d, p) != Matches(d, q) {
+				t.Fatalf("Minimize changed semantics: p=%s q=%s doc=%s", p, q, d)
+			}
+		}
+		if q.Size() > p.Size() {
+			t.Fatalf("Minimize grew the pattern: %s -> %s", p, q)
+		}
+	}
+}
+
+func TestMinimizeDoesNotMutateInput(t *testing.T) {
+	p := MustParse("/a[b][b]")
+	before := p.String()
+	_ = p.Minimize()
+	if p.String() != before {
+		t.Error("Minimize mutated its input")
+	}
+}
+
+func TestContainsAgainstMatchSemantics(t *testing.T) {
+	// Exhaustive-ish cross-check: for pattern pairs over a tiny
+	// alphabet, if Contains says yes, no counterexample document may
+	// exist among many random docs (soundness); additionally count how
+	// often the homomorphism test agrees with a sampled containment
+	// oracle, to catch gross incompleteness regressions.
+	pats := []string{
+		"/a", "/a/b", "//b", "/a[b]", "/a[b][c]", "/a//b", "/*", "//*",
+		"/a/*", "/a[b/c]", "//b[c]", "/a[//c]",
+	}
+	rng := rand.New(rand.NewSource(31))
+	var docs []*xmltree.Tree
+	for i := 0; i < 400; i++ {
+		docs = append(docs, randomDoc(rng))
+	}
+	agree, disagree := 0, 0
+	for _, ps := range pats {
+		for _, qs := range pats {
+			p, q := MustParse(ps), MustParse(qs)
+			hom := Contains(p, q)
+			sampled := true // "no counterexample found"
+			for _, d := range docs {
+				if Matches(d, q) && !Matches(d, p) {
+					sampled = false
+					break
+				}
+			}
+			if hom && !sampled {
+				t.Fatalf("unsound: Contains(%s,%s)", ps, qs)
+			}
+			if hom == sampled {
+				agree++
+			} else {
+				disagree++
+			}
+		}
+	}
+	// The sampled oracle over-approximates true containment, so some
+	// disagreement is expected — but agreement should dominate.
+	if agree < disagree {
+		t.Errorf("homomorphism test disagrees with sampled oracle too often: %d vs %d", agree, disagree)
+	}
+}

@@ -1,0 +1,157 @@
+package pattern
+
+import "treesim/internal/xmltree"
+
+// Matches reports whether XML tree T satisfies pattern p (T |= p) under
+// the exact semantics of Section 2.
+//
+// The root node "/." is treated specially: a root child labeled with a
+// tag constrains the label of the document root itself; a root child
+// "//" re-roots its subtree at some descendant-or-self of the document
+// root. Below the root, a pattern node v constrains a context node t:
+// a tag or "*" child requires a matching child of t, and "//" requires a
+// matching descendant-or-self of t.
+//
+// Matching is memoized on (document node, pattern node) pairs, giving
+// O(|T|·|p|) time per call.
+func Matches(t *xmltree.Tree, p *Pattern) bool {
+	if p == nil || p.Root == nil {
+		return false
+	}
+	if len(p.Root.Children) == 0 {
+		// The empty pattern imposes no constraints: every non-empty
+		// document satisfies it.
+		return t != nil && t.Root != nil
+	}
+	if t == nil || t.Root == nil {
+		return false
+	}
+	m := &matcher{memo: make(map[memoKey]bool)}
+	for _, v := range p.Root.Children {
+		if !m.rootConstraint(t.Root, v) {
+			return false
+		}
+	}
+	return true
+}
+
+type memoKey struct {
+	t *xmltree.Node
+	v *Node
+}
+
+type matcher struct {
+	// memo caches sat(t, v) results. rootConstraint is not memoized: it
+	// is evaluated at most once per (descendant, root-child) pair and
+	// delegates to sat immediately.
+	memo map[memoKey]bool
+}
+
+// rootConstraint evaluates a child v of the pattern root against a
+// candidate document root t, per the T |= p definition.
+func (m *matcher) rootConstraint(t *xmltree.Node, v *Node) bool {
+	switch v.Label {
+	case Descendant:
+		// tr has a descendant t' (possibly tr) such that the subtree
+		// rooted at t' satisfies Subtree(v,p) re-rooted at "/.": the
+		// operator's single child becomes a root constraint on t'.
+		c := v.Children[0]
+		return m.existsDescOrSelf(t, func(d *xmltree.Node) bool {
+			return m.rootConstraint(d, c)
+		})
+	case Wildcard:
+		for _, v2 := range v.Children {
+			if !m.sat(t, v2) {
+				return false
+			}
+		}
+		return true
+	default: // tag
+		if t.Label != v.Label {
+			return false
+		}
+		for _, v2 := range v.Children {
+			if !m.sat(t, v2) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// sat evaluates (T, t) |= Subtree(v, p): constraint v holds relative to
+// context node t.
+func (m *matcher) sat(t *xmltree.Node, v *Node) bool {
+	key := memoKey{t, v}
+	if r, ok := m.memo[key]; ok {
+		return r
+	}
+	// Mark in-progress as false; the recursion is over strictly smaller
+	// (descendant, subtree) pairs so cycles cannot occur, this is just a
+	// safe default before the computed value is stored.
+	var res bool
+	switch v.Label {
+	case Descendant:
+		res = m.existsDescOrSelf(t, func(d *xmltree.Node) bool {
+			for _, v2 := range v.Children {
+				if !m.sat(d, v2) {
+					return false
+				}
+			}
+			return true
+		})
+	case Wildcard:
+		res = m.existsChild(t, func(c *xmltree.Node) bool {
+			for _, v2 := range v.Children {
+				if !m.sat(c, v2) {
+					return false
+				}
+			}
+			return true
+		})
+	default: // tag
+		res = m.existsChild(t, func(c *xmltree.Node) bool {
+			if c.Label != v.Label {
+				return false
+			}
+			for _, v2 := range v.Children {
+				if !m.sat(c, v2) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	m.memo[key] = res
+	return res
+}
+
+func (m *matcher) existsChild(t *xmltree.Node, f func(*xmltree.Node) bool) bool {
+	for _, c := range t.Children {
+		if f(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *matcher) existsDescOrSelf(t *xmltree.Node, f func(*xmltree.Node) bool) bool {
+	if f(t) {
+		return true
+	}
+	for _, c := range t.Children {
+		if m.existsDescOrSelf(c, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchesSkeleton reports whether the skeleton of T satisfies p. The
+// document synopsis observes skeleton trees, so this is the semantics the
+// estimator approximates; it can differ from Matches on documents where
+// same-tag siblings hold disjoint content (skeleton matching
+// over-approximates: Matches(T,p) implies MatchesSkeleton(T,p)).
+func MatchesSkeleton(t *xmltree.Tree, p *Pattern) bool {
+	return Matches(xmltree.Skeleton(t), p)
+}

@@ -1,0 +1,298 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses the XPath subset used by the paper into a tree pattern.
+//
+// Grammar (whitespace-insensitive around tokens):
+//
+//	pattern  = "/." pred* chain?          explicit root form
+//	         | chain                      shorthand when the root has one child
+//	chain    = ("/" | "//") step ( ("/" | "//") step )*
+//	step     = (name | "*") pred*
+//	pred     = "[" rel "]"
+//	rel      = ("//" | ".//")? step ( ("/" | "//") step )*
+//
+// Examples: "/media/CD/*/last/Mozart", "//CD/Mozart",
+// "/.[//CD]//Mozart", "//composer[first]/last/Mozart".
+func Parse(s string) (*Pattern, error) {
+	p := &parser{in: strings.TrimSpace(s)}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, fmt.Errorf("pattern: parse %q: %w", s, err)
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, fmt.Errorf("pattern: parse %q: %w", s, err)
+	}
+	return pat, nil
+}
+
+// MustParse is Parse that panics on error, for tests and constants.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.in) }
+
+func (p *parser) peek(tok string) bool {
+	return strings.HasPrefix(p.in[p.pos:], tok)
+}
+
+func (p *parser) accept(tok string) bool {
+	if p.peek(tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePattern() (*Pattern, error) {
+	pat := New()
+	if p.in == "" || p.in == Root {
+		p.pos = len(p.in)
+		return pat, nil // empty pattern
+	}
+	if p.accept(Root) {
+		// Explicit root: predicates then an optional chain, all of
+		// which become children of "/.".
+		for p.peek("[") {
+			c, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			pat.Root.Children = append(pat.Root.Children, c)
+		}
+		if !p.eof() {
+			c, err := p.parseChain()
+			if err != nil {
+				return nil, err
+			}
+			pat.Root.Children = append(pat.Root.Children, c)
+		}
+	} else {
+		c, err := p.parseChain()
+		if err != nil {
+			return nil, err
+		}
+		pat.Root.Children = append(pat.Root.Children, c)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("trailing input at offset %d", p.pos)
+	}
+	return pat, nil
+}
+
+// parseChain parses ("/"|"//") step ( ... )* and returns the topmost
+// node of the resulting spine.
+func (p *parser) parseChain() (*Node, error) {
+	var top, cur *Node
+	for {
+		var sep string
+		switch {
+		case p.accept(Descendant):
+			sep = Descendant
+		case p.accept("/"):
+			sep = "/"
+		default:
+			if top == nil {
+				return nil, fmt.Errorf("expected '/' or '//' at offset %d", p.pos)
+			}
+			return top, nil
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		attach := step
+		if sep == Descendant {
+			attach = &Node{Label: Descendant, Children: []*Node{step}}
+		}
+		if top == nil {
+			top = attach
+		} else {
+			cur.Children = append(cur.Children, attach)
+		}
+		cur = step
+		if p.eof() || p.peek("]") {
+			return top, nil
+		}
+	}
+}
+
+// parseStep parses (name | "*") pred*.
+func (p *parser) parseStep() (*Node, error) {
+	var label string
+	if p.accept(Wildcard) {
+		label = Wildcard
+	} else {
+		start := p.pos
+		for !p.eof() && !isDelim(p.in[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("expected name or '*' at offset %d", p.pos)
+		}
+		label = p.in[start:p.pos]
+		if label == "." || label == ".." {
+			return nil, fmt.Errorf("axis step %q is not part of the language (offset %d)", label, start)
+		}
+	}
+	n := &Node{Label: label}
+	for p.peek("[") {
+		c, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}
+
+// parsePred parses "[" rel "]" and returns the subtree's top node.
+func (p *parser) parsePred() (*Node, error) {
+	if !p.accept("[") {
+		return nil, fmt.Errorf("expected '[' at offset %d", p.pos)
+	}
+	n, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("]") {
+		return nil, fmt.Errorf("expected ']' at offset %d", p.pos)
+	}
+	return n, nil
+}
+
+// parseRel parses a relative path: optional leading "//" (or ".//"),
+// then a step chain.
+func (p *parser) parseRel() (*Node, error) {
+	p.accept(".") // ".//x" is accepted as a synonym for "//x"
+	if p.accept(Descendant) {
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		top := &Node{Label: Descendant, Children: []*Node{step}}
+		if err := p.parseRelTail(step); err != nil {
+			return nil, err
+		}
+		return top, nil
+	}
+	step, err := p.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.parseRelTail(step); err != nil {
+		return nil, err
+	}
+	return step, nil
+}
+
+// parseRelTail continues a relative chain below cur until ']' or end.
+func (p *parser) parseRelTail(cur *Node) error {
+	for {
+		var sep string
+		switch {
+		case p.accept(Descendant):
+			sep = Descendant
+		case p.accept("/"):
+			sep = "/"
+		default:
+			return nil
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return err
+		}
+		attach := step
+		if sep == Descendant {
+			attach = &Node{Label: Descendant, Children: []*Node{step}}
+		}
+		cur.Children = append(cur.Children, attach)
+		cur = step
+	}
+}
+
+func isDelim(c byte) bool {
+	switch c {
+	case '/', '[', ']', '*', ' ', '\t', '\n', '(', ')':
+		return true
+	}
+	return false
+}
+
+// String renders the pattern in the canonical XPath-subset form accepted
+// by Parse. The pattern is canonicalized first, so equal patterns render
+// identically.
+func (p *Pattern) String() string {
+	if p == nil || p.Root == nil || len(p.Root.Children) == 0 {
+		return Root
+	}
+	q := p.Clone().Canonicalize()
+	kids := q.Root.Children
+	var b strings.Builder
+	if len(kids) > 1 {
+		b.WriteString(Root)
+		for _, c := range kids[:len(kids)-1] {
+			b.WriteByte('[')
+			b.WriteString(relChain(c))
+			b.WriteByte(']')
+		}
+	}
+	b.WriteString(absChain(kids[len(kids)-1]))
+	return b.String()
+}
+
+// absChain renders a root child as an absolute chain ("/a..." or
+// "//a...").
+func absChain(n *Node) string {
+	if n.Label == Descendant {
+		return Descendant + stepChain(n.Children[0])
+	}
+	return "/" + stepChain(n)
+}
+
+// relChain renders a subtree as a relative chain suitable for a
+// predicate.
+func relChain(n *Node) string {
+	if n.Label == Descendant {
+		return Descendant + stepChain(n.Children[0])
+	}
+	return stepChain(n)
+}
+
+// stepChain renders a step node: its label, predicates for all children
+// but the last, and the last child as the chain continuation.
+func stepChain(n *Node) string {
+	var b strings.Builder
+	b.WriteString(n.Label)
+	if len(n.Children) == 0 {
+		return b.String()
+	}
+	for _, c := range n.Children[:len(n.Children)-1] {
+		b.WriteByte('[')
+		b.WriteString(relChain(c))
+		b.WriteByte(']')
+	}
+	last := n.Children[len(n.Children)-1]
+	if last.Label == Descendant {
+		b.WriteString(Descendant)
+		b.WriteString(stepChain(last.Children[0]))
+	} else {
+		b.WriteByte('/')
+		b.WriteString(stepChain(last))
+	}
+	return b.String()
+}

@@ -1,0 +1,264 @@
+// Package pattern implements the tree-pattern subscription language of
+// Chand, Felber and Garofalakis (ICDE'07, Section 2): unordered
+// node-labeled trees whose labels are element tags, the wildcard "*" or
+// the descendant operator "//", rooted at a special node labeled "/.".
+//
+// The package provides a parser and serializer for the XPath subset the
+// paper uses, the label partial order ⪯, exact match semantics T |= p
+// against XML trees (used for ground truth), and the root-merge
+// construction used to evaluate conjunctions P(p ∧ q).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"treesim/internal/xmltree"
+)
+
+// Special labels. Any other label is an element tag.
+const (
+	// Root is the label of every pattern's root node ("/." in the paper).
+	Root = "/."
+	// Wildcard matches any single tag ("*").
+	Wildcard = "*"
+	// Descendant is the descendant operator ("//"): some (possibly
+	// empty) path.
+	Descendant = "//"
+)
+
+// Node is a node of a tree pattern.
+type Node struct {
+	// Label is a tag name, Wildcard, Descendant, or (for the root
+	// node only) Root.
+	Label string
+	// Children are the node's child constraints. Order is irrelevant to
+	// the semantics; Canonicalize produces a deterministic order.
+	Children []*Node
+}
+
+// Pattern is a tree-pattern subscription. Root.Label is always "/.".
+type Pattern struct {
+	Root *Node
+}
+
+// New returns an empty pattern (root only). An empty pattern matches
+// every document.
+func New() *Pattern {
+	return &Pattern{Root: &Node{Label: Root}}
+}
+
+// AddChild appends a new child with the given label and returns it.
+func (n *Node) AddChild(label string) *Node {
+	c := &Node{Label: label}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// LabelLeq reports a ⪯ b under the paper's partial order on labels:
+// tag ⪯ tag' iff equal; tag ⪯ * ⪯ //. It answers "can a pattern node
+// labeled b stand for a document node labeled a".
+func LabelLeq(a, b string) bool {
+	switch b {
+	case Descendant:
+		return true
+	case Wildcard:
+		return a != Descendant // any concrete tag or "*" is ⪯ "*"
+	default:
+		return a == b
+	}
+}
+
+// Size returns the number of nodes in the pattern, excluding the root
+// "/." marker (so the empty pattern has size 0).
+func (p *Pattern) Size() int {
+	if p == nil || p.Root == nil {
+		return 0
+	}
+	return countNodes(p.Root) - 1
+}
+
+func countNodes(n *Node) int {
+	s := 1
+	for _, c := range n.Children {
+		s += countNodes(c)
+	}
+	return s
+}
+
+// Height returns the height of the pattern: the number of nodes on the
+// longest root-to-leaf path, excluding the "/." root. The empty pattern
+// has height 0.
+func (p *Pattern) Height() int {
+	if p == nil || p.Root == nil {
+		return 0
+	}
+	var h func(n *Node) int
+	h = func(n *Node) int {
+		max := 0
+		for _, c := range n.Children {
+			if d := h(c); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return h(p.Root) - 1
+}
+
+// Validate checks the structural well-formedness rules of Section 2:
+// the root is labeled "/."; "/." appears nowhere else; every descendant
+// operator has exactly one child, which is a regular node or a wildcard;
+// labels are non-empty.
+func (p *Pattern) Validate() error {
+	if p == nil || p.Root == nil {
+		return fmt.Errorf("pattern: nil pattern")
+	}
+	if p.Root.Label != Root {
+		return fmt.Errorf("pattern: root must be labeled %q, got %q", Root, p.Root.Label)
+	}
+	var walk func(n *Node, isRoot bool) error
+	walk = func(n *Node, isRoot bool) error {
+		if !isRoot {
+			switch n.Label {
+			case Root:
+				return fmt.Errorf("pattern: %q may only label the root", Root)
+			case "":
+				return fmt.Errorf("pattern: empty label")
+			case Descendant:
+				if len(n.Children) != 1 {
+					return fmt.Errorf("pattern: descendant operator must have exactly one child, has %d", len(n.Children))
+				}
+				c := n.Children[0]
+				if c.Label == Descendant {
+					return fmt.Errorf("pattern: descendant operator cannot be the child of another descendant operator")
+				}
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(p.Root, true)
+}
+
+// Clone returns a deep copy of the pattern.
+func (p *Pattern) Clone() *Pattern {
+	if p == nil || p.Root == nil {
+		return New()
+	}
+	return &Pattern{Root: cloneNode(p.Root)}
+}
+
+func cloneNode(n *Node) *Node {
+	cp := &Node{Label: n.Label}
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = cloneNode(c)
+		}
+	}
+	return cp
+}
+
+// Canonicalize sorts every child list by the canonical string of the
+// child subtree, producing a deterministic representation of the
+// unordered pattern. It modifies the pattern in place and returns it.
+func (p *Pattern) Canonicalize() *Pattern {
+	if p != nil && p.Root != nil {
+		canonNode(p.Root)
+	}
+	return p
+}
+
+func canonNode(n *Node) string {
+	keys := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		keys[i] = canonNode(c)
+	}
+	sort.Sort(&byKey{keys: keys, nodes: n.Children})
+	var b strings.Builder
+	b.WriteString(n.Label)
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		b.WriteString(strings.Join(keys, ","))
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+type byKey struct {
+	keys  []string
+	nodes []*Node
+}
+
+func (s *byKey) Len() int           { return len(s.keys) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.nodes[i], s.nodes[j] = s.nodes[j], s.nodes[i]
+}
+
+// Equal reports whether two patterns are identical as unordered trees.
+func (p *Pattern) Equal(q *Pattern) bool {
+	if p == nil || q == nil {
+		return p == q
+	}
+	a := p.Clone().Canonicalize()
+	b := q.Clone().Canonicalize()
+	return equalNodes(a.Root, b.Root)
+}
+
+func equalNodes(a, b *Node) bool {
+	if a.Label != b.Label || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !equalNodes(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeRoots builds the conjunction pattern p ∧ q by merging the root
+// nodes of p and q (paper, Section 4): the result's root children are
+// the union of both patterns' root children. The inputs are not
+// modified.
+func MergeRoots(p, q *Pattern) *Pattern {
+	out := New()
+	for _, c := range p.Root.Children {
+		out.Root.Children = append(out.Root.Children, cloneNode(c))
+	}
+	for _, c := range q.Root.Children {
+		out.Root.Children = append(out.Root.Children, cloneNode(c))
+	}
+	return out
+}
+
+// FromTree converts an XML tree into the pattern that requires exactly
+// the tree's label structure (no wildcards or descendant operators).
+// Useful in tests: FromTree(T) always matches T.
+func FromTree(t *xmltree.Tree) *Pattern {
+	p := New()
+	if t == nil || t.Root == nil {
+		return p
+	}
+	p.Root.Children = []*Node{treeToNode(t.Root)}
+	return p
+}
+
+func treeToNode(n *xmltree.Node) *Node {
+	out := &Node{Label: n.Label}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, treeToNode(c))
+	}
+	return out
+}

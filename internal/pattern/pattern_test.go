@@ -1,0 +1,433 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"treesim/internal/xmltree"
+)
+
+func TestParseBasic(t *testing.T) {
+	cases := map[string]string{
+		"/a":                      "/a",
+		"//a":                     "//a",
+		"/a/b":                    "/a/b",
+		"/a//b":                   "/a//b",
+		"/a/*/c":                  "/a/*/c",
+		"/a[b]/c":                 "/a[b]/c",
+		"/a[b][c]/d":              "/a[b][c]/d",
+		"/a[b/c]//d":              "/a[//d]/b/c", // canonical form reorders children
+		"/a[//x]/b":               "/a[//x]/b",
+		"/a[.//x]/b":              "/a[//x]/b",
+		"/.[//CD]//Mozart":        "/.[//CD]//Mozart",
+		"/.":                      "/.",
+		"":                        "/.",
+		"/media/CD/*/last/Mozart": "/media/CD/*/last/Mozart",
+	}
+	for in, want := range cases {
+		p, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got := p.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"a",      // relative path at top level
+		"/",      // missing step
+		"///a",   // empty step
+		"/a[",    // unbalanced
+		"/a[b",   // unbalanced
+		"/a]",    // stray bracket
+		"/a[]",   // empty predicate
+		"/a//",   // descendant without child
+		"/a[b]x", // trailing garbage
+		"/a/./b", // "." is not a step
+		"/..",    // not the root marker
+		"/a[b]]", // double close
+		"/a(b)",  // parens are not part of the language
+	}
+	for _, s := range bad {
+		if p, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error, got %v", s, p)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	// /a[b]/c: root child a with children {b, c}.
+	p := MustParse("/a[b]/c")
+	if len(p.Root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(p.Root.Children))
+	}
+	a := p.Root.Children[0]
+	if a.Label != "a" || len(a.Children) != 2 {
+		t.Fatalf("node a = %q with %d children", a.Label, len(a.Children))
+	}
+	// //a: root child "//" whose only child is a.
+	p2 := MustParse("//a")
+	d := p2.Root.Children[0]
+	if d.Label != Descendant || len(d.Children) != 1 || d.Children[0].Label != "a" {
+		t.Fatalf("//a parsed wrong: %v", p2)
+	}
+	// /.[x][y] root with two children.
+	p3 := MustParse("/.[x][y]")
+	if len(p3.Root.Children) != 2 {
+		t.Fatalf("/.[x][y] root children = %d, want 2", len(p3.Root.Children))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	// Hand-built invalid patterns.
+	p := New()
+	d := p.Root.AddChild(Descendant)
+	if err := p.Validate(); err == nil {
+		t.Error("descendant with no child should be invalid")
+	}
+	d.AddChild("a")
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	d.AddChild("b")
+	if err := p.Validate(); err == nil {
+		t.Error("descendant with two children should be invalid")
+	}
+	p2 := New()
+	d2 := p2.Root.AddChild(Descendant)
+	d2.AddChild(Descendant).AddChild("a")
+	if err := p2.Validate(); err == nil {
+		t.Error("//-child-of-// should be invalid")
+	}
+	p3 := New()
+	p3.Root.AddChild(Root)
+	if err := p3.Validate(); err == nil {
+		t.Error("/. below root should be invalid")
+	}
+	p4 := &Pattern{Root: &Node{Label: "a"}}
+	if err := p4.Validate(); err == nil {
+		t.Error("root not labeled /. should be invalid")
+	}
+}
+
+func TestLabelLeq(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"x", "x", true},
+		{"x", "y", false},
+		{"x", Wildcard, true},
+		{"x", Descendant, true},
+		{Wildcard, Descendant, true},
+		{Wildcard, Wildcard, true},
+		{Descendant, Wildcard, false},
+		{Wildcard, "x", false},
+		{Descendant, Descendant, true},
+	}
+	for _, c := range cases {
+		if got := LabelLeq(c.a, c.b); got != c.want {
+			t.Errorf("LabelLeq(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// figure1Tree builds the XML tree T of the paper's Figure 1.
+func figure1Tree(t *testing.T) *xmltree.Tree {
+	t.Helper()
+	tr, err := xmltree.ParseCompact(
+		"media(book(author(first(William),last(Shakespeare)),title(Hamlet))," +
+			"CD(composer(first(Wolfgang),last(Mozart)),title(Requiem),interpreter(ensemble(BerlinerPhil))))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFigure1Examples(t *testing.T) {
+	T := figure1Tree(t)
+	cases := []struct {
+		name, xpath string
+		want        bool
+	}{
+		// pa: media root with CD child whose grandchild "last" has
+		// sub-element "Mozart" — T matches (the "*" maps to composer).
+		{"pa", "/media/CD/*/last/Mozart", true},
+		// pb: a CD anywhere with a *direct* sub-element Mozart — no.
+		{"pb", "//CD/Mozart", false},
+		// pc: a CD somewhere and a Mozart somewhere — yes.
+		{"pc", "/.[//CD]//Mozart", true},
+		// pd: composer anywhere with child last and grandchild Mozart.
+		{"pd", "//composer/last/Mozart", true},
+	}
+	for _, c := range cases {
+		p := MustParse(c.xpath)
+		if got := Matches(T, p); got != c.want {
+			t.Errorf("%s = Matches(T, %q) = %v, want %v", c.name, c.xpath, got, c.want)
+		}
+	}
+}
+
+func TestMatchRootSemantics(t *testing.T) {
+	T, _ := xmltree.ParseCompact("a(b(c),d)")
+	cases := []struct {
+		xpath string
+		want  bool
+	}{
+		{"/a", true},
+		{"/b", false}, // root label is a, not b
+		{"/*", true},  // wildcard root
+		{"//a", true}, // descendant-or-self finds the root itself
+		{"//b", true}, // and inner nodes
+		{"//c", true},
+		{"//x", false},
+		{"/a/b", true},
+		{"/a/b/c", true},
+		{"/a/c", false},    // c is not a direct child of a
+		{"/a//c", true},    // but it is a descendant
+		{"/a[b][d]", true}, // branching
+		{"/a[b][x]", false},
+		{"/a/b[c]", true},
+		{"/a//b/c", true}, // zero-length descendant step
+		{"/.", true},      // empty pattern matches everything
+		{"/.[//b][//d]", true},
+		{"/.[//b][//x]", false},
+		{"/a/*", true},
+		{"/a/*/c", true},
+		{"/a/d/*", false}, // d is a leaf
+	}
+	for _, c := range cases {
+		p := MustParse(c.xpath)
+		if got := Matches(T, p); got != c.want {
+			t.Errorf("Matches(T, %q) = %v, want %v", c.xpath, got, c.want)
+		}
+	}
+}
+
+func TestMatchEmptyDocument(t *testing.T) {
+	if Matches(nil, MustParse("/a")) {
+		t.Error("nil tree should not match /a")
+	}
+	if Matches(&xmltree.Tree{}, MustParse("/.")) {
+		t.Error("empty tree should not match even the empty pattern")
+	}
+	if !Matches(xmltree.New("a"), MustParse("/.")) {
+		t.Error("empty pattern should match a non-empty tree")
+	}
+}
+
+func TestMergeRoots(t *testing.T) {
+	p := MustParse("/a/b")
+	q := MustParse("//c")
+	pq := MergeRoots(p, q)
+	if err := pq.Validate(); err != nil {
+		t.Fatalf("merged pattern invalid: %v", err)
+	}
+	if len(pq.Root.Children) != 2 {
+		t.Fatalf("merged root children = %d, want 2", len(pq.Root.Children))
+	}
+	T1, _ := xmltree.ParseCompact("a(b,c)")
+	T2, _ := xmltree.ParseCompact("a(b)")
+	if !Matches(T1, pq) {
+		t.Error("T1 should match p∧q")
+	}
+	if Matches(T2, pq) {
+		t.Error("T2 should not match p∧q (no c)")
+	}
+	// Merging must not alias the inputs.
+	pq.Root.Children[0].Label = "zzz"
+	if p.Root.Children[0].Label == "zzz" {
+		t.Error("MergeRoots aliased its input")
+	}
+}
+
+func TestMergeRootsConjunctionSemantics(t *testing.T) {
+	// For any doc and patterns: Matches(T, p∧q) == Matches(T,p) && Matches(T,q).
+	docs := []string{"a(b,c)", "a(b(c))", "c(a,b)", "a(b(e),d(f))"}
+	pats := []string{"/a", "//b", "/a/b", "//c", "/a[b][c]", "/*/b"}
+	for _, ds := range docs {
+		T, err := xmltree.ParseCompact(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ps := range pats {
+			for _, qs := range pats {
+				p, q := MustParse(ps), MustParse(qs)
+				want := Matches(T, p) && Matches(T, q)
+				if got := Matches(T, MergeRoots(p, q)); got != want {
+					t.Errorf("doc %s: Matches(p∧q) p=%s q=%s = %v, want %v", ds, ps, qs, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFromTreeAlwaysMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		T := randomDoc(rng)
+		return Matches(T, FromTree(T))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkeletonOverApproximates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		T := randomDoc(rng)
+		p := randomPattern(rng)
+		if Matches(T, p) && !MatchesSkeleton(T, p) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkeletonSemanticsDiffer(t *testing.T) {
+	// /a/b[c][d]: the doc has two b children, one holding c, one d.
+	// The document does not match (no single b has both), but its
+	// skeleton does.
+	T, _ := xmltree.ParseCompact("a(b(c),b(d))")
+	p := MustParse("/a/b[c][d]")
+	if Matches(T, p) {
+		t.Error("document should not match /a/b[c][d]")
+	}
+	if !MatchesSkeleton(T, p) {
+		t.Error("skeleton should match /a/b[c][d]")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(rng)
+		s := p.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Logf("serialize %v -> %q failed to re-parse: %v", p, s, err)
+			return false
+		}
+		return p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualIgnoresOrder(t *testing.T) {
+	p := MustParse("/a[b][c]")
+	q := MustParse("/a[c][b]")
+	if !p.Equal(q) {
+		t.Error("patterns differing only in child order should be equal")
+	}
+	r := MustParse("/a[b][b]")
+	if p.Equal(r) {
+		t.Error("different multiplicity should not be equal")
+	}
+}
+
+func TestSizeHeight(t *testing.T) {
+	p := MustParse("/a[b/c]//d")
+	// Nodes: a, b, c, //, d = 5 (root "/." excluded).
+	if got := p.Size(); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+	// Longest chain: a -> b -> c and a -> // -> d, both height 3.
+	if got := p.Height(); got != 3 {
+		t.Errorf("Height = %d, want 3", got)
+	}
+	if got := New().Size(); got != 0 {
+		t.Errorf("empty Size = %d, want 0", got)
+	}
+	if got := New().Height(); got != 0 {
+		t.Errorf("empty Height = %d, want 0", got)
+	}
+}
+
+// randomDoc builds a random document over a small alphabet.
+func randomDoc(rng *rand.Rand) *xmltree.Tree {
+	labels := []string{"a", "b", "c", "d", "e"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		n := &xmltree.Node{Label: labels[rng.Intn(len(labels))]}
+		if depth < 4 {
+			for i := 0; i < rng.Intn(3); i++ {
+				n.Children = append(n.Children, build(depth+1))
+			}
+		}
+		return n
+	}
+	return &xmltree.Tree{Root: build(1)}
+}
+
+// randomPattern builds a random valid pattern over the same alphabet.
+func randomPattern(rng *rand.Rand) *Pattern {
+	labels := []string{"a", "b", "c", "d", "e"}
+	var build func(depth int, allowDesc bool) *Node
+	build = func(depth int, allowDesc bool) *Node {
+		r := rng.Float64()
+		var n *Node
+		switch {
+		case allowDesc && r < 0.15:
+			n = &Node{Label: Descendant}
+			n.Children = []*Node{build(depth+1, false)}
+			return n
+		case r < 0.3:
+			n = &Node{Label: Wildcard}
+		default:
+			n = &Node{Label: labels[rng.Intn(len(labels))]}
+		}
+		if depth < 4 {
+			for i := 0; i < rng.Intn(3); i++ {
+				n.Children = append(n.Children, build(depth+1, true))
+			}
+		}
+		return n
+	}
+	p := New()
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		p.Root.Children = append(p.Root.Children, build(1, true))
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of invalid input should panic")
+		}
+	}()
+	MustParse("///")
+}
+
+func TestStringStable(t *testing.T) {
+	// String must not mutate the receiver.
+	p := MustParse("/a[c][b]")
+	before := make([]string, len(p.Root.Children[0].Children))
+	for i, c := range p.Root.Children[0].Children {
+		before[i] = c.Label
+	}
+	_ = p.String()
+	for i, c := range p.Root.Children[0].Children {
+		if c.Label != before[i] {
+			t.Fatal("String mutated pattern child order")
+		}
+	}
+	if !strings.HasPrefix(p.String(), "/a[") {
+		t.Errorf("String = %q", p.String())
+	}
+}

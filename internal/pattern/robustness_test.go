@@ -1,0 +1,86 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanics feeds random byte soup and random mutations of
+// valid patterns to the parser: it must return an error or a valid
+// pattern, never panic, and anything it accepts must survive a
+// serialize/re-parse round trip.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	alphabet := []byte("/ab*[].(){}|,// \tz")
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(24)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s := string(buf)
+		p, err := Parse(s)
+		if err != nil {
+			continue
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid pattern: %v", s, verr)
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("accepted %q -> %q which does not re-parse: %v", s, p, err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip changed %q: %s vs %s", s, p, q)
+		}
+	}
+}
+
+// TestParseMutatedValid mutates valid patterns character by character.
+func TestParseMutatedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seeds := []string{
+		"/a/b[c]//d",
+		"/.[//CD]//Mozart",
+		"/media/CD/*/last/Mozart",
+		"/a[b/c][*]//e",
+	}
+	for i := 0; i < 3000; i++ {
+		s := []byte(seeds[rng.Intn(len(seeds))])
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			pos := rng.Intn(len(s))
+			switch rng.Intn(3) {
+			case 0:
+				s[pos] = byte("/ab*[]."[rng.Intn(7)])
+			case 1:
+				s = append(s[:pos], s[pos+1:]...)
+			default:
+				s = append(s[:pos], append([]byte{byte("/[*]"[rng.Intn(4)])}, s[pos:]...)...)
+			}
+			if len(s) == 0 {
+				break
+			}
+		}
+		p, err := Parse(string(s))
+		if err != nil {
+			continue
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid pattern: %v", s, verr)
+		}
+	}
+}
+
+// TestMatchesNeverPanics matches arbitrary valid patterns against
+// arbitrary documents, including degenerate ones.
+func TestMatchesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		p := randomPattern(rng)
+		d := randomDoc(rng)
+		_ = Matches(d, p)
+		_ = MatchesSkeleton(d, p)
+		_ = Contains(p, randomPattern(rng))
+		_ = p.Minimize()
+	}
+}

@@ -1,0 +1,240 @@
+// Package querygen generates tree-pattern subscription workloads from a
+// DTD, reproducing the paper's custom XPath generator (Section 5.1): it
+// creates valid tree patterns via random walks over the DTD's
+// parent-child relation, controlled by the maximum height h, the
+// wildcard probability p*, the descendant probability p//, the branching
+// probability pλ, and a Zipf skew θ for tag selection.
+package querygen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"treesim/internal/dtd"
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+	"treesim/internal/zipf"
+)
+
+// Options mirrors the paper's generator parameters. The paper's values:
+// h = 10, p* = 0.1, p// = 0.1, pλ = 0.1, θ = 1.
+type Options struct {
+	// MaxHeight h bounds the pattern height (nodes on the longest
+	// root-to-leaf chain, descendant operators included).
+	MaxHeight int
+	// WildcardProb p* is the probability a node's label is "*".
+	WildcardProb float64
+	// DescendantProb p// is the probability a step is reached through a
+	// descendant operator instead of a child edge.
+	DescendantProb float64
+	// BranchProb pλ is the probability of more than one child at a
+	// node.
+	BranchProb float64
+	// Theta θ is the Zipf skew used to select element tag names.
+	Theta float64
+	// StopProb ends a downward walk early at each level, varying
+	// pattern heights below h. Default 0.2.
+	StopProb float64
+	// ValueProb adds, at elements whose content model allows character
+	// data, a leaf value constraint drawn from Values (the paper's
+	// Figure 1 patterns constrain values like "Mozart"). Requires the
+	// corpus to be generated with the same value vocabulary
+	// (xmlgen.Options.EmitText / Values). Default 0.
+	ValueProb float64
+	// Values is the value vocabulary for ValueProb.
+	Values []string
+	// Seed drives generation deterministically.
+	Seed int64
+}
+
+// Defaults returns the paper's parameterization.
+func Defaults(seed int64) Options {
+	return Options{
+		MaxHeight:      10,
+		WildcardProb:   0.1,
+		DescendantProb: 0.1,
+		BranchProb:     0.1,
+		Theta:          1,
+		StopProb:       0.2,
+		Seed:           seed,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxHeight == 0 {
+		o.MaxHeight = 10
+	}
+	if o.StopProb == 0 {
+		o.StopProb = 0.2
+	}
+	return o
+}
+
+// Generator produces tree patterns valid for one DTD.
+type Generator struct {
+	d     *dtd.DTD
+	opts  Options
+	rng   *rand.Rand
+	names []string // all element names, sorted (Zipf rank order)
+	zipfs map[int]*zipf.Zipf
+}
+
+// New returns a workload generator. It panics if the DTD is invalid.
+func New(d *dtd.DTD, opts Options) *Generator {
+	if err := d.Validate(); err != nil {
+		panic(fmt.Sprintf("querygen: %v", err))
+	}
+	names := d.Names()
+	sort.Strings(names)
+	return &Generator{
+		d:     d,
+		opts:  opts.withDefaults(),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		names: names,
+		zipfs: make(map[int]*zipf.Zipf),
+	}
+}
+
+// zipfFor returns (cached) a Zipf sampler over a domain of size n.
+func (g *Generator) zipfFor(n int) *zipf.Zipf {
+	z, ok := g.zipfs[n]
+	if !ok {
+		z = zipf.New(g.rng, n, g.opts.Theta)
+		g.zipfs[n] = z
+	}
+	return z
+}
+
+// Generate produces one pattern. The walk starts at the DTD root; with
+// probability p// it instead starts with a descendant operator at a
+// Zipf-selected element (a "//x…" pattern can anchor anywhere).
+func (g *Generator) Generate() *pattern.Pattern {
+	p := pattern.New()
+	h := g.opts.MaxHeight
+	if g.rng.Float64() < g.opts.DescendantProb && h >= 2 {
+		start := g.names[g.zipfFor(len(g.names)).Next()]
+		d := &pattern.Node{Label: pattern.Descendant}
+		d.Children = []*pattern.Node{g.walk(start, h-1)}
+		p.Root.Children = []*pattern.Node{d}
+	} else {
+		p.Root.Children = []*pattern.Node{g.walk(g.d.RootName, h)}
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("querygen: generated invalid pattern: %v", err))
+	}
+	return p
+}
+
+// walk builds the pattern node for element name with the given height
+// budget (≥ 1).
+func (g *Generator) walk(name string, budget int) *pattern.Node {
+	n := &pattern.Node{Label: name}
+	if g.rng.Float64() < g.opts.WildcardProb {
+		n.Label = pattern.Wildcard
+	}
+	// Value constraint at text-bearing elements.
+	if g.opts.ValueProb > 0 && budget >= 2 && len(g.opts.Values) > 0 &&
+		g.d.HasPCData(name) && g.rng.Float64() < g.opts.ValueProb {
+		v := g.opts.Values[g.zipfFor(len(g.opts.Values)).Next()]
+		n.Children = append(n.Children, &pattern.Node{Label: v})
+	}
+	kids := g.d.ChildNames(name)
+	if budget <= 1 || len(kids) == 0 || g.rng.Float64() < g.opts.StopProb {
+		return n
+	}
+	// Number of branches: 1, plus more with probability pλ each.
+	branches := 1
+	for branches < len(kids) && branches < 4 && g.rng.Float64() < g.opts.BranchProb {
+		branches++
+	}
+	// Select distinct child tags by Zipf rank over the sorted list.
+	chosen := make(map[int]struct{}, branches)
+	z := g.zipfFor(len(kids))
+	for len(chosen) < branches {
+		chosen[z.Next()] = struct{}{}
+	}
+	idxs := make([]int, 0, branches)
+	for i := range chosen {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		childBudget := budget - 1
+		useDesc := g.rng.Float64() < g.opts.DescendantProb && childBudget >= 2
+		if useDesc {
+			childBudget-- // the descendant operator occupies a level
+		}
+		child := g.walk(kids[i], childBudget)
+		if useDesc {
+			child = &pattern.Node{Label: pattern.Descendant, Children: []*pattern.Node{child}}
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n
+}
+
+// GenerateDistinct produces n structurally distinct patterns (by
+// canonical form). It panics if the DTD cannot yield that many distinct
+// patterns within a generous attempt budget.
+func (g *Generator) GenerateDistinct(n int) []*pattern.Pattern {
+	seen := make(map[string]struct{}, n)
+	out := make([]*pattern.Pattern, 0, n)
+	for attempts := 0; len(out) < n; attempts++ {
+		if attempts > 200*n+1000 {
+			panic(fmt.Sprintf("querygen: could not generate %d distinct patterns (got %d)", n, len(out)))
+		}
+		p := g.Generate()
+		key := p.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Workload is a classified pattern set over a document corpus.
+type Workload struct {
+	// Positive patterns match at least one corpus document (SP).
+	Positive []*pattern.Pattern
+	// Negative patterns match no corpus document (SN).
+	Negative []*pattern.Pattern
+}
+
+// ClassifyWorkload generates distinct patterns until it has collected
+// nPos positive and nNeg negative patterns with respect to the corpus
+// (exact document semantics, as in the paper). It panics when the
+// attempt budget is exhausted, which indicates a mis-tuned DTD/corpus
+// pair.
+func (g *Generator) ClassifyWorkload(docs []*xmltree.Tree, nPos, nNeg int) Workload {
+	var w Workload
+	seen := make(map[string]struct{})
+	maxAttempts := 500*(nPos+nNeg) + 1000
+	for attempts := 0; len(w.Positive) < nPos || len(w.Negative) < nNeg; attempts++ {
+		if attempts > maxAttempts {
+			panic(fmt.Sprintf("querygen: workload generation stalled: %d/%d positive, %d/%d negative",
+				len(w.Positive), nPos, len(w.Negative), nNeg))
+		}
+		p := g.Generate()
+		key := p.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		matched := false
+		for _, d := range docs {
+			if pattern.Matches(d, p) {
+				matched = true
+				break
+			}
+		}
+		if matched && len(w.Positive) < nPos {
+			w.Positive = append(w.Positive, p)
+		} else if !matched && len(w.Negative) < nNeg {
+			w.Negative = append(w.Negative, p)
+		}
+	}
+	return w
+}

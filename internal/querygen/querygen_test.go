@@ -1,0 +1,216 @@
+package querygen
+
+import (
+	"strings"
+	"testing"
+
+	"treesim/internal/dtd"
+	"treesim/internal/pattern"
+	"treesim/internal/xmlgen"
+)
+
+func TestGeneratedPatternsValid(t *testing.T) {
+	d := dtd.NITFLike()
+	g := New(d, Defaults(1))
+	for i := 0; i < 300; i++ {
+		p := g.Generate()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("pattern %d invalid: %v", i, err)
+		}
+		if h := p.Height(); h > 10 {
+			t.Fatalf("pattern %d height %d > 10: %s", i, h, p)
+		}
+	}
+}
+
+func TestLabelsComeFromDTD(t *testing.T) {
+	d := dtd.Media()
+	g := New(d, Options{MaxHeight: 6, WildcardProb: 0, DescendantProb: 0, Seed: 2})
+	known := make(map[string]bool)
+	for _, n := range d.Names() {
+		known[n] = true
+	}
+	for i := 0; i < 200; i++ {
+		p := g.Generate()
+		var check func(n *pattern.Node)
+		check = func(n *pattern.Node) {
+			if n.Label != pattern.Root && n.Label != pattern.Wildcard && n.Label != pattern.Descendant {
+				if !known[n.Label] {
+					t.Fatalf("pattern %d uses unknown label %q: %s", i, n.Label, p)
+				}
+			}
+			for _, c := range n.Children {
+				check(c)
+			}
+		}
+		check(p.Root)
+	}
+}
+
+func TestNoWildcardsWhenDisabled(t *testing.T) {
+	d := dtd.Media()
+	g := New(d, Options{MaxHeight: 5, WildcardProb: 0, DescendantProb: 0, BranchProb: 0, Seed: 3})
+	for i := 0; i < 100; i++ {
+		s := g.Generate().String()
+		if strings.Contains(s, "*") || strings.Contains(s, "//") {
+			t.Fatalf("pattern %d has operators despite zero probabilities: %s", i, s)
+		}
+	}
+}
+
+func TestOperatorRates(t *testing.T) {
+	// With p* = p// = 0.3, a healthy share of patterns must contain
+	// the operators.
+	d := dtd.NITFLike()
+	g := New(d, Options{MaxHeight: 8, WildcardProb: 0.3, DescendantProb: 0.3, BranchProb: 0.3, Theta: 1, Seed: 4})
+	wild, desc, branch := 0, 0, 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		p := g.Generate()
+		s := p.String()
+		if strings.Contains(s, "*") {
+			wild++
+		}
+		if strings.Contains(s, "//") {
+			desc++
+		}
+		if strings.Contains(s, "[") {
+			branch++
+		}
+	}
+	if wild < n/10 {
+		t.Errorf("only %d/%d patterns contain wildcards", wild, n)
+	}
+	if desc < n/10 {
+		t.Errorf("only %d/%d patterns contain descendants", desc, n)
+	}
+	if branch < n/20 {
+		t.Errorf("only %d/%d patterns branch", branch, n)
+	}
+}
+
+func TestGenerateDistinct(t *testing.T) {
+	d := dtd.NITFLike()
+	g := New(d, Defaults(5))
+	ps := g.GenerateDistinct(200)
+	seen := make(map[string]bool)
+	for _, p := range ps {
+		s := p.String()
+		if seen[s] {
+			t.Fatalf("duplicate pattern %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestClassifyWorkload(t *testing.T) {
+	d := dtd.NITFLike()
+	docs := xmlgen.New(d, xmlgen.Options{Seed: 6}).GenerateN(150)
+	g := New(d, Defaults(7))
+	w := g.ClassifyWorkload(docs, 30, 30)
+	if len(w.Positive) != 30 || len(w.Negative) != 30 {
+		t.Fatalf("workload sizes %d/%d, want 30/30", len(w.Positive), len(w.Negative))
+	}
+	// Spot-check classification correctness.
+	for _, p := range w.Positive[:5] {
+		found := false
+		for _, doc := range docs {
+			if pattern.Matches(doc, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("positive pattern matches nothing: %s", p)
+		}
+	}
+	for _, p := range w.Negative[:5] {
+		for _, doc := range docs {
+			if pattern.Matches(doc, p) {
+				t.Errorf("negative pattern matches a document: %s", p)
+				break
+			}
+		}
+	}
+}
+
+func TestValueConstraints(t *testing.T) {
+	d := dtd.Media()
+	values := []string{"Mozart", "Brahms", "Shakespeare"}
+	g := New(d, Options{
+		MaxHeight: 8, ValueProb: 0.8, Values: values,
+		StopProb: 0.1, Seed: 12,
+	})
+	// Value leaves must appear and must come from the vocabulary.
+	vocab := make(map[string]bool)
+	for _, v := range values {
+		vocab[v] = true
+	}
+	elems := make(map[string]bool)
+	for _, n := range d.Names() {
+		elems[n] = true
+	}
+	found := false
+	for i := 0; i < 200; i++ {
+		p := g.Generate()
+		var rec func(n *pattern.Node)
+		rec = func(n *pattern.Node) {
+			if n.Label != pattern.Root && n.Label != pattern.Wildcard &&
+				n.Label != pattern.Descendant && !elems[n.Label] {
+				if !vocab[n.Label] {
+					t.Fatalf("non-vocabulary value %q in %s", n.Label, p)
+				}
+				found = true
+			}
+			for _, c := range n.Children {
+				rec(c)
+			}
+		}
+		rec(p.Root)
+	}
+	if !found {
+		t.Error("no value constraints generated despite ValueProb=0.8")
+	}
+}
+
+func TestValueWorkloadEndToEnd(t *testing.T) {
+	// Documents carrying text values and patterns constraining them
+	// must produce positive matches.
+	d := dtd.Media()
+	values := []string{"Mozart", "Brahms"}
+	docs := xmlgen.New(d, xmlgen.Options{Seed: 3, EmitText: true, Values: values}).GenerateN(200)
+	g := New(d, Options{MaxHeight: 8, ValueProb: 0.6, Values: values, StopProb: 0.2, Seed: 5})
+	positives := 0
+	withValues := 0
+	for i := 0; i < 150; i++ {
+		p := g.Generate()
+		hasValue := strings.Contains(p.String(), "Mozart") || strings.Contains(p.String(), "Brahms")
+		if !hasValue {
+			continue
+		}
+		withValues++
+		for _, doc := range docs {
+			if pattern.Matches(doc, p) {
+				positives++
+				break
+			}
+		}
+	}
+	if withValues == 0 {
+		t.Fatal("no value patterns generated")
+	}
+	if positives == 0 {
+		t.Errorf("none of %d value patterns matched any document", withValues)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	d := dtd.XCBLLike()
+	a := New(d, Defaults(9))
+	b := New(d, Defaults(9))
+	for i := 0; i < 50; i++ {
+		if a.Generate().String() != b.Generate().String() {
+			t.Fatalf("generation diverged at %d", i)
+		}
+	}
+}

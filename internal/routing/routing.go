@@ -1,0 +1,214 @@
+// Package routing simulates the content-based publish/subscribe
+// dissemination architectures the paper motivates (Section 1): a
+// population of consumers with tree-pattern subscriptions receives a
+// stream of XML documents under one of three strategies —
+//
+//   - Flooding: every document reaches every consumer (no filtering);
+//   - Filtered: a router matches each document against every
+//     subscription and unicasts to the interested consumers;
+//   - Communities: consumers are grouped into semantic communities
+//     (via tree-pattern similarity); each document is matched once
+//     against a community representative and, on a hit, flooded within
+//     that community.
+//
+// The simulation accounts for network messages, filter evaluations, and
+// delivery precision/recall, reproducing the trade-off that motivates
+// accurate similarity estimation: good communities cut filtering cost
+// dramatically while keeping precision and recall high.
+package routing
+
+import (
+	"fmt"
+
+	"treesim/internal/matching"
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+// Strategy selects a dissemination architecture.
+type Strategy int
+
+const (
+	// Flood delivers every document to every consumer.
+	Flood Strategy = iota
+	// Filtered matches every (document, subscription) pair centrally.
+	Filtered
+	// Communities matches per community representative, then floods
+	// within matching communities.
+	Communities
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Flood:
+		return "flood"
+	case Filtered:
+		return "filtered"
+	case Communities:
+		return "communities"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Strategy Strategy
+	// Docs and Consumers describe the workload.
+	Docs, Consumers int
+	// Messages is the number of document deliveries to consumers.
+	Messages int
+	// FilterEvals counts exact pattern evaluations performed by the
+	// routing layer.
+	FilterEvals int
+	// TruePositives / FalsePositives / FalseNegatives compare deliveries
+	// with actual interest.
+	TruePositives, FalsePositives, FalseNegatives int
+}
+
+// Precision is the fraction of deliveries that were wanted.
+func (r Result) Precision() float64 {
+	if r.Messages == 0 {
+		return 1
+	}
+	return float64(r.TruePositives) / float64(r.Messages)
+}
+
+// Recall is the fraction of wanted deliveries that happened.
+func (r Result) Recall() float64 {
+	want := r.TruePositives + r.FalseNegatives
+	if want == 0 {
+		return 1
+	}
+	return float64(r.TruePositives) / float64(want)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-11s msgs=%-8d evals=%-8d precision=%.3f recall=%.3f",
+		r.Strategy, r.Messages, r.FilterEvals, r.Precision(), r.Recall())
+}
+
+// Network is a simulated consumer population.
+type Network struct {
+	subs []*pattern.Pattern
+	// communities are index sets over subs; nil means no clustering
+	// (required only by the Communities strategy).
+	communities [][]int
+	// representative per community: the member whose subscription
+	// stands for the community at the router (the community seed).
+	reps []int
+}
+
+// NewNetwork returns a network of consumers with the given
+// subscriptions.
+func NewNetwork(subs []*pattern.Pattern) *Network {
+	return &Network{subs: subs}
+}
+
+// SetCommunities installs a clustering (index sets over the
+// subscriptions) and chooses each community's first member as its
+// representative.
+func (n *Network) SetCommunities(communities [][]int) {
+	n.communities = communities
+	n.reps = make([]int, len(communities))
+	for i, c := range communities {
+		if len(c) == 0 {
+			panic("routing: empty community")
+		}
+		n.reps[i] = c[0]
+	}
+}
+
+// Communities returns the installed clustering.
+func (n *Network) Communities() [][]int { return n.communities }
+
+// Run disseminates the documents under the strategy and returns the
+// accounting. Ground-truth interest is computed with the exact matcher.
+func (n *Network) Run(docs []*xmltree.Tree, strategy Strategy) Result {
+	res := Result{Strategy: strategy, Docs: len(docs), Consumers: len(n.subs)}
+	truth := n.interestMatrix(docs)
+	switch strategy {
+	case Flood:
+		for di := range docs {
+			for ci := range n.subs {
+				res.Messages++
+				if truth[di][ci] {
+					res.TruePositives++
+				} else {
+					res.FalsePositives++
+				}
+			}
+		}
+	case Filtered:
+		eng := matching.NewEngine(n.subs)
+		for di, d := range docs {
+			matched := eng.Match(d)
+			for _, ci := range matched {
+				res.Messages++
+				if truth[di][ci] {
+					res.TruePositives++
+				} else {
+					res.FalsePositives++
+				}
+			}
+			miss := countTrue(truth[di]) - len(matched)
+			if miss > 0 {
+				res.FalseNegatives += miss
+			}
+		}
+		_, cands, _ := eng.Stats()
+		res.FilterEvals = cands
+	case Communities:
+		if n.communities == nil {
+			panic("routing: Communities strategy requires SetCommunities")
+		}
+		for di, d := range docs {
+			delivered := make([]bool, len(n.subs))
+			for gi, comm := range n.communities {
+				res.FilterEvals++
+				if !pattern.Matches(d, n.subs[n.reps[gi]]) {
+					continue
+				}
+				for _, ci := range comm {
+					delivered[ci] = true
+					res.Messages++
+					if truth[di][ci] {
+						res.TruePositives++
+					} else {
+						res.FalsePositives++
+					}
+				}
+			}
+			for ci := range n.subs {
+				if truth[di][ci] && !delivered[ci] {
+					res.FalseNegatives++
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("routing: unknown strategy %d", int(strategy)))
+	}
+	return res
+}
+
+func (n *Network) interestMatrix(docs []*xmltree.Tree) [][]bool {
+	out := make([][]bool, len(docs))
+	for di, d := range docs {
+		row := make([]bool, len(n.subs))
+		for ci, p := range n.subs {
+			row[ci] = pattern.Matches(d, p)
+		}
+		out[di] = row
+	}
+	return out
+}
+
+func countTrue(row []bool) int {
+	c := 0
+	for _, b := range row {
+		if b {
+			c++
+		}
+	}
+	return c
+}

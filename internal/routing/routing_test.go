@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"testing"
+
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+func docsOf(t *testing.T, specs ...string) []*xmltree.Tree {
+	t.Helper()
+	out := make([]*xmltree.Tree, len(specs))
+	for i, s := range specs {
+		d, err := xmltree.ParseCompact(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func subsOf(specs ...string) []*pattern.Pattern {
+	out := make([]*pattern.Pattern, len(specs))
+	for i, s := range specs {
+		out[i] = pattern.MustParse(s)
+	}
+	return out
+}
+
+func TestFloodDeliversEverything(t *testing.T) {
+	docs := docsOf(t, "a(b)", "a(c)")
+	subs := subsOf("/a/b", "/a/c", "//zzz")
+	res := NewNetwork(subs).Run(docs, Flood)
+	if res.Messages != 6 {
+		t.Errorf("Messages = %d, want 6", res.Messages)
+	}
+	if res.Recall() != 1 {
+		t.Errorf("flood recall = %v, want 1", res.Recall())
+	}
+	// 2 of 6 deliveries are wanted.
+	if got := res.Precision(); got != 2.0/6 {
+		t.Errorf("flood precision = %v, want 1/3", got)
+	}
+	if res.FilterEvals != 0 {
+		t.Errorf("flood should not filter, evals = %d", res.FilterEvals)
+	}
+}
+
+func TestFilteredIsExact(t *testing.T) {
+	docs := docsOf(t, "a(b)", "a(c)", "x(y)")
+	subs := subsOf("/a/b", "/a/c", "//y", "/nomatch")
+	res := NewNetwork(subs).Run(docs, Filtered)
+	if res.Precision() != 1 || res.Recall() != 1 {
+		t.Errorf("filtered precision/recall = %v/%v, want 1/1", res.Precision(), res.Recall())
+	}
+	if res.Messages != 3 {
+		t.Errorf("Messages = %d, want 3", res.Messages)
+	}
+	if res.FalsePositives != 0 || res.FalseNegatives != 0 {
+		t.Errorf("filtered FP/FN = %d/%d", res.FalsePositives, res.FalseNegatives)
+	}
+}
+
+func TestCommunitiesTradeoff(t *testing.T) {
+	docs := docsOf(t, "a(b)", "a(b)", "a(c)", "x(y)")
+	// Consumers 0,1 share interests; 2 differs; 3 is unmatched by any doc.
+	subs := subsOf("/a/b", "/a[b]", "/a/c", "//zzz")
+	net := NewNetwork(subs)
+	net.SetCommunities([][]int{{0, 1}, {2}, {3}})
+	res := net.Run(docs, Communities)
+	// Representative of {0,1} is sub 0 (/a/b): docs 0,1 hit -> deliver
+	// to 0 and 1 (both interested: /a[b] matches too). Community {2}
+	// rep /a/c: doc 2 hits. Community {3} never hits.
+	if res.FalseNegatives != 0 {
+		t.Errorf("FN = %d, want 0", res.FalseNegatives)
+	}
+	if res.Precision() != 1 {
+		t.Errorf("precision = %v, want 1 (identical interests)", res.Precision())
+	}
+	// Filter evaluations: one per (doc, community) = 4 docs × 3 = 12,
+	// versus 16 for per-consumer filtering.
+	if res.FilterEvals != 12 {
+		t.Errorf("FilterEvals = %d, want 12", res.FilterEvals)
+	}
+	if res.Messages != 5 {
+		t.Errorf("Messages = %d, want 5", res.Messages)
+	}
+}
+
+func TestCommunitiesImperfectClusteringLosesPrecisionOrRecall(t *testing.T) {
+	docs := docsOf(t, "a(b)", "a(c)")
+	// Bad clustering: dissimilar consumers grouped; rep is /a/b.
+	subs := subsOf("/a/b", "/a/c")
+	net := NewNetwork(subs)
+	net.SetCommunities([][]int{{0, 1}})
+	res := net.Run(docs, Communities)
+	// Doc 0 matches rep: delivered to both (consumer 1 uninterested ->
+	// FP). Doc 1 misses rep: consumer 1 interested but not delivered ->
+	// FN.
+	if res.FalsePositives != 1 || res.FalseNegatives != 1 {
+		t.Errorf("FP/FN = %d/%d, want 1/1", res.FalsePositives, res.FalseNegatives)
+	}
+	if res.Precision() == 1 || res.Recall() == 1 {
+		t.Errorf("bad clustering should lose precision and recall: %v", res)
+	}
+}
+
+func TestCommunitiesRequiresClustering(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic without SetCommunities")
+		}
+	}()
+	NewNetwork(subsOf("/a")).Run(docsOf(t, "a"), Communities)
+}
+
+func TestResultStringAndEdgeCases(t *testing.T) {
+	var r Result
+	if r.Precision() != 1 || r.Recall() != 1 {
+		t.Error("empty result should have perfect precision/recall")
+	}
+	if r.String() == "" {
+		t.Error("empty Result string")
+	}
+	if Flood.String() != "flood" || Filtered.String() != "filtered" || Communities.String() != "communities" {
+		t.Error("strategy names wrong")
+	}
+}

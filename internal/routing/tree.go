@@ -1,0 +1,221 @@
+package routing
+
+import (
+	"fmt"
+
+	"treesim/internal/aggregate"
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+// BrokerTree simulates a hierarchical content-based routing overlay in
+// the style of the paper's XNet system (Chand & Felber, SRDS'04):
+// brokers form a complete k-ary tree, consumers attach to leaf brokers,
+// and every broker keeps, per child link, a routing table of the
+// subscriptions reachable through that link. A document entering at the
+// root is forwarded down exactly the links whose table matches it, and
+// leaf brokers filter per consumer.
+//
+// Routing tables can be aggregated (Chan et al., VLDB'02 — the paper's
+// reference [4]): each link table is reduced to at most TableLimit
+// generalized patterns using selectivity estimates. Aggregation shrinks
+// tables and per-broker filtering work at the cost of spurious
+// forwarding — never missed deliveries, since aggregates contain their
+// originals.
+type BrokerTree struct {
+	opts    BrokerTreeOptions
+	subs    []*pattern.Pattern
+	root    *broker
+	brokers int
+	tableSz int
+}
+
+// BrokerTreeOptions configures the overlay.
+type BrokerTreeOptions struct {
+	// Fanout is the number of children per inner broker (≥ 2).
+	Fanout int
+	// Depth is the number of broker levels (≥ 1; depth 1 is a single
+	// broker holding all consumers).
+	Depth int
+	// TableLimit caps each link table's size via aggregation; 0 keeps
+	// exact tables.
+	TableLimit int
+	// Estimator supplies selectivities for aggregation decisions
+	// (required when TableLimit > 0).
+	Estimator aggregate.Selectivities
+}
+
+type broker struct {
+	children []*broker
+	// tables[i] guards the link to children[i].
+	tables [][]*pattern.Pattern
+	// consumers are indices into the subscription set (leaf brokers).
+	consumers []int
+}
+
+// NewBrokerTree builds the overlay and its routing tables.
+func NewBrokerTree(subs []*pattern.Pattern, opts BrokerTreeOptions) (*BrokerTree, error) {
+	if opts.Fanout < 2 {
+		opts.Fanout = 2
+	}
+	if opts.Depth < 1 {
+		opts.Depth = 1
+	}
+	if opts.TableLimit > 0 && opts.Estimator == nil {
+		return nil, fmt.Errorf("routing: aggregated tables require an estimator")
+	}
+	bt := &BrokerTree{opts: opts, subs: subs}
+	bt.root = bt.build(1)
+	// Attach consumers to leaves round-robin.
+	leaves := bt.leaves()
+	for i := range subs {
+		leaves[i%len(leaves)].consumers = append(leaves[i%len(leaves)].consumers, i)
+	}
+	bt.fillTables(bt.root)
+	return bt, nil
+}
+
+func (bt *BrokerTree) build(level int) *broker {
+	bt.brokers++
+	b := &broker{}
+	if level < bt.opts.Depth {
+		for i := 0; i < bt.opts.Fanout; i++ {
+			b.children = append(b.children, bt.build(level+1))
+		}
+	}
+	return b
+}
+
+func (bt *BrokerTree) leaves() []*broker {
+	var out []*broker
+	var rec func(b *broker)
+	rec = func(b *broker) {
+		if len(b.children) == 0 {
+			out = append(out, b)
+			return
+		}
+		for _, c := range b.children {
+			rec(c)
+		}
+	}
+	rec(bt.root)
+	return out
+}
+
+// fillTables computes each link's table: the subscriptions reachable in
+// the child's subtree, aggregated when configured. It returns the set
+// of subscription indices below b.
+func (bt *BrokerTree) fillTables(b *broker) []int {
+	below := append([]int{}, b.consumers...)
+	for _, c := range b.children {
+		childBelow := bt.fillTables(c)
+		table := make([]*pattern.Pattern, 0, len(childBelow))
+		for _, si := range childBelow {
+			table = append(table, bt.subs[si])
+		}
+		if bt.opts.TableLimit > 0 && len(table) > bt.opts.TableLimit {
+			res := aggregate.Aggregate(table, bt.opts.TableLimit, bt.opts.Estimator)
+			table = res.Patterns
+		}
+		b.tables = append(b.tables, table)
+		bt.tableSz += len(table)
+		below = append(below, childBelow...)
+	}
+	return below
+}
+
+// Brokers returns the number of brokers in the overlay.
+func (bt *BrokerTree) Brokers() int { return bt.brokers }
+
+// TableSize returns the total number of routing-table entries across
+// all links.
+func (bt *BrokerTree) TableSize() int { return bt.tableSz }
+
+// TreeResult accounts one dissemination run over the overlay.
+type TreeResult struct {
+	Docs int
+	// LinkMessages counts broker-to-broker transmissions.
+	LinkMessages int
+	// SpuriousLinks counts transmissions into subtrees that held no
+	// interested consumer (the cost of aggregation).
+	SpuriousLinks int
+	// FilterEvals counts pattern evaluations at brokers (link tables
+	// and leaf consumer filters).
+	FilterEvals int
+	// Deliveries counts broker-to-consumer handoffs; consumers are
+	// always filtered by their exact subscription, so every delivery is
+	// wanted.
+	Deliveries int
+	// Missed counts interested consumers that the overlay failed to
+	// reach (always 0: aggregation only over-approximates).
+	Missed int
+	// TableSize snapshots the overlay's total table entries.
+	TableSize int
+}
+
+func (r TreeResult) String() string {
+	return fmt.Sprintf("tables=%-6d linkMsgs=%-7d (spurious %d) evals=%-8d delivered=%-6d missed=%d",
+		r.TableSize, r.LinkMessages, r.SpuriousLinks, r.FilterEvals, r.Deliveries, r.Missed)
+}
+
+// Run routes the documents from the root and returns the accounting.
+func (bt *BrokerTree) Run(docs []*xmltree.Tree) TreeResult {
+	res := TreeResult{Docs: len(docs), TableSize: bt.tableSz}
+	for _, d := range docs {
+		delivered := make(map[int]bool)
+		bt.route(bt.root, d, &res, delivered)
+		for si, p := range bt.subs {
+			if !delivered[si] && pattern.Matches(d, p) {
+				res.Missed++
+			}
+		}
+	}
+	return res
+}
+
+func (bt *BrokerTree) route(b *broker, d *xmltree.Tree, res *TreeResult, delivered map[int]bool) {
+	// Leaf filtering per consumer.
+	for _, si := range b.consumers {
+		res.FilterEvals++
+		if pattern.Matches(d, bt.subs[si]) {
+			res.Deliveries++
+			delivered[si] = true
+		}
+	}
+	for i, c := range b.children {
+		// Evaluate the link table until the first match (short
+		// circuit, as a router would).
+		forwarded := false
+		for _, p := range b.tables[i] {
+			res.FilterEvals++
+			if pattern.Matches(d, p) {
+				forwarded = true
+				break
+			}
+		}
+		if !forwarded {
+			continue
+		}
+		res.LinkMessages++
+		if !bt.subtreeInterested(c, d) {
+			res.SpuriousLinks++
+		}
+		bt.route(c, d, res, delivered)
+	}
+}
+
+// subtreeInterested reports whether any consumer below b matches d
+// (ground truth for spurious-forwarding accounting).
+func (bt *BrokerTree) subtreeInterested(b *broker, d *xmltree.Tree) bool {
+	for _, si := range b.consumers {
+		if pattern.Matches(d, bt.subs[si]) {
+			return true
+		}
+	}
+	for _, c := range b.children {
+		if bt.subtreeInterested(c, d) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package routing
+
+import (
+	"testing"
+
+	"treesim/internal/matchset"
+	"treesim/internal/pattern"
+	"treesim/internal/selectivity"
+	"treesim/internal/synopsis"
+	"treesim/internal/xmltree"
+)
+
+func treeEstimator(t *testing.T, docs []*xmltree.Tree) *selectivity.Estimator {
+	t.Helper()
+	s := synopsis.New(synopsis.Options{Kind: matchset.KindSets, SetCapacity: 1 << 20, Seed: 1})
+	for _, d := range docs {
+		s.Insert(d)
+	}
+	return selectivity.New(s)
+}
+
+func TestBrokerTreeExactTablesNeverMiss(t *testing.T) {
+	docs := docsOf(t, "a(b)", "a(c)", "x(y)", "a(b,c)")
+	subs := subsOf("/a/b", "/a/c", "//y", "/nomatch", "/a[b][c]", "//c")
+	bt, err := NewBrokerTree(subs, BrokerTreeOptions{Fanout: 2, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bt.Run(docs)
+	if res.Missed != 0 {
+		t.Errorf("exact tables missed %d deliveries", res.Missed)
+	}
+	if res.SpuriousLinks != 0 {
+		t.Errorf("exact tables forwarded spuriously %d times", res.SpuriousLinks)
+	}
+	// Deliveries = number of (doc, interested consumer) pairs.
+	want := 0
+	for _, d := range docs {
+		for _, p := range subs {
+			if pattern.Matches(d, p) {
+				want++
+			}
+		}
+	}
+	if res.Deliveries != want {
+		t.Errorf("Deliveries = %d, want %d", res.Deliveries, want)
+	}
+	if bt.Brokers() != 7 {
+		t.Errorf("Brokers = %d, want 7 (complete binary, depth 3)", bt.Brokers())
+	}
+}
+
+func TestBrokerTreeAggregatedTablesTradeoff(t *testing.T) {
+	docs := docsOf(t,
+		"a(b)", "a(b)", "a(c)", "a(c)", "x(y)", "x(z)", "a(b,c)", "x(y,z)")
+	subs := subsOf("/a/b", "/a/c", "/a[b][c]", "//y", "//z", "/x[y]", "/x/z", "//b")
+	est := treeEstimator(t, docs)
+
+	exact, err := NewBrokerTree(subs, BrokerTreeOptions{Fanout: 2, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewBrokerTree(subs, BrokerTreeOptions{Fanout: 2, Depth: 3, TableLimit: 1, Estimator: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactRes := exact.Run(docs)
+	aggRes := agg.Run(docs)
+
+	// Aggregation must shrink tables and never miss deliveries.
+	if agg.TableSize() >= exact.TableSize() {
+		t.Errorf("aggregated tables not smaller: %d vs %d", agg.TableSize(), exact.TableSize())
+	}
+	if aggRes.Missed != 0 {
+		t.Errorf("aggregated routing missed %d deliveries", aggRes.Missed)
+	}
+	if aggRes.Deliveries != exactRes.Deliveries {
+		t.Errorf("deliveries differ: %d vs %d", aggRes.Deliveries, exactRes.Deliveries)
+	}
+	// The cost shows up as spurious link messages (possibly zero on
+	// tiny workloads, but never negative relative to exact).
+	if aggRes.LinkMessages < exactRes.LinkMessages {
+		t.Errorf("aggregation cannot reduce link messages below exact: %d vs %d",
+			aggRes.LinkMessages, exactRes.LinkMessages)
+	}
+}
+
+func TestBrokerTreeSingleBroker(t *testing.T) {
+	docs := docsOf(t, "a(b)")
+	subs := subsOf("/a/b", "//zzz")
+	bt, err := NewBrokerTree(subs, BrokerTreeOptions{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bt.Run(docs)
+	if bt.Brokers() != 1 || res.LinkMessages != 0 {
+		t.Errorf("single broker: brokers=%d links=%d", bt.Brokers(), res.LinkMessages)
+	}
+	if res.Deliveries != 1 {
+		t.Errorf("Deliveries = %d, want 1", res.Deliveries)
+	}
+}
+
+func TestBrokerTreeRequiresEstimatorForAggregation(t *testing.T) {
+	if _, err := NewBrokerTree(subsOf("/a"), BrokerTreeOptions{TableLimit: 1}); err == nil {
+		t.Error("aggregation without estimator should error")
+	}
+}
+
+func TestTreeResultString(t *testing.T) {
+	var r TreeResult
+	if r.String() == "" {
+		t.Error("empty TreeResult string")
+	}
+}

@@ -1,0 +1,178 @@
+package sampling
+
+// DistinctSample is a bounded-size sample of a set of uint64 identifiers
+// maintained with Gibbons' distinct-sampling scheme: the sample keeps
+// exactly the inserted elements whose hash level is ≥ the current level,
+// and doubles the sampling rate (level++) whenever the sample overflows
+// its capacity. The cardinality of the underlying set is estimated as
+// |sample| · 2^level.
+//
+// All samples combined with Union/Intersect must share the same *Hasher.
+// Because membership at a level is a deterministic function of the
+// element, the union (intersection) of two samples subsampled to a common
+// level is exactly the distinct sample of the union (intersection) of the
+// underlying sets at that level — this is what makes the set-expression
+// estimators of Ganguly et al. work.
+type DistinctSample struct {
+	h     *Hasher
+	cap   int
+	level int
+	ids   map[uint64]struct{}
+}
+
+// NewDistinctSample returns an empty sample with the given capacity
+// (maximum number of retained identifiers). Capacity must be ≥ 1.
+func NewDistinctSample(h *Hasher, capacity int) *DistinctSample {
+	if capacity < 1 {
+		panic("sampling: distinct sample capacity must be >= 1")
+	}
+	return &DistinctSample{h: h, cap: capacity, ids: make(map[uint64]struct{})}
+}
+
+// Add inserts x into the sampled set.
+func (s *DistinctSample) Add(x uint64) {
+	if s.h.Level(x) < s.level {
+		return
+	}
+	s.ids[x] = struct{}{}
+	for len(s.ids) > s.cap {
+		s.subsample()
+	}
+}
+
+// Remove deletes x from the sample if present. Note that removal from a
+// distinct sample is best-effort: if x was subsampled away earlier it is
+// simply absent.
+func (s *DistinctSample) Remove(x uint64) {
+	delete(s.ids, x)
+}
+
+// subsample advances to the next level, dropping elements whose hash
+// level is below it.
+func (s *DistinctSample) subsample() {
+	s.level++
+	for x := range s.ids {
+		if s.h.Level(x) < s.level {
+			delete(s.ids, x)
+		}
+	}
+}
+
+// Level returns the current sampling level (sampling probability 2^-level).
+func (s *DistinctSample) Level() int { return s.level }
+
+// ForceLevel raises the sampling level to at least l, subsampling the
+// retained elements accordingly. Lowering the level is impossible
+// (discarded elements cannot be recovered); calls with l ≤ Level() are
+// no-ops.
+func (s *DistinctSample) ForceLevel(l int) {
+	for s.level < l {
+		s.subsample()
+	}
+}
+
+// Size returns the number of identifiers currently retained.
+func (s *DistinctSample) Size() int { return len(s.ids) }
+
+// Capacity returns the maximum number of retained identifiers.
+func (s *DistinctSample) Capacity() int { return s.cap }
+
+// Estimate returns the estimated cardinality of the underlying set:
+// |sample| · 2^level.
+func (s *DistinctSample) Estimate() float64 {
+	return float64(len(s.ids)) * float64(uint64(1)<<uint(s.level))
+}
+
+// Contains reports whether x is currently retained in the sample.
+func (s *DistinctSample) Contains(x uint64) bool {
+	_, ok := s.ids[x]
+	return ok
+}
+
+// IDs returns the retained identifiers in unspecified order.
+func (s *DistinctSample) IDs() []uint64 {
+	out := make([]uint64, 0, len(s.ids))
+	for x := range s.ids {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the sample.
+func (s *DistinctSample) Clone() *DistinctSample {
+	out := &DistinctSample{h: s.h, cap: s.cap, level: s.level, ids: make(map[uint64]struct{}, len(s.ids))}
+	for x := range s.ids {
+		out.ids[x] = struct{}{}
+	}
+	return out
+}
+
+// UnionInto merges other into s (s ← sample of union): the level becomes
+// max of the two levels, both sides are subsampled to it, and the result
+// is subsampled further if it exceeds s's capacity.
+func (s *DistinctSample) UnionInto(other *DistinctSample) {
+	if s.h != other.h {
+		panic("sampling: union of samples with different hashers")
+	}
+	if other.level > s.level {
+		s.level = other.level
+		for x := range s.ids {
+			if s.h.Level(x) < s.level {
+				delete(s.ids, x)
+			}
+		}
+	}
+	for x := range other.ids {
+		if s.h.Level(x) >= s.level {
+			s.ids[x] = struct{}{}
+		}
+	}
+	for len(s.ids) > s.cap {
+		s.subsample()
+	}
+}
+
+// Union returns a new sample of the union of the two underlying sets,
+// with capacity equal to s's capacity.
+func (s *DistinctSample) Union(other *DistinctSample) *DistinctSample {
+	out := s.Clone()
+	out.UnionInto(other)
+	return out
+}
+
+// Intersect returns a new sample of the intersection of the two
+// underlying sets: both sides are subsampled to the max level and the
+// retained identifiers are intersected. The result's capacity is s's.
+func (s *DistinctSample) Intersect(other *DistinctSample) *DistinctSample {
+	if s.h != other.h {
+		panic("sampling: intersection of samples with different hashers")
+	}
+	l := s.level
+	if other.level > l {
+		l = other.level
+	}
+	small, big := s, other
+	if len(big.ids) < len(small.ids) {
+		small, big = big, small
+	}
+	out := &DistinctSample{h: s.h, cap: s.cap, level: l, ids: make(map[uint64]struct{})}
+	for x := range small.ids {
+		if s.h.Level(x) < l {
+			continue
+		}
+		if _, ok := big.ids[x]; ok {
+			out.ids[x] = struct{}{}
+		}
+	}
+	return out
+}
+
+// JaccardEstimate estimates |A∩B| / |A∪B| for the underlying sets.
+// Returns 0 when the union estimate is 0.
+func (s *DistinctSample) JaccardEstimate(other *DistinctSample) float64 {
+	u := s.Union(other).Estimate()
+	if u == 0 {
+		return 0
+	}
+	return s.Intersect(other).Estimate() / u
+}

@@ -1,0 +1,188 @@
+package selectivity
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/matchset"
+	"treesim/internal/pattern"
+	"treesim/internal/synopsis"
+	"treesim/internal/xmltree"
+)
+
+// Pruning operations have one-sided effects on SEL estimates:
+//
+//   - folding a leaf merges its matching set upward, so estimates can
+//     only grow (the folded node's full set over-approximates the
+//     leaf's);
+//   - deleting a leaf removes matching information, so estimates can
+//     only shrink;
+//   - merging two nodes stores the intersection of their full sets, so
+//     estimates can only shrink.
+//
+// These directional properties hold for every pattern and make strong
+// property tests: they pin down exactly how compression trades accuracy.
+
+func randomCorpusSynopsis(rng *rand.Rand, seed int64) *synopsis.Synopsis {
+	s := synopsis.New(synopsis.Options{Kind: matchset.KindSets, SetCapacity: 1 << 20, Seed: seed})
+	labels := []string{"a", "b", "c", "d"}
+	var gen func(depth int) *xmltree.Node
+	gen = func(depth int) *xmltree.Node {
+		n := &xmltree.Node{Label: labels[rng.Intn(len(labels))]}
+		if depth < 4 {
+			for i := 0; i < rng.Intn(3); i++ {
+				n.Children = append(n.Children, gen(depth+1))
+			}
+		}
+		return n
+	}
+	for i := 0; i < 30; i++ {
+		s.Insert(&xmltree.Tree{Root: gen(1)})
+	}
+	return s
+}
+
+func randomPatterns(rng *rand.Rand, n int) []*pattern.Pattern {
+	labels := []string{"a", "b", "c", "d"}
+	var build func(depth int, allowDesc bool) *pattern.Node
+	build = func(depth int, allowDesc bool) *pattern.Node {
+		r := rng.Float64()
+		var nd *pattern.Node
+		switch {
+		case allowDesc && r < 0.2:
+			nd = &pattern.Node{Label: pattern.Descendant}
+			nd.Children = []*pattern.Node{build(depth+1, false)}
+			return nd
+		case r < 0.3:
+			nd = &pattern.Node{Label: pattern.Wildcard}
+		default:
+			nd = &pattern.Node{Label: labels[rng.Intn(len(labels))]}
+		}
+		if depth < 3 {
+			for i := 0; i < rng.Intn(3); i++ {
+				nd.Children = append(nd.Children, build(depth+1, true))
+			}
+		}
+		return nd
+	}
+	out := make([]*pattern.Pattern, n)
+	for i := range out {
+		p := pattern.New()
+		p.Root.Children = []*pattern.Node{build(1, true)}
+		out[i] = p
+	}
+	return out
+}
+
+func TestFoldOverApproximates(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomCorpusSynopsis(rng, seed)
+		pats := randomPatterns(rng, 30)
+		est := New(s)
+		before := make([]float64, len(pats))
+		for i, p := range pats {
+			before[i] = est.P(p)
+		}
+		cands := s.FoldCandidates()
+		if len(cands) == 0 {
+			continue
+		}
+		if err := s.FoldLeaf(cands[rng.Intn(len(cands))].Leaf); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, p := range pats {
+			after := est.P(p)
+			if after < before[i]-1e-9 {
+				t.Fatalf("seed %d: fold decreased P(%s): %v -> %v", seed, p, before[i], after)
+			}
+		}
+	}
+}
+
+func TestDeleteUnderApproximates(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		s := randomCorpusSynopsis(rng, seed)
+		pats := randomPatterns(rng, 30)
+		est := New(s)
+		before := make([]float64, len(pats))
+		for i, p := range pats {
+			before[i] = est.P(p)
+		}
+		cands := s.DeleteCandidates()
+		if len(cands) == 0 {
+			continue
+		}
+		if err := s.DeleteLeaf(cands[rng.Intn(len(cands))]); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, p := range pats {
+			after := est.P(p)
+			if after > before[i]+1e-9 {
+				t.Fatalf("seed %d: delete increased P(%s): %v -> %v", seed, p, before[i], after)
+			}
+		}
+	}
+}
+
+func TestMergeUnderApproximates(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed + 200))
+		s := randomCorpusSynopsis(rng, seed)
+		pats := randomPatterns(rng, 30)
+		est := New(s)
+		before := make([]float64, len(pats))
+		for i, p := range pats {
+			before[i] = est.P(p)
+		}
+		cands := s.MergeCandidates()
+		if len(cands) == 0 {
+			continue
+		}
+		c := cands[rng.Intn(len(cands))]
+		if err := s.MergeNodes(c.A, c.B); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, p := range pats {
+			after := est.P(p)
+			if after > before[i]+1e-9 {
+				t.Fatalf("seed %d: merge increased P(%s): %v -> %v (pair %s#%d,%s#%d score %v)",
+					seed, p, before[i], after, c.A.Label(), c.A.ID(), c.B.Label(), c.B.ID(), c.Score)
+			}
+		}
+	}
+}
+
+func TestLosslessFoldPreservesEstimates(t *testing.T) {
+	// A fold of a leaf with Jaccard 1 against its parent must not
+	// change any estimate.
+	docs := []string{"a(b(c))", "a(b(c))", "a(x)"}
+	s := synopsis.New(synopsis.Options{Kind: matchset.KindSets, SetCapacity: 1 << 20, Seed: 1})
+	for _, d := range docs {
+		tr, err := xmltree.ParseCompact(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Insert(tr)
+	}
+	est := New(s)
+	queries := []string{"/a", "/a/b", "/a/b/c", "//c", "/a[b/c][x]", "/a/x"}
+	before := make(map[string]float64)
+	for _, q := range queries {
+		before[q] = est.P(pattern.MustParse(q))
+	}
+	// c (set {0,1}) has Jaccard 1 with parent b (set {0,1}): lossless.
+	cands := s.FoldCandidates()
+	if len(cands) == 0 || cands[0].Score < 0.999 {
+		t.Fatalf("expected a lossless fold candidate, got %v", cands)
+	}
+	if err := s.FoldLeaf(cands[0].Leaf); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if got := est.P(pattern.MustParse(q)); got != before[q] {
+			t.Errorf("lossless fold changed P(%s): %v -> %v", q, before[q], got)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package selectivity implements the paper's recursive selectivity
+// algorithm (Section 4, Algorithms 1 and 2): SEL(v,u) parses a tree
+// pattern against the document synopsis and returns the (approximate)
+// matching set of documents satisfying the pattern; P(p) normalizes its
+// cardinality by the root matching set.
+//
+// The algorithm is representation-agnostic: all set operations go
+// through the matchset.Value algebra, so Counters (max/product), Sets
+// and Hashes all evaluate through the same code path, exactly as the
+// paper prescribes.
+package selectivity
+
+import (
+	"treesim/internal/matchset"
+	"treesim/internal/pattern"
+	"treesim/internal/synopsis"
+)
+
+// Estimator evaluates tree-pattern selectivities over a synopsis.
+type Estimator struct {
+	syn *synopsis.Synopsis
+}
+
+// New returns an estimator over the given synopsis. The synopsis may
+// keep evolving; evaluations always reflect its current state.
+func New(s *synopsis.Synopsis) *Estimator {
+	return &Estimator{syn: s}
+}
+
+// Synopsis returns the underlying synopsis.
+func (e *Estimator) Synopsis() *synopsis.Synopsis { return e.syn }
+
+// Evaluate runs SEL over the synopsis root and the pattern root and
+// returns the estimated matching set of documents satisfying p.
+func (e *Estimator) Evaluate(p *pattern.Pattern) matchset.Value {
+	ev := &evaluator{
+		syn:   e.syn,
+		empty: e.syn.EmptyValue(),
+		memo:  make(map[selKey]matchset.Value),
+		uids:  make(map[*pattern.Node]int),
+	}
+	ev.number(p.Root)
+	return ev.sel(e.syn.Root(), p.Root)
+}
+
+// P estimates the selectivity of p: the probability that a document of
+// the observed stream matches p (Algorithm 2). The result is clamped to
+// [0, 1] — sampling noise in the numerator and denominator estimates can
+// otherwise push the ratio slightly outside.
+func (e *Estimator) P(p *pattern.Pattern) float64 {
+	den := e.syn.RootCard()
+	if den == 0 {
+		return 0
+	}
+	v := e.Evaluate(p).Card() / den
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// PAnd estimates the conjunction probability P(p ∧ q) by evaluating the
+// root-merged pattern (Section 4).
+func (e *Estimator) PAnd(p, q *pattern.Pattern) float64 {
+	return e.P(pattern.MergeRoots(p, q))
+}
+
+// EvaluateCard converts a matching-set value from Evaluate into the
+// probability of Algorithm 2 (clamped to [0, 1]).
+func (e *Estimator) EvaluateCard(v matchset.Value) float64 {
+	den := e.syn.RootCard()
+	if den == 0 {
+		return 0
+	}
+	out := v.Card() / den
+	if out < 0 {
+		return 0
+	}
+	if out > 1 {
+		return 1
+	}
+	return out
+}
+
+// Note on conjunctions: SEL over a root-merged pattern intersects the
+// root-level constraint sets of both patterns, so
+// SEL(p ∧ q) = SEL(p) ∩ SEL(q) holds exactly (for counters, the product
+// algebra is likewise associative). Batch consumers exploit this: each
+// pattern is evaluated once and pairwise conjunctions reduce to
+// matching-set intersections — see core.SimilarityMatrix.
+
+// POr estimates P(p ∨ q) by inclusion–exclusion, clamped to [0, 1].
+func (e *Estimator) POr(p, q *pattern.Pattern) float64 {
+	v := e.P(p) + e.P(q) - e.PAnd(p, q)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+type selKey struct {
+	v int // synopsis node id
+	u int // pattern node id
+}
+
+type evaluator struct {
+	syn   *synopsis.Synopsis
+	empty matchset.Value
+	memo  map[selKey]matchset.Value
+	uids  map[*pattern.Node]int
+}
+
+func (ev *evaluator) number(n *pattern.Node) {
+	ev.uids[n] = len(ev.uids)
+	for _, c := range n.Children {
+		ev.number(c)
+	}
+}
+
+// sel is Algorithm 1. SEL(v,u) is the set of documents for which pattern
+// node u is matched at synopsis node v with all of u's subtree
+// constraints satisfied below v. Memoization on (v,u) pairs bounds the
+// work by O(|HS|·|p|) even with descendant operators.
+func (ev *evaluator) sel(v *synopsis.Node, u *pattern.Node) matchset.Value {
+	key := selKey{v.ID(), ev.uids[u]}
+	if r, ok := ev.memo[key]; ok {
+		return r
+	}
+	res := ev.selCompute(v, u)
+	ev.memo[key] = res
+	return res
+}
+
+func (ev *evaluator) selCompute(v *synopsis.Node, u *pattern.Node) matchset.Value {
+	// Line 1: label compatibility (label(v) ⪯ label(u)).
+	if !pattern.LabelLeq(v.Label().Tag, u.Label) {
+		return ev.empty
+	}
+	// Line 3: a pattern leaf is matched by v itself — all documents
+	// containing v's path qualify.
+	if u.IsLeaf() {
+		return ev.syn.Full(v)
+	}
+	if u.Label != pattern.Descendant {
+		// Line 6: a synopsis dead end (no children, no folded
+		// structure) cannot satisfy u's child constraints.
+		if v.IsLeaf() && v.Label().IsPlain() {
+			return ev.empty
+		}
+		// Line 9: ⋂ over pattern children of (⋃ over synopsis children),
+		// extended with folded-label contributions: if u' embeds in a
+		// nested label of v, every document in S(v) (approximately)
+		// satisfies u' below v.
+		var res matchset.Value
+		for _, u2 := range u.Children {
+			uni := ev.empty
+			for _, v2 := range v.Children() {
+				uni = uni.Union(ev.sel(v2, u2))
+			}
+			for _, nt := range v.Label().Nested {
+				if ev.bsel(nt, u2) {
+					uni = uni.Union(ev.syn.Full(v))
+					break
+				}
+			}
+			if res == nil {
+				res = uni
+			} else {
+				res = res.Intersect(uni)
+			}
+			if res.IsZero() {
+				return res
+			}
+		}
+		return res
+	}
+	// Lines 11–14: descendant operator. S0 maps "//" to a path of length
+	// zero (u's children matched at v itself); S≥1 pushes "//" down to
+	// v's children and into folded labels.
+	var s0 matchset.Value
+	for _, u2 := range u.Children {
+		x := ev.sel(v, u2)
+		if s0 == nil {
+			s0 = x
+		} else {
+			s0 = s0.Intersect(x)
+		}
+	}
+	if s0 == nil {
+		s0 = ev.empty
+	}
+	s1 := ev.empty
+	for _, v2 := range v.Children() {
+		s1 = s1.Union(ev.sel(v2, u))
+	}
+	for _, nt := range v.Label().Nested {
+		if ev.bselDesc(nt, u) {
+			s1 = s1.Union(ev.syn.Full(v))
+			break
+		}
+	}
+	return s0.Union(s1)
+}
+
+// bsel is the boolean analogue of sel over a folded label tree: it
+// decides whether pattern node u can be matched at label-tree node nt.
+// Folded structure carries no per-level matching sets (they were unioned
+// into the folded node), so the answer is structural.
+func (ev *evaluator) bsel(nt *synopsis.LabelTree, u *pattern.Node) bool {
+	if u.Label == pattern.Descendant {
+		return ev.bselDesc(nt, u)
+	}
+	if !pattern.LabelLeq(nt.Tag, u.Label) {
+		return false
+	}
+	for _, u2 := range u.Children {
+		// Each pattern child must be matched within some folded child of
+		// nt; bselDesc's zero-length case already covers a "//" child
+		// whose constraints bind directly at that folded child.
+		ok := false
+		for _, nt2 := range nt.Nested {
+			if ev.bsel(nt2, u2) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// bselDesc decides whether a descendant operator u ("//") can map into
+// the label tree rooted at nt: either its child constraints are matched
+// at nt itself (zero length) or it descends into some nested child.
+func (ev *evaluator) bselDesc(nt *synopsis.LabelTree, u *pattern.Node) bool {
+	all := true
+	for _, u2 := range u.Children {
+		if !ev.bsel(nt, u2) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return true
+	}
+	for _, nt2 := range nt.Nested {
+		if ev.bselDesc(nt2, u) {
+			return true
+		}
+	}
+	return false
+}

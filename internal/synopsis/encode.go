@@ -1,0 +1,164 @@
+package synopsis
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"treesim/internal/matchset"
+	"treesim/internal/sampling"
+)
+
+// Serialization of the synopsis: a versioned gob encoding of the DAG
+// structure, labels, matching-set dumps, and stream position. Loading
+// reconstructs a synopsis whose queries are identical to the saved
+// one's; the random source used for future stream sampling (Sets mode)
+// is freshly seeded, so continued streaming is statistically — not
+// bitwise — equivalent.
+
+// encodeVersion is bumped on incompatible format changes.
+const encodeVersion = 1
+
+type encLabel struct {
+	Tag    string
+	Nested []encLabel
+}
+
+type encNode struct {
+	ID       int
+	Label    encLabel
+	Children []int
+	Store    matchset.Dump
+}
+
+type encSynopsis struct {
+	FormatVersion int
+	Kind          int
+	HashCapacity  int
+	SetCapacity   int
+	Seed          int64
+	ExactRootCard bool
+	NoReservoir   bool
+	Docs          int
+	LiveDocs      int
+	NextDocID     uint64
+	RootID        int
+	Nodes         []encNode
+	ReservoirIDs  []uint64 // Sets mode: current document sample
+}
+
+func encodeLabel(l *LabelTree) encLabel {
+	out := encLabel{Tag: l.Tag}
+	for _, c := range l.Nested {
+		out.Nested = append(out.Nested, encodeLabel(c))
+	}
+	return out
+}
+
+func decodeLabel(e encLabel) *LabelTree {
+	out := &LabelTree{Tag: e.Tag}
+	for _, c := range e.Nested {
+		out.Nested = append(out.Nested, decodeLabel(c))
+	}
+	return out
+}
+
+// Encode writes the synopsis to w.
+func (s *Synopsis) Encode(w io.Writer) error {
+	enc := encSynopsis{
+		FormatVersion: encodeVersion,
+		Kind:          int(s.opts.Kind),
+		HashCapacity:  s.opts.HashCapacity,
+		SetCapacity:   s.opts.SetCapacity,
+		Seed:          s.opts.Seed,
+		ExactRootCard: s.opts.ExactRootCard,
+		NoReservoir:   s.opts.NoReservoir,
+		Docs:          s.docs,
+		LiveDocs:      s.liveDocs,
+		NextDocID:     s.nextDocID,
+		RootID:        s.root.id,
+	}
+	for _, n := range s.Nodes() {
+		en := encNode{ID: n.id, Label: encodeLabel(n.label), Store: n.store.Dump()}
+		for _, c := range n.children {
+			en.Children = append(en.Children, c.id)
+		}
+		// Deterministic output for identical synopses: child ids and
+		// dumped identifiers come from maps and must be ordered.
+		sort.Ints(en.Children)
+		sort.Slice(en.Store.IDs, func(i, j int) bool { return en.Store.IDs[i] < en.Store.IDs[j] })
+		enc.Nodes = append(enc.Nodes, en)
+	}
+	if s.reservoir != nil {
+		enc.ReservoirIDs = append(enc.ReservoirIDs, s.reservoir.IDs()...)
+		sort.Slice(enc.ReservoirIDs, func(i, j int) bool { return enc.ReservoirIDs[i] < enc.ReservoirIDs[j] })
+	}
+	if err := gob.NewEncoder(w).Encode(enc); err != nil {
+		return fmt.Errorf("synopsis: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a synopsis previously written by Encode.
+func Decode(r io.Reader) (*Synopsis, error) {
+	var enc encSynopsis
+	if err := gob.NewDecoder(r).Decode(&enc); err != nil {
+		return nil, fmt.Errorf("synopsis: decode: %w", err)
+	}
+	if enc.FormatVersion != encodeVersion {
+		return nil, fmt.Errorf("synopsis: decode: unsupported format version %d (want %d)", enc.FormatVersion, encodeVersion)
+	}
+	s := New(Options{
+		Kind:          matchset.Kind(enc.Kind),
+		HashCapacity:  enc.HashCapacity,
+		SetCapacity:   enc.SetCapacity,
+		Seed:          enc.Seed,
+		ExactRootCard: enc.ExactRootCard,
+		NoReservoir:   enc.NoReservoir,
+	})
+	s.docs = enc.Docs
+	s.liveDocs = enc.LiveDocs
+	s.nextDocID = enc.NextDocID
+
+	nodes := make(map[int]*Node, len(enc.Nodes))
+	maxID := 0
+	for _, en := range enc.Nodes {
+		n := &Node{id: en.ID, label: decodeLabel(en.Label), store: s.factory.Restore(en.Store)}
+		nodes[en.ID] = n
+		if en.ID > maxID {
+			maxID = en.ID
+		}
+	}
+	root, ok := nodes[enc.RootID]
+	if !ok {
+		return nil, fmt.Errorf("synopsis: decode: missing root node %d", enc.RootID)
+	}
+	if root.label.Tag != rootTag {
+		return nil, fmt.Errorf("synopsis: decode: root labeled %q, want %q", root.label.Tag, rootTag)
+	}
+	for _, en := range enc.Nodes {
+		n := nodes[en.ID]
+		for _, cid := range en.Children {
+			c, ok := nodes[cid]
+			if !ok {
+				return nil, fmt.Errorf("synopsis: decode: node %d references missing child %d", en.ID, cid)
+			}
+			n.children = append(n.children, c)
+			c.parents = append(c.parents, n)
+		}
+	}
+	s.root = root
+	s.nextID = maxID + 1
+	if s.reservoir != nil {
+		// Re-seed with a position-dependent seed so the continuation
+		// does not replay the original acceptance sequence.
+		s.reservoir = sampling.RestoreReservoir(
+			enc.Seed+int64(enc.Docs), s.opts.SetCapacity, enc.ReservoirIDs, enc.Docs)
+	}
+	s.version++
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("synopsis: decode: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,91 @@
+package synopsis
+
+import (
+	"sort"
+	"strings"
+)
+
+// LabelTree is the (possibly nested) label of a synopsis node. A plain
+// node has a bare tag and no nesting. Folding a leaf child c into its
+// parent p (paper, Section 3.3) turns p's label into p[c]; repeated
+// folding produces labels nested at several levels, each representing a
+// subtree whose paths co-occur in (approximately) the same documents.
+type LabelTree struct {
+	// Tag is the element tag at this level of the label.
+	Tag string
+	// Nested holds the folded former children, if any.
+	Nested []*LabelTree
+}
+
+// NewLabel returns a plain (unnested) label.
+func NewLabel(tag string) *LabelTree { return &LabelTree{Tag: tag} }
+
+// IsPlain reports whether the label has no folded structure.
+func (l *LabelTree) IsPlain() bool { return len(l.Nested) == 0 }
+
+// Size returns the number of label-tree nodes, which is the label's
+// contribution to the paper's synopsis size measure.
+func (l *LabelTree) Size() int {
+	if l == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range l.Nested {
+		s += c.Size()
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (l *LabelTree) Clone() *LabelTree {
+	if l == nil {
+		return nil
+	}
+	out := &LabelTree{Tag: l.Tag}
+	if len(l.Nested) > 0 {
+		out.Nested = make([]*LabelTree, len(l.Nested))
+		for i, c := range l.Nested {
+			out.Nested[i] = c.Clone()
+		}
+	}
+	return out
+}
+
+// String renders the label in the paper's notation, e.g. "c[f][o[n]]".
+func (l *LabelTree) String() string {
+	var b strings.Builder
+	l.write(&b)
+	return b.String()
+}
+
+func (l *LabelTree) write(b *strings.Builder) {
+	b.WriteString(l.Tag)
+	for _, c := range l.Nested {
+		b.WriteByte('[')
+		c.write(b)
+		b.WriteByte(']')
+	}
+}
+
+// canonicalKey returns a canonical string for equality comparisons that
+// is insensitive to the order of folded children.
+func (l *LabelTree) canonicalKey() string {
+	if l.IsPlain() {
+		return l.Tag
+	}
+	keys := make([]string, len(l.Nested))
+	for i, c := range l.Nested {
+		keys[i] = c.canonicalKey()
+	}
+	sort.Strings(keys)
+	return l.Tag + "[" + strings.Join(keys, "][") + "]"
+}
+
+// Equal reports whether two labels are identical up to the order of
+// folded children.
+func (l *LabelTree) Equal(o *LabelTree) bool {
+	if l == nil || o == nil {
+		return l == o
+	}
+	return l.canonicalKey() == o.canonicalKey()
+}

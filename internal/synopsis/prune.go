@@ -1,0 +1,429 @@
+package synopsis
+
+import (
+	"fmt"
+	"sort"
+
+	"treesim/internal/matchset"
+)
+
+// jaccard estimates |A∩B| / |A∪B| from two matching-set values.
+func jaccard(a, b matchset.Value) float64 {
+	u := a.Union(b).Card()
+	if u == 0 {
+		return 0
+	}
+	return a.Intersect(b).Card() / u
+}
+
+// FoldLeaf folds a leaf node into all of its parents (paper, Section
+// 3.3): each parent's label gains the leaf's label tree as a nested
+// child, each parent's stored sample becomes the union of its own and
+// the leaf's, and the leaf disappears. Folding requires a sample-based
+// representation (Sets or Hashes).
+func (s *Synopsis) FoldLeaf(leaf *Node) error {
+	if s.opts.Kind == matchset.KindCounters {
+		return fmt.Errorf("synopsis: folding requires sample-based matching sets")
+	}
+	if leaf == s.root {
+		return fmt.Errorf("synopsis: cannot fold the root")
+	}
+	if !leaf.IsLeaf() {
+		return fmt.Errorf("synopsis: node %d is not a leaf", leaf.id)
+	}
+	if leaf.dead {
+		return fmt.Errorf("synopsis: node %d is dead", leaf.id)
+	}
+	for _, p := range leaf.parents {
+		if p == s.root {
+			return fmt.Errorf("synopsis: refusing to fold into the root")
+		}
+	}
+	leafFull := s.Full(leaf)
+	for _, p := range leaf.parents {
+		p.label = p.label.Clone()
+		p.label.Nested = append(p.label.Nested, leaf.label.Clone())
+		p.store.SetTo(p.store.Value().Union(leafFull))
+	}
+	s.detach(leaf)
+	return nil
+}
+
+// DeleteLeaf removes a low-influence leaf node (paper, Section 3.3).
+func (s *Synopsis) DeleteLeaf(leaf *Node) error {
+	if leaf == s.root {
+		return fmt.Errorf("synopsis: cannot delete the root")
+	}
+	if !leaf.IsLeaf() {
+		return fmt.Errorf("synopsis: node %d is not a leaf", leaf.id)
+	}
+	if leaf.dead {
+		return fmt.Errorf("synopsis: node %d is dead", leaf.id)
+	}
+	s.detach(leaf)
+	return nil
+}
+
+// MergeNodes merges two same-label nodes a and b into a (paper, Section
+// 3.3). Both must be leaves, or must share exactly the same children
+// ("their children have already been merged"). The merged node's stored
+// sample is the intersection of the two full matching sets; b's parents
+// are re-pointed at a, which in general turns the synopsis into a DAG.
+func (s *Synopsis) MergeNodes(a, b *Node) error {
+	if s.opts.Kind == matchset.KindCounters {
+		return fmt.Errorf("synopsis: merging requires sample-based matching sets")
+	}
+	if a == b {
+		return fmt.Errorf("synopsis: cannot merge a node with itself")
+	}
+	if a == s.root || b == s.root {
+		return fmt.Errorf("synopsis: cannot merge the root")
+	}
+	if a.dead || b.dead {
+		return fmt.Errorf("synopsis: merge of dead node")
+	}
+	if !a.label.Equal(b.label) {
+		return fmt.Errorf("synopsis: labels %s and %s differ", a.label, b.label)
+	}
+	if !(a.IsLeaf() && b.IsLeaf()) && !sameChildren(a, b) {
+		return fmt.Errorf("synopsis: nodes %d and %d are mergeable only as leaves or with identical children", a.id, b.id)
+	}
+	inter := s.Full(a).Intersect(s.Full(b))
+	a.store.SetTo(inter)
+	// Re-point b's parents at a.
+	for _, p := range b.parents {
+		p.children = removeNode(p.children, b)
+		if !containsNode(p.children, a) {
+			p.children = append(p.children, a)
+		}
+		if !containsNode(a.parents, p) {
+			a.parents = append(a.parents, p)
+		}
+	}
+	// Unlink b from its children (a already shares them).
+	for _, c := range b.children {
+		c.parents = removeNode(c.parents, b)
+	}
+	b.parents, b.children = nil, nil
+	b.dead = true
+	s.version++
+	return nil
+}
+
+func sameChildren(a, b *Node) bool {
+	if len(a.children) != len(b.children) {
+		return false
+	}
+	for _, c := range a.children {
+		if !containsNode(b.children, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// FoldCandidate is a leaf that could be folded into its parent(s), with
+// its matching-set similarity score (averaged over parents when a merged
+// leaf has several).
+type FoldCandidate struct {
+	Leaf  *Node
+	Score float64
+}
+
+// FoldCandidates returns foldable leaves sorted by decreasing score
+// (ties by id for determinism). Leaves whose only parents include the
+// root are excluded.
+func (s *Synopsis) FoldCandidates() []FoldCandidate {
+	var out []FoldCandidate
+	for _, n := range s.Nodes() {
+		if n == s.root || !n.IsLeaf() || len(n.parents) == 0 {
+			continue
+		}
+		rootParent := false
+		for _, p := range n.parents {
+			if p == s.root {
+				rootParent = true
+				break
+			}
+		}
+		if rootParent {
+			continue
+		}
+		full := s.Full(n)
+		sum := 0.0
+		for _, p := range n.parents {
+			sum += jaccard(full, s.Full(p))
+		}
+		out = append(out, FoldCandidate{Leaf: n, Score: sum / float64(len(n.parents))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Leaf.id < out[j].Leaf.id
+	})
+	return out
+}
+
+// MergeCandidate is a mergeable same-label node pair with its estimated
+// matching-set similarity.
+type MergeCandidate struct {
+	A, B  *Node
+	Score float64
+}
+
+// MergeCandidates returns mergeable pairs sorted by decreasing score.
+func (s *Synopsis) MergeCandidates() []MergeCandidate {
+	groups := make(map[string][]*Node)
+	var keys []string
+	for _, n := range s.Nodes() {
+		if n == s.root {
+			continue
+		}
+		k := n.label.canonicalKey()
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], n)
+	}
+	sort.Strings(keys)
+	var out []MergeCandidate
+	for _, k := range keys {
+		g := groups[k]
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				a, b := g[i], g[j]
+				if !(a.IsLeaf() && b.IsLeaf()) && !sameChildren(a, b) {
+					continue
+				}
+				out = append(out, MergeCandidate{A: a, B: b, Score: jaccard(s.Full(a), s.Full(b))})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A.id != out[j].A.id {
+			return out[i].A.id < out[j].A.id
+		}
+		return out[i].B.id < out[j].B.id
+	})
+	return out
+}
+
+// DeleteCandidates returns deletable leaves sorted by increasing full
+// cardinality (the least influential first).
+func (s *Synopsis) DeleteCandidates() []*Node {
+	var leaves []*Node
+	for _, n := range s.Nodes() {
+		if n != s.root && n.IsLeaf() {
+			leaves = append(leaves, n)
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool {
+		ci, cj := s.Full(leaves[i]).Card(), s.Full(leaves[j]).Card()
+		if ci != cj {
+			return ci < cj
+		}
+		return leaves[i].id < leaves[j].id
+	})
+	return leaves
+}
+
+// CompressOptions tunes the compression driver.
+type CompressOptions struct {
+	// TargetRatio α: compress until Size() ≤ α · (size at call time).
+	TargetRatio float64
+	// FoldThreshold is the minimum similarity for lossy folds in the
+	// second stage (default 0.5). Lossless folds (score ≈ 1) are always
+	// applied first.
+	FoldThreshold float64
+	// MergeThreshold is the minimum similarity for merges in the final
+	// stage (default 0; the paper merges in decreasing similarity order
+	// without a cutoff).
+	MergeThreshold float64
+	// DeleteCardFraction restricts stage-2 deletions to leaves whose
+	// full matching-set cardinality is at most this fraction of the
+	// root's ("low-cardinality nodes", paper Section 3.3). Default 0.1.
+	// When a full round cannot reach the target, the driver escalates:
+	// thresholds relax until pruning can always proceed.
+	DeleteCardFraction float64
+}
+
+func (o CompressOptions) withDefaults() CompressOptions {
+	if o.FoldThreshold == 0 {
+		o.FoldThreshold = 0.5
+	}
+	if o.DeleteCardFraction == 0 {
+		o.DeleteCardFraction = 0.1
+	}
+	return o
+}
+
+// losslessScore is the similarity at or above which a fold is considered
+// lossless (identical matching sets up to estimation noise).
+const losslessScore = 0.999999
+
+// Compress prunes the synopsis down to TargetRatio of its current size,
+// applying the paper's operation order (Section 5.2): first lossless
+// folds of leaves with identical matching sets, then folding and
+// deleting low-cardinality nodes, finally merging same-label nodes. It
+// returns the achieved ratio.
+//
+// In Counters mode only leaf deletion is available (the paper's primary
+// means of controlling counter-synopsis size).
+//
+// To stay near-linear, Compress tracks the size incrementally: each
+// operation adjusts the running total by the local contribution change
+// of the affected nodes, and the exact size is resynchronized at round
+// boundaries.
+func (s *Synopsis) Compress(opts CompressOptions) float64 {
+	opts = opts.withDefaults()
+	if opts.TargetRatio <= 0 || opts.TargetRatio > 1 {
+		panic(fmt.Sprintf("synopsis: target ratio %v out of (0,1]", opts.TargetRatio))
+	}
+	base := s.Size()
+	target := int(float64(base) * opts.TargetRatio)
+	samples := s.opts.Kind != matchset.KindCounters
+	cur := base
+
+	// apply performs op and updates cur by the change in the affected
+	// nodes' size contributions.
+	apply := func(affected []*Node, op func() error) bool {
+		before := contribution(affected)
+		if op() != nil {
+			return false
+		}
+		cur += contribution(affected) - before
+		return true
+	}
+
+	// Stage 1: lossless folds, exhaustively (they are free accuracy-wise
+	// and may enable deeper folds).
+	if samples {
+		for {
+			applied := false
+			for _, c := range s.FoldCandidates() {
+				if c.Score < losslessScore {
+					break
+				}
+				leaf := c.Leaf
+				if leaf.dead || !leaf.IsLeaf() {
+					continue
+				}
+				if apply(append([]*Node{leaf}, leaf.parents...), func() error { return s.FoldLeaf(leaf) }) {
+					applied = true
+				}
+			}
+			if !applied {
+				break
+			}
+		}
+		cur = s.Size()
+	}
+
+	foldTh := opts.FoldThreshold
+	deleteFrac := opts.DeleteCardFraction
+	for cur > target {
+		progressed := false
+
+		// Stage 2: fold high-similarity leaves, then delete
+		// low-cardinality leaves. Candidate scores are computed once per
+		// round; applying them in a batch with slightly stale scores
+		// only affects prioritization, not correctness.
+		if samples {
+			for _, c := range s.FoldCandidates() {
+				if cur <= target || c.Score < foldTh {
+					break
+				}
+				leaf := c.Leaf
+				if leaf.dead || !leaf.IsLeaf() {
+					continue
+				}
+				if apply(append([]*Node{leaf}, leaf.parents...), func() error { return s.FoldLeaf(leaf) }) {
+					progressed = true
+				}
+			}
+		}
+		if cur > target {
+			maxCard := deleteFrac * s.RootCard()
+			for _, leaf := range s.DeleteCandidates() {
+				if cur <= target {
+					break
+				}
+				l := leaf
+				if l.dead || !l.IsLeaf() {
+					continue
+				}
+				if s.Full(l).Card() > maxCard {
+					break // candidates are sorted by ascending cardinality
+				}
+				if apply(append([]*Node{l}, l.parents...), func() error { return s.DeleteLeaf(l) }) {
+					progressed = true
+				}
+			}
+		}
+
+		// Stage 3: merge same-label nodes in decreasing similarity.
+		if samples && cur > target {
+			for _, c := range s.MergeCandidates() {
+				if cur <= target || c.Score < opts.MergeThreshold {
+					break
+				}
+				a, b := c.A, c.B
+				if a.dead || b.dead {
+					continue
+				}
+				affected := []*Node{a, b}
+				affected = append(affected, b.parents...)
+				if apply(affected, func() error { return s.MergeNodes(a, b) }) {
+					progressed = true
+				}
+			}
+		}
+
+		cur = s.Size() // resync before deciding on another round
+		if cur <= target {
+			break
+		}
+		if !progressed {
+			// Escalate: relax the deletion bound first (dropping rare
+			// paths is the paper's primary size control), then fold
+			// aggressiveness — but never below 0.3, where folding
+			// attributes the parent's whole set to clearly dissimilar
+			// children and does more harm than deletion.
+			switch {
+			case deleteFrac < 1:
+				deleteFrac *= 4
+				if deleteFrac > 1 {
+					deleteFrac = 1
+				}
+			case foldTh > 0.3:
+				foldTh -= 0.1
+				if foldTh < 0.3 {
+					foldTh = 0.3
+				}
+			default:
+				return float64(s.Size()) / float64(base)
+			}
+		}
+	}
+	return float64(s.Size()) / float64(base)
+}
+
+// contribution sums the size contributions (node + outgoing edges +
+// label-tree nodes + store entries) of the given nodes, deduplicated;
+// dead nodes contribute nothing.
+func contribution(nodes []*Node) int {
+	seen := make(map[int]bool, len(nodes))
+	total := 0
+	for _, n := range nodes {
+		if n == nil || n.dead || seen[n.id] {
+			continue
+		}
+		seen[n.id] = true
+		total += 1 + len(n.children) + n.label.Size() + n.store.Entries()
+	}
+	return total
+}

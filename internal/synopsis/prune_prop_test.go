@@ -1,0 +1,108 @@
+package synopsis
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/matchset"
+	"treesim/internal/xmltree"
+)
+
+// TestRandomOpSequencesKeepInvariants drives random valid pruning
+// operations against random synopses and checks the structural
+// invariants (Validate), size monotonicity, and that the DAG stays
+// queryable.
+func TestRandomOpSequencesKeepInvariants(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(Options{Kind: matchset.KindHashes, HashCapacity: 40, Seed: seed})
+		// Random corpus over a small alphabet → rich same-label
+		// structure for merges.
+		labels := []string{"a", "b", "c", "d"}
+		var gen func(depth int) *xmltree.Node
+		gen = func(depth int) *xmltree.Node {
+			n := &xmltree.Node{Label: labels[rng.Intn(len(labels))]}
+			if depth < 4 {
+				for i := 0; i < rng.Intn(3); i++ {
+					n.Children = append(n.Children, gen(depth+1))
+				}
+			}
+			return n
+		}
+		for i := 0; i < 40; i++ {
+			s.Insert(&xmltree.Tree{Root: gen(1)})
+		}
+		size := s.Size()
+		for op := 0; op < 30; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				cands := s.FoldCandidates()
+				if len(cands) > 0 {
+					c := cands[rng.Intn(len(cands))]
+					if err := s.FoldLeaf(c.Leaf); err != nil {
+						t.Fatalf("seed %d op %d: fold: %v", seed, op, err)
+					}
+				}
+			case 1:
+				cands := s.MergeCandidates()
+				if len(cands) > 0 {
+					c := cands[rng.Intn(len(cands))]
+					if err := s.MergeNodes(c.A, c.B); err != nil {
+						t.Fatalf("seed %d op %d: merge: %v", seed, op, err)
+					}
+				}
+			default:
+				cands := s.DeleteCandidates()
+				if len(cands) > 0 {
+					if err := s.DeleteLeaf(cands[rng.Intn(len(cands))]); err != nil {
+						t.Fatalf("seed %d op %d: delete: %v", seed, op, err)
+					}
+				}
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+			if ns := s.Size(); ns > size {
+				t.Fatalf("seed %d op %d: size grew %d -> %d", seed, op, size, ns)
+			} else {
+				size = ns
+			}
+			// Full sets on every node must stay computable and bounded
+			// by the root's.
+			rootCard := s.Full(s.Root()).Card()
+			for _, n := range s.Nodes() {
+				if c := s.Full(n).Card(); c > rootCard+1e-9 {
+					t.Fatalf("seed %d op %d: node %d card %v exceeds root %v",
+						seed, op, n.ID(), c, rootCard)
+				}
+			}
+		}
+		// Streaming into a heavily pruned synopsis must still work.
+		for i := 0; i < 10; i++ {
+			s.Insert(&xmltree.Tree{Root: gen(1)})
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: post-prune insert: %v", seed, err)
+		}
+	}
+}
+
+// TestCompressExtremeTargets pushes compression to its limits.
+func TestCompressExtremeTargets(t *testing.T) {
+	s := New(Options{Kind: matchset.KindHashes, HashCapacity: 50, Seed: 1})
+	buildCorpus(t, s, corpus6)
+	for i := 0; i < 10; i++ {
+		buildCorpus(t, s, corpus6)
+	}
+	ratio := s.Compress(CompressOptions{TargetRatio: 0.01})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The root always survives; ratio cannot reach 0 but must be small.
+	if ratio > 0.5 {
+		t.Errorf("extreme compression achieved only %v", ratio)
+	}
+	if s.Root() == nil || s.Root().Label().Tag != "/." {
+		t.Error("root lost")
+	}
+}

@@ -1,0 +1,578 @@
+package synopsis
+
+import (
+	"strings"
+	"testing"
+
+	"treesim/internal/matchset"
+	"treesim/internal/xmltree"
+)
+
+// corpus6 is a 6-document corpus engineered to reproduce the paper's
+// Section 3.2 counter-example: elements b and d are mutually exclusive
+// (P(a/b) = P(a/d) = 1/2), while f and o always co-occur under c
+// (P(c/f) = P(c/o) = P(both) = 1/3).
+var corpus6 = []string{
+	"a(b(e))",
+	"a(b(f))",
+	"a(b,c(f,o))",
+	"a(d,c(f,o))",
+	"a(d(e))",
+	"a(d(q))",
+}
+
+func buildCorpus(t *testing.T, s *Synopsis, docs []string) {
+	t.Helper()
+	for _, d := range docs {
+		tr, err := xmltree.ParseCompact(d)
+		if err != nil {
+			t.Fatalf("parse %q: %v", d, err)
+		}
+		s.Insert(tr)
+	}
+}
+
+// findPath walks real children by root tag.
+func findPath(t *testing.T, s *Synopsis, tags ...string) *Node {
+	t.Helper()
+	n := s.Root()
+	for _, tag := range tags {
+		var next *Node
+		for _, c := range n.Children() {
+			if c.Label().Tag == tag {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			t.Fatalf("path %v: no child %q under %s", tags, tag, n.Label())
+		}
+		n = next
+	}
+	return n
+}
+
+func newSets(seed int64, k int) *Synopsis {
+	return New(Options{Kind: matchset.KindSets, SetCapacity: k, Seed: seed})
+}
+
+func newHashes(seed int64, h int) *Synopsis {
+	return New(Options{Kind: matchset.KindHashes, HashCapacity: h, Seed: seed})
+}
+
+func newCounters(seed int64) *Synopsis {
+	return New(Options{Kind: matchset.KindCounters, Seed: seed})
+}
+
+func TestInsertAssignsSequentialIDs(t *testing.T) {
+	s := newSets(1, 100)
+	for want := uint64(0); want < 5; want++ {
+		tr, _ := xmltree.ParseCompact("a(b)")
+		if got := s.Insert(tr); got != want {
+			t.Fatalf("Insert returned id %d, want %d", got, want)
+		}
+	}
+	if s.DocsObserved() != 5 {
+		t.Errorf("DocsObserved = %d, want 5", s.DocsObserved())
+	}
+}
+
+func TestStructureAfterCorpus(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := findPath(t, s, "a")
+	if len(a.Children()) != 3 {
+		t.Fatalf("a has %d children, want 3 (b,c,d)", len(a.Children()))
+	}
+	// Full matching sets (Sets mode with ample capacity is exact).
+	cases := []struct {
+		path []string
+		want float64
+	}{
+		{[]string{"a"}, 6},
+		{[]string{"a", "b"}, 3},
+		{[]string{"a", "c"}, 2},
+		{[]string{"a", "d"}, 3},
+		{[]string{"a", "c", "f"}, 2},
+		{[]string{"a", "c", "o"}, 2},
+		{[]string{"a", "b", "e"}, 1},
+		{[]string{"a", "d", "e"}, 1},
+	}
+	for _, c := range cases {
+		n := findPath(t, s, c.path...)
+		if got := s.Full(n).Card(); got != c.want {
+			t.Errorf("Full(%v) card = %v, want %v", c.path, got, c.want)
+		}
+	}
+	if got := s.RootCard(); got != 6 {
+		t.Errorf("RootCard = %v, want 6", got)
+	}
+}
+
+func TestCountersFullCounts(t *testing.T) {
+	s := newCounters(1)
+	buildCorpus(t, s, corpus6)
+	cases := []struct {
+		path []string
+		want float64
+	}{
+		{[]string{"a"}, 6},
+		{[]string{"a", "b"}, 3},
+		{[]string{"a", "d"}, 3},
+		{[]string{"a", "c"}, 2},
+		{[]string{"a", "c", "f"}, 2},
+	}
+	for _, c := range cases {
+		n := findPath(t, s, c.path...)
+		if got := s.Full(n).Card(); got != c.want {
+			t.Errorf("counter Full(%v) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	if got := s.RootCard(); got != 6 {
+		t.Errorf("RootCard = %v, want 6", got)
+	}
+}
+
+func TestHashesExactUnderCapacity(t *testing.T) {
+	s := newHashes(7, 1000)
+	buildCorpus(t, s, corpus6)
+	b := findPath(t, s, "a", "b")
+	if got := s.Full(b).Card(); got != 3 {
+		t.Errorf("hash Full(a/b) = %v, want 3 (no subsampling yet)", got)
+	}
+}
+
+func TestSkeletonDeduplication(t *testing.T) {
+	// a(b(c),b(d)) must produce a single b node holding both c and d.
+	s := newSets(1, 100)
+	tr, _ := xmltree.ParseCompact("a(b(c),b(d))")
+	s.Insert(tr)
+	a := findPath(t, s, "a")
+	if len(a.Children()) != 1 {
+		t.Fatalf("a has %d children, want 1", len(a.Children()))
+	}
+	b := findPath(t, s, "a", "b")
+	if len(b.Children()) != 2 {
+		t.Fatalf("b has %d children, want 2", len(b.Children()))
+	}
+}
+
+func TestSetsReservoirEviction(t *testing.T) {
+	s := newSets(3, 5)
+	for i := 0; i < 200; i++ {
+		tr, _ := xmltree.ParseCompact("a(b)")
+		s.Insert(tr)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RootCard(); got != 5 {
+		t.Errorf("RootCard = %v, want reservoir size 5", got)
+	}
+	if s.DocsObserved() != 200 {
+		t.Errorf("DocsObserved = %d, want 200", s.DocsObserved())
+	}
+	b := findPath(t, s, "a", "b")
+	if got := s.Full(b).Card(); got != 5 {
+		t.Errorf("Full(a/b) = %v, want 5 (every sampled doc has the path)", got)
+	}
+}
+
+func TestSetsEvictionPrunesEmptyNodes(t *testing.T) {
+	// With a 1-slot reservoir, inserting two structurally different
+	// docs leaves only the surviving doc's paths.
+	s := newSets(5, 1)
+	t1, _ := xmltree.ParseCompact("a(x)")
+	t2, _ := xmltree.ParseCompact("a(y)")
+	s.Insert(t1)
+	s.Insert(t2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := findPath(t, s, "a")
+	// Exactly one of x/y must remain, depending on which doc survived.
+	if len(a.Children()) != 1 {
+		t.Fatalf("a has %d children, want exactly 1 after eviction pruning (synopsis:\n%s)",
+			len(a.Children()), s)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newSets(1, 100)
+	tr, _ := xmltree.ParseCompact("a(b)")
+	s.Insert(tr)
+	st := s.Stats()
+	// Nodes: root, a, b. Edges: root→a, a→b. Labels: 3 plain labels.
+	// Entries: only b stores the doc id.
+	want := Stats{Nodes: 3, Edges: 2, Labels: 3, Entries: 1}
+	if st != want {
+		t.Errorf("Stats = %+v, want %+v", st, want)
+	}
+	if st.Size() != 9 {
+		t.Errorf("Size = %d, want 9", st.Size())
+	}
+}
+
+func TestFoldLeafLossless(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	sizeBefore := s.Size()
+	c := findPath(t, s, "a", "c")
+	f := findPath(t, s, "a", "c", "f")
+	if err := s.FoldLeaf(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Label().String(); got != "c[f]" {
+		t.Errorf("folded label = %q, want c[f]", got)
+	}
+	// c's stored set now holds the union; full set unchanged.
+	if got := s.Full(c).Card(); got != 2 {
+		t.Errorf("Full(c) after fold = %v, want 2", got)
+	}
+	if s.Size() >= sizeBefore {
+		t.Errorf("fold did not shrink synopsis: %d -> %d", sizeBefore, s.Size())
+	}
+	// Fold o as well; c becomes a leaf with doubly nested label.
+	o := findPath(t, s, "a", "c", "o")
+	if err := s.FoldLeaf(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Label().String(); got != "c[f][o]" {
+		t.Errorf("folded label = %q, want c[f][o]", got)
+	}
+	if !c.IsLeaf() {
+		t.Error("c should be a leaf after folding both children")
+	}
+}
+
+func TestFoldErrors(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	if err := s.FoldLeaf(s.Root()); err == nil {
+		t.Error("folding root should fail")
+	}
+	b := findPath(t, s, "a", "b")
+	if err := s.FoldLeaf(b); err == nil {
+		t.Error("folding non-leaf should fail")
+	}
+	a := findPath(t, s, "a")
+	_ = a
+	// "a" is a child of the root; its leaves are foldable, but "a"
+	// itself (if it were a leaf) would not be. Construct that case:
+	s2 := newSets(1, 100)
+	tr, _ := xmltree.ParseCompact("solo")
+	s2.Insert(tr)
+	solo := findPath(t, s2, "solo")
+	if err := s2.FoldLeaf(solo); err == nil {
+		t.Error("folding into the root should fail")
+	}
+	// Counters cannot fold.
+	s3 := newCounters(1)
+	buildCorpus(t, s3, corpus6)
+	e := findPath(t, s3, "a", "b", "e")
+	if err := s3.FoldLeaf(e); err == nil {
+		t.Error("folding with counters should fail")
+	}
+}
+
+func TestAbsorptionAfterFold(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	c := findPath(t, s, "a", "c")
+	for _, tag := range []string{"f", "o"} {
+		leaf := findPath(t, s, "a", "c", tag)
+		if err := s.FoldLeaf(leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodesBefore := len(s.Nodes())
+	fullBefore := s.Full(c).Card()
+	// A new document whose c-subtree is covered by the folded label is
+	// absorbed without creating nodes.
+	tr, _ := xmltree.ParseCompact("a(c(f))")
+	s.Insert(tr)
+	if got := len(s.Nodes()); got != nodesBefore {
+		t.Errorf("absorbed insert created nodes: %d -> %d", nodesBefore, got)
+	}
+	if got := s.Full(c).Card(); got != fullBefore+1 {
+		t.Errorf("Full(c) = %v, want %v", got, fullBefore+1)
+	}
+	// A document extending beyond the folded structure creates a real
+	// child below the folded node.
+	tr2, _ := xmltree.ParseCompact("a(c(f(deep)))")
+	s.Insert(tr2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fNode := findPath(t, s, "a", "c", "f")
+	if got := s.Full(fNode).Card(); got != 1 {
+		t.Errorf("re-created f full card = %v, want 1", got)
+	}
+}
+
+func TestMergeLeavesCreatesDAG(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	eb := findPath(t, s, "a", "b", "e")
+	ed := findPath(t, s, "a", "d", "e")
+	if err := s.MergeNodes(eb, ed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(eb.Parents()) != 2 {
+		t.Errorf("merged node has %d parents, want 2", len(eb.Parents()))
+	}
+	// Paper semantics: merged store is the intersection of full sets —
+	// here disjoint, hence empty.
+	if got := s.Full(eb).Card(); got != 0 {
+		t.Errorf("merged full card = %v, want 0 (disjoint sets)", got)
+	}
+	// Both b and d now reach the shared node.
+	if findPath(t, s, "a", "b", "e") != findPath(t, s, "a", "d", "e") {
+		t.Error("b/e and d/e should be the same node after merge")
+	}
+}
+
+func TestMergeIdenticalSetsLossless(t *testing.T) {
+	// Two same-label leaves with identical matching sets merge without
+	// loss.
+	s := newSets(1, 100)
+	buildCorpus(t, s, []string{"r(x(k),y(k))", "r(x(k),y(k))"})
+	xk := findPath(t, s, "r", "x", "k")
+	yk := findPath(t, s, "r", "y", "k")
+	if err := s.MergeNodes(xk, yk); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Full(xk).Card(); got != 2 {
+		t.Errorf("merged full card = %v, want 2", got)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	b := findPath(t, s, "a", "b")
+	d := findPath(t, s, "a", "d")
+	if err := s.MergeNodes(b, d); err == nil {
+		t.Error("merging different labels should fail")
+	}
+	fb := findPath(t, s, "a", "b", "f")
+	fc := findPath(t, s, "a", "c", "f")
+	if err := s.MergeNodes(fb, fb); err == nil {
+		t.Error("merging a node with itself should fail")
+	}
+	if err := s.MergeNodes(fb, fc); err != nil {
+		t.Errorf("merging same-label leaves should succeed: %v", err)
+	}
+	// Non-leaf same-label nodes with different children cannot merge.
+	s2 := newSets(1, 100)
+	buildCorpus(t, s2, []string{"r(x(p),z(x(q)))"})
+	x1 := findPath(t, s2, "r", "x")
+	x2 := findPath(t, s2, "r", "z", "x")
+	if err := s2.MergeNodes(x1, x2); err == nil {
+		t.Error("merging non-leaves with different children should fail")
+	}
+}
+
+func TestMergeNonLeafSameChildren(t *testing.T) {
+	// Merge the leaf children first; then the parents share children
+	// and can merge bottom-up, as the paper prescribes.
+	s := newSets(1, 100)
+	buildCorpus(t, s, []string{"r(u(x(k)),v(x(k)))"})
+	k1 := findPath(t, s, "r", "u", "x", "k")
+	k2 := findPath(t, s, "r", "v", "x", "k")
+	if err := s.MergeNodes(k1, k2); err != nil {
+		t.Fatal(err)
+	}
+	x1 := findPath(t, s, "r", "u", "x")
+	x2 := findPath(t, s, "r", "v", "x")
+	if err := s.MergeNodes(x1, x2); err != nil {
+		t.Fatalf("same-children merge failed: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if findPath(t, s, "r", "u", "x") != findPath(t, s, "r", "v", "x") {
+		t.Error("x nodes should be shared")
+	}
+}
+
+func TestDeleteLeaf(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	q := findPath(t, s, "a", "d", "q")
+	sizeBefore := s.Size()
+	if err := s.DeleteLeaf(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() >= sizeBefore {
+		t.Error("delete did not shrink synopsis")
+	}
+	d := findPath(t, s, "a", "d")
+	// Doc 5 (a(d(q))) loses its path below d; d's full set shrinks to
+	// stored {3} ∪ e{4}.
+	if got := s.Full(d).Card(); got != 2 {
+		t.Errorf("Full(d) after delete = %v, want 2", got)
+	}
+	if err := s.DeleteLeaf(d); err == nil {
+		t.Error("deleting non-leaf should fail")
+	}
+	if err := s.DeleteLeaf(s.Root()); err == nil {
+		t.Error("deleting root should fail")
+	}
+}
+
+func TestCandidatesOrdering(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	folds := s.FoldCandidates()
+	if len(folds) == 0 {
+		t.Fatal("expected fold candidates")
+	}
+	for i := 1; i < len(folds); i++ {
+		if folds[i].Score > folds[i-1].Score {
+			t.Fatal("fold candidates not sorted by descending score")
+		}
+	}
+	// f and o under c have Jaccard 1 with c: they must come first.
+	if folds[0].Score != 1 {
+		t.Errorf("best fold score = %v, want 1 (f/o under c)", folds[0].Score)
+	}
+	merges := s.MergeCandidates()
+	for i := 1; i < len(merges); i++ {
+		if merges[i].Score > merges[i-1].Score {
+			t.Fatal("merge candidates not sorted by descending score")
+		}
+	}
+	dels := s.DeleteCandidates()
+	for i := 1; i < len(dels); i++ {
+		if s.Full(dels[i]).Card() < s.Full(dels[i-1]).Card() {
+			t.Fatal("delete candidates not sorted by ascending cardinality")
+		}
+	}
+}
+
+func TestCompressReachesTarget(t *testing.T) {
+	s := newHashes(11, 100)
+	// A corpus with redundancy: mandatory children (foldable), repeated
+	// labels (mergeable), rare paths (deletable).
+	docs := []string{
+		"r(head(title,date),body(sec(par,par),sec(par)))",
+		"r(head(title,date),body(sec(par)))",
+		"r(head(title,date),body(sec(par,note)))",
+		"r(head(title,date),body(sec(par),appendix))",
+	}
+	for i := 0; i < 5; i++ {
+		buildCorpus(t, s, docs)
+	}
+	base := s.Size()
+	ratio := s.Compress(CompressOptions{TargetRatio: 0.5})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 0.6 {
+		t.Errorf("achieved ratio %v, want ≤ ~0.5 of %d", ratio, base)
+	}
+	if s.Size() > base {
+		t.Error("compression increased size")
+	}
+}
+
+func TestCompressCountersDeletesOnly(t *testing.T) {
+	s := newCounters(1)
+	buildCorpus(t, s, corpus6)
+	ratio := s.Compress(CompressOptions{TargetRatio: 0.6})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 0.75 {
+		t.Errorf("counters compression achieved only %v", ratio)
+	}
+	// Root and the top of the tree must survive.
+	if findPath(t, s, "a") == nil {
+		t.Error("a vanished")
+	}
+}
+
+func TestCompressLosslessStageOnly(t *testing.T) {
+	// With target 1.0 nothing needs pruning, but lossless folds are
+	// still applied (they never hurt).
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	s.Compress(CompressOptions{TargetRatio: 1.0})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := findPath(t, s, "a", "c")
+	if c.Label().IsPlain() {
+		t.Error("lossless folds (f,o into c) were not applied")
+	}
+}
+
+func TestVersionBumpsInvalidateFull(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6[:3])
+	a := findPath(t, s, "a")
+	v1 := s.Full(a).Card()
+	tr, _ := xmltree.ParseCompact("a(zz)")
+	s.Insert(tr)
+	v2 := s.Full(a).Card()
+	if v2 != v1+1 {
+		t.Errorf("Full(a) after insert = %v, want %v", v2, v1+1)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	s := newSets(1, 100)
+	buildCorpus(t, s, corpus6)
+	out := s.String()
+	for _, want := range []string{"/.", "a", "b", "c", "d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelTree(t *testing.T) {
+	l := NewLabel("c")
+	l.Nested = append(l.Nested, NewLabel("f"), &LabelTree{Tag: "o", Nested: []*LabelTree{NewLabel("n")}})
+	if got := l.String(); got != "c[f][o[n]]" {
+		t.Errorf("String = %q, want c[f][o[n]]", got)
+	}
+	if got := l.Size(); got != 4 {
+		t.Errorf("Size = %d, want 4", got)
+	}
+	// Equality is order-insensitive.
+	m := NewLabel("c")
+	m.Nested = append(m.Nested, &LabelTree{Tag: "o", Nested: []*LabelTree{NewLabel("n")}}, NewLabel("f"))
+	if !l.Equal(m) {
+		t.Error("labels differing only in nested order should be equal")
+	}
+	cp := l.Clone()
+	cp.Nested[0].Tag = "zzz"
+	if l.Nested[0].Tag == "zzz" {
+		t.Error("Clone aliased nested labels")
+	}
+}
+
+func TestEmptyDocumentInsert(t *testing.T) {
+	s := newSets(1, 10)
+	id := s.Insert(nil)
+	if id != 0 || s.DocsObserved() != 1 {
+		t.Error("nil tree should still consume a document id")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package xmlgen
+
+import "treesim/internal/dtd"
+
+// Calibrate tunes generation options so that documents average roughly
+// targetTagPairs tag pairs (the paper's corpora average ~100). It binary
+// searches a scale factor applied to the optional-inclusion and
+// repetition rates, probing each candidate with a small pilot corpus.
+// The returned Options are deterministic for a given (DTD, target,
+// seed).
+func Calibrate(d *dtd.DTD, targetTagPairs int, seed int64) Options {
+	base := Options{Seed: seed}.withDefaults()
+	lo, hi := 0.02, 4.0
+	best := base
+	const pilot = 40
+	for iter := 0; iter < 14; iter++ {
+		mid := (lo + hi) / 2
+		cand := base
+		cand.OptProb = clamp01(base.OptProb * mid)
+		cand.RepeatMean = base.RepeatMean * mid
+		cand.MaxNodes = targetTagPairs * 10
+		st := Stats(New(d, cand).GenerateN(pilot))
+		if st.MeanTagPairs > float64(targetTagPairs) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		best = cand
+	}
+	return best
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0.95 {
+		return 0.95
+	}
+	return v
+}

@@ -1,0 +1,272 @@
+// Package xmlgen generates random XML documents from a DTD. It stands in
+// for IBM's XML Generator (the tool the paper used, long unavailable):
+// documents are valid expansions of the DTD's content models, with
+// uniform choice selection, configurable optional-inclusion and
+// repetition rates, a depth cap (the paper used up to 10 levels) and a
+// size target (~100 tag pairs on average in the paper).
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesim/internal/dtd"
+	"treesim/internal/xmltree"
+)
+
+// Options configures document generation.
+type Options struct {
+	// MaxDepth caps document depth in levels (root = level 1). Elements
+	// whose mandatory content cannot fit are truncated (emitted without
+	// children), as the original tool did. Default 10.
+	MaxDepth int
+	// OptProb is the probability that a "?" particle is included.
+	// Default 0.5.
+	OptProb float64
+	// RepeatMean is the mean number of repetitions beyond the minimum
+	// for "*" and "+" particles (geometric). Default 1.0.
+	RepeatMean float64
+	// MaxNodes hard-caps document size; expansion stops adding optional
+	// and repeated content beyond it. Default 1000.
+	MaxNodes int
+	// EmitText turns #PCDATA into leaf value nodes drawn from Values.
+	EmitText bool
+	// Values is the text vocabulary when EmitText is set.
+	Values []string
+	// Seed drives the generator deterministically.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 10
+	}
+	if o.OptProb == 0 {
+		o.OptProb = 0.5
+	}
+	if o.RepeatMean == 0 {
+		o.RepeatMean = 1.0
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1000
+	}
+	if o.EmitText && len(o.Values) == 0 {
+		o.Values = []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	}
+	return o
+}
+
+// Generator produces random documents valid for one DTD.
+type Generator struct {
+	d        *dtd.DTD
+	opts     Options
+	rng      *rand.Rand
+	minDepth map[string]int
+	nodes    int // node budget tracking for the current document
+}
+
+// New returns a generator for the DTD. It panics if the DTD is invalid.
+func New(d *dtd.DTD, opts Options) *Generator {
+	if err := d.Validate(); err != nil {
+		panic(fmt.Sprintf("xmlgen: %v", err))
+	}
+	return &Generator{
+		d:        d,
+		opts:     opts.withDefaults(),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		minDepth: d.MinDepths(),
+	}
+}
+
+// Generate produces one document.
+func (g *Generator) Generate() *xmltree.Tree {
+	g.nodes = 0
+	root := g.expand(g.d.RootName, 1)
+	return &xmltree.Tree{Root: root}
+}
+
+// GenerateN produces n documents.
+func (g *Generator) GenerateN(n int) []*xmltree.Tree {
+	out := make([]*xmltree.Tree, n)
+	for i := range out {
+		out[i] = g.Generate()
+	}
+	return out
+}
+
+func (g *Generator) expand(name string, depth int) *xmltree.Node {
+	g.nodes++
+	n := &xmltree.Node{Label: name}
+	e := g.d.Element(name)
+	if e == nil || depth >= g.opts.MaxDepth {
+		return n // truncate at the depth cap
+	}
+	g.expandContent(n, e.Content, depth)
+	return n
+}
+
+// expandContent appends children of n according to the content model c.
+func (g *Generator) expandContent(n *xmltree.Node, c *dtd.Content, depth int) {
+	for i, reps := 0, g.occurrences(c.Quant, g.contentFits(c, depth)); i < reps; i++ {
+		g.expandOnce(n, c, depth)
+	}
+}
+
+// expandOnce expands one occurrence of the (unquantified) particle.
+func (g *Generator) expandOnce(n *xmltree.Node, c *dtd.Content, depth int) {
+	switch c.Kind {
+	case dtd.KindEmpty:
+	case dtd.KindAny:
+		// ANY: include a single random element, space permitting.
+		if g.nodes < g.opts.MaxNodes {
+			names := g.d.Names()
+			pick := names[g.rng.Intn(len(names))]
+			if depth+g.minDepth[pick] <= g.opts.MaxDepth {
+				n.Children = append(n.Children, g.expand(pick, depth+1))
+			}
+		}
+	case dtd.KindPCData:
+		if g.opts.EmitText && g.nodes < g.opts.MaxNodes {
+			g.nodes++
+			n.Children = append(n.Children, &xmltree.Node{
+				Label: g.opts.Values[g.rng.Intn(len(g.opts.Values))],
+			})
+		}
+	case dtd.KindName:
+		n.Children = append(n.Children, g.expand(c.Name, depth+1))
+	case dtd.KindSeq:
+		for _, p := range c.Parts {
+			g.expandContent(n, p, depth)
+		}
+	case dtd.KindChoice:
+		// Uniform choice among alternatives that fit the depth budget;
+		// fall back to the shallowest alternative when none fit.
+		var fit []*dtd.Content
+		for _, p := range c.Parts {
+			if g.contentFits(p, depth) {
+				fit = append(fit, p)
+			}
+		}
+		if len(fit) == 0 {
+			fit = []*dtd.Content{g.shallowest(c.Parts)}
+		}
+		pick := fit[g.rng.Intn(len(fit))]
+		g.expandContent(n, pick, depth)
+	}
+}
+
+// occurrences draws the repetition count for a quantifier. When the
+// content does not fit the depth budget or the node budget is exhausted,
+// optional content is dropped (mandatory content still occurs once and
+// is truncated further down).
+func (g *Generator) occurrences(q dtd.Quant, fits bool) int {
+	overBudget := g.nodes >= g.opts.MaxNodes
+	switch q {
+	case dtd.Opt:
+		if !fits || overBudget || g.rng.Float64() >= g.opts.OptProb {
+			return 0
+		}
+		return 1
+	case dtd.Star:
+		if !fits || overBudget {
+			return 0
+		}
+		return g.geometric()
+	case dtd.Plus:
+		if !fits || overBudget {
+			return 1 // mandatory at least once
+		}
+		return 1 + g.geometric()
+	default:
+		return 1
+	}
+}
+
+// geometric draws a count with mean RepeatMean.
+func (g *Generator) geometric() int {
+	p := g.opts.RepeatMean / (1 + g.opts.RepeatMean)
+	k := 0
+	for g.rng.Float64() < p && k < 50 {
+		k++
+	}
+	return k
+}
+
+// contentFits reports whether one occurrence of c can be expanded within
+// the depth budget at the given depth.
+func (g *Generator) contentFits(c *dtd.Content, depth int) bool {
+	return depth+g.contentMinDepth(c) <= g.opts.MaxDepth
+}
+
+func (g *Generator) contentMinDepth(c *dtd.Content) int {
+	switch c.Kind {
+	case dtd.KindName:
+		return g.minDepth[c.Name]
+	case dtd.KindSeq:
+		max := 0
+		for _, p := range c.Parts {
+			if p.Quant == dtd.Opt || p.Quant == dtd.Star {
+				continue
+			}
+			if v := g.contentMinDepth(p); v > max {
+				max = v
+			}
+		}
+		return max
+	case dtd.KindChoice:
+		min := 1 << 20
+		for _, p := range c.Parts {
+			if v := g.contentMinDepth(p); v < min {
+				min = v
+			}
+		}
+		return min
+	default:
+		return 0
+	}
+}
+
+func (g *Generator) shallowest(parts []*dtd.Content) *dtd.Content {
+	best := parts[0]
+	bestD := g.contentMinDepth(best)
+	for _, p := range parts[1:] {
+		if d := g.contentMinDepth(p); d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// CorpusStats summarizes a generated corpus.
+type CorpusStats struct {
+	Docs         int
+	MeanTagPairs float64
+	MaxDepth     int
+	MinTagPairs  int
+	MaxTagPairs  int
+}
+
+// Stats computes summary statistics over a corpus.
+func Stats(docs []*xmltree.Tree) CorpusStats {
+	st := CorpusStats{Docs: len(docs), MinTagPairs: 1 << 30}
+	total := 0
+	for _, d := range docs {
+		tp := d.TagPairs()
+		total += tp
+		if tp < st.MinTagPairs {
+			st.MinTagPairs = tp
+		}
+		if tp > st.MaxTagPairs {
+			st.MaxTagPairs = tp
+		}
+		if dep := d.Depth(); dep > st.MaxDepth {
+			st.MaxDepth = dep
+		}
+	}
+	if len(docs) > 0 {
+		st.MeanTagPairs = float64(total) / float64(len(docs))
+	} else {
+		st.MinTagPairs = 0
+	}
+	return st
+}

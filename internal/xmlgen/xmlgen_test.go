@@ -1,0 +1,195 @@
+package xmlgen
+
+import (
+	"testing"
+
+	"treesim/internal/dtd"
+	"treesim/internal/xmltree"
+)
+
+func TestGenerateRespectsDTDStructure(t *testing.T) {
+	d := dtd.Media()
+	g := New(d, Options{Seed: 1})
+	for i := 0; i < 100; i++ {
+		doc := g.Generate()
+		if doc.Root.Label != "media" {
+			t.Fatalf("root = %q, want media", doc.Root.Label)
+		}
+		// Every parent-child pair must be allowed by the DTD.
+		var check func(n *xmltree.Node)
+		check = func(n *xmltree.Node) {
+			allowed := make(map[string]bool)
+			for _, c := range d.ChildNames(n.Label) {
+				allowed[c] = true
+			}
+			for _, c := range n.Children {
+				if !allowed[c.Label] {
+					t.Fatalf("doc %d: %q is not an allowed child of %q", i, c.Label, n.Label)
+				}
+				check(c)
+			}
+		}
+		check(doc.Root)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d := dtd.NITFLike()
+	a := New(d, Options{Seed: 7}).GenerateN(5)
+	b := New(d, Options{Seed: 7}).GenerateN(5)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("doc %d differs across same-seed generators", i)
+		}
+	}
+	c := New(d, Options{Seed: 8}).Generate()
+	if a[0].String() == c.String() {
+		t.Error("different seeds produced identical first documents")
+	}
+}
+
+func TestDepthCap(t *testing.T) {
+	for _, mk := range []func() *dtd.DTD{dtd.NITFLike, dtd.XCBLLike} {
+		d := mk()
+		g := New(d, Options{Seed: 3, MaxDepth: 10})
+		for i := 0; i < 50; i++ {
+			doc := g.Generate()
+			if got := doc.Depth(); got > 10 {
+				t.Fatalf("%s doc %d: depth %d exceeds cap 10", d.Name, i, got)
+			}
+		}
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	d := dtd.NITFLike()
+	g := New(d, Options{Seed: 5, MaxNodes: 200, RepeatMean: 3})
+	for i := 0; i < 30; i++ {
+		doc := g.Generate()
+		// The budget is soft (mandatory content still completes), so
+		// allow some overshoot but not runaway growth.
+		if got := doc.TagPairs(); got > 600 {
+			t.Fatalf("doc %d: %d tag pairs, budget 200 grossly exceeded", i, got)
+		}
+	}
+}
+
+func TestCorpusSizeRegime(t *testing.T) {
+	// The paper's corpora average ~100 tag pairs; calibrated options
+	// must land near that target for both schema shapes.
+	for _, tc := range []struct {
+		name string
+		d    *dtd.DTD
+	}{
+		{"nitf-like", dtd.NITFLike()},
+		{"xcbl-like", dtd.XCBLLike()},
+	} {
+		opts := Calibrate(tc.d, 100, 11)
+		g := New(tc.d, opts)
+		st := Stats(g.GenerateN(200))
+		if st.MeanTagPairs < 40 || st.MeanTagPairs > 250 {
+			t.Errorf("%s: calibrated mean tag pairs %.1f outside [40,250]", tc.name, st.MeanTagPairs)
+		}
+		if st.MaxDepth > 10 {
+			t.Errorf("%s: max depth %d > 10", tc.name, st.MaxDepth)
+		}
+		t.Logf("%s: mean=%.1f min=%d max=%d depth=%d (OptProb=%.3f RepeatMean=%.3f)",
+			tc.name, st.MeanTagPairs, st.MinTagPairs, st.MaxTagPairs, st.MaxDepth,
+			opts.OptProb, opts.RepeatMean)
+	}
+}
+
+func TestEmitText(t *testing.T) {
+	d := dtd.Media()
+	g := New(d, Options{Seed: 2, EmitText: true, Values: []string{"Mozart"}})
+	found := false
+	for i := 0; i < 20 && !found; i++ {
+		doc := g.Generate()
+		doc.Root.Walk(func(n *xmltree.Node) bool {
+			if n.Label == "Mozart" {
+				found = true
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Error("EmitText never produced a text node")
+	}
+}
+
+func TestNewPanicsOnInvalidDTD(t *testing.T) {
+	bad := dtd.NewDTD("bad", "missing")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on invalid DTD")
+		}
+	}()
+	New(bad, Options{})
+}
+
+func TestChoiceFallsBackToShallowest(t *testing.T) {
+	// A choice whose alternatives are all deeper than the remaining
+	// budget must pick the shallowest one rather than fail.
+	d := dtd.NewDTD("t", "r")
+	d.Declare("r", dtd.Name("pick", dtd.One))
+	d.Declare("pick", dtd.Choice(dtd.Name("deep", dtd.One), dtd.Name("deeper", dtd.One)))
+	d.Declare("deep", dtd.Name("leaf", dtd.One))
+	d.Declare("deeper", dtd.Name("deep", dtd.One))
+	d.Declare("leaf", dtd.Empty())
+	g := New(d, Options{Seed: 1, MaxDepth: 3})
+	for i := 0; i < 20; i++ {
+		doc := g.Generate()
+		if doc.Depth() > 3 {
+			t.Fatalf("depth %d exceeds cap", doc.Depth())
+		}
+	}
+}
+
+func TestAnyContentModel(t *testing.T) {
+	d := dtd.NewDTD("t", "r")
+	d.Declare("r", &dtd.Content{Kind: dtd.KindAny})
+	d.Declare("x", dtd.Empty())
+	g := New(d, Options{Seed: 2})
+	saw := false
+	for i := 0; i < 50; i++ {
+		doc := g.Generate()
+		if len(doc.Root.Children) > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("ANY content never expanded to a child")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := Stats(nil)
+	if st.Docs != 0 || st.MeanTagPairs != 0 || st.MinTagPairs != 0 {
+		t.Errorf("empty Stats = %+v", st)
+	}
+}
+
+func TestVariabilityByShape(t *testing.T) {
+	// News-like corpora must exhibit more distinct skeleton-path sets
+	// than business-like ones — this is the property that drives the
+	// paper's synopsis-size difference between NITF and xCBL.
+	countPaths := func(d *dtd.DTD) int {
+		g := New(d, Options{Seed: 13})
+		paths := make(map[string]struct{})
+		for _, doc := range g.GenerateN(100) {
+			for _, p := range doc.LabelPaths() {
+				paths[p] = struct{}{}
+			}
+		}
+		return len(paths)
+	}
+	news := countPaths(dtd.NITFLike())
+	// Normalize by element count: news has 123 elements, business 569.
+	biz := countPaths(dtd.XCBLLike())
+	newsRate := float64(news) / 123
+	bizRate := float64(biz) / 569
+	t.Logf("distinct paths: news=%d (%.2f/elem), business=%d (%.2f/elem)", news, newsRate, biz, bizRate)
+	if newsRate <= bizRate {
+		t.Errorf("news path variability (%.2f/elem) should exceed business (%.2f/elem)", newsRate, bizRate)
+	}
+}

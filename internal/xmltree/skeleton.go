@@ -1,0 +1,61 @@
+package xmltree
+
+// Skeleton builds the skeleton tree Ts of a document T (paper, Section
+// 3.1): in Ts each node has at most one child with a given tag. It is
+// constructed top-down by coalescing children of a node that share a tag;
+// the coalesced node inherits the union of the children of the merged
+// nodes, and coalescing continues recursively.
+//
+// The skeleton preserves the set of root-to-node label paths of the
+// document, and it is the unit of insertion into the document synopsis.
+func Skeleton(t *Tree) *Tree {
+	if t == nil || t.Root == nil {
+		return &Tree{}
+	}
+	root := &Node{Label: t.Root.Label}
+	coalesce(root, []*Node{t.Root})
+	return &Tree{Root: root}
+}
+
+// coalesce populates dst.Children from the union of the children of all
+// src nodes, grouping by tag. Each group becomes one skeleton child whose
+// own children are recursively coalesced from the whole group.
+func coalesce(dst *Node, group []*Node) {
+	// Preserve first-seen order for determinism.
+	var order []string
+	byTag := make(map[string][]*Node)
+	for _, src := range group {
+		for _, c := range src.Children {
+			if _, ok := byTag[c.Label]; !ok {
+				order = append(order, c.Label)
+			}
+			byTag[c.Label] = append(byTag[c.Label], c)
+		}
+	}
+	for _, tag := range order {
+		child := &Node{Label: tag}
+		dst.Children = append(dst.Children, child)
+		coalesce(child, byTag[tag])
+	}
+}
+
+// IsSkeleton reports whether no node of the tree has two children with
+// the same tag, i.e. whether the tree is its own skeleton.
+func IsSkeleton(t *Tree) bool {
+	if t == nil || t.Root == nil {
+		return true
+	}
+	ok := true
+	t.Root.Walk(func(n *Node) bool {
+		seen := make(map[string]struct{}, len(n.Children))
+		for _, c := range n.Children {
+			if _, dup := seen[c.Label]; dup {
+				ok = false
+				return false
+			}
+			seen[c.Label] = struct{}{}
+		}
+		return ok
+	})
+	return ok
+}

@@ -1,0 +1,146 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions controls how raw XML is mapped onto the structural tree
+// model.
+type ParseOptions struct {
+	// TextAsNodes promotes non-whitespace character data to leaf nodes
+	// labeled by the trimmed text. This mirrors the paper's Figure 1,
+	// where values such as "Mozart" appear as labeled leaves.
+	TextAsNodes bool
+	// AttributesAsNodes promotes attributes to child nodes labeled
+	// "@name" with a single child holding the value (when TextAsNodes is
+	// set) or no children otherwise.
+	AttributesAsNodes bool
+}
+
+// Parse reads one XML document from r using an event-based (streaming)
+// decoder and returns its tree. Namespaces are flattened to local names;
+// processing instructions, comments and directives are ignored.
+func Parse(r io.Reader, opts ParseOptions) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: t.Name.Local}
+			if opts.AttributesAsNodes {
+				for _, a := range t.Attr {
+					an := n.AddChild("@" + a.Name.Local)
+					if opts.TextAsNodes && a.Value != "" {
+						an.AddChild(a.Value)
+					}
+				}
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if !opts.TextAsNodes || len(stack) == 0 {
+				continue
+			}
+			txt := strings.TrimSpace(string(t))
+			if txt == "" {
+				continue
+			}
+			p := stack[len(stack)-1]
+			p.AddChild(txt)
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unexpected EOF inside element %q", stack[len(stack)-1].Label)
+	}
+	return &Tree{Root: root}, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, opts ParseOptions) (*Tree, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// WriteXML serializes the tree as XML to w. Labels are written as element
+// names verbatim; callers are responsible for using XML-safe labels.
+// Indentation uses two spaces per level; indent < 0 writes compact
+// output.
+func WriteXML(w io.Writer, t *Tree, indent bool) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("xmltree: cannot serialize empty tree")
+	}
+	bw := &errWriter{w: w}
+	writeXMLNode(bw, t.Root, 0, indent)
+	if indent {
+		bw.writeString("\n")
+	}
+	return bw.err
+}
+
+// XMLString returns the XML serialization of the tree.
+func XMLString(t *Tree, indent bool) (string, error) {
+	var b strings.Builder
+	if err := WriteXML(&b, t, indent); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func writeXMLNode(w *errWriter, n *Node, depth int, indent bool) {
+	if indent {
+		if depth > 0 {
+			w.writeString("\n")
+		}
+		w.writeString(strings.Repeat("  ", depth))
+	}
+	if n.IsLeaf() {
+		w.writeString("<" + n.Label + "/>")
+		return
+	}
+	w.writeString("<" + n.Label + ">")
+	for _, c := range n.Children {
+		writeXMLNode(w, c, depth+1, indent)
+	}
+	if indent {
+		w.writeString("\n" + strings.Repeat("  ", depth))
+	}
+	w.writeString("</" + n.Label + ">")
+}

@@ -1,0 +1,61 @@
+// Package zipf provides a Zipf-distributed sampler over a finite domain
+// {0, …, n-1} with arbitrary skew θ ≥ 0. The paper's workload generator
+// selects element tag names with skew θ = 1, which math/rand's Zipf
+// (requiring s > 1) cannot express, hence this implementation.
+//
+// Element i (0-based rank) is drawn with probability proportional to
+// 1/(i+1)^θ. θ = 0 degenerates to the uniform distribution.
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks from a finite Zipf(θ) distribution by inverse-CDF
+// lookup (binary search over the precomputed cumulative weights).
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// New returns a sampler over {0,…,n-1} with skew theta, using the given
+// deterministic source. It panics when n < 1 or theta < 0.
+func New(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		panic("zipf: domain size must be >= 1")
+	}
+	if theta < 0 {
+		panic("zipf: negative skew")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	// Normalize so the last entry is exactly 1.
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next draws a rank in {0,…,n-1}.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

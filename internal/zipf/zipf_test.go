@@ -1,0 +1,84 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	z := New(rand.New(rand.NewSource(1)), 5, 0)
+	for i := 0; i < 5; i++ {
+		if got := z.Prob(i); math.Abs(got-0.2) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want 0.2", i, got)
+		}
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1, 2} {
+		z := New(rand.New(rand.NewSource(1)), 100, theta)
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("theta=%v: probs sum to %v", theta, sum)
+		}
+	}
+}
+
+func TestSkewOrdering(t *testing.T) {
+	z := New(rand.New(rand.NewSource(1)), 10, 1)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Errorf("Prob(%d)=%v > Prob(%d)=%v; Zipf probabilities must be non-increasing",
+				i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+	// θ=1 over n=10: P(0)/P(1) should be 2.
+	if r := z.Prob(0) / z.Prob(1); math.Abs(r-2) > 1e-9 {
+		t.Errorf("P(0)/P(1) = %v, want 2", r)
+	}
+}
+
+func TestEmpiricalFrequencies(t *testing.T) {
+	const n, draws = 8, 200000
+	z := New(rand.New(rand.NewSource(7)), n, 1)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for i := 0; i < n; i++ {
+		got := float64(counts[i]) / draws
+		want := z.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: empirical %v vs theoretical %v", i, got, want)
+		}
+	}
+}
+
+func TestSingletonDomain(t *testing.T) {
+	z := New(rand.New(rand.NewSource(1)), 1, 1)
+	for i := 0; i < 10; i++ {
+		if z.Next() != 0 {
+			t.Fatal("singleton domain must always draw 0")
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(rand.New(rand.NewSource(1)), 0, 1) },
+		func() { New(rand.New(rand.NewSource(1)), 5, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,166 @@
+package treesim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the README flow end to end through
+// the public facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	est := New(Config{Representation: Hashes, HashCapacity: 1000, Seed: 1})
+	docs := []string{
+		`<media><CD><composer><last><Mozart/></last></composer></CD></media>`,
+		`<media><CD><composer><last><Brahms/></last></composer></CD></media>`,
+		`<media><book><author><last><Mozart/></last></author></book></media>`,
+	}
+	for _, s := range docs {
+		tr, err := ParseXMLString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.ObserveTree(tr)
+	}
+	if est.DocsObserved() != 3 {
+		t.Fatalf("DocsObserved = %d", est.DocsObserved())
+	}
+	sel, err := est.SelectivityXPath("/media/CD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel-2.0/3) > 1e-12 {
+		t.Errorf("P(/media/CD) = %v, want 2/3", sel)
+	}
+	sim, err := est.SimilarityXPath(M3, "//CD", "//composer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim-1) > 1e-12 {
+		t.Errorf("M3(//CD, //composer) = %v, want 1 (co-occur in both docs)", sim)
+	}
+}
+
+func TestPublicMatches(t *testing.T) {
+	doc, err := ParseXMLString(`<a><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Matches(doc, MustParsePattern("/a/b")) {
+		t.Error("Matches(/a/b) = false")
+	}
+	if Matches(doc, MustParsePattern("/a/c")) {
+		t.Error("Matches(/a/c) = true")
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	d := NITFLikeDTD()
+	if d.Len() != 123 {
+		t.Fatalf("NITF-like has %d elements", d.Len())
+	}
+	if XCBLLikeDTD().Len() != 569 {
+		t.Fatal("xCBL-like element count wrong")
+	}
+	docs := GenerateDocuments(d, 20, 1)
+	if len(docs) != 20 {
+		t.Fatalf("GenerateDocuments returned %d", len(docs))
+	}
+	pats := GeneratePatterns(d, 20, 2)
+	if len(pats) != 20 {
+		t.Fatalf("GeneratePatterns returned %d", len(pats))
+	}
+	for _, p := range pats {
+		if !strings.HasPrefix(p.String(), "/") {
+			t.Errorf("pattern %q not absolute", p)
+		}
+	}
+}
+
+func TestPublicCommunities(t *testing.T) {
+	est := New(Config{Representation: Sets, SetCapacity: 1 << 16, Seed: 1})
+	for _, s := range []string{
+		"<r><x/><y/></r>", "<r><x/></r>", "<r><z/></r>", "<r><z/><w/></r>",
+	} {
+		tr, err := ParseXMLString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.ObserveTree(tr)
+	}
+	subs := []*Pattern{
+		MustParsePattern("//x"),
+		MustParsePattern("/r/x"),
+		MustParsePattern("//z"),
+	}
+	comms := Communities(est, M3, subs, 0.9)
+	// //x and /r/x match the same docs (0,1); //z matches {2,3}.
+	if len(comms) != 2 {
+		t.Fatalf("communities = %v, want 2 groups", comms)
+	}
+	if len(comms[0]) != 2 || comms[0][0] != 0 || comms[0][1] != 1 {
+		t.Errorf("first community = %v, want [0 1]", comms[0])
+	}
+}
+
+func TestPublicParsers(t *testing.T) {
+	if _, err := ParsePattern("///"); err == nil {
+		t.Error("bad pattern should error")
+	}
+	p, err := ParsePattern("/a/b")
+	if err != nil || p.String() != "/a/b" {
+		t.Errorf("ParsePattern: %v %v", p, err)
+	}
+	if _, err := ParseXML(strings.NewReader("<a><b/></a>")); err != nil {
+		t.Errorf("ParseXML: %v", err)
+	}
+	if _, err := ParseXML(strings.NewReader("<oops")); err == nil {
+		t.Error("bad XML should error")
+	}
+}
+
+func TestPublicGeneralizeAndAggregate(t *testing.T) {
+	g := GeneralizePatterns(MustParsePattern("/a/b"), MustParsePattern("/a/c"))
+	if !ContainsPattern(g, MustParsePattern("/a/b")) || !ContainsPattern(g, MustParsePattern("/a/c")) {
+		t.Errorf("GeneralizePatterns(%s) does not contain both inputs", g)
+	}
+	est := New(Config{Representation: Sets, SetCapacity: 1 << 16, Seed: 1})
+	for _, s := range []string{"<a><b/></a>", "<a><c/></a>", "<x><y/></x>"} {
+		tr, err := ParseXMLString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.ObserveTree(tr)
+	}
+	subs := []*Pattern{
+		MustParsePattern("/a/b"),
+		MustParsePattern("/a/c"),
+		MustParsePattern("/x/y"),
+	}
+	res := AggregateSubscriptions(est, subs, 2)
+	if len(res.Patterns) != 2 {
+		t.Fatalf("aggregated to %d, want 2", len(res.Patterns))
+	}
+	covered := 0
+	for _, g := range res.Groups {
+		covered += len(g)
+	}
+	if covered != 3 {
+		t.Errorf("groups cover %d inputs, want 3", covered)
+	}
+}
+
+func TestPublicStatsAndCompress(t *testing.T) {
+	est := New(Config{Representation: Hashes, HashCapacity: 100, Seed: 2})
+	for _, d := range GenerateDocuments(MediaDTD(), 100, 3) {
+		est.ObserveTree(d)
+	}
+	st := est.Stats()
+	if st.Size() <= 0 || st.Nodes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ratio := est.Compress(0.8)
+	if ratio > 1.0 {
+		t.Errorf("compress ratio %v", ratio)
+	}
+}
