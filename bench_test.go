@@ -323,3 +323,33 @@ func BenchmarkSimilarityMatrix(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkParallelClients measures query throughput under concurrent
+// load: many client goroutines issuing selectivity queries against one
+// estimator. Before the RWMutex read path every query serialized on a
+// single mutex; now they scale with GOMAXPROCS. The serial sub-benchmark
+// is the single-client baseline for computing the speedup.
+func BenchmarkParallelClients(b *testing.B) {
+	w, _ := benchWorkloads()
+	est := core.NewEstimator(core.Config{Representation: matchset.KindHashes, HashCapacity: 200, Seed: 5})
+	for _, d := range w.Docs {
+		est.ObserveTree(d)
+	}
+	_ = est.Selectivity(w.Positive[0]) // materialize the Full cache once
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = est.Selectivity(w.Positive[i%len(w.Positive)])
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				_ = est.Selectivity(w.Positive[i%len(w.Positive)])
+				i++
+			}
+		})
+	})
+}

@@ -1,0 +1,3 @@
+module treesim
+
+go 1.24

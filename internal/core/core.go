@@ -8,7 +8,9 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"treesim/internal/dtd"
 	"treesim/internal/matchset"
@@ -60,11 +62,14 @@ type Config struct {
 }
 
 // Estimator is a streaming tree-pattern selectivity and similarity
-// estimator. It is safe for concurrent use; queries and stream updates
-// serialize on an internal mutex (query-time caches mutate shared
-// state, so reads lock too).
+// estimator. It is safe for concurrent use: queries (Selectivity,
+// Joint, Similarity, SimilarityMatrix, Stats, Save) take a shared read
+// lock and run concurrently with each other, while stream updates
+// (ObserveTree, ObserveXML, Compress) take the exclusive lock.
+// Query-time materialization caches synchronize internally in the
+// synopsis, so the read path never mutates unguarded shared state.
 type Estimator struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	cfg Config
 	syn *synopsis.Synopsis
 	sel *selectivity.Estimator
@@ -109,8 +114,8 @@ func (e *Estimator) ObserveXML(r io.Reader) (uint64, error) {
 
 // DocsObserved returns the stream length |H| so far.
 func (e *Estimator) DocsObserved() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.syn.DocsObserved()
 }
 
@@ -118,8 +123,8 @@ func (e *Estimator) DocsObserved() int {
 // the pattern. With Config.DTD set, structurally infeasible patterns
 // short-circuit to 0.
 func (e *Estimator) Selectivity(p *pattern.Pattern) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.p(p)
 }
 
@@ -142,8 +147,8 @@ func (e *Estimator) SelectivityXPath(xpath string) (float64, error) {
 
 // Joint estimates P(p ∧ q).
 func (e *Estimator) Joint(p, q *pattern.Pattern) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.pAnd(p, q)
 }
 
@@ -165,8 +170,8 @@ func (s lockedSource) PAnd(p, q *pattern.Pattern) float64 { return s.e.pAnd(p, q
 
 // Similarity estimates the proximity metric m between two subscriptions.
 func (e *Estimator) Similarity(m metrics.Metric, p, q *pattern.Pattern) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return metrics.Similarity(lockedSource{e}, m, p, q)
 }
 
@@ -193,8 +198,8 @@ func (e *Estimator) Compress(targetRatio float64) float64 {
 
 // Stats returns the synopsis size statistics.
 func (e *Estimator) Stats() synopsis.Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.syn.Stats()
 }
 
@@ -203,8 +208,8 @@ func (e *Estimator) Stats() synopsis.Stats {
 // after Load is statistically (not bitwise) equivalent because random
 // sources are re-seeded.
 func (e *Estimator) Save(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.syn.Encode(w)
 }
 
@@ -234,49 +239,106 @@ func LoadEstimator(r io.Reader) (*Estimator, error) {
 // Conjunctions factorize over SEL — SEL(p ∧ q) = SEL(p) ∩ SEL(q) — so
 // the matrix needs only one SEL evaluation per subscription plus one
 // matching-set intersection per pair, instead of one SEL evaluation of
-// a merged pattern per pair.
+// a merged pattern per pair. Both phases fan out across GOMAXPROCS
+// workers: SEL evaluations are independent per subscription, and the
+// pairwise phase shards by row (a dynamic counter balances the
+// triangular row lengths). The whole computation holds only the shared
+// read lock, so it runs concurrently with other queries.
 func (e *Estimator) SimilarityMatrix(m metrics.Metric, subs []*pattern.Pattern) [][]float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	n := len(subs)
 	out := make([][]float64, n)
 	for i := range out {
 		out[i] = make([]float64, n)
 	}
-	// One SEL evaluation per subscription; infeasible patterns (DTD
-	// mode) evaluate to nil and contribute zero everywhere.
+	if n == 0 {
+		return out
+	}
+	// Materialize the per-version Full cache up front (one traversal
+	// from the root covers every node), so the parallel evaluations
+	// below hit the cache instead of racing to rebuild the same values.
+	e.syn.Full(e.syn.Root())
+
+	// Phase 1: one SEL evaluation per subscription; infeasible patterns
+	// (DTD mode) evaluate to nil and contribute zero everywhere.
 	vals := make([]matchset.Value, n)
 	ps := make([]float64, n)
-	for i, p := range subs {
-		if e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, p) {
-			continue
-		}
-		vals[i] = e.sel.Evaluate(p)
-		ps[i] = e.sel.EvaluateCard(vals[i])
-	}
-	for i := 0; i < n; i++ {
-		// The diagonal uses P(p∧p) = P(p), which is exact. (Pairwise
-		// Similarity under Counters instead reports P(p)² for the
-		// self-conjunction — the independence assumption does not know
-		// that p∧p ≡ p.)
-		out[i][i] = m.Eval(metrics.Probs{P: ps[i], Q: ps[i], And: ps[i]})
-		for j := i + 1; j < n; j++ {
-			var and float64
-			switch {
-			case vals[i] == nil || vals[j] == nil:
-				and = 0
-			case e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, pattern.MergeRoots(subs[i], subs[j])):
-				and = 0
-			default:
-				and = e.sel.EvaluateCard(vals[i].Intersect(vals[j]))
+	workers := min(runtime.GOMAXPROCS(0), n)
+	var next atomic.Int64
+	runWorkers(workers, func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
 			}
-			out[i][j] = m.Eval(metrics.Probs{P: ps[i], Q: ps[j], And: and})
-			if m.Symmetric() {
-				out[j][i] = out[i][j]
-			} else {
-				out[j][i] = m.Eval(metrics.Probs{P: ps[j], Q: ps[i], And: and})
+			p := subs[i]
+			if e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, p) {
+				continue
 			}
+			vals[i] = e.sel.Evaluate(p)
+			ps[i] = e.sel.EvaluateCard(vals[i])
 		}
-	}
+	})
+
+	// Phase 2: pairwise intersections, sharded by row. Worker i owns
+	// every cell it writes — (i,j), (j,i) with j > i and the diagonal —
+	// so no two workers touch the same cell.
+	next.Store(0)
+	runWorkers(workers, func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			e.matrixRow(m, subs, vals, ps, out, i)
+		}
+	})
 	return out
+}
+
+// matrixRow fills row i of the similarity matrix (diagonal, upper cells
+// (i,j) and their mirrors (j,i) for j > i). The caller must hold at
+// least the read lock.
+func (e *Estimator) matrixRow(m metrics.Metric, subs []*pattern.Pattern, vals []matchset.Value, ps []float64, out [][]float64, i int) {
+	n := len(subs)
+	// The diagonal uses P(p∧p) = P(p), which is exact. (Pairwise
+	// Similarity under Counters instead reports P(p)² for the
+	// self-conjunction — the independence assumption does not know
+	// that p∧p ≡ p.)
+	out[i][i] = m.Eval(metrics.Probs{P: ps[i], Q: ps[i], And: ps[i]})
+	for j := i + 1; j < n; j++ {
+		var and float64
+		switch {
+		case vals[i] == nil || vals[j] == nil:
+			and = 0
+		case e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, pattern.MergeRoots(subs[i], subs[j])):
+			and = 0
+		default:
+			and = e.sel.EvaluateCard(vals[i].Intersect(vals[j]))
+		}
+		out[i][j] = m.Eval(metrics.Probs{P: ps[i], Q: ps[j], And: and})
+		if m.Symmetric() {
+			out[j][i] = out[i][j]
+		} else {
+			out[j][i] = m.Eval(metrics.Probs{P: ps[j], Q: ps[i], And: and})
+		}
+	}
+}
+
+// runWorkers runs fn on w goroutines and waits for all of them.
+func runWorkers(w int, fn func()) {
+	if w <= 1 {
+		fn()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
 }

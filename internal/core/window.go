@@ -23,8 +23,11 @@ import (
 // Memory is proportional to the distinct path structure of the window
 // plus W set entries per path level; for bounded-memory estimation over
 // unbounded history, use the standard Estimator with Hashes instead.
+//
+// Like Estimator, queries take a shared read lock and run concurrently;
+// ObserveTree/ObserveXML take the exclusive lock.
 type WindowEstimator struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	window int
 	syn    *synopsis.Synopsis
 	sel    *selectivity.Estimator
@@ -55,8 +58,8 @@ func (e *WindowEstimator) Window() int { return e.window }
 
 // Len returns the number of documents currently in the window.
 func (e *WindowEstimator) Len() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return len(e.live)
 }
 
@@ -90,21 +93,21 @@ func (e *WindowEstimator) ObserveXML(r io.Reader) (uint64, error) {
 // Selectivity returns the exact fraction of window documents matching p
 // (exact up to skeleton semantics).
 func (e *WindowEstimator) Selectivity(p *pattern.Pattern) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.sel.P(p)
 }
 
 // Similarity returns metric m over the window.
 func (e *WindowEstimator) Similarity(m metrics.Metric, p, q *pattern.Pattern) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return metrics.Similarity(e.sel, m, p, q)
 }
 
 // Stats returns the synopsis size statistics for the current window.
 func (e *WindowEstimator) Stats() synopsis.Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.syn.Stats()
 }

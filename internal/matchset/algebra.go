@@ -1,0 +1,207 @@
+package matchset
+
+import (
+	"slices"
+	"sort"
+	"sync"
+
+	"treesim/internal/sampling"
+)
+
+// Sorted-slice set algebra. Sets and Hashes values hold their document
+// identifiers as immutable sorted []uint64 slices: unions are linear
+// merges, intersections are merges or galloping binary searches when the
+// operand sizes are skewed, and cardinalities are slice lengths. This
+// keeps the SEL inner loop free of map allocation and per-element
+// hashing, with cache-friendly sequential access.
+//
+// All operations write into pooled scratch buffers first; only results
+// that do not alias an operand are copied out into exactly-sized slices.
+// The pooling matters because SEL builds many short-lived intermediate
+// values (running unions over synopsis children) whose buffers would
+// otherwise churn the allocator.
+
+// scratchPool recycles the buffers backing intermediate merge results.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]uint64, 0, 256)
+		return &b
+	},
+}
+
+// scratchGet returns a buffer with capacity at least n and length n.
+func scratchGet(n int) *[]uint64 {
+	p := scratchPool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func scratchPut(p *[]uint64) {
+	*p = (*p)[:0]
+	scratchPool.Put(p)
+}
+
+// aliasOf reports whether the first n scratch elements equal operand a
+// (1) or operand b (2), or neither (0). When a merge result is identical
+// to an operand the caller returns that operand's value unchanged —
+// values are immutable, so aliasing is safe and saves both the copy and
+// the result allocation.
+func aliasOf(buf []uint64, n int, a, b []uint64) int {
+	if n == len(a) && prefixEqual(buf[:n], a) {
+		return 1
+	}
+	if n == len(b) && prefixEqual(buf[:n], b) {
+		return 2
+	}
+	return 0
+}
+
+// prefixEqual reports whether two equal-length sorted slices are equal.
+// For merge results a simple length check almost suffices (a union of
+// size len(a) is a itself), but keeping the explicit comparison makes
+// aliasOf safe for any merge kind at negligible cost.
+func prefixEqual(s, t []uint64) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize copies the first n scratch elements into an exactly-sized
+// fresh slice and recycles the scratch buffer.
+func materialize(buf *[]uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	copy(out, (*buf)[:n])
+	scratchPut(buf)
+	return out
+}
+
+// mergeUnion writes the sorted union of a and b into dst (which must
+// have length ≥ len(a)+len(b)) and returns the result length.
+func mergeUnion(dst, a, b []uint64) int {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			dst[k] = x
+			i++
+		case y < x:
+			dst[k] = y
+			j++
+		default:
+			dst[k] = x
+			i++
+			j++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	k += copy(dst[k:], b[j:])
+	return k
+}
+
+// gallopRatio is the size skew beyond which intersection switches from a
+// linear merge to galloping binary search over the larger operand.
+const gallopRatio = 16
+
+// intersectInto writes the sorted intersection of a and b into dst
+// (length ≥ min(len(a), len(b))) and returns the result length.
+func intersectInto(dst, a, b []uint64) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return gallopIntersect(dst, a, b)
+	}
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			i++
+		case y < x:
+			j++
+		default:
+			dst[k] = x
+			k++
+			i++
+			j++
+		}
+	}
+	return k
+}
+
+// gallopIntersect intersects a (small) against b (large) by doubling
+// probes from the current frontier followed by a binary search, so runs
+// of misses in b cost O(log gap) instead of O(gap).
+func gallopIntersect(dst, a, b []uint64) int {
+	k, lo := 0, 0
+	for _, x := range a {
+		// Gallop: find hi with b[hi] >= x, doubling the step.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < x {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search within (lo-1, hi].
+		idx := lo + sort.Search(hi-lo, func(i int) bool { return b[lo+i] >= x })
+		if idx < len(b) && b[idx] == x {
+			dst[k] = x
+			k++
+			lo = idx + 1
+		} else {
+			lo = idx
+		}
+		if lo >= len(b) {
+			break
+		}
+	}
+	return k
+}
+
+// filterLevel writes the elements of ids whose sampling level is ≥ l
+// into dst (length ≥ len(ids)) and returns the count. A nil hasher
+// filters nothing (the caller had no hash function to subsample with).
+func filterLevel(dst, ids []uint64, h *sampling.Hasher, l int) int {
+	if h == nil {
+		return copy(dst, ids)
+	}
+	k := 0
+	for _, x := range ids {
+		if h.Level(x) >= l {
+			dst[k] = x
+			k++
+		}
+	}
+	return k
+}
+
+// sortedIDs returns the keys of a set map as a fresh sorted slice.
+func sortedIDs(m map[uint64]struct{}) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// sortIDs sorts a slice of identifiers in place and deduplicates it.
+func sortIDs(ids []uint64) []uint64 {
+	slices.Sort(ids)
+	return slices.Compact(ids)
+}

@@ -151,7 +151,7 @@ func TestCounterUnionNilTotalSource(t *testing.T) {
 		t.Errorf("intersect card = %v, want 1", x.Card())
 	}
 	// Fully sourceless intersection degrades to zero.
-	if got := (countValue{c: 3}).Intersect(countValue{c: 2}); got.Card() != 0 {
+	if got := (&countValue{c: 3}).Intersect(&countValue{c: 2}); got.Card() != 0 {
 		t.Errorf("sourceless intersect = %v, want 0", got.Card())
 	}
 }

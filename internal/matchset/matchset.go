@@ -113,6 +113,9 @@ type Factory struct {
 	// totalDocs reports the current stream length |H|; counter values
 	// need it to normalize intersections (product in probability space).
 	totalDocs func() float64
+	// emptyCount is the factory's shared empty counter value (needs the
+	// totalDocs closure, so it cannot be a package singleton).
+	emptyCount *countValue
 }
 
 // NewFactory returns a factory for the given kind.
@@ -135,7 +138,11 @@ func NewFactory(kind Kind, capacity int, hasher *sampling.Hasher, totalDocs func
 	default:
 		panic(fmt.Sprintf("matchset: unknown kind %d", int(kind)))
 	}
-	return &Factory{kind: kind, capacity: capacity, hasher: hasher, totalDocs: totalDocs}
+	f := &Factory{kind: kind, capacity: capacity, hasher: hasher, totalDocs: totalDocs}
+	if kind == KindCounters {
+		f.emptyCount = &countValue{c: 0, n: totalDocs}
+	}
+	return f
 }
 
 // Kind returns the representation this factory builds.
@@ -178,15 +185,17 @@ func (f *Factory) Restore(d Dump) Store {
 	}
 }
 
-// EmptyValue returns the empty query value of this representation.
+// EmptyValue returns the empty query value of this representation. The
+// result is a shared singleton (per factory for Counters, package-wide
+// otherwise); callers treat it as immutable like every other Value.
 func (f *Factory) EmptyValue() Value {
 	switch f.kind {
 	case KindCounters:
-		return countValue{c: 0, n: f.totalDocs}
+		return f.emptyCount
 	case KindSets:
-		return setValue{}
+		return emptySetValue
 	default:
-		return hashValue{}
+		return emptyHashValue
 	}
 }
 

@@ -232,12 +232,12 @@ func TestHashUnionLevelIsMax(t *testing.T) {
 	}
 	v0 := NewHashValue(h, 0, ids[:50]...)
 	v2 := NewHashValue(h, 2, ids[50:]...)
-	u := v0.Union(v2).(hashValue)
+	u := v0.Union(v2).(*hashValue)
 	if u.level != 2 {
 		t.Errorf("union level = %d, want 2", u.level)
 	}
 	// All retained elements must satisfy the level constraint.
-	for x := range u.ids {
+	for _, x := range u.ids {
 		if h.Level(x) < 2 {
 			t.Errorf("element %d below union level", x)
 		}

@@ -1,58 +1,88 @@
 package matchset
 
+import (
+	"slices"
+	"sync"
+)
+
 // setStore is the Sets representation: an exact set of document
 // identifiers. Bounding happens globally, at the document level, via the
 // reservoir owned by the synopsis: the store itself is unbounded but
 // only ever holds identifiers of currently sampled documents.
+//
+// Mutation stays on a hash map (O(1) Add/Remove under reservoir churn);
+// Value snapshots the map into an immutable sorted-slice value, cached
+// until the next mutation so repeated queries over an unchanged store
+// pay the sort (and the value allocation) once. The snapshot cache has
+// its own mutex because concurrent queries may race to materialize it;
+// mutations require the caller's exclusive lock as before.
 type setStore struct {
 	ids map[uint64]struct{}
+
+	snapMu sync.Mutex
+	val    *setValue
+	dirty  bool
 }
 
 func (s *setStore) Kind() Kind { return KindSets }
 
-func (s *setStore) Add(id uint64) { s.ids[id] = struct{}{} }
+func (s *setStore) Add(id uint64) {
+	s.ids[id] = struct{}{}
+	s.dirty = true
+}
 
-func (s *setStore) Remove(id uint64) { delete(s.ids, id) }
+func (s *setStore) Remove(id uint64) {
+	delete(s.ids, id)
+	s.dirty = true
+}
 
 func (s *setStore) Value() Value {
-	if len(s.ids) == 0 {
-		return setValue{}
+	s.snapMu.Lock()
+	if s.dirty || s.val == nil {
+		s.val = &setValue{ids: sortedIDs(s.ids)}
+		s.dirty = false
 	}
-	return setValue{ids: s.ids}
+	v := s.val
+	s.snapMu.Unlock()
+	return v
 }
 
 func (s *setStore) Entries() int { return len(s.ids) }
 
 func (s *setStore) SetTo(v Value) {
-	sv, ok := v.(setValue)
+	sv, ok := v.(*setValue)
 	if !ok {
 		panic(kindMismatch(s.Value(), v))
 	}
 	s.ids = make(map[uint64]struct{}, len(sv.ids))
-	for x := range sv.ids {
+	for _, x := range sv.ids {
 		s.ids[x] = struct{}{}
 	}
+	s.dirty = true
 }
 
-// setValue is an immutable view of an ID set. A nil map is the empty
-// set. Union and Intersect never mutate; when a result equals one of the
-// operands it may alias that operand's map.
+// setValue is an immutable view of a sorted ID slice. A nil slice is the
+// empty set. Union and Intersect never mutate; when a result equals one
+// of the operands the operand itself is returned (no allocation).
 type setValue struct {
-	ids map[uint64]struct{}
+	ids []uint64
 }
 
-func (v setValue) Kind() Kind    { return KindSets }
-func (v setValue) Card() float64 { return float64(len(v.ids)) }
-func (v setValue) IsZero() bool  { return len(v.ids) == 0 }
+// emptySetValue is the shared ∅ of the Sets representation.
+var emptySetValue = &setValue{}
+
+func (v *setValue) Kind() Kind    { return KindSets }
+func (v *setValue) Card() float64 { return float64(len(v.ids)) }
+func (v *setValue) IsZero() bool  { return len(v.ids) == 0 }
 
 // Contains is used by tests and by exact-mode verification.
-func (v setValue) Contains(x uint64) bool {
-	_, ok := v.ids[x]
+func (v *setValue) Contains(x uint64) bool {
+	_, ok := slices.BinarySearch(v.ids, x)
 	return ok
 }
 
-func (v setValue) Union(o Value) Value {
-	ov, ok := o.(setValue)
+func (v *setValue) Union(o Value) Value {
+	ov, ok := o.(*setValue)
 	if !ok {
 		panic(kindMismatch(v, o))
 	}
@@ -62,51 +92,53 @@ func (v setValue) Union(o Value) Value {
 	if len(ov.ids) == 0 {
 		return v
 	}
-	out := make(map[uint64]struct{}, len(v.ids)+len(ov.ids))
-	for x := range v.ids {
-		out[x] = struct{}{}
+	buf := scratchGet(len(v.ids) + len(ov.ids))
+	n := mergeUnion(*buf, v.ids, ov.ids)
+	switch aliasOf(*buf, n, v.ids, ov.ids) {
+	case 1:
+		scratchPut(buf)
+		return v
+	case 2:
+		scratchPut(buf)
+		return ov
 	}
-	for x := range ov.ids {
-		out[x] = struct{}{}
-	}
-	return setValue{ids: out}
+	return &setValue{ids: materialize(buf, n)}
 }
 
-func (v setValue) Intersect(o Value) Value {
-	ov, ok := o.(setValue)
+func (v *setValue) Intersect(o Value) Value {
+	ov, ok := o.(*setValue)
 	if !ok {
 		panic(kindMismatch(v, o))
 	}
-	small, big := v.ids, ov.ids
-	if len(big) < len(small) {
-		small, big = big, small
+	m := min(len(v.ids), len(ov.ids))
+	if m == 0 {
+		return emptySetValue
 	}
-	if len(small) == 0 {
-		return setValue{}
+	buf := scratchGet(m)
+	n := intersectInto(*buf, v.ids, ov.ids)
+	if n == 0 {
+		scratchPut(buf)
+		return emptySetValue
 	}
-	out := make(map[uint64]struct{}, len(small))
-	for x := range small {
-		if _, ok := big[x]; ok {
-			out[x] = struct{}{}
-		}
+	switch aliasOf(*buf, n, v.ids, ov.ids) {
+	case 1:
+		scratchPut(buf)
+		return v
+	case 2:
+		scratchPut(buf)
+		return ov
 	}
-	return setValue{ids: out}
+	return &setValue{ids: materialize(buf, n)}
 }
 
 // NewSetValue builds a Sets-kind value from explicit identifiers; it is
 // exported for tests and for exact ground-truth evaluation.
 func NewSetValue(ids ...uint64) Value {
-	m := make(map[uint64]struct{}, len(ids))
-	for _, x := range ids {
-		m[x] = struct{}{}
-	}
-	return setValue{ids: m}
+	out := make([]uint64, len(ids))
+	copy(out, ids)
+	return &setValue{ids: sortIDs(out)}
 }
 
 func (s *setStore) Dump() Dump {
-	ids := make([]uint64, 0, len(s.ids))
-	for x := range s.ids {
-		ids = append(ids, x)
-	}
-	return Dump{Kind: KindSets, IDs: ids}
+	return Dump{Kind: KindSets, IDs: sortedIDs(s.ids)}
 }

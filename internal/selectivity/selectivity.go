@@ -11,14 +11,19 @@
 package selectivity
 
 import (
+	"sync"
+
 	"treesim/internal/matchset"
 	"treesim/internal/pattern"
 	"treesim/internal/synopsis"
 )
 
 // Estimator evaluates tree-pattern selectivities over a synopsis.
+// Evaluations are independent: any number of them may run concurrently
+// (the per-query working state comes from an internal pool).
 type Estimator struct {
-	syn *synopsis.Synopsis
+	syn  *synopsis.Synopsis
+	pool sync.Pool // *evaluator, reset per query
 }
 
 // New returns an estimator over the given synopsis. The synopsis may
@@ -33,26 +38,20 @@ func (e *Estimator) Synopsis() *synopsis.Synopsis { return e.syn }
 // Evaluate runs SEL over the synopsis root and the pattern root and
 // returns the estimated matching set of documents satisfying p.
 func (e *Estimator) Evaluate(p *pattern.Pattern) matchset.Value {
-	ev := &evaluator{
-		syn:   e.syn,
-		empty: e.syn.EmptyValue(),
-		memo:  make(map[selKey]matchset.Value),
-		uids:  make(map[*pattern.Node]int),
+	ev, _ := e.pool.Get().(*evaluator)
+	if ev == nil {
+		ev = &evaluator{}
 	}
-	ev.number(p.Root)
-	return ev.sel(e.syn.Root(), p.Root)
+	ev.reset(e.syn, p)
+	res := ev.sel(e.syn.Root(), 0)
+	e.pool.Put(ev)
+	return res
 }
 
-// P estimates the selectivity of p: the probability that a document of
-// the observed stream matches p (Algorithm 2). The result is clamped to
-// [0, 1] — sampling noise in the numerator and denominator estimates can
-// otherwise push the ratio slightly outside.
-func (e *Estimator) P(p *pattern.Pattern) float64 {
-	den := e.syn.RootCard()
-	if den == 0 {
-		return 0
-	}
-	v := e.Evaluate(p).Card() / den
+// clamp01 clamps a probability estimate to [0, 1] — sampling noise in
+// the numerator and denominator estimates can otherwise push a ratio
+// slightly outside.
+func clamp01(v float64) float64 {
 	if v < 0 {
 		return 0
 	}
@@ -60,6 +59,16 @@ func (e *Estimator) P(p *pattern.Pattern) float64 {
 		return 1
 	}
 	return v
+}
+
+// P estimates the selectivity of p: the probability that a document of
+// the observed stream matches p (Algorithm 2), clamped to [0, 1].
+func (e *Estimator) P(p *pattern.Pattern) float64 {
+	den := e.syn.RootCard()
+	if den == 0 {
+		return 0
+	}
+	return clamp01(e.Evaluate(p).Card() / den)
 }
 
 // PAnd estimates the conjunction probability P(p ∧ q) by evaluating the
@@ -75,14 +84,7 @@ func (e *Estimator) EvaluateCard(v matchset.Value) float64 {
 	if den == 0 {
 		return 0
 	}
-	out := v.Card() / den
-	if out < 0 {
-		return 0
-	}
-	if out > 1 {
-		return 1
-	}
-	return out
+	return clamp01(v.Card() / den)
 }
 
 // Note on conjunctions: SEL over a root-merged pattern intersects the
@@ -94,50 +96,77 @@ func (e *Estimator) EvaluateCard(v matchset.Value) float64 {
 
 // POr estimates P(p ∨ q) by inclusion–exclusion, clamped to [0, 1].
 func (e *Estimator) POr(p, q *pattern.Pattern) float64 {
-	v := e.P(p) + e.P(q) - e.PAnd(p, q)
-	if v < 0 {
-		return 0
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
+	return clamp01(e.P(p) + e.P(q) - e.PAnd(p, q))
 }
 
-type selKey struct {
-	v int // synopsis node id
-	u int // pattern node id
+// pnode is a pattern node prepared for evaluation: the node itself plus
+// the evaluator-local indices of its children, so the hot recursion
+// never consults a map to identify pattern nodes.
+type pnode struct {
+	n        *pattern.Node
+	children []int
 }
 
+// evaluator carries the per-query working state. It is pooled by the
+// Estimator: the flat memo table and the pattern index are reused
+// across queries, so a warmed-up estimator evaluates without building
+// maps. The memo is indexed [v.Slot()·stride + u-index] — slots are
+// dense and recycled, so the table scales with the live synopsis, not
+// with how many nodes ever existed; nil marks an uncomputed entry (SEL
+// never returns a nil value).
 type evaluator struct {
-	syn   *synopsis.Synopsis
-	empty matchset.Value
-	memo  map[selKey]matchset.Value
-	uids  map[*pattern.Node]int
+	syn    *synopsis.Synopsis
+	empty  matchset.Value
+	pnodes []pnode
+	stride int
+	memo   []matchset.Value
 }
 
-func (ev *evaluator) number(n *pattern.Node) {
-	ev.uids[n] = len(ev.uids)
-	for _, c := range n.Children {
-		ev.number(c)
+func (ev *evaluator) reset(syn *synopsis.Synopsis, p *pattern.Pattern) {
+	ev.syn = syn
+	ev.empty = syn.EmptyValue()
+	ev.pnodes = ev.pnodes[:0]
+	ev.number(p.Root)
+	ev.stride = len(ev.pnodes)
+	need := syn.SlotBound() * ev.stride
+	if cap(ev.memo) < need {
+		ev.memo = make([]matchset.Value, need)
+	} else {
+		ev.memo = ev.memo[:need]
+		clear(ev.memo)
 	}
+}
+
+func (ev *evaluator) number(n *pattern.Node) int {
+	i := len(ev.pnodes)
+	ev.pnodes = append(ev.pnodes, pnode{n: n})
+	var kids []int
+	if len(n.Children) > 0 {
+		kids = make([]int, 0, len(n.Children))
+		for _, c := range n.Children {
+			kids = append(kids, ev.number(c))
+		}
+	}
+	ev.pnodes[i].children = kids
+	return i
 }
 
 // sel is Algorithm 1. SEL(v,u) is the set of documents for which pattern
 // node u is matched at synopsis node v with all of u's subtree
 // constraints satisfied below v. Memoization on (v,u) pairs bounds the
 // work by O(|HS|·|p|) even with descendant operators.
-func (ev *evaluator) sel(v *synopsis.Node, u *pattern.Node) matchset.Value {
-	key := selKey{v.ID(), ev.uids[u]}
-	if r, ok := ev.memo[key]; ok {
+func (ev *evaluator) sel(v *synopsis.Node, ui int) matchset.Value {
+	idx := v.Slot()*ev.stride + ui
+	if r := ev.memo[idx]; r != nil {
 		return r
 	}
-	res := ev.selCompute(v, u)
-	ev.memo[key] = res
+	res := ev.selCompute(v, ui)
+	ev.memo[idx] = res
 	return res
 }
 
-func (ev *evaluator) selCompute(v *synopsis.Node, u *pattern.Node) matchset.Value {
+func (ev *evaluator) selCompute(v *synopsis.Node, ui int) matchset.Value {
+	u := ev.pnodes[ui].n
 	// Line 1: label compatibility (label(v) ⪯ label(u)).
 	if !pattern.LabelLeq(v.Label().Tag, u.Label) {
 		return ev.empty
@@ -158,11 +187,12 @@ func (ev *evaluator) selCompute(v *synopsis.Node, u *pattern.Node) matchset.Valu
 		// nested label of v, every document in S(v) (approximately)
 		// satisfies u' below v.
 		var res matchset.Value
-		for _, u2 := range u.Children {
+		for _, ci := range ev.pnodes[ui].children {
 			uni := ev.empty
 			for _, v2 := range v.Children() {
-				uni = uni.Union(ev.sel(v2, u2))
+				uni = uni.Union(ev.sel(v2, ci))
 			}
+			u2 := ev.pnodes[ci].n
 			for _, nt := range v.Label().Nested {
 				if ev.bsel(nt, u2) {
 					uni = uni.Union(ev.syn.Full(v))
@@ -184,8 +214,8 @@ func (ev *evaluator) selCompute(v *synopsis.Node, u *pattern.Node) matchset.Valu
 	// zero (u's children matched at v itself); S≥1 pushes "//" down to
 	// v's children and into folded labels.
 	var s0 matchset.Value
-	for _, u2 := range u.Children {
-		x := ev.sel(v, u2)
+	for _, ci := range ev.pnodes[ui].children {
+		x := ev.sel(v, ci)
 		if s0 == nil {
 			s0 = x
 		} else {
@@ -197,7 +227,7 @@ func (ev *evaluator) selCompute(v *synopsis.Node, u *pattern.Node) matchset.Valu
 	}
 	s1 := ev.empty
 	for _, v2 := range v.Children() {
-		s1 = s1.Union(ev.sel(v2, u))
+		s1 = s1.Union(ev.sel(v2, ui))
 	}
 	for _, nt := range v.Label().Nested {
 		if ev.bselDesc(nt, u) {

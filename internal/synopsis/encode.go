@@ -84,10 +84,10 @@ func (s *Synopsis) Encode(w io.Writer) error {
 		for _, c := range n.children {
 			en.Children = append(en.Children, c.id)
 		}
-		// Deterministic output for identical synopses: child ids and
-		// dumped identifiers come from maps and must be ordered.
+		// Deterministic output for identical synopses: child ids come
+		// from insertion-ordered slices and must be ordered here; dumped
+		// identifiers are already sorted by Store.Dump.
 		sort.Ints(en.Children)
-		sort.Slice(en.Store.IDs, func(i, j int) bool { return en.Store.IDs[i] < en.Store.IDs[j] })
 		enc.Nodes = append(enc.Nodes, en)
 	}
 	if s.reservoir != nil {
@@ -123,13 +123,15 @@ func Decode(r io.Reader) (*Synopsis, error) {
 
 	nodes := make(map[int]*Node, len(enc.Nodes))
 	maxID := 0
-	for _, en := range enc.Nodes {
-		n := &Node{id: en.ID, label: decodeLabel(en.Label), store: s.factory.Restore(en.Store)}
+	for i, en := range enc.Nodes {
+		n := &Node{id: en.ID, slot: i, label: decodeLabel(en.Label), store: s.factory.Restore(en.Store)}
 		nodes[en.ID] = n
 		if en.ID > maxID {
 			maxID = en.ID
 		}
 	}
+	s.slotBound = len(enc.Nodes)
+	s.freeSlots = nil
 	root, ok := nodes[enc.RootID]
 	if !ok {
 		return nil, fmt.Errorf("synopsis: decode: missing root node %d", enc.RootID)

@@ -106,6 +106,7 @@ func (s *Synopsis) MergeNodes(a, b *Node) error {
 	}
 	b.parents, b.children = nil, nil
 	b.dead = true
+	s.releaseSlot(b)
 	s.version++
 	return nil
 }

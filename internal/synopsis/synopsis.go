@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"treesim/internal/matchset"
 	"treesim/internal/sampling"
@@ -57,6 +59,7 @@ func (o Options) withDefaults() Options {
 // may have several parents (merge) and a nested label (fold).
 type Node struct {
 	id       int
+	slot     int
 	label    *LabelTree
 	children []*Node
 	parents  []*Node
@@ -64,9 +67,16 @@ type Node struct {
 	dead     bool
 }
 
-// ID returns a stable identifier, unique within the synopsis, used as a
-// memoization key by the selectivity estimator.
+// ID returns a stable identifier, unique within the synopsis for its
+// whole lifetime (never reused).
 func (n *Node) ID() int { return n.id }
+
+// Slot returns a dense identifier, unique among live nodes and recycled
+// when nodes die, so Slot() < SlotBound() always holds and SlotBound
+// tracks the peak number of live nodes rather than the total ever
+// created. The selectivity estimator indexes its flat memo table by
+// slot.
+func (n *Node) Slot() int { return n.slot }
 
 // Label returns the node's (possibly nested) label.
 func (n *Node) Label() *LabelTree { return n.label }
@@ -83,6 +93,13 @@ func (n *Node) Parents() []*Node { return n.parents }
 func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
 
 // Synopsis is the document synopsis HS.
+//
+// Concurrency: methods that mutate the synopsis (Insert, RemoveDocument,
+// Compress, the pruning operations) require exclusive access, but any
+// number of read-only queries (Full, RootCard, Stats, selectivity
+// evaluation) may run concurrently with each other — the query-time
+// materialization caches synchronize internally. core.Estimator maps
+// this contract onto a sync.RWMutex.
 type Synopsis struct {
 	opts      Options
 	factory   *matchset.Factory
@@ -90,13 +107,38 @@ type Synopsis struct {
 	reservoir *sampling.Reservoir // Sets mode only
 	root      *Node
 	nextID    int
-	docs      int // total documents observed (|H|)
-	liveDocs  int // documents currently represented (NoReservoir mode)
+	slotBound int   // one past the highest slot ever in use
+	freeSlots []int // slots of dead nodes, available for reuse
+	docs      int   // total documents observed (|H|)
+	liveDocs  int   // documents currently represented (NoReservoir mode)
 	nextDocID uint64
 
-	version      int64
-	cacheVersion int64
-	fullCache    map[int]matchset.Value
+	version int64
+	cache   atomic.Pointer[fullCache]
+}
+
+// fullCache memoizes Full(v) per node for one synopsis version. A new
+// cache replaces it after every mutation; concurrent readers of the same
+// version share one cache and synchronize on its mutex (lookups take the
+// read lock; a missing entry is computed outside the lock — duplicated
+// work between racing readers is harmless because values are immutable).
+type fullCache struct {
+	version int64
+	mu      sync.RWMutex
+	vals    map[int]matchset.Value
+}
+
+func (c *fullCache) get(id int) (matchset.Value, bool) {
+	c.mu.RLock()
+	v, ok := c.vals[id]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *fullCache) put(id int, v matchset.Value) {
+	c.mu.Lock()
+	c.vals[id] = v
+	c.mu.Unlock()
 }
 
 // New returns an empty synopsis.
@@ -145,10 +187,33 @@ func (s *Synopsis) EmptyValue() matchset.Value { return s.factory.EmptyValue() }
 // valid only while the version is unchanged.
 func (s *Synopsis) Version() int64 { return s.version }
 
+// SlotBound returns an exclusive upper bound on live-node slots. It
+// grows to the peak live-node count and never beyond it (dead nodes'
+// slots are recycled), so flat tables sized by it stay proportional to
+// the synopsis, not to its history.
+func (s *Synopsis) SlotBound() int { return s.slotBound }
+
 func (s *Synopsis) newNode(label *LabelTree) *Node {
-	n := &Node{id: s.nextID, label: label, store: s.factory.NewStore()}
+	n := &Node{id: s.nextID, slot: s.takeSlot(), label: label, store: s.factory.NewStore()}
 	s.nextID++
 	return n
+}
+
+// takeSlot hands out a dense slot, preferring recycled ones.
+func (s *Synopsis) takeSlot() int {
+	if k := len(s.freeSlots); k > 0 {
+		slot := s.freeSlots[k-1]
+		s.freeSlots = s.freeSlots[:k-1]
+		return slot
+	}
+	slot := s.slotBound
+	s.slotBound++
+	return slot
+}
+
+// releaseSlot returns a dead node's slot to the free list.
+func (s *Synopsis) releaseSlot(n *Node) {
+	s.freeSlots = append(s.freeSlots, n.slot)
 }
 
 // Insert observes one document: builds its skeleton and records its
@@ -299,6 +364,7 @@ func (s *Synopsis) detach(n *Node) {
 	}
 	n.parents, n.children = nil, nil
 	n.dead = true
+	s.releaseSlot(n)
 	s.version++
 }
 
@@ -343,22 +409,27 @@ func (s *Synopsis) Full(n *Node) matchset.Value {
 	if s.opts.Kind == matchset.KindCounters {
 		return n.store.Value()
 	}
-	if s.cacheVersion != s.version || s.fullCache == nil {
-		s.fullCache = make(map[int]matchset.Value)
-		s.cacheVersion = s.version
+	c := s.cache.Load()
+	for c == nil || c.version != s.version {
+		fresh := &fullCache{version: s.version, vals: make(map[int]matchset.Value)}
+		if s.cache.CompareAndSwap(c, fresh) {
+			c = fresh
+			break
+		}
+		c = s.cache.Load()
 	}
-	return s.fullRec(n)
+	return s.fullRec(c, n)
 }
 
-func (s *Synopsis) fullRec(n *Node) matchset.Value {
-	if v, ok := s.fullCache[n.id]; ok {
+func (s *Synopsis) fullRec(c *fullCache, n *Node) matchset.Value {
+	if v, ok := c.get(n.id); ok {
 		return v
 	}
 	v := n.store.Value()
-	for _, c := range n.children {
-		v = v.Union(s.fullRec(c))
+	for _, ch := range n.children {
+		v = v.Union(s.fullRec(c, ch))
 	}
-	s.fullCache[n.id] = v
+	c.put(n.id, v)
 	return v
 }
 

@@ -576,3 +576,39 @@ func TestEmptyDocumentInsert(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSlotRecyclingUnderChurn: node slots must be recycled when nodes
+// die, so SlotBound (which sizes the selectivity evaluator's flat memo)
+// tracks the peak live-node count, not the total ever created.
+func TestSlotRecyclingUnderChurn(t *testing.T) {
+	s := New(Options{Kind: matchset.KindSets, NoReservoir: true})
+	labels := []string{"p", "q", "r", "s", "t", "u", "v", "w"}
+	for round := 0; round < 40; round++ {
+		lbl := labels[round%len(labels)] + strings.Repeat("x", round%3)
+		tr, err := xmltree.ParseCompact("a(" + lbl + ")")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := s.Insert(tr)
+		if err := s.RemoveDocument(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.nextID < 40 {
+		t.Fatalf("expected node-ID churn, nextID = %d", s.nextID)
+	}
+	if bound := s.SlotBound(); bound > 8 {
+		t.Errorf("SlotBound = %d after churn, want <= 8 (peak live nodes)", bound)
+	}
+	// Slots of live nodes must be unique and within bound.
+	seen := make(map[int]bool)
+	for _, n := range s.Nodes() {
+		if n.Slot() < 0 || n.Slot() >= s.SlotBound() {
+			t.Errorf("slot %d out of [0, %d)", n.Slot(), s.SlotBound())
+		}
+		if seen[n.Slot()] {
+			t.Errorf("duplicate slot %d", n.Slot())
+		}
+		seen[n.Slot()] = true
+	}
+}
