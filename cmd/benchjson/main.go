@@ -1,12 +1,24 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON benchmark report, seeding the repository's
-// performance trajectory (BENCH_core.json). Typical use:
+// performance trajectory (BENCH_core.json, BENCH_broker.json). Typical
+// use:
 //
 //	go test -run='^$' -bench='Figure4|Figure5|SimilarityMatrix|ParallelClients' \
 //	    -benchmem . | go run ./cmd/benchjson -o BENCH_core.json
 //
-// With a file argument it reads that file instead of stdin. Unknown
-// lines are ignored, so the raw `go test` stream can be piped directly.
+// The broker snapshot merges the in-process engine benchmarks with a
+// live daemon run (cmd/treesim-bench emits Benchmark-style summary
+// lines for exactly this purpose):
+//
+//	go test -run='^$' -bench='BenchmarkBroker' -benchmem ./internal/broker \
+//	    > broker.txt
+//	go run ./cmd/treesim-bench -subs 1000 -publish 10000 > daemon.txt
+//	go run ./cmd/benchjson -o BENCH_broker.json broker.txt daemon.txt
+//
+// With file arguments it reads and merges those files in order instead
+// of stdin (flags must precede the file list — Go's flag parsing stops
+// at the first positional argument). Unknown lines are ignored, so raw
+// `go test` streams can be piped directly.
 package main
 
 import (
@@ -45,13 +57,19 @@ func main() {
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+		// Multiple files merge into one report (e.g. in-process broker
+		// benchmarks + a treesim-bench daemon run).
+		readers := make([]io.Reader, 0, flag.NArg())
+		for _, name := range flag.Args() {
+			f, err := os.Open(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			readers = append(readers, f)
 		}
-		defer f.Close()
-		in = f
+		in = io.MultiReader(readers...)
 	}
 
 	rep, err := Parse(in)

@@ -1,0 +1,336 @@
+// Command treesim-bench is a load generator for the treesimd broker
+// daemon: it subscribes a population of generated tree patterns,
+// publishes a stream of schema-driven XML documents with optional
+// subscription churn, drains deliveries concurrently, and reports
+// end-to-end throughput plus the daemon's own stats.
+//
+// The summary includes `go test -bench`-style lines, so the output can
+// be piped through cmd/benchjson (optionally merged with the in-process
+// broker benchmarks) into a BENCH_broker.json snapshot:
+//
+//	go run ./cmd/treesim-bench -addr 127.0.0.1:8690 -subs 1000 -publish 10000 \
+//	    | tee bench.txt
+//	go run ./cmd/benchjson -o BENCH_broker.json bench.txt
+//
+// It exits nonzero if nothing was delivered (used by CI as a smoke
+// assertion) or if the daemon is unreachable.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesim"
+)
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) subscribe(pattern string) (uint64, error) {
+	body, _ := json.Marshal(map[string]string{"pattern": pattern})
+	resp, err := c.http.Post(c.base+"/subscribe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("subscribe: %s", resp.Status)
+	}
+	var out struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.ID, nil
+}
+
+func (c *client) unsubscribe(id uint64) error {
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/subscribe/%d", c.base, id), nil)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("unsubscribe %d: %s", id, resp.Status)
+	}
+	return nil
+}
+
+func (c *client) publish(doc string) error {
+	resp, err := c.http.Post(c.base+"/publish", "application/xml", strings.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("publish: %s", resp.Status)
+	}
+	return nil
+}
+
+func (c *client) drain(id uint64, max int, wait time.Duration) (int, error) {
+	url := fmt.Sprintf("%s/deliveries/%d?max=%d&wait=%s", c.base, id, max, wait)
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("drain %d: %s", id, resp.Status)
+	}
+	var out struct {
+		Deliveries []json.RawMessage `json:"deliveries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return len(out.Deliveries), nil
+}
+
+func (c *client) stats() (map[string]any, error) {
+	resp, err := c.http.Get(c.base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8690", "treesimd address (host:port)")
+		nSubs    = flag.Int("subs", 1000, "subscriptions to register")
+		nPublish = flag.Int("publish", 10000, "documents to publish")
+		nDocs    = flag.Int("docs", 500, "distinct generated documents to cycle through")
+		churn    = flag.Int("churn", 0, "unsubscribe+resubscribe operations during the publish phase")
+		conc     = flag.Int("concurrency", 8, "concurrent publisher workers")
+		drainers = flag.Int("drainers", 4, "concurrent delivery drain workers")
+		schema   = flag.String("dtd", "nitf", "workload schema: nitf|xcbl|media")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		expect   = flag.Bool("expect-deliveries", true, "exit nonzero if no deliveries happened")
+	)
+	flag.Parse()
+
+	if *nSubs <= 0 || *nPublish <= 0 || *nDocs <= 0 {
+		fmt.Fprintln(os.Stderr, "treesim-bench: -subs, -publish and -docs must be positive")
+		os.Exit(2)
+	}
+	if *drainers > *nSubs {
+		*drainers = *nSubs
+	}
+	if *drainers < 1 {
+		*drainers = 1
+	}
+
+	var d *treesim.DTD
+	switch strings.ToLower(*schema) {
+	case "nitf":
+		d = treesim.NITFLikeDTD()
+	case "xcbl":
+		d = treesim.XCBLLikeDTD()
+	case "media":
+		d = treesim.MediaDTD()
+	default:
+		fmt.Fprintf(os.Stderr, "treesim-bench: unknown dtd %q\n", *schema)
+		os.Exit(2)
+	}
+
+	c := &client{
+		base: "http://" + *addr,
+		http: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc + *drainers + 2}},
+	}
+	if _, err := c.stats(); err != nil {
+		fmt.Fprintf(os.Stderr, "treesim-bench: daemon unreachable at %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: dtd=%s subs=%d publish=%d churn=%d concurrency=%d\n",
+		*schema, *nSubs, *nPublish, *churn, *conc)
+	patterns := treesim.GeneratePatterns(d, *nSubs+*churn, *seed)
+	docs := make([]string, 0, *nDocs)
+	for _, t := range treesim.GenerateDocuments(d, *nDocs, *seed+1) {
+		s, err := treesim.XMLString(t)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treesim-bench: serialize: %v\n", err)
+			os.Exit(1)
+		}
+		docs = append(docs, s)
+	}
+
+	// Phase 1: subscribe the population.
+	var (
+		ids   = make([]uint64, *nSubs)
+		errCt atomic.Uint64
+	)
+	subStart := time.Now()
+	runParallel(*conc, *nSubs, func(i int) {
+		id, err := c.subscribe(patterns[i].String())
+		if err != nil {
+			errCt.Add(1)
+			return
+		}
+		ids[i] = id
+	})
+	subDur := time.Since(subStart)
+	if errCt.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "treesim-bench: %d subscribe errors\n", errCt.Load())
+		os.Exit(1)
+	}
+	fmt.Printf("subscribed %d in %v (%.0f subs/sec, %v/op)\n",
+		*nSubs, subDur.Round(time.Millisecond),
+		float64(*nSubs)/subDur.Seconds(), (subDur / time.Duration(*nSubs)).Round(time.Microsecond))
+
+	// Phase 2: publish with concurrent drains and optional churn. The
+	// churn goroutine swaps entries of ids while drain workers read
+	// them, so access goes through idsMu.
+	var idsMu sync.Mutex
+	idAt := func(i int) uint64 {
+		idsMu.Lock()
+		defer idsMu.Unlock()
+		return ids[i]
+	}
+	var drained atomic.Uint64
+	stopDrain := make(chan struct{})
+	var drainWG sync.WaitGroup
+	for w := 0; w < *drainers; w++ {
+		drainWG.Add(1)
+		go func(w int) {
+			defer drainWG.Done()
+			for i := w; ; i = (i + *drainers) % len(ids) {
+				select {
+				case <-stopDrain:
+					return
+				default:
+				}
+				// A short long-poll parks the worker daemon-side when
+				// the queue is empty instead of spinning.
+				n, err := c.drain(idAt(i), 1000, 50*time.Millisecond)
+				if err == nil {
+					drained.Add(uint64(n))
+				}
+			}
+		}(w)
+	}
+
+	var churnWG sync.WaitGroup
+	if *churn > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			rng := rand.New(rand.NewSource(*seed + 7))
+			for k := 0; k < *churn; k++ {
+				i := rng.Intn(len(ids))
+				if err := c.unsubscribe(idAt(i)); err != nil {
+					errCt.Add(1)
+					continue
+				}
+				id, err := c.subscribe(patterns[*nSubs+k].String())
+				if err != nil {
+					errCt.Add(1)
+					continue
+				}
+				idsMu.Lock()
+				ids[i] = id
+				idsMu.Unlock()
+			}
+		}()
+	}
+
+	pubStart := time.Now()
+	runParallel(*conc, *nPublish, func(i int) {
+		if err := c.publish(docs[i%len(docs)]); err != nil {
+			errCt.Add(1)
+		}
+	})
+	pubDur := time.Since(pubStart)
+	churnWG.Wait()
+
+	close(stopDrain)
+	drainWG.Wait()
+
+	// Final sweep: collect what is still queued.
+	runParallel(*drainers, len(ids), func(i int) {
+		for {
+			n, err := c.drain(idAt(i), 1000, 0)
+			if err != nil || n == 0 {
+				return
+			}
+			drained.Add(uint64(n))
+		}
+	})
+
+	st, err := c.stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treesim-bench: stats: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("published %d in %v (%.0f publishes/sec, %v/op), %d errors\n",
+		*nPublish, pubDur.Round(time.Millisecond),
+		float64(*nPublish)/pubDur.Seconds(), (pubDur / time.Duration(*nPublish)).Round(time.Microsecond),
+		errCt.Load())
+	fmt.Printf("drained %d deliveries; daemon stats:\n", drained.Load())
+	for _, k := range []string{"live", "communities", "singletons", "rebuilds", "published",
+		"docs_observed", "filter_evals", "deliveries", "dropped", "precision_proxy",
+		"publish_p50_ns", "publish_p99_ns"} {
+		fmt.Printf("  %-16s %v\n", k, st[k])
+	}
+
+	// Machine-readable summary, parseable by cmd/benchjson.
+	label := fmt.Sprintf("subs=%d", *nSubs)
+	fmt.Printf("BenchmarkTreesimdSubscribe/%s \t%d\t%d ns/op\n",
+		label, *nSubs, subDur.Nanoseconds()/int64(*nSubs))
+	fmt.Printf("BenchmarkTreesimdPublish/%s \t%d\t%d ns/op\t%d deliveries\t%.0f pub/sec\n",
+		label, *nPublish, pubDur.Nanoseconds()/int64(*nPublish), drained.Load(),
+		float64(*nPublish)/pubDur.Seconds())
+
+	if *expect && drained.Load() == 0 {
+		fmt.Fprintln(os.Stderr, "treesim-bench: FAIL: no deliveries")
+		os.Exit(1)
+	}
+}
+
+// runParallel runs fn(i) for i in [0, n) across w workers.
+func runParallel(w, n int, fn func(int)) {
+	if w < 1 {
+		w = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,251 @@
+// Command treesimd is the live content-based pub/sub broker daemon: an
+// HTTP front end over internal/broker. Consumers subscribe with tree
+// patterns, publishers POST XML documents, and the broker maintains
+// semantic communities incrementally so routing cost scales with the
+// number of communities rather than subscriptions.
+//
+// API (all bodies JSON unless noted):
+//
+//	POST   /subscribe          {"pattern": "/a/b[c]"}     → {"id": 7}
+//	DELETE /subscribe/{id}                                → 204
+//	POST   /publish            raw XML document           → routing summary
+//	GET    /deliveries/{id}?max=100&wait=5s               → {"deliveries": [...]}
+//	GET    /doc/{seq}                                     → raw XML of a recent publish
+//	GET    /stats                                         → broker stats
+//	GET    /healthz                                       → 200 "ok"
+//
+// /deliveries long-polls: with wait set and an empty queue it blocks up
+// to that duration for the first delivery. Flags configure the
+// estimator, clustering and queue knobs; see -h.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"treesim/internal/broker"
+	"treesim/internal/core"
+	"treesim/internal/metrics"
+	"treesim/internal/xmltree"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8690", "listen address")
+		rep       = flag.String("representation", "hashes", "matching-set representation: counters|sets|hashes")
+		hcap      = flag.Int("hash-capacity", 1000, "per-node sample bound for hashes")
+		scap      = flag.Int("set-capacity", 1000, "reservoir size for sets")
+		seed      = flag.Int64("seed", 1, "sampling seed")
+		metric    = flag.String("metric", "m3", "clustering metric: m1|m2|m3")
+		threshold = flag.Float64("threshold", 0.5, "community similarity threshold")
+		queueCap  = flag.Int("queue", 256, "per-consumer delivery queue capacity")
+		ingestQ   = flag.Int("ingest-queue", 1024, "publish ingest pipeline depth")
+		maxStale  = flag.Int("rebuild-stale", 0, "rebuild after N mutations (0: use -rebuild-fraction)")
+		fraction  = flag.Float64("rebuild-fraction", 0.25, "rebuild when churn exceeds this fraction of live subscriptions")
+		maxBody   = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*rep, *metric, *hcap, *scap, *seed, *threshold, *queueCap, *ingestQ, *maxStale, *fraction)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treesimd:", err)
+		os.Exit(2)
+	}
+	eng := broker.New(cfg)
+	defer eng.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treesimd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Handler: newHandler(eng, *maxBody),
+		// The daemon serves untrusted input: bound header reads and
+		// idle keep-alives so dribbling clients cannot pin goroutines.
+		// WriteTimeout stays above the 30s long-poll cap on /deliveries.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      60 * time.Second,
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
+	}()
+	log.Printf("treesimd listening on %s (representation=%s metric=%s threshold=%g)",
+		ln.Addr(), *rep, *metric, *threshold)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "treesimd:", err)
+		os.Exit(1)
+	}
+}
+
+func buildConfig(rep, metric string, hcap, scap int, seed int64, threshold float64, queueCap, ingestQ, maxStale int, fraction float64) (broker.Config, error) {
+	cfg := broker.Config{
+		Estimator:     core.Config{HashCapacity: hcap, SetCapacity: scap, Seed: seed},
+		Threshold:     threshold,
+		QueueCapacity: queueCap,
+		IngestQueue:   ingestQ,
+	}
+	switch strings.ToLower(rep) {
+	case "counters":
+		cfg.Estimator.Representation = core.Counters
+	case "sets":
+		cfg.Estimator.Representation = core.Sets
+	case "hashes":
+		cfg.Estimator.Representation = core.Hashes
+	default:
+		return cfg, fmt.Errorf("unknown representation %q", rep)
+	}
+	switch strings.ToLower(metric) {
+	case "m1":
+		cfg.Metric = metrics.M1
+	case "m2":
+		cfg.Metric = metrics.M2
+	case "m3":
+		cfg.Metric = metrics.M3
+	default:
+		return cfg, fmt.Errorf("unknown metric %q", metric)
+	}
+	if maxStale > 0 {
+		cfg.Rebuild = broker.Staleness{MaxStale: maxStale}
+	} else {
+		cfg.Rebuild = broker.DirtyFraction{Fraction: fraction, MinStale: 64}
+	}
+	return cfg, nil
+}
+
+// newHandler wires the broker into a net/http mux (method-and-path
+// patterns, Go ≥ 1.22).
+func newHandler(eng *broker.Engine, maxBody int64) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Pattern string `json:"pattern"`
+		}
+		if err := json.NewDecoder(bodyReader(r, maxBody)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		id, err := eng.Subscribe(req.Pattern)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]uint64{"id": id})
+	})
+
+	mux.HandleFunc("DELETE /subscribe/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad id: %v", err)
+			return
+		}
+		if !eng.Unsubscribe(id) {
+			httpError(w, http.StatusNotFound, "unknown subscription %d", id)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
+		res, err := eng.PublishXML(bodyReader(r, maxBody))
+		if err != nil {
+			status := http.StatusBadRequest
+			if err == broker.ErrClosed {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /deliveries/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad id: %v", err)
+			return
+		}
+		max := 1000
+		if s := r.URL.Query().Get("max"); s != "" {
+			if max, err = strconv.Atoi(s); err != nil || max <= 0 {
+				httpError(w, http.StatusBadRequest, "bad max %q", s)
+				return
+			}
+		}
+		var wait time.Duration
+		if s := r.URL.Query().Get("wait"); s != "" {
+			if wait, err = time.ParseDuration(s); err != nil || wait < 0 {
+				httpError(w, http.StatusBadRequest, "bad wait %q", s)
+				return
+			}
+			if wait > 30*time.Second {
+				wait = 30 * time.Second
+			}
+		}
+		ds, err := eng.Drain(id, max, wait)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		if ds == nil {
+			ds = []broker.Delivery{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deliveries": ds, "pending": eng.Pending(id)})
+	})
+
+	mux.HandleFunc("GET /doc/{seq}", func(w http.ResponseWriter, r *http.Request) {
+		seq, err := strconv.ParseUint(r.PathValue("seq"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad seq: %v", err)
+			return
+		}
+		t := eng.Document(seq)
+		if t == nil {
+			httpError(w, http.StatusNotFound, "document %d not retained", seq)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		xmltree.WriteXML(w, t, false)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+
+	return mux
+}
+
+// bodyReader bounds a request body.
+func bodyReader(r *http.Request, maxBody int64) io.ReadCloser {
+	return http.MaxBytesReader(nil, r.Body, maxBody)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

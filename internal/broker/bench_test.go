@@ -1,0 +1,109 @@
+package broker
+
+import (
+	"testing"
+
+	"treesim/internal/core"
+	"treesim/internal/dtd"
+	"treesim/internal/pattern"
+	"treesim/internal/querygen"
+	"treesim/internal/xmlgen"
+	"treesim/internal/xmltree"
+)
+
+// benchWorkload builds a paper-style workload: NITF-like documents and
+// generated tree-pattern subscriptions.
+func benchWorkload(nDocs, nSubs int) ([]*xmltree.Tree, []*pattern.Pattern) {
+	d := dtd.NITFLike()
+	docs := xmlgen.New(d, xmlgen.Calibrate(d, 100, 41)).GenerateN(nDocs)
+	subs := querygen.New(d, querygen.Defaults(43)).GenerateDistinct(nSubs)
+	return docs, subs
+}
+
+// benchEngine returns an engine with nSubs live subscriptions and the
+// history stream already ingested.
+func benchEngine(b *testing.B, docs []*xmltree.Tree, subs []*pattern.Pattern) *Engine {
+	b.Helper()
+	e := New(Config{
+		Estimator: core.Config{Representation: core.Hashes, HashCapacity: 256, Seed: 5},
+		Rebuild:   DirtyFraction{Fraction: 0.25, MinStale: 64},
+	})
+	b.Cleanup(func() { e.Close() })
+	e.est.ObserveTrees(docs)
+	for _, p := range subs {
+		if _, err := e.SubscribePattern(p, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+// drainAll empties every queue so bounded queues do not skew the
+// steady-state measurement with eviction work.
+func drainAll(e *Engine, ids []uint64) {
+	for _, id := range ids {
+		e.Drain(id, 0, 0)
+	}
+}
+
+// BenchmarkBrokerPublish measures the live routing path: one published
+// document against 256 subscriptions maintained as semantic
+// communities (representative match → intra-community fan-out).
+func BenchmarkBrokerPublish(b *testing.B) {
+	docs, subs := benchWorkload(200, 256)
+	e := benchEngine(b, docs, subs)
+	ids := make([]uint64, 0, e.Live())
+	e.mu.RLock()
+	for _, s := range e.subs {
+		ids = append(ids, s.id)
+	}
+	e.mu.RUnlock()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Publish(docs[i%len(docs)]); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			b.StopTimer()
+			e.Flush()
+			drainAll(e, ids)
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	st := e.Stats()
+	b.ReportMetric(float64(st.FilterEvals)/float64(b.N), "filterevals/op")
+	b.ReportMetric(float64(st.Deliveries)/float64(b.N), "deliveries/op")
+}
+
+// BenchmarkBrokerSubscribeChurn measures steady-state churn at 256 live
+// subscriptions: each op subscribes a fresh pattern (incremental
+// similarity row + community assignment, amortized policy rebuilds) and
+// unsubscribes the oldest.
+func BenchmarkBrokerSubscribeChurn(b *testing.B) {
+	docs, subs := benchWorkload(200, 256)
+	churn := querygen.New(dtd.NITFLike(), querygen.Defaults(97)).GenerateDistinct(512)
+	e := benchEngine(b, docs, subs)
+	var ids []uint64
+	e.mu.RLock()
+	for _, s := range e.subs {
+		ids = append(ids, s.id)
+	}
+	e.mu.RUnlock()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := e.SubscribePattern(churn[i%len(churn)], "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+		e.Unsubscribe(ids[0])
+		ids = ids[1:]
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.Stats().Rebuilds)/float64(b.N), "rebuilds/op")
+}

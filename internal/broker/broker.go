@@ -1,0 +1,616 @@
+// Package broker is a live content-based pub/sub engine layered on the
+// paper's similarity machinery: consumers subscribe with tree patterns
+// at runtime, publishers push XML documents, and the broker keeps the
+// consumers clustered into semantic communities so each document is
+// matched once per community representative and flooded within the
+// communities that hit (Chand, Felber, Garofalakis, ICDE'07, Section 1;
+// the batch analogue is internal/routing).
+//
+// What makes it live rather than a simulation:
+//
+//   - Subscription churn. Subscribe computes only the new pattern's
+//     similarity row against the existing registry (core.SimilarityRow,
+//     an O(n) incremental step) and places it into the best existing
+//     community (cluster.Assign); Unsubscribe drops the member in O(n).
+//     No O(n²) matrix rebuild happens on the churn path.
+//   - Staleness-bounded re-clustering. Incremental placement drifts
+//     from what a fresh greedy clustering would produce; a pluggable
+//     RebuildPolicy watches the mutation count and triggers a full
+//     SimilarityMatrix + greedy rebuild when enough of the registry has
+//     churned.
+//   - A batched ingest pipeline. Published documents are handed to a
+//     background ingester that feeds the estimator's synopsis in
+//     batches (one lock acquisition per batch); publishing waits on
+//     synopsis maintenance only when the bounded pipeline is full
+//     (backpressure), and even then never stalls drains or stats.
+//   - Per-consumer delivery queues with backpressure: bounded rings
+//     that drop the oldest delivery when a slow consumer falls behind,
+//     drained with long-poll semantics.
+//
+// Concurrency: Publish and Drain run under a shared read lock and scale
+// across goroutines; Subscribe, Unsubscribe and policy rebuilds are
+// exclusive. The estimator underneath has its own reader/writer
+// discipline, so routing reads never block on ingest writes except at
+// the synopsis itself.
+package broker
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesim/internal/cluster"
+	"treesim/internal/core"
+	"treesim/internal/metrics"
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+// Config configures an Engine. The zero value works: Hashes-backed
+// estimator defaults, metric M3, threshold 0.5.
+type Config struct {
+	// Estimator configures the underlying streaming estimator.
+	Estimator core.Config
+	// Metric is the proximity metric for clustering (default M3).
+	Metric metrics.Metric
+	// Threshold is the community similarity threshold (default 0.5).
+	Threshold float64
+	// QueueCapacity bounds each consumer's delivery queue (default 256).
+	// When a queue is full the oldest delivery is dropped and counted.
+	QueueCapacity int
+	// IngestQueue bounds the publish→synopsis pipeline (default 1024
+	// documents). A full pipeline applies backpressure to publishers.
+	IngestQueue int
+	// IngestBatch is the maximum number of documents ingested per
+	// estimator lock acquisition (default 32).
+	IngestBatch int
+	// PrecisionSample exact-matches every Nth delivery against the
+	// receiving subscription to estimate delivery precision (default 16;
+	// 0 keeps the default, negative disables sampling).
+	PrecisionSample int
+	// LatencyWindow is the number of recent publish latencies kept for
+	// the p50/p99 stats (default 1024).
+	LatencyWindow int
+	// DocCache is how many recent published documents stay retrievable
+	// by sequence number (Document; the daemon's GET /doc/{seq}), so
+	// consumers can fetch the content behind a delivery. Default 4096;
+	// negative disables retention.
+	DocCache int
+	// Rebuild decides when accumulated churn warrants a full
+	// re-clustering (default: DirtyFraction{Fraction: 0.25, MinStale: 64}).
+	Rebuild RebuildPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Metric == 0 {
+		c.Metric = metrics.M3
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 256
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 1024
+	}
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 32
+	}
+	if c.PrecisionSample == 0 {
+		c.PrecisionSample = 16
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	if c.DocCache == 0 {
+		c.DocCache = 4096
+	}
+	if c.Rebuild == nil {
+		c.Rebuild = DirtyFraction{Fraction: 0.25, MinStale: 64}
+	}
+	return c
+}
+
+// Delivery is one document delivered to one subscription.
+type Delivery struct {
+	// Doc is the broker-assigned publish sequence number.
+	Doc uint64 `json:"doc"`
+	// Community is the community index whose representative matched.
+	Community int `json:"community"`
+}
+
+// PublishResult summarizes the routing of one published document.
+type PublishResult struct {
+	// Seq is the broker-assigned publish sequence number.
+	Seq uint64 `json:"seq"`
+	// Matched is the number of communities whose representative matched.
+	Matched int `json:"matched"`
+	// Deliveries is the number of queues the document was delivered to.
+	Deliveries int `json:"deliveries"`
+	// Dropped counts older deliveries this document evicted from full
+	// consumer queues (plus deliveries lost to closed queues). The
+	// document itself still reaches a full queue — the oldest entry
+	// makes room.
+	Dropped int `json:"dropped"`
+}
+
+// subscriber is one live subscription.
+type subscriber struct {
+	id   uint64
+	pat  *pattern.Pattern
+	expr string
+	q    *queue
+}
+
+// ingestItem is one unit of the publish→synopsis pipeline: a document
+// to ingest, or a flush marker (nil tree) whose done channel is closed
+// once everything queued before it has been ingested.
+type ingestItem struct {
+	tree *xmltree.Tree
+	done chan struct{}
+}
+
+// Engine is the live broker. Create with New, stop with Close.
+type Engine struct {
+	cfg Config
+	est *core.Estimator
+
+	mu     sync.RWMutex
+	subs   []*subscriber
+	byID   map[uint64]int
+	comms  *cluster.Communities
+	nextID uint64
+	stale  int // registry mutations since the last full rebuild
+	regVer uint64
+	closed bool
+
+	// rebuildBusy lets exactly one goroutine run the (expensive,
+	// lock-free) similarity-matrix phase of a policy rebuild at a time.
+	rebuildBusy atomic.Bool
+
+	// pipeMu guards the ingest pipeline's lifecycle separately from the
+	// registry lock: a publisher blocked on a full pipeline (holding
+	// pipeMu.RLock during the send) must not stall registry readers —
+	// otherwise one pending Subscribe would freeze Drain/Stats behind
+	// the RWMutex writer gate until the ingester caught up.
+	pipeMu     sync.RWMutex
+	pipeClosed bool
+	ingest     chan ingestItem
+	ingestWG   sync.WaitGroup
+
+	pubSeq   atomic.Uint64
+	counters counters
+	lat      *latencyRing
+	docs     *docRing
+}
+
+// docRing retains the most recent published documents keyed by publish
+// sequence, so a delivery's content is retrievable after routing.
+type docRing struct {
+	mu  sync.Mutex
+	buf []docEntry
+}
+
+type docEntry struct {
+	seq  uint64
+	tree *xmltree.Tree
+}
+
+func (r *docRing) put(seq uint64, t *xmltree.Tree) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[seq%uint64(len(r.buf))] = docEntry{seq: seq, tree: t}
+	r.mu.Unlock()
+}
+
+func (r *docRing) get(seq uint64) *xmltree.Tree {
+	if r == nil || seq == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.buf[seq%uint64(len(r.buf))]; e.seq == seq {
+		return e.tree
+	}
+	return nil
+}
+
+// New starts an engine (including its background ingester).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		est:    core.NewEstimator(cfg.Estimator),
+		byID:   make(map[uint64]int),
+		comms:  &cluster.Communities{Threshold: cfg.Threshold},
+		ingest: make(chan ingestItem, cfg.IngestQueue),
+		lat:    newLatencyRing(cfg.LatencyWindow),
+	}
+	if cfg.DocCache > 0 {
+		e.docs = &docRing{buf: make([]docEntry, cfg.DocCache)}
+	}
+	e.ingestWG.Add(1)
+	go e.runIngest()
+	return e
+}
+
+// Estimator exposes the underlying streaming estimator (shared; follow
+// its concurrency rules).
+func (e *Engine) Estimator() *core.Estimator { return e.est }
+
+// Close stops the ingest pipeline after draining it and closes every
+// delivery queue. Publish/Subscribe after Close return ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, s := range e.subs {
+		s.q.close()
+	}
+	e.mu.Unlock()
+	// Acquiring pipeMu exclusively waits out any publisher mid-send, so
+	// the channel close below cannot race a send.
+	e.pipeMu.Lock()
+	e.pipeClosed = true
+	close(e.ingest)
+	e.pipeMu.Unlock()
+	e.ingestWG.Wait()
+	return nil
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = fmt.Errorf("broker: engine closed")
+
+// Subscribe registers a tree-pattern subscription given as an XPath
+// expression and returns its id. The new subscription's similarity row
+// against the live registry is computed incrementally (no full-matrix
+// rebuild) and the subscription joins the best existing community, or
+// founds its own; accumulated churn may then trigger a policy rebuild.
+func (e *Engine) Subscribe(expr string) (uint64, error) {
+	p, err := pattern.Parse(expr)
+	if err != nil {
+		return 0, err
+	}
+	return e.SubscribePattern(p, expr)
+}
+
+// SubscribePattern is Subscribe for a pre-parsed pattern.
+//
+// The O(n) similarity row — the dominant cost — is computed from a
+// registry snapshot without holding the registry lock, so concurrent
+// publishes and drains keep flowing; the result commits only if the
+// registry has not churned meanwhile. After bounded retries under
+// sustained churn it falls back to computing under the exclusive lock,
+// guaranteeing progress.
+func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		e.mu.RLock()
+		if e.closed {
+			e.mu.RUnlock()
+			return 0, ErrClosed
+		}
+		ver := e.regVer
+		pats := e.patternsLocked()
+		e.mu.RUnlock()
+
+		row := e.est.SimilarityRow(e.cfg.Metric, p, pats)
+
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return 0, ErrClosed
+		}
+		if e.regVer == ver {
+			id := e.commitSubscribeLocked(p, expr, row)
+			e.mu.Unlock()
+			e.maybeRebuild(false)
+			return id, nil
+		}
+		e.mu.Unlock() // registry churned mid-compute; re-snapshot
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	row := e.est.SimilarityRow(e.cfg.Metric, p, e.patternsLocked())
+	id := e.commitSubscribeLocked(p, expr, row)
+	e.mu.Unlock()
+	e.maybeRebuild(false)
+	return id, nil
+}
+
+// commitSubscribeLocked installs a new subscription given its
+// similarity row against the current registry. Caller holds the write
+// lock and has validated the row's registry version.
+func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []float64) uint64 {
+	e.comms.Assign(row)
+	e.nextID++
+	id := e.nextID
+	e.byID[id] = len(e.subs)
+	e.subs = append(e.subs, &subscriber{
+		id:   id,
+		pat:  p,
+		expr: expr,
+		q:    newQueue(e.cfg.QueueCapacity),
+	})
+	e.counters.subscribes.Add(1)
+	e.stale++
+	e.regVer++
+	return id
+}
+
+// Unsubscribe removes a subscription and closes its delivery queue.
+// It reports whether the id was live.
+func (e *Engine) Unsubscribe(id uint64) bool {
+	e.mu.Lock()
+	idx, ok := e.byID[id]
+	if !ok {
+		e.mu.Unlock()
+		return false
+	}
+	e.subs[idx].q.close()
+	delete(e.byID, id)
+	e.comms.Remove(idx)
+	e.subs = append(e.subs[:idx], e.subs[idx+1:]...)
+	for i := idx; i < len(e.subs); i++ {
+		e.byID[e.subs[i].id] = i
+	}
+	e.counters.unsubscribes.Add(1)
+	e.stale++
+	e.regVer++
+	e.mu.Unlock()
+	e.maybeRebuild(false)
+	return true
+}
+
+// maybeRebuild performs a full greedy re-clustering when the policy
+// (or force) asks for one. The O(n²) similarity matrix is computed
+// from a registry snapshot WITHOUT holding the registry lock — only
+// the estimator's shared read lock — so publishes and drains keep
+// flowing during a rebuild; the result is swapped in only if the
+// registry has not churned in the meantime (a bounded number of
+// retries otherwise; persistent churn leaves stale set, so the next
+// mutation tries again).
+func (e *Engine) maybeRebuild(force bool) {
+	if !e.rebuildBusy.CompareAndSwap(false, true) {
+		return // another goroutine is already rebuilding
+	}
+	defer e.rebuildBusy.Store(false)
+	for attempt := 0; attempt < 3; attempt++ {
+		e.mu.RLock()
+		if e.closed || (!force && !e.cfg.Rebuild.ShouldRebuild(e.stale, len(e.subs))) {
+			e.mu.RUnlock()
+			return
+		}
+		ver := e.regVer
+		pats := e.patternsLocked()
+		e.mu.RUnlock()
+
+		sim := e.est.SimilarityMatrix(e.cfg.Metric, pats)
+
+		e.mu.Lock()
+		if e.regVer == ver {
+			e.comms = cluster.BuildGreedy(sim, e.cfg.Threshold)
+			e.stale = 0
+			e.counters.rebuilds.Add(1)
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock() // registry churned mid-compute; re-snapshot
+	}
+}
+
+// Rebuild forces a full re-clustering immediately (ops escape hatch).
+// If a policy rebuild is already in flight, that rebuild serves the
+// request.
+func (e *Engine) Rebuild() {
+	e.maybeRebuild(true)
+}
+
+func (e *Engine) patternsLocked() []*pattern.Pattern {
+	ps := make([]*pattern.Pattern, len(e.subs))
+	for i, s := range e.subs {
+		ps[i] = s.pat
+	}
+	return ps
+}
+
+// Publish routes one document: it is queued for synopsis ingestion
+// (blocking only if the ingest pipeline is full — backpressure), then
+// matched against each community representative under the shared read
+// lock; communities that hit receive the document on every member's
+// delivery queue. Matching per representative rather than per consumer
+// is the whole point: filter evaluations scale with the number of
+// communities, not subscriptions.
+func (e *Engine) Publish(t *xmltree.Tree) (PublishResult, error) {
+	start := time.Now()
+	// Enqueue for ingestion before taking the registry lock: a full
+	// pipeline blocks only publishers (and Close), never Drain/Stats.
+	e.pipeMu.RLock()
+	if e.pipeClosed {
+		e.pipeMu.RUnlock()
+		return PublishResult{}, ErrClosed
+	}
+	e.counters.ingestQueued.Add(1)
+	e.ingest <- ingestItem{tree: t}
+	e.pipeMu.RUnlock()
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	res := PublishResult{Seq: e.pubSeq.Add(1)}
+	e.docs.put(res.Seq, t)
+	sample := e.cfg.PrecisionSample
+	// A publish that raced Close past the pipeline check was already
+	// accepted into the synopsis; it simply routes to nobody (every
+	// queue is closed), keeping Published == documents ingested.
+	if !e.closed {
+		for g, rep := range e.comms.Reps {
+			e.counters.filterEvals.Add(1)
+			if !pattern.Matches(t, e.subs[rep].pat) {
+				continue
+			}
+			res.Matched++
+			for _, member := range e.comms.Groups[g] {
+				s := e.subs[member]
+				enqueued, evicted := s.q.push(Delivery{Doc: res.Seq, Community: g})
+				if evicted || !enqueued {
+					// Evictions charge the publish that forced them;
+					// the lost delivery belongs to an older document.
+					res.Dropped++
+					e.counters.dropped.Add(1)
+				}
+				if !enqueued {
+					continue
+				}
+				res.Deliveries++
+				n := e.counters.delivered.Add(1)
+				if sample > 0 && n%uint64(sample) == 0 {
+					e.counters.sampled.Add(1)
+					if pattern.Matches(t, s.pat) {
+						e.counters.sampledHits.Add(1)
+					}
+				}
+			}
+		}
+	}
+	e.counters.published.Add(1)
+	e.lat.record(time.Since(start))
+	return res, nil
+}
+
+// PublishXML parses one XML document from r and publishes it.
+func (e *Engine) PublishXML(r io.Reader) (PublishResult, error) {
+	t, err := xmltree.Parse(r, e.cfg.Estimator.ParseOptions)
+	if err != nil {
+		return PublishResult{}, fmt.Errorf("broker: publish: %w", err)
+	}
+	return e.Publish(t)
+}
+
+// runIngest is the background synopsis feeder: it drains the pipeline
+// in batches so the estimator's exclusive lock is taken once per batch
+// instead of once per document.
+func (e *Engine) runIngest() {
+	defer e.ingestWG.Done()
+	batch := make([]*xmltree.Tree, 0, e.cfg.IngestBatch)
+	var done []chan struct{}
+	for item := range e.ingest {
+		batch, done = batch[:0], done[:0]
+		for {
+			if item.tree != nil {
+				batch = append(batch, item.tree)
+			}
+			if item.done != nil {
+				done = append(done, item.done)
+			}
+			if len(batch) >= e.cfg.IngestBatch {
+				break
+			}
+			var more bool
+			select {
+			case item, more = <-e.ingest:
+				if !more {
+					item = ingestItem{}
+				}
+			default:
+				more = false
+			}
+			if !more || (item.tree == nil && item.done == nil) {
+				break
+			}
+		}
+		e.est.ObserveTrees(batch)
+		e.counters.ingested.Add(uint64(len(batch)))
+		for _, ch := range done {
+			close(ch)
+		}
+	}
+}
+
+// Flush blocks until every document queued before the call has been
+// ingested into the synopsis (tests and benchmarks use this to make
+// estimator state deterministic).
+func (e *Engine) Flush() {
+	e.pipeMu.RLock()
+	if e.pipeClosed {
+		e.pipeMu.RUnlock()
+		return
+	}
+	ch := make(chan struct{})
+	e.ingest <- ingestItem{done: ch}
+	e.pipeMu.RUnlock()
+	<-ch
+}
+
+// Drain removes and returns up to max queued deliveries for the given
+// subscription. If the queue is empty it long-polls up to wait before
+// returning an empty batch. Unknown ids error.
+func (e *Engine) Drain(id uint64, max int, wait time.Duration) ([]Delivery, error) {
+	e.mu.RLock()
+	idx, ok := e.byID[id]
+	var q *queue
+	if ok {
+		q = e.subs[idx].q
+	}
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("broker: unknown subscription %d", id)
+	}
+	ds := q.drain(max, wait)
+	e.counters.drained.Add(uint64(len(ds)))
+	return ds, nil
+}
+
+// Document returns the published document with the given sequence
+// number, or nil if it has aged out of the retention ring (Config
+// .DocCache) or never existed. Consumers resolve a Delivery.Doc to
+// content through this (the daemon's GET /doc/{seq}).
+func (e *Engine) Document(seq uint64) *xmltree.Tree {
+	return e.docs.get(seq)
+}
+
+// Pending returns the queue depth of a subscription (0 for unknown ids).
+func (e *Engine) Pending(id uint64) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if idx, ok := e.byID[id]; ok {
+		return e.subs[idx].q.len()
+	}
+	return 0
+}
+
+// Live returns the number of live subscriptions.
+func (e *Engine) Live() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.subs)
+}
+
+// CommunityIDs returns the current communities as sets of subscription
+// ids, largest first — the broker-level view of cluster.Communities.
+func (e *Engine) CommunityIDs() [][]uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([][]uint64, 0, len(e.comms.Groups))
+	for _, g := range e.comms.Groups {
+		ids := make([]uint64, 0, len(g))
+		for _, idx := range g {
+			ids = append(ids, e.subs[idx].id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out = append(out, ids)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
+	return out
+}

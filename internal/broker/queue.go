@@ -1,0 +1,112 @@
+package broker
+
+import (
+	"sync"
+	"time"
+)
+
+// queue is a bounded delivery ring for one consumer. Pushing to a full
+// queue evicts the oldest delivery (live feeds prefer fresh documents;
+// the eviction is counted by the engine as a drop). Draining long-polls:
+// an empty drain waits for a push, the queue closing, or the deadline.
+//
+// The wake channel implements the wait: it is closed (waking every
+// waiter) and replaced whenever a delivery arrives or the queue closes.
+type queue struct {
+	mu      sync.Mutex
+	buf     []Delivery
+	head, n int
+	closed  bool
+	wake    chan struct{}
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{buf: make([]Delivery, capacity), wake: make(chan struct{})}
+}
+
+// push enqueues d, evicting the oldest entry when full. enqueued is
+// false only when the queue is closed; evicted reports that an older
+// delivery was dropped to make room (the engine counts it — the loss
+// belongs to an earlier document, the new delivery lands).
+func (q *queue) push(d Delivery) (enqueued, evicted bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false, false
+	}
+	if q.n == len(q.buf) {
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		evicted = true
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = d
+	q.n++
+	// Drainers only wait after observing an empty queue, so waking is
+	// needed solely on the empty→non-empty transition — pushes to an
+	// already non-empty queue skip the channel churn.
+	if q.n == 1 {
+		close(q.wake)
+		q.wake = make(chan struct{})
+	}
+	q.mu.Unlock()
+	return true, evicted
+}
+
+// drain removes up to max deliveries. If the queue is empty and open it
+// waits up to the given duration for the first delivery.
+func (q *queue) drain(max int, wait time.Duration) []Delivery {
+	if max <= 0 {
+		max = 1 << 30
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		q.mu.Lock()
+		if q.n > 0 {
+			take := q.n
+			if take > max {
+				take = max
+			}
+			out := make([]Delivery, take)
+			for i := 0; i < take; i++ {
+				out[i] = q.buf[(q.head+i)%len(q.buf)]
+			}
+			q.head = (q.head + take) % len(q.buf)
+			q.n -= take
+			q.mu.Unlock()
+			return out
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil
+		}
+		w := q.wake
+		q.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-w:
+			t.Stop()
+		case <-t.C:
+			return nil
+		}
+	}
+}
+
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// close wakes all waiters; queued deliveries remain drainable.
+func (q *queue) close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.wake)
+	}
+	q.mu.Unlock()
+}

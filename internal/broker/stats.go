@@ -1,0 +1,155 @@
+package broker
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters are the engine's lock-free operational counters.
+type counters struct {
+	published    atomic.Uint64
+	delivered    atomic.Uint64
+	dropped      atomic.Uint64
+	drained      atomic.Uint64
+	filterEvals  atomic.Uint64
+	subscribes   atomic.Uint64
+	unsubscribes atomic.Uint64
+	rebuilds     atomic.Uint64
+	ingestQueued atomic.Uint64
+	ingested     atomic.Uint64
+	sampled      atomic.Uint64
+	sampledHits  atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the broker, the payload of the
+// daemon's GET /stats endpoint.
+type Stats struct {
+	// Live is the number of live subscriptions; Communities and
+	// Singletons describe the current clustering.
+	Live        int `json:"live"`
+	Communities int `json:"communities"`
+	Singletons  int `json:"singletons"`
+	// StaleOps counts registry mutations since the last full rebuild;
+	// Rebuilds counts full re-clusterings.
+	StaleOps int    `json:"stale_ops"`
+	Rebuilds uint64 `json:"rebuilds"`
+
+	Subscribes   uint64 `json:"subscribes"`
+	Unsubscribes uint64 `json:"unsubscribes"`
+
+	// Published counts routed documents; DocsObserved how many the
+	// synopsis has ingested; IngestPending the pipeline backlog.
+	Published     uint64 `json:"published"`
+	DocsObserved  int    `json:"docs_observed"`
+	IngestPending uint64 `json:"ingest_pending"`
+
+	// FilterEvals counts representative match tests (the community
+	// architecture's routing cost); Deliveries, Dropped and Drained
+	// track the consumer queues.
+	FilterEvals uint64 `json:"filter_evals"`
+	Deliveries  uint64 `json:"deliveries"`
+	Dropped     uint64 `json:"dropped"`
+	Drained     uint64 `json:"drained"`
+
+	// PrecisionProxy estimates delivery precision by exact-matching a
+	// sample of deliveries against their subscriptions. Convention
+	// (shared with routing.Result.Precision): with zero samples it is
+	// vacuously 1.
+	PrecisionProxy   float64 `json:"precision_proxy"`
+	PrecisionSamples uint64  `json:"precision_samples"`
+
+	// PublishP50/P99 are publish-path latency percentiles over the
+	// recent-latency window.
+	PublishP50 time.Duration `json:"publish_p50_ns"`
+	PublishP99 time.Duration `json:"publish_p99_ns"`
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	live := len(e.subs)
+	groups := len(e.comms.Groups)
+	singles := 0
+	for _, g := range e.comms.Groups {
+		if len(g) == 1 {
+			singles++
+		}
+	}
+	stale := e.stale
+	e.mu.RUnlock()
+
+	c := &e.counters
+	s := Stats{
+		Live:             live,
+		Communities:      groups,
+		Singletons:       singles,
+		StaleOps:         stale,
+		Rebuilds:         c.rebuilds.Load(),
+		Subscribes:       c.subscribes.Load(),
+		Unsubscribes:     c.unsubscribes.Load(),
+		Published:        c.published.Load(),
+		DocsObserved:     e.est.DocsObserved(),
+		FilterEvals:      c.filterEvals.Load(),
+		Deliveries:       c.delivered.Load(),
+		Dropped:          c.dropped.Load(),
+		Drained:          c.drained.Load(),
+		PrecisionSamples: c.sampled.Load(),
+	}
+	queued, ingested := c.ingestQueued.Load(), c.ingested.Load()
+	if queued > ingested {
+		s.IngestPending = queued - ingested
+	}
+	if s.PrecisionSamples == 0 {
+		s.PrecisionProxy = 1 // vacuous, like routing.Result.Precision
+	} else {
+		s.PrecisionProxy = float64(c.sampledHits.Load()) / float64(s.PrecisionSamples)
+	}
+	s.PublishP50, s.PublishP99 = e.lat.percentiles()
+	return s
+}
+
+// latencyRing keeps the most recent publish latencies for on-demand
+// percentile computation. Writes take a short mutex (a publish records
+// one int64); percentile reads copy and sort outside the lock.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []int64
+	next int
+	n    int
+}
+
+func newLatencyRing(window int) *latencyRing {
+	return &latencyRing{buf: make([]int64, window)}
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = int64(d)
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
+	r.mu.Lock()
+	snap := make([]int64, r.n)
+	if r.n == len(r.buf) {
+		copy(snap, r.buf)
+	} else {
+		copy(snap, r.buf[:r.n])
+	}
+	r.mu.Unlock()
+	if len(snap) == 0 {
+		return 0, 0
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	idx := func(q float64) int64 {
+		i := int(q * float64(len(snap)-1))
+		return snap[i]
+	}
+	return time.Duration(idx(0.50)), time.Duration(idx(0.99))
+}

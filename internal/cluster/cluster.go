@@ -18,39 +18,7 @@ import (
 // sets, largest first; members are sorted. Every item lands in exactly
 // one community (possibly a singleton).
 func Greedy(sim [][]float64, threshold float64) [][]int {
-	n := len(sim)
-	assigned := make([]bool, n)
-	var out [][]int
-	for remaining := n; remaining > 0; {
-		// Pick the unassigned seed with the highest ≥-threshold degree;
-		// break ties by index for determinism.
-		seed, bestDeg := -1, -1
-		for i := 0; i < n; i++ {
-			if assigned[i] {
-				continue
-			}
-			deg := 0
-			for j := 0; j < n; j++ {
-				if i != j && !assigned[j] && sim[i][j] >= threshold {
-					deg++
-				}
-			}
-			if deg > bestDeg {
-				seed, bestDeg = i, deg
-			}
-		}
-		comm := []int{seed}
-		assigned[seed] = true
-		for j := 0; j < n; j++ {
-			if !assigned[j] && sim[seed][j] >= threshold {
-				comm = append(comm, j)
-				assigned[j] = true
-			}
-		}
-		sort.Ints(comm)
-		out = append(out, comm)
-		remaining -= len(comm)
-	}
+	out, _ := GreedySeeded(sim, threshold)
 	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
 	return out
 }

@@ -1,0 +1,169 @@
+// Incremental community maintenance: a live broker cannot afford a
+// global re-clustering on every subscription change, so communities are
+// kept as an explicit structure that supports placing a new item into
+// the best existing community (Assign) and deleting an item (Remove)
+// in O(n) without touching the similarity matrix of the survivors. A
+// full rebuild (BuildGreedy) remains the periodic ground truth; the
+// broker's rebuild policy decides when staleness has accumulated enough
+// to pay for one.
+package cluster
+
+import "sort"
+
+// Communities is a maintained clustering over items 0..n-1. Groups are
+// index sets (each sorted ascending); Reps holds the representative
+// (seed) of each group — the member whose subscription stands for the
+// group when a router tests a document against the community.
+//
+// The zero value with a Threshold is an empty clustering ready for
+// Assign. Communities is not safe for concurrent use; callers
+// serialize externally (the broker holds its registry lock).
+type Communities struct {
+	// Threshold is the minimum similarity to a group's representative
+	// for membership.
+	Threshold float64
+	// Groups are the member index sets, one per community.
+	Groups [][]int
+	// Reps[g] is the representative item of Groups[g], always a member.
+	Reps []int
+
+	n int // number of items clustered
+}
+
+// BuildGreedy clusters all n items with the seeded greedy algorithm and
+// returns the result as a maintainable Communities value whose
+// representatives are the greedy seeds.
+func BuildGreedy(sim [][]float64, threshold float64) *Communities {
+	groups, seeds := GreedySeeded(sim, threshold)
+	return &Communities{Threshold: threshold, Groups: groups, Reps: seeds, n: len(sim)}
+}
+
+// Len returns the number of items currently clustered.
+func (c *Communities) Len() int { return c.n }
+
+// Assign places a new item (index c.Len()) given its similarity column
+// against the existing items: row[i] = sim(i, new), the direction
+// greedy absorption tests (sim[seed][candidate]; the distinction
+// matters for asymmetric metrics like M1). The item joins the group
+// whose representative-to-item similarity is highest, provided it
+// reaches the threshold — the same membership criterion greedy
+// absorption uses — breaking ties toward the earlier group. Otherwise
+// it founds a new singleton group (and becomes its representative).
+// Returns the group index the item landed in.
+func (c *Communities) Assign(row []float64) int {
+	idx := c.n
+	c.n++
+	best, bestSim := -1, 0.0
+	for g, rep := range c.Reps {
+		if s := row[rep]; s >= c.Threshold && (best == -1 || s > bestSim) {
+			best, bestSim = g, s
+		}
+	}
+	if best == -1 {
+		c.Groups = append(c.Groups, []int{idx})
+		c.Reps = append(c.Reps, idx)
+		return len(c.Groups) - 1
+	}
+	// idx is the largest index so far; appending keeps the group sorted.
+	c.Groups[best] = append(c.Groups[best], idx)
+	return best
+}
+
+// Remove deletes item idx from the clustering. Remaining items with a
+// larger index are renumbered down by one, mirroring deletion from the
+// broker's dense subscription slice. If the removed item was a group's
+// representative, the smallest surviving member is promoted; an emptied
+// group disappears.
+func (c *Communities) Remove(idx int) {
+	g := c.Find(idx)
+	if g < 0 {
+		return
+	}
+	members := c.Groups[g]
+	pos := sort.SearchInts(members, idx)
+	members = append(members[:pos], members[pos+1:]...)
+	if len(members) == 0 {
+		c.Groups = append(c.Groups[:g], c.Groups[g+1:]...)
+		c.Reps = append(c.Reps[:g], c.Reps[g+1:]...)
+	} else {
+		c.Groups[g] = members
+		if c.Reps[g] == idx {
+			c.Reps[g] = members[0]
+		}
+	}
+	for _, grp := range c.Groups {
+		for i, m := range grp {
+			if m > idx {
+				grp[i] = m - 1
+			}
+		}
+	}
+	for i, r := range c.Reps {
+		if r > idx {
+			c.Reps[i] = r - 1
+		}
+	}
+	c.n--
+}
+
+// Find returns the index of the group containing item idx, or -1.
+func (c *Communities) Find(idx int) int {
+	for g, members := range c.Groups {
+		pos := sort.SearchInts(members, idx)
+		if pos < len(members) && members[pos] == idx {
+			return g
+		}
+	}
+	return -1
+}
+
+// Sorted returns the groups ordered largest-first (ties by first
+// member), the ordering Greedy reports — handy for display and for
+// comparing against a batch clustering.
+func (c *Communities) Sorted() [][]int {
+	out := make([][]int, len(c.Groups))
+	copy(out, c.Groups)
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
+	return out
+}
+
+// GreedySeeded is Greedy exposing each community's seed: the item that
+// was picked as the absorption center, which incremental maintenance
+// and community-based routing use as the group representative. Unlike
+// Greedy it does not reorder communities by size: community g was
+// seeded before community g+1, the invariant the incremental replay of
+// Assign relies on.
+func GreedySeeded(sim [][]float64, threshold float64) (groups [][]int, seeds []int) {
+	n := len(sim)
+	assigned := make([]bool, n)
+	for remaining := n; remaining > 0; {
+		seed, bestDeg := -1, -1
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			deg := 0
+			for j := 0; j < n; j++ {
+				if i != j && !assigned[j] && sim[i][j] >= threshold {
+					deg++
+				}
+			}
+			if deg > bestDeg {
+				seed, bestDeg = i, deg
+			}
+		}
+		comm := []int{seed}
+		assigned[seed] = true
+		for j := 0; j < n; j++ {
+			if !assigned[j] && sim[seed][j] >= threshold {
+				comm = append(comm, j)
+				assigned[j] = true
+			}
+		}
+		sort.Ints(comm)
+		groups = append(groups, comm)
+		seeds = append(seeds, seed)
+		remaining -= len(comm)
+	}
+	return groups, seeds
+}

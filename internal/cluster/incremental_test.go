@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randomSim returns a random similarity matrix with unit diagonal —
+// symmetric (M2/M3-like) or asymmetric (M1-like).
+func randomSim(n int, rng *rand.Rand, symmetric bool) [][]float64 {
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		sim[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sim[i][j] = rng.Float64()
+			if symmetric {
+				sim[j][i] = sim[i][j]
+			} else {
+				sim[j][i] = rng.Float64()
+			}
+		}
+	}
+	return sim
+}
+
+// canonical renders a partition as a sorted set of sorted member sets so
+// two clusterings compare independent of group order.
+func canonical(groups [][]int) [][]int {
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		cp := append([]int{}, g...)
+		sort.Ints(cp)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// TestAssignReplaysGreedy: feeding the items of a greedy clustering to
+// Assign in seed-first community order reproduces the greedy partition
+// exactly. This is the no-churn agreement guarantee: every greedy
+// member has ≥-threshold similarity to its seed, and sub-threshold
+// similarity to every earlier seed (otherwise that seed would have
+// absorbed it), so the incremental placement rule makes the same
+// choice greedy absorption made.
+func TestAssignReplaysGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(40)
+		// Odd trials use asymmetric matrices (M1-like): the agreement
+		// must hold as long as Assign is fed the greedy direction
+		// sim[existing][new].
+		sim := randomSim(n, rng, trial%2 == 0)
+		threshold := rng.Float64()
+
+		groups, seeds := GreedySeeded(sim, threshold)
+
+		// Replay order: per community, seed first, then the remaining
+		// members. perm[k] is the original index of the k-th item fed in.
+		var perm []int
+		for g, members := range groups {
+			perm = append(perm, seeds[g])
+			for _, m := range members {
+				if m != seeds[g] {
+					perm = append(perm, m)
+				}
+			}
+		}
+
+		inc := &Communities{Threshold: threshold}
+		for k, orig := range perm {
+			// row[j] = sim[existing][new]: the orientation Assign is
+			// specified to consume.
+			row := make([]float64, k)
+			for j := 0; j < k; j++ {
+				row[j] = sim[perm[j]][orig]
+			}
+			inc.Assign(row)
+		}
+
+		// Map incremental indices (replay positions) back to original
+		// item indices before comparing.
+		mapped := make([][]int, len(inc.Groups))
+		for g, members := range inc.Groups {
+			for _, m := range members {
+				mapped[g] = append(mapped[g], perm[m])
+			}
+		}
+		if got, want := canonical(mapped), canonical(groups); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d, threshold=%.3f): replayed partition %v != greedy %v",
+				trial, n, threshold, got, want)
+		}
+		// The incremental representatives must be the greedy seeds.
+		for g := range inc.Groups {
+			if perm[inc.Reps[g]] != seeds[g] {
+				t.Fatalf("trial %d: group %d rep %d != seed %d", trial, g, perm[inc.Reps[g]], seeds[g])
+			}
+		}
+	}
+}
+
+// TestGreedyMatchesSeeded: the public Greedy is GreedySeeded reordered
+// by size, nothing more.
+func TestGreedyMatchesSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sim := randomSim(25, rng, true)
+	g1 := Greedy(sim, 0.6)
+	g2, seeds := GreedySeeded(sim, 0.6)
+	if !reflect.DeepEqual(canonical(g1), canonical(g2)) {
+		t.Fatalf("Greedy %v and GreedySeeded %v disagree", g1, g2)
+	}
+	for g, members := range g2 {
+		found := false
+		for _, m := range members {
+			if m == seeds[g] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d not a member of its group %v", seeds[g], members)
+		}
+	}
+}
+
+func TestAssignBelowThresholdFoundsSingleton(t *testing.T) {
+	c := &Communities{Threshold: 0.5}
+	if g := c.Assign(nil); g != 0 {
+		t.Fatalf("first item landed in group %d, want 0", g)
+	}
+	if g := c.Assign([]float64{0.2}); g != 1 {
+		t.Fatalf("dissimilar item landed in group %d, want new group 1", g)
+	}
+	if g := c.Assign([]float64{0.9, 0.1}); g != 0 {
+		t.Fatalf("similar item landed in group %d, want 0", g)
+	}
+	if c.Len() != 3 || len(c.Groups) != 2 {
+		t.Fatalf("unexpected state: n=%d groups=%v", c.Len(), c.Groups)
+	}
+}
+
+// TestAssignPrefersMostSimilarRep: with several eligible communities the
+// item joins the one whose representative is most similar.
+func TestAssignPrefersMostSimilarRep(t *testing.T) {
+	c := &Communities{Threshold: 0.3}
+	c.Assign(nil)                      // item 0 → group 0
+	c.Assign([]float64{0.1})           // item 1 → group 1
+	g := c.Assign([]float64{0.4, 0.8}) // eligible for both; rep 1 closer
+	if g != 1 {
+		t.Fatalf("item joined group %d, want 1", g)
+	}
+}
+
+func TestRemoveRenumbersAndPromotes(t *testing.T) {
+	c := &Communities{Threshold: 0.5}
+	c.Assign(nil)                      // 0 → group 0 (rep 0)
+	c.Assign([]float64{0.9})           // 1 → group 0
+	c.Assign([]float64{0.1, 0.2})      // 2 → group 1 (rep 2)
+	c.Assign([]float64{0.8, 0.7, 0.0}) // 3 → group 0
+
+	// Removing the representative of group 0 promotes the smallest
+	// surviving member and renumbers 2→1, 3→2.
+	c.Remove(0)
+	if c.Len() != 3 {
+		t.Fatalf("n=%d, want 3", c.Len())
+	}
+	want := [][]int{{0, 2}, {1}}
+	if !reflect.DeepEqual(c.Groups, want) {
+		t.Fatalf("groups %v, want %v", c.Groups, want)
+	}
+	if c.Reps[0] != 0 || c.Reps[1] != 1 {
+		t.Fatalf("reps %v, want [0 1]", c.Reps)
+	}
+
+	// Removing the last member of a group deletes the group.
+	c.Remove(1)
+	if len(c.Groups) != 1 || !reflect.DeepEqual(c.Groups[0], []int{0, 1}) {
+		t.Fatalf("groups %v, want [[0 1]]", c.Groups)
+	}
+	if c.Find(5) != -1 {
+		t.Fatalf("Find(5) found a group for a nonexistent item")
+	}
+}
+
+// TestChurnKeepsPartitionConsistent hammers Assign/Remove with random
+// churn and checks structural invariants after every operation.
+func TestChurnKeepsPartitionConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := &Communities{Threshold: 0.55}
+	live := 0
+	for op := 0; op < 2000; op++ {
+		if live == 0 || rng.Float64() < 0.6 {
+			row := make([]float64, live)
+			for i := range row {
+				row[i] = rng.Float64()
+			}
+			c.Assign(row)
+			live++
+		} else {
+			c.Remove(rng.Intn(live))
+			live--
+		}
+		if c.Len() != live {
+			t.Fatalf("op %d: Len=%d, want %d", op, c.Len(), live)
+		}
+		seen := make(map[int]bool)
+		for g, members := range c.Groups {
+			if len(members) == 0 {
+				t.Fatalf("op %d: empty group %d", op, g)
+			}
+			if !sort.IntsAreSorted(members) {
+				t.Fatalf("op %d: group %d not sorted: %v", op, g, members)
+			}
+			repMember := false
+			for _, m := range members {
+				if m < 0 || m >= live {
+					t.Fatalf("op %d: member %d out of range [0,%d)", op, m, live)
+				}
+				if seen[m] {
+					t.Fatalf("op %d: item %d in two groups", op, m)
+				}
+				seen[m] = true
+				if m == c.Reps[g] {
+					repMember = true
+				}
+			}
+			if !repMember {
+				t.Fatalf("op %d: rep %d not a member of group %d %v", op, c.Reps[g], g, members)
+			}
+		}
+		if len(seen) != live {
+			t.Fatalf("op %d: %d items covered, want %d", op, len(seen), live)
+		}
+	}
+}
+
+func TestSortedLargestFirst(t *testing.T) {
+	c := &Communities{Threshold: 0.5}
+	c.Assign(nil)
+	c.Assign([]float64{0.1})
+	c.Assign([]float64{0.1, 0.9})
+	c.Assign([]float64{0.1, 0.9, 0.9})
+	s := c.Sorted()
+	for i := 1; i < len(s); i++ {
+		if len(s[i]) > len(s[i-1]) {
+			t.Fatalf("Sorted not largest-first: %v", s)
+		}
+	}
+}

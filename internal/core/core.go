@@ -103,6 +103,23 @@ func (e *Estimator) ObserveTree(t *xmltree.Tree) uint64 {
 	return e.syn.Insert(t)
 }
 
+// ObserveTrees feeds a batch of documents under a single exclusive
+// lock acquisition and returns their stream identifiers. Batching
+// pipelines (the broker's publish ingester) use this to amortize lock
+// traffic against concurrent queries.
+func (e *Estimator) ObserveTrees(ts []*xmltree.Tree) []uint64 {
+	if len(ts) == 0 {
+		return nil
+	}
+	ids := make([]uint64, len(ts))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, t := range ts {
+		ids[i] = e.syn.Insert(t)
+	}
+	return ids
+}
+
 // ObserveXML parses one XML document from r and feeds it in.
 func (e *Estimator) ObserveXML(r io.Reader) (uint64, error) {
 	t, err := xmltree.Parse(r, e.cfg.ParseOptions)
@@ -292,6 +309,65 @@ func (e *Estimator) SimilarityMatrix(m metrics.Metric, subs []*pattern.Pattern) 
 				return
 			}
 			e.matrixRow(m, subs, vals, ps, out, i)
+		}
+	})
+	return out
+}
+
+// SimilarityRow computes the similarities of an existing subscription
+// set against one new subscription p: out[i] = m(subs[i], p) — the new
+// column of the similarity matrix. That orientation matters for the
+// asymmetric M1: greedy community absorption tests sim[existing][new],
+// so incremental assignment must consume the same direction or
+// incremental placement and policy rebuilds would disagree. (For M2/M3
+// the two orientations coincide.)
+//
+// This is the incremental path live brokers use on subscribe — instead
+// of rebuilding the full O(n²) matrix, only the new column is evaluated
+// (one SEL pass per pattern plus one matching-set intersection per
+// existing subscription), fanned out across the same GOMAXPROCS worker
+// pool as SimilarityMatrix and holding only the shared read lock.
+func (e *Estimator) SimilarityRow(m metrics.Metric, p *pattern.Pattern, subs []*pattern.Pattern) []float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := len(subs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	e.syn.Full(e.syn.Root())
+
+	pFeasible := e.cfg.DTD == nil || dtd.Feasible(e.cfg.DTD, p)
+	var pv matchset.Value
+	var pp float64
+	if pFeasible {
+		pv = e.sel.Evaluate(p)
+		pp = e.sel.EvaluateCard(pv)
+	}
+
+	workers := min(runtime.GOMAXPROCS(0), n)
+	var next atomic.Int64
+	runWorkers(workers, func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			q := subs[i]
+			if e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, q) {
+				out[i] = m.Eval(metrics.Probs{Q: pp})
+				continue
+			}
+			qv := e.sel.Evaluate(q)
+			qp := e.sel.EvaluateCard(qv)
+			var and float64
+			switch {
+			case !pFeasible:
+			case e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, pattern.MergeRoots(p, q)):
+			default:
+				and = e.sel.EvaluateCard(pv.Intersect(qv))
+			}
+			out[i] = m.Eval(metrics.Probs{P: qp, Q: pp, And: and})
 		}
 	})
 	return out

@@ -6,8 +6,10 @@ import (
 	"sync"
 	"testing"
 
+	"treesim/internal/dtd"
 	"treesim/internal/metrics"
 	"treesim/internal/pattern"
+	"treesim/internal/xmlgen"
 	"treesim/internal/xmltree"
 )
 
@@ -164,6 +166,93 @@ func TestSimilarityMatrixFactorizationParity(t *testing.T) {
 						t.Errorf("%v/%s [%d][%d]: fast %v != slow %v",
 							kind, m, i, j, fast[i][j], slow)
 					}
+				}
+			}
+		}
+	}
+}
+
+func TestSimilarityRowMatchesMatrix(t *testing.T) {
+	// The incremental column (the broker's subscribe path) must agree
+	// exactly with the corresponding column of the full matrix —
+	// out[k] = m(subs[k], p) — for every representation and metric,
+	// including the asymmetric M1.
+	docs := []string{
+		"a(b(e))", "a(b(f))", "a(b,c(f,o))", "a(d,c(f,o))", "a(d(e))", "a(d(q))",
+		"a(b(e,f))", "a(c(o))",
+	}
+	subs := []*pattern.Pattern{
+		pattern.MustParse("//f"),
+		pattern.MustParse("//o"),
+		pattern.MustParse("/a/b"),
+		pattern.MustParse("/a[b][c]"),
+		pattern.MustParse("//zzz"),
+	}
+	for _, kind := range []Representation{Counters, Sets, Hashes} {
+		e := NewEstimator(Config{Representation: kind, SetCapacity: 1 << 20, HashCapacity: 1 << 20, Seed: 1})
+		for _, s := range docs {
+			tr, err := xmltree.ParseCompact(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.ObserveTree(tr)
+		}
+		for _, m := range metrics.All {
+			full := e.SimilarityMatrix(m, subs)
+			for i, p := range subs {
+				others := append(append([]*pattern.Pattern{}, subs[:i]...), subs[i+1:]...)
+				row := e.SimilarityRow(m, p, others)
+				for k := range others {
+					j := k
+					if k >= i {
+						j = k + 1
+					}
+					if math.Abs(row[k]-full[j][i]) > 1e-12 {
+						t.Errorf("%v/%s row(%d)[%d] = %v, matrix[%d][%d] = %v",
+							kind, m, i, k, row[k], j, i, full[j][i])
+					}
+				}
+			}
+		}
+	}
+	// Empty subscription set: a zero-length row, no panic.
+	e := NewEstimator(Config{Representation: Sets, Seed: 1})
+	if row := e.SimilarityRow(metrics.M3, subs[0], nil); len(row) != 0 {
+		t.Errorf("empty row has length %d", len(row))
+	}
+}
+
+func TestSimilarityRowMatchesMatrixWithDTD(t *testing.T) {
+	// DTD mode exercises the row's three feasibility short-circuits:
+	// infeasible new pattern, infeasible existing subscription, and a
+	// feasible pair whose conjunction is infeasible. Each must agree
+	// with the matrix column cell-for-cell, including under the
+	// asymmetric M1.
+	d := dtd.Media()
+	e := NewEstimator(Config{Representation: Hashes, HashCapacity: 1 << 20, Seed: 2, DTD: d})
+	for _, doc := range xmlgen.New(d, xmlgen.Options{Seed: 4}).GenerateN(100) {
+		e.ObserveTree(doc)
+	}
+	subs := []*pattern.Pattern{
+		pattern.MustParse("/media/CD"),
+		pattern.MustParse("//composer/last"),
+		pattern.MustParse("//composer/title"), // structurally infeasible
+		pattern.MustParse("/media/book"),
+		pattern.MustParse("/CD"), // wrong root: infeasible
+	}
+	for _, m := range metrics.All {
+		full := e.SimilarityMatrix(m, subs)
+		for i, p := range subs {
+			others := append(append([]*pattern.Pattern{}, subs[:i]...), subs[i+1:]...)
+			row := e.SimilarityRow(m, p, others)
+			for k := range others {
+				j := k
+				if k >= i {
+					j = k + 1
+				}
+				if math.Abs(row[k]-full[j][i]) > 1e-12 {
+					t.Errorf("%s row(%d)[%d] = %v, matrix[%d][%d] = %v",
+						m, i, k, row[k], j, i, full[j][i])
 				}
 			}
 		}

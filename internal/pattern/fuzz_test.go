@@ -1,0 +1,55 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePattern drives the XPath-subset parser with arbitrary input —
+// the broker daemon feeds it straight from the network, so it must
+// never panic, and anything it accepts must be a valid pattern that
+// survives a serialize/re-parse round trip.
+func FuzzParsePattern(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"/",
+		"/a",
+		"//a",
+		"/a/b[c]//d",
+		"/media/CD/*/last/Mozart",
+		"//CD[title]",
+		"/.[//a]//b",
+		"/a[b/c][*]//e",
+		"/.[x]",
+		"/a[.//b]",
+		"///",
+		"/a[",
+		"[a]",
+		"/a]b",
+		"/a//",
+		"/*",
+		"/a[b][c][d]",
+		"/a\x00b",
+		strings.Repeat("/a", 200),
+		strings.Repeat("/a[", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid pattern: %v", s, verr)
+		}
+		out := p.String()
+		q, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted %q -> %q which does not re-parse: %v", s, out, err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip changed %q: %s vs %s", s, p, q)
+		}
+	})
+}

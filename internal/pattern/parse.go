@@ -3,6 +3,7 @@ package pattern
 import (
 	"fmt"
 	"strings"
+	"unicode"
 )
 
 // Parse parses the XPath subset used by the paper into a tree pattern.
@@ -58,13 +59,28 @@ func (p *parser) accept(tok string) bool {
 	return false
 }
 
+// acceptRoot consumes the explicit root token "/.". The "." must end
+// the token: in "/.0" the first step is the label ".0" (labels may
+// contain dots), not the root — treating "/." greedily there would make
+// Parse disagree with its own String output.
+func (p *parser) acceptRoot() bool {
+	if !p.peek(Root) {
+		return false
+	}
+	if rest := p.in[p.pos+len(Root):]; rest != "" && rest[0] != '[' && rest[0] != '/' {
+		return false
+	}
+	p.pos += len(Root)
+	return true
+}
+
 func (p *parser) parsePattern() (*Pattern, error) {
 	pat := New()
 	if p.in == "" || p.in == Root {
 		p.pos = len(p.in)
 		return pat, nil // empty pattern
 	}
-	if p.accept(Root) {
+	if p.acceptRoot() {
 		// Explicit root: predicates then an optional chain, all of
 		// which become children of "/.".
 		for p.peek("[") {
@@ -148,6 +164,13 @@ func (p *parser) parseStep() (*Node, error) {
 		if label == "." || label == ".." {
 			return nil, fmt.Errorf("axis step %q is not part of the language (offset %d)", label, start)
 		}
+		// Only space, tab and newline are step delimiters, but Parse
+		// trims every Unicode space — a label holding any of the others
+		// (\v, NBSP, …) would not survive a serialize/re-parse round
+		// trip, so names exclude whitespace entirely.
+		if strings.ContainsFunc(label, unicode.IsSpace) {
+			return nil, fmt.Errorf("whitespace in name at offset %d", start)
+		}
 	}
 	n := &Node{Label: label}
 	for p.peek("[") {
@@ -178,7 +201,12 @@ func (p *parser) parsePred() (*Node, error) {
 // parseRel parses a relative path: optional leading "//" (or ".//"),
 // then a step chain.
 func (p *parser) parseRel() (*Node, error) {
-	p.accept(".") // ".//x" is accepted as a synonym for "//x"
+	// ".//x" is accepted as a synonym for "//x". The dot is part of that
+	// token only — a bare "." before a step would swallow the first
+	// character of dotted labels like ".0".
+	if p.peek("." + Descendant) {
+		p.accept(".")
+	}
 	if p.accept(Descendant) {
 		step, err := p.parseStep()
 		if err != nil {

@@ -66,7 +66,14 @@ type Result struct {
 	TruePositives, FalsePositives, FalseNegatives int
 }
 
-// Precision is the fraction of deliveries that were wanted.
+// Precision is the fraction of deliveries that were wanted,
+// TruePositives / Messages.
+//
+// Edge-case convention (shared with the live broker's stats, see
+// internal/broker): with zero deliveries nothing wrong was sent, so
+// precision is vacuously 1. This keeps "no traffic yet" from reading
+// as a routing failure and makes precision monotone under adding a
+// first correct delivery.
 func (r Result) Precision() float64 {
 	if r.Messages == 0 {
 		return 1
@@ -74,7 +81,13 @@ func (r Result) Precision() float64 {
 	return float64(r.TruePositives) / float64(r.Messages)
 }
 
-// Recall is the fraction of wanted deliveries that happened.
+// Recall is the fraction of wanted deliveries that happened,
+// TruePositives / (TruePositives + FalseNegatives).
+//
+// Edge-case convention (shared with the live broker's stats): with
+// zero interested consumers nothing could be missed, so recall is
+// vacuously 1 — even when spurious deliveries occurred (those are
+// charged to precision, not recall).
 func (r Result) Recall() float64 {
 	want := r.TruePositives + r.FalseNegatives
 	if want == 0 {

@@ -127,3 +127,40 @@ func TestResultStringAndEdgeCases(t *testing.T) {
 		t.Error("strategy names wrong")
 	}
 }
+
+// TestPrecisionRecallConventions pins down the documented edge-case
+// conventions the live broker's stats share: zero deliveries →
+// precision 1 (vacuous), zero interest → recall 1 (vacuous), spurious
+// deliveries charge precision but never recall.
+func TestPrecisionRecallConventions(t *testing.T) {
+	cases := []struct {
+		name              string
+		messages          int
+		tp, fp, fn        int
+		precision, recall float64
+	}{
+		{"zero everything", 0, 0, 0, 0, 1, 1},
+		{"zero messages, missed interest", 0, 0, 0, 3, 1, 0},
+		{"spurious only: precision hit, recall vacuous", 4, 0, 4, 0, 0, 1},
+		{"perfect", 5, 5, 0, 0, 1, 1},
+		{"mixed", 4, 3, 1, 1, 0.75, 0.75},
+		{"all missed", 0, 0, 0, 2, 1, 0},
+		{"partial recall, full precision", 2, 2, 0, 2, 1, 0.5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := Result{
+				Messages:       c.messages,
+				TruePositives:  c.tp,
+				FalsePositives: c.fp,
+				FalseNegatives: c.fn,
+			}
+			if got := r.Precision(); got != c.precision {
+				t.Errorf("Precision() = %v, want %v", got, c.precision)
+			}
+			if got := r.Recall(); got != c.recall {
+				t.Errorf("Recall() = %v, want %v", got, c.recall)
+			}
+		})
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"treesim/internal/aggregate"
+	"treesim/internal/broker"
 	"treesim/internal/cluster"
 	"treesim/internal/core"
 	"treesim/internal/dtd"
@@ -183,6 +184,43 @@ func GenerateDocuments(d *DTD, n int, seed int64) []*Tree {
 // the paper's workload parameters (h=10, p*=0.1, p//=0.1, pλ=0.1, θ=1).
 func GeneratePatterns(d *DTD, n int, seed int64) []*Pattern {
 	return querygen.New(d, querygen.Defaults(seed)).GenerateDistinct(n)
+}
+
+// XMLString serializes a document tree back to XML (element structure
+// only; promoted text/attribute nodes are not serializable).
+func XMLString(t *Tree) (string, error) { return xmltree.XMLString(t, false) }
+
+// Live broker types, re-exported for public use (package
+// internal/broker; served over HTTP by cmd/treesimd).
+type (
+	// Broker is the live pub/sub engine: runtime subscription churn
+	// with incremental similarity maintenance, community-based
+	// dissemination, bounded per-consumer delivery queues.
+	Broker = broker.Engine
+	// BrokerConfig configures a Broker.
+	BrokerConfig = broker.Config
+	// BrokerStats is a point-in-time broker snapshot.
+	BrokerStats = broker.Stats
+	// Delivery is one document routed to one subscription.
+	Delivery = broker.Delivery
+	// PublishResult summarizes the routing of one published document.
+	PublishResult = broker.PublishResult
+	// RebuildPolicy decides when churn warrants full re-clustering.
+	RebuildPolicy = broker.RebuildPolicy
+	// CommunitySet is an incrementally maintained clustering
+	// (package internal/cluster).
+	CommunitySet = cluster.Communities
+)
+
+// NewBroker starts a live broker engine (stop it with Close).
+func NewBroker(cfg BrokerConfig) *Broker { return broker.New(cfg) }
+
+// BuildCommunities clusters a similarity matrix into an incrementally
+// maintainable CommunitySet (greedy seeding; representatives are the
+// seeds). Use CommunitySet.Assign/Remove for churn without a global
+// re-clustering.
+func BuildCommunities(sim [][]float64, threshold float64) *CommunitySet {
+	return cluster.BuildGreedy(sim, threshold)
 }
 
 // Communities clusters subscriptions into semantic communities: each
