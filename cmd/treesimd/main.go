@@ -1,8 +1,12 @@
 // Command treesimd is the live content-based pub/sub broker daemon: an
-// HTTP front end over internal/broker. Consumers subscribe with tree
-// patterns, publishers POST XML documents, and the broker maintains
-// semantic communities incrementally so routing cost scales with the
-// number of communities rather than subscriptions.
+// HTTP front end over internal/broker, federating with peer daemons
+// through internal/overlay. Consumers subscribe with tree patterns,
+// publishers POST XML documents, and the broker maintains semantic
+// communities incrementally so routing cost scales with the number of
+// communities rather than subscriptions. With -peers (or -federate) the
+// daemon joins a broker overlay: it gossips similarity-aggregated
+// subscription advertisements and forwards publications only toward
+// peers whose aggregates match.
 //
 // API (all bodies JSON unless noted):
 //
@@ -12,14 +16,25 @@
 //	GET    /deliveries/{id}?max=100&wait=5s               → {"deliveries": [...]}
 //	GET    /doc/{seq}                                     → raw XML of a recent publish
 //	GET    /stats                                         → broker stats
-//	GET    /healthz                                       → 200 "ok"
+//	GET    /healthz                                       → 200 "ok" (503 while draining)
+//	POST   /peer/advert        wire.AdvertBatch           → 204   (federation)
+//	POST   /peer/publish       wire.Publication           → 204   (federation)
+//	GET    /peer/info                                     → overlay node snapshot
 //
 // /deliveries long-polls: with wait set and an empty queue it blocks up
 // to that duration for the first delivery. Flags configure the
-// estimator, clustering and queue knobs; see -h.
+// estimator, clustering, queue and federation knobs; see -h.
+//
+// Shutdown (SIGINT/SIGTERM) is ordered so a loaded daemon exits
+// cleanly: first new publishes, subscribes and peer traffic are
+// refused (503) and the overlay node detaches, then the engine closes —
+// draining the ingest pipeline and closing every delivery queue, which
+// wakes all long-polls — and only then the HTTP server waits out the
+// in-flight handlers.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,12 +46,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"treesim/internal/broker"
 	"treesim/internal/core"
 	"treesim/internal/metrics"
+	"treesim/internal/overlay"
 	"treesim/internal/xmltree"
 )
 
@@ -54,6 +71,14 @@ func main() {
 		maxStale  = flag.Int("rebuild-stale", 0, "rebuild after N mutations (0: use -rebuild-fraction)")
 		fraction  = flag.Float64("rebuild-fraction", 0.25, "rebuild when churn exceeds this fraction of live subscriptions")
 		maxBody   = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+
+		federate  = flag.Bool("federate", false, "serve overlay peer endpoints even with no -peers")
+		peers     = flag.String("peers", "", "comma-separated peer base URLs to federate with (implies -federate)")
+		nodeID    = flag.String("id", "", "overlay node id (default: the listen address)")
+		peerAddr  = flag.String("peer-addr", "", "callback base URL advertised to peers (default: http://<listen address>)")
+		ttl       = flag.Int("ttl", 16, "forwarding hop budget for locally published documents")
+		advStale  = flag.Int("advert-stale", 0, "re-advertise after N subscription mutations (0: 10% churn, min 1)")
+		advMaxPat = flag.Int("advert-max-nodes", 0, "coarsen advertised patterns to at most N nodes (0: exact covers)")
 	)
 	flag.Parse()
 
@@ -70,8 +95,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treesimd:", err)
 		os.Exit(1)
 	}
+
+	var stopping atomic.Bool
+	peerList := splitPeers(*peers)
+	var node *overlay.Node
+	if *federate || len(peerList) > 0 {
+		ocfg := overlay.Config{
+			ID:              *nodeID,
+			Addr:            *peerAddr,
+			TTL:             *ttl,
+			MaxPatternNodes: *advMaxPat,
+		}
+		if ocfg.ID == "" {
+			ocfg.ID = ln.Addr().String()
+		}
+		if ocfg.Addr == "" {
+			ocfg.Addr = "http://" + ln.Addr().String()
+		}
+		if *advStale > 0 {
+			ocfg.AdvertPolicy = broker.Staleness{MaxStale: *advStale}
+		}
+		node = overlay.New(eng, ocfg)
+		for _, u := range peerList {
+			go dialPeer(node, u, &stopping)
+		}
+	}
+
 	srv := &http.Server{
-		Handler: newHandler(eng, *maxBody),
+		Handler: withDrainGate(&stopping, newHandler(eng, node, *maxBody)),
 		// The daemon serves untrusted input: bound header reads and
 		// idle keep-alives so dribbling clients cannot pin goroutines.
 		// WriteTimeout stays above the 30s long-poll cap on /deliveries.
@@ -79,18 +130,89 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 		WriteTimeout:      60 * time.Second,
 	}
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		srv.Close()
+		log.Printf("treesimd: shutdown signal, draining")
+		// Ordered shutdown: refuse new ingress (drain gate), detach the
+		// overlay (peer traffic answered 503, no further forwards), close
+		// the engine — which drains the ingest pipeline and closes every
+		// delivery queue, waking all long-polls — then wait for in-flight
+		// handlers to finish. Shutdown closes the listener right away, so
+		// Serve returns while handlers may still be writing; main blocks
+		// on shutdownDone rather than exiting under them.
+		stopping.Store(true)
+		if node != nil {
+			node.Close()
+		}
+		eng.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
 	}()
-	log.Printf("treesimd listening on %s (representation=%s metric=%s threshold=%g)",
-		ln.Addr(), *rep, *metric, *threshold)
+	mode := "standalone"
+	if node != nil {
+		mode = fmt.Sprintf("federated id=%s peers=%d", node.ID(), len(peerList))
+	}
+	log.Printf("treesimd listening on %s (representation=%s metric=%s threshold=%g, %s)",
+		ln.Addr(), *rep, *metric, *threshold, mode)
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "treesimd:", err)
 		os.Exit(1)
 	}
+	if stopping.Load() {
+		<-shutdownDone // let in-flight responses finish before exiting
+	}
+}
+
+// dialPeer resolves a configured peer URL to its node id and links it,
+// retrying while the peer daemon comes up.
+func dialPeer(node *overlay.Node, base string, stopping *atomic.Bool) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	for !stopping.Load() {
+		err := overlay.DialPeer(node, base, client)
+		if err == nil {
+			log.Printf("treesimd: federated with %s", base)
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Printf("treesimd: giving up on peer %s: %v", base, err)
+			return
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// withDrainGate refuses state-changing and federation requests while
+// the daemon drains: consumers may still read (GET /deliveries, /doc,
+// /stats, /peer/info), and /healthz flips to 503 so load balancers
+// stop routing here.
+func withDrainGate(stopping *atomic.Bool, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if stopping.Load() && (r.Method != http.MethodGet || r.URL.Path == "/healthz") {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("{\"error\":\"shutting down\"}\n"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func buildConfig(rep, metric string, hcap, scap int, seed int64, threshold float64, queueCap, ingestQ, maxStale int, fraction float64) (broker.Config, error) {
@@ -128,9 +250,16 @@ func buildConfig(rep, metric string, hcap, scap int, seed int64, threshold float
 	return cfg, nil
 }
 
-// newHandler wires the broker into a net/http mux (method-and-path
-// patterns, Go ≥ 1.22).
-func newHandler(eng *broker.Engine, maxBody int64) http.Handler {
+// publishResponse is the POST /publish payload: the local routing
+// summary plus how many overlay links the document was forwarded on.
+type publishResponse struct {
+	broker.PublishResult
+	Forwarded int `json:"forwarded"`
+}
+
+// newHandler wires the broker (and overlay node, when federated) into a
+// net/http mux (method-and-path patterns, Go ≥ 1.22).
+func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
@@ -163,16 +292,28 @@ func newHandler(eng *broker.Engine, maxBody int64) http.Handler {
 	})
 
 	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
-		res, err := eng.PublishXML(bodyReader(r, maxBody))
+		resp := publishResponse{}
+		var err error
+		if node != nil {
+			var t *xmltree.Tree
+			t, err = xmltree.Parse(bodyReader(r, maxBody), eng.Estimator().Config().ParseOptions)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "treesimd: publish: %v", err)
+				return
+			}
+			resp.PublishResult, resp.Forwarded, err = node.Publish(t)
+		} else {
+			resp.PublishResult, err = eng.PublishXML(bodyReader(r, maxBody))
+		}
 		if err != nil {
 			status := http.StatusBadRequest
-			if err == broker.ErrClosed {
+			if err == broker.ErrClosed || err == overlay.ErrClosed {
 				status = http.StatusServiceUnavailable
 			}
 			httpError(w, status, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("GET /deliveries/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -231,6 +372,10 @@ func newHandler(eng *broker.Engine, maxBody int64) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+
+	if node != nil {
+		overlay.RegisterHTTP(mux, node, maxBody, &http.Client{Timeout: 10 * time.Second})
+	}
 
 	return mux
 }

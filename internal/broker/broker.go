@@ -172,6 +172,10 @@ type Engine struct {
 	// lock-free) similarity-matrix phase of a policy rebuild at a time.
 	rebuildBusy atomic.Bool
 
+	// churnHook, when set, observes committed registry mutations
+	// (SetChurnHook; the overlay layer's re-advertisement trigger).
+	churnHook atomic.Pointer[func(ChurnEvent)]
+
 	// pipeMu guards the ingest pipeline's lifecycle separately from the
 	// registry lock: a publisher blocked on a full pipeline (holding
 	// pipeMu.RLock during the send) must not stall registry readers —
@@ -270,6 +274,45 @@ func (e *Engine) Close() error {
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = fmt.Errorf("broker: engine closed")
 
+// ErrNotFound is returned (wrapped) by operations naming a subscription
+// id that is not live — including one that has just been unsubscribed,
+// so a drain racing an unsubscribe resolves to a definitive not-found.
+var ErrNotFound = fmt.Errorf("broker: unknown subscription")
+
+// ChurnEvent describes one committed registry mutation, delivered to
+// the churn hook. The overlay federation layer uses the stream to
+// decide when accumulated churn warrants re-advertising its aggregates
+// to peer brokers (the same staleness calculus as rebuild policies).
+type ChurnEvent struct {
+	// Stale is the number of registry mutations since the last full
+	// rebuild, after this event.
+	Stale int
+	// Live is the number of live subscriptions after this event.
+	Live int
+	// Rebuilt marks a completed full re-clustering (community structure
+	// may have changed wholesale; Stale is 0).
+	Rebuilt bool
+}
+
+// SetChurnHook installs f to be called after every committed registry
+// mutation (subscribe, unsubscribe) and every full rebuild. f runs on
+// the mutating goroutine outside all engine locks, so it may call back
+// into the engine (e.g. CommunityViews); it must not block for long —
+// it stalls the mutator that triggered it. A nil f uninstalls the hook.
+func (e *Engine) SetChurnHook(f func(ChurnEvent)) {
+	if f == nil {
+		e.churnHook.Store(nil)
+		return
+	}
+	e.churnHook.Store(&f)
+}
+
+func (e *Engine) notifyChurn(ev ChurnEvent) {
+	if f := e.churnHook.Load(); f != nil {
+		(*f)(ev)
+	}
+}
+
 // Subscribe registers a tree-pattern subscription given as an XPath
 // expression and returns its id. The new subscription's similarity row
 // against the live registry is computed incrementally (no full-matrix
@@ -311,7 +354,9 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 		}
 		if e.regVer == ver {
 			id := e.commitSubscribeLocked(p, expr, row)
+			ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
 			e.mu.Unlock()
+			e.notifyChurn(ev)
 			e.maybeRebuild(false)
 			return id, nil
 		}
@@ -325,7 +370,9 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 	}
 	row := e.est.SimilarityRow(e.cfg.Metric, p, e.patternsLocked())
 	id := e.commitSubscribeLocked(p, expr, row)
+	ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
 	e.mu.Unlock()
+	e.notifyChurn(ev)
 	e.maybeRebuild(false)
 	return id, nil
 }
@@ -369,7 +416,9 @@ func (e *Engine) Unsubscribe(id uint64) bool {
 	e.counters.unsubscribes.Add(1)
 	e.stale++
 	e.regVer++
+	ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
 	e.mu.Unlock()
+	e.notifyChurn(ev)
 	e.maybeRebuild(false)
 	return true
 }
@@ -404,7 +453,9 @@ func (e *Engine) maybeRebuild(force bool) {
 			e.comms = cluster.BuildGreedy(sim, e.cfg.Threshold)
 			e.stale = 0
 			e.counters.rebuilds.Add(1)
+			live := len(e.subs)
 			e.mu.Unlock()
+			e.notifyChurn(ChurnEvent{Live: live, Rebuilt: true})
 			return
 		}
 		e.mu.Unlock() // registry churned mid-compute; re-snapshot
@@ -434,6 +485,20 @@ func (e *Engine) patternsLocked() []*pattern.Pattern {
 // is the whole point: filter evaluations scale with the number of
 // communities, not subscriptions.
 func (e *Engine) Publish(t *xmltree.Tree) (PublishResult, error) {
+	return e.publish(t, false)
+}
+
+// InjectRemote routes a document that arrived from a peer broker in the
+// overlay. It behaves exactly like Publish — the document feeds the
+// synopsis (remote traffic is part of the stream the estimator models),
+// enters the retention ring, and is delivered to matching local
+// communities — but is counted separately (Stats.RemoteInjected), so
+// operators can tell locally published from federated traffic.
+func (e *Engine) InjectRemote(t *xmltree.Tree) (PublishResult, error) {
+	return e.publish(t, true)
+}
+
+func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
 	start := time.Now()
 	// Enqueue for ingestion before taking the registry lock: a full
 	// pipeline blocks only publishers (and Close), never Drain/Stats.
@@ -485,6 +550,9 @@ func (e *Engine) Publish(t *xmltree.Tree) (PublishResult, error) {
 		}
 	}
 	e.counters.published.Add(1)
+	if remote {
+		e.counters.remoteInjected.Add(1)
+	}
 	e.lat.record(time.Since(start))
 	return res, nil
 }
@@ -565,11 +633,50 @@ func (e *Engine) Drain(id uint64, max int, wait time.Duration) ([]Delivery, erro
 	}
 	e.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("broker: unknown subscription %d", id)
+		return nil, fmt.Errorf("%w %d", ErrNotFound, id)
 	}
 	ds := q.drain(max, wait)
 	e.counters.drained.Add(uint64(len(ds)))
 	return ds, nil
+}
+
+// CommunityView is a read-only snapshot of one community: the
+// representative (greedy seed) and every member's pattern, in registry
+// order. Patterns are shared with the engine and must not be mutated.
+type CommunityView struct {
+	// Rep is the representative's pattern and RepExpr its subscription
+	// expression as registered.
+	Rep     *pattern.Pattern
+	RepExpr string
+	// Members holds every member pattern (including the representative);
+	// Exprs are the matching expressions, index-aligned.
+	Members []*pattern.Pattern
+	Exprs   []string
+}
+
+// CommunityViews snapshots the current clustering with full member
+// patterns — the export the overlay layer aggregates into
+// advertisements (cluster.Cover over each view's members yields the
+// recall-preserving covering patterns).
+func (e *Engine) CommunityViews() []CommunityView {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]CommunityView, 0, len(e.comms.Groups))
+	for g, members := range e.comms.Groups {
+		rep := e.subs[e.comms.Reps[g]]
+		v := CommunityView{
+			Rep:     rep.pat,
+			RepExpr: rep.expr,
+			Members: make([]*pattern.Pattern, len(members)),
+			Exprs:   make([]string, len(members)),
+		}
+		for i, m := range members {
+			v.Members[i] = e.subs[m].pat
+			v.Exprs[i] = e.subs[m].expr
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // Document returns the published document with the given sequence

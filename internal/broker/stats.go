@@ -9,18 +9,19 @@ import (
 
 // counters are the engine's lock-free operational counters.
 type counters struct {
-	published    atomic.Uint64
-	delivered    atomic.Uint64
-	dropped      atomic.Uint64
-	drained      atomic.Uint64
-	filterEvals  atomic.Uint64
-	subscribes   atomic.Uint64
-	unsubscribes atomic.Uint64
-	rebuilds     atomic.Uint64
-	ingestQueued atomic.Uint64
-	ingested     atomic.Uint64
-	sampled      atomic.Uint64
-	sampledHits  atomic.Uint64
+	published      atomic.Uint64
+	delivered      atomic.Uint64
+	dropped        atomic.Uint64
+	drained        atomic.Uint64
+	filterEvals    atomic.Uint64
+	subscribes     atomic.Uint64
+	unsubscribes   atomic.Uint64
+	rebuilds       atomic.Uint64
+	ingestQueued   atomic.Uint64
+	ingested       atomic.Uint64
+	remoteInjected atomic.Uint64
+	sampled        atomic.Uint64
+	sampledHits    atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the broker, the payload of the
@@ -39,11 +40,14 @@ type Stats struct {
 	Subscribes   uint64 `json:"subscribes"`
 	Unsubscribes uint64 `json:"unsubscribes"`
 
-	// Published counts routed documents; DocsObserved how many the
-	// synopsis has ingested; IngestPending the pipeline backlog.
-	Published     uint64 `json:"published"`
-	DocsObserved  int    `json:"docs_observed"`
-	IngestPending uint64 `json:"ingest_pending"`
+	// Published counts routed documents (local publishes plus overlay
+	// injections); RemoteInjected the subset that arrived from peer
+	// brokers; DocsObserved how many the synopsis has ingested;
+	// IngestPending the pipeline backlog.
+	Published      uint64 `json:"published"`
+	RemoteInjected uint64 `json:"remote_injected"`
+	DocsObserved   int    `json:"docs_observed"`
+	IngestPending  uint64 `json:"ingest_pending"`
 
 	// FilterEvals counts representative match tests (the community
 	// architecture's routing cost); Deliveries, Dropped and Drained
@@ -90,6 +94,7 @@ func (e *Engine) Stats() Stats {
 		Subscribes:       c.subscribes.Load(),
 		Unsubscribes:     c.unsubscribes.Load(),
 		Published:        c.published.Load(),
+		RemoteInjected:   c.remoteInjected.Load(),
 		DocsObserved:     e.est.DocsObserved(),
 		FilterEvals:      c.filterEvals.Load(),
 		Deliveries:       c.delivered.Load(),

@@ -1,0 +1,43 @@
+// Representative-pattern extraction for a community: when a broker
+// advertises a community to its overlay peers it must not ship the raw
+// member list, but it also cannot ship only the greedy seed — the seed
+// is the similarity center, not a logical superset, and routing on it
+// would lose deliveries. The sound aggregate is a covering subset: the
+// members whose patterns jointly contain every other member. Cover
+// extracts one; the caller supplies containment (pattern.Contains for
+// tree patterns), keeping this package free of pattern semantics.
+package cluster
+
+// Cover returns a subset K of items such that every item is covered by
+// some element of K, minimal by inclusion under the given predicate:
+// no element of K is covered by another. contains(a, b) must report
+// whether item a covers item b (for subscription aggregation: every
+// document matching b also matches a); it must be reflexive, and a
+// sound-but-incomplete predicate (like pattern.Contains on patterns
+// mixing //, * and branching) only enlarges the result, never breaks
+// the covering property. Items are processed in order and the result
+// preserves first occurrences, so the output is deterministic. With
+// mutually-covering items (equivalent patterns) the earliest wins.
+func Cover(items []int, contains func(a, b int) bool) []int {
+	kept := make([]int, 0, len(items))
+next:
+	for _, it := range items {
+		for _, k := range kept {
+			if contains(k, it) {
+				continue next
+			}
+		}
+		// it survives; evict kept items it covers. Items skipped earlier
+		// because an evicted k covered them stay covered: containment is
+		// transitive, so it ⊇ k ⊇ skipped (even where the incomplete
+		// predicate would not certify the composite directly).
+		out := kept[:0]
+		for _, k := range kept {
+			if !contains(it, k) {
+				out = append(out, k)
+			}
+		}
+		kept = append(out, it)
+	}
+	return kept
+}

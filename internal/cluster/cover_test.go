@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// divides treats item a as covering item b when b is a multiple of a —
+// a transitive, reflexive relation with plenty of incomparable pairs.
+func divides(vals []int) func(a, b int) bool {
+	return func(a, b int) bool { return vals[b]%vals[a] == 0 }
+}
+
+func TestCoverBasics(t *testing.T) {
+	vals := []int{6, 2, 3, 12, 5}
+	items := []int{0, 1, 2, 3, 4}
+	got := Cover(items, divides(vals))
+	// 2 evicts 6 and 12, 3 evicts nothing further (6 already gone but 3
+	// is not covered by 2), 5 incomparable.
+	want := []int{1, 2, 4} // values 2, 3, 5
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Cover = %v, want %v", got, want)
+	}
+}
+
+func TestCoverEquivalentItemsKeepFirst(t *testing.T) {
+	vals := []int{4, 4, 4}
+	got := Cover([]int{0, 1, 2}, divides(vals))
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Cover over equivalent items = %v, want [0]", got)
+	}
+}
+
+func TestCoverEmpty(t *testing.T) {
+	if got := Cover(nil, func(a, b int) bool { return true }); len(got) != 0 {
+		t.Fatalf("Cover(nil) = %v", got)
+	}
+}
+
+// TestCoverProperty checks, on random divisibility instances, that the
+// result covers every input and contains no internally-covered element.
+func TestCoverProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		vals := make([]int, n)
+		items := make([]int, n)
+		for i := range vals {
+			vals[i] = 1 + rng.Intn(60)
+			items[i] = i
+		}
+		contains := divides(vals)
+		kept := Cover(items, contains)
+		for _, it := range items {
+			covered := false
+			for _, k := range kept {
+				if contains(k, it) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d: item %d (val %d) uncovered by %v (vals %v)", trial, it, vals[it], kept, vals)
+			}
+		}
+		for i, a := range kept {
+			for j, b := range kept {
+				if i != j && contains(a, b) && vals[a] != vals[b] {
+					t.Fatalf("trial %d: kept %d strictly covers kept %d (vals %v)", trial, a, b, vals)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package overlay
+
+import (
+	"treesim/internal/cluster"
+	"treesim/internal/overlay/wire"
+	"treesim/internal/pattern"
+	"treesim/internal/selectivity"
+)
+
+// buildAdvertLocked aggregates the engine's current communities into
+// the node's local advert under the given version. Per community the
+// advertised patterns are a covering subset of the members
+// (cluster.Cover under pattern containment — any document matching a
+// member matches some advertised pattern, so coarse matching at peers
+// is recall-preserving), optionally coarsened by subtree truncation.
+// The digest is the estimator's selectivity of the representative.
+// Caller holds the node lock; the engine takes its own read locks.
+func (n *Node) buildAdvertLocked(version uint64) wire.Advert {
+	views := n.eng.CommunityViews()
+	est := n.eng.Estimator()
+	adv := wire.Advert{Origin: n.cfg.ID, Version: version}
+	for _, v := range views {
+		idx := make([]int, len(v.Members))
+		for i := range idx {
+			idx[i] = i
+		}
+		kept := cluster.Cover(idx, func(a, b int) bool {
+			return pattern.Contains(v.Members[a], v.Members[b])
+		})
+		seen := make(map[string]bool, len(kept))
+		pats := make([]string, 0, len(kept))
+		for _, k := range kept {
+			p := v.Members[k]
+			if n.cfg.MaxPatternNodes > 0 {
+				p = truncatePattern(p, n.cfg.MaxPatternNodes)
+			}
+			// Canonicalize sorts child lists in place and p may be the
+			// live registry's pattern (truncation returns it unchanged
+			// when within budget), which concurrent publishes are
+			// matching against — canonicalize a clone.
+			s := p.Clone().Canonicalize().String()
+			if !seen[s] { // truncation can collapse distinct covers
+				seen[s] = true
+				pats = append(pats, s)
+			}
+		}
+		adv.Communities = append(adv.Communities, wire.Community{
+			Patterns:    pats,
+			Members:     len(v.Members),
+			Selectivity: selectivity.Clamp01(est.Selectivity(v.Rep)),
+		})
+	}
+	return adv
+}
+
+// truncatePattern generalizes p to at most maxNodes non-root nodes by
+// dropping whole subtrees, depth-first. Removing a subtree removes a
+// constraint, so the result always contains p — documents matching p
+// still match it — which is exactly the trade an advertisement wants:
+// smaller aggregates at the cost of forwarding precision, never recall.
+// Descendant-operator nodes are kept only together with their single
+// child (a dangling "//" is not a valid pattern).
+func truncatePattern(p *pattern.Pattern, maxNodes int) *pattern.Pattern {
+	if p == nil || p.Root == nil || p.Size() <= maxNodes {
+		return p
+	}
+	budget := maxNodes
+	root := &pattern.Node{Label: pattern.Root}
+	for _, c := range p.Root.Children {
+		if k := truncateNode(c, &budget); k != nil {
+			root.Children = append(root.Children, k)
+		}
+	}
+	return &pattern.Pattern{Root: root}
+}
+
+func truncateNode(c *pattern.Node, budget *int) *pattern.Node {
+	if c.Label == pattern.Descendant {
+		// "//" has exactly one child (pattern.Validate); keeping it
+		// costs at least the operator node plus one child node.
+		if *budget < 2 {
+			return nil
+		}
+		*budget--
+		child := truncateNode(c.Children[0], budget)
+		if child == nil {
+			*budget++
+			return nil
+		}
+		return &pattern.Node{Label: pattern.Descendant, Children: []*pattern.Node{child}}
+	}
+	if *budget < 1 {
+		return nil
+	}
+	*budget--
+	out := &pattern.Node{Label: c.Label}
+	for _, cc := range c.Children {
+		if k := truncateNode(cc, budget); k != nil {
+			out.Children = append(out.Children, k)
+		}
+	}
+	return out
+}

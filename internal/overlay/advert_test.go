@@ -1,0 +1,146 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/broker"
+	"treesim/internal/dtd"
+	"treesim/internal/pattern"
+	"treesim/internal/querygen"
+	"treesim/internal/xmlgen"
+	"treesim/internal/xmltree"
+)
+
+// TestAdvertUsesCoveringSubset: a community holding both /a and /a/b
+// advertises only /a — the containment cover — and the advert still
+// attracts documents matching either member.
+func TestAdvertUsesCoveringSubset(t *testing.T) {
+	// Negative threshold: any similarity (the empty synopsis yields 0)
+	// merges, so both subscriptions land in one community.
+	eng := broker.New(broker.Config{Threshold: -1, Rebuild: broker.Never{}})
+	defer eng.Close()
+	n := New(eng, Config{ID: "x", AdvertPolicy: broker.Staleness{MaxStale: 1}})
+	defer n.Close()
+
+	if _, err := eng.Subscribe("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Subscribe("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	info := n.Info()
+	total := 0
+	for _, c := range info.LocalAdvert.Communities {
+		total += len(c.Patterns)
+		for _, s := range c.Patterns {
+			if s != "/a" {
+				t.Fatalf("advert pattern %q, want the cover /a", s)
+			}
+		}
+	}
+	if total != 1 {
+		t.Fatalf("advert carries %d patterns, want 1 (the cover)", total)
+	}
+}
+
+// TestAdvertMemberCountsSurviveCovering: covering shrinks patterns, not
+// the member census the digest reports.
+func TestAdvertMemberCountsSurviveCovering(t *testing.T) {
+	eng := broker.New(broker.Config{Threshold: -1, Rebuild: broker.Never{}})
+	defer eng.Close()
+	n := New(eng, Config{ID: "x", AdvertPolicy: broker.Staleness{MaxStale: 1}})
+	defer n.Close()
+	for _, expr := range []string{"/a", "/a/b", "/a/b/c"} {
+		if _, err := eng.Subscribe(expr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members := 0
+	for _, c := range n.Info().LocalAdvert.Communities {
+		members += c.Members
+	}
+	if members != 3 {
+		t.Fatalf("advert reports %d members, want 3", members)
+	}
+}
+
+// TestTruncatePreservesContainment: for random DTD-derived patterns and
+// documents, a document matching the original pattern always matches
+// the truncated one (generalization never loses recall), and the
+// truncated pattern respects the node budget and stays valid.
+func TestTruncatePreservesContainment(t *testing.T) {
+	d := dtd.Media()
+	qg := querygen.New(d, querygen.Defaults(11))
+	dg := xmlgen.New(d, xmlgen.Options{Seed: 12})
+	docs := dg.GenerateN(60)
+	rng := rand.New(rand.NewSource(13))
+	checked := 0
+	for i := 0; i < 300; i++ {
+		p := qg.Generate()
+		budget := 1 + rng.Intn(6)
+		tr := truncatePattern(p, budget)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("truncate(%s, %d) invalid: %v", p, budget, err)
+		}
+		if tr.Size() > budget {
+			t.Fatalf("truncate(%s, %d) has %d nodes", p, budget, tr.Size())
+		}
+		for _, dc := range docs {
+			if pattern.Matches(dc, p) {
+				checked++
+				if !pattern.Matches(dc, tr) {
+					t.Fatalf("doc matches %s but not its truncation %s (budget %d)", p, tr, budget)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("workload produced no matching (doc, pattern) pairs; test is vacuous")
+	}
+}
+
+// TestTruncateKeepsDescendantsPaired: "//" never survives without its
+// child.
+func TestTruncateKeepsDescendantsPaired(t *testing.T) {
+	p := pattern.MustParse("/a//b[c]//d")
+	for budget := 1; budget <= p.Size(); budget++ {
+		tr := truncatePattern(p, budget)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("budget %d: %v (pattern %s)", budget, err, tr)
+		}
+	}
+}
+
+// TestSelectivityDigestTracksStream: after observing a stream, the
+// advertised digest reflects the representative's selectivity estimate.
+func TestSelectivityDigestTracksStream(t *testing.T) {
+	eng := broker.New(broker.Config{Threshold: 2, Rebuild: broker.Never{}})
+	defer eng.Close()
+	n := New(eng, Config{ID: "x", AdvertPolicy: broker.Staleness{MaxStale: 1}})
+	defer n.Close()
+	for i := 0; i < 20; i++ {
+		s := "<a><b/></a>"
+		if i%2 == 0 {
+			s = "<z/>"
+		}
+		tr, err := xmltree.ParseString(s, xmltree.ParseOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := n.Publish(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	if _, err := eng.Subscribe("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	comms := n.Info().LocalAdvert.Communities
+	if len(comms) != 1 {
+		t.Fatalf("%d communities, want 1", len(comms))
+	}
+	if sel := comms[0].Selectivity; sel < 0.2 || sel > 0.8 {
+		t.Fatalf("digest selectivity %v for a pattern matching half the stream", sel)
+	}
+}

@@ -1,0 +1,177 @@
+package overlay
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"treesim/internal/broker"
+	"treesim/internal/overlay/wire"
+)
+
+// HTTPTransport posts wire messages to a peer broker daemon's /peer/*
+// endpoints.
+type HTTPTransport struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTransport returns a transport for the peer at the given base
+// URL (e.g. "http://127.0.0.1:8690"). A nil client gets a 10s-timeout
+// default.
+func NewHTTPTransport(base string, client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &HTTPTransport{base: base, client: client}
+}
+
+func (t *HTTPTransport) post(path string, body []byte) error {
+	resp, err := t.client.Post(t.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("overlay: POST %s%s: %s: %s", t.base, path, resp.Status, msg)
+	}
+	return nil
+}
+
+// SendAdvert implements Transport.
+func (t *HTTPTransport) SendAdvert(b wire.AdvertBatch) error {
+	data, err := wire.EncodeAdvertBatch(b)
+	if err != nil {
+		return err
+	}
+	return t.post("/peer/advert", data)
+}
+
+// SendPublish implements Transport.
+func (t *HTTPTransport) SendPublish(p wire.Publication) error {
+	data, err := wire.EncodePublication(p)
+	if err != nil {
+		return err
+	}
+	return t.post("/peer/publish", data)
+}
+
+// RegisterHTTP mounts the node's peer endpoints on mux:
+//
+//	POST /peer/advert   wire.AdvertBatch  → 204
+//	POST /peer/publish  wire.Publication  → 204
+//	GET  /peer/info     wire.Info
+//
+// A message whose sender is not yet a peer but carries a callback Addr
+// auto-establishes the reverse link, so one-directional -peers
+// configuration yields bidirectional federation.
+func RegisterHTTP(mux *http.ServeMux, n *Node, maxBody int64, client *http.Client) {
+	mux.HandleFunc("POST /peer/advert", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			peerError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		batch, err := wire.DecodeAdvertBatch(data)
+		if err != nil {
+			peerError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		autoPeer(n, batch.From, batch.Addr, client)
+		if err := n.HandleAdvert(batch); err != nil {
+			peerError(w, peerStatus(err), "%v", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /peer/publish", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			peerError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		pub, err := wire.DecodePublication(data)
+		if err != nil {
+			peerError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		autoPeer(n, pub.From, pub.Addr, client)
+		if err := n.HandlePublish(pub); err != nil {
+			peerError(w, peerStatus(err), "%v", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /peer/info", func(w http.ResponseWriter, r *http.Request) {
+		data, err := wire.EncodeInfo(n.Info())
+		if err != nil {
+			peerError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+}
+
+// autoPeer establishes the reverse link to a not-yet-known sender that
+// supplied a callback address.
+func autoPeer(n *Node, from, addr string, client *http.Client) {
+	if from == "" || addr == "" || from == n.ID() || n.HasPeer(from) {
+		return
+	}
+	n.AddPeer(from, NewHTTPTransport(addr, client))
+}
+
+// DialPeer fetches the peer's identity from base+"/peer/info" and adds
+// it as a peer over an HTTP transport. Callers retry: the peer daemon
+// may not be up yet.
+func DialPeer(n *Node, base string, client *http.Client) error {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := client.Get(base + "/peer/info")
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("overlay: GET %s/peer/info: %s", base, resp.Status)
+	}
+	info, err := wire.DecodeInfo(data)
+	if err != nil {
+		return err
+	}
+	if info.ID == n.ID() {
+		return fmt.Errorf("overlay: peer %s is this node (%s)", base, info.ID)
+	}
+	return n.AddPeer(info.ID, NewHTTPTransport(base, client))
+}
+
+// peerStatus classifies a handler error: a closed overlay node or a
+// closed broker engine is a transient server condition (503, the peer
+// should stop sending here), anything else a bad request.
+func peerStatus(err error) int {
+	if errors.Is(err, ErrClosed) || errors.Is(err, broker.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func peerError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,582 @@
+// Package overlay federates broker engines into a routed multi-broker
+// topology — the network layer of the paper's scalable content-based
+// routing story. Brokers do not exchange raw subscription tables:
+// each node aggregates its local subscriptions into per-community
+// advertisements (a covering subset of member patterns, extracted with
+// cluster.Cover, optionally coarsened by truncation, plus a selectivity
+// digest), and gossips versioned advertisement deltas to its peers.
+// Every node keeps a per-link routing table mapping advertised
+// aggregates to next hops, and forwards a publication over a link only
+// when the document matches some aggregate reachable via that link —
+// cheap, coarse, recall-preserving matching that happens before any
+// peer does exact local matching. TTL and a seen-set suppress
+// duplicates on cyclic topologies, so inter-broker traffic shrinks
+// versus flooding while no delivery is lost.
+//
+// Advertisement propagation is origin-versioned gossip: an advert
+// carries (origin, version, aggregates); a node accepts it if the
+// version is new for that origin, records the arrival link as the next
+// hop toward the origin, and re-gossips to its other links. Each
+// version thus spans the network along its own broadcast tree, and
+// publications flow down the reverse edges. A node whose subscriptions
+// churn past its advertisement policy (the broker's rebuild-policy
+// calculus) re-advertises under the next version; an origin with no
+// subscriptions advertises an empty aggregate (a tombstone), closing
+// the routes toward it.
+//
+// Trust and delivery model. Peer messages are validated (bounded,
+// parseable) but not authenticated — like the daemon's subscribe and
+// publish endpoints, the federation assumes a trusted network: any
+// reachable sender could advertise aggregates under another node's
+// origin and divert its traffic. Deploy peers on an isolated network
+// or behind an authenticating proxy. Transport sends are synchronous
+// and best-effort: an unreachable peer costs its transport timeout on
+// the goroutine that advertises or forwards (publication forwarding
+// chains block the upstream hop until the chain completes), and a
+// failed send is counted, not retried — the next advert version
+// resyncs routing state. Asynchronous per-link outbound queues are a
+// ROADMAP item.
+package overlay
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesim/internal/broker"
+	"treesim/internal/overlay/wire"
+	"treesim/internal/xmltree"
+)
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = fmt.Errorf("overlay: node closed")
+
+// Config configures a Node. The zero value works: a random id, TTL 16,
+// and a DirtyFraction re-advertisement policy.
+type Config struct {
+	// ID is this node's overlay identity (must be unique across the
+	// federation; defaults to a random hex string).
+	ID string
+	// Addr, if set, is the callback base URL included in outgoing
+	// messages so HTTP peers can auto-establish the reverse link.
+	Addr string
+	// TTL is the hop budget stamped on locally published documents
+	// (default 16, capped at wire.MaxTTL).
+	TTL int
+	// SeenCapacity bounds the duplicate-suppression set (default 8192
+	// publication ids, evicted FIFO).
+	SeenCapacity int
+	// AdvertPolicy decides when accumulated subscription churn warrants
+	// re-advertising the local aggregate, consulted with the churn count
+	// since the last advertisement and the live subscription count —
+	// the same calculus as broker rebuild policies (default
+	// broker.DirtyFraction{Fraction: 0.10, MinStale: 1}, so a lone
+	// first subscription advertises immediately while a big registry
+	// batches 10% of churn per advert). A full re-clustering always
+	// re-advertises.
+	AdvertPolicy broker.RebuildPolicy
+	// MaxPatternNodes, when positive, coarsens advertised patterns to at
+	// most that many nodes by dropping whole subtrees — the truncated
+	// pattern contains the original, so recall is preserved and only
+	// forwarding precision is traded for smaller adverts. 0 advertises
+	// exact covering patterns.
+	MaxPatternNodes int
+	// Flood disables aggregate matching: publications are forwarded on
+	// every link except the arrival one (TTL and duplicate suppression
+	// still apply). This is the measurement baseline, not a mode for
+	// production use.
+	Flood bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ID == "" {
+		var b [8]byte
+		rand.Read(b[:])
+		c.ID = "node-" + hex.EncodeToString(b[:])
+	}
+	if c.TTL <= 0 {
+		c.TTL = 16
+	}
+	if c.TTL > wire.MaxTTL {
+		c.TTL = wire.MaxTTL
+	}
+	if c.SeenCapacity <= 0 {
+		c.SeenCapacity = 8192
+	}
+	if c.AdvertPolicy == nil {
+		c.AdvertPolicy = broker.DirtyFraction{Fraction: 0.10, MinStale: 1}
+	}
+	return c
+}
+
+// link is one attached peer.
+type link struct {
+	id string
+	tr Transport
+}
+
+// nodeCounters are the node's lock-free operational counters.
+type nodeCounters struct {
+	forwardsSent atomic.Uint64
+	forwardsRecv atomic.Uint64
+	duplicates   atomic.Uint64
+	ttlDrops     atomic.Uint64
+	advertsSent  atomic.Uint64
+	advertsRecv  atomic.Uint64
+	published    atomic.Uint64
+	injected     atomic.Uint64
+	sendErrors   atomic.Uint64
+}
+
+// Node is one federation member: a broker engine plus links, routing
+// table and advertisement state. Create with New, wire with AddPeer (or
+// Connect for in-process meshes), stop with Close.
+type Node struct {
+	cfg Config
+	eng *broker.Engine
+
+	mu       sync.Mutex
+	links    map[string]*link
+	table    map[string]*originEntry
+	seen     *seenSet
+	localVer uint64
+	local    wire.Advert
+	advStale int
+	closed   bool
+
+	seq      atomic.Uint64
+	counters nodeCounters
+}
+
+// New attaches a federation node to an engine and installs the engine's
+// churn hook (the node re-advertises when churn crosses
+// Config.AdvertPolicy). The engine must not have another churn hook
+// user; Close uninstalls it.
+func New(eng *broker.Engine, cfg Config) *Node {
+	n := &Node{
+		cfg:   cfg.withDefaults(),
+		eng:   eng,
+		links: make(map[string]*link),
+		table: make(map[string]*originEntry),
+	}
+	n.seen = newSeenSet(n.cfg.SeenCapacity)
+	// Version and sequence numbers start at a boot epoch rather than 1:
+	// a restarted node reuses its id (treesimd defaults it to the listen
+	// address), and peers keep its old table entry and seen-set keys —
+	// restarting below the old version would make them silently discard
+	// every new advert ("stale") and the first publications
+	// ("duplicate"). Nanosecond epochs are monotone across restarts and
+	// leave ~2^63 headroom above any realistic churn rate.
+	epoch := uint64(time.Now().UnixNano())
+	n.seq.Store(epoch)
+	n.mu.Lock()
+	n.localVer = epoch
+	n.local = n.buildAdvertLocked(n.localVer)
+	n.mu.Unlock()
+	eng.SetChurnHook(n.onChurn)
+	return n
+}
+
+// ID returns the node's overlay identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Engine returns the attached broker engine.
+func (n *Node) Engine() *broker.Engine { return n.eng }
+
+// Close detaches the node: the churn hook is uninstalled and subsequent
+// publishes, handles and peer additions fail with ErrClosed. It does
+// not close the engine (the caller owns it) and does not notify peers —
+// links simply go quiet (WAN-grade liveness is future work).
+func (n *Node) Close() {
+	n.eng.SetChurnHook(nil)
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+}
+
+// onChurn is the engine hook: accumulate churn and re-advertise when
+// the policy (or a completed re-clustering) says so.
+func (n *Node) onChurn(ev broker.ChurnEvent) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.advStale++
+	should := ev.Rebuilt || n.cfg.AdvertPolicy.ShouldRebuild(n.advStale, ev.Live)
+	n.mu.Unlock()
+	if should {
+		n.Advertise()
+	}
+}
+
+// Advertise rebuilds the local aggregate under the next version and
+// pushes it to every peer. Called automatically per AdvertPolicy; also
+// an explicit hook for harnesses and operators ("flush my aggregate
+// now").
+func (n *Node) Advertise() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	// Build under the lock so advert content is monotone in version:
+	// a concurrent Advertise cannot pair an older snapshot with a newer
+	// version number. The build reads engine snapshots (registry read
+	// lock), which never takes the node lock — no inversion.
+	n.localVer++
+	n.local = n.buildAdvertLocked(n.localVer)
+	n.advStale = 0
+	adv := n.local
+	targets := n.linksLocked("")
+	n.mu.Unlock()
+	n.sendAdverts(targets, []wire.Advert{adv})
+	return nil
+}
+
+// AddPeer attaches a bidirectional-capable link to a peer and pushes
+// the node's full routing state (local advert plus every known origin)
+// over it, bringing the new neighbor up to date in one batch. Adding an
+// existing peer id replaces its transport and resyncs. The peer must
+// already know this node (or learn it from the sync batch's From/Addr,
+// as the HTTP auto-peering glue does) for the sync to be accepted; when
+// wiring two in-process nodes use Connect, which registers both links
+// before syncing either way.
+func (n *Node) AddPeer(id string, tr Transport) error {
+	if err := n.addPeerLink(id, tr); err != nil {
+		return err
+	}
+	return n.syncPeer(id)
+}
+
+// addPeerLink registers the link without pushing state.
+func (n *Node) addPeerLink(id string, tr Transport) error {
+	if id == n.cfg.ID {
+		return fmt.Errorf("overlay: cannot peer with self (%q)", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	n.links[id] = &link{id: id, tr: tr}
+	return nil
+}
+
+// syncPeer pushes the full routing state over an existing link.
+func (n *Node) syncPeer(id string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	l, ok := n.links[id]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: sync to unknown peer %q", id)
+	}
+	adverts := make([]wire.Advert, 0, 1+len(n.table))
+	adverts = append(adverts, n.local)
+	origins := make([]string, 0, len(n.table))
+	for origin := range n.table {
+		if origin == id {
+			// The peer is the authority on its own aggregate; echoing a
+			// possibly stale copy back is pure noise.
+			continue
+		}
+		origins = append(origins, origin)
+	}
+	sort.Strings(origins)
+	for _, origin := range origins {
+		adverts = append(adverts, n.table[origin].advert(origin))
+	}
+	n.mu.Unlock()
+	n.sendAdverts([]*link{l}, adverts)
+	return nil
+}
+
+// HasPeer reports whether a link to the given peer id exists.
+func (n *Node) HasPeer(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.links[id]
+	return ok
+}
+
+// HandleAdvert ingests an advertisement batch from a peer: new versions
+// are recorded in the routing table with the arrival link as next hop
+// and re-gossiped to the other links.
+func (n *Node) HandleAdvert(batch wire.AdvertBatch) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := n.links[batch.From]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: advert from unknown peer %q", batch.From)
+	}
+	n.counters.advertsRecv.Add(1)
+	var accepted []wire.Advert
+	var firstErr error
+	for _, a := range batch.Adverts {
+		if a.Origin == n.cfg.ID {
+			continue // our own advert reflected around a cycle
+		}
+		if cur, ok := n.table[a.Origin]; ok && a.Version <= cur.version {
+			continue // stale or already known
+		}
+		entry, err := newOriginEntry(a, batch.From)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		n.table[a.Origin] = entry
+		if fwd := a; fwd.Hops+1 <= wire.MaxTTL {
+			fwd.Hops++
+			accepted = append(accepted, fwd)
+		}
+	}
+	targets := n.linksLocked(batch.From)
+	n.mu.Unlock()
+	if len(accepted) > 0 {
+		n.sendAdverts(targets, accepted)
+	}
+	return firstErr
+}
+
+// Publish routes a locally published document: exact local matching
+// through the engine first, then coarse aggregate matching per link to
+// decide which peers receive a forward. It returns the local routing
+// result and the number of links the document was forwarded on.
+func (n *Node) Publish(t *xmltree.Tree) (broker.PublishResult, int, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return broker.PublishResult{}, 0, ErrClosed
+	}
+	n.mu.Unlock()
+	res, err := n.eng.Publish(t)
+	if err != nil {
+		return res, 0, err
+	}
+	n.counters.published.Add(1)
+	seq := n.seq.Add(1)
+	n.mu.Lock()
+	n.seen.add(seenKey(n.cfg.ID, seq))
+	plan := n.forwardPlanLocked(n.cfg.ID, "")
+	n.mu.Unlock()
+	targets := matchTargets(t, plan)
+	sent := n.sendPublication(targets, wire.Publication{
+		Origin: n.cfg.ID,
+		Seq:    seq,
+		TTL:    n.cfg.TTL,
+	}, t)
+	return res, sent, nil
+}
+
+// HandlePublish ingests a forwarded publication from a peer: duplicate
+// suppression first (origin+seq needs no parsing — on cyclic
+// topologies suppressed duplicates are routine and must stay cheap),
+// then local delivery through the engine's remote-injection hook, then
+// TTL-decremented coarse forwarding to further links. A publication
+// whose payload turns out to be unparseable stays marked seen: its
+// origin assigned that sequence to a malformed document, and replaying
+// it cannot improve.
+func (n *Node) HandlePublish(pub wire.Publication) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := n.links[pub.From]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: publication from unknown peer %q", pub.From)
+	}
+	n.counters.forwardsRecv.Add(1)
+	key := seenKey(pub.Origin, pub.Seq)
+	if n.seen.has(key) {
+		n.counters.duplicates.Add(1)
+		n.mu.Unlock()
+		return nil
+	}
+	n.seen.add(key)
+	var plan []forwardCandidate
+	ttl := pub.TTL - 1
+	if ttl > 0 {
+		plan = n.forwardPlanLocked(pub.Origin, pub.From)
+	}
+	n.mu.Unlock()
+	t, err := xmltree.ParseString(pub.XML, n.eng.Estimator().Config().ParseOptions)
+	if err != nil {
+		return fmt.Errorf("overlay: forwarded document from %q: %w", pub.From, err)
+	}
+	targets := matchTargets(t, plan)
+	if ttl <= 0 {
+		n.counters.ttlDrops.Add(1)
+	}
+	if _, err := n.eng.InjectRemote(t); err != nil {
+		return err
+	}
+	n.counters.injected.Add(1)
+	pub.TTL = ttl
+	n.sendPublication(targets, pub, t)
+	return nil
+}
+
+// forwardCandidate is one link with the routing-table entries reachable
+// through it, snapshotted under the node lock so the (expensive)
+// pattern matching can run outside it — originEntry values are
+// immutable once built, only replaced wholesale by newer versions.
+type forwardCandidate struct {
+	l       *link
+	flood   bool
+	entries []*originEntry
+}
+
+// forwardPlanLocked snapshots, per non-arrival link, the aggregates a
+// forwarding decision must consult: every origin routed via that link
+// except the publication's own origin (it has the document already).
+// One pass over the table buckets entries by next hop, so the cost is
+// O(links + origins), not links × origins. In Flood mode every
+// non-arrival link qualifies unconditionally.
+func (n *Node) forwardPlanLocked(origin, exclude string) []forwardCandidate {
+	var out []forwardCandidate
+	if n.cfg.Flood {
+		for _, l := range n.linksLocked(exclude) {
+			out = append(out, forwardCandidate{l: l, flood: true})
+		}
+		return out
+	}
+	byVia := make(map[string][]*originEntry, len(n.links))
+	for o, e := range n.table {
+		if o != origin && e.via != exclude {
+			byVia[e.via] = append(byVia[e.via], e)
+		}
+	}
+	for _, l := range n.linksLocked(exclude) {
+		if entries := byVia[l.id]; len(entries) > 0 {
+			out = append(out, forwardCandidate{l: l, entries: entries})
+		}
+	}
+	return out
+}
+
+// matchTargets runs the coarse aggregate match for a planned forward —
+// outside the node lock, so concurrent publications and advert
+// handling never serialize on pattern matching.
+func matchTargets(t *xmltree.Tree, plan []forwardCandidate) []*link {
+	var out []*link
+	for _, c := range plan {
+		if c.flood {
+			out = append(out, c.l)
+			continue
+		}
+		for _, e := range c.entries {
+			if e.match(t) {
+				out = append(out, c.l)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// linksLocked snapshots all links except the named one, in id order —
+// deterministic send order makes multi-hop propagation (and therefore
+// measured forward counts) reproducible for a fixed topology.
+func (n *Node) linksLocked(exclude string) []*link {
+	out := make([]*link, 0, len(n.links))
+	for id, l := range n.links {
+		if id != exclude {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// sendAdverts pushes adverts to the given links (best effort: a failed
+// peer is counted, not retried — the next advert version resyncs it).
+func (n *Node) sendAdverts(targets []*link, adverts []wire.Advert) {
+	if len(targets) == 0 || len(adverts) == 0 {
+		return
+	}
+	batch := wire.AdvertBatch{From: n.cfg.ID, Addr: n.cfg.Addr, Adverts: adverts}
+	for _, l := range targets {
+		if err := l.tr.SendAdvert(batch); err != nil {
+			n.counters.sendErrors.Add(1)
+			continue
+		}
+		n.counters.advertsSent.Add(1)
+	}
+}
+
+// sendPublication forwards one document to the given links, serializing
+// it once. Returns the number of successful sends.
+func (n *Node) sendPublication(targets []*link, pub wire.Publication, t *xmltree.Tree) int {
+	if len(targets) == 0 {
+		return 0
+	}
+	if pub.XML == "" {
+		xmlStr, err := xmltree.XMLString(t, false)
+		if err != nil {
+			n.counters.sendErrors.Add(1)
+			return 0
+		}
+		pub.XML = xmlStr
+	}
+	pub.From = n.cfg.ID
+	pub.Addr = n.cfg.Addr
+	sent := 0
+	for _, l := range targets {
+		if err := l.tr.SendPublish(pub); err != nil {
+			n.counters.sendErrors.Add(1)
+			continue
+		}
+		sent++
+		n.counters.forwardsSent.Add(1)
+	}
+	return sent
+}
+
+// Info snapshots the node for GET /peer/info and harness accounting.
+func (n *Node) Info() wire.Info {
+	n.mu.Lock()
+	info := wire.Info{
+		ID:          n.cfg.ID,
+		Addr:        n.cfg.Addr,
+		AdvertVer:   n.localVer,
+		LocalAdvert: n.local,
+	}
+	for id := range n.links {
+		info.Peers = append(info.Peers, id)
+	}
+	for origin, e := range n.table {
+		info.Origins = append(info.Origins, e.summary(origin))
+	}
+	n.mu.Unlock()
+	sort.Strings(info.Peers)
+	sort.Slice(info.Origins, func(i, j int) bool { return info.Origins[i].Origin < info.Origins[j].Origin })
+	c := &n.counters
+	info.ForwardsSent = c.forwardsSent.Load()
+	info.ForwardsRecv = c.forwardsRecv.Load()
+	info.Duplicates = c.duplicates.Load()
+	info.TTLDrops = c.ttlDrops.Load()
+	info.AdvertsSent = c.advertsSent.Load()
+	info.AdvertsRecv = c.advertsRecv.Load()
+	info.Published = c.published.Load()
+	info.Injected = c.injected.Load()
+	return info
+}
+
+func seenKey(origin string, seq uint64) string {
+	return origin + "\x00" + strconv.FormatUint(seq, 10)
+}

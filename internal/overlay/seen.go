@@ -1,0 +1,38 @@
+package overlay
+
+// seenSet is a bounded duplicate-suppression set over publication ids
+// (origin + sequence). Insertion past capacity evicts the oldest entry
+// FIFO — old ids ceasing to be suppressed is safe because TTL bounds
+// how long a publication can keep circulating. Callers hold the node
+// lock.
+type seenSet struct {
+	m    map[string]struct{}
+	ring []string
+	next int
+}
+
+func newSeenSet(capacity int) *seenSet {
+	return &seenSet{
+		m:    make(map[string]struct{}, capacity),
+		ring: make([]string, 0, capacity),
+	}
+}
+
+func (s *seenSet) has(key string) bool {
+	_, ok := s.m[key]
+	return ok
+}
+
+func (s *seenSet) add(key string) {
+	if _, ok := s.m[key]; ok {
+		return
+	}
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, key)
+	} else {
+		delete(s.m, s.ring[s.next])
+		s.ring[s.next] = key
+		s.next = (s.next + 1) % len(s.ring)
+	}
+	s.m[key] = struct{}{}
+}

@@ -1,0 +1,93 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"treesim/internal/overlay/wire"
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+// originEntry is one routing-table row: the latest aggregate advertised
+// by an origin, with the link it arrived on as the next hop toward that
+// origin. An entry with no communities is a tombstone — the origin has
+// no subscriptions and never attracts forwards, but the version is kept
+// so older adverts cannot resurrect routes.
+type originEntry struct {
+	version    uint64
+	hops       int
+	via        string // next-hop peer id (the arrival link)
+	comms      []aggComm
+	advertised []wire.Community // as advertised, for re-gossip on AddPeer
+}
+
+// aggComm is one advertised community with its patterns parsed for
+// matching.
+type aggComm struct {
+	pats    []*pattern.Pattern
+	members int
+	sel     float64
+}
+
+// newOriginEntry parses an advert into a table entry. Patterns arrive
+// codec-validated; a parse failure here (direct HandleAdvert callers)
+// rejects the advert.
+func newOriginEntry(a wire.Advert, via string) (*originEntry, error) {
+	e := &originEntry{version: a.Version, hops: a.Hops, via: via, advertised: a.Communities}
+	for i, c := range a.Communities {
+		ac := aggComm{members: c.Members, sel: c.Selectivity, pats: make([]*pattern.Pattern, len(c.Patterns))}
+		for j, s := range c.Patterns {
+			p, err := pattern.Parse(s)
+			if err != nil {
+				return nil, fmt.Errorf("overlay: advert %q community %d pattern %d: %w", a.Origin, i, j, err)
+			}
+			ac.pats[j] = p
+		}
+		e.comms = append(e.comms, ac)
+	}
+	// Most-selective aggregates first: a high selectivity digest means
+	// the aggregate matches a large fraction of the stream, so testing
+	// it first maximizes the chance of an early exit.
+	sort.SliceStable(e.comms, func(i, j int) bool { return e.comms[i].sel > e.comms[j].sel })
+	return e, nil
+}
+
+// match reports whether the document matches any advertised aggregate —
+// the coarse routing test run once per link before forwarding.
+func (e *originEntry) match(t *xmltree.Tree) bool {
+	for _, c := range e.comms {
+		for _, p := range c.pats {
+			if pattern.Matches(t, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// advert reconstructs the wire advert for full-state sync to a new
+// peer.
+func (e *originEntry) advert(origin string) wire.Advert {
+	hops := e.hops + 1
+	if hops > wire.MaxTTL {
+		hops = wire.MaxTTL
+	}
+	return wire.Advert{Origin: origin, Version: e.version, Hops: hops, Communities: e.advertised}
+}
+
+// summary condenses the entry for Info.
+func (e *originEntry) summary(origin string) wire.OriginInfo {
+	s := wire.OriginInfo{Origin: origin, Version: e.version, Hops: e.hops, Via: e.via, MinSel: 1}
+	for _, c := range e.comms {
+		s.Patterns += len(c.pats)
+		s.Members += c.members
+		if c.sel < s.MinSel {
+			s.MinSel = c.sel
+		}
+	}
+	if len(e.comms) == 0 {
+		s.MinSel = 0
+	}
+	return s
+}

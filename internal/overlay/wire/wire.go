@@ -1,0 +1,319 @@
+// Package wire is the codec for the overlay federation's HTTP/JSON
+// protocol. Brokers exchange three message kinds: advertisement batches
+// (similarity-coarsened subscription aggregates, versioned per origin),
+// publications (documents forwarded hop-by-hop with a TTL), and a node
+// info snapshot (GET /peer/info).
+//
+// The codec is strict on decode: every accepted message is validated
+// (protocol version, bounded sizes, parseable patterns, finite digests)
+// and pattern expressions are canonicalized through the pattern parser,
+// so a decoded value always re-encodes, and decode∘encode is the
+// identity on decoded values — the invariant FuzzDecodeAdvert enforces.
+// Unknown JSON fields are ignored for forward compatibility.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"treesim/internal/pattern"
+)
+
+// ProtocolVersion is the overlay wire protocol version. Messages
+// carrying a different version are rejected on decode.
+const ProtocolVersion = 1
+
+// Size caps enforced on decode. They bound the work a single message
+// can demand from a receiving broker, not legitimate use.
+const (
+	// MaxOriginLen bounds node identifier length in bytes.
+	MaxOriginLen = 256
+	// MaxAdverts bounds origin adverts per batch.
+	MaxAdverts = 4096
+	// MaxCommunities bounds communities per advert.
+	MaxCommunities = 4096
+	// MaxPatterns bounds covering patterns per community.
+	MaxPatterns = 4096
+	// MaxPatternLen bounds one pattern expression in bytes.
+	MaxPatternLen = 1 << 16
+)
+
+// Community is one advertised subscription aggregate: the covering
+// patterns that stand for a community's members, plus a digest.
+type Community struct {
+	// Patterns are canonical pattern expressions that jointly contain
+	// every member subscription of the community (a document matching
+	// any member matches some listed pattern), so matching against them
+	// is coarse but recall-preserving.
+	Patterns []string `json:"patterns"`
+	// Members is the number of subscriptions the aggregate stands for.
+	Members int `json:"members"`
+	// Selectivity is the advertising broker's estimate of the fraction
+	// of stream documents matching the community representative, in
+	// [0,1]. Receivers use it to order match attempts (most selective
+	// aggregates are the likeliest hits).
+	Selectivity float64 `json:"selectivity"`
+}
+
+// Advert is one origin's versioned subscription aggregate. An advert
+// with no communities is a tombstone: the origin currently has no
+// subscriptions and publications need not flow toward it.
+type Advert struct {
+	// Origin is the node id whose subscriptions this advert aggregates.
+	Origin string `json:"origin"`
+	// Version increases monotonically per origin; receivers keep only
+	// the highest version seen.
+	Version uint64 `json:"version"`
+	// Hops is how many links the advert has traveled from its origin
+	// (0 when the origin itself is the sender). Diagnostic.
+	Hops int `json:"hops"`
+	// Communities are the origin's aggregates, possibly empty.
+	Communities []Community `json:"communities"`
+}
+
+// AdvertBatch is the body of POST /peer/advert: one or more origin
+// adverts pushed over a link.
+type AdvertBatch struct {
+	// Proto is the wire protocol version (ProtocolVersion).
+	Proto int `json:"proto"`
+	// From is the sending node's id (the link peer, not necessarily any
+	// advert's origin).
+	From string `json:"from"`
+	// Addr, if set, is a callback base URL the receiver can dial to
+	// establish the reverse link (HTTP transport auto-peering).
+	Addr string `json:"addr,omitempty"`
+	// Adverts are the origin aggregates.
+	Adverts []Advert `json:"adverts"`
+}
+
+// Publication is the body of POST /peer/publish: one document forwarded
+// through the overlay.
+type Publication struct {
+	// Proto is the wire protocol version (ProtocolVersion).
+	Proto int `json:"proto"`
+	// From is the sending node's id (the previous hop).
+	From string `json:"from"`
+	// Addr, if set, is the sender's callback base URL (auto-peering).
+	Addr string `json:"addr,omitempty"`
+	// Origin is the node where the document was first published and Seq
+	// that node's publish sequence number; together they identify the
+	// publication for duplicate suppression.
+	Origin string `json:"origin"`
+	Seq    uint64 `json:"seq"`
+	// TTL is the remaining hop budget; a node forwards with TTL-1 and
+	// drops at 0.
+	TTL int `json:"ttl"`
+	// XML is the document serialization. The codec treats it as opaque
+	// (the receiving broker parses it); only its size is bounded here.
+	XML string `json:"xml"`
+}
+
+// MaxTTL bounds Publication.TTL; MaxXMLLen bounds Publication.XML.
+const (
+	MaxTTL    = 64
+	MaxXMLLen = 4 << 20
+)
+
+// OriginInfo summarizes one routing-table entry in Info.
+type OriginInfo struct {
+	Origin   string  `json:"origin"`
+	Version  uint64  `json:"version"`
+	Hops     int     `json:"hops"`
+	Via      string  `json:"via"` // next-hop peer id
+	Patterns int     `json:"patterns"`
+	Members  int     `json:"members"`
+	MinSel   float64 `json:"min_selectivity"`
+}
+
+// Info is the body of GET /peer/info: a node's identity, links and
+// routing table, plus forwarding counters.
+type Info struct {
+	Proto        int          `json:"proto"`
+	ID           string       `json:"id"`
+	Addr         string       `json:"addr,omitempty"`
+	AdvertVer    uint64       `json:"advert_version"`
+	Peers        []string     `json:"peers"`
+	Origins      []OriginInfo `json:"origins"`
+	LocalAdvert  Advert       `json:"local_advert"`
+	ForwardsSent uint64       `json:"forwards_sent"`
+	ForwardsRecv uint64       `json:"forwards_recv"`
+	Duplicates   uint64       `json:"duplicates"`
+	TTLDrops     uint64       `json:"ttl_drops"`
+	AdvertsSent  uint64       `json:"adverts_sent"`
+	AdvertsRecv  uint64       `json:"adverts_recv"`
+	Published    uint64       `json:"published"`
+	Injected     uint64       `json:"injected"`
+}
+
+// EncodeAdvertBatch serializes a batch, stamping the protocol version.
+// It validates but never writes into the batch's slices — senders hold
+// them in live, concurrently-read node state; canonicalization is the
+// decoder's job (the in-process advert builder already emits canonical
+// expressions).
+func EncodeAdvertBatch(b AdvertBatch) ([]byte, error) {
+	b.Proto = ProtocolVersion
+	if err := validateAdvertBatch(&b, false); err != nil {
+		return nil, fmt.Errorf("wire: encode advert batch: %w", err)
+	}
+	return json.Marshal(b)
+}
+
+// DecodeAdvertBatch parses and validates a batch. Pattern expressions
+// are canonicalized (parsed and re-serialized), so two decodes of
+// equivalent spellings agree and the batch re-encodes byte-stably.
+func DecodeAdvertBatch(data []byte) (AdvertBatch, error) {
+	var b AdvertBatch
+	if err := json.Unmarshal(data, &b); err != nil {
+		return AdvertBatch{}, fmt.Errorf("wire: decode advert batch: %w", err)
+	}
+	if err := validateAdvertBatch(&b, true); err != nil {
+		return AdvertBatch{}, fmt.Errorf("wire: decode advert batch: %w", err)
+	}
+	return b, nil
+}
+
+// validateAdvertBatch checks bounds; with canonicalize set it also
+// rewrites pattern expressions to canonical form in place (decode-only:
+// a freshly unmarshaled batch owns its slices).
+func validateAdvertBatch(b *AdvertBatch, canonicalize bool) error {
+	if b.Proto != ProtocolVersion {
+		return fmt.Errorf("protocol version %d, want %d", b.Proto, ProtocolVersion)
+	}
+	if err := validateID(b.From, "from"); err != nil {
+		return err
+	}
+	if len(b.Addr) > MaxOriginLen {
+		return fmt.Errorf("addr longer than %d bytes", MaxOriginLen)
+	}
+	if len(b.Adverts) > MaxAdverts {
+		return fmt.Errorf("%d adverts exceeds cap %d", len(b.Adverts), MaxAdverts)
+	}
+	for i := range b.Adverts {
+		if err := validateAdvert(&b.Adverts[i], canonicalize); err != nil {
+			return fmt.Errorf("advert %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateAdvert(a *Advert, canonicalize bool) error {
+	if err := validateID(a.Origin, "origin"); err != nil {
+		return err
+	}
+	if a.Hops < 0 || a.Hops > MaxTTL {
+		return fmt.Errorf("hops %d outside [0,%d]", a.Hops, MaxTTL)
+	}
+	if len(a.Communities) > MaxCommunities {
+		return fmt.Errorf("%d communities exceeds cap %d", len(a.Communities), MaxCommunities)
+	}
+	for i := range a.Communities {
+		c := &a.Communities[i]
+		if c.Members < 0 {
+			return fmt.Errorf("community %d: negative member count", i)
+		}
+		if math.IsNaN(c.Selectivity) || c.Selectivity < 0 || c.Selectivity > 1 {
+			return fmt.Errorf("community %d: selectivity %v outside [0,1]", i, c.Selectivity)
+		}
+		if len(c.Patterns) == 0 {
+			return fmt.Errorf("community %d: no covering patterns", i)
+		}
+		if len(c.Patterns) > MaxPatterns {
+			return fmt.Errorf("community %d: %d patterns exceeds cap %d", i, len(c.Patterns), MaxPatterns)
+		}
+		for j, s := range c.Patterns {
+			if len(s) > MaxPatternLen {
+				return fmt.Errorf("community %d: pattern %d longer than %d bytes", i, j, MaxPatternLen)
+			}
+			p, err := pattern.Parse(s)
+			if err != nil {
+				return fmt.Errorf("community %d: pattern %d: %w", i, j, err)
+			}
+			if canonicalize {
+				c.Patterns[j] = p.Canonicalize().String()
+			}
+		}
+	}
+	return nil
+}
+
+// EncodePublication serializes a publication, stamping the protocol
+// version.
+func EncodePublication(p Publication) ([]byte, error) {
+	p.Proto = ProtocolVersion
+	if err := validatePublication(&p); err != nil {
+		return nil, fmt.Errorf("wire: encode publication: %w", err)
+	}
+	return json.Marshal(p)
+}
+
+// DecodePublication parses and validates a publication. The document
+// payload is bounded but not parsed here; the broker's XML parser is
+// the authority on its content.
+func DecodePublication(data []byte) (Publication, error) {
+	var p Publication
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Publication{}, fmt.Errorf("wire: decode publication: %w", err)
+	}
+	if err := validatePublication(&p); err != nil {
+		return Publication{}, fmt.Errorf("wire: decode publication: %w", err)
+	}
+	return p, nil
+}
+
+func validatePublication(p *Publication) error {
+	if p.Proto != ProtocolVersion {
+		return fmt.Errorf("protocol version %d, want %d", p.Proto, ProtocolVersion)
+	}
+	if err := validateID(p.From, "from"); err != nil {
+		return err
+	}
+	if err := validateID(p.Origin, "origin"); err != nil {
+		return err
+	}
+	if len(p.Addr) > MaxOriginLen {
+		return fmt.Errorf("addr longer than %d bytes", MaxOriginLen)
+	}
+	if p.TTL < 0 || p.TTL > MaxTTL {
+		return fmt.Errorf("ttl %d outside [0,%d]", p.TTL, MaxTTL)
+	}
+	if len(p.XML) == 0 {
+		return fmt.Errorf("empty document")
+	}
+	if len(p.XML) > MaxXMLLen {
+		return fmt.Errorf("document longer than %d bytes", MaxXMLLen)
+	}
+	return nil
+}
+
+// EncodeInfo serializes an info snapshot.
+func EncodeInfo(i Info) ([]byte, error) {
+	i.Proto = ProtocolVersion
+	return json.Marshal(i)
+}
+
+// DecodeInfo parses an info snapshot (id is all the dialing side needs;
+// the rest is diagnostic and accepted as-is).
+func DecodeInfo(data []byte) (Info, error) {
+	var i Info
+	if err := json.Unmarshal(data, &i); err != nil {
+		return Info{}, fmt.Errorf("wire: decode info: %w", err)
+	}
+	if i.Proto != ProtocolVersion {
+		return Info{}, fmt.Errorf("wire: decode info: protocol version %d, want %d", i.Proto, ProtocolVersion)
+	}
+	if err := validateID(i.ID, "id"); err != nil {
+		return Info{}, fmt.Errorf("wire: decode info: %w", err)
+	}
+	return i, nil
+}
+
+func validateID(id, field string) error {
+	if id == "" {
+		return fmt.Errorf("empty %s id", field)
+	}
+	if len(id) > MaxOriginLen {
+		return fmt.Errorf("%s id longer than %d bytes", field, MaxOriginLen)
+	}
+	return nil
+}

@@ -48,10 +48,11 @@ func (e *Estimator) Evaluate(p *pattern.Pattern) matchset.Value {
 	return res
 }
 
-// clamp01 clamps a probability estimate to [0, 1] — sampling noise in
+// Clamp01 clamps a probability estimate to [0, 1] — sampling noise in
 // the numerator and denominator estimates can otherwise push a ratio
-// slightly outside.
-func clamp01(v float64) float64 {
+// slightly outside. Shared by every consumer of probability estimates
+// (the overlay's advertised selectivity digests included).
+func Clamp01(v float64) float64 {
 	if v < 0 {
 		return 0
 	}
@@ -68,7 +69,7 @@ func (e *Estimator) P(p *pattern.Pattern) float64 {
 	if den == 0 {
 		return 0
 	}
-	return clamp01(e.Evaluate(p).Card() / den)
+	return Clamp01(e.Evaluate(p).Card() / den)
 }
 
 // PAnd estimates the conjunction probability P(p ∧ q) by evaluating the
@@ -84,7 +85,7 @@ func (e *Estimator) EvaluateCard(v matchset.Value) float64 {
 	if den == 0 {
 		return 0
 	}
-	return clamp01(v.Card() / den)
+	return Clamp01(v.Card() / den)
 }
 
 // Note on conjunctions: SEL over a root-merged pattern intersects the
@@ -96,7 +97,7 @@ func (e *Estimator) EvaluateCard(v matchset.Value) float64 {
 
 // POr estimates P(p ∨ q) by inclusion–exclusion, clamped to [0, 1].
 func (e *Estimator) POr(p, q *pattern.Pattern) float64 {
-	return clamp01(e.P(p) + e.P(q) - e.PAnd(p, q))
+	return Clamp01(e.P(p) + e.P(q) - e.PAnd(p, q))
 }
 
 // pnode is a pattern node prepared for evaluation: the node itself plus

@@ -44,6 +44,7 @@ import (
 	"treesim/internal/core"
 	"treesim/internal/dtd"
 	"treesim/internal/metrics"
+	"treesim/internal/overlay"
 	"treesim/internal/pattern"
 	"treesim/internal/querygen"
 	"treesim/internal/synopsis"
@@ -214,6 +215,30 @@ type (
 
 // NewBroker starts a live broker engine (stop it with Close).
 func NewBroker(cfg BrokerConfig) *Broker { return broker.New(cfg) }
+
+// Overlay federation types, re-exported for public use (package
+// internal/overlay; served over HTTP by cmd/treesimd -federate and
+// measured by cmd/treesim-net).
+type (
+	// OverlayNode federates a Broker into a routed multi-broker
+	// topology: similarity-aggregated subscription advertisements,
+	// per-link routing tables, TTL + seen-set forwarding.
+	OverlayNode = overlay.Node
+	// OverlayConfig configures an OverlayNode.
+	OverlayConfig = overlay.Config
+	// OverlayTransport delivers wire messages to one peer node.
+	OverlayTransport = overlay.Transport
+)
+
+// NewOverlayNode attaches a federation node to a broker engine (it
+// installs the engine's churn hook; detach with Close).
+func NewOverlayNode(eng *Broker, cfg OverlayConfig) *OverlayNode {
+	return overlay.New(eng, cfg)
+}
+
+// ConnectNodes links two in-process overlay nodes bidirectionally
+// through the wire codec.
+func ConnectNodes(a, b *OverlayNode) error { return overlay.Connect(a, b) }
 
 // BuildCommunities clusters a similarity matrix into an incrementally
 // maintainable CommunitySet (greedy seeding; representatives are the
