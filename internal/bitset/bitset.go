@@ -51,6 +51,47 @@ func (s *Set) check(i int) {
 	}
 }
 
+// Reset removes every element without changing the universe.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Grow extends the universe to at least n (keeping current members).
+// Shrinking is not supported; a smaller n is a no-op.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	s.n = n
+	if need := (n + 63) / 64; need > len(s.words) {
+		if need <= cap(s.words) {
+			s.words = s.words[:need]
+		} else {
+			w := make([]uint64, need)
+			copy(w, s.words)
+			s.words = w
+		}
+	}
+}
+
+// UnionWith adds every member of t to s in place. Panics if the
+// universes differ.
+func (s *Set) UnionWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// WordsLen returns the number of 64-bit words backing the set.
+func (s *Set) WordsLen() int { return len(s.words) }
+
+// Word returns the i-th backing word — read access for hot loops that
+// iterate set bits (e.g. of an intersection) without closure overhead.
+func (s *Set) Word(i int) uint64 { return s.words[i] }
+
 // Count returns the number of elements in the set.
 func (s *Set) Count() int {
 	c := 0

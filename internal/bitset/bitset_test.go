@@ -132,3 +132,45 @@ func TestPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestResetGrowUnion(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(9)
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset left members behind")
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Reset changed universe to %d", s.Len())
+	}
+
+	s.Add(9)
+	s.Grow(200)
+	if s.Len() != 200 {
+		t.Fatalf("Grow: Len = %d, want 200", s.Len())
+	}
+	if !s.Contains(9) {
+		t.Fatal("Grow dropped member 9")
+	}
+	s.Add(130)
+	s.Grow(50) // shrink is a no-op
+	if s.Len() != 200 || !s.Contains(130) {
+		t.Fatal("Grow(50) must be a no-op on a larger set")
+	}
+
+	t2 := New(200)
+	t2.Add(64)
+	s.UnionWith(t2)
+	for _, want := range []int{9, 64, 130} {
+		if !s.Contains(want) {
+			t.Errorf("union missing %d", want)
+		}
+	}
+	if s.Count() != 3 {
+		t.Errorf("union Count = %d, want 3", s.Count())
+	}
+	if s.WordsLen() != 4 || s.Word(1) != 1 {
+		t.Errorf("word access: len=%d word1=%d, want 4, 1 (bit 64)", s.WordsLen(), s.Word(1))
+	}
+}

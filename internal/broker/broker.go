@@ -44,6 +44,7 @@ import (
 
 	"treesim/internal/cluster"
 	"treesim/internal/core"
+	"treesim/internal/matching"
 	"treesim/internal/metrics"
 	"treesim/internal/pattern"
 	"treesim/internal/xmltree"
@@ -143,7 +144,9 @@ type subscriber struct {
 	id   uint64
 	pat  *pattern.Pattern
 	expr string
-	q    *queue
+	// fh is the subscription's handle in the shared matching forest.
+	fh int
+	q  *queue
 }
 
 // ingestItem is one unit of the publish→synopsis pipeline: a document
@@ -159,9 +162,14 @@ type Engine struct {
 	cfg Config
 	est *core.Estimator
 
-	mu     sync.RWMutex
-	subs   []*subscriber
-	byID   map[uint64]int
+	mu   sync.RWMutex
+	subs []*subscriber
+	byID map[uint64]int
+	// forest is the shared single-pass matching engine over every live
+	// subscription: one Match per publish decides all representatives
+	// and members at once. Mutated under mu (write); matched under mu
+	// (read) — exactly the forest's concurrency contract.
+	forest *matching.Forest
 	comms  *cluster.Communities
 	nextID uint64
 	stale  int // registry mutations since the last full rebuild
@@ -232,6 +240,7 @@ func New(cfg Config) *Engine {
 		cfg:    cfg,
 		est:    core.NewEstimator(cfg.Estimator),
 		byID:   make(map[uint64]int),
+		forest: matching.NewForest(),
 		comms:  &cluster.Communities{Threshold: cfg.Threshold},
 		ingest: make(chan ingestItem, cfg.IngestQueue),
 		lat:    newLatencyRing(cfg.LatencyWindow),
@@ -389,6 +398,7 @@ func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []fl
 		id:   id,
 		pat:  p,
 		expr: expr,
+		fh:   e.forest.Add(p),
 		q:    newQueue(e.cfg.QueueCapacity),
 	})
 	e.counters.subscribes.Add(1)
@@ -407,6 +417,7 @@ func (e *Engine) Unsubscribe(id uint64) bool {
 		return false
 	}
 	e.subs[idx].q.close()
+	e.forest.Remove(e.subs[idx].fh)
 	delete(e.byID, id)
 	e.comms.Remove(idx)
 	e.subs = append(e.subs[:idx], e.subs[idx+1:]...)
@@ -520,9 +531,14 @@ func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
 	// accepted into the synopsis; it simply routes to nobody (every
 	// queue is closed), keeping Published == documents ingested.
 	if !e.closed {
+		// One single-pass forest match decides every subscription —
+		// representatives for the community routing decision, members
+		// for the precision sample — instead of one pattern.Matches
+		// memo per (document, pattern) pair.
+		ms := e.forest.Match(t)
 		for g, rep := range e.comms.Reps {
 			e.counters.filterEvals.Add(1)
-			if !pattern.Matches(t, e.subs[rep].pat) {
+			if !ms.Has(e.subs[rep].fh) {
 				continue
 			}
 			res.Matched++
@@ -542,12 +558,13 @@ func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
 				n := e.counters.delivered.Add(1)
 				if sample > 0 && n%uint64(sample) == 0 {
 					e.counters.sampled.Add(1)
-					if pattern.Matches(t, s.pat) {
+					if ms.Has(s.fh) {
 						e.counters.sampledHits.Add(1)
 					}
 				}
 			}
 		}
+		ms.Release()
 	}
 	e.counters.published.Add(1)
 	if remote {

@@ -1,0 +1,83 @@
+// Package intern provides a label symbol table: a dense mapping from
+// tag strings to uint32 ids, so the matching hot paths compare and set
+// integers (bitset positions) instead of hashing strings.
+//
+// The table is asymmetric by design. Pattern labels are interned with
+// ID — the vocabulary is bounded by the historically-seen subscription
+// labels (ids are dense and never reclaimed) — while document labels
+// are resolved with the read-only Lookup: a document label absent from
+// the table cannot equal any pattern tag, so it maps to NoSym and the
+// table never grows with document traffic (which may promote unbounded
+// text values to labels).
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// NoSym is the id of labels not present in the table. Real symbols
+// start at 1, so NoSym never collides with an interned label.
+const NoSym uint32 = 0
+
+// Table maps label strings to dense symbol ids. Lookup is lock-free
+// (an atomic snapshot of an immutable map) and safe for any number of
+// concurrent readers; ID and concurrent ID calls synchronize
+// internally, so the table as a whole is safe for concurrent use.
+type Table struct {
+	mu     sync.Mutex
+	labels []string // labels[id-1] = label; guarded by mu
+	snap   atomic.Pointer[map[string]uint32]
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	t := &Table{}
+	m := make(map[string]uint32)
+	t.snap.Store(&m)
+	return t
+}
+
+// ID returns the symbol for label, interning it if new. Ids are dense
+// and start at 1.
+func (t *Table) ID(label string) uint32 {
+	if id, ok := (*t.snap.Load())[label]; ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.snap.Load()
+	if id, ok := old[label]; ok {
+		return id
+	}
+	t.labels = append(t.labels, label)
+	id := uint32(len(t.labels))
+	// Copy-on-write keeps Lookup lock-free: readers always see a
+	// complete, immutable map.
+	next := make(map[string]uint32, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[label] = id
+	t.snap.Store(&next)
+	return id
+}
+
+// Lookup returns the symbol for label, or NoSym if it was never
+// interned. It never grows the table.
+func (t *Table) Lookup(label string) uint32 {
+	return (*t.snap.Load())[label]
+}
+
+// Len returns the number of interned symbols. Valid ids are 1..Len().
+func (t *Table) Len() int {
+	return len(*t.snap.Load())
+}
+
+// Label returns the string for a symbol id (the inverse of ID). It
+// panics on NoSym or an id that was never assigned.
+func (t *Table) Label(id uint32) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.labels[id-1]
+}

@@ -1,0 +1,76 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestIDAndLookup(t *testing.T) {
+	tbl := NewTable()
+	a := tbl.ID("a")
+	b := tbl.ID("b")
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d,%d, want dense from 1", a, b)
+	}
+	if got := tbl.ID("a"); got != a {
+		t.Errorf("re-intern a = %d, want %d", got, a)
+	}
+	if got := tbl.Lookup("b"); got != b {
+		t.Errorf("Lookup b = %d, want %d", got, b)
+	}
+	if got := tbl.Lookup("never"); got != NoSym {
+		t.Errorf("Lookup unseen = %d, want NoSym", got)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tbl.Len())
+	}
+	if tbl.Label(a) != "a" || tbl.Label(b) != "b" {
+		t.Errorf("Label round trip failed")
+	}
+}
+
+func TestLookupDoesNotGrow(t *testing.T) {
+	tbl := NewTable()
+	tbl.ID("x")
+	for i := 0; i < 100; i++ {
+		tbl.Lookup(fmt.Sprintf("doc-label-%d", i))
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d after Lookups, want 1", tbl.Len())
+	}
+}
+
+// TestConcurrent hammers ID and Lookup from many goroutines; run with
+// -race to verify the copy-on-write discipline.
+func TestConcurrent(t *testing.T) {
+	tbl := NewTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				lbl := fmt.Sprintf("l%d", i%50)
+				id := tbl.ID(lbl)
+				if got := tbl.Lookup(lbl); got != id {
+					t.Errorf("Lookup(%q) = %d, want %d", lbl, got, id)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tbl.Len() != 50 {
+		t.Errorf("Len = %d, want 50", tbl.Len())
+	}
+	// Every label must have a unique id.
+	seen := make(map[uint32]bool)
+	for i := 0; i < 50; i++ {
+		id := tbl.Lookup(fmt.Sprintf("l%d", i))
+		if id == NoSym || seen[id] {
+			t.Fatalf("id %d for l%d duplicated or missing", id, i)
+		}
+		seen[id] = true
+	}
+}

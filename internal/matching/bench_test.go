@@ -1,0 +1,110 @@
+package matching
+
+import (
+	"fmt"
+	"testing"
+
+	"treesim/internal/dtd"
+	"treesim/internal/pattern"
+	"treesim/internal/querygen"
+	"treesim/internal/xmlgen"
+	"treesim/internal/xmltree"
+)
+
+// benchWorkload builds a paper-style workload: NITF-like documents and
+// generated tree-pattern subscriptions.
+func benchWorkload(nDocs, nSubs int) ([]*xmltree.Tree, []*pattern.Pattern) {
+	d := dtd.NITFLike()
+	docs := xmlgen.New(d, xmlgen.Calibrate(d, 100, 41)).GenerateN(nDocs)
+	subs := querygen.New(d, querygen.Defaults(43)).GenerateDistinct(nSubs)
+	return docs, subs
+}
+
+var benchSubTiers = []int{64, 1024, 8192}
+
+// BenchmarkEngineMatch measures the single-pass forest engine: one
+// document against the whole registered pattern set, reporting the
+// matches decided per operation.
+func BenchmarkEngineMatch(b *testing.B) {
+	for _, n := range benchSubTiers {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			docs, subs := benchWorkload(64, n)
+			f := NewForest()
+			hs := make([]int, len(subs))
+			for i, p := range subs {
+				hs[i] = f.Add(p)
+			}
+			b.ReportMetric(float64(f.NodeCount()), "forestnodes")
+			var matched uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ms := f.Match(docs[i%len(docs)])
+				matched += uint64(ms.Count())
+				ms.Release()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(matched)/float64(b.N), "matches/op")
+		})
+	}
+}
+
+// BenchmarkEngineMatchOracle is the pre-forest baseline at the same
+// tiers: one pattern.Matches memo per (document, pattern) pair.
+func BenchmarkEngineMatchOracle(b *testing.B) {
+	for _, n := range benchSubTiers {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			docs, subs := benchWorkload(64, n)
+			var matched uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := docs[i%len(docs)]
+				for _, p := range subs {
+					if pattern.Matches(d, p) {
+						matched++
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(matched)/float64(b.N), "matches/op")
+		})
+	}
+}
+
+// BenchmarkPrefilterEngine measures the candidate-pruning Engine
+// (required-tag prefilter + exact matcher) on the same workload.
+func BenchmarkPrefilterEngine(b *testing.B) {
+	docs, subs := benchWorkload(64, 1024)
+	eng := NewEngine(subs)
+	for _, d := range docs {
+		eng.Match(d) // warm the corpus statistics
+	}
+	eng.Rebucket()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.Match(docs[i%len(docs)])
+	}
+	b.StopTimer()
+	docsN, cands, _ := eng.Stats()
+	b.ReportMetric(float64(cands)/float64(docsN), "candidates/doc")
+}
+
+// BenchmarkForestChurn measures incremental Add/Remove on a populated
+// forest (the broker's subscribe/unsubscribe path).
+func BenchmarkForestChurn(b *testing.B) {
+	_, subs := benchWorkload(1, 1024)
+	f := NewForest()
+	hs := make([]int, 0, len(subs))
+	for _, p := range subs[:512] {
+		hs = append(hs, f.Add(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs = append(hs, f.Add(subs[512+i%512]))
+		f.Remove(hs[0])
+		hs = hs[1:]
+	}
+}

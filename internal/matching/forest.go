@@ -1,0 +1,575 @@
+package matching
+
+import (
+	"math/bits"
+	"strconv"
+	"sync"
+
+	"treesim/internal/bitset"
+	"treesim/internal/intern"
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+// Forest is a shared single-pass multi-pattern matching engine: every
+// registered pattern is merged into one hash-consed forest (a DAG with
+// common-subtree sharing, in the spirit of the XFilter/YFilter/XTrie
+// engines the paper cites), and one bottom-up post-order traversal of a
+// document decides ALL patterns simultaneously. Per-document-node work
+// is a handful of word-parallel bitset operations over the forest's
+// node universe plus sparse iteration over the bits that actually
+// fired, with all scratch pooled — the steady-state match path
+// allocates nothing.
+//
+// Semantics are exactly pattern.Matches (the reference oracle, enforced
+// by differential fuzzing). Patterns that fail pattern.Validate — only
+// constructible by hand, never by pattern.Parse — are routed through
+// the oracle per document instead of being compiled, so Add never
+// rejects.
+//
+// For each document node t (children first), the traversal maintains
+// two bitsets over forest nodes:
+//
+//	NS(t): v is "node-satisfied" at t — t's label is admissible for v
+//	       and every child constraint of v holds relative to t.
+//	SAT(t): v "holds relative to context t" — the paper's sat(t,v):
+//	       for tag/"*" nodes, some child of t is node-satisfied; for
+//	       "//" nodes, some descendant-or-self of t satisfies the
+//	       operator's child constraint.
+//
+// Both are computed from the children's vectors with unions; nodes
+// with child constraints are found through inverse first-kid indexes
+// (only constraints whose kids fired are examined), leaf constraints
+// through precomputed per-label bitsets. A pattern matches iff all its
+// root children's bits are set in the root's vectors ("//" root
+// children re-root and use a separate node kind, kindRootDesc).
+//
+// Concurrency: Match may run concurrently with Match (scratch is
+// pooled per call); Add and Remove require external exclusion against
+// both each other and Match — the callers (broker registry lock,
+// overlay link-forest lock) already hold exactly that.
+type Forest struct {
+	tbl *intern.Table
+
+	nodes   []forestNode
+	freeIDs []uint32
+	index   map[string]uint32 // canonical key -> node id (hash-consing)
+
+	// Match-path indexes, maintained by compile/release. Masks share
+	// the node-id universe (grown under Add's exclusivity, never from
+	// Match, which runs concurrently with itself):
+	//
+	//	leafTag[sym]: kindTag nodes with that label and no kids —
+	//	              node-satisfied by label alone.
+	//	wildLeaf:     kindWild nodes with no kids — satisfied anywhere.
+	//	byFirstKid:   tag/wild nodes with kids, indexed by their lowest
+	//	              kid id; consulted only when that kid's bit fires.
+	//	byDescKid / descMask: kindDesc nodes by kid / by own id.
+	//	byRdKid / rdMask: kindRootDesc nodes by kid / by own id.
+	leafTag      map[uint32]*bitset.Set
+	wildLeaf     *bitset.Set
+	byFirstKid   map[uint32][]uint32
+	firstKidMask *bitset.Set
+	byDescKid    map[uint32][]uint32
+	descKidMask  *bitset.Set
+	descMask     *bitset.Set
+	byRdKid      map[uint32][]uint32
+	rdKidMask    *bitset.Set
+	rdMask       *bitset.Set
+
+	pats     []patEntry
+	freePats []int
+	grownTo  int // universe size the masks were last grown to
+
+	frames  sync.Pool // *frameStack
+	msPool  sync.Pool // *MatchSet
+	docPool sync.Pool // *xmltree.Flat
+	keyBuf  []byte
+}
+
+type nodeKind uint8
+
+const (
+	kindTag      nodeKind = iota // concrete tag: label match + child constraints
+	kindWild                     // "*": any label + child constraints
+	kindDesc                     // "//" as an inner constraint (sat semantics)
+	kindRootDesc                 // "//" as a root child (re-rooting semantics)
+)
+
+// forestNode is one hash-consed pattern node. kids are forest ids of
+// the child constraints, sorted ascending; desc kinds always have
+// exactly one kid (pattern.Validate guarantees it for compiled
+// patterns).
+type forestNode struct {
+	kind nodeKind
+	sym  uint32 // interned tag for kindTag
+	kids []uint32
+	refs int32
+	key  string
+}
+
+// patEntry is one registered pattern: the forest ids of its root
+// children, or the oracle fallback for non-validating patterns.
+type patEntry struct {
+	live     bool
+	isOracle bool
+	rootKids []uint32
+	oracle   *pattern.Pattern // may be nil even on the oracle path (nil pattern)
+}
+
+// NewForest returns an empty forest.
+func NewForest() *Forest {
+	return &Forest{
+		tbl:          intern.NewTable(),
+		index:        make(map[string]uint32),
+		leafTag:      make(map[uint32]*bitset.Set),
+		wildLeaf:     bitset.New(0),
+		byFirstKid:   make(map[uint32][]uint32),
+		firstKidMask: bitset.New(0),
+		byDescKid:    make(map[uint32][]uint32),
+		descKidMask:  bitset.New(0),
+		descMask:     bitset.New(0),
+		byRdKid:      make(map[uint32][]uint32),
+		rdKidMask:    bitset.New(0),
+		rdMask:       bitset.New(0),
+	}
+}
+
+// Add registers a pattern and returns its handle (dense, reused after
+// Remove). The pattern is shared, not copied: it must not be mutated
+// while registered.
+func (f *Forest) Add(p *pattern.Pattern) int {
+	var h int
+	if n := len(f.freePats); n > 0 {
+		h = f.freePats[n-1]
+		f.freePats = f.freePats[:n-1]
+	} else {
+		f.pats = append(f.pats, patEntry{})
+		h = len(f.pats) - 1
+	}
+	e := &f.pats[h]
+	e.live = true
+	if p == nil || p.Root == nil || p.Validate() != nil {
+		e.isOracle = true
+		e.oracle = p
+		return h
+	}
+	e.rootKids = make([]uint32, len(p.Root.Children))
+	for i, c := range p.Root.Children {
+		e.rootKids[i] = f.compile(c, true)
+	}
+	return h
+}
+
+// Remove unregisters a handle, releasing its forest nodes. Removing a
+// dead handle is a no-op.
+func (f *Forest) Remove(h int) {
+	if h < 0 || h >= len(f.pats) || !f.pats[h].live {
+		return
+	}
+	e := &f.pats[h]
+	for _, id := range e.rootKids {
+		f.release(id)
+	}
+	*e = patEntry{}
+	f.freePats = append(f.freePats, h)
+}
+
+// Live returns the number of registered patterns.
+func (f *Forest) Live() int { return len(f.pats) - len(f.freePats) }
+
+// NodeCount returns the number of live forest nodes — with sharing,
+// typically well below the summed pattern sizes.
+func (f *Forest) NodeCount() int { return len(f.nodes) - len(f.freeIDs) }
+
+// compile hash-conses one pattern subtree into the forest, returning
+// its node id with an incremented reference count. root selects the
+// re-rooting semantics for "//" children of the pattern root.
+func (f *Forest) compile(v *pattern.Node, root bool) uint32 {
+	kind, sym := kindTag, uint32(0)
+	switch v.Label {
+	case pattern.Descendant:
+		kind = kindDesc
+		if root {
+			kind = kindRootDesc
+		}
+	case pattern.Wildcard:
+		kind = kindWild
+	default:
+		sym = f.tbl.ID(v.Label)
+	}
+	kids := make([]uint32, len(v.Children))
+	for i, c := range v.Children {
+		// Below the root every "//" uses sat semantics, including the
+		// child of a root "//" (it becomes a plain root constraint).
+		kids[i] = f.compile(c, false)
+	}
+	// Canonical key: kind, sym, sorted kid ids. Hash-consed children
+	// make structurally equal subtrees share one id, so sorting the id
+	// list canonicalizes the unordered child set.
+	insertionSortU32(kids)
+	b := f.keyBuf[:0]
+	b = strconv.AppendUint(b, uint64(kind), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(sym), 10)
+	for _, k := range kids {
+		b = append(b, ',')
+		b = strconv.AppendUint(b, uint64(k), 10)
+	}
+	f.keyBuf = b
+	key := string(b)
+	if id, ok := f.index[key]; ok {
+		// Sharing an existing node: the fresh kid references are
+		// already counted in it, so give them back.
+		for _, k := range kids {
+			f.release(k)
+		}
+		f.nodes[id].refs++
+		return id
+	}
+	var id uint32
+	if n := len(f.freeIDs); n > 0 {
+		id = f.freeIDs[n-1]
+		f.freeIDs = f.freeIDs[:n-1]
+	} else {
+		f.nodes = append(f.nodes, forestNode{})
+		id = uint32(len(f.nodes) - 1)
+	}
+	f.nodes[id] = forestNode{kind: kind, sym: sym, kids: kids, refs: 1, key: key}
+	f.index[key] = id
+	f.growUniverse()
+	f.register(id)
+	return id
+}
+
+// growUniverse extends every mask to the current node-id universe.
+// Only called under Add's exclusivity: Match runs concurrently with
+// Match and must never observe a mask mid-grow. Freed-id reuse keeps
+// the universe stable, so the common churn case returns immediately.
+func (f *Forest) growUniverse() {
+	n := len(f.nodes)
+	if n == f.grownTo {
+		return
+	}
+	f.grownTo = n
+	f.wildLeaf.Grow(n)
+	f.firstKidMask.Grow(n)
+	f.descKidMask.Grow(n)
+	f.descMask.Grow(n)
+	f.rdKidMask.Grow(n)
+	f.rdMask.Grow(n)
+	for _, s := range f.leafTag {
+		s.Grow(n)
+	}
+}
+
+// register enters a fresh node into the match-path indexes.
+func (f *Forest) register(id uint32) {
+	n := &f.nodes[id]
+	switch n.kind {
+	case kindTag, kindWild:
+		if len(n.kids) == 0 {
+			if n.kind == kindWild {
+				f.wildLeaf.Add(int(id))
+				return
+			}
+			lt := f.leafTag[n.sym]
+			if lt == nil {
+				lt = bitset.New(len(f.nodes))
+				f.leafTag[n.sym] = lt
+			}
+			lt.Add(int(id))
+			return
+		}
+		addKidIndex(f.byFirstKid, f.firstKidMask, n.kids[0], id)
+	case kindDesc:
+		f.descMask.Add(int(id))
+		addKidIndex(f.byDescKid, f.descKidMask, n.kids[0], id)
+	case kindRootDesc:
+		f.rdMask.Add(int(id))
+		addKidIndex(f.byRdKid, f.rdKidMask, n.kids[0], id)
+	}
+}
+
+// unregister removes a dying node from the match-path indexes.
+func (f *Forest) unregister(id uint32) {
+	n := &f.nodes[id]
+	switch n.kind {
+	case kindTag, kindWild:
+		if len(n.kids) == 0 {
+			if n.kind == kindWild {
+				f.wildLeaf.Remove(int(id))
+			} else if lt := f.leafTag[n.sym]; lt != nil {
+				lt.Remove(int(id))
+				// Drop emptied label sets: growUniverse touches every
+				// retained set, so dead vocabulary must not accumulate
+				// in a long-lived forest under churn (register
+				// re-creates the set on demand).
+				if lt.Count() == 0 {
+					delete(f.leafTag, n.sym)
+				}
+			}
+			return
+		}
+		dropKidIndex(f.byFirstKid, f.firstKidMask, n.kids[0], id)
+	case kindDesc:
+		f.descMask.Remove(int(id))
+		dropKidIndex(f.byDescKid, f.descKidMask, n.kids[0], id)
+	case kindRootDesc:
+		f.rdMask.Remove(int(id))
+		dropKidIndex(f.byRdKid, f.rdKidMask, n.kids[0], id)
+	}
+}
+
+func addKidIndex(m map[uint32][]uint32, mask *bitset.Set, kid, id uint32) {
+	m[kid] = append(m[kid], id)
+	mask.Add(int(kid))
+}
+
+func dropKidIndex(m map[uint32][]uint32, mask *bitset.Set, kid, id uint32) {
+	l := removeU32(m[kid], id)
+	if len(l) == 0 {
+		delete(m, kid)
+		mask.Remove(int(kid))
+		return
+	}
+	m[kid] = l
+}
+
+// release drops one reference to a node, freeing it (and its subtree
+// references) when the count reaches zero.
+func (f *Forest) release(id uint32) {
+	n := &f.nodes[id]
+	n.refs--
+	if n.refs > 0 {
+		return
+	}
+	delete(f.index, n.key)
+	f.unregister(id)
+	kids := n.kids
+	*n = forestNode{}
+	for _, k := range kids {
+		f.release(k)
+	}
+	f.freeIDs = append(f.freeIDs, id)
+}
+
+// MatchSet is the result of one Forest.Match: a bit per pattern
+// handle. Release returns it to the forest's pool; do not use it
+// afterwards.
+type MatchSet struct {
+	f    *Forest
+	bits *bitset.Set
+}
+
+// Has reports whether the pattern with the given handle matched.
+func (m *MatchSet) Has(h int) bool { return h < m.bits.Len() && m.bits.Contains(h) }
+
+// Count returns the number of matched patterns.
+func (m *MatchSet) Count() int { return m.bits.Count() }
+
+// Release recycles the set. The caller must not use m afterwards.
+func (m *MatchSet) Release() { m.f.msPool.Put(m) }
+
+// frameStack is the pooled per-Match scratch: one slot per document
+// depth, each holding the child accumulators (ns, sat) plus the
+// node-satisfaction scratch vector for that depth.
+type frameStack struct {
+	slots []frameSlot
+}
+
+type frameSlot struct {
+	ns, sat, nsOut *bitset.Set
+}
+
+// Match evaluates the document against every registered pattern in one
+// post-order traversal and returns the set of matching handles.
+func (f *Forest) Match(t *xmltree.Tree) *MatchSet {
+	ms, _ := f.msPool.Get().(*MatchSet)
+	if ms == nil {
+		ms = &MatchSet{f: f, bits: bitset.New(0)}
+	}
+	ms.bits.Grow(len(f.pats))
+	ms.bits.Reset()
+	if t == nil || t.Root == nil {
+		// The empty document matches nothing, including the empty
+		// pattern (oracle semantics).
+		return ms
+	}
+	doc, _ := f.docPool.Get().(*xmltree.Flat)
+	if doc == nil {
+		doc = &xmltree.Flat{}
+	}
+	doc.Load(t, f.tbl)
+
+	fr, _ := f.frames.Get().(*frameStack)
+	if fr == nil {
+		fr = &frameStack{}
+	}
+	universe := len(f.nodes)
+	for len(fr.slots) < doc.MaxDepth+2 {
+		fr.slots = append(fr.slots, frameSlot{ns: bitset.New(0), sat: bitset.New(0), nsOut: bitset.New(0)})
+	}
+	for i := range fr.slots {
+		s := &fr.slots[i]
+		s.ns.Grow(universe)
+		s.sat.Grow(universe)
+		s.nsOut.Grow(universe)
+	}
+
+	root := &fr.slots[0]
+	root.ns.Reset()
+	root.sat.Reset()
+	f.eval(doc, fr, 0, 0)
+	rootNS, rootSAT := root.ns, root.sat
+
+	for h := range f.pats {
+		e := &f.pats[h]
+		if !e.live {
+			continue
+		}
+		if e.isOracle {
+			if oracleMatches(t, e.oracle) {
+				ms.bits.Add(h)
+			}
+			continue
+		}
+		ok := true
+		for _, id := range e.rootKids {
+			bits := rootNS
+			if f.nodes[id].kind == kindRootDesc {
+				bits = rootSAT
+			}
+			if !bits.Contains(int(id)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ms.bits.Add(h)
+		}
+	}
+	f.frames.Put(fr)
+	f.docPool.Put(doc)
+	return ms
+}
+
+// eval computes NS and SAT for document node i (at depth d) and ORs
+// them into the parent's accumulators at fr.slots[d].
+func (f *Forest) eval(doc *xmltree.Flat, fr *frameStack, i int32, d int) {
+	child := &fr.slots[d+1]
+	child.ns.Reset()
+	child.sat.Reset()
+	s, c := doc.ChildStart[i], doc.ChildCount[i]
+	for k := s; k < s+c; k++ {
+		f.eval(doc, fr, k, d+1)
+	}
+
+	// SAT(i), built in place over the children's NS union: a tag/"*"
+	// node holds at context i iff some child is node-satisfied. Then
+	// "//" nodes: v holds iff its child constraint is satisfiable at
+	// some descendant-or-self — the kid's bit here (self, via the
+	// inverse kid index) or v's own bit at some child (descendants,
+	// via the children's SAT union). Sparse iteration: only fired bits
+	// are visited, and bits added mid-iteration are "//" ids, which
+	// never occur in the kid masks.
+	S := child.ns
+	forEachAnd(S, f.descKidMask, func(k uint32) {
+		for _, v := range f.byDescKid[k] {
+			S.Add(int(v))
+		}
+	})
+	forEachAnd(child.sat, f.descMask, func(v uint32) {
+		S.Add(int(v))
+	})
+
+	// NS(i): leaf constraints come from the precomputed label/wildcard
+	// bitsets; constraints with kids are examined only when their
+	// lowest kid fired, then label and remaining kids are checked.
+	N := fr.slots[d].nsOut
+	N.Reset()
+	N.UnionWith(f.wildLeaf)
+	sym := doc.Syms[i]
+	if sym != intern.NoSym {
+		if lt := f.leafTag[sym]; lt != nil {
+			N.UnionWith(lt)
+		}
+	}
+	forEachAnd(S, f.firstKidMask, func(k uint32) {
+		for _, v := range f.byFirstKid[k] {
+			n := &f.nodes[v]
+			if (n.kind == kindWild || n.sym == sym) && f.kidsIn(v, S) {
+				N.Add(int(v))
+			}
+		}
+	})
+
+	// Root "//" re-roots at some descendant-or-self: node-satisfaction
+	// of its kid here, or the bit already raised somewhere below.
+	forEachAnd(N, f.rdKidMask, func(k uint32) {
+		for _, v := range f.byRdKid[k] {
+			S.Add(int(v))
+		}
+	})
+	forEachAnd(child.sat, f.rdMask, func(v uint32) {
+		S.Add(int(v))
+	})
+
+	fr.slots[d].ns.UnionWith(N)
+	fr.slots[d].sat.UnionWith(S)
+}
+
+// forEachAnd calls fn for every member of a ∩ mask. fn must not add
+// members that are themselves in mask (callers add "//" ids, which the
+// kid masks never contain).
+func forEachAnd(a, mask *bitset.Set, fn func(uint32)) {
+	for wi, n := 0, mask.WordsLen(); wi < n; wi++ {
+		w := a.Word(wi) & mask.Word(wi)
+		for w != 0 {
+			fn(uint32(wi*64 + bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// oracleMatches evaluates an oracle-path (non-validating) pattern,
+// mapping an oracle panic to no-match: pattern.Matches mirrors the
+// paper's semantics and panics on shapes like a childless "//"
+// operator, but a broker must not crash its publish path because a
+// caller hand-built a malformed subscription.
+func oracleMatches(t *xmltree.Tree, p *pattern.Pattern) (res bool) {
+	defer func() {
+		if recover() != nil {
+			res = false
+		}
+	}()
+	return pattern.Matches(t, p)
+}
+
+// kidsIn reports whether every child constraint of forest node v is in S.
+func (f *Forest) kidsIn(v uint32, S *bitset.Set) bool {
+	for _, k := range f.nodes[v].kids {
+		if !S.Contains(int(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+func insertionSortU32(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func removeU32(a []uint32, x uint32) []uint32 {
+	for i, v := range a {
+		if v == x {
+			a[i] = a[len(a)-1]
+			return a[:len(a)-1]
+		}
+	}
+	return a
+}

@@ -1,0 +1,100 @@
+package matching
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+// FuzzEngineVsMatches differentially tests the single-pass forest
+// engine (and the prefiltering Engine) against the pattern.Matches
+// oracle: a random document in compact form and a newline-separated
+// pattern set must produce identical match sets through every path,
+// including after removal/re-add churn (exercising the forest's
+// hash-cons reference counting).
+func FuzzEngineVsMatches(f *testing.F) {
+	seeds := [][2]string{
+		{"a(b,c)", "/a/b\n//c\n/a[b][c]\n/x\n/*"},
+		// Root-"//" binds the document root itself; "/." is the empty
+		// pattern (matches every non-empty document).
+		{"a", "//a\n/.\n/*\n/.[//a]"},
+		// Operator-colliding document labels: nodes literally labeled
+		// "*" and "//" meet wildcards (match) and tags (never match).
+		{"a(*,//)", "/a/*\n/a[//b]\n/.[//a]\n//*"},
+		{"r(x(y(z)),w)", "//x//z\n/r[//z][w]\n/r/*/y\n/.[//y][//w]\n//w/*"},
+		{"a(b(c),b(d))", "/a//c\n/a/b[c][d]\n//b[c]\n//b/d"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, docStr, patsStr string) {
+		doc, err := xmltree.ParseCompact(docStr)
+		if err != nil || doc.Size() > 300 {
+			t.Skip()
+		}
+		var pats []*pattern.Pattern
+		for _, ln := range strings.Split(patsStr, "\n") {
+			p, err := pattern.Parse(ln)
+			if err != nil || p.Size() > 30 {
+				continue
+			}
+			pats = append(pats, p)
+			if len(pats) == 24 {
+				break
+			}
+		}
+		if len(pats) == 0 {
+			t.Skip()
+		}
+
+		want := make([]bool, len(pats))
+		for i, p := range pats {
+			want[i] = pattern.Matches(doc, p)
+		}
+
+		forest := NewForest()
+		hs := make([]int, len(pats))
+		for i, p := range pats {
+			hs[i] = forest.Add(p)
+		}
+		check := func(stage string) {
+			ms := forest.Match(doc)
+			defer ms.Release()
+			for i := range pats {
+				if hs[i] < 0 {
+					continue
+				}
+				if got := ms.Has(hs[i]); got != want[i] {
+					t.Fatalf("%s: doc %q pattern %q: forest = %v, oracle = %v",
+						stage, docStr, pats[i], got, want[i])
+				}
+			}
+		}
+		check("initial")
+		for i := 1; i < len(pats); i += 2 {
+			forest.Remove(hs[i])
+			hs[i] = -1
+		}
+		check("after churn")
+		for i := 1; i < len(pats); i += 2 {
+			hs[i] = forest.Add(pats[i])
+		}
+		check("after re-add")
+
+		// The prefiltering Engine must agree with the oracle too.
+		eng := NewEngine(pats)
+		got := eng.Match(doc)
+		var oracle []int
+		for i, w := range want {
+			if w {
+				oracle = append(oracle, i)
+			}
+		}
+		if !reflect.DeepEqual(got, oracle) {
+			t.Fatalf("doc %q: Engine.Match = %v, oracle = %v", docStr, got, oracle)
+		}
+	})
+}

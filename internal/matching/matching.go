@@ -1,28 +1,65 @@
-// Package matching is the multi-subscription XML filtering engine the
+// Package matching is the multi-subscription XML filtering layer the
 // routing substrate uses: it matches each incoming document against a
-// large set of tree-pattern subscriptions. A required-tag prefilter
-// (every concrete tag in a pattern must occur in a matching document)
-// narrows the candidate set before the exact matcher runs, in the spirit
-// of the filtering engines the paper cites (XFilter/YFilter/XTrie).
+// large set of tree-pattern subscriptions.
+//
+// Two engines live here. Forest (forest.go) is the hot-path engine: a
+// shared hash-consed pattern forest evaluated in one post-order
+// document traversal, deciding every pattern simultaneously with
+// bitset operations — the broker's publish path and the overlay's
+// per-link forwarding decisions run on it. Engine (below) is the
+// candidate-pruning engine for batch workloads: a required-tag
+// prefilter (every concrete tag in a pattern must occur in a matching
+// document) narrows the candidate set before the exact matcher runs,
+// in the spirit of the filtering engines the paper cites
+// (XFilter/YFilter/XTrie).
 package matching
 
 import (
+	"treesim/internal/bitset"
+	"treesim/internal/intern"
 	"treesim/internal/pattern"
 	"treesim/internal/xmltree"
 )
 
-// Engine filters documents against a registered subscription set.
+// Engine filters documents against a registered subscription set with
+// a required-tag prefilter ahead of the exact matcher. Tag sets are
+// interned-label bitsets, so the per-document work is integer ops over
+// pooled buffers rather than string-map churn.
+//
+// An Engine is not safe for concurrent use (its statistics and scratch
+// buffers are unguarded); wrap it or use one per goroutine. The hot
+// concurrent paths use Forest instead.
 type Engine struct {
 	patterns []*pattern.Pattern
-	// required holds each pattern's concrete tag set.
-	required [][]string
-	// byTag buckets pattern indices by one designated required tag (the
-	// lexicographically greatest, an arbitrary deterministic choice);
+	// required holds each pattern's concrete tag set as interned syms,
+	// sorted by label string.
+	required [][]uint32
+	// byTag buckets pattern indices by one designated required tag;
 	// patterns with no concrete tags are always candidates.
-	byTag      map[string][]int
+	byTag      map[uint32][]int
 	unfiltered []int
 
-	// statCandidates / statMatched track prefilter effectiveness.
+	// tbl interns the subscription vocabulary; document labels are
+	// resolved read-only, so the table is bounded by the pattern set.
+	tbl *intern.Table
+	// docFreq[sym] counts documents (seen by Match) containing the tag
+	// — the corpus statistics behind rarest-tag bucketing.
+	docFreq []uint64
+
+	// present / presentSyms are the reusable per-document tag set: the
+	// bitset answers membership, the slice drives iteration and makes
+	// clearing O(|distinct tags|) instead of O(universe).
+	present     *bitset.Set
+	presentSyms []uint32
+	out         []int
+	// fm shares one document flattening across all surviving
+	// candidates of a Match call.
+	fm pattern.FlatMatcher
+
+	// statProbes / statCandidates / statMatched track prefilter
+	// effectiveness: bucket consultations, exact-match candidate
+	// evaluations, and successful matches.
+	statProbes     int
 	statCandidates int
 	statMatched    int
 	statDocs       int
@@ -31,7 +68,11 @@ type Engine struct {
 // NewEngine returns an engine over the given subscriptions (the slice is
 // not retained; patterns are).
 func NewEngine(patterns []*pattern.Pattern) *Engine {
-	e := &Engine{byTag: make(map[string][]int)}
+	e := &Engine{
+		byTag:   make(map[uint32][]int),
+		tbl:     intern.NewTable(),
+		present: bitset.New(0),
+	}
 	for _, p := range patterns {
 		e.Add(p)
 	}
@@ -39,21 +80,79 @@ func NewEngine(patterns []*pattern.Pattern) *Engine {
 }
 
 // Add registers a subscription and returns its index.
+//
+// The pattern is bucketed under its corpus-rarest required tag: the
+// engine counts, per tag, how many matched documents contained it
+// (Match feeds the counts), and picks the required tag with the lowest
+// document frequency — the bucket that is consulted least often. With
+// no corpus statistics yet (a cold engine, or all-unseen tags) the tie
+// falls to the lexicographically greatest tag, the deterministic
+// stand-in rule used before statistics exist.
 func (e *Engine) Add(p *pattern.Pattern) int {
 	idx := len(e.patterns)
 	e.patterns = append(e.patterns, p)
 	tags := requiredTags(p)
-	e.required = append(e.required, tags)
-	if len(tags) == 0 {
+	syms := make([]uint32, len(tags))
+	for i, tag := range tags {
+		syms[i] = e.tbl.ID(tag)
+	}
+	e.required = append(e.required, syms)
+	e.growUniverse()
+	if len(syms) == 0 {
 		e.unfiltered = append(e.unfiltered, idx)
 	} else {
-		// tags is sorted; bucket by the last (rarest tags tend to be
-		// deep/specific, and "greatest" is a deterministic stand-in
-		// without corpus statistics).
-		key := tags[len(tags)-1]
+		key := e.bucketSym(syms)
 		e.byTag[key] = append(e.byTag[key], idx)
 	}
 	return idx
+}
+
+// bucketSym picks the designated bucket tag for a pattern: lowest
+// document frequency first, greatest label as the (cold-start)
+// tie-break — syms parallels a label-sorted tag list, so scanning from
+// the end prefers the greatest among equals.
+func (e *Engine) bucketSym(syms []uint32) uint32 {
+	best := syms[len(syms)-1]
+	bestFreq := e.freq(best)
+	for i := len(syms) - 2; i >= 0; i-- {
+		if f := e.freq(syms[i]); f < bestFreq {
+			best, bestFreq = syms[i], f
+		}
+	}
+	return best
+}
+
+func (e *Engine) freq(sym uint32) uint64 {
+	if int(sym) >= len(e.docFreq) {
+		return 0
+	}
+	return e.docFreq[sym]
+}
+
+// growUniverse resizes the per-sym structures to the intern table.
+func (e *Engine) growUniverse() {
+	n := e.tbl.Len() + 1 // syms are 1-based
+	for len(e.docFreq) < n {
+		e.docFreq = append(e.docFreq, 0)
+	}
+	e.present.Grow(n)
+}
+
+// Rebucket re-derives every pattern's bucket tag from the current
+// corpus statistics. Frequencies only accumulate for tags in the
+// subscription vocabulary, so patterns added before the corpus was
+// observed (or before their tags were interned by any subscription)
+// sit in cold-start buckets; calling Rebucket after a warm-up pass
+// moves them under their corpus-rarest tag.
+func (e *Engine) Rebucket() {
+	clear(e.byTag)
+	for idx, syms := range e.required {
+		if len(syms) == 0 {
+			continue // stays in unfiltered
+		}
+		key := e.bucketSym(syms)
+		e.byTag[key] = append(e.byTag[key], idx)
+	}
 }
 
 // Len returns the number of registered subscriptions.
@@ -63,19 +162,46 @@ func (e *Engine) Len() int { return len(e.patterns) }
 func (e *Engine) Pattern(i int) *pattern.Pattern { return e.patterns[i] }
 
 // Match returns the indices of all subscriptions the document satisfies,
-// in increasing order.
+// in increasing order. The returned slice is a reusable buffer, valid
+// only until the next Match call (nil when nothing matches).
 func (e *Engine) Match(t *xmltree.Tree) []int {
 	e.statDocs++
-	present := docTags(t)
-	var out []int
+	// Collect the document's interned tag set: clear only the syms set
+	// by the previous document, then walk once with read-only lookups.
+	for _, sym := range e.presentSyms {
+		e.present.Remove(int(sym))
+	}
+	e.presentSyms = e.presentSyms[:0]
+	if t != nil && t.Root != nil {
+		t.Root.Walk(func(n *xmltree.Node) bool {
+			if sym := e.tbl.Lookup(n.Label); sym != intern.NoSym && !e.present.Contains(int(sym)) {
+				e.present.Add(int(sym))
+				e.presentSyms = append(e.presentSyms, sym)
+			}
+			return true
+		})
+	}
+	for _, sym := range e.presentSyms {
+		e.docFreq[sym]++
+	}
+
+	out := e.out[:0]
+	loaded := false
 	consider := func(idx int) {
-		for _, tag := range e.required[idx] {
-			if _, ok := present[tag]; !ok {
+		e.statProbes++
+		for _, sym := range e.required[idx] {
+			if !e.present.Contains(int(sym)) {
 				return
 			}
 		}
 		e.statCandidates++
-		if pattern.Matches(t, e.patterns[idx]) {
+		// Flatten the document once, on the first candidate that
+		// reaches the exact matcher.
+		if !loaded {
+			e.fm.Load(t)
+			loaded = true
+		}
+		if e.fm.Matches(e.patterns[idx]) {
 			e.statMatched++
 			out = append(out, idx)
 		}
@@ -83,8 +209,8 @@ func (e *Engine) Match(t *xmltree.Tree) []int {
 	for _, idx := range e.unfiltered {
 		consider(idx)
 	}
-	for tag := range present {
-		for _, idx := range e.byTag[tag] {
+	for _, sym := range e.presentSyms {
+		for _, idx := range e.byTag[sym] {
 			consider(idx)
 		}
 	}
@@ -92,6 +218,10 @@ func (e *Engine) Match(t *xmltree.Tree) []int {
 	// pattern lives in exactly one bucket), so no dedupe is needed —
 	// only ordering.
 	insertionSort(out)
+	e.out = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -100,6 +230,12 @@ func (e *Engine) Match(t *xmltree.Tree) []int {
 func (e *Engine) Stats() (docs, candidates, matched int) {
 	return e.statDocs, e.statCandidates, e.statMatched
 }
+
+// Probes returns the number of per-pattern prefilter consultations —
+// the work the single-tag bucketing exists to minimize (a pattern
+// bucketed under a corpus-rare tag is consulted only when that tag
+// actually occurs).
+func (e *Engine) Probes() int { return e.statProbes }
 
 // requiredTags returns the sorted set of concrete tags in p. Any
 // matching document must contain every one of them.
@@ -124,17 +260,6 @@ func requiredTags(p *pattern.Pattern) []string {
 	// Insertion sort keeps this allocation-light for small sets.
 	insertionSortStrings(out)
 	return out
-}
-
-func docTags(t *xmltree.Tree) map[string]struct{} {
-	set := make(map[string]struct{})
-	if t != nil && t.Root != nil {
-		t.Root.Walk(func(n *xmltree.Node) bool {
-			set[n.Label] = struct{}{}
-			return true
-		})
-	}
-	return set
 }
 
 func insertionSort(a []int) {

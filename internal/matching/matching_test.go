@@ -111,3 +111,98 @@ func TestAddIncremental(t *testing.T) {
 		t.Errorf("Match = %v", got)
 	}
 }
+
+// TestRarestTagBucketing shows the corpus-statistics bucketing rule
+// cutting candidate evaluations on a skewed corpus: every document
+// contains the common tag "zz" (also the lexicographically greatest,
+// i.e. the cold-start choice), only a few contain the rare tag "aa".
+func TestRarestTagBucketing(t *testing.T) {
+	mkDoc := func(rare bool) *xmltree.Tree {
+		s := "zz(x)"
+		if rare {
+			s = "zz(aa)"
+		}
+		d, err := xmltree.ParseCompact(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	corpus := func(n, rareEvery int) []*xmltree.Tree {
+		docs := make([]*xmltree.Tree, n)
+		for i := range docs {
+			docs[i] = mkDoc(rareEvery > 0 && i%rareEvery == 0)
+		}
+		return docs
+	}
+	p := pattern.MustParse("/zz/aa") // requires both aa and zz
+
+	// Cold engine: no statistics, so the pattern lands in the "zz"
+	// bucket (greatest rule) and is consulted for every document.
+	cold := NewEngine(nil)
+	cold.Add(p)
+	for _, d := range corpus(100, 10) {
+		cold.Match(d)
+	}
+	if cold.Probes() != 100 {
+		t.Fatalf("cold-start probes = %d, want 100 (bucketed by ubiquitous zz)", cold.Probes())
+	}
+
+	// Warmed engine: observe the skew (frequencies accumulate once the
+	// tags are in the subscription vocabulary), then Rebucket — the
+	// pattern moves under the rare "aa", so only the 1-in-10 documents
+	// containing it consult the pattern at all.
+	warm := NewEngine(nil)
+	warm.Add(p)
+	for _, d := range corpus(100, 10) {
+		warm.Match(d)
+	}
+	warmup := warm.Probes()
+	warm.Rebucket()
+	for _, d := range corpus(100, 10) {
+		warm.Match(d)
+	}
+	if got := warm.Probes() - warmup; got != 10 {
+		t.Errorf("rebucketed probes = %d, want 10 (bucketed by rare aa)", got)
+	}
+	_, cands, matched := warm.Stats()
+	if cands != 20 || matched != 20 {
+		t.Errorf("candidates/matched = %d/%d, want 20/20", cands, matched)
+	}
+
+	// A pattern added after warm-up picks the rare bucket immediately.
+	warm.Add(pattern.MustParse("//aa/zz"))
+	probesBefore := warm.Probes()
+	for _, d := range corpus(100, 0) { // no rare docs at all
+		warm.Match(d)
+	}
+	if got := warm.Probes() - probesBefore; got != 0 {
+		t.Errorf("post-warm-up Add: %d probes on aa-free corpus, want 0", got)
+	}
+
+	// Both engines agree on results regardless of bucketing.
+	for _, rare := range []bool{true, false} {
+		d := mkDoc(rare)
+		if got, want := cold.Match(d), warm.Match(d); !reflect.DeepEqual(got, want) {
+			t.Errorf("bucketing changed results: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestMatchBufferReuse pins the documented contract: the returned
+// slice is valid until the next Match, and empty results are nil.
+func TestMatchBufferReuse(t *testing.T) {
+	eng := NewEngine([]*pattern.Pattern{pattern.MustParse("/a"), pattern.MustParse("/b")})
+	a, _ := xmltree.ParseCompact("a")
+	b, _ := xmltree.ParseCompact("b")
+	z, _ := xmltree.ParseCompact("z")
+	if got := eng.Match(a); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Match(a) = %v", got)
+	}
+	if got := eng.Match(z); got != nil {
+		t.Fatalf("Match(z) = %v, want nil", got)
+	}
+	if got := eng.Match(b); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Match(b) = %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+
+	"treesim/internal/broker"
+	"treesim/internal/dtd"
+	"treesim/internal/overlay/wire"
+	"treesim/internal/querygen"
+	"treesim/internal/xmlgen"
+)
+
+// BenchmarkOverlayForwardPlan measures the per-publication forwarding
+// decision: snapshot the per-link plan and run the coarse aggregate
+// match (one forest match per candidate link) for a document, over a
+// hub node peered with 8 links carrying 4 origins each, 64 aggregate
+// patterns per origin.
+func BenchmarkOverlayForwardPlan(b *testing.B) {
+	const (
+		links             = 8
+		originsPerLink    = 4
+		patternsPerOrigin = 64
+	)
+	d := dtd.NITFLike()
+	docs := xmlgen.New(d, xmlgen.Calibrate(d, 100, 41)).GenerateN(64)
+	pats := querygen.New(d, querygen.Defaults(43)).
+		GenerateDistinct(links * originsPerLink * patternsPerOrigin)
+
+	eng := broker.New(broker.Config{})
+	defer eng.Close()
+	hub := New(eng, Config{ID: "hub"})
+	defer hub.Close()
+
+	pi := 0
+	for l := 0; l < links; l++ {
+		peer := fmt.Sprintf("peer-%d", l)
+		if err := hub.addPeerLink(peer, nopTransport{}); err != nil {
+			b.Fatal(err)
+		}
+		var adverts []wire.Advert
+		for o := 0; o < originsPerLink; o++ {
+			exprs := make([]string, patternsPerOrigin)
+			for i := range exprs {
+				exprs[i] = pats[pi].String()
+				pi++
+			}
+			adverts = append(adverts, wire.Advert{
+				Origin:  fmt.Sprintf("origin-%d-%d", l, o),
+				Version: 1,
+				Communities: []wire.Community{
+					{Patterns: exprs, Members: patternsPerOrigin, Selectivity: 0.5},
+				},
+			})
+		}
+		if err := hub.HandleAdvert(wire.AdvertBatch{From: peer, Adverts: adverts}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var forwards int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.mu.Lock()
+		plan := hub.forwardPlanLocked("origin-0-0", "peer-0")
+		hub.mu.Unlock()
+		forwards += len(matchTargets(docs[i%len(docs)], plan))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(forwards)/float64(b.N), "links/op")
+}
+
+// nopTransport swallows sends: the benchmark isolates the planning and
+// matching cost from I/O.
+type nopTransport struct{}
+
+func (nopTransport) SendAdvert(wire.AdvertBatch) error  { return nil }
+func (nopTransport) SendPublish(wire.Publication) error { return nil }

@@ -50,6 +50,7 @@ import (
 
 	"treesim/internal/broker"
 	"treesim/internal/overlay/wire"
+	"treesim/internal/pattern"
 	"treesim/internal/xmltree"
 )
 
@@ -140,9 +141,13 @@ type Node struct {
 	cfg Config
 	eng *broker.Engine
 
-	mu       sync.Mutex
-	links    map[string]*link
-	table    map[string]*originEntry
+	mu    sync.Mutex
+	links map[string]*link
+	table map[string]*originEntry
+	// forests holds one matching-engine instance per link: the shared
+	// forest of every aggregate routed via that link, consulted by the
+	// forwarding decision (outside the node lock — see linkForest).
+	forests  map[string]*linkForest
 	seen     *seenSet
 	localVer uint64
 	local    wire.Advert
@@ -159,10 +164,11 @@ type Node struct {
 // user; Close uninstalls it.
 func New(eng *broker.Engine, cfg Config) *Node {
 	n := &Node{
-		cfg:   cfg.withDefaults(),
-		eng:   eng,
-		links: make(map[string]*link),
-		table: make(map[string]*originEntry),
+		cfg:     cfg.withDefaults(),
+		eng:     eng,
+		links:   make(map[string]*link),
+		table:   make(map[string]*originEntry),
+		forests: make(map[string]*linkForest),
 	}
 	n.seen = newSeenSet(n.cfg.SeenCapacity)
 	// Version and sequence numbers start at a boot epoch rather than 1:
@@ -323,6 +329,7 @@ func (n *Node) HandleAdvert(batch wire.AdvertBatch) error {
 	}
 	n.counters.advertsRecv.Add(1)
 	var accepted []wire.Advert
+	var updates []forestUpdate
 	var firstErr error
 	for _, a := range batch.Adverts {
 		if a.Origin == n.cfg.ID {
@@ -338,6 +345,24 @@ func (n *Node) HandleAdvert(batch wire.AdvertBatch) error {
 			}
 			continue
 		}
+		// Plan the forest updates — move the origin's aggregates into
+		// the arrival link's forest, unlinking them from the old next
+		// hop if it changed — but apply them only after the node lock
+		// is released: forest mutation waits on in-flight document
+		// matching (linkForest.mu), and n.mu must never transitively
+		// wait on a match. Version gating inside linkForest makes the
+		// out-of-order application this allows safe.
+		if old, ok := n.table[a.Origin]; ok && old.via != batch.From {
+			if lf := n.forests[old.via]; lf != nil {
+				updates = append(updates, forestUpdate{lf: lf, origin: a.Origin, version: a.Version})
+			}
+		}
+		lf := n.forests[batch.From]
+		if lf == nil {
+			lf = newLinkForest()
+			n.forests[batch.From] = lf
+		}
+		updates = append(updates, forestUpdate{lf: lf, origin: a.Origin, version: a.Version, pats: entry.pats})
 		n.table[a.Origin] = entry
 		if fwd := a; fwd.Hops+1 <= wire.MaxTTL {
 			fwd.Hops++
@@ -346,10 +371,22 @@ func (n *Node) HandleAdvert(batch wire.AdvertBatch) error {
 	}
 	targets := n.linksLocked(batch.From)
 	n.mu.Unlock()
+	for _, u := range updates {
+		u.lf.set(u.origin, u.version, u.pats)
+	}
 	if len(accepted) > 0 {
 		n.sendAdverts(targets, accepted)
 	}
 	return firstErr
+}
+
+// forestUpdate is one link-forest mutation planned under the node lock
+// and applied outside it (nil pats unlinks the origin from that link).
+type forestUpdate struct {
+	lf      *linkForest
+	origin  string
+	version uint64
+	pats    []*pattern.Pattern
 }
 
 // Publish routes a locally published document: exact local matching
@@ -431,22 +468,21 @@ func (n *Node) HandlePublish(pub wire.Publication) error {
 	return nil
 }
 
-// forwardCandidate is one link with the routing-table entries reachable
-// through it, snapshotted under the node lock so the (expensive)
-// pattern matching can run outside it — originEntry values are
-// immutable once built, only replaced wholesale by newer versions.
+// forwardCandidate is one link with its matching-engine instance,
+// snapshotted under the node lock so the (expensive) document matching
+// can run outside it — the linkForest synchronizes internally against
+// concurrent advert updates.
 type forwardCandidate struct {
 	l       *link
 	flood   bool
-	entries []*originEntry
+	lf      *linkForest
+	exclude string // the publication's origin: its own aggregates are ignored
 }
 
-// forwardPlanLocked snapshots, per non-arrival link, the aggregates a
+// forwardPlanLocked snapshots, per non-arrival link, the link forest a
 // forwarding decision must consult: every origin routed via that link
 // except the publication's own origin (it has the document already).
-// One pass over the table buckets entries by next hop, so the cost is
-// O(links + origins), not links × origins. In Flood mode every
-// non-arrival link qualifies unconditionally.
+// In Flood mode every non-arrival link qualifies unconditionally.
 func (n *Node) forwardPlanLocked(origin, exclude string) []forwardCandidate {
 	var out []forwardCandidate
 	if n.cfg.Flood {
@@ -455,15 +491,9 @@ func (n *Node) forwardPlanLocked(origin, exclude string) []forwardCandidate {
 		}
 		return out
 	}
-	byVia := make(map[string][]*originEntry, len(n.links))
-	for o, e := range n.table {
-		if o != origin && e.via != exclude {
-			byVia[e.via] = append(byVia[e.via], e)
-		}
-	}
 	for _, l := range n.linksLocked(exclude) {
-		if entries := byVia[l.id]; len(entries) > 0 {
-			out = append(out, forwardCandidate{l: l, entries: entries})
+		if lf := n.forests[l.id]; lf != nil && lf.hasOther(origin) {
+			out = append(out, forwardCandidate{l: l, lf: lf, exclude: origin})
 		}
 	}
 	return out
@@ -471,7 +501,8 @@ func (n *Node) forwardPlanLocked(origin, exclude string) []forwardCandidate {
 
 // matchTargets runs the coarse aggregate match for a planned forward —
 // outside the node lock, so concurrent publications and advert
-// handling never serialize on pattern matching.
+// handling never serialize on pattern matching. Per candidate link it
+// is one single-pass forest match over that link's aggregates.
 func matchTargets(t *xmltree.Tree, plan []forwardCandidate) []*link {
 	var out []*link
 	for _, c := range plan {
@@ -479,11 +510,8 @@ func matchTargets(t *xmltree.Tree, plan []forwardCandidate) []*link {
 			out = append(out, c.l)
 			continue
 		}
-		for _, e := range c.entries {
-			if e.match(t) {
-				out = append(out, c.l)
-				break
-			}
+		if c.lf.matchAnyExcept(t, c.exclude) {
+			out = append(out, c.l)
 		}
 	}
 	return out

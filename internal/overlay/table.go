@@ -2,8 +2,9 @@ package overlay
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
+	"treesim/internal/matching"
 	"treesim/internal/overlay/wire"
 	"treesim/internal/pattern"
 	"treesim/internal/xmltree"
@@ -13,21 +14,15 @@ import (
 // by an origin, with the link it arrived on as the next hop toward that
 // origin. An entry with no communities is a tombstone — the origin has
 // no subscriptions and never attracts forwards, but the version is kept
-// so older adverts cannot resurrect routes.
+// so older adverts cannot resurrect routes. The matching itself lives
+// in the per-link forests (linkForest); the entry keeps the parsed
+// patterns only to (re)link them when the next hop changes.
 type originEntry struct {
 	version    uint64
 	hops       int
 	via        string // next-hop peer id (the arrival link)
-	comms      []aggComm
+	pats       []*pattern.Pattern
 	advertised []wire.Community // as advertised, for re-gossip on AddPeer
-}
-
-// aggComm is one advertised community with its patterns parsed for
-// matching.
-type aggComm struct {
-	pats    []*pattern.Pattern
-	members int
-	sel     float64
 }
 
 // newOriginEntry parses an advert into a table entry. Patterns arrive
@@ -36,34 +31,15 @@ type aggComm struct {
 func newOriginEntry(a wire.Advert, via string) (*originEntry, error) {
 	e := &originEntry{version: a.Version, hops: a.Hops, via: via, advertised: a.Communities}
 	for i, c := range a.Communities {
-		ac := aggComm{members: c.Members, sel: c.Selectivity, pats: make([]*pattern.Pattern, len(c.Patterns))}
 		for j, s := range c.Patterns {
 			p, err := pattern.Parse(s)
 			if err != nil {
 				return nil, fmt.Errorf("overlay: advert %q community %d pattern %d: %w", a.Origin, i, j, err)
 			}
-			ac.pats[j] = p
+			e.pats = append(e.pats, p)
 		}
-		e.comms = append(e.comms, ac)
 	}
-	// Most-selective aggregates first: a high selectivity digest means
-	// the aggregate matches a large fraction of the stream, so testing
-	// it first maximizes the chance of an early exit.
-	sort.SliceStable(e.comms, func(i, j int) bool { return e.comms[i].sel > e.comms[j].sel })
 	return e, nil
-}
-
-// match reports whether the document matches any advertised aggregate —
-// the coarse routing test run once per link before forwarding.
-func (e *originEntry) match(t *xmltree.Tree) bool {
-	for _, c := range e.comms {
-		for _, p := range c.pats {
-			if pattern.Matches(t, p) {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // advert reconstructs the wire advert for full-state sync to a new
@@ -79,15 +55,107 @@ func (e *originEntry) advert(origin string) wire.Advert {
 // summary condenses the entry for Info.
 func (e *originEntry) summary(origin string) wire.OriginInfo {
 	s := wire.OriginInfo{Origin: origin, Version: e.version, Hops: e.hops, Via: e.via, MinSel: 1}
-	for _, c := range e.comms {
-		s.Patterns += len(c.pats)
-		s.Members += c.members
-		if c.sel < s.MinSel {
-			s.MinSel = c.sel
+	for _, c := range e.advertised {
+		s.Patterns += len(c.Patterns)
+		s.Members += c.Members
+		if c.Selectivity < s.MinSel {
+			s.MinSel = c.Selectivity
 		}
 	}
-	if len(e.comms) == 0 {
+	if len(e.advertised) == 0 {
 		s.MinSel = 0
 	}
 	return s
+}
+
+// linkForest is the per-link matching engine instance: one shared
+// single-pass forest over every aggregate pattern advertised by every
+// origin routed via that link. The forwarding decision for a link is
+// one Forest.Match instead of a pattern.Matches loop over its origins'
+// aggregates.
+//
+// Its own lock (not the node mutex) guards it: aggregate matching runs
+// on publication paths concurrently with table updates, and the node
+// lock is never held across document matching OR forest mutation —
+// advert handling snapshots its updates under node.mu and applies them
+// here after releasing it. Because application happens outside the
+// node lock, two racing advert batches may apply out of order; every
+// update carries the origin's advert version and stale ones are
+// dropped (a removal leaves a versioned tombstone so an older set
+// cannot resurrect patterns on the origin's previous link).
+type linkForest struct {
+	mu       sync.RWMutex
+	forest   *matching.Forest
+	byOrigin map[string]*originHandles
+}
+
+// originHandles is one origin's registration in a link forest. A nil
+// or empty hs is a tombstone: the version is kept so older updates are
+// recognized as stale, but the origin attracts no forwards.
+type originHandles struct {
+	version uint64
+	hs      []int
+}
+
+func newLinkForest() *linkForest {
+	return &linkForest{forest: matching.NewForest(), byOrigin: make(map[string]*originHandles)}
+}
+
+// set replaces origin's registered patterns with pats (nil/empty for a
+// tombstone) if version is newer than what this link has seen.
+func (lf *linkForest) set(origin string, version uint64, pats []*pattern.Pattern) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	cur := lf.byOrigin[origin]
+	if cur != nil && version <= cur.version {
+		return // an update that lost the race to a newer one
+	}
+	if cur != nil {
+		for _, h := range cur.hs {
+			lf.forest.Remove(h)
+		}
+	}
+	var hs []int
+	if len(pats) > 0 {
+		hs = make([]int, len(pats))
+		for i, p := range pats {
+			hs[i] = lf.forest.Add(p)
+		}
+	}
+	lf.byOrigin[origin] = &originHandles{version: version, hs: hs}
+}
+
+// hasOther reports whether any origin besides exclude has live
+// patterns here — the cheap plan-time test for whether the link is
+// worth matching.
+func (lf *linkForest) hasOther(exclude string) bool {
+	lf.mu.RLock()
+	defer lf.mu.RUnlock()
+	for o, oh := range lf.byOrigin {
+		if o != exclude && len(oh.hs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// matchAnyExcept reports whether the document matches any aggregate of
+// any origin routed via this link, ignoring the publication's own
+// origin (it has the document already).
+func (lf *linkForest) matchAnyExcept(t *xmltree.Tree, exclude string) bool {
+	lf.mu.RLock()
+	defer lf.mu.RUnlock()
+	ms := lf.forest.Match(t)
+	defer ms.Release()
+	for o, oh := range lf.byOrigin {
+		if o == exclude {
+			continue
+		}
+		for _, h := range oh.hs {
+			if ms.Has(h) {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -1,0 +1,171 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/xmltree"
+)
+
+// matchesRef is a direct, unoptimized transcription of the Section 2
+// semantics (the pre-arena implementation, minus the memo). The
+// arena-based Matches must agree with it on every input.
+func matchesRef(t *xmltree.Tree, p *Pattern) bool {
+	if p == nil || p.Root == nil {
+		return false
+	}
+	if len(p.Root.Children) == 0 {
+		return t != nil && t.Root != nil
+	}
+	if t == nil || t.Root == nil {
+		return false
+	}
+	for _, v := range p.Root.Children {
+		if !refRootConstraint(t.Root, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func refRootConstraint(t *xmltree.Node, v *Node) bool {
+	switch v.Label {
+	case Descendant:
+		c := v.Children[0]
+		return refExistsDescOrSelf(t, func(d *xmltree.Node) bool {
+			return refRootConstraint(d, c)
+		})
+	case Wildcard:
+		return refAllSat(t, v.Children)
+	default:
+		return t.Label == v.Label && refAllSat(t, v.Children)
+	}
+}
+
+func refSat(t *xmltree.Node, v *Node) bool {
+	switch v.Label {
+	case Descendant:
+		return refExistsDescOrSelf(t, func(d *xmltree.Node) bool {
+			return refAllSat(d, v.Children)
+		})
+	case Wildcard:
+		for _, c := range t.Children {
+			if refAllSat(c, v.Children) {
+				return true
+			}
+		}
+	default:
+		for _, c := range t.Children {
+			if c.Label == v.Label && refAllSat(c, v.Children) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func refAllSat(t *xmltree.Node, vs []*Node) bool {
+	for _, v := range vs {
+		if !refSat(t, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func refExistsDescOrSelf(t *xmltree.Node, f func(*xmltree.Node) bool) bool {
+	if f(t) {
+		return true
+	}
+	for _, c := range t.Children {
+		if refExistsDescOrSelf(c, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// randTreeNode and randPatternNode generate small random inputs biased
+// toward collisions (tiny label alphabet) so both match outcomes occur.
+func randTreeNode(rng *rand.Rand, depth int) *xmltree.Node {
+	labels := []string{"a", "b", "c", "d", "//", "*"}
+	n := &xmltree.Node{Label: labels[rng.Intn(len(labels))]}
+	if depth < 4 {
+		for i := 0; i < rng.Intn(4); i++ {
+			n.Children = append(n.Children, randTreeNode(rng, depth+1))
+		}
+	}
+	return n
+}
+
+func randPatternNode(rng *rand.Rand, depth int) *Node {
+	labels := []string{"a", "b", "c", "d", Wildcard}
+	var n *Node
+	if depth > 0 && rng.Intn(5) == 0 {
+		// Descendant operator with its single mandatory child.
+		n = &Node{Label: Descendant}
+		child := randPatternNode(rng, depth+1)
+		child.Label = labels[rng.Intn(len(labels))] // no "//" under "//"
+		n.Children = []*Node{child}
+		return n
+	}
+	n = &Node{Label: labels[rng.Intn(len(labels))]}
+	if depth < 3 {
+		for i := 0; i < rng.Intn(3); i++ {
+			n.Children = append(n.Children, randPatternNode(rng, depth+1))
+		}
+	}
+	return n
+}
+
+func TestMatchesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var matched, unmatched int
+	for trial := 0; trial < 2000; trial++ {
+		doc := &xmltree.Tree{Root: randTreeNode(rng, 0)}
+		p := New()
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			p.Root.Children = append(p.Root.Children, randPatternNode(rng, 1))
+		}
+		want := matchesRef(doc, p)
+		if got := Matches(doc, p); got != want {
+			t.Fatalf("doc %s, pattern %s: Matches = %v, reference = %v",
+				doc, p, got, want)
+		}
+		if want {
+			matched++
+		} else {
+			unmatched++
+		}
+	}
+	if matched == 0 || unmatched == 0 {
+		t.Fatalf("degenerate trial mix: %d matched, %d unmatched", matched, unmatched)
+	}
+}
+
+func TestMatchesEdgeCases(t *testing.T) {
+	doc := xmltree.New("a")
+	cases := []struct {
+		doc  *xmltree.Tree
+		pat  *Pattern
+		want bool
+	}{
+		{nil, MustParse("/a"), false},
+		{&xmltree.Tree{}, MustParse("/a"), false},
+		{doc, nil, false},
+		{doc, &Pattern{}, false},
+		{nil, New(), false}, // empty pattern, empty doc
+		{&xmltree.Tree{}, New(), false},
+		{doc, New(), true},           // empty pattern matches any non-empty doc
+		{doc, MustParse("/."), true}, // explicit root form of the empty pattern
+		{doc, MustParse("/a"), true},
+		{doc, MustParse("/b"), false},
+		{doc, MustParse("//a"), true}, // root "//" may bind the root itself
+		{doc, MustParse("/*"), true},
+	}
+	for i, c := range cases {
+		if got := Matches(c.doc, c.pat); got != c.want {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package xmltree
+
+import "treesim/internal/intern"
+
+// Flat is a reusable arena view of a tree: nodes in BFS order with
+// contiguous child ranges, labels, and (when built with an intern
+// table) dense label symbols. Matching hot paths work over Flat so a
+// document is walked with integer indices instead of pointer chasing,
+// and label comparisons become symbol comparisons.
+//
+// Node 0 is the root; the children of node i are the index range
+// [ChildStart[i], ChildStart[i]+ChildCount[i]). A Flat is reloaded in
+// place (Load), so one pooled instance serves many documents without
+// reallocating.
+type Flat struct {
+	// Labels[i] is node i's label string.
+	Labels []string
+	// Syms[i] is the interned symbol of Labels[i], or intern.NoSym for
+	// labels unknown to the table. Nil when Load was given no table.
+	Syms []uint32
+	// ChildStart / ChildCount delimit each node's children.
+	ChildStart []int32
+	ChildCount []int32
+	// MaxDepth is the deepest node's depth (root = 0); -1 when empty.
+	MaxDepth int
+
+	depths []int32
+	nodes  []*Node
+}
+
+// Len returns the number of nodes loaded.
+func (f *Flat) Len() int { return len(f.Labels) }
+
+// Load fills f from t, reusing f's storage. Document labels are
+// resolved with tbl.Lookup — never interned — so the table only ever
+// holds pattern vocabulary; a nil tbl skips symbol resolution. It
+// returns the node count (0 for a nil or empty tree).
+func (f *Flat) Load(t *Tree, tbl *intern.Table) int {
+	// Zero the label tail too: after a huge document, entries past the
+	// next document's length would otherwise pin its strings.
+	clear(f.Labels)
+	f.Labels = f.Labels[:0]
+	f.Syms = f.Syms[:0]
+	f.ChildStart = f.ChildStart[:0]
+	f.ChildCount = f.ChildCount[:0]
+	f.depths = f.depths[:0]
+	f.MaxDepth = -1
+	if t == nil || t.Root == nil {
+		return 0
+	}
+	// BFS: appending every node's children consecutively makes each
+	// child range contiguous by construction.
+	nodes := f.nodes[:0]
+	nodes = append(nodes, t.Root)
+	f.depths = append(f.depths, 0)
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[i]
+		f.Labels = append(f.Labels, n.Label)
+		if tbl != nil {
+			f.Syms = append(f.Syms, tbl.Lookup(n.Label))
+		}
+		f.ChildStart = append(f.ChildStart, int32(len(nodes)))
+		f.ChildCount = append(f.ChildCount, int32(len(n.Children)))
+		d := f.depths[i]
+		if int(d) > f.MaxDepth {
+			f.MaxDepth = int(d)
+		}
+		for _, c := range n.Children {
+			nodes = append(nodes, c)
+			f.depths = append(f.depths, d+1)
+		}
+	}
+	// Keep the arena but drop node pointers, so a pooled Flat does not
+	// pin the last document it saw.
+	for i := range nodes {
+		nodes[i] = nil
+	}
+	f.nodes = nodes[:0]
+	return len(f.Labels)
+}

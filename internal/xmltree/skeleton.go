@@ -12,30 +12,72 @@ func Skeleton(t *Tree) *Tree {
 	if t == nil || t.Root == nil {
 		return &Tree{}
 	}
-	root := &Node{Label: t.Root.Label}
-	coalesce(root, []*Node{t.Root})
+	var a nodeArena
+	root := a.new(t.Root.Label)
+	coalesce(&a, root, []*Node{t.Root})
 	return &Tree{Root: root}
 }
 
+// nodeArena chunk-allocates skeleton nodes: one allocation per 64
+// nodes instead of one each. Chunks are abandoned (never copied or
+// reallocated) when full, so node pointers taken from them stay valid.
+type nodeArena struct {
+	chunk []Node
+}
+
+func (a *nodeArena) new(label string) *Node {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]Node, 0, 64)
+	}
+	a.chunk = append(a.chunk, Node{Label: label})
+	return &a.chunk[len(a.chunk)-1]
+}
+
 // coalesce populates dst.Children from the union of the children of all
-// src nodes, grouping by tag. Each group becomes one skeleton child whose
-// own children are recursively coalesced from the whole group.
-func coalesce(dst *Node, group []*Node) {
-	// Preserve first-seen order for determinism.
-	var order []string
-	byTag := make(map[string][]*Node)
+// src nodes, grouping by tag (first-seen order, for determinism). Each
+// group becomes one skeleton child whose own children are recursively
+// coalesced from the whole group. Groups are found by scanning the
+// skeleton children built so far — their count is bounded by the
+// distinct child labels, small in practice, and the scan beats a
+// per-node map on the ingest hot path (Skeleton runs per observed
+// document) — with a map fallback past a threshold so a hostile wide
+// document with thousands of distinct tags cannot make this quadratic.
+func coalesce(a *nodeArena, dst *Node, group []*Node) {
+	var buckets [][]*Node
+	var byLabel map[string]int
 	for _, src := range group {
 		for _, c := range src.Children {
-			if _, ok := byTag[c.Label]; !ok {
-				order = append(order, c.Label)
+			idx := -1
+			if byLabel != nil {
+				if i, ok := byLabel[c.Label]; ok {
+					idx = i
+				}
+			} else {
+				for i, d := range dst.Children {
+					if d.Label == c.Label {
+						idx = i
+						break
+					}
+				}
 			}
-			byTag[c.Label] = append(byTag[c.Label], c)
+			if idx < 0 {
+				dst.Children = append(dst.Children, a.new(c.Label))
+				buckets = append(buckets, nil)
+				idx = len(buckets) - 1
+				if byLabel != nil {
+					byLabel[c.Label] = idx
+				} else if len(dst.Children) > 32 {
+					byLabel = make(map[string]int, 2*len(dst.Children))
+					for i, d := range dst.Children {
+						byLabel[d.Label] = i
+					}
+				}
+			}
+			buckets[idx] = append(buckets[idx], c)
 		}
 	}
-	for _, tag := range order {
-		child := &Node{Label: tag}
-		dst.Children = append(dst.Children, child)
-		coalesce(child, byTag[tag])
+	for i, child := range dst.Children {
+		coalesce(a, child, buckets[i])
 	}
 }
 
