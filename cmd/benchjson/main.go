@@ -93,6 +93,20 @@ func main() {
 	}
 }
 
+// nameCPUs extracts the trailing -N GOMAXPROCS suffix of a benchmark
+// name (1 when absent — `go test` omits the suffix at GOMAXPROCS 1).
+func nameCPUs(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
 // Parse reads `go test -bench` output and extracts benchmark results.
 func Parse(r io.Reader) (*Report, error) {
 	rep := &Report{}
@@ -146,6 +160,17 @@ func Parse(r io.Reader) (*Report, error) {
 				}
 				res.Extra[unit] = val
 			}
+		}
+		// `go test` suffixes benchmark names with -GOMAXPROCS when it is
+		// not 1 (e.g. BenchmarkBrokerPublish-4). Surface that as a
+		// per-result "cpus" extra so per-cpu snapshot entries are
+		// self-describing; an explicit "N cpus" pair (emitted by
+		// treesim-bench for the daemon's cpu count) wins.
+		if _, ok := res.Extra["cpus"]; !ok {
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra["cpus"] = float64(nameCPUs(res.Name))
 		}
 		rep.Results = append(rep.Results, res)
 	}

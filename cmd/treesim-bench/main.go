@@ -4,6 +4,13 @@
 // subscription churn, drains deliveries concurrently, and reports
 // end-to-end throughput plus the daemon's own stats.
 //
+// The publish phase is separately sizable: -publishers N runs N
+// concurrent publisher workers (aggregate pub/sec is reported), and
+// -batch M ships M documents per request through the daemon's JSON
+// batch endpoint. Benchmark lines carry the daemon's cpu and shard
+// counts, so snapshots from differently-sized daemons stay
+// distinguishable.
+//
 // The summary includes `go test -bench`-style lines, so the output can
 // be piped through cmd/benchjson (optionally merged with the in-process
 // broker benchmarks) into a BENCH_broker.json snapshot:
@@ -82,6 +89,28 @@ func (c *client) publish(doc string) error {
 	return nil
 }
 
+// publishBatch posts several documents as one JSON batch (the daemon's
+// pipelined publish path) and returns how many failed to parse
+// daemon-side.
+func (c *client) publishBatch(docs []string) (errs int, err error) {
+	body, _ := json.Marshal(map[string][]string{"docs": docs})
+	resp, err := c.http.Post(c.base+"/publish", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("publish batch: %s", resp.Status)
+	}
+	var out struct {
+		Errors int `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Errors, nil
+}
+
 func (c *client) drain(id uint64, max int, wait time.Duration) (int, error) {
 	url := fmt.Sprintf("%s/deliveries/%d?max=%d&wait=%s", c.base, id, max, wait)
 	resp, err := c.http.Get(url)
@@ -126,7 +155,9 @@ func main() {
 		nPublish = flag.Int("publish", 10000, "documents to publish")
 		nDocs    = flag.Int("docs", 500, "distinct generated documents to cycle through")
 		churn    = flag.Int("churn", 0, "unsubscribe+resubscribe operations during the publish phase")
-		conc     = flag.Int("concurrency", 8, "concurrent publisher workers")
+		conc     = flag.Int("concurrency", 8, "concurrent workers (subscribe phase; publish phase unless -publishers is set)")
+		pubs     = flag.Int("publishers", 0, "concurrent publishers for the publish phase (0: use -concurrency)")
+		batchSz  = flag.Int("batch", 0, "documents per publish request via the JSON batch endpoint (0/1: one per request)")
 		drainers = flag.Int("drainers", 4, "concurrent delivery drain workers")
 		schema   = flag.String("dtd", "nitf", "workload schema: nitf|xcbl|media")
 		seed     = flag.Int64("seed", 1, "workload generation seed")
@@ -158,17 +189,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pubs <= 0 {
+		*pubs = *conc
+	}
+	if *batchSz < 1 {
+		*batchSz = 1
+	}
 	c := &client{
 		base: "http://" + *addr,
-		http: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc + *drainers + 2}},
+		http: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc + *pubs + *drainers + 2}},
 	}
-	if _, err := c.stats(); err != nil {
+	st0, err := c.stats()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "treesim-bench: daemon unreachable at %s: %v\n", *addr, err)
 		os.Exit(1)
 	}
+	// The daemon reports its own parallelism context; carry it into the
+	// benchmark lines so per-cpu snapshots stay self-describing.
+	daemonCPUs, daemonShards := 1, 1
+	if v, ok := st0["cpus"].(float64); ok && v >= 1 {
+		daemonCPUs = int(v)
+	}
+	if v, ok := st0["shards"].(float64); ok && v >= 1 {
+		daemonShards = int(v)
+	}
 
-	fmt.Printf("workload: dtd=%s subs=%d publish=%d churn=%d concurrency=%d\n",
-		*schema, *nSubs, *nPublish, *churn, *conc)
+	fmt.Printf("workload: dtd=%s subs=%d publish=%d churn=%d concurrency=%d publishers=%d batch=%d daemon(cpus=%d shards=%d)\n",
+		*schema, *nSubs, *nPublish, *churn, *conc, *pubs, *batchSz, daemonCPUs, daemonShards)
 	patterns := treesim.GeneratePatterns(d, *nSubs+*churn, *seed)
 	docs := make([]string, 0, *nDocs)
 	for _, t := range treesim.GenerateDocuments(d, *nDocs, *seed+1) {
@@ -260,11 +307,29 @@ func main() {
 	}
 
 	pubStart := time.Now()
-	runParallel(*conc, *nPublish, func(i int) {
-		if err := c.publish(docs[i%len(docs)]); err != nil {
-			errCt.Add(1)
-		}
-	})
+	if *batchSz > 1 {
+		nBatches := (*nPublish + *batchSz - 1) / *batchSz
+		runParallel(*pubs, nBatches, func(b int) {
+			lo := b * *batchSz
+			hi := min(lo+*batchSz, *nPublish)
+			batch := make([]string, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				batch = append(batch, docs[i%len(docs)])
+			}
+			n, err := c.publishBatch(batch)
+			if err != nil {
+				errCt.Add(uint64(len(batch)))
+			} else {
+				errCt.Add(uint64(n))
+			}
+		})
+	} else {
+		runParallel(*pubs, *nPublish, func(i int) {
+			if err := c.publish(docs[i%len(docs)]); err != nil {
+				errCt.Add(1)
+			}
+		})
+	}
 	pubDur := time.Since(pubStart)
 	churnWG.Wait()
 
@@ -298,13 +363,23 @@ func main() {
 		fmt.Printf("  %-16s %v\n", k, st[k])
 	}
 
-	// Machine-readable summary, parseable by cmd/benchjson.
+	// Machine-readable summary, parseable by cmd/benchjson. The "cpus"
+	// pair records the daemon's GOMAXPROCS (benchjson passes unknown
+	// units through into each result's extras), so merged snapshots can
+	// hold one entry per cpu count.
 	label := fmt.Sprintf("subs=%d", *nSubs)
-	fmt.Printf("BenchmarkTreesimdSubscribe/%s \t%d\t%d ns/op\n",
-		label, *nSubs, subDur.Nanoseconds()/int64(*nSubs))
-	fmt.Printf("BenchmarkTreesimdPublish/%s \t%d\t%d ns/op\t%d deliveries\t%.0f pub/sec\n",
-		label, *nPublish, pubDur.Nanoseconds()/int64(*nPublish), drained.Load(),
-		float64(*nPublish)/pubDur.Seconds())
+	pubLabel := label
+	if *pubs != *conc {
+		pubLabel = fmt.Sprintf("%s/publishers=%d", label, *pubs)
+	}
+	if *batchSz > 1 {
+		pubLabel = fmt.Sprintf("%s/batch=%d", pubLabel, *batchSz)
+	}
+	fmt.Printf("BenchmarkTreesimdSubscribe/%s \t%d\t%d ns/op\t%d cpus\t%d shards\n",
+		label, *nSubs, subDur.Nanoseconds()/int64(*nSubs), daemonCPUs, daemonShards)
+	fmt.Printf("BenchmarkTreesimdPublish/%s \t%d\t%d ns/op\t%d deliveries\t%.0f pub/sec\t%d cpus\t%d shards\n",
+		pubLabel, *nPublish, pubDur.Nanoseconds()/int64(*nPublish), drained.Load(),
+		float64(*nPublish)/pubDur.Seconds(), daemonCPUs, daemonShards)
 
 	if *expect && drained.Load() == 0 {
 		fmt.Fprintln(os.Stderr, "treesim-bench: FAIL: no deliveries")

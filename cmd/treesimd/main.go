@@ -13,6 +13,9 @@
 //	POST   /subscribe          {"pattern": "/a/b[c]"}     → {"id": 7}
 //	DELETE /subscribe/{id}                                → 204
 //	POST   /publish            raw XML document           → routing summary
+//	POST   /publish            JSON ["<a/>", ...] or {"docs": [...]}
+//	                           (Content-Type: application/json)
+//	                                                      → aggregate batch summary
 //	GET    /deliveries/{id}?max=100&wait=5s               → {"deliveries": [...]}
 //	GET    /doc/{seq}                                     → raw XML of a recent publish
 //	GET    /stats                                         → broker stats
@@ -66,6 +69,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "sampling seed")
 		metric    = flag.String("metric", "m3", "clustering metric: m1|m2|m3")
 		threshold = flag.Float64("threshold", 0.5, "community similarity threshold")
+		shards    = flag.Int("shards", 0, "matching/delivery shards (0: scale with GOMAXPROCS, <0: single shard)")
 		queueCap  = flag.Int("queue", 256, "per-consumer delivery queue capacity")
 		ingestQ   = flag.Int("ingest-queue", 1024, "publish ingest pipeline depth")
 		maxStale  = flag.Int("rebuild-stale", 0, "rebuild after N mutations (0: use -rebuild-fraction)")
@@ -87,6 +91,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treesimd:", err)
 		os.Exit(2)
 	}
+	cfg.Shards = *shards
 	eng := broker.New(cfg)
 	defer eng.Close()
 
@@ -292,6 +297,10 @@ func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64) http.Hand
 	})
 
 	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+			handlePublishBatch(w, r, eng, node, maxBody)
+			return
+		}
 		resp := publishResponse{}
 		var err error
 		if node != nil {
@@ -378,6 +387,132 @@ func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64) http.Hand
 	}
 
 	return mux
+}
+
+// batchResponse summarizes a batched POST /publish: aggregate routing
+// counts across the batch, plus per-batch error accounting (documents
+// that fail to parse are skipped and counted, the rest are published).
+type batchResponse struct {
+	Published  int    `json:"published"`
+	Matched    int    `json:"matched"`
+	Deliveries int    `json:"deliveries"`
+	Dropped    int    `json:"dropped"`
+	Forwarded  int    `json:"forwarded"`
+	Errors     int    `json:"errors"`
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// handlePublishBatch is the batched publish pipeline: the request body
+// is a JSON array of XML document strings (either bare or wrapped as
+// {"docs": [...]}), decoded and parsed on one goroutine while a second
+// stage routes already-parsed documents — XML decoding overlaps
+// matching, and the broker sees PublishBatch chunks instead of one
+// engine entry per document. Federated daemons route per document
+// through the overlay node (forwarding is a per-document decision) but
+// keep the same parse/route overlap.
+func handlePublishBatch(w http.ResponseWriter, r *http.Request, eng *broker.Engine, node *overlay.Node, maxBody int64) {
+	var raw json.RawMessage
+	if err := json.NewDecoder(bodyReader(r, maxBody)).Decode(&raw); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var docs []string
+	if err := json.Unmarshal(raw, &docs); err != nil {
+		var wrapped struct {
+			Docs []string `json:"docs"`
+		}
+		if err := json.Unmarshal(raw, &wrapped); err != nil {
+			httpError(w, http.StatusBadRequest, "want a JSON array of XML strings or {\"docs\": [...]}: %v", err)
+			return
+		}
+		docs = wrapped.Docs
+	}
+	resp := batchResponse{}
+	if len(docs) == 0 {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Stage 1: parse/flatten. The small buffer lets decoding run ahead
+	// of routing without holding the whole batch as trees.
+	parsed := make(chan *xmltree.Tree, 64)
+	var parseErrs atomic.Int64
+	var firstErr atomic.Pointer[string]
+	opts := eng.Estimator().Config().ParseOptions
+	go func() {
+		defer close(parsed)
+		for i, d := range docs {
+			t, err := xmltree.Parse(strings.NewReader(d), opts)
+			if err != nil {
+				parseErrs.Add(1)
+				msg := fmt.Sprintf("doc %d: %v", i, err)
+				firstErr.CompareAndSwap(nil, &msg)
+				continue
+			}
+			parsed <- t
+		}
+	}()
+
+	// Stage 2: route in engine-sized chunks.
+	const chunk = 32
+	batch := make([]*xmltree.Tree, 0, chunk)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		if node != nil {
+			for _, t := range batch {
+				res, fwd, err := node.Publish(t)
+				if err != nil {
+					return false
+				}
+				resp.Published++
+				resp.Matched += res.Matched
+				resp.Deliveries += res.Deliveries
+				resp.Dropped += res.Dropped
+				resp.Forwarded += fwd
+			}
+		} else {
+			rs, err := eng.PublishBatch(batch)
+			if err != nil {
+				return false
+			}
+			for _, res := range rs {
+				resp.Published++
+				resp.Matched += res.Matched
+				resp.Deliveries += res.Deliveries
+				resp.Dropped += res.Dropped
+			}
+		}
+		batch = batch[:0]
+		return true
+	}
+	for t := range parsed {
+		batch = append(batch, t)
+		if len(batch) >= chunk {
+			if !flush() {
+				// Engine closed mid-batch: drain the parser and report
+				// what landed.
+				for range parsed {
+				}
+				httpError(w, http.StatusServiceUnavailable, "%v", broker.ErrClosed)
+				return
+			}
+		}
+	}
+	if !flush() {
+		httpError(w, http.StatusServiceUnavailable, "%v", broker.ErrClosed)
+		return
+	}
+	resp.Errors = int(parseErrs.Load())
+	if p := firstErr.Load(); p != nil {
+		resp.FirstError = *p
+	}
+	status := http.StatusOK
+	if resp.Published == 0 && resp.Errors > 0 {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, resp)
 }
 
 // bodyReader bounds a request body.

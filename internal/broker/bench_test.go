@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"treesim/internal/core"
@@ -76,6 +77,62 @@ func BenchmarkBrokerPublish(b *testing.B) {
 	st := e.Stats()
 	b.ReportMetric(float64(st.FilterEvals)/float64(b.N), "filterevals/op")
 	b.ReportMetric(float64(st.Deliveries)/float64(b.N), "deliveries/op")
+}
+
+// BenchmarkBrokerPublishParallel measures multi-publisher throughput:
+// GOMAXPROCS goroutines publish concurrently against the sharded
+// engine (Shards scales with -cpu). This is the scaling benchmark —
+// compare ns/op across -cpu 1,4 to see the sharded plane's speedup.
+func BenchmarkBrokerPublishParallel(b *testing.B) {
+	docs, subs := benchWorkload(200, 256)
+	e := benchEngine(b, docs, subs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var i atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := int(i.Add(1))
+			if _, err := e.Publish(docs[n%len(docs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := e.Stats()
+	b.ReportMetric(float64(st.FilterEvals)/float64(b.N), "filterevals/op")
+	b.ReportMetric(float64(st.Deliveries)/float64(b.N), "deliveries/op")
+}
+
+// BenchmarkBrokerPublishBatch measures the batched pipeline: one
+// PublishBatch call per 32 documents (the daemon's batched POST
+// /publish path). ns/op is still per document.
+func BenchmarkBrokerPublishBatch(b *testing.B) {
+	const batchSize = 32
+	docs, subs := benchWorkload(200, 256)
+	e := benchEngine(b, docs, subs)
+	ids := make([]uint64, 0, e.Live())
+	e.mu.RLock()
+	for _, s := range e.subs {
+		ids = append(ids, s.id)
+	}
+	e.mu.RUnlock()
+	batch := make([]*xmltree.Tree, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j] = docs[(i+j)%len(docs)]
+		}
+		if _, err := e.PublishBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 && i > 0 {
+			b.StopTimer()
+			e.Flush()
+			drainAll(e, ids)
+			b.StartTimer()
+		}
+	}
 }
 
 // BenchmarkBrokerSubscribeChurn measures steady-state churn at 256 live

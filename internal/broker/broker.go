@@ -18,6 +18,13 @@
 //     RebuildPolicy watches the mutation count and triggers a full
 //     SimilarityMatrix + greedy rebuild when enough of the registry has
 //     churned.
+//   - A sharded matching plane. Communities are pinned to
+//     GOMAXPROCS-scaled shards (whole communities together — placement
+//     is community-aware), each shard owning its own matching forest
+//     and routing table; a publish flattens the document once and all
+//     shards match and deliver in parallel with no shared mutable
+//     state, so routing throughput scales with cores while churn on
+//     one shard never stalls matching on the others.
 //   - A batched ingest pipeline. Published documents are handed to a
 //     background ingester that feeds the estimator's synopsis in
 //     batches (one lock acquisition per batch); publishing waits on
@@ -27,16 +34,18 @@
 //     that drop the oldest delivery when a slow consumer falls behind,
 //     drained with long-poll semantics.
 //
-// Concurrency: Publish and Drain run under a shared read lock and scale
-// across goroutines; Subscribe, Unsubscribe and policy rebuilds are
-// exclusive. The estimator underneath has its own reader/writer
-// discipline, so routing reads never block on ingest writes except at
-// the synopsis itself.
+// Concurrency: Publish and Drain scale across goroutines (publishes
+// synchronize per shard, drains per queue); Subscribe, Unsubscribe and
+// policy rebuilds are exclusive on the registry but hold it only for
+// the commit — the O(n) similarity row and the O(n²) rebuild matrix
+// are computed from snapshots outside all locks. The estimator
+// underneath has its own reader/writer discipline, so routing reads
+// never block on ingest writes except at the synopsis itself.
 package broker
 
 import (
 	"fmt"
-	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,6 +53,7 @@ import (
 
 	"treesim/internal/cluster"
 	"treesim/internal/core"
+	"treesim/internal/intern"
 	"treesim/internal/matching"
 	"treesim/internal/metrics"
 	"treesim/internal/pattern"
@@ -59,6 +69,11 @@ type Config struct {
 	Metric metrics.Metric
 	// Threshold is the community similarity threshold (default 0.5).
 	Threshold float64
+	// Shards is the number of matching/delivery shards. 0 (the default)
+	// scales with GOMAXPROCS at engine creation; negative forces the
+	// unsharded single-forest layout. Each community lives entirely on
+	// one shard, and publishes match all shards in parallel.
+	Shards int
 	// QueueCapacity bounds each consumer's delivery queue (default 256).
 	// When a queue is full the oldest delivery is dropped and counted.
 	QueueCapacity int
@@ -73,7 +88,8 @@ type Config struct {
 	// 0 keeps the default, negative disables sampling).
 	PrecisionSample int
 	// LatencyWindow is the number of recent publish latencies kept for
-	// the p50/p99 stats (default 1024).
+	// the p50/p99 stats (default 1024), spread across per-shard
+	// reservoirs and merged — never averaged — at query time.
 	LatencyWindow int
 	// DocCache is how many recent published documents stay retrievable
 	// by sequence number (Document; the daemon's GET /doc/{seq}), so
@@ -144,17 +160,11 @@ type subscriber struct {
 	id   uint64
 	pat  *pattern.Pattern
 	expr string
-	// fh is the subscription's handle in the shared matching forest.
-	fh int
-	q  *queue
-}
-
-// ingestItem is one unit of the publish→synopsis pipeline: a document
-// to ingest, or a flush marker (nil tree) whose done channel is closed
-// once everything queued before it has been ingested.
-type ingestItem struct {
-	tree *xmltree.Tree
-	done chan struct{}
+	// shard is the index of the shard holding the subscription's
+	// community; fh is its handle in that shard's forest.
+	shard int
+	fh    int
+	q     *queue
 }
 
 // Engine is the live broker. Create with New, stop with Close.
@@ -162,19 +172,36 @@ type Engine struct {
 	cfg Config
 	est *core.Estimator
 
+	// mu guards the subscription registry and clustering. Publishes do
+	// NOT take it: the routing state they need is maintained per shard.
 	mu   sync.RWMutex
 	subs []*subscriber
 	byID map[uint64]int
-	// forest is the shared single-pass matching engine over every live
-	// subscription: one Match per publish decides all representatives
-	// and members at once. Mutated under mu (write); matched under mu
-	// (read) — exactly the forest's concurrency contract.
-	forest *matching.Forest
-	comms  *cluster.Communities
-	nextID uint64
-	stale  int // registry mutations since the last full rebuild
-	regVer uint64
-	closed bool
+	// comms is the global clustering; commShard pins each community
+	// group to a shard (index-aligned with comms.Groups) and shardLive
+	// tracks per-shard subscription counts for placement.
+	comms     *cluster.Communities
+	commShard []int
+	shardLive []int
+	nextID    uint64
+	stale     int // registry mutations since the last full rebuild
+	regVer    uint64
+	closed    bool
+
+	// tbl is the label table shared by every shard forest, so one Flat
+	// document load serves the whole fan-out. procs caches GOMAXPROCS
+	// at creation: querying it per publish takes the runtime's global
+	// sched lock, a serialization point on the exact path sharding
+	// parallelizes.
+	tbl    *intern.Table
+	shards []*shard
+	procs  int
+
+	// routeMu orders publishes against Close (shared by routing,
+	// exclusive to close the delivery queues under). Registry mutations
+	// do not touch it.
+	routeMu     sync.RWMutex
+	routeClosed bool
 
 	// rebuildBusy lets exactly one goroutine run the (expensive,
 	// lock-free) similarity-matrix phase of a policy rebuild at a time.
@@ -194,56 +221,38 @@ type Engine struct {
 	ingest     chan ingestItem
 	ingestWG   sync.WaitGroup
 
+	// flatPool recycles the per-publish document arenas, fanPool the
+	// parallel fan-out scratch, rowPool/patsPool the subscribe path's
+	// similarity-row and registry-snapshot buffers.
+	flatPool sync.Pool
+	fanPool  sync.Pool
+	rowPool  sync.Pool
+	patsPool sync.Pool
+
 	pubSeq   atomic.Uint64
 	counters counters
-	lat      *latencyRing
+	lat      *latencyReservoir
 	docs     *docRing
-}
-
-// docRing retains the most recent published documents keyed by publish
-// sequence, so a delivery's content is retrievable after routing.
-type docRing struct {
-	mu  sync.Mutex
-	buf []docEntry
-}
-
-type docEntry struct {
-	seq  uint64
-	tree *xmltree.Tree
-}
-
-func (r *docRing) put(seq uint64, t *xmltree.Tree) {
-	if r == nil {
-		return
-	}
-	r.mu.Lock()
-	r.buf[seq%uint64(len(r.buf))] = docEntry{seq: seq, tree: t}
-	r.mu.Unlock()
-}
-
-func (r *docRing) get(seq uint64) *xmltree.Tree {
-	if r == nil || seq == 0 {
-		return nil
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if e := r.buf[seq%uint64(len(r.buf))]; e.seq == seq {
-		return e.tree
-	}
-	return nil
 }
 
 // New starts an engine (including its background ingester).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	nsh := resolveShards(cfg.Shards)
 	e := &Engine{
-		cfg:    cfg,
-		est:    core.NewEstimator(cfg.Estimator),
-		byID:   make(map[uint64]int),
-		forest: matching.NewForest(),
-		comms:  &cluster.Communities{Threshold: cfg.Threshold},
-		ingest: make(chan ingestItem, cfg.IngestQueue),
-		lat:    newLatencyRing(cfg.LatencyWindow),
+		cfg:       cfg,
+		est:       core.NewEstimator(cfg.Estimator),
+		byID:      make(map[uint64]int),
+		comms:     &cluster.Communities{Threshold: cfg.Threshold},
+		shardLive: make([]int, nsh),
+		tbl:       intern.NewTable(),
+		shards:    make([]*shard, nsh),
+		procs:     runtime.GOMAXPROCS(0),
+		ingest:    make(chan ingestItem, cfg.IngestQueue),
+		lat:       newLatencyReservoir(cfg.LatencyWindow, nsh),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{forest: matching.NewForestShared(e.tbl)}
 	}
 	if cfg.DocCache > 0 {
 		e.docs = &docRing{buf: make([]docEntry, cfg.DocCache)}
@@ -257,6 +266,10 @@ func New(cfg Config) *Engine {
 // its concurrency rules).
 func (e *Engine) Estimator() *core.Estimator { return e.est }
 
+// Shards returns the number of matching/delivery shards the engine
+// runs with.
+func (e *Engine) Shards() int { return len(e.shards) }
+
 // Close stops the ingest pipeline after draining it and closes every
 // delivery queue. Publish/Subscribe after Close return ErrClosed.
 func (e *Engine) Close() error {
@@ -266,10 +279,18 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
-	for _, s := range e.subs {
+	subs := make([]*subscriber, len(e.subs))
+	copy(subs, e.subs)
+	e.mu.Unlock()
+	// Quiesce the routing plane before closing queues: holding routeMu
+	// exclusively waits out in-flight publishes, so no fan-out races the
+	// queue closes (a post-Close publish routes to nobody).
+	e.routeMu.Lock()
+	e.routeClosed = true
+	for _, s := range subs {
 		s.q.close()
 	}
-	e.mu.Unlock()
+	e.routeMu.Unlock()
 	// Acquiring pipeMu exclusively waits out any publisher mid-send, so
 	// the channel close below cannot race a send.
 	e.pipeMu.Lock()
@@ -344,6 +365,19 @@ func (e *Engine) Subscribe(expr string) (uint64, error) {
 // sustained churn it falls back to computing under the exclusive lock,
 // guaranteeing progress.
 func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, error) {
+	pats, _ := e.patsPool.Get().(*[]*pattern.Pattern)
+	if pats == nil {
+		pats = new([]*pattern.Pattern)
+	}
+	rowBuf, _ := e.rowPool.Get().(*[]float64)
+	if rowBuf == nil {
+		rowBuf = new([]float64)
+	}
+	defer func() {
+		clear(*pats)
+		e.patsPool.Put(pats)
+		e.rowPool.Put(rowBuf)
+	}()
 	for attempt := 0; attempt < 3; attempt++ {
 		e.mu.RLock()
 		if e.closed {
@@ -351,10 +385,11 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 			return 0, ErrClosed
 		}
 		ver := e.regVer
-		pats := e.patternsLocked()
+		*pats = e.patternsLocked((*pats)[:0])
 		e.mu.RUnlock()
 
-		row := e.est.SimilarityRow(e.cfg.Metric, p, pats)
+		row := e.est.SimilarityRowInto(*rowBuf, e.cfg.Metric, p, *pats)
+		*rowBuf = row
 
 		e.mu.Lock()
 		if e.closed {
@@ -377,7 +412,9 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 		e.mu.Unlock()
 		return 0, ErrClosed
 	}
-	row := e.est.SimilarityRow(e.cfg.Metric, p, e.patternsLocked())
+	*pats = e.patternsLocked((*pats)[:0])
+	row := e.est.SimilarityRowInto(*rowBuf, e.cfg.Metric, p, *pats)
+	*rowBuf = row
 	id := e.commitSubscribeLocked(p, expr, row)
 	ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
 	e.mu.Unlock()
@@ -390,20 +427,38 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 // similarity row against the current registry. Caller holds the write
 // lock and has validated the row's registry version.
 func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []float64) uint64 {
-	e.comms.Assign(row)
+	g := e.comms.Assign(row)
+	if g == len(e.commShard) {
+		// A freshly founded community: pin it to the least-loaded shard.
+		e.commShard = append(e.commShard, e.placeCommunityLocked())
+	}
+	si := e.commShard[g]
+	sh := e.shards[si]
+	// Forest mutation and routing-table rebuild share one shard
+	// critical section: Add may reuse a freed handle, and a publish
+	// matching between the two would consult a table that maps that
+	// handle to the wrong community.
+	sh.mu.Lock()
+	fh := sh.forest.Add(p)
 	e.nextID++
 	id := e.nextID
 	e.byID[id] = len(e.subs)
 	e.subs = append(e.subs, &subscriber{
-		id:   id,
-		pat:  p,
-		expr: expr,
-		fh:   e.forest.Add(p),
-		q:    newQueue(e.cfg.QueueCapacity),
+		id:    id,
+		pat:   p,
+		expr:  expr,
+		shard: si,
+		fh:    fh,
+		q:     newQueue(e.cfg.QueueCapacity),
 	})
+	e.shardLive[si]++
 	e.counters.subscribes.Add(1)
 	e.stale++
 	e.regVer++
+	// Assign only appends (community indices are stable), so only the
+	// receiving shard's routing table changes.
+	e.rebuildShardRoutingInner(si)
+	sh.mu.Unlock()
 	return id
 }
 
@@ -416,17 +471,53 @@ func (e *Engine) Unsubscribe(id uint64) bool {
 		e.mu.Unlock()
 		return false
 	}
-	e.subs[idx].q.close()
-	e.forest.Remove(e.subs[idx].fh)
+	s := e.subs[idx]
+	s.q.close()
 	delete(e.byID, id)
+	g := e.comms.Find(idx)
+	groupsBefore := len(e.comms.Groups)
 	e.comms.Remove(idx)
+	dissolved := len(e.comms.Groups) < groupsBefore
+	if dissolved && g >= 0 {
+		e.commShard = append(e.commShard[:g], e.commShard[g+1:]...)
+	}
 	e.subs = append(e.subs[:idx], e.subs[idx+1:]...)
 	for i := idx; i < len(e.subs); i++ {
 		e.byID[e.subs[i].id] = i
 	}
+	e.shardLive[s.shard]--
 	e.counters.unsubscribes.Add(1)
 	e.stale++
 	e.regVer++
+	// Remove the pattern and rebuild routing in ONE critical section:
+	// once the handle is freed, a stale table would silently skip this
+	// community (dead rep handle) for any publish slipping between the
+	// two steps. When the community dissolved, every later community's
+	// index shifted down, so ALL shard tables must swap atomically with
+	// respect to routing — under routeMu held exclusively, because a
+	// publish reads the shards one at a time across its fan-out and
+	// would otherwise stamp deliveries with pre-shift community ids
+	// from shards it visited before the swap.
+	if dissolved {
+		e.routeMu.Lock()
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+		}
+		e.shards[s.shard].forest.Remove(s.fh)
+		for si := range e.shards {
+			e.rebuildShardRoutingInner(si)
+		}
+		for _, sh := range e.shards {
+			sh.mu.Unlock()
+		}
+		e.routeMu.Unlock()
+	} else {
+		sh := e.shards[s.shard]
+		sh.mu.Lock()
+		sh.forest.Remove(s.fh)
+		e.rebuildShardRoutingInner(s.shard)
+		sh.mu.Unlock()
+	}
 	ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
 	e.mu.Unlock()
 	e.notifyChurn(ev)
@@ -454,14 +545,14 @@ func (e *Engine) maybeRebuild(force bool) {
 			return
 		}
 		ver := e.regVer
-		pats := e.patternsLocked()
+		pats := e.patternsLocked(nil)
 		e.mu.RUnlock()
 
 		sim := e.est.SimilarityMatrix(e.cfg.Metric, pats)
 
 		e.mu.Lock()
 		if e.regVer == ver {
-			e.comms = cluster.BuildGreedy(sim, e.cfg.Threshold)
+			e.replaceClusteringLocked(cluster.BuildGreedy(sim, e.cfg.Threshold))
 			e.stale = 0
 			e.counters.rebuilds.Add(1)
 			live := len(e.subs)
@@ -480,162 +571,11 @@ func (e *Engine) Rebuild() {
 	e.maybeRebuild(true)
 }
 
-func (e *Engine) patternsLocked() []*pattern.Pattern {
-	ps := make([]*pattern.Pattern, len(e.subs))
-	for i, s := range e.subs {
-		ps[i] = s.pat
+func (e *Engine) patternsLocked(dst []*pattern.Pattern) []*pattern.Pattern {
+	for _, s := range e.subs {
+		dst = append(dst, s.pat)
 	}
-	return ps
-}
-
-// Publish routes one document: it is queued for synopsis ingestion
-// (blocking only if the ingest pipeline is full — backpressure), then
-// matched against each community representative under the shared read
-// lock; communities that hit receive the document on every member's
-// delivery queue. Matching per representative rather than per consumer
-// is the whole point: filter evaluations scale with the number of
-// communities, not subscriptions.
-func (e *Engine) Publish(t *xmltree.Tree) (PublishResult, error) {
-	return e.publish(t, false)
-}
-
-// InjectRemote routes a document that arrived from a peer broker in the
-// overlay. It behaves exactly like Publish — the document feeds the
-// synopsis (remote traffic is part of the stream the estimator models),
-// enters the retention ring, and is delivered to matching local
-// communities — but is counted separately (Stats.RemoteInjected), so
-// operators can tell locally published from federated traffic.
-func (e *Engine) InjectRemote(t *xmltree.Tree) (PublishResult, error) {
-	return e.publish(t, true)
-}
-
-func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
-	start := time.Now()
-	// Enqueue for ingestion before taking the registry lock: a full
-	// pipeline blocks only publishers (and Close), never Drain/Stats.
-	e.pipeMu.RLock()
-	if e.pipeClosed {
-		e.pipeMu.RUnlock()
-		return PublishResult{}, ErrClosed
-	}
-	e.counters.ingestQueued.Add(1)
-	e.ingest <- ingestItem{tree: t}
-	e.pipeMu.RUnlock()
-
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	res := PublishResult{Seq: e.pubSeq.Add(1)}
-	e.docs.put(res.Seq, t)
-	sample := e.cfg.PrecisionSample
-	// A publish that raced Close past the pipeline check was already
-	// accepted into the synopsis; it simply routes to nobody (every
-	// queue is closed), keeping Published == documents ingested.
-	if !e.closed {
-		// One single-pass forest match decides every subscription —
-		// representatives for the community routing decision, members
-		// for the precision sample — instead of one pattern.Matches
-		// memo per (document, pattern) pair.
-		ms := e.forest.Match(t)
-		for g, rep := range e.comms.Reps {
-			e.counters.filterEvals.Add(1)
-			if !ms.Has(e.subs[rep].fh) {
-				continue
-			}
-			res.Matched++
-			for _, member := range e.comms.Groups[g] {
-				s := e.subs[member]
-				enqueued, evicted := s.q.push(Delivery{Doc: res.Seq, Community: g})
-				if evicted || !enqueued {
-					// Evictions charge the publish that forced them;
-					// the lost delivery belongs to an older document.
-					res.Dropped++
-					e.counters.dropped.Add(1)
-				}
-				if !enqueued {
-					continue
-				}
-				res.Deliveries++
-				n := e.counters.delivered.Add(1)
-				if sample > 0 && n%uint64(sample) == 0 {
-					e.counters.sampled.Add(1)
-					if ms.Has(s.fh) {
-						e.counters.sampledHits.Add(1)
-					}
-				}
-			}
-		}
-		ms.Release()
-	}
-	e.counters.published.Add(1)
-	if remote {
-		e.counters.remoteInjected.Add(1)
-	}
-	e.lat.record(time.Since(start))
-	return res, nil
-}
-
-// PublishXML parses one XML document from r and publishes it.
-func (e *Engine) PublishXML(r io.Reader) (PublishResult, error) {
-	t, err := xmltree.Parse(r, e.cfg.Estimator.ParseOptions)
-	if err != nil {
-		return PublishResult{}, fmt.Errorf("broker: publish: %w", err)
-	}
-	return e.Publish(t)
-}
-
-// runIngest is the background synopsis feeder: it drains the pipeline
-// in batches so the estimator's exclusive lock is taken once per batch
-// instead of once per document.
-func (e *Engine) runIngest() {
-	defer e.ingestWG.Done()
-	batch := make([]*xmltree.Tree, 0, e.cfg.IngestBatch)
-	var done []chan struct{}
-	for item := range e.ingest {
-		batch, done = batch[:0], done[:0]
-		for {
-			if item.tree != nil {
-				batch = append(batch, item.tree)
-			}
-			if item.done != nil {
-				done = append(done, item.done)
-			}
-			if len(batch) >= e.cfg.IngestBatch {
-				break
-			}
-			var more bool
-			select {
-			case item, more = <-e.ingest:
-				if !more {
-					item = ingestItem{}
-				}
-			default:
-				more = false
-			}
-			if !more || (item.tree == nil && item.done == nil) {
-				break
-			}
-		}
-		e.est.ObserveTrees(batch)
-		e.counters.ingested.Add(uint64(len(batch)))
-		for _, ch := range done {
-			close(ch)
-		}
-	}
-}
-
-// Flush blocks until every document queued before the call has been
-// ingested into the synopsis (tests and benchmarks use this to make
-// estimator state deterministic).
-func (e *Engine) Flush() {
-	e.pipeMu.RLock()
-	if e.pipeClosed {
-		e.pipeMu.RUnlock()
-		return
-	}
-	ch := make(chan struct{})
-	e.ingest <- ingestItem{done: ch}
-	e.pipeMu.RUnlock()
-	<-ch
+	return dst
 }
 
 // Drain removes and returns up to max queued deliveries for the given

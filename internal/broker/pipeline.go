@@ -1,0 +1,213 @@
+package broker
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"treesim/internal/xmltree"
+)
+
+// This file is the document plane: the publish entry points, the
+// batched publish pipeline, the background synopsis ingester, and the
+// recent-document retention ring. Routing state lives in shard.go; the
+// subscription registry in broker.go.
+
+// ingestItem is one unit of the publish→synopsis pipeline: a document
+// to ingest, or a flush marker (nil tree) whose done channel is closed
+// once everything queued before it has been ingested.
+type ingestItem struct {
+	tree *xmltree.Tree
+	done chan struct{}
+}
+
+// Publish routes one document: it is queued for synopsis ingestion
+// (blocking only if the ingest pipeline is full — backpressure), loaded
+// once into a pooled flat arena, then matched by every shard in
+// parallel; communities that hit receive the document on every member's
+// delivery queue. Matching per representative rather than per consumer
+// is the whole point: filter evaluations scale with the number of
+// communities, not subscriptions.
+func (e *Engine) Publish(t *xmltree.Tree) (PublishResult, error) {
+	return e.publish(t, false)
+}
+
+// InjectRemote routes a document that arrived from a peer broker in the
+// overlay. It behaves exactly like Publish — the document feeds the
+// synopsis (remote traffic is part of the stream the estimator models),
+// enters the retention ring, and is delivered to matching local
+// communities — but is counted separately (Stats.RemoteInjected), so
+// operators can tell locally published from federated traffic.
+func (e *Engine) InjectRemote(t *xmltree.Tree) (PublishResult, error) {
+	return e.publish(t, true)
+}
+
+func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
+	start := time.Now()
+	// Enqueue for ingestion before taking any routing lock: a full
+	// pipeline blocks only publishers (and Close), never Drain/Stats.
+	e.pipeMu.RLock()
+	if e.pipeClosed {
+		e.pipeMu.RUnlock()
+		return PublishResult{}, ErrClosed
+	}
+	e.counters.ingestQueued.Add(1)
+	e.ingest <- ingestItem{tree: t}
+	e.pipeMu.RUnlock()
+
+	// routeMu (shared) orders routing against Close, not against
+	// subscription churn: registry mutations commit under the registry
+	// and per-shard locks, so a publish contends with churn only on the
+	// one shard being maintained.
+	e.routeMu.RLock()
+	defer e.routeMu.RUnlock()
+	res := PublishResult{Seq: e.pubSeq.Add(1)}
+	e.docs.put(res.Seq, t)
+	// A publish that raced Close past the pipeline check was already
+	// accepted into the synopsis; it simply routes to nobody, keeping
+	// Published == documents ingested.
+	if !e.routeClosed {
+		e.routeDoc(t, &res)
+	}
+	e.counters.published.Add(1)
+	if remote {
+		e.counters.remoteInjected.Add(1)
+	}
+	e.lat.record(time.Since(start))
+	return res, nil
+}
+
+// PublishBatch routes a batch of documents with amortized overhead: one
+// ingest-pipeline acquisition and one routing epoch for the whole
+// batch, with each document still fanned out to all shards in
+// parallel. Results are index-aligned with ts. An empty batch is a
+// no-op. This is the engine half of the daemon's batched POST /publish;
+// load generators use it to amortize per-request costs the same way.
+func (e *Engine) PublishBatch(ts []*xmltree.Tree) ([]PublishResult, error) {
+	out := make([]PublishResult, len(ts))
+	if len(ts) == 0 {
+		return out, nil
+	}
+	e.pipeMu.RLock()
+	if e.pipeClosed {
+		e.pipeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	e.counters.ingestQueued.Add(uint64(len(ts)))
+	for _, t := range ts {
+		e.ingest <- ingestItem{tree: t}
+	}
+	e.pipeMu.RUnlock()
+
+	e.routeMu.RLock()
+	defer e.routeMu.RUnlock()
+	for i, t := range ts {
+		start := time.Now()
+		out[i].Seq = e.pubSeq.Add(1)
+		e.docs.put(out[i].Seq, t)
+		if !e.routeClosed {
+			e.routeDoc(t, &out[i])
+		}
+		e.counters.published.Add(1)
+		e.lat.record(time.Since(start))
+	}
+	return out, nil
+}
+
+// PublishXML parses one XML document from r and publishes it.
+func (e *Engine) PublishXML(r io.Reader) (PublishResult, error) {
+	t, err := xmltree.Parse(r, e.cfg.Estimator.ParseOptions)
+	if err != nil {
+		return PublishResult{}, fmt.Errorf("broker: publish: %w", err)
+	}
+	return e.Publish(t)
+}
+
+// runIngest is the background synopsis feeder: it drains the pipeline
+// in batches so the estimator's exclusive lock is taken once per batch
+// instead of once per document.
+func (e *Engine) runIngest() {
+	defer e.ingestWG.Done()
+	batch := make([]*xmltree.Tree, 0, e.cfg.IngestBatch)
+	var done []chan struct{}
+	for item := range e.ingest {
+		batch, done = batch[:0], done[:0]
+		for {
+			if item.tree != nil {
+				batch = append(batch, item.tree)
+			}
+			if item.done != nil {
+				done = append(done, item.done)
+			}
+			if len(batch) >= e.cfg.IngestBatch {
+				break
+			}
+			var more bool
+			select {
+			case item, more = <-e.ingest:
+				if !more {
+					item = ingestItem{}
+				}
+			default:
+				more = false
+			}
+			if !more || (item.tree == nil && item.done == nil) {
+				break
+			}
+		}
+		e.est.ObserveTrees(batch)
+		e.counters.ingested.Add(uint64(len(batch)))
+		for _, ch := range done {
+			close(ch)
+		}
+	}
+}
+
+// Flush blocks until every document queued before the call has been
+// ingested into the synopsis (tests and benchmarks use this to make
+// estimator state deterministic).
+func (e *Engine) Flush() {
+	e.pipeMu.RLock()
+	if e.pipeClosed {
+		e.pipeMu.RUnlock()
+		return
+	}
+	ch := make(chan struct{})
+	e.ingest <- ingestItem{done: ch}
+	e.pipeMu.RUnlock()
+	<-ch
+}
+
+// docRing retains the most recent published documents keyed by publish
+// sequence, so a delivery's content is retrievable after routing.
+type docRing struct {
+	mu  sync.Mutex
+	buf []docEntry
+}
+
+type docEntry struct {
+	seq  uint64
+	tree *xmltree.Tree
+}
+
+func (r *docRing) put(seq uint64, t *xmltree.Tree) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[seq%uint64(len(r.buf))] = docEntry{seq: seq, tree: t}
+	r.mu.Unlock()
+}
+
+func (r *docRing) get(seq uint64) *xmltree.Tree {
+	if r == nil || seq == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.buf[seq%uint64(len(r.buf))]; e.seq == seq {
+		return e.tree
+	}
+	return nil
+}

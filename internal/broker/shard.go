@@ -1,0 +1,276 @@
+package broker
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treesim/internal/cluster"
+	"treesim/internal/matching"
+	"treesim/internal/xmltree"
+)
+
+// shard is one slice of the broker's matching + delivery plane. Every
+// community is pinned to exactly one shard (community-aware placement:
+// co-clustered subscribers land together, so a community that matches
+// fans out entirely behind one shard lock), and each shard owns a
+// matching.Forest holding just its communities' patterns. A publish
+// loads the document into one pooled Flat arena and matches it against
+// all shards in parallel; shards share no mutable state on that path,
+// so the fan-out scales with cores.
+//
+// Locking: sh.mu is held shared by the publish fan-out (forest Match +
+// group iteration) and exclusively by forest/routing maintenance. The
+// registry lock (Engine.mu) is always acquired first when both are
+// held, and publishes take neither the registry lock nor other shards'
+// locks — subscribing on one shard never stalls matching on another.
+type shard struct {
+	mu     sync.RWMutex
+	forest *matching.Forest
+
+	// groups/members are the shard's routing table, rebuilt by the
+	// registry mutators into reused backing arrays (the swap happens
+	// under mu held exclusively, so readers never observe a partial
+	// rebuild and steady-state churn does not allocate).
+	groups  []shardGroup
+	members []shardMember
+
+	// nGroups mirrors len(groups) for the fan-out's lock-free skip:
+	// with default sizing (one shard per core) most shards of a lightly
+	// subscribed engine are empty, and spawning a goroutine just to
+	// take a lock and return would be the hot path's dominant cost.
+	nGroups atomic.Int64
+}
+
+// shardGroup is one community resident on the shard: the global
+// community index (reported in deliveries), its representative's
+// forest handle, and the member range in the shard's member arena.
+type shardGroup struct {
+	comm       int
+	repFH      int
+	start, end int
+}
+
+// shardMember is one receiving subscription: its forest handle (for
+// the precision sample) and delivery queue.
+type shardMember struct {
+	fh int
+	q  *queue
+}
+
+// route matches one document (pre-loaded into flat with the shared
+// label table) against the shard's forest and fans it out to the
+// members of every community whose representative matched. Counter
+// updates go straight to the engine's atomic counters; the return
+// values feed the publish's result merge.
+func (sh *shard) route(t *xmltree.Tree, flat *xmltree.Flat, seq uint64, sample int, c *counters) (matched, deliveries, dropped int) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if len(sh.groups) == 0 {
+		return 0, 0, 0
+	}
+	ms := sh.forest.MatchFlat(t, flat)
+	c.filterEvals.Add(uint64(len(sh.groups)))
+	for _, g := range sh.groups {
+		if !ms.Has(g.repFH) {
+			continue
+		}
+		matched++
+		for _, m := range sh.members[g.start:g.end] {
+			enqueued, evicted := m.q.push(Delivery{Doc: seq, Community: g.comm})
+			if evicted || !enqueued {
+				// Evictions charge the publish that forced them; the
+				// lost delivery belongs to an older document.
+				dropped++
+				c.dropped.Add(1)
+			}
+			if !enqueued {
+				continue
+			}
+			deliveries++
+			n := c.delivered.Add(1)
+			if sample > 0 && n%uint64(sample) == 0 {
+				c.sampled.Add(1)
+				if ms.Has(m.fh) {
+					c.sampledHits.Add(1)
+				}
+			}
+		}
+	}
+	ms.Release()
+	return matched, deliveries, dropped
+}
+
+// routeDoc fans one document out to every shard — in parallel when
+// both the shard count and GOMAXPROCS allow it — and merges the
+// per-shard tallies into res. Caller holds routeMu shared.
+func (e *Engine) routeDoc(t *xmltree.Tree, res *PublishResult) {
+	flat, _ := e.flatPool.Get().(*xmltree.Flat)
+	if flat == nil {
+		flat = &xmltree.Flat{}
+	}
+	flat.Load(t, e.tbl)
+	sample := e.cfg.PrecisionSample
+	fan, _ := e.fanPool.Get().(*fanState)
+	if fan == nil {
+		fan = &fanState{}
+	}
+	// Fan out only to populated shards (advisory snapshot: a publish
+	// that started before a subscribe committed need not see it).
+	active := fan.active[:0]
+	for _, sh := range e.shards {
+		if sh.nGroups.Load() > 0 {
+			active = append(active, sh)
+		}
+	}
+	fan.active = active
+	if len(active) <= 1 || e.procs == 1 {
+		for _, sh := range active {
+			m, d, dr := sh.route(t, flat, res.Seq, sample, &e.counters)
+			res.Matched += m
+			res.Deliveries += d
+			res.Dropped += dr
+		}
+	} else {
+		if cap(fan.res) < len(active) {
+			fan.res = make([]shardResult, len(active))
+		}
+		fan.res = fan.res[:len(active)]
+		for i := 1; i < len(active); i++ {
+			fan.wg.Add(1)
+			go func(i int) {
+				defer fan.wg.Done()
+				r := &fan.res[i]
+				r.matched, r.deliveries, r.dropped = active[i].route(t, flat, res.Seq, sample, &e.counters)
+			}(i)
+		}
+		r0 := &fan.res[0]
+		r0.matched, r0.deliveries, r0.dropped = active[0].route(t, flat, res.Seq, sample, &e.counters)
+		fan.wg.Wait()
+		for i := range fan.res {
+			res.Matched += fan.res[i].matched
+			res.Deliveries += fan.res[i].deliveries
+			res.Dropped += fan.res[i].dropped
+		}
+	}
+	e.fanPool.Put(fan)
+	e.flatPool.Put(flat)
+}
+
+// fanState is the pooled scratch of one parallel fan-out.
+type fanState struct {
+	wg     sync.WaitGroup
+	active []*shard
+	res    []shardResult
+}
+
+type shardResult struct {
+	matched, deliveries, dropped int
+}
+
+// resolveShards turns the configured shard count into an actual one:
+// 0 scales with GOMAXPROCS (capped — beyond the core count extra
+// shards only shrink per-forest sharing), negative forces the
+// unsharded single-forest layout.
+func resolveShards(n int) int {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// placeCommunityLocked picks the shard for a newly founded community:
+// the one with the fewest live subscriptions (ties toward the lower
+// index, keeping placement deterministic). Caller holds the registry
+// lock exclusively.
+func (e *Engine) placeCommunityLocked() int {
+	best := 0
+	for s := 1; s < len(e.shardLive); s++ {
+		if e.shardLive[s] < e.shardLive[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// rebuildShardRoutingInner rebuilds one shard's routing table from the
+// global clustering into the shard's reused backing arrays. The caller
+// holds the registry lock exclusively AND the shard's lock exclusively
+// — forest mutations and the table swap must share one critical
+// section, or a concurrent publish could match a stale table whose
+// forest handles have been freed (silently skipping a community) or
+// reused by a different pattern (misdelivering to the old community's
+// members).
+func (e *Engine) rebuildShardRoutingInner(si int) {
+	sh := e.shards[si]
+	sh.groups = sh.groups[:0]
+	sh.members = sh.members[:0]
+	for g, members := range e.comms.Groups {
+		if e.commShard[g] != si {
+			continue
+		}
+		start := len(sh.members)
+		for _, idx := range members {
+			s := e.subs[idx]
+			sh.members = append(sh.members, shardMember{fh: s.fh, q: s.q})
+		}
+		sh.groups = append(sh.groups, shardGroup{
+			comm:  g,
+			repFH: e.subs[e.comms.Reps[g]].fh,
+			start: start,
+			end:   len(sh.members),
+		})
+	}
+	sh.nGroups.Store(int64(len(sh.groups)))
+}
+
+// replaceClusteringLocked installs a freshly built clustering: it
+// re-balances communities across shards (largest first onto the least
+// loaded), moves subscriptions whose shard changed between forests, and
+// rebuilds every routing table. Caller holds the registry lock
+// exclusively. The swap holds routeMu exclusively — a publish keeps
+// routeMu shared across its WHOLE multi-shard fan-out, so without it a
+// publish could route shard A before a community moved off it and
+// shard B after it arrived (double delivery), or miss the community on
+// both (lost delivery). The shard locks are then taken too (ordering:
+// registry → routeMu → shard) so the tables' writer invariant stays
+// uniform with the single-shard churn paths. Rebuilds are
+// policy-amortized, so the global stall is rare and bounded by the
+// move work.
+func (e *Engine) replaceClusteringLocked(comms *cluster.Communities) {
+	e.routeMu.Lock()
+	defer e.routeMu.Unlock()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	e.comms = comms
+	e.commShard = cluster.BalanceShards(comms.Groups, len(e.shards))
+	for i := range e.shardLive {
+		e.shardLive[i] = 0
+	}
+	for g, members := range comms.Groups {
+		si := e.commShard[g]
+		e.shardLive[si] += len(members)
+		for _, idx := range members {
+			s := e.subs[idx]
+			if s.shard == si {
+				continue
+			}
+			e.shards[s.shard].forest.Remove(s.fh)
+			s.fh = e.shards[si].forest.Add(s.pat)
+			s.shard = si
+		}
+	}
+	for si := range e.shards {
+		e.rebuildShardRoutingInner(si)
+	}
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
+}

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,13 @@ type Stats struct {
 	// Rebuilds counts full re-clusterings.
 	StaleOps int    `json:"stale_ops"`
 	Rebuilds uint64 `json:"rebuilds"`
+
+	// Shards is the engine's matching/delivery shard count and CPUs the
+	// GOMAXPROCS it runs under — the parallelism context for every
+	// throughput figure below (load generators carry both into their
+	// benchmark reports).
+	Shards int `json:"shards"`
+	CPUs   int `json:"cpus"`
 
 	Subscribes   uint64 `json:"subscribes"`
 	Unsubscribes uint64 `json:"unsubscribes"`
@@ -90,6 +98,8 @@ func (e *Engine) Stats() Stats {
 		Communities:      groups,
 		Singletons:       singles,
 		StaleOps:         stale,
+		Shards:           len(e.shards),
+		CPUs:             runtime.GOMAXPROCS(0),
 		Rebuilds:         c.rebuilds.Load(),
 		Subscribes:       c.subscribes.Load(),
 		Unsubscribes:     c.unsubscribes.Load(),
@@ -115,21 +125,18 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// latencyRing keeps the most recent publish latencies for on-demand
-// percentile computation. Writes take a short mutex (a publish records
-// one int64); percentile reads copy and sort outside the lock.
-type latencyRing struct {
+// latencyStripe is one shard's ring of recent publish latencies.
+// Writes take a short per-stripe mutex (a publish records one int64);
+// striping keeps concurrent publishers on different shards from
+// serializing on a single stats lock.
+type latencyStripe struct {
 	mu   sync.Mutex
 	buf  []int64
 	next int
 	n    int
 }
 
-func newLatencyRing(window int) *latencyRing {
-	return &latencyRing{buf: make([]int64, window)}
-}
-
-func (r *latencyRing) record(d time.Duration) {
+func (r *latencyStripe) record(d time.Duration) {
 	r.mu.Lock()
 	r.buf[r.next] = int64(d)
 	r.next = (r.next + 1) % len(r.buf)
@@ -139,15 +146,49 @@ func (r *latencyRing) record(d time.Duration) {
 	r.mu.Unlock()
 }
 
-func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
+// appendSamples copies the stripe's current samples onto dst.
+func (r *latencyStripe) appendSamples(dst []int64) []int64 {
 	r.mu.Lock()
-	snap := make([]int64, r.n)
-	if r.n == len(r.buf) {
-		copy(snap, r.buf)
-	} else {
-		copy(snap, r.buf[:r.n])
+	defer r.mu.Unlock()
+	return append(dst, r.buf[:r.n]...)
+}
+
+// latencyReservoir is the sharded latency sample store: `stripes`
+// independent rings whose total capacity is the configured window.
+// Percentiles are computed by merging every stripe's samples into one
+// pool and reading the quantiles off the sorted merge — NEVER by
+// averaging per-stripe percentiles, which is statistically meaningless
+// (the p99 of skewed stripes is dominated by the slowest stripe, and an
+// average would dilute it).
+type latencyReservoir struct {
+	stripes []latencyStripe
+	next    atomic.Uint64
+}
+
+func newLatencyReservoir(window, stripes int) *latencyReservoir {
+	if stripes < 1 {
+		stripes = 1
 	}
-	r.mu.Unlock()
+	if stripes > window {
+		stripes = window
+	}
+	per := (window + stripes - 1) / stripes
+	r := &latencyReservoir{stripes: make([]latencyStripe, stripes)}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]int64, per)
+	}
+	return r
+}
+
+func (r *latencyReservoir) record(d time.Duration) {
+	r.stripes[r.next.Add(1)%uint64(len(r.stripes))].record(d)
+}
+
+func (r *latencyReservoir) percentiles() (p50, p99 time.Duration) {
+	var snap []int64
+	for i := range r.stripes {
+		snap = r.stripes[i].appendSamples(snap)
+	}
 	if len(snap) == 0 {
 		return 0, 0
 	}

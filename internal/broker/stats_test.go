@@ -1,0 +1,66 @@
+package broker
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyReservoirMergedPercentiles pins the sharded reservoir's
+// quantile semantics: per-stripe samples are merged into one pool and
+// the quantiles read off the sorted merge. The skewed cases would give
+// different (wrong) answers if stripes were summarized first and their
+// percentiles averaged — the canonical sharding mistake this test
+// guards against.
+func TestLatencyReservoirMergedPercentiles(t *testing.T) {
+	cases := []struct {
+		name     string
+		window   int
+		stripes  int
+		samples  []int64 // recorded round-robin across stripes
+		p50, p99 int64
+	}{
+		// Quantile convention is the floor index q·(n-1) of the sorted
+		// merged pool (matching the pre-sharding ring).
+		{"single stripe", 8, 1, []int64{10, 20, 30, 40}, 20, 30},
+		{"uniform across stripes", 8, 2, []int64{10, 20, 30, 40}, 20, 30},
+		// Stripe 0 gets {1,3}, stripe 1 gets {1000, 2000}. Averaging
+		// per-stripe p50s would give (1+1000)/2 ≈ 500 — nowhere in the
+		// data; the merged pool {1,3,1000,2000} has p50 = 3.
+		{"skewed stripes", 8, 2, []int64{1, 1000, 3, 2000}, 3, 1000},
+		// One hot stripe holds the entire tail: merged p99 must surface
+		// it even though 3 of 4 stripes never saw a slow publish
+		// (averaging per-stripe p99s would report ≈ 2380, not 9500).
+		{"tail in one stripe", 16, 4,
+			[]int64{5, 5, 5, 9000, 5, 5, 5, 9500, 5, 5, 5, 9900}, 5, 9500},
+		{"empty", 8, 4, nil, 0, 0},
+		// More stripes than window: stripes clamp, recording still works.
+		{"stripes clamp to window", 2, 8, []int64{7, 9}, 7, 7},
+	}
+	for _, c := range cases {
+		r := newLatencyReservoir(c.window, c.stripes)
+		for _, s := range c.samples {
+			r.record(time.Duration(s))
+		}
+		p50, p99 := r.percentiles()
+		if int64(p50) != c.p50 || int64(p99) != c.p99 {
+			t.Errorf("%s: percentiles = (%d, %d), want (%d, %d)",
+				c.name, int64(p50), int64(p99), c.p50, c.p99)
+		}
+	}
+}
+
+// TestLatencyReservoirWindowEviction checks that each stripe is a ring:
+// old samples age out once the total window has wrapped.
+func TestLatencyReservoirWindowEviction(t *testing.T) {
+	r := newLatencyReservoir(4, 2)
+	for i := 0; i < 4; i++ {
+		r.record(time.Duration(1_000_000)) // old regime
+	}
+	for i := 0; i < 4; i++ {
+		r.record(time.Duration(10)) // new regime fills the whole window
+	}
+	p50, p99 := r.percentiles()
+	if int64(p50) != 10 || int64(p99) != 10 {
+		t.Fatalf("percentiles after wrap = (%d, %d), want (10, 10)", int64(p50), int64(p99))
+	}
+}

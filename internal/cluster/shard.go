@@ -1,0 +1,41 @@
+package cluster
+
+import "sort"
+
+// BalanceShards assigns each community group to one of `shards` shards,
+// balancing by member count: groups are placed largest-first onto the
+// currently least-loaded shard (LPT scheduling — within 4/3 of the
+// optimal makespan). Keeping whole communities on one shard is what
+// makes sharded routing cheap: a document that matches a community's
+// representative fans out to members that all live behind one shard
+// lock ("Balanced Dynamic Content Addressing in Trees" argues the same
+// locality for tree-structured workloads).
+//
+// The result maps group index → shard index and is deterministic: ties
+// in group size break toward the earlier group, ties in shard load
+// toward the lower shard.
+func BalanceShards(groups [][]int, shards int) []int {
+	out := make([]int, len(groups))
+	if shards <= 1 {
+		return out
+	}
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(groups[order[a]]) > len(groups[order[b]])
+	})
+	load := make([]int, shards)
+	for _, g := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		out[g] = best
+		load[best] += len(groups[g])
+	}
+	return out
+}

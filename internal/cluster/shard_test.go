@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBalanceShards(t *testing.T) {
+	mk := func(sizes ...int) [][]int {
+		out := make([][]int, len(sizes))
+		for i, n := range sizes {
+			out[i] = make([]int, n)
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		groups [][]int
+		shards int
+		want   []int
+	}{
+		{"empty", nil, 4, []int{}},
+		{"one shard", mk(3, 1, 2), 1, []int{0, 0, 0}},
+		{"zero shards treated as one", mk(2, 2), 0, []int{0, 0}},
+		// Largest-first: 5→s0, 4→s1, 3→s1(load 4 vs 5? no: loads 5,4 → s1),
+		// 2→s1? loads 5,7 → s0. Final loads 7,7.
+		{"lpt balance", mk(5, 4, 3, 2), 2, []int{0, 1, 1, 0}},
+		// Ties in size keep group order; ties in load pick lower shard.
+		{"ties deterministic", mk(1, 1, 1, 1), 2, []int{0, 1, 0, 1}},
+		{"more shards than groups", mk(2, 1), 4, []int{0, 1}},
+	}
+	for _, c := range cases {
+		got := BalanceShards(c.groups, c.shards)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: BalanceShards = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Load spread property: max-min member load ≤ largest group size.
+	groups := mk(9, 7, 5, 5, 4, 3, 3, 2, 1, 1)
+	asg := BalanceShards(groups, 3)
+	load := make([]int, 3)
+	for g, s := range asg {
+		load[s] += len(groups[g])
+	}
+	minL, maxL := load[0], load[0]
+	for _, l := range load {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if maxL-minL > 9 {
+		t.Errorf("unbalanced shards: loads %v", load)
+	}
+}

@@ -73,7 +73,34 @@ type Estimator struct {
 	cfg Config
 	syn *synopsis.Synopsis
 	sel *selectivity.Estimator
+
+	// vals caches one SEL evaluation per pattern pointer for the current
+	// synopsis version. Live brokers re-evaluate the same registry
+	// patterns on every incremental similarity row and every matrix
+	// rebuild; between synopsis mutations those evaluations are
+	// identical, so the cache turns the O(n) SEL passes of a subscribe
+	// into O(n) cache hits plus one evaluation of the new pattern.
+	// Guarded by valMu (a leaf lock under mu); reset wholesale whenever
+	// the synopsis version moves on (every entry is stale then, and the
+	// reset also drops entries for unsubscribed patterns).
+	valMu   sync.Mutex
+	valsVer int64
+	vals    map[*pattern.Pattern]evalEntry
 }
+
+// evalEntry is one cached SEL evaluation: the (immutable) matching-set
+// value and its normalized cardinality.
+type evalEntry struct {
+	val  matchset.Value
+	card float64
+}
+
+// evalCacheCap bounds the eval cache between synopsis mutations: a
+// static synopsis under heavy subscription churn would otherwise grow
+// the map with dead pattern pointers. Exceeding the cap clears the
+// whole cache (entries are independent; correctness never depends on a
+// hit).
+const evalCacheCap = 8192
 
 // NewEstimator returns an estimator with the given configuration.
 func NewEstimator(cfg Config) *Estimator {
@@ -249,6 +276,36 @@ func LoadEstimator(r io.Reader) (*Estimator, error) {
 	return &Estimator{cfg: cfg, syn: syn, sel: selectivity.New(syn)}, nil
 }
 
+// cachedEval returns the SEL evaluation of p (value + normalized
+// cardinality), consulting the per-version cache. The caller must hold
+// at least the shared read lock, so the synopsis version is stable for
+// the duration of the call. Concurrent misses may evaluate the same
+// pattern twice; both arrive at the same immutable value.
+func (e *Estimator) cachedEval(p *pattern.Pattern) (matchset.Value, float64) {
+	ver := e.syn.Version()
+	e.valMu.Lock()
+	if e.vals == nil || e.valsVer != ver || len(e.vals) >= evalCacheCap {
+		e.valsVer = ver
+		if e.vals == nil {
+			e.vals = make(map[*pattern.Pattern]evalEntry)
+		} else {
+			clear(e.vals)
+		}
+	} else if ent, ok := e.vals[p]; ok {
+		e.valMu.Unlock()
+		return ent.val, ent.card
+	}
+	e.valMu.Unlock()
+	v := e.sel.Evaluate(p)
+	c := e.sel.EvaluateCard(v)
+	e.valMu.Lock()
+	if e.valsVer == ver && len(e.vals) < evalCacheCap {
+		e.vals[p] = evalEntry{val: v, card: c}
+	}
+	e.valMu.Unlock()
+	return v, c
+}
+
 // SimilarityMatrix computes the full pairwise similarity matrix of a
 // subscription set under metric m. The result is row-major: result[i][j]
 // = m(subs[i], subs[j]).
@@ -293,8 +350,7 @@ func (e *Estimator) SimilarityMatrix(m metrics.Metric, subs []*pattern.Pattern) 
 			if e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, p) {
 				continue
 			}
-			vals[i] = e.sel.Evaluate(p)
-			ps[i] = e.sel.EvaluateCard(vals[i])
+			vals[i], ps[i] = e.cachedEval(p)
 		}
 	})
 
@@ -328,10 +384,21 @@ func (e *Estimator) SimilarityMatrix(m metrics.Metric, subs []*pattern.Pattern) 
 // existing subscription), fanned out across the same GOMAXPROCS worker
 // pool as SimilarityMatrix and holding only the shared read lock.
 func (e *Estimator) SimilarityRow(m metrics.Metric, p *pattern.Pattern, subs []*pattern.Pattern) []float64 {
+	return e.SimilarityRowInto(nil, m, p, subs)
+}
+
+// SimilarityRowInto is SimilarityRow writing into dst (grown or
+// truncated to len(subs); a fresh slice is allocated only when dst's
+// capacity is short). Churn-heavy callers keep a pooled buffer and
+// avoid one row allocation per subscribe.
+func (e *Estimator) SimilarityRowInto(dst []float64, m metrics.Metric, p *pattern.Pattern, subs []*pattern.Pattern) []float64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	n := len(subs)
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
 	if n == 0 {
 		return out
 	}
@@ -341,8 +408,7 @@ func (e *Estimator) SimilarityRow(m metrics.Metric, p *pattern.Pattern, subs []*
 	var pv matchset.Value
 	var pp float64
 	if pFeasible {
-		pv = e.sel.Evaluate(p)
-		pp = e.sel.EvaluateCard(pv)
+		pv, pp = e.cachedEval(p)
 	}
 
 	workers := min(runtime.GOMAXPROCS(0), n)
@@ -358,14 +424,13 @@ func (e *Estimator) SimilarityRow(m metrics.Metric, p *pattern.Pattern, subs []*
 				out[i] = m.Eval(metrics.Probs{Q: pp})
 				continue
 			}
-			qv := e.sel.Evaluate(q)
-			qp := e.sel.EvaluateCard(qv)
+			qv, qp := e.cachedEval(q)
 			var and float64
 			switch {
 			case !pFeasible:
 			case e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, pattern.MergeRoots(p, q)):
 			default:
-				and = e.sel.EvaluateCard(pv.Intersect(qv))
+				and = e.sel.IntersectP(pv, qv)
 			}
 			out[i] = m.Eval(metrics.Probs{P: qp, Q: pp, And: and})
 		}
@@ -391,7 +456,7 @@ func (e *Estimator) matrixRow(m metrics.Metric, subs []*pattern.Pattern, vals []
 		case e.cfg.DTD != nil && !dtd.Feasible(e.cfg.DTD, pattern.MergeRoots(subs[i], subs[j])):
 			and = 0
 		default:
-			and = e.sel.EvaluateCard(vals[i].Intersect(vals[j]))
+			and = e.sel.IntersectP(vals[i], vals[j])
 		}
 		out[i][j] = m.Eval(metrics.Probs{P: ps[i], Q: ps[j], And: and})
 		if m.Symmetric() {

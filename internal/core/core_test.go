@@ -297,3 +297,86 @@ func TestZeroConfigWorks(t *testing.T) {
 		t.Errorf("P = %v, want 1", got)
 	}
 }
+
+// TestEvalCacheTracksSynopsisMutation guards the per-version SEL value
+// cache: similarity answers must be recomputed — not served stale —
+// after the synopsis ingests more documents, and cached rows must agree
+// with the uncached pairwise Similarity path at every version.
+func TestEvalCacheTracksSynopsisMutation(t *testing.T) {
+	subs := []*pattern.Pattern{
+		pattern.MustParse("/a/b"),
+		pattern.MustParse("//c"),
+		pattern.MustParse("/a[b][c]"),
+	}
+	p := pattern.MustParse("//b")
+	for _, kind := range []Representation{Counters, Sets, Hashes} {
+		e := NewEstimator(Config{Representation: kind, SetCapacity: 1 << 20, HashCapacity: 1 << 20, Seed: 1})
+		check := func(stage string) {
+			// Two row computations at one synopsis version: the second is
+			// all cache hits and must match both the first and the
+			// uncached pairwise path.
+			r1 := e.SimilarityRow(metrics.M3, p, subs)
+			r2 := e.SimilarityRow(metrics.M3, p, subs)
+			for i, q := range subs {
+				want := e.Similarity(metrics.M3, q, p)
+				if math.Abs(r1[i]-want) > 1e-12 || r1[i] != r2[i] {
+					t.Errorf("%v/%s: row[%d] = %v/%v, pairwise = %v", kind, stage, i, r1[i], r2[i], want)
+				}
+			}
+		}
+		for _, s := range []string{"a(b)", "a(b,c)", "a(c)"} {
+			tr, err := xmltree.ParseCompact(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.ObserveTree(tr)
+		}
+		check("warm")
+		before := e.SimilarityRow(metrics.M3, p, subs)
+		// Mutate the synopsis: /a/b-only documents shift every estimate.
+		for i := 0; i < 16; i++ {
+			tr, _ := xmltree.ParseCompact("a(b(x))")
+			e.ObserveTree(tr)
+		}
+		check("after-ingest")
+		after := e.SimilarityRow(metrics.M3, p, subs)
+		same := true
+		for i := range before {
+			if math.Abs(before[i]-after[i]) > 1e-12 {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%v: similarity row unchanged after skewed ingest — stale cache?", kind)
+		}
+	}
+}
+
+// TestSimilarityRowInto exercises the caller-buffer variant: results in
+// a reused buffer must equal the allocating path, with the buffer grown
+// or truncated as needed.
+func TestSimilarityRowInto(t *testing.T) {
+	e := NewEstimator(Config{Representation: Sets, Seed: 1})
+	for _, s := range []string{"a(b)", "a(b,c)", "a(c)"} {
+		tr, _ := xmltree.ParseCompact(s)
+		e.ObserveTree(tr)
+	}
+	subs := []*pattern.Pattern{pattern.MustParse("/a/b"), pattern.MustParse("//c")}
+	p := pattern.MustParse("//b")
+	want := e.SimilarityRow(metrics.M3, p, subs)
+	buf := make([]float64, 0, 1) // too small: must be replaced
+	got := e.SimilarityRowInto(buf, metrics.M3, p, subs)
+	if len(got) != len(want) {
+		t.Fatalf("row length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Into[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	big := make([]float64, 16)
+	got = e.SimilarityRowInto(big, metrics.M3, p, subs)
+	if len(got) != len(subs) || &got[0] != &big[0] {
+		t.Fatal("SimilarityRowInto did not reuse an adequate buffer")
+	}
+}

@@ -55,25 +55,32 @@ type Forest struct {
 	freeIDs []uint32
 	index   map[string]uint32 // canonical key -> node id (hash-consing)
 
-	// Match-path indexes, maintained by compile/release. Masks share
-	// the node-id universe (grown under Add's exclusivity, never from
-	// Match, which runs concurrently with itself):
+	// Match-path indexes, maintained by compile/release. All are dense
+	// slices — symbols and node ids are dense, and the match loop
+	// consults these once per fired bit per document node, so a map
+	// lookup (hash + probe) there costs more than the whole word-scan
+	// around it. Masks share the node-id universe (grown under Add's
+	// exclusivity, never from Match, which runs concurrently with
+	// itself):
 	//
 	//	leafTag[sym]: kindTag nodes with that label and no kids —
-	//	              node-satisfied by label alone.
+	//	              node-satisfied by label alone. Indexed by interned
+	//	              symbol; with a shared table, symbols interned by
+	//	              OTHER forests may exceed this forest's slice, so
+	//	              readers bounds-check (absent == nil == no leaves).
 	//	wildLeaf:     kindWild nodes with no kids — satisfied anywhere.
 	//	byFirstKid:   tag/wild nodes with kids, indexed by their lowest
 	//	              kid id; consulted only when that kid's bit fires.
 	//	byDescKid / descMask: kindDesc nodes by kid / by own id.
 	//	byRdKid / rdMask: kindRootDesc nodes by kid / by own id.
-	leafTag      map[uint32]*bitset.Set
+	leafTag      []*bitset.Set
 	wildLeaf     *bitset.Set
-	byFirstKid   map[uint32][]uint32
+	byFirstKid   [][]uint32
 	firstKidMask *bitset.Set
-	byDescKid    map[uint32][]uint32
+	byDescKid    [][]uint32
 	descKidMask  *bitset.Set
 	descMask     *bitset.Set
-	byRdKid      map[uint32][]uint32
+	byRdKid      [][]uint32
 	rdKidMask    *bitset.Set
 	rdMask       *bitset.Set
 
@@ -117,19 +124,22 @@ type patEntry struct {
 	oracle   *pattern.Pattern // may be nil even on the oracle path (nil pattern)
 }
 
-// NewForest returns an empty forest.
-func NewForest() *Forest {
+// NewForest returns an empty forest with its own label table.
+func NewForest() *Forest { return NewForestShared(intern.NewTable()) }
+
+// NewForestShared returns an empty forest interning its pattern labels
+// into the given shared table. Sharded engines give every shard's
+// forest one common table so a single Flat document load (symbols
+// resolved once) can be matched against all of them; the table itself
+// is safe for concurrent use.
+func NewForestShared(tbl *intern.Table) *Forest {
 	return &Forest{
-		tbl:          intern.NewTable(),
+		tbl:          tbl,
 		index:        make(map[string]uint32),
-		leafTag:      make(map[uint32]*bitset.Set),
 		wildLeaf:     bitset.New(0),
-		byFirstKid:   make(map[uint32][]uint32),
 		firstKidMask: bitset.New(0),
-		byDescKid:    make(map[uint32][]uint32),
 		descKidMask:  bitset.New(0),
 		descMask:     bitset.New(0),
-		byRdKid:      make(map[uint32][]uint32),
 		rdKidMask:    bitset.New(0),
 		rdMask:       bitset.New(0),
 	}
@@ -259,7 +269,18 @@ func (f *Forest) growUniverse() {
 	f.rdKidMask.Grow(n)
 	f.rdMask.Grow(n)
 	for _, s := range f.leafTag {
-		s.Grow(n)
+		if s != nil {
+			s.Grow(n)
+		}
+	}
+	for len(f.byFirstKid) < n {
+		f.byFirstKid = append(f.byFirstKid, nil)
+	}
+	for len(f.byDescKid) < n {
+		f.byDescKid = append(f.byDescKid, nil)
+	}
+	for len(f.byRdKid) < n {
+		f.byRdKid = append(f.byRdKid, nil)
 	}
 }
 
@@ -272,6 +293,9 @@ func (f *Forest) register(id uint32) {
 			if n.kind == kindWild {
 				f.wildLeaf.Add(int(id))
 				return
+			}
+			for len(f.leafTag) <= int(n.sym) {
+				f.leafTag = append(f.leafTag, nil)
 			}
 			lt := f.leafTag[n.sym]
 			if lt == nil {
@@ -306,7 +330,7 @@ func (f *Forest) unregister(id uint32) {
 				// in a long-lived forest under churn (register
 				// re-creates the set on demand).
 				if lt.Count() == 0 {
-					delete(f.leafTag, n.sym)
+					f.leafTag[n.sym] = nil
 				}
 			}
 			return
@@ -321,19 +345,20 @@ func (f *Forest) unregister(id uint32) {
 	}
 }
 
-func addKidIndex(m map[uint32][]uint32, mask *bitset.Set, kid, id uint32) {
+// addKidIndex/dropKidIndex maintain a dense inverse-kid index (entries
+// indexed by kid node id — growUniverse has already sized the slice —
+// with the mask mirroring which entries are non-empty).
+func addKidIndex(m [][]uint32, mask *bitset.Set, kid, id uint32) {
 	m[kid] = append(m[kid], id)
 	mask.Add(int(kid))
 }
 
-func dropKidIndex(m map[uint32][]uint32, mask *bitset.Set, kid, id uint32) {
+func dropKidIndex(m [][]uint32, mask *bitset.Set, kid, id uint32) {
 	l := removeU32(m[kid], id)
-	if len(l) == 0 {
-		delete(m, kid)
-		mask.Remove(int(kid))
-		return
-	}
 	m[kid] = l
+	if len(l) == 0 {
+		mask.Remove(int(kid))
+	}
 }
 
 // release drops one reference to a node, freeing it (and its subtree
@@ -382,25 +407,43 @@ type frameSlot struct {
 	ns, sat, nsOut *bitset.Set
 }
 
+// Table returns the forest's label table (shared across forests built
+// with NewForestShared).
+func (f *Forest) Table() *intern.Table { return f.tbl }
+
 // Match evaluates the document against every registered pattern in one
 // post-order traversal and returns the set of matching handles.
 func (f *Forest) Match(t *xmltree.Tree) *MatchSet {
-	ms, _ := f.msPool.Get().(*MatchSet)
-	if ms == nil {
-		ms = &MatchSet{f: f, bits: bitset.New(0)}
-	}
-	ms.bits.Grow(len(f.pats))
-	ms.bits.Reset()
 	if t == nil || t.Root == nil {
-		// The empty document matches nothing, including the empty
-		// pattern (oracle semantics).
-		return ms
+		return f.MatchFlat(t, nil)
 	}
 	doc, _ := f.docPool.Get().(*xmltree.Flat)
 	if doc == nil {
 		doc = &xmltree.Flat{}
 	}
 	doc.Load(t, f.tbl)
+	ms := f.MatchFlat(t, doc)
+	f.docPool.Put(doc)
+	return ms
+}
+
+// MatchFlat is Match over a document already loaded into a Flat arena
+// with the forest's Table (one load can serve several shard forests
+// sharing a table). t is the original tree, consulted only by the
+// oracle fallback for non-compiled patterns. A nil or empty doc matches
+// nothing.
+func (f *Forest) MatchFlat(t *xmltree.Tree, doc *xmltree.Flat) *MatchSet {
+	ms, _ := f.msPool.Get().(*MatchSet)
+	if ms == nil {
+		ms = &MatchSet{f: f, bits: bitset.New(0)}
+	}
+	ms.bits.Grow(len(f.pats))
+	ms.bits.Reset()
+	if doc == nil || doc.Len() == 0 {
+		// The empty document matches nothing, including the empty
+		// pattern (oracle semantics).
+		return ms
+	}
 
 	fr, _ := f.frames.Get().(*frameStack)
 	if fr == nil {
@@ -450,7 +493,6 @@ func (f *Forest) Match(t *xmltree.Tree) *MatchSet {
 		}
 	}
 	f.frames.Put(fr)
-	f.docPool.Put(doc)
 	return ms
 }
 
@@ -490,7 +532,9 @@ func (f *Forest) eval(doc *xmltree.Flat, fr *frameStack, i int32, d int) {
 	N.Reset()
 	N.UnionWith(f.wildLeaf)
 	sym := doc.Syms[i]
-	if sym != intern.NoSym {
+	if sym != intern.NoSym && int(sym) < len(f.leafTag) {
+		// The bounds check matters under shared tables: another forest
+		// may have interned symbols this one never saw.
 		if lt := f.leafTag[sym]; lt != nil {
 			N.UnionWith(lt)
 		}

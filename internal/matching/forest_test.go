@@ -171,8 +171,14 @@ func TestForestSharingAndChurn(t *testing.T) {
 	if f.NodeCount() != 0 || f.Live() != 0 {
 		t.Errorf("after removing all: nodes=%d live=%d", f.NodeCount(), f.Live())
 	}
-	if len(f.leafTag) != 0 {
-		t.Errorf("leafTag retains %d dead label sets", len(f.leafTag))
+	liveLeafSets := 0
+	for _, s := range f.leafTag {
+		if s != nil {
+			liveLeafSets++
+		}
+	}
+	if liveLeafSets != 0 {
+		t.Errorf("leafTag retains %d dead label sets", liveLeafSets)
 	}
 
 	// Handle and node-id reuse after full churn.

@@ -140,6 +140,66 @@ func intersectInto(dst, a, b []uint64) int {
 	return k
 }
 
+// intersectCount returns the size of the intersection of two sorted
+// slices without writing the result anywhere — the allocation-free
+// kernel behind IntersectCard, for callers (similarity rows, matrix
+// rebuilds) that need only |a ∩ b| and would discard a materialized
+// result immediately.
+func intersectCount(a, b []uint64) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return gallopCount(a, b)
+	}
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			i++
+		case y < x:
+			j++
+		default:
+			k++
+			i++
+			j++
+		}
+	}
+	return k
+}
+
+// gallopCount is gallopIntersect without the destination buffer.
+func gallopCount(a, b []uint64) int {
+	k, lo := 0, 0
+	for _, x := range a {
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < x {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		idx := lo + sort.Search(hi-lo, func(i int) bool { return b[lo+i] >= x })
+		if idx < len(b) && b[idx] == x {
+			k++
+			lo = idx + 1
+		} else {
+			lo = idx
+		}
+		if lo >= len(b) {
+			break
+		}
+	}
+	return k
+}
+
 // gallopIntersect intersects a (small) against b (large) by doubling
 // probes from the current frontier followed by a binary search, so runs
 // of misses in b cost O(log gap) instead of O(gap).

@@ -277,3 +277,57 @@ func TestStoreValueSnapshotStability(t *testing.T) {
 		t.Error("fresh value does not reflect mutations")
 	}
 }
+
+// TestIntersectCardDifferential pins IntersectCard to the reference
+// Intersect(...).Card() across representations, sizes and level skews —
+// the fast path must agree exactly, including the galloping regime.
+func TestIntersectCardDifferential(t *testing.T) {
+	h := sampling.NewHasher(7)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Skewed sizes exercise both the merge and gallop counters.
+		na, nb := rng.Intn(200), rng.Intn(8)
+		if rng.Intn(2) == 0 {
+			na, nb = nb, na
+		}
+		aIDs, _ := randomIDs(rng, na, 500)
+		bIDs, _ := randomIDs(rng, nb, 500)
+
+		sa, sb := NewSetValue(aIDs...), NewSetValue(bIDs...)
+		if IntersectCard(sa, sb) != sa.Intersect(sb).Card() {
+			return false
+		}
+
+		la, lb := rng.Intn(3), rng.Intn(3)
+		ha := NewHashValue(h, la, aIDs...)
+		hb := NewHashValue(h, lb, bIDs...)
+		return IntersectCard(ha, hb) == ha.Intersect(hb).Card()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntersectCardCounters checks the counters independence product
+// (and the zero-total guard) against the materializing path.
+func TestIntersectCardCounters(t *testing.T) {
+	f := counterFactory(10)
+	a, b := f.NewStore(), f.NewStore()
+	for i := 0; i < 4; i++ {
+		a.Add(uint64(i))
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(uint64(100 + i))
+	}
+	av, bv := a.Value(), b.Value()
+	if got, want := IntersectCard(av, bv), av.Intersect(bv).Card(); got != want {
+		t.Fatalf("IntersectCard = %v, want %v", got, want)
+	}
+	zero := counterFactory(0)
+	za, zb := zero.NewStore(), zero.NewStore()
+	za.Add(1)
+	zb.Add(2)
+	if got := IntersectCard(za.Value(), zb.Value()); got != 0 {
+		t.Fatalf("zero-total IntersectCard = %v, want 0", got)
+	}
+}

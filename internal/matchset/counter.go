@@ -100,4 +100,25 @@ func (v *countValue) Intersect(o Value) Value {
 	return &countValue{c: v.c * ov.c / total, n: n}
 }
 
+// intersectCard mirrors Intersect's independence product without the
+// intermediate value.
+func (v *countValue) intersectCard(o Value) float64 {
+	ov, ok := o.(*countValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	n := v.n
+	if n == nil {
+		n = ov.n
+	}
+	total := 0.0
+	if n != nil {
+		total = n()
+	}
+	if total == 0 {
+		return 0
+	}
+	return v.c * ov.c / total
+}
+
 func (s *counterStore) Dump() Dump { return Dump{Kind: KindCounters, Counter: s.c} }

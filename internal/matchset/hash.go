@@ -180,6 +180,19 @@ func (v *hashValue) Intersect(o Value) Value {
 	return &hashValue{level: l, ids: materialize(buf, n), hasher: h}
 }
 
+// intersectCard mirrors Intersect + Card without building the value:
+// the intersection keeps the raw common identifiers at level
+// max(v.level, ov.level), so its cardinality is the common count scaled
+// by 2^level.
+func (v *hashValue) intersectCard(o Value) float64 {
+	ov, ok := o.(*hashValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	l := max(v.level, ov.level)
+	return float64(intersectCount(v.ids, ov.ids)) * float64(uint64(1)<<uint(l))
+}
+
 // NewHashValue builds a Hashes-kind value directly; exported for tests.
 func NewHashValue(hasher *sampling.Hasher, level int, ids ...uint64) Value {
 	out := make([]uint64, 0, len(ids))

@@ -67,6 +67,25 @@ type Value interface {
 	IsZero() bool
 }
 
+// cardIntersecter is implemented by values that can compute the
+// cardinality of an intersection without materializing the result.
+// Every built-in representation implements it; the interface exists so
+// hand-rolled test Values that only satisfy Value keep working.
+type cardIntersecter interface {
+	intersectCard(Value) float64
+}
+
+// IntersectCard returns a.Intersect(b).Card() without allocating the
+// intersection value. Similarity computations intersect once per
+// subscription pair and use only the cardinality, so the materialized
+// set (and its allocation) is pure waste on that path.
+func IntersectCard(a, b Value) float64 {
+	if ci, ok := a.(cardIntersecter); ok {
+		return ci.intersectCard(b)
+	}
+	return a.Intersect(b).Card()
+}
+
 // Store is the mutable matching-set state attached to a synopsis node.
 type Store interface {
 	// Kind identifies the representation.

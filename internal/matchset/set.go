@@ -131,6 +131,17 @@ func (v *setValue) Intersect(o Value) Value {
 	return &setValue{ids: materialize(buf, n)}
 }
 
+// intersectCard implements the allocation-free IntersectCard fast path:
+// the cardinality of a Sets intersection is the exact count of common
+// identifiers.
+func (v *setValue) intersectCard(o Value) float64 {
+	ov, ok := o.(*setValue)
+	if !ok {
+		panic(kindMismatch(v, o))
+	}
+	return float64(intersectCount(v.ids, ov.ids))
+}
+
 // NewSetValue builds a Sets-kind value from explicit identifiers; it is
 // exported for tests and for exact ground-truth evaluation.
 func NewSetValue(ids ...uint64) Value {

@@ -176,6 +176,10 @@ func (p *Pattern) Minimize() *Pattern {
 	out := p.Clone()
 	if out.Root != nil {
 		minimizeNode(out.Root)
+		// Dropping a branch can change subtree canonical keys, so a
+		// canonical input's child order may no longer be sorted — the
+		// minimized clone must re-canonicalize before String/Equal.
+		out.canonical = false
 	}
 	return out
 }

@@ -268,7 +268,13 @@ func (p *Pattern) String() string {
 	if p == nil || p.Root == nil || len(p.Root.Children) == 0 {
 		return Root
 	}
-	q := p.Clone().Canonicalize()
+	q := p
+	if !p.canonical {
+		// Render from a canonicalized clone so String never reorders the
+		// caller's pattern; an already-canonical pattern renders in
+		// place (String only reads).
+		q = p.Clone().Canonicalize()
+	}
 	kids := q.Root.Children
 	var b strings.Builder
 	if len(kids) > 1 {

@@ -41,6 +41,14 @@ type Node struct {
 // Pattern is a tree-pattern subscription. Root.Label is always "/.".
 type Pattern struct {
 	Root *Node
+
+	// canonical records that Canonicalize has run and no canonicalizing
+	// API has restructured the tree since, so repeat canonicalizations
+	// (String, Equal, advert building on live registries) skip the
+	// clone-and-sort. Callers that mutate Root's subtree directly after
+	// canonicalizing must not rely on later String calls re-sorting —
+	// the supported route is to mutate a Clone.
+	canonical bool
 }
 
 // New returns an empty pattern (root only). An empty pattern matches
@@ -154,7 +162,7 @@ func (p *Pattern) Clone() *Pattern {
 	if p == nil || p.Root == nil {
 		return New()
 	}
-	return &Pattern{Root: cloneNode(p.Root)}
+	return &Pattern{Root: cloneNode(p.Root), canonical: p.canonical}
 }
 
 func cloneNode(n *Node) *Node {
@@ -171,9 +179,12 @@ func cloneNode(n *Node) *Node {
 // Canonicalize sorts every child list by the canonical string of the
 // child subtree, producing a deterministic representation of the
 // unordered pattern. It modifies the pattern in place and returns it.
+// An already-canonical pattern (one Canonicalize has seen before) is
+// returned unchanged without re-sorting.
 func (p *Pattern) Canonicalize() *Pattern {
-	if p != nil && p.Root != nil {
+	if p != nil && p.Root != nil && !p.canonical {
 		canonNode(p.Root)
+		p.canonical = true
 	}
 	return p
 }
@@ -211,8 +222,13 @@ func (p *Pattern) Equal(q *Pattern) bool {
 	if p == nil || q == nil {
 		return p == q
 	}
-	a := p.Clone().Canonicalize()
-	b := q.Clone().Canonicalize()
+	a, b := p, q
+	if !a.canonical {
+		a = p.Clone().Canonicalize()
+	}
+	if !b.canonical {
+		b = q.Clone().Canonicalize()
+	}
 	return equalNodes(a.Root, b.Root)
 }
 

@@ -431,3 +431,57 @@ func TestStringStable(t *testing.T) {
 		t.Errorf("String = %q", p.String())
 	}
 }
+
+// TestCanonicalFlagSkipsRework pins the canonical fast path: a pattern
+// that has been canonicalized renders and compares without re-sorting,
+// and Clone carries the flag.
+func TestCanonicalFlagSkipsRework(t *testing.T) {
+	p, err := Parse("/a[c]/b[z][y]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.String()
+	p.Canonicalize()
+	if !p.canonical {
+		t.Fatal("Canonicalize did not mark the pattern canonical")
+	}
+	if got := p.String(); got != want {
+		t.Fatalf("canonical String = %q, want %q", got, want)
+	}
+	c := p.Clone()
+	if !c.canonical {
+		t.Fatal("Clone dropped the canonical flag")
+	}
+	if got := c.String(); got != want {
+		t.Fatalf("clone String = %q, want %q", got, want)
+	}
+	// Canonicalize twice is idempotent and keeps equality semantics.
+	q, _ := Parse("/a[b[y][z]][c]") // same pattern, different source order
+	if !p.Equal(q.Canonicalize().Canonicalize()) {
+		t.Fatal("canonicalized patterns no longer Equal")
+	}
+	// A freshly parsed pattern is not marked canonical (parse order is
+	// source order).
+	r, _ := Parse("/a[c][b]")
+	if r.canonical {
+		t.Fatal("Parse must not mark patterns canonical")
+	}
+}
+
+// TestMinimizeClearsCanonicalFlag: minimizing can drop branches, which
+// changes subtree canonical keys; the minimized clone must not inherit
+// the input's canonical mark (regression for the canonical fast path).
+func TestMinimizeClearsCanonicalFlag(t *testing.T) {
+	p := MustParse("/a[b[*][c]][b[a]]")
+	p.Canonicalize()
+	m := p.Minimize()
+	want := m.Clone()
+	want.canonical = false
+	if m.String() != want.Canonicalize().String() {
+		t.Fatalf("minimized String %q != canonical form %q", m.String(), want.String())
+	}
+	q := MustParse(m.String())
+	if !m.Equal(q) {
+		t.Fatalf("minimized pattern not Equal to its own parse: %q", m.String())
+	}
+}
