@@ -1,0 +1,531 @@
+package main
+
+// Chaos mode (-chaos): the fault-injection counterpart to the
+// steady-state benchmark. One run exercises the full robustness stack
+// end to end on a live in-process federation:
+//
+//	phase 1  all brokers up — exact delivery is required.
+//	fault    one broker is snapshotted, mutated (post-snapshot churn
+//	         lands only in its WAL), then killed without any shutdown
+//	         path — its persist store is deliberately left open, the
+//	         in-process analogue of SIGKILL. Simultaneously one
+//	         survivor↔survivor link is severed in both directions.
+//	phase 2  publishing continues from the survivors. Soft-state TTLs
+//	         must evict the dead broker's adverts from every routing
+//	         table (lost deliveries to its subscribers are the expected
+//	         cost and are reported, not hidden); severed-link endpoints
+//	         must mark each other down and keep probing.
+//	heal     the broker is recovered from its data directory
+//	         (snapshot + WAL tail, stable subscription IDs, epoch
+//	         watermark) and rewired; the severed link comes back. The
+//	         run waits for convergence: no down links anywhere and every
+//	         node routing for every other.
+//	phase 3  exact delivery is required again — recall 1.0 against
+//	         pattern.Matches ground truth, zero extras — proving the
+//	         overlay healed to exactly-correct routing, not merely to
+//	         connectivity.
+//
+// Requires -threshold 2 (exact mode): with similarity clustering on,
+// "recall 1.0" is not a sound invariant to assert against.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"treesim/internal/broker"
+	"treesim/internal/overlay"
+	"treesim/internal/overlay/wire"
+	"treesim/internal/pattern"
+	"treesim/internal/persist"
+	"treesim/internal/xmltree"
+)
+
+// severable wraps a transport with a kill switch; severed sends fail
+// like a cut cable, feeding the receiving end nothing and the sending
+// end an error (which is what trips link-down marking).
+type severable struct {
+	inner overlay.Transport
+	down  atomic.Bool
+}
+
+var errSevered = fmt.Errorf("chaos: link severed")
+
+func (s *severable) SendAdvert(b wire.AdvertBatch) error {
+	if s.down.Load() {
+		return errSevered
+	}
+	return s.inner.SendAdvert(b)
+}
+
+func (s *severable) SendPublish(p wire.Publication) error {
+	if s.down.Load() {
+		return errSevered
+	}
+	return s.inner.SendPublish(p)
+}
+
+// chaosJournal is the same WAL adapter cmd/treesimd uses: every
+// committed churn decision on the victim becomes one record.
+type chaosJournal struct{ s *persist.Store }
+
+func (j chaosJournal) Subscribed(id uint64, expr string, group int) error {
+	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
+}
+
+func (j chaosJournal) Unsubscribed(id uint64) error {
+	return j.s.Append(persist.Record{Op: persist.OpUnsubscribe, ID: id})
+}
+
+func (j chaosJournal) Rebuilt(groups [][]uint64, reps []uint64) error {
+	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
+}
+
+// chaosSub is one subscription's whole life: its pattern, home broker,
+// stable ID (which must survive the victim's recovery), and whether it
+// is still registered.
+type chaosSub struct {
+	pat  *pattern.Pattern
+	node int
+	id   uint64
+	live bool
+}
+
+// victim is the broker that gets killed and recovered. Not node 0 (the
+// star hub — killing it would partition everything, a different
+// scenario) and not the last node, so severable survivor↔survivor
+// edges exist in every topology with at least 4 nodes.
+const victim = 1
+
+func runChaos(o options) error {
+	if o.threshold != 2 {
+		return fmt.Errorf("-chaos requires -threshold 2 (exact mode): recall 1.0 is only an invariant without similarity clustering")
+	}
+	if o.nodes < 4 {
+		return fmt.Errorf("-chaos needs at least 4 nodes (have %d): one victim plus a severable survivor link", o.nodes)
+	}
+	if o.publish < 9 {
+		return fmt.Errorf("-chaos needs at least 9 documents (have %d) for three publish phases", o.publish)
+	}
+
+	w, err := buildWorkload(o)
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "treesim-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	dataDir := filepath.Join(dir, "victim")
+
+	// Aggressive liveness timings so the scenario converges in seconds;
+	// a production daemon runs the same machinery with 60s TTLs.
+	nodeConfig := func(i int, minEpoch uint64) overlay.Config {
+		return overlay.Config{
+			ID:              fmt.Sprintf("n%02d", i),
+			TTL:             o.ttl,
+			SeenCapacity:    2 * (o.publish + 16),
+			AdvertPolicy:    broker.Never{}, // explicit rounds; refresh keepalives still run
+			MaxPatternNodes: o.maxPat,
+			AdvertTTL:       time.Second,
+			Maintenance:     50 * time.Millisecond,
+			RetryBase:       50 * time.Millisecond,
+			RetryMax:        500 * time.Millisecond,
+			MinEpoch:        minEpoch,
+		}
+	}
+
+	store, err := persist.Open(dataDir, persist.Options{})
+	if err != nil {
+		return err
+	}
+
+	engines := make([]*broker.Engine, o.nodes)
+	nodes := make([]*overlay.Node, o.nodes)
+	for i := range nodes {
+		engines[i] = broker.New(brokerConfig(o))
+		if i == victim {
+			engines[i].SetJournal(chaosJournal{store})
+		}
+		nodes[i] = overlay.New(engines[i], nodeConfig(i, 0))
+	}
+	defer func() {
+		for i := range nodes {
+			nodes[i].Close()
+			engines[i].Close()
+		}
+	}()
+
+	// Wire the topology through severable wrappers so any edge can be
+	// cut later; remember each edge's pair of directional switches.
+	type linkPair struct{ ab, ba *severable }
+	links := make([]linkPair, len(w.edges))
+	for ei, e := range w.edges {
+		ab := &severable{inner: overlay.Inproc{Peer: nodes[e[1]]}}
+		ba := &severable{inner: overlay.Inproc{Peer: nodes[e[0]]}}
+		if err := overlay.ConnectTransports(nodes[e[0]], nodes[e[1]], ab, ba); err != nil {
+			return err
+		}
+		links[ei] = linkPair{ab: ab, ba: ba}
+	}
+	severIdx := -1
+	for ei, e := range w.edges {
+		if e[0] != victim && e[1] != victim {
+			severIdx = ei
+			break
+		}
+	}
+	if severIdx < 0 {
+		return fmt.Errorf("no survivor↔survivor edge to sever in this topology")
+	}
+
+	// Load the workload's subscriptions onto their placed brokers.
+	subs := make([]*chaosSub, 0, len(w.subs)+2)
+	victimSubs := 0
+	for i, p := range w.subs {
+		n := w.nodeOf[i]
+		id, err := engines[n].Subscribe(w.exprs[i])
+		if err != nil {
+			return fmt.Errorf("subscribe %q: %w", w.exprs[i], err)
+		}
+		if n == victim {
+			victimSubs++
+		}
+		subs = append(subs, &chaosSub{pat: p, node: n, id: id, live: true})
+	}
+	if victimSubs == 0 {
+		// Clustered placement can leave a node empty; give the victim a
+		// subscription so its recovery is observable in deliveries.
+		p := w.qg.Generate()
+		id, err := engines[victim].Subscribe(p.String())
+		if err != nil {
+			return err
+		}
+		subs = append(subs, &chaosSub{pat: p, node: victim, id: id, live: true})
+		victimSubs++
+	}
+	for _, n := range nodes {
+		if err := n.Advertise(); err != nil {
+			return err
+		}
+	}
+
+	// expect computes ground truth directly from the patterns: every
+	// (live subscription, matching document) pair exactly once.
+	expect := func(docs []*xmltree.Tree) (map[pairKey]int, int) {
+		m := make(map[pairKey]int)
+		total := 0
+		for _, d := range docs {
+			key := d.Clone().Canonicalize().String()
+			for si, s := range subs {
+				if s.live && pattern.Matches(d, s.pat) {
+					m[pairKey{sub: si, doc: key}]++
+					total++
+				}
+			}
+		}
+		return m, total
+	}
+	publish := func(docs []*xmltree.Tree, origins []int) error {
+		for i, d := range docs {
+			if _, _, err := nodes[origins[i%len(origins)]].Publish(d); err != nil {
+				return fmt.Errorf("publish via n%02d: %w", origins[i%len(origins)], err)
+			}
+		}
+		return nil
+	}
+	// drain empties every live subscription's delivery queue into one
+	// multiset; sends are synchronous, so after publish returns this is
+	// the complete delivery picture. skipVictim covers the outage window
+	// when the victim's engine is closed.
+	drain := func(skipVictim bool) (map[pairKey]int, int, error) {
+		m := make(map[pairKey]int)
+		total := 0
+		for si, s := range subs {
+			if !s.live || (skipVictim && s.node == victim) {
+				continue
+			}
+			eng := engines[s.node]
+			ds, err := eng.Drain(s.id, 0, 0)
+			if err != nil {
+				return nil, 0, fmt.Errorf("drain sub %d at n%02d: %w", si, s.node, err)
+			}
+			for _, dv := range ds {
+				t := eng.Document(dv.Doc)
+				if t == nil {
+					return nil, 0, fmt.Errorf("delivered doc %d not retained at n%02d", dv.Doc, s.node)
+				}
+				m[pairKey{sub: si, doc: t.Clone().Canonicalize().String()}]++
+				total++
+			}
+		}
+		return m, total, nil
+	}
+	waitFor := func(what string, timeout time.Duration, cond func() bool) error {
+		deadline := time.Now().Add(timeout)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timed out after %v waiting for %s", timeout, what)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		return nil
+	}
+
+	third := len(w.docs) / 3
+	p1, p2, p3 := w.docs[:third], w.docs[third:2*third], w.docs[2*third:]
+	allOrigins := make([]int, o.nodes)
+	for i := range allOrigins {
+		allOrigins[i] = i
+	}
+	survivors := make([]int, 0, o.nodes-1)
+	for i := 0; i < o.nodes; i++ {
+		if i != victim {
+			survivors = append(survivors, i)
+		}
+	}
+	start := time.Now()
+
+	// Phase 1: healthy federation, exact delivery required.
+	exp1, exp1Total := expect(p1)
+	if err := publish(p1, allOrigins); err != nil {
+		return err
+	}
+	got1, got1Total, err := drain(false)
+	if err != nil {
+		return err
+	}
+	_, lost1, extra1 := compare(exp1, got1)
+	fmt.Printf("# phase 1 (healthy): %d docs, %d/%d deliveries, %d lost, %d extra\n",
+		len(p1), got1Total, exp1Total, lost1, extra1)
+
+	// Fault injection. Snapshot the victim first, then churn it so the
+	// WAL tail beyond the snapshot carries real decisions into recovery:
+	// two fresh subscriptions and one unsubscription.
+	st, err := engines[victim].State()
+	if err != nil {
+		return err
+	}
+	blob, err := broker.EncodeState(st)
+	if err != nil {
+		return err
+	}
+	env := persist.Snapshot{Broker: blob}
+	env.AdvertVersion, env.PubSeq = nodes[victim].Epoch()
+	payload, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	if err := store.WriteSnapshot(payload); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		p := w.qg.Generate()
+		id, err := engines[victim].Subscribe(p.String())
+		if err != nil {
+			return err
+		}
+		subs = append(subs, &chaosSub{pat: p, node: victim, id: id, live: true})
+		victimSubs++
+	}
+	for _, s := range subs {
+		if s.node == victim && s.live {
+			engines[victim].Unsubscribe(s.id)
+			s.live = false
+			victimSubs--
+			break
+		}
+	}
+	if err := nodes[victim].Advertise(); err != nil {
+		return err
+	}
+
+	// Kill. No shutdown path runs: the store stays open with whatever
+	// the WAL already holds — exactly a SIGKILL's view of disk.
+	nodes[victim].Close()
+	engines[victim].Close()
+	sever := w.edges[severIdx]
+	links[severIdx].ab.down.Store(true)
+	links[severIdx].ba.down.Store(true)
+	fmt.Printf("# fault: killed n%02d (snapshot + %d WAL-tail ops), severed n%02d—n%02d\n",
+		victim, 3, sever[0], sever[1])
+
+	// Survivors must notice on their own: the victim's origin expires
+	// from every routing table via the advert TTL.
+	victimID := nodes[victim].ID()
+	if err := waitFor("victim adverts to expire on all survivors", 15*time.Second, func() bool {
+		for _, i := range survivors {
+			for _, og := range nodes[i].Info().Origins {
+				if og.Origin == victimID {
+					return false
+				}
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2: degraded. Losses to the dead broker's subscribers (and
+	// across the cut, if it partitioned the graph) are expected and
+	// reported; phantom deliveries are still a failure.
+	exp2, exp2Total := expect(p2)
+	if err := publish(p2, survivors); err != nil {
+		return err
+	}
+	got2, got2Total, err := drain(true)
+	if err != nil {
+		return err
+	}
+	_, lost2, extra2 := compare(exp2, got2)
+	fmt.Printf("# phase 2 (degraded): %d docs, %d/%d deliveries, %d lost to the outage, %d extra\n",
+		len(p2), got2Total, exp2Total, lost2, extra2)
+
+	// Heal. Recover the victim from its data directory the way a
+	// restarted daemon would: snapshot, WAL tail above the watermark,
+	// journal re-attached only after replay, epoch floored by the
+	// persisted watermarks.
+	store2, err := persist.Open(dataDir, persist.Options{})
+	if err != nil {
+		return err
+	}
+	defer store2.Close()
+	snapPayload, ok, err := store2.LoadSnapshot()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("recovery: no snapshot in %s", dataDir)
+	}
+	env2, err := persist.DecodeSnapshot(snapPayload)
+	if err != nil {
+		return err
+	}
+	st2, err := broker.DecodeState(env2.Broker)
+	if err != nil {
+		return err
+	}
+	eng2, err := broker.Restore(brokerConfig(o), st2)
+	if err != nil {
+		return err
+	}
+	replayed := 0
+	if err := store2.Replay(func(rec persist.Record) error {
+		replayed++
+		switch rec.Op {
+		case persist.OpSubscribe:
+			return eng2.ApplySubscribed(rec.ID, rec.Expr, rec.Group)
+		case persist.OpUnsubscribe:
+			return eng2.ApplyUnsubscribed(rec.ID)
+		case persist.OpRebuild:
+			return eng2.ApplyRebuilt(rec.Groups, rec.Reps)
+		default:
+			return fmt.Errorf("unknown wal op %q", rec.Op)
+		}
+	}); err != nil {
+		return err
+	}
+	eng2.SetJournal(chaosJournal{store2})
+	if eng2.Live() != victimSubs {
+		return fmt.Errorf("recovery: %d live subscriptions, want %d", eng2.Live(), victimSubs)
+	}
+	minEpoch := env2.AdvertVersion
+	if env2.PubSeq > minEpoch {
+		minEpoch = env2.PubSeq
+	}
+	engines[victim] = eng2
+	nodes[victim] = overlay.New(eng2, nodeConfig(victim, minEpoch))
+	for ei, e := range w.edges {
+		if e[0] != victim && e[1] != victim {
+			continue
+		}
+		ab := &severable{inner: overlay.Inproc{Peer: nodes[e[1]]}}
+		ba := &severable{inner: overlay.Inproc{Peer: nodes[e[0]]}}
+		if err := overlay.ConnectTransports(nodes[e[0]], nodes[e[1]], ab, ba); err != nil {
+			return err
+		}
+		links[ei] = linkPair{ab: ab, ba: ba}
+	}
+	links[severIdx].ab.down.Store(false)
+	links[severIdx].ba.down.Store(false)
+	if err := nodes[victim].Advertise(); err != nil {
+		return err
+	}
+	fmt.Printf("# heal: n%02d restored from %s (wal tail: %d records, %d live subs), link n%02d—n%02d reopened\n",
+		victim, dataDir, replayed, eng2.Live(), sever[0], sever[1])
+
+	// Convergence: retry probes must rediscover the healed link (the
+	// probe doubles as a full-state resync) and every node must route
+	// for every other again.
+	if err := waitFor("all links up and all origins routed", 30*time.Second, func() bool {
+		for _, n := range nodes {
+			info := n.Info()
+			if len(info.DownPeers) != 0 || len(info.Origins) != o.nodes-1 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if _, residue, err := drain(false); err != nil {
+		return err
+	} else if residue > 0 {
+		fmt.Printf("# drained %d straggler deliveries before phase 3\n", residue)
+	}
+
+	// Phase 3: healed federation, exact delivery required again —
+	// including to the recovered broker's (post-snapshot!) subscribers.
+	exp3, exp3Total := expect(p3)
+	if err := publish(p3, allOrigins); err != nil {
+		return err
+	}
+	got3, _, err := drain(false)
+	if err != nil {
+		return err
+	}
+	matched3, lost3, extra3 := compare(exp3, got3)
+	recall3 := 1.0
+	if exp3Total > 0 {
+		recall3 = float64(matched3) / float64(exp3Total)
+	}
+	elapsed := time.Since(start)
+
+	var expired, downs, recoveries, resyncs uint64
+	for _, n := range nodes {
+		info := n.Info()
+		expired += info.AdvertsExpired
+		downs += info.LinkDowns
+		recoveries += info.LinkRecoveries
+		resyncs += info.Resyncs
+	}
+
+	name := fmt.Sprintf("topo=%s/nodes=%d/subs=%d/docs=%d", o.topology, o.nodes, len(subs), o.publish)
+	fmt.Printf("BenchmarkOverlayChaos/%s \t%d\t%d ns/op\t%.4f recall_healed\t%d lost_healed\t%d extra_healed\t%d lost_outage\t%d adverts_expired\t%d link_downs\t%d link_recoveries\t%d resyncs\n",
+		name, o.publish, elapsed.Nanoseconds()/int64(o.publish), recall3, lost3, extra3, lost2, expired, downs, recoveries, resyncs)
+	fmt.Printf("# chaos: phase-3 recall %.4f (%d lost, %d extra of %d expected) after losing broker n%02d and link n%02d—n%02d mid-run; %d adverts expired, %d link downs, %d recoveries, %d resyncs\n",
+		recall3, lost3, extra3, exp3Total, victim, sever[0], sever[1], expired, downs, recoveries, resyncs)
+
+	if o.check {
+		if lost1 != 0 || extra1 != 0 {
+			return fmt.Errorf("phase 1 (healthy) delivery mismatch: %d lost, %d extra", lost1, extra1)
+		}
+		if extra2 != 0 {
+			return fmt.Errorf("phase 2 (degraded) produced %d phantom deliveries", extra2)
+		}
+		if lost3 != 0 || extra3 != 0 {
+			return fmt.Errorf("phase 3 (healed) delivery mismatch: %d lost, %d extra (recall %.4f)", lost3, extra3, recall3)
+		}
+		if expired == 0 {
+			return fmt.Errorf("no adverts expired: soft-state eviction never fired")
+		}
+		if recoveries == 0 || resyncs == 0 {
+			return fmt.Errorf("no link recoveries/resyncs recorded (recoveries %d, resyncs %d)", recoveries, resyncs)
+		}
+	}
+	return nil
+}

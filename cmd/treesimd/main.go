@@ -28,6 +28,13 @@
 // to that duration for the first delivery. Flags configure the
 // estimator, clustering, queue and federation knobs; see -h.
 //
+// With -data-dir the broker is crash-safe: committed subscription churn
+// is write-ahead logged, snapshots are taken periodically
+// (-snapshot-interval) and on shutdown, and a restarted daemon —
+// including after SIGKILL — recovers its subscriptions, community
+// partition, estimator synopsis and overlay epoch watermarks from the
+// directory before serving.
+//
 // Shutdown (SIGINT/SIGTERM) is ordered so a loaded daemon exits
 // cleanly: first new publishes, subscribes and peer traffic are
 // refused (503) and the overlay node detaches, then the engine closes —
@@ -83,6 +90,12 @@ func main() {
 		ttl       = flag.Int("ttl", 16, "forwarding hop budget for locally published documents")
 		advStale  = flag.Int("advert-stale", 0, "re-advertise after N subscription mutations (0: 10% churn, min 1)")
 		advMaxPat = flag.Int("advert-max-nodes", 0, "coarsen advertised patterns to at most N nodes (0: exact covers)")
+		advertTTL = flag.Duration("advert-ttl", time.Minute, "soft-state TTL for peer adverts (negative disables expiry and keepalive refresh)")
+		peerTO    = flag.Duration("peer-timeout", 5*time.Second, "per-request timeout for overlay peer HTTP calls")
+
+		dataDir   = flag.String("data-dir", "", "durable state directory (snapshot + WAL); empty runs in-memory only")
+		snapEvery = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot period with -data-dir (0 disables; shutdown still snapshots)")
+		walSync   = flag.Bool("wal-sync", false, "fsync the WAL after every subscription mutation (power-loss durability)")
 	)
 	flag.Parse()
 
@@ -92,7 +105,21 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Shards = *shards
-	eng := broker.New(cfg)
+	var (
+		eng      *broker.Engine
+		pers     *daemonPersist
+		minEpoch uint64
+	)
+	if *dataDir != "" {
+		pers, eng, minEpoch, err = openDataDir(*dataDir, cfg, *walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treesimd:", err)
+			os.Exit(1)
+		}
+		go pers.run(*snapEvery)
+	} else {
+		eng = broker.New(cfg)
+	}
 	defer eng.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -110,6 +137,8 @@ func main() {
 			Addr:            *peerAddr,
 			TTL:             *ttl,
 			MaxPatternNodes: *advMaxPat,
+			AdvertTTL:       *advertTTL,
+			MinEpoch:        minEpoch,
 		}
 		if ocfg.ID == "" {
 			ocfg.ID = ln.Addr().String()
@@ -121,13 +150,16 @@ func main() {
 			ocfg.AdvertPolicy = broker.Staleness{MaxStale: *advStale}
 		}
 		node = overlay.New(eng, ocfg)
+		if pers != nil {
+			pers.setNode(node)
+		}
 		for _, u := range peerList {
-			go dialPeer(node, u, &stopping)
+			go dialPeer(node, u, *peerTO, &stopping)
 		}
 	}
 
 	srv := &http.Server{
-		Handler: withDrainGate(&stopping, newHandler(eng, node, *maxBody)),
+		Handler: withDrainGate(&stopping, newHandler(eng, node, *maxBody, *peerTO)),
 		// The daemon serves untrusted input: bound header reads and
 		// idle keep-alives so dribbling clients cannot pin goroutines.
 		// WriteTimeout stays above the 30s long-poll cap on /deliveries.
@@ -143,8 +175,9 @@ func main() {
 		<-sig
 		log.Printf("treesimd: shutdown signal, draining")
 		// Ordered shutdown: refuse new ingress (drain gate), detach the
-		// overlay (peer traffic answered 503, no further forwards), close
-		// the engine — which drains the ingest pipeline and closes every
+		// overlay (peer traffic answered 503, no further forwards), take
+		// the final snapshot while the engine is still open, close the
+		// engine — which drains the ingest pipeline and closes every
 		// delivery queue, waking all long-polls — then wait for in-flight
 		// handlers to finish. Shutdown closes the listener right away, so
 		// Serve returns while handlers may still be writing; main blocks
@@ -152,6 +185,9 @@ func main() {
 		stopping.Store(true)
 		if node != nil {
 			node.Close()
+		}
+		if pers != nil {
+			pers.shutdown()
 		}
 		eng.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
@@ -177,8 +213,8 @@ func main() {
 
 // dialPeer resolves a configured peer URL to its node id and links it,
 // retrying while the peer daemon comes up.
-func dialPeer(node *overlay.Node, base string, stopping *atomic.Bool) {
-	client := &http.Client{Timeout: 5 * time.Second}
+func dialPeer(node *overlay.Node, base string, timeout time.Duration, stopping *atomic.Bool) {
+	client := overlay.NewPeerClient(timeout)
 	deadline := time.Now().Add(60 * time.Second)
 	for !stopping.Load() {
 		err := overlay.DialPeer(node, base, client)
@@ -264,7 +300,7 @@ type publishResponse struct {
 
 // newHandler wires the broker (and overlay node, when federated) into a
 // net/http mux (method-and-path patterns, Go ≥ 1.22).
-func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64) http.Handler {
+func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64, peerTimeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
@@ -383,7 +419,7 @@ func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64) http.Hand
 	})
 
 	if node != nil {
-		overlay.RegisterHTTP(mux, node, maxBody, &http.Client{Timeout: 10 * time.Second})
+		overlay.RegisterHTTP(mux, node, maxBody, overlay.NewPeerClient(peerTimeout))
 	}
 
 	return mux

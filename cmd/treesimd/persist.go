@@ -1,0 +1,185 @@
+package main
+
+// Durability glue (-data-dir): open the data directory, recover the
+// engine from its snapshot + WAL tail, journal subsequent subscription
+// churn into the WAL, and snapshot periodically and on shutdown. A
+// SIGKILLed daemon restarted on the same -data-dir comes back with its
+// full subscription registry, community partition, estimator synopsis
+// and overlay epoch watermarks.
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"treesim/internal/broker"
+	"treesim/internal/overlay"
+	"treesim/internal/persist"
+)
+
+// walJournal adapts the persist store to the broker's journal hook:
+// every committed churn decision becomes one WAL record.
+type walJournal struct{ s *persist.Store }
+
+func (j walJournal) Subscribed(id uint64, expr string, group int) error {
+	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
+}
+
+func (j walJournal) Unsubscribed(id uint64) error {
+	return j.s.Append(persist.Record{Op: persist.OpUnsubscribe, ID: id})
+}
+
+func (j walJournal) Rebuilt(groups [][]uint64, reps []uint64) error {
+	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
+}
+
+// daemonPersist owns the store and the periodic snapshot loop.
+type daemonPersist struct {
+	store *persist.Store
+	eng   *broker.Engine
+	node  atomic.Pointer[overlay.Node]
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// openDataDir recovers (or initializes) a broker from the data
+// directory and returns the persistence handle, the live engine, and
+// the overlay epoch floor (the persisted advert-version/publication-
+// sequence watermark, so a restarted node outruns everything its peers
+// have already seen even if the clock regressed).
+func openDataDir(dir string, cfg broker.Config, walSync bool) (*daemonPersist, *broker.Engine, uint64, error) {
+	store, err := persist.Open(dir, persist.Options{SyncEveryAppend: walSync})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var (
+		eng      *broker.Engine
+		minEpoch uint64
+		hadSnap  bool
+	)
+	payload, ok, err := store.LoadSnapshot()
+	if err != nil {
+		store.Close()
+		return nil, nil, 0, err
+	}
+	if ok {
+		hadSnap = true
+		env, err := persist.DecodeSnapshot(payload)
+		if err != nil {
+			store.Close()
+			return nil, nil, 0, err
+		}
+		st, err := broker.DecodeState(env.Broker)
+		if err != nil {
+			store.Close()
+			return nil, nil, 0, err
+		}
+		eng, err = broker.Restore(cfg, st)
+		if err != nil {
+			store.Close()
+			return nil, nil, 0, err
+		}
+		minEpoch = env.AdvertVersion
+		if env.PubSeq > minEpoch {
+			minEpoch = env.PubSeq
+		}
+	} else {
+		eng = broker.New(cfg)
+	}
+	replayed := 0
+	if err := store.Replay(func(rec persist.Record) error {
+		replayed++
+		switch rec.Op {
+		case persist.OpSubscribe:
+			return eng.ApplySubscribed(rec.ID, rec.Expr, rec.Group)
+		case persist.OpUnsubscribe:
+			return eng.ApplyUnsubscribed(rec.ID)
+		case persist.OpRebuild:
+			return eng.ApplyRebuilt(rec.Groups, rec.Reps)
+		default:
+			return fmt.Errorf("unknown wal op %q", rec.Op)
+		}
+	}); err != nil {
+		eng.Close()
+		store.Close()
+		return nil, nil, 0, fmt.Errorf("replay %s: %w", dir, err)
+	}
+	// Journal only after replay: recovered operations must not re-enter
+	// the WAL.
+	eng.SetJournal(walJournal{store})
+	log.Printf("treesimd: recovered %d subscriptions from %s (snapshot=%v, wal records=%d)",
+		eng.Live(), dir, hadSnap, replayed)
+	p := &daemonPersist{
+		store: store,
+		eng:   eng,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	return p, eng, minEpoch, nil
+}
+
+// setNode attaches the overlay node whose epoch watermarks snapshots
+// should carry (federated daemons only).
+func (p *daemonPersist) setNode(n *overlay.Node) { p.node.Store(n) }
+
+// snapshot publishes a point-in-time snapshot and truncates the WAL.
+func (p *daemonPersist) snapshot() error {
+	st, err := p.eng.State()
+	if err != nil {
+		return err
+	}
+	data, err := broker.EncodeState(st)
+	if err != nil {
+		return err
+	}
+	env := persist.Snapshot{Broker: data}
+	if n := p.node.Load(); n != nil {
+		env.AdvertVersion, env.PubSeq = n.Epoch()
+	}
+	payload, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	return p.store.WriteSnapshot(payload)
+}
+
+// run is the periodic snapshot loop; a tick with no WAL growth since
+// the last snapshot is skipped. interval <= 0 disables periodic
+// snapshots (the WAL alone carries durability until shutdown).
+func (p *daemonPersist) run(interval time.Duration) {
+	defer close(p.done)
+	if interval <= 0 {
+		<-p.stop
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			if p.store.Pending() == 0 {
+				continue
+			}
+			if err := p.snapshot(); err != nil {
+				log.Printf("treesimd: periodic snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// shutdown stops the loop, takes a final snapshot (the engine must
+// still be open), and closes the store. A failed final snapshot is
+// logged, not fatal: the WAL already holds everything.
+func (p *daemonPersist) shutdown() {
+	close(p.stop)
+	<-p.done
+	if err := p.snapshot(); err != nil {
+		log.Printf("treesimd: final snapshot: %v (wal retains full state)", err)
+	}
+	if err := p.store.Close(); err != nil {
+		log.Printf("treesimd: close data dir: %v", err)
+	}
+}

@@ -229,6 +229,10 @@ type Engine struct {
 	rowPool  sync.Pool
 	patsPool sync.Pool
 
+	// journal, when set, records committed registry mutations for crash
+	// recovery (SetJournal). Append failures are counted, not fatal.
+	journal atomic.Pointer[Journal]
+
 	pubSeq   atomic.Uint64
 	counters counters
 	lat      *latencyReservoir
@@ -238,10 +242,17 @@ type Engine struct {
 // New starts an engine (including its background ingester).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	return newEngine(cfg, core.NewEstimator(cfg.Estimator))
+}
+
+// newEngine assembles an engine around an existing estimator — the
+// shared constructor of New (fresh estimator) and Restore (estimator
+// loaded from a snapshot). cfg already has defaults applied.
+func newEngine(cfg Config, est *core.Estimator) *Engine {
 	nsh := resolveShards(cfg.Shards)
 	e := &Engine{
 		cfg:       cfg,
-		est:       core.NewEstimator(cfg.Estimator),
+		est:       est,
 		byID:      make(map[uint64]int),
 		comms:     &cluster.Communities{Threshold: cfg.Threshold},
 		shardLive: make([]int, nsh),
@@ -459,6 +470,14 @@ func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []fl
 	// receiving shard's routing table changes.
 	e.rebuildShardRoutingInner(si)
 	sh.mu.Unlock()
+	// Journal inside the registry critical section so the WAL order is
+	// the commit order (a µs-scale write syscall; fsync policy lives in
+	// the journal implementation).
+	if j := e.journal.Load(); j != nil {
+		if err := (*j).Subscribed(id, expr, g); err != nil {
+			e.counters.journalErrors.Add(1)
+		}
+	}
 	return id
 }
 
@@ -466,9 +485,30 @@ func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []fl
 // It reports whether the id was live.
 func (e *Engine) Unsubscribe(id uint64) bool {
 	e.mu.Lock()
+	if !e.removeSubLocked(id) {
+		e.mu.Unlock()
+		return false
+	}
+	e.counters.unsubscribes.Add(1)
+	if j := e.journal.Load(); j != nil {
+		if err := (*j).Unsubscribed(id); err != nil {
+			e.counters.journalErrors.Add(1)
+		}
+	}
+	ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
+	e.mu.Unlock()
+	e.notifyChurn(ev)
+	e.maybeRebuild(false)
+	return true
+}
+
+// removeSubLocked is the unsubscribe commit: it drops the subscription
+// from the registry, clustering, and its shard's forest/routing table.
+// Caller holds the registry lock exclusively. Reports whether the id
+// was live.
+func (e *Engine) removeSubLocked(id uint64) bool {
 	idx, ok := e.byID[id]
 	if !ok {
-		e.mu.Unlock()
 		return false
 	}
 	s := e.subs[idx]
@@ -486,7 +526,6 @@ func (e *Engine) Unsubscribe(id uint64) bool {
 		e.byID[e.subs[i].id] = i
 	}
 	e.shardLive[s.shard]--
-	e.counters.unsubscribes.Add(1)
 	e.stale++
 	e.regVer++
 	// Remove the pattern and rebuild routing in ONE critical section:
@@ -518,10 +557,6 @@ func (e *Engine) Unsubscribe(id uint64) bool {
 		e.rebuildShardRoutingInner(s.shard)
 		sh.mu.Unlock()
 	}
-	ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
-	e.mu.Unlock()
-	e.notifyChurn(ev)
-	e.maybeRebuild(false)
 	return true
 }
 
@@ -555,6 +590,12 @@ func (e *Engine) maybeRebuild(force bool) {
 			e.replaceClusteringLocked(cluster.BuildGreedy(sim, e.cfg.Threshold))
 			e.stale = 0
 			e.counters.rebuilds.Add(1)
+			if j := e.journal.Load(); j != nil {
+				groups, reps := e.partitionIDsLocked()
+				if err := (*j).Rebuilt(groups, reps); err != nil {
+					e.counters.journalErrors.Add(1)
+				}
+			}
 			live := len(e.subs)
 			e.mu.Unlock()
 			e.notifyChurn(ChurnEvent{Live: live, Rebuilt: true})

@@ -1,0 +1,354 @@
+package broker
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"treesim/internal/cluster"
+	"treesim/internal/core"
+	"treesim/internal/pattern"
+)
+
+// This file is the crash-recovery surface: a snapshotable State, a
+// Restore constructor that rebuilds the matching plane from it without
+// re-running greedy clustering, a Journal hook that records committed
+// churn decisions, and the Apply* replay entry points that re-commit
+// journaled decisions deterministically.
+//
+// The design principle is outcome logging. A subscribe's community
+// placement depends on the estimator's synopsis at decision time;
+// replaying the decision procedure against restored (older or newer)
+// estimator state could place the subscription differently and change
+// routing. So the journal records the decision itself — the chosen
+// group index, or a rebuild's full partition — and replay applies it
+// verbatim. A restored broker therefore routes exactly like the broker
+// that crashed, whatever the estimator drift.
+
+// stateFormat versions State for gob compatibility checks.
+const stateFormat = 1
+
+// SubEntry is one subscription in a State, identified by its stable id
+// and pattern expression (registry order is the State.Subs order).
+type SubEntry struct {
+	ID   uint64
+	Expr string
+}
+
+// State is a point-in-time snapshot of the engine's durable state:
+// the subscription registry, the community partition with shard
+// placement, the id/sequence watermarks, and the estimator synopsis.
+// Delivery-queue contents are deliberately excluded — queued-but-
+// undrained deliveries die with the process (documented loss window).
+type State struct {
+	// Format is the state format version (stateFormat).
+	Format int
+	// Shards is the shard count the placement in CommShard was made for;
+	// a restore into a different shard count re-balances instead.
+	Shards int
+	// Subs is the registry in index order.
+	Subs []SubEntry
+	// Groups/Reps are the community partition over registry indices.
+	Groups [][]int
+	Reps   []int
+	// CommShard pins each community to a shard, parallel to Groups.
+	CommShard []int
+	// NextID is the id watermark; Stale the churn count since the last
+	// rebuild; PubSeq the publish sequence watermark.
+	NextID uint64
+	Stale  int
+	PubSeq uint64
+	// Estimator is the synopsis serialization (core.Estimator.Save).
+	Estimator []byte
+}
+
+// EncodeState serializes a State.
+func EncodeState(st *State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("broker: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState parses a State produced by EncodeState.
+func DecodeState(data []byte) (*State, error) {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("broker: decode state: %w", err)
+	}
+	if st.Format != stateFormat {
+		return nil, fmt.Errorf("broker: state format %d, want %d", st.Format, stateFormat)
+	}
+	return &st, nil
+}
+
+// State snapshots the engine's durable state. The registry/clustering
+// part is one consistent cut (taken under the registry lock); the
+// estimator serialization follows outside it, so documents ingested
+// concurrently may or may not be included — harmless skew, since the
+// estimator only steers future clustering decisions and those are
+// journaled as outcomes anyway. Call Flush first for a deterministic
+// synopsis (tests do).
+func (e *Engine) State() (*State, error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	st := &State{
+		Format:    stateFormat,
+		Shards:    len(e.shards),
+		Subs:      make([]SubEntry, len(e.subs)),
+		Groups:    make([][]int, len(e.comms.Groups)),
+		Reps:      append([]int(nil), e.comms.Reps...),
+		CommShard: append([]int(nil), e.commShard...),
+		NextID:    e.nextID,
+		Stale:     e.stale,
+	}
+	for i, s := range e.subs {
+		st.Subs[i] = SubEntry{ID: s.id, Expr: s.expr}
+	}
+	for g, members := range e.comms.Groups {
+		st.Groups[g] = append([]int(nil), members...)
+	}
+	e.mu.RUnlock()
+	st.PubSeq = e.pubSeq.Load()
+	var buf bytes.Buffer
+	if err := e.est.Save(&buf); err != nil {
+		return nil, fmt.Errorf("broker: save estimator: %w", err)
+	}
+	st.Estimator = buf.Bytes()
+	return st, nil
+}
+
+// Restore starts an engine from a snapshot: the estimator is loaded
+// from the saved synopsis, every subscription re-enters its snapshotted
+// community, and the shard forests/routing tables are rebuilt directly
+// from the saved partition — no similarity computation and no greedy
+// re-clustering on the recovery path. If the configured shard count
+// differs from the snapshot's, communities are re-balanced (placement
+// is routing-invariant; PR 5's shard tests prove delivery equality).
+func Restore(cfg Config, st *State) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if st == nil {
+		return nil, fmt.Errorf("broker: restore: nil state")
+	}
+	var est *core.Estimator
+	if len(st.Estimator) > 0 {
+		var err error
+		est, err = core.LoadEstimator(bytes.NewReader(st.Estimator))
+		if err != nil {
+			return nil, fmt.Errorf("broker: restore estimator: %w", err)
+		}
+		est.SetStreamConfig(cfg.Estimator.ParseOptions, cfg.Estimator.DTD)
+	} else {
+		est = core.NewEstimator(cfg.Estimator)
+	}
+	comms, err := cluster.FromGroups(cfg.Threshold, st.Groups, st.Reps)
+	if err != nil {
+		return nil, fmt.Errorf("broker: restore clustering: %w", err)
+	}
+	if comms.Len() != len(st.Subs) {
+		return nil, fmt.Errorf("broker: restore: partition covers %d items, registry has %d", comms.Len(), len(st.Subs))
+	}
+	e := newEngine(cfg, est)
+	for i, se := range st.Subs {
+		p, err := pattern.Parse(se.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("broker: restore subscription %d: %w", se.ID, err)
+		}
+		if _, dup := e.byID[se.ID]; dup {
+			return nil, fmt.Errorf("broker: restore: duplicate subscription id %d", se.ID)
+		}
+		e.byID[se.ID] = i
+		e.subs = append(e.subs, &subscriber{id: se.ID, pat: p, expr: se.Expr, q: newQueue(cfg.QueueCapacity)})
+		if se.ID > e.nextID {
+			e.nextID = se.ID
+		}
+	}
+	if st.NextID > e.nextID {
+		e.nextID = st.NextID
+	}
+	nsh := len(e.shards)
+	commShard := st.CommShard
+	reuse := st.Shards == nsh && len(commShard) == len(comms.Groups)
+	for _, si := range commShard {
+		if si < 0 || si >= nsh {
+			reuse = false
+			break
+		}
+	}
+	if reuse {
+		commShard = append([]int(nil), commShard...)
+	} else {
+		commShard = cluster.BalanceShards(comms.Groups, nsh)
+	}
+	e.comms = comms
+	e.commShard = commShard
+	for g, members := range comms.Groups {
+		si := commShard[g]
+		e.shardLive[si] += len(members)
+		for _, idx := range members {
+			s := e.subs[idx]
+			s.shard = si
+			s.fh = e.shards[si].forest.Add(s.pat)
+		}
+	}
+	// The engine is not yet shared with any other goroutine (the
+	// ingester never touches routing state), so no shard locks needed.
+	for si := range e.shards {
+		e.rebuildShardRoutingInner(si)
+	}
+	e.stale = st.Stale
+	e.pubSeq.Store(st.PubSeq)
+	return e, nil
+}
+
+// Journal observes committed registry mutations for write-ahead
+// logging. Calls are made inside the registry critical section, in
+// commit order — implementations should append fast (an unsynced write
+// is enough for process-death durability) and leave fsync policy to
+// their own configuration. Errors are counted in Stats.JournalErrors
+// and do not fail the mutation.
+type Journal interface {
+	// Subscribed records a committed subscription with the community
+	// group index the clustering chose (len(groups)-at-commit founds a
+	// new community).
+	Subscribed(id uint64, expr string, group int) error
+	// Unsubscribed records a committed removal.
+	Unsubscribed(id uint64) error
+	// Rebuilt records a full re-clustering as the complete partition
+	// keyed by subscription ids (reps parallel to groups).
+	Rebuilt(groups [][]uint64, reps []uint64) error
+}
+
+// SetJournal installs the journal. Install it once at boot, after
+// recovery replay and before serving traffic, so replayed operations
+// are not re-journaled. A nil j uninstalls.
+func (e *Engine) SetJournal(j Journal) {
+	if j == nil {
+		e.journal.Store(nil)
+		return
+	}
+	e.journal.Store(&j)
+}
+
+// partitionIDsLocked exports the current partition keyed by stable
+// subscription ids (the Rebuilt journal payload). Caller holds the
+// registry lock.
+func (e *Engine) partitionIDsLocked() (groups [][]uint64, reps []uint64) {
+	groups = make([][]uint64, len(e.comms.Groups))
+	reps = make([]uint64, len(e.comms.Reps))
+	for g, members := range e.comms.Groups {
+		ids := make([]uint64, len(members))
+		for i, idx := range members {
+			ids[i] = e.subs[idx].id
+		}
+		groups[g] = ids
+		reps[g] = e.subs[e.comms.Reps[g]].id
+	}
+	return groups, reps
+}
+
+// ApplySubscribed replays a journaled subscribe: the subscription
+// re-enters exactly the community the original commit chose (via
+// cluster.PlaceAt), with no similarity computation. Replaying a record
+// whose id is already live is a no-op (idempotent recovery under
+// snapshot/WAL overlap). Use only during recovery, before traffic.
+func (e *Engine) ApplySubscribed(id uint64, expr string, group int) error {
+	p, err := pattern.Parse(expr)
+	if err != nil {
+		return fmt.Errorf("broker: replay subscribe %d: %w", id, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if _, ok := e.byID[id]; ok {
+		return nil // already present (snapshot covered this record)
+	}
+	if err := e.comms.PlaceAt(group); err != nil {
+		return fmt.Errorf("broker: replay subscribe %d: %w", id, err)
+	}
+	if group == len(e.commShard) {
+		e.commShard = append(e.commShard, e.placeCommunityLocked())
+	}
+	si := e.commShard[group]
+	sh := e.shards[si]
+	sh.mu.Lock()
+	fh := sh.forest.Add(p)
+	if id > e.nextID {
+		e.nextID = id
+	}
+	e.byID[id] = len(e.subs)
+	e.subs = append(e.subs, &subscriber{
+		id:    id,
+		pat:   p,
+		expr:  expr,
+		shard: si,
+		fh:    fh,
+		q:     newQueue(e.cfg.QueueCapacity),
+	})
+	e.shardLive[si]++
+	e.stale++
+	e.regVer++
+	e.rebuildShardRoutingInner(si)
+	sh.mu.Unlock()
+	return nil
+}
+
+// ApplyUnsubscribed replays a journaled unsubscribe. Unknown ids are a
+// no-op (the snapshot may already reflect the removal).
+func (e *Engine) ApplyUnsubscribed(id uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.removeSubLocked(id)
+	return nil
+}
+
+// ApplyRebuilt replays a journaled full re-clustering: the recorded
+// partition (keyed by subscription ids) replaces the current one
+// wholesale, exactly as the original rebuild did.
+func (e *Engine) ApplyRebuilt(groups [][]uint64, reps []uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if len(groups) != len(reps) {
+		return fmt.Errorf("broker: replay rebuild: %d groups, %d reps", len(groups), len(reps))
+	}
+	idxGroups := make([][]int, len(groups))
+	idxReps := make([]int, len(reps))
+	for g, ids := range groups {
+		idxGroups[g] = make([]int, len(ids))
+		for i, id := range ids {
+			idx, ok := e.byID[id]
+			if !ok {
+				return fmt.Errorf("broker: replay rebuild: unknown subscription id %d", id)
+			}
+			idxGroups[g][i] = idx
+		}
+		idx, ok := e.byID[reps[g]]
+		if !ok {
+			return fmt.Errorf("broker: replay rebuild: unknown representative id %d", reps[g])
+		}
+		idxReps[g] = idx
+	}
+	comms, err := cluster.FromGroups(e.cfg.Threshold, idxGroups, idxReps)
+	if err != nil {
+		return fmt.Errorf("broker: replay rebuild: %w", err)
+	}
+	if comms.Len() != len(e.subs) {
+		return fmt.Errorf("broker: replay rebuild: partition covers %d of %d subscriptions", comms.Len(), len(e.subs))
+	}
+	e.replaceClusteringLocked(comms)
+	e.stale = 0
+	e.regVer++
+	return nil
+}

@@ -16,11 +16,21 @@ import (
 
 // ingestItem is one unit of the publish→synopsis pipeline: a document
 // to ingest, or a flush marker (nil tree) whose done channel is closed
-// once everything queued before it has been ingested.
+// once everything queued before it has been ingested. gate, when set,
+// stalls the ingester until the channel is closed — a test-only hook
+// for filling the pipeline deterministically.
 type ingestItem struct {
 	tree *xmltree.Tree
 	done chan struct{}
+	gate chan struct{}
 }
+
+// ErrBusy is returned by InjectRemote when the ingest pipeline is full:
+// the overlay sheds remote traffic instead of blocking a peer's
+// forwarding goroutine, and the peer backs off (HTTP 503 + Retry-After
+// upstream). Local Publish keeps blocking semantics — backpressure on
+// the local producer, load shedding across the federation boundary.
+var ErrBusy = fmt.Errorf("broker: ingest pipeline full")
 
 // Publish routes one document: it is queued for synopsis ingestion
 // (blocking only if the ingest pipeline is full — backpressure), loaded
@@ -34,13 +44,33 @@ func (e *Engine) Publish(t *xmltree.Tree) (PublishResult, error) {
 }
 
 // InjectRemote routes a document that arrived from a peer broker in the
-// overlay. It behaves exactly like Publish — the document feeds the
-// synopsis (remote traffic is part of the stream the estimator models),
-// enters the retention ring, and is delivered to matching local
-// communities — but is counted separately (Stats.RemoteInjected), so
-// operators can tell locally published from federated traffic.
+// overlay. It behaves like Publish — the document feeds the synopsis
+// (remote traffic is part of the stream the estimator models), enters
+// the retention ring, and is delivered to matching local communities —
+// but is counted separately (Stats.RemoteInjected), and it never blocks
+// on a full ingest pipeline: a remote injection rides a peer's
+// forwarding goroutine, and stalling it would propagate one slow
+// broker's backlog through the overlay. When the pipeline is full the
+// document is shed (counted in Stats.RemoteShed) and ErrBusy returned,
+// so the transport can answer 503 + Retry-After and the upstream peer
+// backs off.
 func (e *Engine) InjectRemote(t *xmltree.Tree) (PublishResult, error) {
-	return e.publish(t, true)
+	start := time.Now()
+	e.pipeMu.RLock()
+	if e.pipeClosed {
+		e.pipeMu.RUnlock()
+		return PublishResult{}, ErrClosed
+	}
+	select {
+	case e.ingest <- ingestItem{tree: t}:
+		e.counters.ingestQueued.Add(1)
+		e.pipeMu.RUnlock()
+	default:
+		e.pipeMu.RUnlock()
+		e.counters.remoteShed.Add(1)
+		return PublishResult{}, ErrBusy
+	}
+	return e.routeOne(t, true, start), nil
 }
 
 func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
@@ -56,6 +86,13 @@ func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
 	e.ingest <- ingestItem{tree: t}
 	e.pipeMu.RUnlock()
 
+	return e.routeOne(t, remote, start), nil
+}
+
+// routeOne is the routing half shared by the blocking and non-blocking
+// publish entry points: the document is already accepted into the
+// ingest pipeline.
+func (e *Engine) routeOne(t *xmltree.Tree, remote bool, start time.Time) PublishResult {
 	// routeMu (shared) orders routing against Close, not against
 	// subscription churn: registry mutations commit under the registry
 	// and per-shard locks, so a publish contends with churn only on the
@@ -75,7 +112,7 @@ func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
 		e.counters.remoteInjected.Add(1)
 	}
 	e.lat.record(time.Since(start))
-	return res, nil
+	return res
 }
 
 // PublishBatch routes a batch of documents with amortized overhead: one
@@ -132,6 +169,9 @@ func (e *Engine) runIngest() {
 	batch := make([]*xmltree.Tree, 0, e.cfg.IngestBatch)
 	var done []chan struct{}
 	for item := range e.ingest {
+		if item.gate != nil {
+			<-item.gate // test hook: hold the pipeline at a known depth
+		}
 		batch, done = batch[:0], done[:0]
 		for {
 			if item.tree != nil {

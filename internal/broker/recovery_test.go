@@ -1,0 +1,466 @@
+package broker
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"treesim/internal/core"
+	"treesim/internal/persist"
+)
+
+// storeJournal adapts a persist.Store to the broker Journal interface —
+// the same wiring cmd/treesimd uses.
+type storeJournal struct{ s *persist.Store }
+
+func (j storeJournal) Subscribed(id uint64, expr string, group int) error {
+	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
+}
+func (j storeJournal) Unsubscribed(id uint64) error {
+	return j.s.Append(persist.Record{Op: persist.OpUnsubscribe, ID: id})
+}
+func (j storeJournal) Rebuilt(groups [][]uint64, reps []uint64) error {
+	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
+}
+
+// replayStore drives a Store's WAL tail through the engine's Apply*
+// entry points — the recovery dispatch loop.
+func replayStore(t *testing.T, s *persist.Store, e *Engine) {
+	t.Helper()
+	if err := s.Replay(func(rec persist.Record) error {
+		switch rec.Op {
+		case persist.OpSubscribe:
+			return e.ApplySubscribed(rec.ID, rec.Expr, rec.Group)
+		case persist.OpUnsubscribe:
+			return e.ApplyUnsubscribed(rec.ID)
+		case persist.OpRebuild:
+			return e.ApplyRebuilt(rec.Groups, rec.Reps)
+		default:
+			return fmt.Errorf("unknown op %q", rec.Op)
+		}
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+// canonPartition sorts a partition into comparable form.
+func canonPartition(groups [][]uint64) [][]uint64 {
+	out := make([][]uint64, 0, len(groups))
+	for _, g := range groups {
+		cp := append([]uint64(nil), g...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) == 0 || len(out[j]) == 0 {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+func partitionsEqual(a, b [][]uint64) bool {
+	a, b = canonPartition(a), canonPartition(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// deliveries drains every queued delivery for id as a sorted doc-seq
+// list.
+func deliveries(t *testing.T, e *Engine, id uint64) []uint64 {
+	t.Helper()
+	ds, err := e.Drain(id, 10000, 0)
+	if err != nil {
+		t.Fatalf("Drain(%d): %v", id, err)
+	}
+	seqs := make([]uint64, len(ds))
+	for i, d := range ds {
+		seqs[i] = d.Doc
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+var recoveryPatterns = []string{
+	"/site/regions//item", "/site/regions/africa/item", "/site//item/name",
+	"/site/people/person", "/site/people/person/name", "//person//emailaddress",
+	"/site/closed_auctions//price", "//price", "/site/open_auctions/open_auction",
+	"//open_auction/bidder", "/site/categories/category", "//category/description",
+}
+
+var recoveryDocs = []string{
+	"site(regions(africa(item(name)),asia(item)))",
+	"site(people(person(name,emailaddress)))",
+	"site(closed_auctions(closed_auction(price)))",
+	"site(open_auctions(open_auction(bidder,bidder)))",
+	"site(categories(category(description)))",
+	"site(regions(europe(item(name,description))))",
+	"site(people(person(emailaddress),person(name)))",
+	"site(open_auctions(open_auction(price)))",
+}
+
+// publishAll publishes the shared document set, waits for ingestion,
+// and returns each document's assigned sequence (index-aligned with
+// recoveryDocs).
+func publishAll(t *testing.T, e *Engine) []uint64 {
+	t.Helper()
+	seqs := make([]uint64, len(recoveryDocs))
+	for i, c := range recoveryDocs {
+		res, err := e.Publish(doc(t, c))
+		if err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		seqs[i] = res.Seq
+	}
+	e.Flush()
+	return seqs
+}
+
+// assertSameRouting publishes the doc set to both engines and demands
+// identical per-subscription delivery streams. Streams are compared by
+// document (position in the published batch), not raw sequence number —
+// the engines' sequence counters may sit at different offsets.
+func assertSameRouting(t *testing.T, orig, rec *Engine, ids []uint64) {
+	t.Helper()
+	docOf := func(seqs []uint64) map[uint64]int {
+		m := make(map[uint64]int, len(seqs))
+		for i, s := range seqs {
+			m[s] = i
+		}
+		return m
+	}
+	aDocs := docOf(publishAll(t, orig))
+	bDocs := docOf(publishAll(t, rec))
+	toDocs := func(m map[uint64]int, seqs []uint64) []int {
+		out := make([]int, len(seqs))
+		for i, s := range seqs {
+			d, ok := m[s]
+			if !ok {
+				t.Fatalf("delivery of seq %d not from this batch", s)
+			}
+			out[i] = d
+		}
+		sort.Ints(out)
+		return out
+	}
+	for _, id := range ids {
+		a := toDocs(aDocs, deliveries(t, orig, id))
+		b := toDocs(bDocs, deliveries(t, rec, id))
+		if len(a) != len(b) {
+			t.Fatalf("subscription %d: original delivered docs %v, recovered %v", id, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("subscription %d: original delivered docs %v, recovered %v", id, a, b)
+			}
+		}
+	}
+}
+
+func recoveryConfig() Config {
+	return Config{
+		Estimator: core.Config{Representation: core.Sets, Seed: 7},
+		Shards:    2,
+		// Small thresholds so the churn below actually crosses the rebuild
+		// policy and exercises the OpRebuild journal path.
+		Rebuild: DirtyFraction{Fraction: 0.5, MinStale: 6},
+	}
+}
+
+// TestRecoveryEquivalence is the end-to-end crash test: journaled churn,
+// a mid-life snapshot, more journaled churn (including a forced
+// rebuild), then recovery from snapshot + WAL tail. The recovered
+// engine must hold the identical community partition and route every
+// document to the identical subscriptions.
+func TestRecoveryEquivalence(t *testing.T) {
+	cfg := recoveryConfig()
+	store, err := persist.Open(t.TempDir(), persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	e := newTestEngine(t, cfg)
+	e.SetJournal(storeJournal{store})
+
+	// Seed the estimator, then churn phase 1 (covered by the snapshot).
+	publishAll(t, e)
+	var ids []uint64
+	for _, p := range recoveryPatterns[:8] {
+		id, err := e.Subscribe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Snapshot mid-life.
+	e.Flush()
+	st, err := e.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := persist.Snapshot{Broker: data}
+	payload, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteSnapshot(payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn phase 2: WAL-tail-only. No publishes here, so the original
+	// and recovered engines assign identical doc sequence numbers below.
+	for _, p := range recoveryPatterns[8:] {
+		id, err := e.Subscribe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if !e.Unsubscribe(ids[1]) || !e.Unsubscribe(ids[4]) {
+		t.Fatal("unsubscribe failed")
+	}
+	live := append(append([]uint64(nil), ids[:1]...), ids[2], ids[3])
+	live = append(live, ids[5:]...)
+	e.Rebuild() // forces a journaled OpRebuild
+
+	// "Crash" and recover: snapshot + WAL tail.
+	snap, ok, err := store.LoadSnapshot()
+	if err != nil || !ok {
+		t.Fatalf("LoadSnapshot: ok=%v err=%v", ok, err)
+	}
+	env2, err := persist.DecodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := DecodeState(env2.Broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Restore(cfg, st2)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	replayStore(t, store, rec)
+
+	if rec.Live() != e.Live() {
+		t.Fatalf("recovered Live = %d, original %d", rec.Live(), e.Live())
+	}
+	if !partitionsEqual(e.CommunityIDs(), rec.CommunityIDs()) {
+		t.Fatalf("partitions differ:\noriginal:  %v\nrecovered: %v",
+			canonPartition(e.CommunityIDs()), canonPartition(rec.CommunityIDs()))
+	}
+	assertSameRouting(t, e, rec, live)
+}
+
+// TestRecoveryWALOnly recovers with no snapshot at all: the full journal
+// replayed into a fresh engine.
+func TestRecoveryWALOnly(t *testing.T) {
+	cfg := recoveryConfig()
+	store, err := persist.Open(t.TempDir(), persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	e := newTestEngine(t, cfg)
+	e.SetJournal(storeJournal{store})
+	var ids []uint64
+	for _, p := range recoveryPatterns {
+		id, err := e.Subscribe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.Unsubscribe(ids[0])
+
+	rec := newTestEngine(t, cfg)
+	replayStore(t, store, rec)
+	if rec.Live() != e.Live() {
+		t.Fatalf("recovered Live = %d, original %d", rec.Live(), e.Live())
+	}
+	if !partitionsEqual(e.CommunityIDs(), rec.CommunityIDs()) {
+		t.Fatalf("partitions differ:\noriginal:  %v\nrecovered: %v",
+			canonPartition(e.CommunityIDs()), canonPartition(rec.CommunityIDs()))
+	}
+	assertSameRouting(t, e, rec, ids[1:])
+}
+
+// TestReplayIdempotent replays the same WAL twice into one engine: the
+// second pass must be a complete no-op (the snapshot/WAL overlap case).
+func TestReplayIdempotent(t *testing.T) {
+	cfg := recoveryConfig()
+	store, err := persist.Open(t.TempDir(), persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	e := newTestEngine(t, cfg)
+	e.SetJournal(storeJournal{store})
+	for _, p := range recoveryPatterns[:6] {
+		if _, err := e.Subscribe(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Rebuild()
+
+	rec := newTestEngine(t, cfg)
+	replayStore(t, store, rec)
+	want := canonPartition(rec.CommunityIDs())
+	replayStore(t, store, rec) // again
+	if rec.Live() != 6 {
+		t.Fatalf("Live after double replay = %d, want 6", rec.Live())
+	}
+	if !partitionsEqual(rec.CommunityIDs(), want) {
+		t.Fatalf("double replay changed the partition")
+	}
+	// Unknown-id unsubscribe replay is a no-op, not an error.
+	if err := rec.ApplyUnsubscribed(99999); err != nil {
+		t.Fatalf("ApplyUnsubscribed(unknown) = %v", err)
+	}
+}
+
+// TestRestoreShardSkew restores a snapshot into an engine with a
+// different shard count: placement re-balances and routing is
+// unchanged.
+func TestRestoreShardSkew(t *testing.T) {
+	cfg := recoveryConfig()
+	e := newTestEngine(t, cfg)
+	publishAll(t, e)
+	var ids []uint64
+	for _, p := range recoveryPatterns {
+		id, err := e.Subscribe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.Flush()
+	st, err := e.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{-1, 1, 4} {
+		cfg2 := cfg
+		cfg2.Shards = shards
+		rec, err := Restore(cfg2, st)
+		if err != nil {
+			t.Fatalf("Restore into %d shards: %v", shards, err)
+		}
+		if !partitionsEqual(e.CommunityIDs(), rec.CommunityIDs()) {
+			t.Fatalf("shards=%d: partitions differ", shards)
+		}
+		assertSameRouting(t, e, rec, ids)
+		rec.Close()
+	}
+}
+
+// TestInjectRemoteShedsWhenFull pins the ingester behind a gate, fills
+// the one-slot pipeline, and verifies InjectRemote sheds with ErrBusy
+// (counted) instead of blocking, while the gated document still ingests
+// once released.
+func TestInjectRemoteShedsWhenFull(t *testing.T) {
+	e := newTestEngine(t, Config{IngestQueue: 1})
+	gate := make(chan struct{})
+	e.ingest <- ingestItem{gate: gate}
+	// Wait for the ingester to pick the gate item up (emptying the
+	// queue) so the fill below is deterministic.
+	for len(e.ingest) != 0 {
+		runtime.Gosched()
+	}
+
+	d := doc(t, "a(b)")
+	if _, err := e.InjectRemote(d); err != nil {
+		t.Fatalf("InjectRemote into free slot: %v", err)
+	}
+	if _, err := e.InjectRemote(d); err != ErrBusy {
+		t.Fatalf("InjectRemote into full pipeline = %v, want ErrBusy", err)
+	}
+	st := e.Stats()
+	if st.RemoteShed != 1 {
+		t.Fatalf("RemoteShed = %d, want 1", st.RemoteShed)
+	}
+	if st.RemoteInjected != 1 {
+		t.Fatalf("RemoteInjected = %d, want 1 (the accepted one routed)", st.RemoteInjected)
+	}
+
+	close(gate)
+	e.Flush() // returns only after everything queued before it ingested
+	if got := e.Stats().IngestPending; got != 0 {
+		t.Fatalf("IngestPending = %d after gate release + Flush, want 0", got)
+	}
+	// Local Publish still works with normal blocking semantics.
+	if _, err := e.Publish(d); err != nil {
+		t.Fatalf("Publish after release: %v", err)
+	}
+}
+
+// TestJournalRecordsDecisions checks the journal stream itself: commits
+// emit sub/unsub/rebuild records in order with the chosen group
+// indices.
+func TestJournalRecordsDecisions(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.Rebuild = Never{}
+	store, err := persist.Open(t.TempDir(), persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	e := newTestEngine(t, cfg)
+	e.SetJournal(storeJournal{store})
+	id1, _ := e.Subscribe("/a/b")
+	id2, _ := e.Subscribe("/c/d")
+	e.Unsubscribe(id1)
+	e.Rebuild()
+
+	var recs []persist.Record
+	if err := store.Replay(func(r persist.Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("journal has %d records, want 4: %+v", len(recs), recs)
+	}
+	if recs[0].Op != persist.OpSubscribe || recs[0].ID != id1 || recs[0].Expr != "/a/b" || recs[0].Group != 0 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Op != persist.OpSubscribe || recs[1].ID != id2 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[2].Op != persist.OpUnsubscribe || recs[2].ID != id1 {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+	if recs[3].Op != persist.OpRebuild || len(recs[3].Groups) == 0 || len(recs[3].Groups) != len(recs[3].Reps) {
+		t.Fatalf("record 3 = %+v", recs[3])
+	}
+	for _, ids := range recs[3].Groups {
+		for _, id := range ids {
+			if id == id1 {
+				t.Fatalf("rebuild partition contains unsubscribed id %d", id1)
+			}
+		}
+	}
+}

@@ -21,6 +21,8 @@ type counters struct {
 	ingestQueued   atomic.Uint64
 	ingested       atomic.Uint64
 	remoteInjected atomic.Uint64
+	remoteShed     atomic.Uint64
+	journalErrors  atomic.Uint64
 	sampled        atomic.Uint64
 	sampledHits    atomic.Uint64
 }
@@ -50,12 +52,20 @@ type Stats struct {
 
 	// Published counts routed documents (local publishes plus overlay
 	// injections); RemoteInjected the subset that arrived from peer
-	// brokers; DocsObserved how many the synopsis has ingested;
-	// IngestPending the pipeline backlog.
+	// brokers; RemoteShed the remote injections refused because the
+	// ingest pipeline was full (the peer was told to back off);
+	// DocsObserved how many the synopsis has ingested; IngestPending the
+	// pipeline backlog.
 	Published      uint64 `json:"published"`
 	RemoteInjected uint64 `json:"remote_injected"`
+	RemoteShed     uint64 `json:"remote_shed"`
 	DocsObserved   int    `json:"docs_observed"`
 	IngestPending  uint64 `json:"ingest_pending"`
+
+	// JournalErrors counts write-ahead-log append failures (the
+	// mutation still committed in memory; durability is degraded until
+	// the next successful snapshot).
+	JournalErrors uint64 `json:"journal_errors"`
 
 	// FilterEvals counts representative match tests (the community
 	// architecture's routing cost); Deliveries, Dropped and Drained
@@ -105,6 +115,8 @@ func (e *Engine) Stats() Stats {
 		Unsubscribes:     c.unsubscribes.Load(),
 		Published:        c.published.Load(),
 		RemoteInjected:   c.remoteInjected.Load(),
+		RemoteShed:       c.remoteShed.Load(),
+		JournalErrors:    c.journalErrors.Load(),
 		DocsObserved:     e.est.DocsObserved(),
 		FilterEvals:      c.filterEvals.Load(),
 		Deliveries:       c.delivered.Load(),

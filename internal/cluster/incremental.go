@@ -8,7 +8,10 @@
 // to pay for one.
 package cluster
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Communities is a maintained clustering over items 0..n-1. Groups are
 // index sets (each sorted ascending); Reps holds the representative
@@ -67,6 +70,72 @@ func (c *Communities) Assign(row []float64) int {
 	// idx is the largest index so far; appending keeps the group sorted.
 	c.Groups[best] = append(c.Groups[best], idx)
 	return best
+}
+
+// PlaceAt inserts the next item (index c.Len()) into group g, or
+// founds a new singleton group (with the item as representative) when
+// g == len(c.Groups). It is the deterministic-replay counterpart of
+// Assign: a broker journals the group Assign chose and recovery applies
+// that recorded decision instead of re-deriving it from similarities,
+// which may have drifted since the snapshot.
+func (c *Communities) PlaceAt(g int) error {
+	if g < 0 || g > len(c.Groups) {
+		return fmt.Errorf("cluster: place at group %d with %d groups", g, len(c.Groups))
+	}
+	idx := c.n
+	c.n++
+	if g == len(c.Groups) {
+		c.Groups = append(c.Groups, []int{idx})
+		c.Reps = append(c.Reps, idx)
+		return nil
+	}
+	// idx is the largest index so far; appending keeps the group sorted.
+	c.Groups[g] = append(c.Groups[g], idx)
+	return nil
+}
+
+// FromGroups reconstructs a maintained clustering from explicit member
+// sets and representatives — the restore path for a persisted
+// clustering. It validates the partition (every index 0..n-1 appears
+// exactly once, each representative is a member of its group) and sorts
+// each group's members.
+func FromGroups(threshold float64, groups [][]int, reps []int) (*Communities, error) {
+	if len(groups) != len(reps) {
+		return nil, fmt.Errorf("cluster: %d groups but %d representatives", len(groups), len(reps))
+	}
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	seen := make([]bool, n)
+	c := &Communities{Threshold: threshold, n: n}
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("cluster: group %d is empty", gi)
+		}
+		members := make([]int, len(g))
+		copy(members, g)
+		sort.Ints(members)
+		repOK := false
+		for _, m := range members {
+			if m < 0 || m >= n {
+				return nil, fmt.Errorf("cluster: group %d member %d outside [0,%d)", gi, m, n)
+			}
+			if seen[m] {
+				return nil, fmt.Errorf("cluster: item %d in more than one group", m)
+			}
+			seen[m] = true
+			if m == reps[gi] {
+				repOK = true
+			}
+		}
+		if !repOK {
+			return nil, fmt.Errorf("cluster: representative %d not a member of group %d", reps[gi], gi)
+		}
+		c.Groups = append(c.Groups, members)
+		c.Reps = append(c.Reps, reps[gi])
+	}
+	return c, nil
 }
 
 // Remove deletes item idx from the clustering. Remaining items with a

@@ -259,3 +259,134 @@ func TestSortedLargestFirst(t *testing.T) {
 		}
 	}
 }
+
+func TestPlaceAtReplaysAssign(t *testing.T) {
+	// Drive one clustering with Assign and a twin with the recorded
+	// group decisions via PlaceAt: identical structure must come out.
+	rows := [][]float64{
+		nil,
+		{0.9},
+		{0.1, 0.2},
+		{0.8, 0.1, 0.1},
+		{0.1, 0.1, 0.9, 0.1},
+		{0.1, 0.1, 0.1, 0.1, 0.1},
+	}
+	orig := &Communities{Threshold: 0.5}
+	var decisions []int
+	for _, row := range rows {
+		decisions = append(decisions, orig.Assign(row))
+	}
+	replay := &Communities{Threshold: 0.5}
+	for i, g := range decisions {
+		if err := replay.PlaceAt(g); err != nil {
+			t.Fatalf("PlaceAt op %d: %v", i, err)
+		}
+	}
+	if replay.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", replay.Len(), orig.Len())
+	}
+	if len(replay.Groups) != len(orig.Groups) {
+		t.Fatalf("groups = %v, want %v", replay.Groups, orig.Groups)
+	}
+	for g := range orig.Groups {
+		if replay.Reps[g] != orig.Reps[g] {
+			t.Fatalf("rep[%d] = %d, want %d", g, replay.Reps[g], orig.Reps[g])
+		}
+		if len(replay.Groups[g]) != len(orig.Groups[g]) {
+			t.Fatalf("group %d = %v, want %v", g, replay.Groups[g], orig.Groups[g])
+		}
+		for i := range orig.Groups[g] {
+			if replay.Groups[g][i] != orig.Groups[g][i] {
+				t.Fatalf("group %d = %v, want %v", g, replay.Groups[g], orig.Groups[g])
+			}
+		}
+	}
+}
+
+func TestPlaceAtRejectsOutOfRange(t *testing.T) {
+	c := &Communities{Threshold: 0.5}
+	if err := c.PlaceAt(1); err == nil {
+		t.Fatal("PlaceAt(1) on empty clustering should error")
+	}
+	if err := c.PlaceAt(-1); err == nil {
+		t.Fatal("PlaceAt(-1) should error")
+	}
+	if err := c.PlaceAt(0); err != nil { // founds the first group
+		t.Fatalf("PlaceAt(0): %v", err)
+	}
+	if c.Len() != 1 || len(c.Groups) != 1 || c.Reps[0] != 0 {
+		t.Fatalf("after founding: %+v", c)
+	}
+}
+
+func TestFromGroupsValidates(t *testing.T) {
+	ok, err := FromGroups(0.5, [][]int{{2, 0}, {1}}, []int{0, 1})
+	if err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	if ok.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ok.Len())
+	}
+	if g := ok.Groups[0]; g[0] != 0 || g[1] != 2 {
+		t.Fatalf("members not sorted: %v", g)
+	}
+	if ok.Find(2) != 0 || ok.Find(1) != 1 {
+		t.Fatal("Find disagrees with restored partition")
+	}
+
+	cases := []struct {
+		name   string
+		groups [][]int
+		reps   []int
+	}{
+		{"rep count mismatch", [][]int{{0}}, []int{0, 0}},
+		{"empty group", [][]int{{0}, {}}, []int{0, 0}},
+		{"duplicate item", [][]int{{0, 1}, {1}}, []int{0, 1}},
+		{"missing item", [][]int{{0}, {2}}, []int{0, 2}},
+		{"rep not member", [][]int{{0}, {1}}, []int{0, 0}},
+		{"negative index", [][]int{{-1, 0}}, []int{0}},
+	}
+	for _, tc := range cases {
+		if _, err := FromGroups(0.5, tc.groups, tc.reps); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestFromGroupsThenMaintain(t *testing.T) {
+	// A restored clustering keeps working: PlaceAt and Remove maintain
+	// the partition invariants on top of FromGroups.
+	c, err := FromGroups(0.5, [][]int{{0, 2}, {1, 3}}, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PlaceAt(0); err != nil { // item 4 joins group 0
+		t.Fatal(err)
+	}
+	if err := c.PlaceAt(2); err != nil { // item 5 founds group 2
+		t.Fatal(err)
+	}
+	c.Remove(3) // group 1's rep; item 1 promoted, 4→3 5→4 renumber
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+	seen := map[int]bool{}
+	for g, members := range c.Groups {
+		repMember := false
+		for _, m := range members {
+			if seen[m] {
+				t.Fatalf("item %d in two groups: %v", m, c.Groups)
+			}
+			seen[m] = true
+			if m == c.Reps[g] {
+				repMember = true
+			}
+		}
+		if !repMember {
+			t.Fatalf("rep %d not in group %d: %v", c.Reps[g], g, c.Groups)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("partition covers %d items, want 5: %v", len(seen), c.Groups)
+	}
+}

@@ -276,6 +276,17 @@ func LoadEstimator(r io.Reader) (*Estimator, error) {
 	return &Estimator{cfg: cfg, syn: syn, sel: selectivity.New(syn)}, nil
 }
 
+// SetStreamConfig restores the configuration facets Save does not
+// persist — parse options and the optional DTD schema filter — on a
+// loaded estimator. Call it once after LoadEstimator, before serving
+// queries or stream updates.
+func (e *Estimator) SetStreamConfig(opts xmltree.ParseOptions, d *dtd.DTD) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.ParseOptions = opts
+	e.cfg.DTD = d
+}
+
 // cachedEval returns the SEL evaluation of p (value + normalized
 // cardinality), consulting the per-version cache. The caller must hold
 // at least the shared read lock, so the synopsis version is stable for

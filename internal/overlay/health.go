@@ -1,0 +1,192 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	mathrand "math/rand"
+	"sort"
+	"time"
+
+	"treesim/internal/broker"
+)
+
+// This file is the overlay's liveness machinery — the soft-state and
+// self-healing layer that turns "links simply go quiet" into bounded
+// failure detection and automatic repair:
+//
+//   - Soft-state adverts. Every node re-advertises its aggregate (under
+//     a fresh version) every Config.AdvertRefresh; a routing-table
+//     entry whose origin has not been heard from within
+//     Config.AdvertTTL is expired and its aggregates evicted from the
+//     link forests, so a dead origin stops attracting forwards after at
+//     most one TTL.
+//   - Link health. Every send outcome feeds per-link state: a failure
+//     marks the link down (the damping set — forwarding plans and
+//     gossip skip it), and the maintenance loop probes it on a capped
+//     exponential backoff with jitter. The probe IS a full-state advert
+//     sync (the AddPeer exchange re-run), so a recovered link comes
+//     back with routing state already repaired — partition heal and
+//     resync are the same act.
+//   - Backpressure discrimination. A peer answering "busy" (HTTP 503 +
+//     Retry-After, or broker.ErrBusy in-process) is alive; busy answers
+//     never touch link health and are retried once after the hinted
+//     delay, then shed.
+
+// BusyError reports that a peer accepted the connection but shed the
+// message under ingest backpressure; retry after the hinted delay. The
+// HTTP transport produces it from 503 + Retry-After responses.
+type BusyError struct {
+	After time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("overlay: peer busy (retry after %v)", e.After)
+}
+
+// maxBusyWait caps how long a forwarding goroutine sleeps on a busy
+// peer before the single retry — bounded politeness, not a queue.
+const maxBusyWait = 500 * time.Millisecond
+
+// busyAfter classifies an error as peer backpressure and returns the
+// capped retry delay. A nil or non-busy error returns false.
+func busyAfter(err error) (time.Duration, bool) {
+	if err == nil {
+		return 0, false
+	}
+	var be *BusyError
+	if errors.As(err, &be) {
+		after := be.After
+		if after <= 0 || after > maxBusyWait {
+			after = maxBusyWait
+		}
+		return after, true
+	}
+	if errors.Is(err, broker.ErrBusy) {
+		return maxBusyWait, true
+	}
+	return 0, false
+}
+
+// recordSend folds one send outcome into the link's health state.
+// Failures mark the link down and schedule the next probe under capped
+// exponential backoff with ±25% jitter (de-synchronizing probe storms
+// after a shared outage). A success on a down link means a maintenance
+// probe — which carries the full-state resync batch — got through:
+// the link rejoins the healthy set.
+func (n *Node) recordSend(peerID string, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[peerID]
+	if !ok {
+		return // link replaced or removed mid-send
+	}
+	if err == nil {
+		if l.down {
+			l.down = false
+			n.counters.linkRecovered.Add(1)
+			n.counters.resyncs.Add(1)
+		}
+		l.fails = 0
+		l.backoff = 0
+		return
+	}
+	l.fails++
+	if !l.down {
+		l.down = true
+		n.counters.linkDowns.Add(1)
+	}
+	if l.backoff == 0 {
+		l.backoff = n.cfg.RetryBase
+	} else {
+		l.backoff *= 2
+	}
+	if l.backoff > n.cfg.RetryMax {
+		l.backoff = n.cfg.RetryMax
+	}
+	// ±25% jitter; mathrand's global source is fine for scheduling.
+	jitter := time.Duration(mathrand.Int63n(int64(l.backoff)/2+1)) - l.backoff/4
+	l.nextRetry = time.Now().Add(l.backoff + jitter)
+}
+
+// runMaintenance is the background loop driving refresh, expiry, and
+// down-link probes. It stops when the node closes.
+func (n *Node) runMaintenance() {
+	defer n.maintWG.Done()
+	ticker := time.NewTicker(n.cfg.Maintenance)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		n.expireAdverts(now)
+		n.probeDownLinks(now)
+		n.refreshAdvert(now)
+	}
+}
+
+// expireAdverts evicts routing-table entries whose origin has been
+// silent past the advert TTL: the entry is removed and its aggregates
+// tombstoned out of the arrival link's forest (at version+1, so an
+// older in-flight advert cannot resurrect them), closing the
+// forwarding hole a dead origin leaves.
+func (n *Node) expireAdverts(now time.Time) {
+	ttl := n.cfg.AdvertTTL
+	if ttl <= 0 {
+		return
+	}
+	n.mu.Lock()
+	var updates []forestUpdate
+	for origin, e := range n.table {
+		if now.Sub(e.lastSeen) <= ttl {
+			continue
+		}
+		if lf := n.forests[e.via]; lf != nil {
+			updates = append(updates, forestUpdate{lf: lf, origin: origin, version: e.version + 1})
+		}
+		delete(n.table, origin)
+		n.counters.advertsExpired.Add(1)
+	}
+	n.mu.Unlock()
+	for _, u := range updates {
+		u.lf.set(u.origin, u.version, u.pats)
+	}
+}
+
+// probeDownLinks retries every marked-down link whose backoff has
+// elapsed. The probe is syncPeer's full-state advert batch — on
+// success the link's health resets (recordSend sees the send succeed)
+// and the peer's routing state toward this node is repaired in the same
+// exchange; the peer's own symmetric probe repairs the reverse
+// direction.
+func (n *Node) probeDownLinks(now time.Time) {
+	n.mu.Lock()
+	var due []string
+	for id, l := range n.links {
+		if l.down && !now.Before(l.nextRetry) {
+			due = append(due, id)
+		}
+	}
+	n.mu.Unlock()
+	sort.Strings(due)
+	for _, id := range due {
+		n.syncPeer(id) // send outcome feeds recordSend via sendAdverts
+	}
+}
+
+// refreshAdvert re-advertises the local aggregate (under a fresh
+// version) when the keepalive period has elapsed without any
+// churn-driven advertisement — the origin-side half of soft state.
+func (n *Node) refreshAdvert(now time.Time) {
+	if n.cfg.AdvertTTL <= 0 {
+		return
+	}
+	n.mu.Lock()
+	due := now.Sub(n.lastAdvert) >= n.cfg.AdvertRefresh
+	n.mu.Unlock()
+	if due {
+		n.Advertise()
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"treesim/internal/broker"
@@ -19,12 +21,37 @@ type HTTPTransport struct {
 	client *http.Client
 }
 
+// NewPeerClient builds an HTTP client tuned for peer links: explicit
+// dial, TLS and response-header deadlines under an overall per-request
+// timeout, so a hung or blackholed peer surfaces as a link-health error
+// within seconds instead of pinning a forwarding goroutine for the OS
+// TCP timeout. timeout <= 0 defaults to 10s.
+func NewPeerClient(timeout time.Duration) *http.Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	dial := timeout / 2
+	if dial > 3*time.Second {
+		dial = 3 * time.Second
+	}
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: dial, KeepAlive: 15 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   dial,
+			ResponseHeaderTimeout: timeout,
+			MaxIdleConnsPerHost:   4,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
+}
+
 // NewHTTPTransport returns a transport for the peer at the given base
-// URL (e.g. "http://127.0.0.1:8690"). A nil client gets a 10s-timeout
-// default.
+// URL (e.g. "http://127.0.0.1:8690"). A nil client gets the
+// NewPeerClient default (explicit dial/send deadlines).
 func NewHTTPTransport(base string, client *http.Client) *HTTPTransport {
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = NewPeerClient(0)
 	}
 	return &HTTPTransport{base: base, client: client}
 }
@@ -39,6 +66,19 @@ func (t *HTTPTransport) post(path string, body []byte) error {
 		resp.Body.Close()
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		// 503 with Retry-After is the peer's backpressure signal — the
+		// peer is alive but shedding; surface it as BusyError so the
+		// sender backs off without charging link health. A 503 without
+		// the header (closed peer) stays an ordinary failure.
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				after := time.Second
+				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+					after = time.Duration(secs) * time.Second
+				}
+				return &BusyError{After: after}
+			}
+		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("overlay: POST %s%s: %s: %s", t.base, path, resp.Status, msg)
 	}
@@ -105,6 +145,13 @@ func RegisterHTTP(mux *http.ServeMux, n *Node, maxBody int64, client *http.Clien
 		}
 		autoPeer(n, pub.From, pub.Addr, client)
 		if err := n.HandlePublish(pub); err != nil {
+			if errors.Is(err, broker.ErrBusy) {
+				// Ingest backpressure: tell the peer to back off and
+				// retry instead of blocking its forwarding goroutine.
+				w.Header().Set("Retry-After", "1")
+				peerError(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
 			peerError(w, peerStatus(err), "%v", err)
 			return
 		}
@@ -136,7 +183,7 @@ func autoPeer(n *Node, from, addr string, client *http.Client) {
 // may not be up yet.
 func DialPeer(n *Node, base string, client *http.Client) error {
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = NewPeerClient(0)
 	}
 	resp, err := client.Get(base + "/peer/info")
 	if err != nil {

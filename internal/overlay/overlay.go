@@ -41,6 +41,7 @@ package overlay
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -92,6 +93,33 @@ type Config struct {
 	// still apply). This is the measurement baseline, not a mode for
 	// production use.
 	Flood bool
+
+	// MinEpoch, when set, floors the boot epoch used for the advert
+	// version and publication sequence: a restarted node resumes at
+	// max(clock epoch, MinEpoch+1), so peers accept its state even if
+	// the wall clock regressed across the restart. Brokers persist their
+	// watermarks in snapshots and feed them back here.
+	MinEpoch uint64
+
+	// AdvertTTL is the soft-state lifetime of a remote origin's routes:
+	// a table entry not refreshed within the TTL is expired (its routes
+	// evicted), closing the forwarding hole a silently dead peer would
+	// otherwise leave forever. Origins re-advertise under a new version
+	// every AdvertRefresh to stay alive. Default 60s; negative disables
+	// expiry and refresh (the pre-liveness behavior, used by short-lived
+	// harness runs).
+	AdvertTTL time.Duration
+	// AdvertRefresh is the keepalive re-advertisement period (default
+	// AdvertTTL/3).
+	AdvertRefresh time.Duration
+	// Maintenance is the tick of the background maintenance loop that
+	// drives refresh, expiry, and down-link retry probes (default 500ms).
+	Maintenance time.Duration
+	// RetryBase/RetryMax bound the capped exponential backoff (with
+	// ±25% jitter) between retry probes to a marked-down link. Defaults
+	// 250ms and 15s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -112,13 +140,40 @@ func (c Config) withDefaults() Config {
 	if c.AdvertPolicy == nil {
 		c.AdvertPolicy = broker.DirtyFraction{Fraction: 0.10, MinStale: 1}
 	}
+	if c.AdvertTTL == 0 {
+		c.AdvertTTL = 60 * time.Second
+	}
+	if c.AdvertTTL < 0 {
+		c.AdvertTTL = 0 // liveness disabled
+	}
+	if c.AdvertRefresh <= 0 {
+		c.AdvertRefresh = c.AdvertTTL / 3
+	}
+	if c.Maintenance <= 0 {
+		c.Maintenance = 500 * time.Millisecond
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 250 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 15 * time.Second
+	}
 	return c
 }
 
-// link is one attached peer.
+// link is one attached peer, with its send-health state (guarded by the
+// node lock; see health.go).
 type link struct {
 	id string
 	tr Transport
+
+	// down marks the link in the damping set: forwarding plans and
+	// advert gossip skip it, and only the maintenance loop's backoff-
+	// paced probes (full-state resyncs) touch it until one succeeds.
+	down      bool
+	fails     int
+	backoff   time.Duration
+	nextRetry time.Time
 }
 
 // nodeCounters are the node's lock-free operational counters.
@@ -132,6 +187,13 @@ type nodeCounters struct {
 	published    atomic.Uint64
 	injected     atomic.Uint64
 	sendErrors   atomic.Uint64
+
+	advertsExpired atomic.Uint64
+	linkDowns      atomic.Uint64
+	linkRecovered  atomic.Uint64
+	resyncs        atomic.Uint64
+	peerBusy       atomic.Uint64
+	busyRejected   atomic.Uint64
 }
 
 // Node is one federation member: a broker engine plus links, routing
@@ -148,11 +210,17 @@ type Node struct {
 	// forest of every aggregate routed via that link, consulted by the
 	// forwarding decision (outside the node lock — see linkForest).
 	forests  map[string]*linkForest
-	seen     *seenSet
-	localVer uint64
-	local    wire.Advert
-	advStale int
-	closed   bool
+	seen       *seenSet
+	localVer   uint64
+	local      wire.Advert
+	advStale   int
+	lastAdvert time.Time
+	closed     bool
+
+	// stop/maintWG manage the background maintenance goroutine
+	// (refresh, expiry, down-link probes; see health.go).
+	stop    chan struct{}
+	maintWG sync.WaitGroup
 
 	seq      atomic.Uint64
 	counters nodeCounters
@@ -169,6 +237,7 @@ func New(eng *broker.Engine, cfg Config) *Node {
 		links:   make(map[string]*link),
 		table:   make(map[string]*originEntry),
 		forests: make(map[string]*linkForest),
+		stop:    make(chan struct{}),
 	}
 	n.seen = newSeenSet(n.cfg.SeenCapacity)
 	// Version and sequence numbers start at a boot epoch rather than 1:
@@ -177,15 +246,32 @@ func New(eng *broker.Engine, cfg Config) *Node {
 	// restarting below the old version would make them silently discard
 	// every new advert ("stale") and the first publications
 	// ("duplicate"). Nanosecond epochs are monotone across restarts and
-	// leave ~2^63 headroom above any realistic churn rate.
+	// leave ~2^63 headroom above any realistic churn rate; MinEpoch (a
+	// persisted watermark) guards the clock-regression case.
 	epoch := uint64(time.Now().UnixNano())
+	if epoch <= n.cfg.MinEpoch {
+		epoch = n.cfg.MinEpoch + 1
+	}
 	n.seq.Store(epoch)
 	n.mu.Lock()
 	n.localVer = epoch
 	n.local = n.buildAdvertLocked(n.localVer)
+	n.lastAdvert = time.Now()
 	n.mu.Unlock()
 	eng.SetChurnHook(n.onChurn)
+	n.maintWG.Add(1)
+	go n.runMaintenance()
 	return n
+}
+
+// Epoch returns the node's current advert version and publication
+// sequence — the watermarks brokers persist so a restarted node's
+// MinEpoch resumes above every value peers have seen.
+func (n *Node) Epoch() (advertVersion, pubSeq uint64) {
+	n.mu.Lock()
+	v := n.localVer
+	n.mu.Unlock()
+	return v, n.seq.Load()
 }
 
 // ID returns the node's overlay identity.
@@ -194,15 +280,21 @@ func (n *Node) ID() string { return n.cfg.ID }
 // Engine returns the attached broker engine.
 func (n *Node) Engine() *broker.Engine { return n.eng }
 
-// Close detaches the node: the churn hook is uninstalled and subsequent
-// publishes, handles and peer additions fail with ErrClosed. It does
-// not close the engine (the caller owns it) and does not notify peers —
-// links simply go quiet (WAN-grade liveness is future work).
+// Close detaches the node: the churn hook is uninstalled, the
+// maintenance loop stops, and subsequent publishes, handles and peer
+// additions fail with ErrClosed. It does not close the engine (the
+// caller owns it) and does not notify peers — their soft-state advert
+// TTLs expire this node's routes and their link health marks the link
+// down until it answers again.
 func (n *Node) Close() {
 	n.eng.SetChurnHook(nil)
 	n.mu.Lock()
-	n.closed = true
+	if !n.closed {
+		n.closed = true
+		close(n.stop)
+	}
 	n.mu.Unlock()
+	n.maintWG.Wait()
 }
 
 // onChurn is the engine hook: accumulate churn and re-advertise when
@@ -238,6 +330,7 @@ func (n *Node) Advertise() error {
 	n.localVer++
 	n.local = n.buildAdvertLocked(n.localVer)
 	n.advStale = 0
+	n.lastAdvert = time.Now()
 	adv := n.local
 	targets := n.linksLocked("")
 	n.mu.Unlock()
@@ -445,24 +538,35 @@ func (n *Node) HandlePublish(pub wire.Publication) error {
 		return nil
 	}
 	n.seen.add(key)
-	var plan []forwardCandidate
 	ttl := pub.TTL - 1
-	if ttl > 0 {
-		plan = n.forwardPlanLocked(pub.Origin, pub.From)
-	}
 	n.mu.Unlock()
 	t, err := xmltree.ParseString(pub.XML, n.eng.Estimator().Config().ParseOptions)
 	if err != nil {
 		return fmt.Errorf("overlay: forwarded document from %q: %w", pub.From, err)
 	}
-	targets := matchTargets(t, plan)
-	if ttl <= 0 {
-		n.counters.ttlDrops.Add(1)
-	}
+	// Local injection happens BEFORE any forwarding: when the engine
+	// sheds under backpressure the publication is unmarked from the seen
+	// set and refused whole, so the upstream peer's retry is not
+	// suppressed as a duplicate and cannot leave a permanent local hole.
 	if _, err := n.eng.InjectRemote(t); err != nil {
-		return err
+		if errors.Is(err, broker.ErrBusy) {
+			n.mu.Lock()
+			n.seen.remove(key)
+			n.mu.Unlock()
+			n.counters.busyRejected.Add(1)
+		}
+		return fmt.Errorf("overlay: inject from %q: %w", pub.From, err)
 	}
 	n.counters.injected.Add(1)
+	var plan []forwardCandidate
+	if ttl > 0 {
+		n.mu.Lock()
+		plan = n.forwardPlanLocked(pub.Origin, pub.From)
+		n.mu.Unlock()
+	} else {
+		n.counters.ttlDrops.Add(1)
+	}
+	targets := matchTargets(t, plan)
 	pub.TTL = ttl
 	n.sendPublication(targets, pub, t)
 	return nil
@@ -517,13 +621,16 @@ func matchTargets(t *xmltree.Tree, plan []forwardCandidate) []*link {
 	return out
 }
 
-// linksLocked snapshots all links except the named one, in id order —
-// deterministic send order makes multi-hop propagation (and therefore
-// measured forward counts) reproducible for a fixed topology.
+// linksLocked snapshots all healthy links except the named one, in id
+// order — deterministic send order makes multi-hop propagation (and
+// therefore measured forward counts) reproducible for a fixed topology.
+// Marked-down links are skipped (the damping set): until a maintenance
+// probe recovers one, no forwarding plan or gossip wastes a timeout on
+// it.
 func (n *Node) linksLocked(exclude string) []*link {
 	out := make([]*link, 0, len(n.links))
 	for id, l := range n.links {
-		if id != exclude {
+		if id != exclude && !l.down {
 			out = append(out, l)
 		}
 	}
@@ -531,8 +638,10 @@ func (n *Node) linksLocked(exclude string) []*link {
 	return out
 }
 
-// sendAdverts pushes adverts to the given links (best effort: a failed
-// peer is counted, not retried — the next advert version resyncs it).
+// sendAdverts pushes adverts to the given links. A failed peer is
+// counted and its link marked down (backed-off maintenance probes take
+// over); the probe's full-state resync repairs whatever gossip it
+// missed while down.
 func (n *Node) sendAdverts(targets []*link, adverts []wire.Advert) {
 	if len(targets) == 0 || len(adverts) == 0 {
 		return
@@ -541,9 +650,11 @@ func (n *Node) sendAdverts(targets []*link, adverts []wire.Advert) {
 	for _, l := range targets {
 		if err := l.tr.SendAdvert(batch); err != nil {
 			n.counters.sendErrors.Add(1)
+			n.recordSend(l.id, err)
 			continue
 		}
 		n.counters.advertsSent.Add(1)
+		n.recordSend(l.id, nil)
 	}
 }
 
@@ -565,12 +676,26 @@ func (n *Node) sendPublication(targets []*link, pub wire.Publication, t *xmltree
 	pub.Addr = n.cfg.Addr
 	sent := 0
 	for _, l := range targets {
-		if err := l.tr.SendPublish(pub); err != nil {
+		err := l.tr.SendPublish(pub)
+		if after, busy := busyAfter(err); busy {
+			// Backpressure, not failure: the peer is up but shedding.
+			// Back off once (capped) and retry; a second refusal sheds
+			// the forward without touching link health.
+			n.counters.peerBusy.Add(1)
+			time.Sleep(after)
+			err = l.tr.SendPublish(pub)
+			if _, busy := busyAfter(err); busy {
+				continue
+			}
+		}
+		if err != nil {
 			n.counters.sendErrors.Add(1)
+			n.recordSend(l.id, err)
 			continue
 		}
 		sent++
 		n.counters.forwardsSent.Add(1)
+		n.recordSend(l.id, nil)
 	}
 	return sent
 }
@@ -584,14 +709,18 @@ func (n *Node) Info() wire.Info {
 		AdvertVer:   n.localVer,
 		LocalAdvert: n.local,
 	}
-	for id := range n.links {
+	for id, l := range n.links {
 		info.Peers = append(info.Peers, id)
+		if l.down {
+			info.DownPeers = append(info.DownPeers, id)
+		}
 	}
 	for origin, e := range n.table {
 		info.Origins = append(info.Origins, e.summary(origin))
 	}
 	n.mu.Unlock()
 	sort.Strings(info.Peers)
+	sort.Strings(info.DownPeers)
 	sort.Slice(info.Origins, func(i, j int) bool { return info.Origins[i].Origin < info.Origins[j].Origin })
 	c := &n.counters
 	info.ForwardsSent = c.forwardsSent.Load()
@@ -602,6 +731,13 @@ func (n *Node) Info() wire.Info {
 	info.AdvertsRecv = c.advertsRecv.Load()
 	info.Published = c.published.Load()
 	info.Injected = c.injected.Load()
+	info.SendErrors = c.sendErrors.Load()
+	info.AdvertsExpired = c.advertsExpired.Load()
+	info.LinkDowns = c.linkDowns.Load()
+	info.LinkRecoveries = c.linkRecovered.Load()
+	info.Resyncs = c.resyncs.Load()
+	info.PeerBusy = c.peerBusy.Load()
+	info.BusyRejected = c.busyRejected.Load()
 	return info
 }
 

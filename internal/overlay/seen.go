@@ -36,3 +36,23 @@ func (s *seenSet) add(key string) {
 	}
 	s.m[key] = struct{}{}
 }
+
+// remove un-marks a key — the backpressure path: a publication refused
+// under load must not suppress the upstream peer's retry as a
+// duplicate. The ring slot is blanked too (not just the map entry):
+// leaving it would let a later re-add put the key in the ring twice,
+// and the first slot's eviction would then delete the map entry while
+// the key is still recent, silently re-admitting true duplicates.
+// Removals are rare (sheds only), so the linear slot scan is fine.
+func (s *seenSet) remove(key string) {
+	if _, ok := s.m[key]; !ok {
+		return
+	}
+	delete(s.m, key)
+	for i, k := range s.ring {
+		if k == key {
+			s.ring[i] = "" // evicting "" later is a harmless map no-op
+			break
+		}
+	}
+}

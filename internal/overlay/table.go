@@ -3,6 +3,7 @@ package overlay
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"treesim/internal/matching"
 	"treesim/internal/overlay/wire"
@@ -23,13 +24,17 @@ type originEntry struct {
 	via        string // next-hop peer id (the arrival link)
 	pats       []*pattern.Pattern
 	advertised []wire.Community // as advertised, for re-gossip on AddPeer
+	// lastSeen is when this origin was last heard from (a newer-version
+	// advert accepted); the soft-state sweeper expires entries silent
+	// past Config.AdvertTTL.
+	lastSeen time.Time
 }
 
 // newOriginEntry parses an advert into a table entry. Patterns arrive
 // codec-validated; a parse failure here (direct HandleAdvert callers)
 // rejects the advert.
 func newOriginEntry(a wire.Advert, via string) (*originEntry, error) {
-	e := &originEntry{version: a.Version, hops: a.Hops, via: via, advertised: a.Communities}
+	e := &originEntry{version: a.Version, hops: a.Hops, via: via, advertised: a.Communities, lastSeen: time.Now()}
 	for i, c := range a.Communities {
 		for j, s := range c.Patterns {
 			p, err := pattern.Parse(s)

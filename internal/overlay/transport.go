@@ -53,10 +53,17 @@ func (t Inproc) SendPublish(p wire.Publication) error {
 // before either sync, so neither side rejects the other's state batch
 // as coming from an unknown peer.
 func Connect(a, b *Node) error {
-	if err := a.addPeerLink(b.ID(), Inproc{Peer: b}); err != nil {
+	return ConnectTransports(a, b, Inproc{Peer: b}, Inproc{Peer: a})
+}
+
+// ConnectTransports is Connect with caller-supplied transports for each
+// direction (a→b via ab, b→a via ba) — the hook for fault-injecting
+// wrappers in chaos tests and for mixed-transport topologies.
+func ConnectTransports(a, b *Node, ab, ba Transport) error {
+	if err := a.addPeerLink(b.ID(), ab); err != nil {
 		return err
 	}
-	if err := b.addPeerLink(a.ID(), Inproc{Peer: a}); err != nil {
+	if err := b.addPeerLink(a.ID(), ba); err != nil {
 		return err
 	}
 	if err := a.syncPeer(b.ID()); err != nil {

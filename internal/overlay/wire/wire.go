@@ -144,6 +144,18 @@ type Info struct {
 	AdvertsRecv  uint64       `json:"adverts_recv"`
 	Published    uint64       `json:"published"`
 	Injected     uint64       `json:"injected"`
+
+	// Liveness and backpressure counters (soft-state advert expiry,
+	// per-link health, peer busy sheds). DownPeers lists the links
+	// currently in the damping set.
+	DownPeers      []string `json:"down_peers,omitempty"`
+	SendErrors     uint64   `json:"send_errors"`
+	AdvertsExpired uint64   `json:"adverts_expired"`
+	LinkDowns      uint64   `json:"link_downs"`
+	LinkRecoveries uint64   `json:"link_recoveries"`
+	Resyncs        uint64   `json:"resyncs"`
+	PeerBusy       uint64   `json:"peer_busy"`
+	BusyRejected   uint64   `json:"busy_rejected"`
 }
 
 // EncodeAdvertBatch serializes a batch, stamping the protocol version.

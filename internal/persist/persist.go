@@ -1,0 +1,66 @@
+// Package persist is the broker's durability layer: an atomic
+// point-in-time snapshot plus a write-ahead log of the subscription
+// churn that followed it. The two files live side by side in a data
+// directory:
+//
+//	<dir>/snapshot.snap   latest snapshot (atomic: temp + fsync + rename)
+//	<dir>/wal.log         churn records appended since the snapshot
+//
+// Recovery loads the snapshot (if any) and replays the WAL tail.
+// Records are LSN-numbered; the snapshot stamps the last LSN it covers,
+// and replay skips records at or below that watermark, which makes
+// recovery idempotent under every crash interleaving — including a
+// crash between the snapshot rename and the WAL truncation that
+// normally follows it (the stale records are simply skipped on the next
+// boot).
+//
+// The WAL is length-prefixed and CRC-checked per record. A torn final
+// record — the expected artifact of crashing mid-append — is detected,
+// logged off, and the file is truncated back to the last intact record,
+// so a crashed broker always reopens cleanly.
+//
+// The package is deliberately ignorant of broker internals: record
+// payloads carry enough to replay a churn decision (the subscription
+// expression and the community placement the broker chose), and the
+// snapshot payload is an opaque byte slice the broker encodes itself.
+package persist
+
+// Record operation kinds.
+const (
+	// OpSubscribe records a committed subscription: the broker-assigned
+	// id, the pattern expression, and the community group index the
+	// clustering chose — the decision is logged, not re-derived, so
+	// replay is deterministic even though the estimator state at replay
+	// time differs from the state that drove the original assignment.
+	OpSubscribe = "sub"
+	// OpUnsubscribe records a committed removal by subscription id.
+	OpUnsubscribe = "unsub"
+	// OpRebuild records a full clustering rebuild as the complete
+	// partition keyed by stable subscription ids.
+	OpRebuild = "rebuild"
+)
+
+// Record is one WAL entry. Fields beyond Op are populated per kind:
+// OpSubscribe uses ID/Expr/Group, OpUnsubscribe uses ID, OpRebuild uses
+// Groups/Reps.
+type Record struct {
+	// LSN is the log sequence number, assigned by Append; callers leave
+	// it zero. Replay reports it.
+	LSN uint64 `json:"lsn,omitempty"`
+	// Op is the operation kind (OpSubscribe, OpUnsubscribe, OpRebuild).
+	Op string `json:"op"`
+	// ID is the subscription id the operation concerns.
+	ID uint64 `json:"id,omitempty"`
+	// Expr is the subscription's pattern expression (OpSubscribe).
+	Expr string `json:"expr,omitempty"`
+	// Group is the community group index the subscription was placed in,
+	// or len(groups) at commit time when it founded a new community
+	// (OpSubscribe).
+	Group int `json:"group"`
+	// Groups is the full partition after a rebuild, each group listing
+	// its member subscription ids (OpRebuild).
+	Groups [][]uint64 `json:"groups,omitempty"`
+	// Reps lists each rebuilt group's representative subscription id,
+	// parallel to Groups (OpRebuild).
+	Reps []uint64 `json:"reps,omitempty"`
+}

@@ -1,0 +1,124 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// snapshotFormat versions the on-disk snapshot file. Decoders reject
+// other versions rather than guess.
+const snapshotFormat = 1
+
+// snapFile is the on-disk snapshot container: an opaque payload plus
+// the WAL watermark it covers, CRC-protected.
+type snapFile struct {
+	Format  int
+	LastLSN uint64
+	CRC     uint32 // crc32.ChecksumIEEE over Payload
+	Payload []byte
+}
+
+// writeSnapshotFile atomically replaces path with a snapshot covering
+// records up to lastLSN: write to a temp file in the same directory,
+// fsync it, rename over the target, fsync the directory. A crash at any
+// point leaves either the old snapshot or the new one, never a hybrid.
+func writeSnapshotFile(path string, payload []byte, lastLSN uint64) error {
+	var buf bytes.Buffer
+	sf := snapFile{Format: snapshotFormat, LastLSN: lastLSN, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
+	if err := gob.NewEncoder(&buf).Encode(sf); err != nil {
+		return fmt.Errorf("persist: encode snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("persist: snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("persist: publish snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readSnapshotFile loads and verifies the snapshot at path. A missing
+// file returns ok=false with no error.
+func readSnapshotFile(path string) (payload []byte, lastLSN uint64, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+	var sf snapFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&sf); err != nil {
+		return nil, 0, false, fmt.Errorf("persist: decode snapshot: %w", err)
+	}
+	if sf.Format != snapshotFormat {
+		return nil, 0, false, fmt.Errorf("persist: snapshot format %d, want %d", sf.Format, snapshotFormat)
+	}
+	if crc32.ChecksumIEEE(sf.Payload) != sf.CRC {
+		return nil, 0, false, fmt.Errorf("persist: snapshot checksum mismatch")
+	}
+	return sf.Payload, sf.LastLSN, true, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Snapshot is the envelope brokers persist as the snapshot payload: the
+// engine's encoded state plus the overlay's epoch watermarks, so a
+// restarted node resumes its advert version and publication sequence
+// above every value peers may already have seen — even if the wall
+// clock regressed across the restart.
+type Snapshot struct {
+	// Broker is the engine state (broker.EncodeState).
+	Broker []byte
+	// AdvertVersion is the overlay node's advert version at save time.
+	AdvertVersion uint64
+	// PubSeq is the overlay node's publication sequence at save time.
+	PubSeq uint64
+}
+
+// Encode serializes the envelope.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("persist: encode snapshot envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses an envelope produced by Encode.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("persist: decode snapshot envelope: %w", err)
+	}
+	return &s, nil
+}

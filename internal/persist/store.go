@@ -1,0 +1,203 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File names inside a Store's data directory.
+const (
+	snapshotName = "snapshot.snap"
+	walName      = "wal.log"
+)
+
+// Options configures a Store.
+type Options struct {
+	// SyncEveryAppend fsyncs the WAL after each record. Off, a record
+	// survives process death (SIGKILL) the moment Append returns — the
+	// page cache holds it — but can be lost to a machine crash until the
+	// next snapshot or sync. On, every committed churn operation also
+	// survives power loss, at the cost of one fsync per operation on the
+	// subscribe path.
+	SyncEveryAppend bool
+}
+
+// Store is one broker's durable state: the snapshot/WAL pair in a data
+// directory. Open → LoadSnapshot → Replay → (serve, Append / periodic
+// WriteSnapshot) → Close. Methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	wal     *os.File
+	nextLSN uint64
+	lastLSN uint64 // highest LSN appended or recovered
+	snapLSN uint64 // watermark of the loaded/last-written snapshot
+	pending int    // records appended since the last snapshot
+	closed  bool
+}
+
+// Open opens (creating if needed) the data directory and its WAL. A
+// torn WAL tail from a previous crash is truncated away here, so the
+// file is append-clean before any new record lands.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: create data dir: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+	_, snapLSN, ok, err := readSnapshotFile(s.snapshotPath())
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		s.snapLSN = snapLSN
+	}
+	f, err := os.OpenFile(s.walPath(), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	goodEnd, lastLSN, err := scanWAL(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > goodEnd {
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: trim torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodEnd, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: seek wal: %w", err)
+	}
+	s.wal = f
+	s.lastLSN = max64(lastLSN, s.snapLSN)
+	s.nextLSN = s.lastLSN + 1
+	return s, nil
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// LoadSnapshot returns the latest snapshot payload, or ok=false when
+// none has been written yet.
+func (s *Store) LoadSnapshot() (payload []byte, ok bool, err error) {
+	payload, _, ok, err = readSnapshotFile(s.snapshotPath())
+	return payload, ok, err
+}
+
+// Replay streams the WAL records not covered by the snapshot (LSN above
+// the snapshot watermark) through fn in log order. Records at or below
+// the watermark — stale debris from a crash between snapshot publish
+// and WAL truncation — are skipped, which is what makes re-running
+// recovery idempotent. Call before the first Append.
+func (s *Store) Replay(fn func(Record) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store closed")
+	}
+	_, _, err := scanWAL(s.wal, func(rec Record) error {
+		if rec.LSN <= s.snapLSN {
+			return nil
+		}
+		return fn(rec)
+	})
+	if err != nil {
+		return err
+	}
+	// scanWAL moved the file cursor; park it back at the append point.
+	if _, err := s.wal.Seek(0, 2); err != nil {
+		return fmt.Errorf("persist: seek wal: %w", err)
+	}
+	return nil
+}
+
+// Append assigns the record the next LSN and writes it to the WAL. When
+// Append returns, the record is in the kernel page cache (process-death
+// durable); with Options.SyncEveryAppend it is also on stable storage.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store closed")
+	}
+	lsn := s.nextLSN
+	if err := appendWAL(s.wal, lsn, rec); err != nil {
+		return err
+	}
+	if s.opts.SyncEveryAppend {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("persist: sync wal: %w", err)
+		}
+	}
+	s.nextLSN++
+	s.lastLSN = lsn
+	s.pending++
+	return nil
+}
+
+// Pending returns the number of records appended since the last
+// snapshot — the input to a snapshot-when-the-log-grows policy.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// WriteSnapshot atomically publishes a snapshot covering every record
+// appended so far, then truncates the WAL. The snapshot rename is the
+// commit point: a crash before it keeps the old snapshot + full WAL, a
+// crash after it but before the truncation leaves stale WAL records
+// that the LSN watermark skips on replay.
+func (s *Store) WriteSnapshot(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store closed")
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("persist: sync wal: %w", err)
+	}
+	if err := writeSnapshotFile(s.snapshotPath(), payload, s.lastLSN); err != nil {
+		return err
+	}
+	s.snapLSN = s.lastLSN
+	s.pending = 0
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("persist: truncate wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("persist: seek wal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the WAL.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("persist: sync wal: %w", err)
+	}
+	return s.wal.Close()
+}
+
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, snapshotName) }
+func (s *Store) walPath() string      { return filepath.Join(s.dir, walName) }
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

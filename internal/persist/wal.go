@@ -1,0 +1,95 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL frame layout: a fixed header followed by the record body.
+//
+//	[4] body length N (little-endian uint32)
+//	[4] CRC32 (IEEE) over the body
+//	[N] body = [8] LSN (little-endian uint64) ++ JSON-encoded Record
+//
+// The CRC covers the body only; a corrupt length field surfaces as an
+// impossible size or a body short-read, both treated as a torn tail.
+const walHeaderLen = 8
+
+// maxWALRecord bounds one record body. Far above any real churn record
+// (the largest is a rebuild partition); its job is to keep a corrupted
+// length prefix from provoking a giant allocation.
+const maxWALRecord = 64 << 20
+
+// scanWAL walks the log from the start, calling fn for each intact
+// record, and returns the byte offset just past the last intact record
+// along with the highest LSN seen. A torn or corrupt tail — short
+// header, short body, CRC mismatch, impossible length, or undecodable
+// JSON — ends the scan without error: everything before it is good,
+// everything from it on is the debris of a mid-append crash.
+func scanWAL(f *os.File, fn func(Record) error) (goodEnd int64, lastLSN uint64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	var hdr [walHeaderLen]byte
+	var body []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return goodEnd, lastLSN, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n < 8 || n > maxWALRecord {
+			return goodEnd, lastLSN, nil // corrupt length prefix
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(f, body); err != nil {
+			return goodEnd, lastLSN, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return goodEnd, lastLSN, nil // bit rot or torn rewrite
+		}
+		lsn := binary.LittleEndian.Uint64(body[:8])
+		var rec Record
+		if err := json.Unmarshal(body[8:], &rec); err != nil {
+			return goodEnd, lastLSN, nil
+		}
+		rec.LSN = lsn
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return goodEnd, lastLSN, err
+			}
+		}
+		goodEnd += int64(walHeaderLen) + int64(n)
+		if lsn > lastLSN {
+			lastLSN = lsn
+		}
+	}
+}
+
+// appendWAL frames and writes one record at the file's current end.
+func appendWAL(f *os.File, lsn uint64, rec Record) error {
+	rec.LSN = 0 // the LSN travels in the frame, not the JSON
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: encode wal record: %w", err)
+	}
+	frame := make([]byte, walHeaderLen+8+len(payload))
+	body := frame[walHeaderLen:]
+	binary.LittleEndian.PutUint64(body[:8], lsn)
+	copy(body[8:], payload)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	// One write per record: the frame either lands whole or tears at the
+	// tail, never interleaves with a neighbor.
+	if _, err := f.Write(frame); err != nil {
+		return fmt.Errorf("persist: append wal: %w", err)
+	}
+	return nil
+}
