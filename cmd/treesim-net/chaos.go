@@ -71,15 +71,15 @@ func (s *severable) SendPublish(p wire.Publication) error {
 // committed churn decision on the victim becomes one record.
 type chaosJournal struct{ s *persist.Store }
 
-func (j chaosJournal) Subscribed(id uint64, expr string, group int) error {
+func (j chaosJournal) Subscribed(id uint64, expr string, group int) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
 }
 
-func (j chaosJournal) Unsubscribed(id uint64) error {
+func (j chaosJournal) Unsubscribed(id uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpUnsubscribe, ID: id})
 }
 
-func (j chaosJournal) Rebuilt(groups [][]uint64, reps []uint64) error {
+func (j chaosJournal) Rebuilt(groups [][]uint64, reps []uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
 }
 
@@ -320,7 +320,7 @@ func runChaos(o options) error {
 	if err != nil {
 		return err
 	}
-	if err := store.WriteSnapshot(payload); err != nil {
+	if err := store.WriteSnapshot(payload, st.WalLSN); err != nil {
 		return err
 	}
 	for i := 0; i < 2; i++ {

@@ -39,8 +39,9 @@
 // cleanly: first new publishes, subscribes and peer traffic are
 // refused (503) and the overlay node detaches, then the engine closes —
 // draining the ingest pipeline and closing every delivery queue, which
-// wakes all long-polls — and only then the HTTP server waits out the
-// in-flight handlers.
+// wakes all long-polls — then the final snapshot is taken from the now-
+// quiescent engine and the data dir closes, and only then the HTTP
+// server waits out the in-flight handlers.
 package main
 
 import (
@@ -175,21 +176,25 @@ func main() {
 		<-sig
 		log.Printf("treesimd: shutdown signal, draining")
 		// Ordered shutdown: refuse new ingress (drain gate), detach the
-		// overlay (peer traffic answered 503, no further forwards), take
-		// the final snapshot while the engine is still open, close the
-		// engine — which drains the ingest pipeline and closes every
-		// delivery queue, waking all long-polls — then wait for in-flight
-		// handlers to finish. Shutdown closes the listener right away, so
-		// Serve returns while handlers may still be writing; main blocks
-		// on shutdownDone rather than exiting under them.
+		// overlay (peer traffic answered 503, no further forwards), close
+		// the engine — which waits out in-flight handlers' commits, drains
+		// the ingest pipeline and closes every delivery queue, waking all
+		// long-polls — and only then take the final snapshot and close the
+		// store. The engine must close before the store: handlers already
+		// past the drain gate can commit (and journal) churn right up to
+		// Engine.Close, so snapshotting first would let acked churn
+		// post-date the final snapshot and journal against a closed store.
+		// Shutdown closes the listener right away, so Serve returns while
+		// handlers may still be writing; main blocks on shutdownDone
+		// rather than exiting under them.
 		stopping.Store(true)
 		if node != nil {
 			node.Close()
 		}
+		eng.Close()
 		if pers != nil {
 			pers.shutdown()
 		}
-		eng.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

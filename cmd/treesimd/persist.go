@@ -19,18 +19,19 @@ import (
 )
 
 // walJournal adapts the persist store to the broker's journal hook:
-// every committed churn decision becomes one WAL record.
+// every committed churn decision becomes one WAL record, and the
+// record's LSN flows back so the engine can watermark its state cuts.
 type walJournal struct{ s *persist.Store }
 
-func (j walJournal) Subscribed(id uint64, expr string, group int) error {
+func (j walJournal) Subscribed(id uint64, expr string, group int) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
 }
 
-func (j walJournal) Unsubscribed(id uint64) error {
+func (j walJournal) Unsubscribed(id uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpUnsubscribe, ID: id})
 }
 
-func (j walJournal) Rebuilt(groups [][]uint64, reps []uint64) error {
+func (j walJournal) Rebuilt(groups [][]uint64, reps []uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
 }
 
@@ -39,15 +40,24 @@ type daemonPersist struct {
 	store *persist.Store
 	eng   *broker.Engine
 	node  atomic.Pointer[overlay.Node]
+	// floor is the WAL watermark recovery already replayed into the
+	// engine. Replayed operations are not re-journaled, so the engine's
+	// own State.WalLSN starts at zero; any snapshot this daemon writes
+	// covers at least the recovered prefix, so the effective watermark
+	// is max(State.WalLSN, floor).
+	floor uint64
 	stop  chan struct{}
 	done  chan struct{}
 }
 
 // openDataDir recovers (or initializes) a broker from the data
 // directory and returns the persistence handle, the live engine, and
-// the overlay epoch floor (the persisted advert-version/publication-
-// sequence watermark, so a restarted node outruns everything its peers
-// have already seen even if the clock regressed).
+// the overlay epoch floor — the advert-version/publication-sequence
+// watermark persisted at the last snapshot. The floor understates the
+// pre-crash live values by whatever the node issued after that
+// snapshot; overlay.New pads it before flooring the boot epoch, so a
+// restarted node outruns everything its peers have already seen even
+// if the clock regressed.
 func openDataDir(dir string, cfg broker.Config, walSync bool) (*daemonPersist, *broker.Engine, uint64, error) {
 	store, err := persist.Open(dir, persist.Options{SyncEveryAppend: walSync})
 	if err != nil {
@@ -113,6 +123,7 @@ func openDataDir(dir string, cfg broker.Config, walSync bool) (*daemonPersist, *
 	p := &daemonPersist{
 		store: store,
 		eng:   eng,
+		floor: store.LastLSN(),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -123,7 +134,10 @@ func openDataDir(dir string, cfg broker.Config, walSync bool) (*daemonPersist, *
 // should carry (federated daemons only).
 func (p *daemonPersist) setNode(n *overlay.Node) { p.node.Store(n) }
 
-// snapshot publishes a point-in-time snapshot and truncates the WAL.
+// snapshot publishes a point-in-time snapshot covering exactly the
+// journaled churn its state cut includes. Subscribes committing between
+// the cut and the write get LSNs above the watermark, so their WAL
+// records survive the snapshot and replay on recovery.
 func (p *daemonPersist) snapshot() error {
 	st, err := p.eng.State()
 	if err != nil {
@@ -141,7 +155,11 @@ func (p *daemonPersist) snapshot() error {
 	if err != nil {
 		return err
 	}
-	return p.store.WriteSnapshot(payload)
+	upto := st.WalLSN
+	if upto < p.floor {
+		upto = p.floor // recovered-and-replayed records are in every cut
+	}
+	return p.store.WriteSnapshot(payload, upto)
 }
 
 // run is the periodic snapshot loop; a tick with no WAL growth since
@@ -170,9 +188,11 @@ func (p *daemonPersist) run(interval time.Duration) {
 	}
 }
 
-// shutdown stops the loop, takes a final snapshot (the engine must
-// still be open), and closes the store. A failed final snapshot is
-// logged, not fatal: the WAL already holds everything.
+// shutdown stops the loop, takes a final snapshot, and closes the
+// store. Call it only after Engine.Close: a closed engine is quiescent,
+// so no handler can commit churn that would post-date the final
+// snapshot or journal against the closed store. A failed final
+// snapshot is logged, not fatal: the WAL already holds everything.
 func (p *daemonPersist) shutdown() {
 	close(p.stop)
 	<-p.done

@@ -186,7 +186,12 @@ type Engine struct {
 	nextID    uint64
 	stale     int // registry mutations since the last full rebuild
 	regVer    uint64
-	closed    bool
+	// walLSN is the LSN of the newest successfully journaled mutation
+	// (see Journal). Updated inside the same registry critical sections
+	// that commit and journal, so a State cut under the registry lock
+	// reads a watermark exactly consistent with the registry it copies.
+	walLSN uint64
+	closed bool
 
 	// tbl is the label table shared by every shard forest, so one Flat
 	// document load serves the whole fan-out. procs caches GOMAXPROCS
@@ -474,8 +479,10 @@ func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []fl
 	// the commit order (a µs-scale write syscall; fsync policy lives in
 	// the journal implementation).
 	if j := e.journal.Load(); j != nil {
-		if err := (*j).Subscribed(id, expr, g); err != nil {
+		if lsn, err := (*j).Subscribed(id, expr, g); err != nil {
 			e.counters.journalErrors.Add(1)
+		} else if lsn > e.walLSN {
+			e.walLSN = lsn
 		}
 	}
 	return id
@@ -491,8 +498,10 @@ func (e *Engine) Unsubscribe(id uint64) bool {
 	}
 	e.counters.unsubscribes.Add(1)
 	if j := e.journal.Load(); j != nil {
-		if err := (*j).Unsubscribed(id); err != nil {
+		if lsn, err := (*j).Unsubscribed(id); err != nil {
 			e.counters.journalErrors.Add(1)
+		} else if lsn > e.walLSN {
+			e.walLSN = lsn
 		}
 	}
 	ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
@@ -592,8 +601,10 @@ func (e *Engine) maybeRebuild(force bool) {
 			e.counters.rebuilds.Add(1)
 			if j := e.journal.Load(); j != nil {
 				groups, reps := e.partitionIDsLocked()
-				if err := (*j).Rebuilt(groups, reps); err != nil {
+				if lsn, err := (*j).Rebuilt(groups, reps); err != nil {
 					e.counters.journalErrors.Add(1)
+				} else if lsn > e.walLSN {
+					e.walLSN = lsn
 				}
 			}
 			live := len(e.subs)

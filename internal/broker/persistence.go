@@ -58,6 +58,13 @@ type State struct {
 	NextID uint64
 	Stale  int
 	PubSeq uint64
+	// WalLSN is the LSN of the last journal record whose effect this
+	// state includes (0 when nothing has been journaled). It is captured
+	// inside the same registry critical-section discipline as the
+	// journal appends, so it is exact: a snapshot stamped with it covers
+	// precisely the journaled mutations in Subs/Groups, and every record
+	// above it must replay. Pass it to persist.Store.WriteSnapshot.
+	WalLSN uint64
 	// Estimator is the synopsis serialization (core.Estimator.Save).
 	Estimator []byte
 }
@@ -90,12 +97,13 @@ func DecodeState(data []byte) (*State, error) {
 // estimator only steers future clustering decisions and those are
 // journaled as outcomes anyway. Call Flush first for a deterministic
 // synopsis (tests do).
+//
+// Unlike the mutating entry points, State works on a closed engine: a
+// closed engine is quiescent (no further commits can race the cut),
+// which is exactly what an ordered shutdown wants for its final
+// snapshot — close the engine first, then snapshot what it settled on.
 func (e *Engine) State() (*State, error) {
 	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
-		return nil, ErrClosed
-	}
 	st := &State{
 		Format:    stateFormat,
 		Shards:    len(e.shards),
@@ -105,6 +113,7 @@ func (e *Engine) State() (*State, error) {
 		CommShard: append([]int(nil), e.commShard...),
 		NextID:    e.nextID,
 		Stale:     e.stale,
+		WalLSN:    e.walLSN,
 	}
 	for i, s := range e.subs {
 		st.Subs[i] = SubEntry{ID: s.id, Expr: s.expr}
@@ -209,18 +218,21 @@ func Restore(cfg Config, st *State) (*Engine, error) {
 // logging. Calls are made inside the registry critical section, in
 // commit order — implementations should append fast (an unsynced write
 // is enough for process-death durability) and leave fsync policy to
-// their own configuration. Errors are counted in Stats.JournalErrors
-// and do not fail the mutation.
+// their own configuration. Each call returns the log sequence number
+// the record was assigned; the engine tracks the highest one and
+// reports it as State.WalLSN, the watermark a snapshot of that state
+// covers. Errors are counted in Stats.JournalErrors and do not fail
+// the mutation.
 type Journal interface {
 	// Subscribed records a committed subscription with the community
 	// group index the clustering chose (len(groups)-at-commit founds a
 	// new community).
-	Subscribed(id uint64, expr string, group int) error
+	Subscribed(id uint64, expr string, group int) (lsn uint64, err error)
 	// Unsubscribed records a committed removal.
-	Unsubscribed(id uint64) error
+	Unsubscribed(id uint64) (lsn uint64, err error)
 	// Rebuilt records a full re-clustering as the complete partition
 	// keyed by subscription ids (reps parallel to groups).
-	Rebuilt(groups [][]uint64, reps []uint64) error
+	Rebuilt(groups [][]uint64, reps []uint64) (lsn uint64, err error)
 }
 
 // SetJournal installs the journal. Install it once at boot, after

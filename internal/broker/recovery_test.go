@@ -14,13 +14,13 @@ import (
 // the same wiring cmd/treesimd uses.
 type storeJournal struct{ s *persist.Store }
 
-func (j storeJournal) Subscribed(id uint64, expr string, group int) error {
+func (j storeJournal) Subscribed(id uint64, expr string, group int) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
 }
-func (j storeJournal) Unsubscribed(id uint64) error {
+func (j storeJournal) Unsubscribed(id uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpUnsubscribe, ID: id})
 }
-func (j storeJournal) Rebuilt(groups [][]uint64, reps []uint64) error {
+func (j storeJournal) Rebuilt(groups [][]uint64, reps []uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
 }
 
@@ -223,7 +223,7 @@ func TestRecoveryEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := store.WriteSnapshot(payload); err != nil {
+	if err := store.WriteSnapshot(payload, st.WalLSN); err != nil {
 		t.Fatal(err)
 	}
 
@@ -305,6 +305,84 @@ func TestRecoveryWALOnly(t *testing.T) {
 			canonPartition(e.CommunityIDs()), canonPartition(rec.CommunityIDs()))
 	}
 	assertSameRouting(t, e, rec, ids[1:])
+}
+
+// TestSnapshotWatermarkExcludesConcurrentChurn reproduces the lost-
+// churn race: a subscribe commits and journals AFTER the State cut but
+// BEFORE the snapshot write. Stamping the snapshot with the store's
+// tail LSN at write time would mark that record as covered — its
+// effect absent from the payload yet skipped on replay, silently
+// losing acked churn. State.WalLSN is the cut's own watermark, so the
+// straggler's record stays above it and replays.
+func TestSnapshotWatermarkExcludesConcurrentChurn(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.Rebuild = Never{}
+	store, err := persist.Open(t.TempDir(), persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	e := newTestEngine(t, cfg)
+	e.SetJournal(storeJournal{store})
+	if _, err := e.Subscribe(recoveryPatterns[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The state cut (covers one subscription, WalLSN 1)...
+	st, err := e.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WalLSN != 1 {
+		t.Fatalf("State.WalLSN = %d, want 1", st.WalLSN)
+	}
+	// ...then a subscribe commits before the snapshot is written...
+	straggler, err := e.Subscribe(recoveryPatterns[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := persist.Snapshot{Broker: data}
+	payload, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteSnapshot(payload, st.WalLSN); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash + recover: the straggler's WAL record must replay.
+	snap, ok, err := store.LoadSnapshot()
+	if err != nil || !ok {
+		t.Fatalf("LoadSnapshot: ok=%v err=%v", ok, err)
+	}
+	env2, err := persist.DecodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := DecodeState(env2.Broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Restore(cfg, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	if rec.Live() != 1 {
+		t.Fatalf("restored snapshot holds %d subscriptions, want 1 (straggler excluded)", rec.Live())
+	}
+	replayStore(t, store, rec)
+	if rec.Live() != 2 {
+		t.Fatalf("recovered Live = %d, want 2 (straggler replayed from the WAL)", rec.Live())
+	}
+	if _, err := rec.Drain(straggler, 1, 0); err != nil {
+		t.Fatalf("straggler subscription %d lost across recovery: %v", straggler, err)
+	}
 }
 
 // TestReplayIdempotent replays the same WAL twice into one engine: the

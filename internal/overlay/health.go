@@ -128,30 +128,52 @@ func (n *Node) runMaintenance() {
 }
 
 // expireAdverts evicts routing-table entries whose origin has been
-// silent past the advert TTL: the entry is removed and its aggregates
-// tombstoned out of the arrival link's forest (at version+1, so an
-// older in-flight advert cannot resurrect them), closing the
-// forwarding hole a dead origin leaves.
+// silent past the advert TTL, in two phases. Phase one tombstones the
+// entry at its OWN version: the patterns leave the table and the
+// arrival link's forest, but both layers keep the version, so they
+// agree that exactly version+1 (an origin that was merely paused and
+// resumes with its next advert) revives the origin — tombstoning at
+// version+1 here while deleting the table entry would let the table
+// accept that advert while the forest rejected it as not-newer, a
+// forwarding hole. Phase two, a full TTL later (by which time any
+// in-flight advert at or below the tombstone's version has drained),
+// deletes the tombstone from both layers so dead origins do not leak
+// table entries forever.
 func (n *Node) expireAdverts(now time.Time) {
 	ttl := n.cfg.AdvertTTL
 	if ttl <= 0 {
 		return
 	}
 	n.mu.Lock()
-	var updates []forestUpdate
+	var tombstones, drops []forestUpdate
 	for origin, e := range n.table {
 		if now.Sub(e.lastSeen) <= ttl {
 			continue
 		}
-		if lf := n.forests[e.via]; lf != nil {
-			updates = append(updates, forestUpdate{lf: lf, origin: origin, version: e.version + 1})
+		if e.expired {
+			// Phase two: the tombstone has sat silent for another TTL.
+			delete(n.table, origin)
+			if lf := n.forests[e.via]; lf != nil {
+				drops = append(drops, forestUpdate{lf: lf, origin: origin, version: e.version})
+			}
+			continue
 		}
-		delete(n.table, origin)
+		// Phase one: tombstone in place.
+		e.expired = true
+		e.pats = nil
+		e.advertised = nil
+		e.lastSeen = now
+		if lf := n.forests[e.via]; lf != nil {
+			tombstones = append(tombstones, forestUpdate{lf: lf, origin: origin, version: e.version})
+		}
 		n.counters.advertsExpired.Add(1)
 	}
 	n.mu.Unlock()
-	for _, u := range updates {
-		u.lf.set(u.origin, u.version, u.pats)
+	for _, u := range tombstones {
+		u.lf.expire(u.origin, u.version)
+	}
+	for _, u := range drops {
+		u.lf.forget(u.origin, u.version)
 	}
 }
 

@@ -83,6 +83,72 @@ func TestAdvertExpiryClosesRoutes(t *testing.T) {
 	}
 }
 
+// silentTransport swallows adverts and counts publishes — a stand-in
+// peer that never answers back, letting tests drive the receiving
+// node's table directly through HandleAdvert.
+type silentTransport struct{ pubs atomic.Uint64 }
+
+func (c *silentTransport) SendAdvert(wire.AdvertBatch) error  { return nil }
+func (c *silentTransport) SendPublish(wire.Publication) error { c.pubs.Add(1); return nil }
+
+// TestExpiredOriginRevivesAtNextVersion: an origin that was merely
+// paused (no crash, so no version jump) resumes with exactly
+// version+1 after its routes expired. The expiry tombstone must sit at
+// the entry's own version in BOTH the routing table and the link
+// forest: a forest tombstone at version+1 would let the table accept
+// the resume advert while the forest rejects it as not-newer — a table
+// entry with no matchable patterns, i.e. a silent forwarding hole.
+func TestExpiredOriginRevivesAtNextVersion(t *testing.T) {
+	cfg := fastHealth()
+	cfg.AdvertTTL = 500 * time.Millisecond // a wide window between expiry phases
+	a := newNode(t, "a", cfg)
+	if err := a.AddPeer("z", &silentTransport{}); err != nil {
+		t.Fatal(err)
+	}
+	advert := func(version uint64) {
+		t.Helper()
+		if err := a.HandleAdvert(wire.AdvertBatch{From: "z", Adverts: []wire.Advert{{
+			Origin:      "z",
+			Version:     version,
+			Communities: []wire.Community{{Patterns: []string{"/x/y"}, Members: 1, Selectivity: 0.5}},
+		}}}); err != nil {
+			t.Fatalf("HandleAdvert v%d: %v", version, err)
+		}
+	}
+	advert(100)
+	if _, sent, err := a.Publish(doc(t, "<x><y/></x>")); err != nil || sent != 1 {
+		t.Fatalf("pre-expiry publish: sent=%d err=%v, want 1", sent, err)
+	}
+
+	// z goes silent. Phase one: the entry is tombstoned in place — still
+	// listed, but with no patterns and no forwards.
+	waitUntil(t, 3*time.Second, func() bool {
+		og := a.Info().Origins
+		return len(og) == 1 && og[0].Patterns == 0
+	}, "z's advert never expired to a tombstone")
+	if _, sent, err := a.Publish(doc(t, "<x><y/></x>")); err != nil || sent != 0 {
+		t.Fatalf("post-expiry publish: sent=%d err=%v, want 0", sent, err)
+	}
+
+	// z resumes with its next version. Table and forest must both accept
+	// it, restoring forwarding.
+	advert(101)
+	if _, sent, err := a.Publish(doc(t, "<x><y/></x>")); err != nil || sent != 1 {
+		t.Fatalf("post-revival publish: sent=%d err=%v, want 1 (forest rejected the revived advert?)", sent, err)
+	}
+
+	// Silence again: phase one re-tombstones, phase two (a TTL later)
+	// deletes the entry outright — dead origins do not leak table rows.
+	waitUntil(t, 5*time.Second, func() bool {
+		return len(a.Info().Origins) == 0
+	}, "z's tombstone never swept from the table")
+	// And a fully forgotten origin can still come back.
+	advert(102)
+	if _, sent, err := a.Publish(doc(t, "<x><y/></x>")); err != nil || sent != 1 {
+		t.Fatalf("publish after full forget + revival: sent=%d err=%v, want 1", sent, err)
+	}
+}
+
 // TestRefreshKeepsEntriesAlive: two healthy nodes must keep each
 // other's table entries alive across several TTL periods via keepalive
 // re-advertisement.

@@ -96,9 +96,12 @@ type Config struct {
 
 	// MinEpoch, when set, floors the boot epoch used for the advert
 	// version and publication sequence: a restarted node resumes at
-	// max(clock epoch, MinEpoch+1), so peers accept its state even if
-	// the wall clock regressed across the restart. Brokers persist their
-	// watermarks in snapshots and feed them back here.
+	// max(clock epoch, MinEpoch+epochPad+1), so peers accept its state
+	// even if the wall clock regressed across the restart. Brokers
+	// persist their watermarks in snapshots and feed them back here;
+	// because the persisted value is the watermark at the LAST SNAPSHOT
+	// — adverts and publications issued after it exceed it — the floor
+	// is padded by epochPad before use.
 	MinEpoch uint64
 
 	// AdvertTTL is the soft-state lifetime of a remote origin's routes:
@@ -230,6 +233,14 @@ type Node struct {
 // churn hook (the node re-advertises when churn crosses
 // Config.AdvertPolicy). The engine must not have another churn hook
 // user; Close uninstalls it.
+// epochPad is the safety margin added above Config.MinEpoch when
+// flooring the boot epoch. The persisted watermark trails the crashed
+// node's live advert version / publication sequence by however many it
+// issued after its last snapshot; 2^32 outruns any realistic
+// inter-snapshot churn while consuming a negligible slice of the
+// uint64 epoch space per restart.
+const epochPad = 1 << 32
+
 func New(eng *broker.Engine, cfg Config) *Node {
 	n := &Node{
 		cfg:     cfg.withDefaults(),
@@ -249,8 +260,17 @@ func New(eng *broker.Engine, cfg Config) *Node {
 	// leave ~2^63 headroom above any realistic churn rate; MinEpoch (a
 	// persisted watermark) guards the clock-regression case.
 	epoch := uint64(time.Now().UnixNano())
-	if epoch <= n.cfg.MinEpoch {
-		epoch = n.cfg.MinEpoch + 1
+	if n.cfg.MinEpoch > 0 {
+		// The persisted watermark is from the last snapshot, not crash
+		// time: every advert version and publication sequence issued
+		// between them exceeds it. Pad the floor so the boot epoch also
+		// outruns those pre-crash live values — epochPad covers billions
+		// of inter-snapshot operations and, against a healthy clock,
+		// costs only ~4.3s of nanosecond-epoch headroom.
+		floor := n.cfg.MinEpoch + epochPad
+		if epoch <= floor {
+			epoch = floor + 1
+		}
 	}
 	n.seq.Store(epoch)
 	n.mu.Lock()

@@ -28,6 +28,14 @@ type originEntry struct {
 	// advert accepted); the soft-state sweeper expires entries silent
 	// past Config.AdvertTTL.
 	lastSeen time.Time
+	// expired marks an entry the sweeper has tombstoned: its patterns
+	// are gone from the link forests but the version is retained, so the
+	// table and the forests agree that only a strictly newer advert
+	// revives the origin. A silent origin merely paused (no version
+	// advance) resumes at version+1, which both layers accept. The
+	// tombstone itself is deleted a full TTL later, once in-flight
+	// adverts at or below its version have drained.
+	expired bool
 }
 
 // newOriginEntry parses an advert into a table entry. Patterns arrive
@@ -128,6 +136,46 @@ func (lf *linkForest) set(origin string, version uint64, pats []*pattern.Pattern
 		}
 	}
 	lf.byOrigin[origin] = &originHandles{version: version, hs: hs}
+}
+
+// expire removes origin's patterns from this forest, leaving a
+// tombstone at the given version — the version the routing table held
+// when the origin went silent. Unlike set, an EQUAL version is
+// tombstoned too (set would reject it as not-newer): expiry evicts the
+// exact version it saw, so an origin resuming at version+1 clears both
+// the table's and the forest's staleness gates together. A strictly
+// newer registration (a racing advert that already revived the origin)
+// is left alone.
+func (lf *linkForest) expire(origin string, version uint64) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	cur := lf.byOrigin[origin]
+	if cur != nil && version < cur.version {
+		return // a newer advert revived the origin; keep it
+	}
+	if cur != nil {
+		for _, h := range cur.hs {
+			lf.forest.Remove(h)
+		}
+	}
+	lf.byOrigin[origin] = &originHandles{version: version}
+}
+
+// forget drops origin's tombstone bookkeeping entirely — the second
+// phase of expiry, a full TTL after the tombstone, when any in-flight
+// advert at or below its version has drained. A strictly newer
+// registration is left alone.
+func (lf *linkForest) forget(origin string, version uint64) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	cur := lf.byOrigin[origin]
+	if cur == nil || version < cur.version {
+		return
+	}
+	for _, h := range cur.hs {
+		lf.forest.Remove(h)
+	}
+	delete(lf.byOrigin, origin)
 }
 
 // hasOther reports whether any origin besides exclude has live

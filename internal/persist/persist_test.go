@@ -39,7 +39,7 @@ func TestWALRoundTrip(t *testing.T) {
 		{Op: OpRebuild, Groups: [][]uint64{{2}}, Reps: []uint64{2}},
 	}
 	for _, r := range want {
-		if err := s.Append(r); err != nil {
+		if _, err := s.Append(r); err != nil {
 			t.Fatalf("Append: %v", err)
 		}
 	}
@@ -66,7 +66,7 @@ func TestWALRoundTrip(t *testing.T) {
 		}
 	}
 	// Appends after replay continue the LSN sequence.
-	if err := s2.Append(Record{Op: OpUnsubscribe, ID: 2}); err != nil {
+	if _, err := s2.Append(Record{Op: OpUnsubscribe, ID: 2}); err != nil {
 		t.Fatalf("Append after replay: %v", err)
 	}
 	if s2.lastLSN != uint64(len(want)+1) {
@@ -78,7 +78,7 @@ func TestWALTornTail(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
 	for i := 1; i <= 3; i++ {
-		if err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
+		if _, err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
 			t.Fatalf("Append: %v", err)
 		}
 	}
@@ -105,7 +105,7 @@ func TestWALTornTail(t *testing.T) {
 		}
 		// The torn tail must be physically gone: a fresh append then a
 		// re-open must see exactly 3 intact records.
-		if err := s2.Append(Record{Op: OpUnsubscribe, ID: 9}); err != nil {
+		if _, err := s2.Append(Record{Op: OpUnsubscribe, ID: 9}); err != nil {
 			t.Fatalf("Append after trim: %v", err)
 		}
 		s2.Close()
@@ -125,7 +125,7 @@ func TestWALCorruptCRC(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
 	for i := 1; i <= 3; i++ {
-		if err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
+		if _, err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
 			t.Fatalf("Append: %v", err)
 		}
 	}
@@ -154,7 +154,7 @@ func TestWALCorruptCRC(t *testing.T) {
 func TestWALCorruptLength(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
-	if err := s.Append(Record{Op: OpSubscribe, ID: 1, Expr: "/x"}); err != nil {
+	if _, err := s.Append(Record{Op: OpSubscribe, ID: 1, Expr: "/x"}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -181,12 +181,12 @@ func TestSnapshotRoundTripAndWatermark(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
 	for i := 1; i <= 2; i++ {
-		if err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
+		if _, err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	payload := []byte("state-at-lsn-2")
-	if err := s.WriteSnapshot(payload); err != nil {
+	if err := s.WriteSnapshot(payload, s.LastLSN()); err != nil {
 		t.Fatalf("WriteSnapshot: %v", err)
 	}
 	if s.Pending() != 0 {
@@ -194,7 +194,7 @@ func TestSnapshotRoundTripAndWatermark(t *testing.T) {
 	}
 	// Churn after the snapshot lands in the (now empty) WAL with
 	// continuing LSNs.
-	if err := s.Append(Record{Op: OpUnsubscribe, ID: 1}); err != nil {
+	if _, err := s.Append(Record{Op: OpUnsubscribe, ID: 1}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -214,6 +214,61 @@ func TestSnapshotRoundTripAndWatermark(t *testing.T) {
 	}
 }
 
+func TestSnapshotPartialCoverageKeepsTail(t *testing.T) {
+	// A record appended between a snapshot's state cut and its write is
+	// NOT covered by the payload; WriteSnapshot stamped with the cut's
+	// watermark must preserve it for replay instead of truncating it
+	// away with the covered prefix.
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i := 1; i <= 2; i++ {
+		if _, err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The "state cut" happens here (covers LSNs 1-2)...
+	if _, err := s.Append(Record{Op: OpSubscribe, ID: 3, Expr: "/y"}); err != nil { // ...then churn lands (LSN 3)...
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot([]byte("covers-1-2"), 2); err != nil { // ...and only then the snapshot writes.
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after partial snapshot = %d, want 1 (the uncovered tail)", got)
+	}
+	s.Close()
+
+	s2 := openT(t, dir)
+	recs := replayAll(t, s2)
+	if len(recs) != 1 || recs[0].LSN != 3 || recs[0].ID != 3 {
+		t.Fatalf("replayed %+v, want just the uncovered LSN 3", recs)
+	}
+	// A fully covering snapshot then truncates as usual.
+	if err := s2.WriteSnapshot([]byte("covers-1-2-3"), s2.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Pending(); got != 0 {
+		t.Fatalf("Pending after covering snapshot = %d, want 0", got)
+	}
+	s2.Close()
+	s3 := openT(t, dir)
+	defer s3.Close()
+	if recs := replayAll(t, s3); len(recs) != 0 {
+		t.Fatalf("replayed %+v after covering snapshot, want none", recs)
+	}
+	// Watermarks above the tail are clamped, never claiming coverage of
+	// records that do not exist yet.
+	if err := s3.WriteSnapshot([]byte("clamped"), 999); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Append(Record{Op: OpSubscribe, ID: 4, Expr: "/z"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Pending(); got != 1 {
+		t.Fatalf("Pending after post-clamp append = %d, want 1", got)
+	}
+}
+
 func TestReplaySkipsStaleRecordsAfterSkewedCrash(t *testing.T) {
 	// Simulate a crash between the snapshot rename and the WAL
 	// truncation: the snapshot covers LSNs the WAL still holds. Replay
@@ -221,7 +276,7 @@ func TestReplaySkipsStaleRecordsAfterSkewedCrash(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
 	for i := 1; i <= 3; i++ {
-		if err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
+		if _, err := s.Append(Record{Op: OpSubscribe, ID: uint64(i), Expr: "/x"}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -230,10 +285,10 @@ func TestReplaySkipsStaleRecordsAfterSkewedCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.WriteSnapshot([]byte("covers-1-2-3")); err != nil {
+	if err := s.WriteSnapshot([]byte("covers-1-2-3"), 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Append(Record{Op: OpUnsubscribe, ID: 2}); err != nil { // LSN 4
+	if _, err := s.Append(Record{Op: OpUnsubscribe, ID: 2}); err != nil { // LSN 4
 		t.Fatal(err)
 	}
 	postSnap, err := os.ReadFile(walPath)
@@ -254,7 +309,7 @@ func TestReplaySkipsStaleRecordsAfterSkewedCrash(t *testing.T) {
 		t.Fatalf("replayed %+v, want just LSN 4", recs)
 	}
 	// And the next append continues past everything.
-	if err := s2.Append(Record{Op: OpSubscribe, ID: 5, Expr: "/y"}); err != nil {
+	if _, err := s2.Append(Record{Op: OpSubscribe, ID: 5, Expr: "/y"}); err != nil {
 		t.Fatal(err)
 	}
 	if s2.lastLSN != 5 {
@@ -265,10 +320,10 @@ func TestReplaySkipsStaleRecordsAfterSkewedCrash(t *testing.T) {
 func TestSnapshotAtomicOverwrite(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
-	if err := s.WriteSnapshot([]byte("v1")); err != nil {
+	if err := s.WriteSnapshot([]byte("v1"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.WriteSnapshot([]byte("v2")); err != nil {
+	if err := s.WriteSnapshot([]byte("v2"), 0); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()

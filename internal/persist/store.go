@@ -117,28 +117,40 @@ func (s *Store) Replay(fn func(Record) error) error {
 	return nil
 }
 
-// Append assigns the record the next LSN and writes it to the WAL. When
-// Append returns, the record is in the kernel page cache (process-death
-// durable); with Options.SyncEveryAppend it is also on stable storage.
-func (s *Store) Append(rec Record) error {
+// Append assigns the record the next LSN, writes it to the WAL, and
+// returns the assigned LSN. When Append returns, the record is in the
+// kernel page cache (process-death durable); with
+// Options.SyncEveryAppend it is also on stable storage. The returned
+// LSN is the record's position in the log — callers snapshotting
+// concurrently with appends pass the last LSN covered by their state
+// cut to WriteSnapshot.
+func (s *Store) Append(rec Record) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("persist: store closed")
+		return 0, fmt.Errorf("persist: store closed")
 	}
 	lsn := s.nextLSN
 	if err := appendWAL(s.wal, lsn, rec); err != nil {
-		return err
+		return 0, err
 	}
 	if s.opts.SyncEveryAppend {
 		if err := s.wal.Sync(); err != nil {
-			return fmt.Errorf("persist: sync wal: %w", err)
+			return 0, fmt.Errorf("persist: sync wal: %w", err)
 		}
 	}
 	s.nextLSN++
 	s.lastLSN = lsn
 	s.pending++
-	return nil
+	return lsn, nil
+}
+
+// LastLSN returns the highest LSN appended or recovered so far — the
+// watermark a snapshot of a quiescent store covers.
+func (s *Store) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastLSN
 }
 
 // Pending returns the number of records appended since the last
@@ -150,23 +162,45 @@ func (s *Store) Pending() int {
 }
 
 // WriteSnapshot atomically publishes a snapshot covering every record
-// appended so far, then truncates the WAL. The snapshot rename is the
-// commit point: a crash before it keeps the old snapshot + full WAL, a
-// crash after it but before the truncation leaves stale WAL records
-// that the LSN watermark skips on replay.
-func (s *Store) WriteSnapshot(payload []byte) error {
+// up to and including LSN upto, then drops the WAL records the payload
+// covers. The caller must pass the watermark its payload actually
+// reflects — the LSN of the last journaled record included in the
+// state cut — NOT the store's current tail: records appended between
+// the cut and this call are newer than the payload, and stamping them
+// as covered would silently drop committed churn on replay. When upto
+// equals the tail the WAL is truncated; when records have landed past
+// it they are preserved (still pending) and replayed over the new
+// snapshot on recovery.
+//
+// The snapshot rename is the commit point: a crash before it keeps the
+// old snapshot + full WAL, a crash after it but before the truncation
+// leaves stale WAL records that the LSN watermark skips on replay.
+func (s *Store) WriteSnapshot(payload []byte, upto uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("persist: store closed")
 	}
+	if upto > s.lastLSN {
+		// A watermark above the tail would mark records not yet written
+		// as covered; clamp to what the log actually holds.
+		upto = s.lastLSN
+	}
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("persist: sync wal: %w", err)
 	}
-	if err := writeSnapshotFile(s.snapshotPath(), payload, s.lastLSN); err != nil {
+	if err := writeSnapshotFile(s.snapshotPath(), payload, upto); err != nil {
 		return err
 	}
-	s.snapLSN = s.lastLSN
+	s.snapLSN = upto
+	if upto < s.lastLSN {
+		// Records landed after the caller's state cut: keep the whole
+		// log (LSNs are dense, so the uncovered tail is countable) and
+		// let the watermark skip the covered prefix on replay. The next
+		// fully-covering snapshot truncates.
+		s.pending = int(s.lastLSN - upto)
+		return nil
+	}
 	s.pending = 0
 	if err := s.wal.Truncate(0); err != nil {
 		return fmt.Errorf("persist: truncate wal: %w", err)
