@@ -1,0 +1,109 @@
+// Command metriccheck validates a Prometheus text exposition from
+// stdin (or files): it fails on any line the strict parser rejects,
+// on required metric families that are absent, and on families whose
+// summed value falls below a threshold. CI pipes a daemon's /metrics
+// through it so a scrape that silently stops parsing — or a counter
+// that stops counting — breaks the build instead of the dashboard.
+//
+//	curl -s http://127.0.0.1:8690/metrics | metriccheck \
+//	    -require treesim_broker_published_total,treesim_wal_appends_total \
+//	    -min treesim_wal_replayed_records_total=1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"treesim/internal/telemetry"
+)
+
+// minFlag collects repeated -min name=value thresholds.
+type minFlag map[string]float64
+
+func (m minFlag) String() string { return fmt.Sprint(map[string]float64(m)) }
+
+func (m minFlag) Set(s string) error {
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return fmt.Errorf("want name=value, got %q", part)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("threshold %q: %v", part, err)
+		}
+		m[name] = v
+	}
+	return nil
+}
+
+func main() {
+	var (
+		require = flag.String("require", "", "comma-separated metric families that must be present")
+		mins    = minFlag{}
+		quiet   = flag.Bool("q", false, "suppress the summary line on success")
+	)
+	flag.Var(mins, "min", "name=value[,name=value...] minimum summed value per family (repeatable)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if args := flag.Args(); len(args) > 0 {
+		readers := make([]io.Reader, 0, len(args))
+		for _, a := range args {
+			f, err := os.Open(a)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+
+	samples, err := telemetry.ParseText(in)
+	if err != nil {
+		fail("exposition does not parse: %v", err)
+	}
+	if len(samples) == 0 {
+		fail("exposition is empty")
+	}
+	sums := telemetry.SumByName(samples)
+
+	bad := 0
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if _, ok := sums[name]; !ok {
+			fmt.Fprintf(os.Stderr, "metriccheck: required family %s absent\n", name)
+			bad++
+		}
+	}
+	for name, want := range mins {
+		got, ok := sums[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "metriccheck: %s absent (threshold %g)\n", name, want)
+			bad++
+			continue
+		}
+		if got < want {
+			fmt.Fprintf(os.Stderr, "metriccheck: %s = %g, want >= %g\n", name, got, want)
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("metriccheck: %d samples across %d families ok\n", len(samples), len(telemetry.Names(samples)))
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metriccheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -11,6 +11,13 @@
 // counts, so snapshots from differently-sized daemons stay
 // distinguishable.
 //
+// With -metrics-snapshot the daemon's GET /metrics is scraped before
+// and after the workload; the counter deltas are printed and attached
+// to the publish benchmark line as extra benchjson pairs, so snapshots
+// record what the daemon shed, evaluated, and journaled — not just
+// what the client observed. The scrape is strict: unparseable
+// exposition fails the run.
+//
 // The summary includes `go test -bench`-style lines, so the output can
 // be piped through cmd/benchjson (optionally merged with the in-process
 // broker benchmarks) into a BENCH_broker.json snapshot:
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"treesim"
+	"treesim/internal/telemetry"
 )
 
 type client struct {
@@ -143,6 +151,24 @@ func (c *client) stats() (map[string]any, error) {
 	return out, nil
 }
 
+// metrics scrapes and parses the daemon's Prometheus exposition,
+// returning per-family sums (label sets collapsed).
+func (c *client) metrics() (map[string]float64, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: %s", resp.Status)
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return telemetry.SumByName(samples), nil
+}
+
 func drainClose(resp *http.Response) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -162,6 +188,7 @@ func main() {
 		schema   = flag.String("dtd", "nitf", "workload schema: nitf|xcbl|media")
 		seed     = flag.Int64("seed", 1, "workload generation seed")
 		expect   = flag.Bool("expect-deliveries", true, "exit nonzero if no deliveries happened")
+		metSnap  = flag.Bool("metrics-snapshot", false, "scrape /metrics before and after and report daemon-side counter deltas")
 	)
 	flag.Parse()
 
@@ -203,6 +230,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "treesim-bench: daemon unreachable at %s: %v\n", *addr, err)
 		os.Exit(1)
+	}
+	var met0 map[string]float64
+	if *metSnap {
+		if met0, err = c.metrics(); err != nil {
+			fmt.Fprintf(os.Stderr, "treesim-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	// The daemon reports its own parallelism context; carry it into the
 	// benchmark lines so per-cpu snapshots stay self-describing.
@@ -352,6 +386,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "treesim-bench: stats: %v\n", err)
 		os.Exit(1)
 	}
+	// The workload's daemon-side footprint: counter deltas across the
+	// run, attached to the publish benchmark line below. Names follow
+	// the registry (see the README's Observability catalogue); families
+	// a standalone in-memory daemon does not register read as zero.
+	var metricExtras string
+	if *metSnap {
+		met1, err := c.metrics()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treesim-bench: %v\n", err)
+			os.Exit(1)
+		}
+		delta := func(name string) float64 { return met1[name] - met0[name] }
+		deltas := []struct{ unit, family string }{
+			{"daemon_published", "treesim_broker_published_total"},
+			{"daemon_deliveries", "treesim_broker_deliveries_total"},
+			{"daemon_dropped", "treesim_broker_dropped_total"},
+			{"daemon_filter_evals", "treesim_broker_filter_evals_total"},
+			{"daemon_remote_shed", "treesim_broker_remote_shed_total"},
+			{"daemon_wal_appends", "treesim_wal_appends_total"},
+			{"daemon_wal_bytes", "treesim_wal_append_bytes_total"},
+			{"overlay_forwards", "treesim_overlay_forwards_sent_total"},
+			{"overlay_send_errors", "treesim_overlay_send_errors_total"},
+		}
+		fmt.Println("daemon metric deltas (/metrics, this run):")
+		for _, d := range deltas {
+			fmt.Printf("  %-36s %.0f\n", d.family, delta(d.family))
+			metricExtras += fmt.Sprintf("\t%.0f %s", delta(d.family), d.unit)
+		}
+	}
 	fmt.Printf("published %d in %v (%.0f publishes/sec, %v/op), %d errors\n",
 		*nPublish, pubDur.Round(time.Millisecond),
 		float64(*nPublish)/pubDur.Seconds(), (pubDur / time.Duration(*nPublish)).Round(time.Microsecond),
@@ -377,9 +440,9 @@ func main() {
 	}
 	fmt.Printf("BenchmarkTreesimdSubscribe/%s \t%d\t%d ns/op\t%d cpus\t%d shards\n",
 		label, *nSubs, subDur.Nanoseconds()/int64(*nSubs), daemonCPUs, daemonShards)
-	fmt.Printf("BenchmarkTreesimdPublish/%s \t%d\t%d ns/op\t%d deliveries\t%.0f pub/sec\t%d cpus\t%d shards\n",
+	fmt.Printf("BenchmarkTreesimdPublish/%s \t%d\t%d ns/op\t%d deliveries\t%.0f pub/sec\t%d cpus\t%d shards%s\n",
 		pubLabel, *nPublish, pubDur.Nanoseconds()/int64(*nPublish), drained.Load(),
-		float64(*nPublish)/pubDur.Seconds(), daemonCPUs, daemonShards)
+		float64(*nPublish)/pubDur.Seconds(), daemonCPUs, daemonShards, metricExtras)
 
 	if *expect && drained.Load() == 0 {
 		fmt.Fprintln(os.Stderr, "treesim-bench: FAIL: no deliveries")

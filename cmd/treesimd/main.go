@@ -19,7 +19,10 @@
 //	GET    /deliveries/{id}?max=100&wait=5s               → {"deliveries": [...]}
 //	GET    /doc/{seq}                                     → raw XML of a recent publish
 //	GET    /stats                                         → broker stats
-//	GET    /healthz                                       → 200 "ok" (503 while draining)
+//	GET    /metrics                                       → Prometheus text exposition
+//	GET    /trace/{id}                                    → this node's spans for a publication trace
+//	GET    /healthz                                       → {"status":"ok"} when ready;
+//	                                                        503 {"status":"starting"|"draining","reason":...}
 //	POST   /peer/advert        wire.AdvertBatch           → 204   (federation)
 //	POST   /peer/publish       wire.Publication           → 204   (federation)
 //	GET    /peer/info                                     → overlay node snapshot
@@ -27,6 +30,20 @@
 // /deliveries long-polls: with wait set and an empty queue it blocks up
 // to that duration for the first delivery. Flags configure the
 // estimator, clustering, queue and federation knobs; see -h.
+//
+// Every subsystem reports into one telemetry registry, so GET /metrics
+// is the single scrape covering broker, persistence, and overlay (the
+// metric catalogue is in the README's Observability section). With
+// -debug-addr a second listener serves net/http/pprof and expvar,
+// kept off the public port. Federated daemons stamp each locally
+// published document with a trace ID (returned in the publish
+// response); GET /trace/{id} on each node returns the hop spans it
+// retains, from which a forwarding tree can be assembled.
+//
+// The listener binds before recovery: /healthz answers immediately,
+// 503 {"status":"starting"} while the snapshot and WAL replay, 200
+// {"status":"ok"} once serving, 503 {"status":"draining"} during
+// shutdown.
 //
 // With -data-dir the broker is crash-safe: committed subscription churn
 // is write-ahead logged, snapshots are taken periodically
@@ -65,6 +82,7 @@ import (
 	"treesim/internal/core"
 	"treesim/internal/metrics"
 	"treesim/internal/overlay"
+	"treesim/internal/telemetry"
 	"treesim/internal/xmltree"
 )
 
@@ -97,6 +115,9 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable state directory (snapshot + WAL); empty runs in-memory only")
 		snapEvery = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot period with -data-dir (0 disables; shutdown still snapshots)")
 		walSync   = flag.Bool("wal-sync", false, "fsync the WAL after every subscription mutation (power-loss durability)")
+
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
+		traceCap  = flag.Int("trace-capacity", 0, "publication-trace spans retained per node (0: default 4096, negative disables tracing)")
 	)
 	flag.Parse()
 
@@ -106,13 +127,49 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Shards = *shards
+	// One registry for the whole process: engine, store, and overlay
+	// node all report into it, and GET /metrics is the single scrape.
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+
+	// Bind before recovery: the daemon is live (healthz answers) while
+	// readiness waits for the engine. Serving starts immediately behind
+	// the gate, which refuses everything but /healthz until setReady.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treesimd:", err)
+		os.Exit(1)
+	}
+	gate := newServerGate()
+	srv := &http.Server{
+		Handler: gate,
+		// The daemon serves untrusted input: bound header reads and
+		// idle keep-alives so dribbling clients cannot pin goroutines.
+		// WriteTimeout stays above the 30s long-poll cap on /deliveries.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      60 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if *debugAddr != "" {
+		dbg, err := serveDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treesimd:", err)
+			os.Exit(1)
+		}
+		log.Printf("treesimd: debug endpoints (pprof, expvar) on http://%s/debug/", dbg)
+	}
+
 	var (
 		eng      *broker.Engine
 		pers     *daemonPersist
 		minEpoch uint64
 	)
 	if *dataDir != "" {
-		pers, eng, minEpoch, err = openDataDir(*dataDir, cfg, *walSync)
+		gate.setStarting(fmt.Sprintf("recovering snapshot and WAL from %s", *dataDir))
+		pers, eng, minEpoch, err = openDataDir(*dataDir, cfg, *walSync, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "treesimd:", err)
 			os.Exit(1)
@@ -122,12 +179,6 @@ func main() {
 		eng = broker.New(cfg)
 	}
 	defer eng.Close()
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "treesimd:", err)
-		os.Exit(1)
-	}
 
 	var stopping atomic.Bool
 	peerList := splitPeers(*peers)
@@ -140,6 +191,8 @@ func main() {
 			MaxPatternNodes: *advMaxPat,
 			AdvertTTL:       *advertTTL,
 			MinEpoch:        minEpoch,
+			Telemetry:       reg,
+			TraceCapacity:   *traceCap,
 		}
 		if ocfg.ID == "" {
 			ocfg.ID = ln.Addr().String()
@@ -159,15 +212,7 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{
-		Handler: withDrainGate(&stopping, newHandler(eng, node, *maxBody, *peerTO)),
-		// The daemon serves untrusted input: bound header reads and
-		// idle keep-alives so dribbling clients cannot pin goroutines.
-		// WriteTimeout stays above the 30s long-poll cap on /deliveries.
-		ReadHeaderTimeout: 10 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-		WriteTimeout:      60 * time.Second,
-	}
+	gate.setReady(newHandler(eng, node, reg, *maxBody, *peerTO))
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
@@ -188,6 +233,7 @@ func main() {
 		// handlers may still be writing; main blocks on shutdownDone
 		// rather than exiting under them.
 		stopping.Store(true)
+		gate.setDraining()
 		if node != nil {
 			node.Close()
 		}
@@ -207,7 +253,7 @@ func main() {
 	}
 	log.Printf("treesimd listening on %s (representation=%s metric=%s threshold=%g, %s)",
 		ln.Addr(), *rep, *metric, *threshold, mode)
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "treesimd:", err)
 		os.Exit(1)
 	}
@@ -243,22 +289,6 @@ func splitPeers(s string) []string {
 		}
 	}
 	return out
-}
-
-// withDrainGate refuses state-changing and federation requests while
-// the daemon drains: consumers may still read (GET /deliveries, /doc,
-// /stats, /peer/info), and /healthz flips to 503 so load balancers
-// stop routing here.
-func withDrainGate(stopping *atomic.Bool, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if stopping.Load() && (r.Method != http.MethodGet || r.URL.Path == "/healthz") {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("{\"error\":\"shutting down\"}\n"))
-			return
-		}
-		next.ServeHTTP(w, r)
-	})
 }
 
 func buildConfig(rep, metric string, hcap, scap int, seed int64, threshold float64, queueCap, ingestQ, maxStale int, fraction float64) (broker.Config, error) {
@@ -297,15 +327,18 @@ func buildConfig(rep, metric string, hcap, scap int, seed int64, threshold float
 }
 
 // publishResponse is the POST /publish payload: the local routing
-// summary plus how many overlay links the document was forwarded on.
+// summary plus how many overlay links the document was forwarded on
+// and, when federated with tracing enabled, the trace ID under which
+// GET /trace/{id} retrieves the hop spans at every broker it reached.
 type publishResponse struct {
 	broker.PublishResult
-	Forwarded int `json:"forwarded"`
+	Forwarded int    `json:"forwarded"`
+	Trace     string `json:"trace,omitempty"`
 }
 
 // newHandler wires the broker (and overlay node, when federated) into a
 // net/http mux (method-and-path patterns, Go ≥ 1.22).
-func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64, peerTimeout time.Duration) http.Handler {
+func newHandler(eng *broker.Engine, node *overlay.Node, reg *telemetry.Registry, maxBody int64, peerTimeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
@@ -351,7 +384,7 @@ func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64, peerTimeo
 				httpError(w, http.StatusBadRequest, "treesimd: publish: %v", err)
 				return
 			}
-			resp.PublishResult, resp.Forwarded, err = node.Publish(t)
+			resp.PublishResult, resp.Forwarded, resp.Trace, err = node.PublishTraced(t)
 		} else {
 			resp.PublishResult, err = eng.PublishXML(bodyReader(r, maxBody))
 		}
@@ -419,9 +452,28 @@ func newHandler(eng *broker.Engine, node *overlay.Node, maxBody int64, peerTimeo
 		writeJSON(w, http.StatusOK, eng.Stats())
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("treesimd: /metrics write: %v", err)
+		}
 	})
+
+	mux.HandleFunc("GET /trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if node == nil {
+			httpError(w, http.StatusNotFound, "tracing runs on the overlay; start with -federate or -peers")
+			return
+		}
+		id := r.PathValue("id")
+		spans := node.TraceSpans(id)
+		if spans == nil {
+			spans = []telemetry.Span{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"trace": id, "node": node.ID(), "spans": spans})
+	})
+
+	// /healthz is owned by the server gate, which answers before the
+	// mux exists; nothing to register here.
 
 	if node != nil {
 		overlay.RegisterHTTP(mux, node, maxBody, overlay.NewPeerClient(peerTimeout))

@@ -16,6 +16,7 @@ import (
 	"treesim/internal/broker"
 	"treesim/internal/overlay"
 	"treesim/internal/persist"
+	"treesim/internal/telemetry"
 )
 
 // walJournal adapts the persist store to the broker's journal hook:
@@ -58,8 +59,8 @@ type daemonPersist struct {
 // snapshot; overlay.New pads it before flooring the boot epoch, so a
 // restarted node outruns everything its peers have already seen even
 // if the clock regressed.
-func openDataDir(dir string, cfg broker.Config, walSync bool) (*daemonPersist, *broker.Engine, uint64, error) {
-	store, err := persist.Open(dir, persist.Options{SyncEveryAppend: walSync})
+func openDataDir(dir string, cfg broker.Config, walSync bool, reg *telemetry.Registry) (*daemonPersist, *broker.Engine, uint64, error) {
+	store, err := persist.Open(dir, persist.Options{SyncEveryAppend: walSync, Telemetry: reg})
 	if err != nil {
 		return nil, nil, 0, err
 	}

@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,7 @@ import (
 	"treesim/internal/matching"
 	"treesim/internal/metrics"
 	"treesim/internal/pattern"
+	"treesim/internal/telemetry"
 	"treesim/internal/xmltree"
 )
 
@@ -87,9 +89,16 @@ type Config struct {
 	// receiving subscription to estimate delivery precision (default 16;
 	// 0 keeps the default, negative disables sampling).
 	PrecisionSample int
-	// LatencyWindow is the number of recent publish latencies kept for
-	// the p50/p99 stats (default 1024), spread across per-shard
-	// reservoirs and merged — never averaged — at query time.
+	// Telemetry is the metrics registry the engine registers its
+	// counters, gauges, and latency histograms into (nil: a private
+	// registry, still readable through Stats). Give a registry to at
+	// most one engine — handles are keyed by metric name, so two
+	// engines sharing one registry would double-count.
+	Telemetry *telemetry.Registry
+	// LatencyWindow is retained for configuration compatibility; the
+	// publish-latency reservoir it sized was subsumed by the
+	// treesim_broker_publish_ns histogram, which has fixed buckets and
+	// no window.
 	LatencyWindow int
 	// DocCache is how many recent published documents stay retrievable
 	// by sequence number (Document; the daemon's GET /doc/{seq}), so
@@ -153,6 +162,12 @@ type PublishResult struct {
 	// document itself still reaches a full queue — the oldest entry
 	// makes room.
 	Dropped int `json:"dropped"`
+	// IngestWaitNS is time this publish spent blocked on the synopsis
+	// ingest pipeline; MatchNS the time spent in shard routing. Both
+	// feed the corresponding telemetry histograms and the overlay's
+	// per-hop trace spans. Additive fields: older clients ignore them.
+	IngestWaitNS int64 `json:"ingest_wait_ns,omitempty"`
+	MatchNS      int64 `json:"match_ns,omitempty"`
 }
 
 // subscriber is one live subscription.
@@ -240,8 +255,13 @@ type Engine struct {
 
 	pubSeq   atomic.Uint64
 	counters counters
-	lat      *latencyReservoir
-	docs     *docRing
+	// tel is the metrics registry (cfg.Telemetry or a private one);
+	// pubLat/ingestWait are the publish-path latency histograms, read
+	// back by Stats for p50/p99.
+	tel        *telemetry.Registry
+	pubLat     *telemetry.Histogram
+	ingestWait *telemetry.Histogram
+	docs       *docRing
 }
 
 // New starts an engine (including its background ingester).
@@ -255,6 +275,10 @@ func New(cfg Config) *Engine {
 // loaded from a snapshot). cfg already has defaults applied.
 func newEngine(cfg Config, est *core.Estimator) *Engine {
 	nsh := resolveShards(cfg.Shards)
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	e := &Engine{
 		cfg:       cfg,
 		est:       est,
@@ -265,11 +289,21 @@ func newEngine(cfg Config, est *core.Estimator) *Engine {
 		shards:    make([]*shard, nsh),
 		procs:     runtime.GOMAXPROCS(0),
 		ingest:    make(chan ingestItem, cfg.IngestQueue),
-		lat:       newLatencyReservoir(cfg.LatencyWindow, nsh),
+		tel:       tel,
+		counters:  newCounters(tel),
 	}
+	lb := telemetry.DefaultLatencyBuckets()
+	e.pubLat = tel.Histogram("treesim_broker_publish_ns", "End-to-end publish latency (ingest enqueue + shard routing), nanoseconds.", lb)
+	e.ingestWait = tel.Histogram("treesim_broker_ingest_wait_ns", "Time a publish spent blocked on the synopsis ingest pipeline, nanoseconds.", lb)
 	for i := range e.shards {
-		e.shards[i] = &shard{forest: matching.NewForestShared(e.tbl)}
+		e.shards[i] = &shard{
+			forest: matching.NewForestShared(e.tbl),
+			matchNS: tel.Histogram("treesim_broker_shard_match_ns",
+				"Per-shard time to match one document and fan it out, nanoseconds.", lb,
+				"shard", strconv.Itoa(i)),
+		}
 	}
+	e.registerGauges()
 	if cfg.DocCache > 0 {
 		e.docs = &docRing{buf: make([]docEntry, cfg.DocCache)}
 	}
@@ -281,6 +315,10 @@ func newEngine(cfg Config, est *core.Estimator) *Engine {
 // Estimator exposes the underlying streaming estimator (shared; follow
 // its concurrency rules).
 func (e *Engine) Estimator() *core.Estimator { return e.est }
+
+// Telemetry returns the engine's metrics registry — the configured one
+// or the private registry created when Config.Telemetry was nil.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.tel }
 
 // Shards returns the number of matching/delivery shards the engine
 // runs with.

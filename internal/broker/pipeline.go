@@ -70,7 +70,7 @@ func (e *Engine) InjectRemote(t *xmltree.Tree) (PublishResult, error) {
 		e.counters.remoteShed.Add(1)
 		return PublishResult{}, ErrBusy
 	}
-	return e.routeOne(t, true, start), nil
+	return e.routeOne(t, true, start, time.Now()), nil
 }
 
 func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
@@ -86,13 +86,16 @@ func (e *Engine) publish(t *xmltree.Tree, remote bool) (PublishResult, error) {
 	e.ingest <- ingestItem{tree: t}
 	e.pipeMu.RUnlock()
 
-	return e.routeOne(t, remote, start), nil
+	return e.routeOne(t, remote, start, time.Now()), nil
 }
 
 // routeOne is the routing half shared by the blocking and non-blocking
 // publish entry points: the document is already accepted into the
-// ingest pipeline.
-func (e *Engine) routeOne(t *xmltree.Tree, remote bool, start time.Time) PublishResult {
+// ingest pipeline. start is when the publish entered the engine,
+// enqueued when the pipeline accepted it — the gap is ingest-queue
+// wait, the remainder shard routing; both land in the result and the
+// latency histograms.
+func (e *Engine) routeOne(t *xmltree.Tree, remote bool, start, enqueued time.Time) PublishResult {
 	// routeMu (shared) orders routing against Close, not against
 	// subscription churn: registry mutations commit under the registry
 	// and per-shard locks, so a publish contends with churn only on the
@@ -111,7 +114,11 @@ func (e *Engine) routeOne(t *xmltree.Tree, remote bool, start time.Time) Publish
 	if remote {
 		e.counters.remoteInjected.Add(1)
 	}
-	e.lat.record(time.Since(start))
+	end := time.Now()
+	res.IngestWaitNS = enqueued.Sub(start).Nanoseconds()
+	res.MatchNS = end.Sub(enqueued).Nanoseconds()
+	e.ingestWait.ObserveDuration(res.IngestWaitNS)
+	e.pubLat.ObserveDuration(end.Sub(start).Nanoseconds())
 	return res
 }
 
@@ -131,11 +138,15 @@ func (e *Engine) PublishBatch(ts []*xmltree.Tree) ([]PublishResult, error) {
 		e.pipeMu.RUnlock()
 		return nil, ErrClosed
 	}
+	batchStart := time.Now()
 	e.counters.ingestQueued.Add(uint64(len(ts)))
 	for _, t := range ts {
 		e.ingest <- ingestItem{tree: t}
 	}
 	e.pipeMu.RUnlock()
+	// The pipeline wait is shared by the whole batch; record it once
+	// rather than attributing it to any single document.
+	e.ingestWait.ObserveDuration(time.Since(batchStart).Nanoseconds())
 
 	e.routeMu.RLock()
 	defer e.routeMu.RUnlock()
@@ -147,7 +158,9 @@ func (e *Engine) PublishBatch(ts []*xmltree.Tree) ([]PublishResult, error) {
 			e.routeDoc(t, &out[i])
 		}
 		e.counters.published.Add(1)
-		e.lat.record(time.Since(start))
+		ns := time.Since(start).Nanoseconds()
+		out[i].MatchNS = ns
+		e.pubLat.ObserveDuration(ns)
 	}
 	return out, nil
 }

@@ -2,29 +2,85 @@ package broker
 
 import (
 	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"treesim/internal/telemetry"
 )
 
-// counters are the engine's lock-free operational counters.
+// counters are the engine's lock-free operational counters — handles
+// into the telemetry registry, so GET /stats and GET /metrics read the
+// SAME underlying atomics rather than parallel bookkeeping paths. The
+// metric names are part of the repo's stable observability surface
+// (see README "Observability"); renaming one is a breaking change.
 type counters struct {
-	published      atomic.Uint64
-	delivered      atomic.Uint64
-	dropped        atomic.Uint64
-	drained        atomic.Uint64
-	filterEvals    atomic.Uint64
-	subscribes     atomic.Uint64
-	unsubscribes   atomic.Uint64
-	rebuilds       atomic.Uint64
-	ingestQueued   atomic.Uint64
-	ingested       atomic.Uint64
-	remoteInjected atomic.Uint64
-	remoteShed     atomic.Uint64
-	journalErrors  atomic.Uint64
-	sampled        atomic.Uint64
-	sampledHits    atomic.Uint64
+	published      *telemetry.Counter
+	delivered      *telemetry.Counter
+	dropped        *telemetry.Counter
+	drained        *telemetry.Counter
+	filterEvals    *telemetry.Counter
+	subscribes     *telemetry.Counter
+	unsubscribes   *telemetry.Counter
+	rebuilds       *telemetry.Counter
+	ingestQueued   *telemetry.Counter
+	ingested       *telemetry.Counter
+	remoteInjected *telemetry.Counter
+	remoteShed     *telemetry.Counter
+	journalErrors  *telemetry.Counter
+	sampled        *telemetry.Counter
+	sampledHits    *telemetry.Counter
+}
+
+func newCounters(reg *telemetry.Registry) counters {
+	return counters{
+		published:      reg.Counter("treesim_broker_published_total", "Documents routed (local publishes plus overlay injections)."),
+		delivered:      reg.Counter("treesim_broker_deliveries_total", "Deliveries enqueued onto consumer queues."),
+		dropped:        reg.Counter("treesim_broker_dropped_total", "Deliveries evicted from full consumer queues (drop-oldest) or lost to closed queues."),
+		drained:        reg.Counter("treesim_broker_drained_total", "Deliveries handed to consumers by Drain."),
+		filterEvals:    reg.Counter("treesim_broker_filter_evals_total", "Community-representative match tests (the clustered routing cost)."),
+		subscribes:     reg.Counter("treesim_broker_subscribes_total", "Committed subscriptions."),
+		unsubscribes:   reg.Counter("treesim_broker_unsubscribes_total", "Committed unsubscriptions."),
+		rebuilds:       reg.Counter("treesim_broker_rebuilds_total", "Full community re-clusterings."),
+		ingestQueued:   reg.Counter("treesim_broker_ingest_queued_total", "Documents accepted into the synopsis ingest pipeline."),
+		ingested:       reg.Counter("treesim_broker_ingested_total", "Documents the background ingester fed to the estimator."),
+		remoteInjected: reg.Counter("treesim_broker_remote_injected_total", "Documents injected by peer brokers via the overlay."),
+		remoteShed:     reg.Counter("treesim_broker_remote_shed_total", "Remote injections shed because the ingest pipeline was full."),
+		journalErrors:  reg.Counter("treesim_broker_journal_errors_total", "WAL journal append failures (mutation committed in memory; durability degraded)."),
+		sampled:        reg.Counter("treesim_broker_precision_samples_total", "Deliveries exact-matched for the precision proxy."),
+		sampledHits:    reg.Counter("treesim_broker_precision_hits_total", "Precision samples whose subscription exactly matched."),
+	}
+}
+
+// registerGauges installs the scrape-time gauges that read engine
+// state under its own locks (no second bookkeeping path).
+func (e *Engine) registerGauges() {
+	e.tel.GaugeFunc("treesim_broker_live_subscriptions", "Live subscriptions.", func() float64 {
+		return float64(e.Live())
+	})
+	e.tel.GaugeFunc("treesim_broker_communities", "Current community count.", func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return float64(len(e.comms.Groups))
+	})
+	e.tel.GaugeFunc("treesim_broker_ingest_pending", "Synopsis ingest pipeline backlog.", func() float64 {
+		return float64(e.ingestPending())
+	})
+	e.tel.GaugeFunc("treesim_broker_delivery_ring_occupancy", "Total deliveries waiting across consumer queues.", func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		total := 0
+		for _, s := range e.subs {
+			total += s.q.len()
+		}
+		return float64(total)
+	})
+}
+
+func (e *Engine) ingestPending() uint64 {
+	queued, ingested := e.counters.ingestQueued.Load(), e.counters.ingested.Load()
+	if queued > ingested {
+		return queued - ingested
+	}
+	return 0
 }
 
 // Stats is a point-in-time snapshot of the broker, the payload of the
@@ -82,13 +138,15 @@ type Stats struct {
 	PrecisionProxy   float64 `json:"precision_proxy"`
 	PrecisionSamples uint64  `json:"precision_samples"`
 
-	// PublishP50/P99 are publish-path latency percentiles over the
-	// recent-latency window.
+	// PublishP50/P99 are publish-path latency percentiles estimated
+	// from the treesim_broker_publish_ns histogram (exact to within one
+	// bucket's width, over the engine's whole lifetime).
 	PublishP50 time.Duration `json:"publish_p50_ns"`
 	PublishP99 time.Duration `json:"publish_p99_ns"`
 }
 
-// Stats snapshots the engine.
+// Stats snapshots the engine. Every counter is read from the same
+// telemetry registry handle GET /metrics scrapes.
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	live := len(e.subs)
@@ -123,91 +181,15 @@ func (e *Engine) Stats() Stats {
 		Dropped:          c.dropped.Load(),
 		Drained:          c.drained.Load(),
 		PrecisionSamples: c.sampled.Load(),
-	}
-	queued, ingested := c.ingestQueued.Load(), c.ingested.Load()
-	if queued > ingested {
-		s.IngestPending = queued - ingested
+		IngestPending:    e.ingestPending(),
 	}
 	if s.PrecisionSamples == 0 {
 		s.PrecisionProxy = 1 // vacuous, like routing.Result.Precision
 	} else {
 		s.PrecisionProxy = float64(c.sampledHits.Load()) / float64(s.PrecisionSamples)
 	}
-	s.PublishP50, s.PublishP99 = e.lat.percentiles()
+	snap := e.pubLat.Snapshot()
+	s.PublishP50 = time.Duration(snap.Quantile(0.50))
+	s.PublishP99 = time.Duration(snap.Quantile(0.99))
 	return s
-}
-
-// latencyStripe is one shard's ring of recent publish latencies.
-// Writes take a short per-stripe mutex (a publish records one int64);
-// striping keeps concurrent publishers on different shards from
-// serializing on a single stats lock.
-type latencyStripe struct {
-	mu   sync.Mutex
-	buf  []int64
-	next int
-	n    int
-}
-
-func (r *latencyStripe) record(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.next] = int64(d)
-	r.next = (r.next + 1) % len(r.buf)
-	if r.n < len(r.buf) {
-		r.n++
-	}
-	r.mu.Unlock()
-}
-
-// appendSamples copies the stripe's current samples onto dst.
-func (r *latencyStripe) appendSamples(dst []int64) []int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append(dst, r.buf[:r.n]...)
-}
-
-// latencyReservoir is the sharded latency sample store: `stripes`
-// independent rings whose total capacity is the configured window.
-// Percentiles are computed by merging every stripe's samples into one
-// pool and reading the quantiles off the sorted merge — NEVER by
-// averaging per-stripe percentiles, which is statistically meaningless
-// (the p99 of skewed stripes is dominated by the slowest stripe, and an
-// average would dilute it).
-type latencyReservoir struct {
-	stripes []latencyStripe
-	next    atomic.Uint64
-}
-
-func newLatencyReservoir(window, stripes int) *latencyReservoir {
-	if stripes < 1 {
-		stripes = 1
-	}
-	if stripes > window {
-		stripes = window
-	}
-	per := (window + stripes - 1) / stripes
-	r := &latencyReservoir{stripes: make([]latencyStripe, stripes)}
-	for i := range r.stripes {
-		r.stripes[i].buf = make([]int64, per)
-	}
-	return r
-}
-
-func (r *latencyReservoir) record(d time.Duration) {
-	r.stripes[r.next.Add(1)%uint64(len(r.stripes))].record(d)
-}
-
-func (r *latencyReservoir) percentiles() (p50, p99 time.Duration) {
-	var snap []int64
-	for i := range r.stripes {
-		snap = r.stripes[i].appendSamples(snap)
-	}
-	if len(snap) == 0 {
-		return 0, 0
-	}
-	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
-	idx := func(q float64) int64 {
-		i := int(q * float64(len(snap)-1))
-		return snap[i]
-	}
-	return time.Duration(idx(0.50)), time.Duration(idx(0.99))
 }

@@ -1,66 +1,159 @@
 package broker
 
 import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"time"
+
+	"treesim/internal/telemetry"
 )
 
-// TestLatencyReservoirMergedPercentiles pins the sharded reservoir's
-// quantile semantics: per-stripe samples are merged into one pool and
-// the quantiles read off the sorted merge. The skewed cases would give
-// different (wrong) answers if stripes were summarized first and their
-// percentiles averaged — the canonical sharding mistake this test
-// guards against.
-func TestLatencyReservoirMergedPercentiles(t *testing.T) {
-	cases := []struct {
-		name     string
-		window   int
-		stripes  int
-		samples  []int64 // recorded round-robin across stripes
-		p50, p99 int64
-	}{
-		// Quantile convention is the floor index q·(n-1) of the sorted
-		// merged pool (matching the pre-sharding ring).
-		{"single stripe", 8, 1, []int64{10, 20, 30, 40}, 20, 30},
-		{"uniform across stripes", 8, 2, []int64{10, 20, 30, 40}, 20, 30},
-		// Stripe 0 gets {1,3}, stripe 1 gets {1000, 2000}. Averaging
-		// per-stripe p50s would give (1+1000)/2 ≈ 500 — nowhere in the
-		// data; the merged pool {1,3,1000,2000} has p50 = 3.
-		{"skewed stripes", 8, 2, []int64{1, 1000, 3, 2000}, 3, 1000},
-		// One hot stripe holds the entire tail: merged p99 must surface
-		// it even though 3 of 4 stripes never saw a slow publish
-		// (averaging per-stripe p99s would report ≈ 2380, not 9500).
-		{"tail in one stripe", 16, 4,
-			[]int64{5, 5, 5, 9000, 5, 5, 5, 9500, 5, 5, 5, 9900}, 5, 9500},
-		{"empty", 8, 4, nil, 0, 0},
-		// More stripes than window: stripes clamp, recording still works.
-		{"stripes clamp to window", 2, 8, []int64{7, 9}, 7, 7},
+// exactPercentiles is the reference the old latency reservoir computed:
+// quantiles read off the sorted merged sample pool, NEVER averaged
+// across shards. It returns the order statistics under both common
+// rank conventions — floor-index q·(n-1) (the reservoir's) and
+// nearest-rank ⌈q·n⌉ (the histogram's); at small n they differ by one
+// sample, so the agreement tolerance must span both.
+func exactPercentiles(samples []int64, q float64) (lo, hi int64) {
+	if len(samples) == 0 {
+		return 0, 0
 	}
-	for _, c := range cases {
-		r := newLatencyReservoir(c.window, c.stripes)
-		for _, s := range c.samples {
-			r.record(time.Duration(s))
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	lo = s[int(q*float64(len(s)-1))]
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	hi = s[rank-1]
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+// bucketEdges returns the (lower, upper] bucket interval holding v —
+// the histogram's inherent resolution, and therefore the agreement
+// tolerance between registry-derived stats and the exact reference.
+func bucketEdges(bounds []float64, v float64) (float64, float64) {
+	lower := 0.0
+	for _, b := range bounds {
+		if v <= b {
+			return lower, b
 		}
-		p50, p99 := r.percentiles()
-		if int64(p50) != c.p50 || int64(p99) != c.p99 {
-			t.Errorf("%s: percentiles = (%d, %d), want (%d, %d)",
-				c.name, int64(p50), int64(p99), c.p50, c.p99)
+		lower = b
+	}
+	return lower, bounds[len(bounds)-1]
+}
+
+// TestStatsPercentilesMatchReservoirReference is the differential test
+// for the reservoir→histogram migration: Stats().PublishP50/P99, now
+// estimated from the treesim_broker_publish_ns histogram, must agree
+// with the old merged-reservoir quantiles to within one bucket's
+// width on the same sample stream — including the skewed shapes that
+// made the reservoir's merge-don't-average rule matter.
+func TestStatsPercentilesMatchReservoirReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := map[string][]int64{
+		"uniform":          {10_000, 20_000, 30_000, 40_000},
+		"tail in one spot": {5_000, 5_000, 5_000, 9_000_000, 5_000, 5_000, 5_000, 9_500_000, 5_000, 5_000, 5_000, 9_900_000},
+	}
+	spread := make([]int64, 5000)
+	for i := range spread {
+		spread[i] = int64(30_000 * (0.5 + rng.Float64()*20))
+	}
+	cases["lognormal-ish"] = spread
+
+	bounds := telemetry.DefaultLatencyBuckets()
+	for name, samples := range cases {
+		e := New(Config{Shards: 2})
+		for _, ns := range samples {
+			e.pubLat.ObserveDuration(ns)
+		}
+		st := e.Stats()
+		e.Close()
+		for _, c := range []struct {
+			got time.Duration
+			q   float64
+			tag string
+		}{{st.PublishP50, 0.50, "p50"}, {st.PublishP99, 0.99, "p99"}} {
+			refLo, refHi := exactPercentiles(samples, c.q)
+			lo, _ := bucketEdges(bounds, float64(refLo))
+			_, hi := bucketEdges(bounds, float64(refHi))
+			if float64(c.got) < lo || float64(c.got) > hi {
+				t.Errorf("%s: %s = %d outside reference buckets (%g, %g] around exact [%d, %d]",
+					name, c.tag, c.got, lo, hi, refLo, refHi)
+			}
 		}
 	}
 }
 
-// TestLatencyReservoirWindowEviction checks that each stripe is a ring:
-// old samples age out once the total window has wrapped.
-func TestLatencyReservoirWindowEviction(t *testing.T) {
-	r := newLatencyReservoir(4, 2)
-	for i := 0; i < 4; i++ {
-		r.record(time.Duration(1_000_000)) // old regime
+// TestEngineMetricsExposition checks that a working engine's registry
+// renders parseable Prometheus text covering the broker families that
+// /stats reports, with matching values.
+func TestEngineMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(Config{Shards: 2, Telemetry: reg})
+	defer e.Close()
+	id, err := e.Subscribe("//a/b")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := 0; i < 4; i++ {
-		r.record(time.Duration(10)) // new regime fills the whole window
+	for i := 0; i < 5; i++ {
+		if _, err := e.PublishXML(strings.NewReader("<a><b/></a>")); err != nil {
+			t.Fatal(err)
+		}
 	}
-	p50, p99 := r.percentiles()
-	if int64(p50) != 10 || int64(p99) != 10 {
-		t.Fatalf("percentiles after wrap = (%d, %d), want (10, 10)", int64(p50), int64(p99))
+	if _, err := e.Drain(id, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+	sums := telemetry.SumByName(samples)
+	st := e.Stats()
+	checks := map[string]float64{
+		"treesim_broker_published_total":         float64(st.Published),
+		"treesim_broker_deliveries_total":        float64(st.Deliveries),
+		"treesim_broker_drained_total":           float64(st.Drained),
+		"treesim_broker_subscribes_total":        float64(st.Subscribes),
+		"treesim_broker_filter_evals_total":      float64(st.FilterEvals),
+		"treesim_broker_live_subscriptions":      float64(st.Live),
+		"treesim_broker_communities":             float64(st.Communities),
+		"treesim_broker_publish_ns_count":        float64(st.Published),
+		"treesim_broker_shard_match_ns_count":    0, // present; value checked below
+		"treesim_broker_delivery_ring_occupancy": 0,
+	}
+	for name := range checks {
+		if _, ok := sums[name]; !ok {
+			t.Errorf("family %s missing from exposition", name)
+		}
+	}
+	for _, name := range []string{
+		"treesim_broker_published_total", "treesim_broker_deliveries_total",
+		"treesim_broker_drained_total", "treesim_broker_subscribes_total",
+		"treesim_broker_filter_evals_total", "treesim_broker_live_subscriptions",
+		"treesim_broker_communities", "treesim_broker_publish_ns_count",
+	} {
+		if got, want := sums[name], checks[name]; got != want {
+			t.Errorf("%s = %g, /stats says %g", name, got, want)
+		}
+	}
+	// The shard match histogram carries per-shard labels and its total
+	// count matches publishes times populated shards (1 populated here).
+	if got := sums["treesim_broker_shard_match_ns_count"]; got != float64(st.Published) {
+		t.Errorf("shard match count = %g, want %g", got, float64(st.Published))
 	}
 }

@@ -15,6 +15,8 @@
 package matching
 
 import (
+	"sync/atomic"
+
 	"treesim/internal/bitset"
 	"treesim/internal/intern"
 	"treesim/internal/pattern"
@@ -58,11 +60,14 @@ type Engine struct {
 
 	// statProbes / statCandidates / statMatched track prefilter
 	// effectiveness: bucket consultations, exact-match candidate
-	// evaluations, and successful matches.
-	statProbes     int
-	statCandidates int
-	statMatched    int
-	statDocs       int
+	// evaluations, and successful matches. They are atomics so that
+	// Stats/Probes may be read concurrently with a Match in flight
+	// (the broker's stats scrape races the publish path); Match itself
+	// remains single-goroutine per Engine.
+	statProbes     atomic.Int64
+	statCandidates atomic.Int64
+	statMatched    atomic.Int64
+	statDocs       atomic.Int64
 }
 
 // NewEngine returns an engine over the given subscriptions (the slice is
@@ -165,7 +170,7 @@ func (e *Engine) Pattern(i int) *pattern.Pattern { return e.patterns[i] }
 // in increasing order. The returned slice is a reusable buffer, valid
 // only until the next Match call (nil when nothing matches).
 func (e *Engine) Match(t *xmltree.Tree) []int {
-	e.statDocs++
+	e.statDocs.Add(1)
 	// Collect the document's interned tag set: clear only the syms set
 	// by the previous document, then walk once with read-only lookups.
 	for _, sym := range e.presentSyms {
@@ -188,13 +193,13 @@ func (e *Engine) Match(t *xmltree.Tree) []int {
 	out := e.out[:0]
 	loaded := false
 	consider := func(idx int) {
-		e.statProbes++
+		e.statProbes.Add(1)
 		for _, sym := range e.required[idx] {
 			if !e.present.Contains(int(sym)) {
 				return
 			}
 		}
-		e.statCandidates++
+		e.statCandidates.Add(1)
 		// Flatten the document once, on the first candidate that
 		// reaches the exact matcher.
 		if !loaded {
@@ -202,7 +207,7 @@ func (e *Engine) Match(t *xmltree.Tree) []int {
 			loaded = true
 		}
 		if e.fm.Matches(e.patterns[idx]) {
-			e.statMatched++
+			e.statMatched.Add(1)
 			out = append(out, idx)
 		}
 	}
@@ -228,14 +233,14 @@ func (e *Engine) Match(t *xmltree.Tree) []int {
 // Stats reports prefilter effectiveness counters: documents processed,
 // exact-match candidate evaluations, and successful matches.
 func (e *Engine) Stats() (docs, candidates, matched int) {
-	return e.statDocs, e.statCandidates, e.statMatched
+	return int(e.statDocs.Load()), int(e.statCandidates.Load()), int(e.statMatched.Load())
 }
 
 // Probes returns the number of per-pattern prefilter consultations —
 // the work the single-tag bucketing exists to minimize (a pattern
 // bucketed under a corpus-rare tag is consulted only when that tag
 // actually occurs).
-func (e *Engine) Probes() int { return e.statProbes }
+func (e *Engine) Probes() int { return int(e.statProbes.Load()) }
 
 // requiredTags returns the sorted set of concrete tags in p. Any
 // matching document must contain every one of them.

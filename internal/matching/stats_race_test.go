@@ -1,0 +1,74 @@
+package matching
+
+import (
+	"sync"
+	"testing"
+
+	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
+)
+
+// TestStatsRaceWithMatch hammers Stats/Probes readers against a Match
+// loop. Engine.Match is documented single-goroutine, but its stat
+// counters are read concurrently by the broker's stats scrape — under
+// -race this test fails if the counters regress to plain ints.
+func TestStatsRaceWithMatch(t *testing.T) {
+	pats := []*pattern.Pattern{
+		pattern.MustParse("/a/b"),
+		pattern.MustParse("//c"),
+		pattern.MustParse("/a[b][c]"),
+		pattern.MustParse("/x"),
+	}
+	eng := NewEngine(pats)
+	doc, err := xmltree.ParseCompact("a(b,c(d))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := &xmltree.Tree{Root: doc.Root}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastDocs int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				docs, cands, matched := eng.Stats()
+				probes := eng.Probes()
+				if docs < lastDocs {
+					t.Errorf("docs went backwards: %d -> %d", lastDocs, docs)
+					return
+				}
+				lastDocs = docs
+				if matched > cands || cands > probes {
+					// Readers may observe mid-Match states where the
+					// later-incremented counter lags, but never the
+					// reverse ordering by more than one in-flight doc's
+					// worth; only a sign of true corruption is fatal.
+					if cands < 0 || matched < 0 || probes < 0 {
+						t.Errorf("negative counters: probes=%d cands=%d matched=%d", probes, cands, matched)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20000; i++ {
+		eng.Match(tree)
+	}
+	close(stop)
+	wg.Wait()
+	docs, cands, matched := eng.Stats()
+	if docs != 20000 {
+		t.Fatalf("docs = %d, want 20000", docs)
+	}
+	if matched == 0 || cands < matched {
+		t.Fatalf("implausible final counters: docs=%d cands=%d matched=%d", docs, cands, matched)
+	}
+}

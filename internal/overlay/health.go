@@ -81,8 +81,10 @@ func (n *Node) recordSend(peerID string, err error) {
 		return // link replaced or removed mid-send
 	}
 	if err == nil {
+		l.sends.Inc()
 		if l.down {
 			l.down = false
+			l.up.Set(1)
 			n.counters.linkRecovered.Add(1)
 			n.counters.resyncs.Add(1)
 		}
@@ -90,9 +92,11 @@ func (n *Node) recordSend(peerID string, err error) {
 		l.backoff = 0
 		return
 	}
+	l.errs.Inc()
 	l.fails++
 	if !l.down {
 		l.down = true
+		l.up.Set(0)
 		n.counters.linkDowns.Add(1)
 	}
 	if l.backoff == 0 {

@@ -52,6 +52,7 @@ import (
 	"treesim/internal/broker"
 	"treesim/internal/overlay/wire"
 	"treesim/internal/pattern"
+	"treesim/internal/telemetry"
 	"treesim/internal/xmltree"
 )
 
@@ -93,6 +94,16 @@ type Config struct {
 	// still apply). This is the measurement baseline, not a mode for
 	// production use.
 	Flood bool
+
+	// Telemetry is the metrics registry the node reports forwarding,
+	// gossip, liveness, and per-link counters into (nil: a private
+	// registry). Share the engine's registry so one scrape covers both.
+	Telemetry *telemetry.Registry
+	// TraceCapacity bounds the publication-trace span ring (hop records
+	// retrievable via Node.TraceSpans and the daemon's GET /trace/{id}).
+	// 0 means telemetry.DefaultTraceCapacity; negative disables tracing
+	// entirely (publishes go out untraced).
+	TraceCapacity int
 
 	// MinEpoch, when set, floors the boot epoch used for the advert
 	// version and publication sequence: a restarted node resumes at
@@ -165,10 +176,17 @@ func (c Config) withDefaults() Config {
 }
 
 // link is one attached peer, with its send-health state (guarded by the
-// node lock; see health.go).
+// node lock; see health.go) and its per-link telemetry handles.
 type link struct {
 	id string
 	tr Transport
+
+	// sends/errs count successful and failed transport sends on this
+	// link; up mirrors the damping state (1 healthy, 0 down) so a
+	// scrape sees which links are currently out of rotation.
+	sends *telemetry.Counter
+	errs  *telemetry.Counter
+	up    *telemetry.Gauge
 
 	// down marks the link in the damping set: forwarding plans and
 	// advert gossip skip it, and only the maintenance loop's backoff-
@@ -179,24 +197,48 @@ type link struct {
 	nextRetry time.Time
 }
 
-// nodeCounters are the node's lock-free operational counters.
+// nodeCounters are the node's lock-free operational counters — handles
+// into the telemetry registry, so Info() and GET /metrics read the same
+// atomics. CI's chaos-smoke asserts on
+// treesim_overlay_link_recoveries_total after a partition heal.
 type nodeCounters struct {
-	forwardsSent atomic.Uint64
-	forwardsRecv atomic.Uint64
-	duplicates   atomic.Uint64
-	ttlDrops     atomic.Uint64
-	advertsSent  atomic.Uint64
-	advertsRecv  atomic.Uint64
-	published    atomic.Uint64
-	injected     atomic.Uint64
-	sendErrors   atomic.Uint64
+	forwardsSent *telemetry.Counter
+	forwardsRecv *telemetry.Counter
+	duplicates   *telemetry.Counter
+	ttlDrops     *telemetry.Counter
+	advertsSent  *telemetry.Counter
+	advertsRecv  *telemetry.Counter
+	published    *telemetry.Counter
+	injected     *telemetry.Counter
+	sendErrors   *telemetry.Counter
 
-	advertsExpired atomic.Uint64
-	linkDowns      atomic.Uint64
-	linkRecovered  atomic.Uint64
-	resyncs        atomic.Uint64
-	peerBusy       atomic.Uint64
-	busyRejected   atomic.Uint64
+	advertsExpired *telemetry.Counter
+	linkDowns      *telemetry.Counter
+	linkRecovered  *telemetry.Counter
+	resyncs        *telemetry.Counter
+	peerBusy       *telemetry.Counter
+	busyRejected   *telemetry.Counter
+}
+
+func newNodeCounters(reg *telemetry.Registry) nodeCounters {
+	return nodeCounters{
+		forwardsSent: reg.Counter("treesim_overlay_forwards_sent_total", "Publications forwarded to peers."),
+		forwardsRecv: reg.Counter("treesim_overlay_forwards_recv_total", "Publications received from peers."),
+		duplicates:   reg.Counter("treesim_overlay_duplicates_total", "Received publications suppressed as duplicates."),
+		ttlDrops:     reg.Counter("treesim_overlay_ttl_drops_total", "Publications not re-forwarded because TTL expired."),
+		advertsSent:  reg.Counter("treesim_overlay_adverts_sent_total", "Advert batches sent to peers."),
+		advertsRecv:  reg.Counter("treesim_overlay_adverts_recv_total", "Advert batches received from peers."),
+		published:    reg.Counter("treesim_overlay_published_total", "Documents published locally at this node."),
+		injected:     reg.Counter("treesim_overlay_injected_total", "Forwarded documents injected into the local engine."),
+		sendErrors:   reg.Counter("treesim_overlay_send_errors_total", "Transport send failures."),
+
+		advertsExpired: reg.Counter("treesim_overlay_adverts_expired_total", "Routing-table entries expired by the soft-state advert TTL."),
+		linkDowns:      reg.Counter("treesim_overlay_link_downs_total", "Links marked down after a send failure."),
+		linkRecovered:  reg.Counter("treesim_overlay_link_recoveries_total", "Down links recovered by a maintenance probe."),
+		resyncs:        reg.Counter("treesim_overlay_resyncs_total", "Full-state advert resyncs after link recovery."),
+		peerBusy:       reg.Counter("treesim_overlay_peer_busy_total", "Sends answered with peer backpressure (busy)."),
+		busyRejected:   reg.Counter("treesim_overlay_busy_rejected_total", "Received publications refused because the local engine shed them."),
+	}
 }
 
 // Node is one federation member: a broker engine plus links, routing
@@ -227,6 +269,10 @@ type Node struct {
 
 	seq      atomic.Uint64
 	counters nodeCounters
+	// tel is the metrics registry (cfg.Telemetry or private); traces
+	// the bounded span ring for publication tracing (nil: disabled).
+	tel    *telemetry.Registry
+	traces *telemetry.TraceRing
 }
 
 // New attaches a federation node to an engine and installs the engine's
@@ -249,6 +295,14 @@ func New(eng *broker.Engine, cfg Config) *Node {
 		table:   make(map[string]*originEntry),
 		forests: make(map[string]*linkForest),
 		stop:    make(chan struct{}),
+	}
+	n.tel = n.cfg.Telemetry
+	if n.tel == nil {
+		n.tel = telemetry.NewRegistry()
+	}
+	n.counters = newNodeCounters(n.tel)
+	if n.cfg.TraceCapacity >= 0 {
+		n.traces = telemetry.NewTraceRing(n.cfg.TraceCapacity)
 	}
 	n.seen = newSeenSet(n.cfg.SeenCapacity)
 	// Version and sequence numbers start at a boot epoch rather than 1:
@@ -383,7 +437,14 @@ func (n *Node) addPeerLink(id string, tr Transport) error {
 	if n.closed {
 		return ErrClosed
 	}
-	n.links[id] = &link{id: id, tr: tr}
+	l := &link{
+		id: id, tr: tr,
+		sends: n.tel.Counter("treesim_overlay_link_sends_total", "Successful transport sends, per peer link.", "peer", id),
+		errs:  n.tel.Counter("treesim_overlay_link_errors_total", "Failed transport sends, per peer link.", "peer", id),
+		up:    n.tel.Gauge("treesim_overlay_link_up", "Link health: 1 healthy, 0 in the down/damping set.", "peer", id),
+	}
+	l.up.Set(1)
+	n.links[id] = l
 	return nil
 }
 
@@ -507,29 +568,66 @@ type forestUpdate struct {
 // decide which peers receive a forward. It returns the local routing
 // result and the number of links the document was forwarded on.
 func (n *Node) Publish(t *xmltree.Tree) (broker.PublishResult, int, error) {
+	res, sent, _, err := n.PublishTraced(t)
+	return res, sent, err
+}
+
+// PublishTraced is Publish returning the publication's trace ID as
+// well: a fresh random ID stamped into the wire frame, under which
+// this node and every forwarding hop append a span (Node.TraceSpans;
+// the daemon's GET /trace/{id}). Empty when tracing is disabled.
+func (n *Node) PublishTraced(t *xmltree.Tree) (broker.PublishResult, int, string, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return broker.PublishResult{}, 0, ErrClosed
+		return broker.PublishResult{}, 0, "", ErrClosed
 	}
 	n.mu.Unlock()
+	start := time.Now()
 	res, err := n.eng.Publish(t)
 	if err != nil {
-		return res, 0, err
+		return res, 0, "", err
 	}
 	n.counters.published.Add(1)
 	seq := n.seq.Add(1)
+	var traceID string
+	if n.traces != nil {
+		traceID = telemetry.NewTraceID()
+	}
 	n.mu.Lock()
 	n.seen.add(seenKey(n.cfg.ID, seq))
 	plan := n.forwardPlanLocked(n.cfg.ID, "")
 	n.mu.Unlock()
 	targets := matchTargets(t, plan)
-	sent := n.sendPublication(targets, wire.Publication{
+	sent, sentTo := n.sendPublication(targets, wire.Publication{
 		Origin: n.cfg.ID,
 		Seq:    seq,
 		TTL:    n.cfg.TTL,
+		Trace:  traceID,
 	}, t)
-	return res, sent, nil
+	if n.traces != nil {
+		n.traces.Add(telemetry.Span{
+			Trace:       traceID,
+			Node:        n.cfg.ID,
+			Origin:      n.cfg.ID,
+			Seq:         seq,
+			StartUnixNS: start.UnixNano(),
+			QueueWaitNS: res.IngestWaitNS,
+			MatchNS:     res.MatchNS,
+			Deliveries:  res.Deliveries,
+			ForwardedTo: sentTo,
+		})
+	}
+	return res, sent, traceID, nil
+}
+
+// TraceSpans returns the spans this node retains for a trace ID
+// (oldest first; nil when tracing is disabled or the ID is unknown).
+func (n *Node) TraceSpans(id string) []telemetry.Span {
+	if n.traces == nil {
+		return nil
+	}
+	return n.traces.Get(id)
 }
 
 // HandlePublish ingests a forwarded publication from a peer: duplicate
@@ -560,6 +658,7 @@ func (n *Node) HandlePublish(pub wire.Publication) error {
 	n.seen.add(key)
 	ttl := pub.TTL - 1
 	n.mu.Unlock()
+	start := time.Now()
 	t, err := xmltree.ParseString(pub.XML, n.eng.Estimator().Config().ParseOptions)
 	if err != nil {
 		return fmt.Errorf("overlay: forwarded document from %q: %w", pub.From, err)
@@ -568,7 +667,10 @@ func (n *Node) HandlePublish(pub wire.Publication) error {
 	// sheds under backpressure the publication is unmarked from the seen
 	// set and refused whole, so the upstream peer's retry is not
 	// suppressed as a duplicate and cannot leave a permanent local hole.
-	if _, err := n.eng.InjectRemote(t); err != nil {
+	// No span is recorded for a shed publication — the upstream retry
+	// that eventually lands writes this node's single span.
+	res, err := n.eng.InjectRemote(t)
+	if err != nil {
 		if errors.Is(err, broker.ErrBusy) {
 			n.mu.Lock()
 			n.seen.remove(key)
@@ -588,7 +690,21 @@ func (n *Node) HandlePublish(pub wire.Publication) error {
 	}
 	targets := matchTargets(t, plan)
 	pub.TTL = ttl
-	n.sendPublication(targets, pub, t)
+	_, sentTo := n.sendPublication(targets, pub, t)
+	if n.traces != nil && pub.Trace != "" {
+		n.traces.Add(telemetry.Span{
+			Trace:       pub.Trace,
+			Node:        n.cfg.ID,
+			From:        pub.From,
+			Origin:      pub.Origin,
+			Seq:         pub.Seq,
+			StartUnixNS: start.UnixNano(),
+			QueueWaitNS: res.IngestWaitNS,
+			MatchNS:     res.MatchNS,
+			Deliveries:  res.Deliveries,
+			ForwardedTo: sentTo,
+		})
+	}
 	return nil
 }
 
@@ -679,22 +795,26 @@ func (n *Node) sendAdverts(targets []*link, adverts []wire.Advert) {
 }
 
 // sendPublication forwards one document to the given links, serializing
-// it once. Returns the number of successful sends.
-func (n *Node) sendPublication(targets []*link, pub wire.Publication, t *xmltree.Tree) int {
+// it once. Returns the number of successful sends and, for traced
+// publications, the ids of the links that accepted one (nil when the
+// frame is untraced — the span is the only consumer, no need to
+// allocate on every forward).
+func (n *Node) sendPublication(targets []*link, pub wire.Publication, t *xmltree.Tree) (int, []string) {
 	if len(targets) == 0 {
-		return 0
+		return 0, nil
 	}
 	if pub.XML == "" {
 		xmlStr, err := xmltree.XMLString(t, false)
 		if err != nil {
 			n.counters.sendErrors.Add(1)
-			return 0
+			return 0, nil
 		}
 		pub.XML = xmlStr
 	}
 	pub.From = n.cfg.ID
 	pub.Addr = n.cfg.Addr
 	sent := 0
+	var sentTo []string
 	for _, l := range targets {
 		err := l.tr.SendPublish(pub)
 		if after, busy := busyAfter(err); busy {
@@ -716,8 +836,11 @@ func (n *Node) sendPublication(targets []*link, pub wire.Publication, t *xmltree
 		sent++
 		n.counters.forwardsSent.Add(1)
 		n.recordSend(l.id, nil)
+		if pub.Trace != "" {
+			sentTo = append(sentTo, l.id)
+		}
 	}
-	return sent
+	return sent, sentTo
 }
 
 // Info snapshots the node for GET /peer/info and harness accounting.

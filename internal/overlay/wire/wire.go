@@ -107,12 +107,21 @@ type Publication struct {
 	// XML is the document serialization. The codec treats it as opaque
 	// (the receiving broker parses it); only its size is bounded here.
 	XML string `json:"xml"`
+	// Trace is an optional telemetry trace ID stamped at the origin;
+	// nodes handling a traced publication append hop spans retrievable
+	// via the daemon's GET /trace/{id}. Optional and opaque: old peers
+	// that predate the field drop it on re-encode (their Publication
+	// struct has no slot for it), which degrades the trace to the hops
+	// that understand it — never the routing. Empty means untraced.
+	Trace string `json:"trace,omitempty"`
 }
 
-// MaxTTL bounds Publication.TTL; MaxXMLLen bounds Publication.XML.
+// MaxTTL bounds Publication.TTL; MaxXMLLen bounds Publication.XML;
+// MaxTraceLen bounds Publication.Trace.
 const (
-	MaxTTL    = 64
-	MaxXMLLen = 4 << 20
+	MaxTTL      = 64
+	MaxXMLLen   = 4 << 20
+	MaxTraceLen = 128
 )
 
 // OriginInfo summarizes one routing-table entry in Info.
@@ -294,6 +303,9 @@ func validatePublication(p *Publication) error {
 	}
 	if len(p.XML) > MaxXMLLen {
 		return fmt.Errorf("document longer than %d bytes", MaxXMLLen)
+	}
+	if len(p.Trace) > MaxTraceLen {
+		return fmt.Errorf("trace id longer than %d bytes", MaxTraceLen)
 	}
 	return nil
 }

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"treesim/internal/telemetry"
 )
 
 // File names inside a Store's data directory.
@@ -22,6 +25,38 @@ type Options struct {
 	// survives power loss, at the cost of one fsync per operation on the
 	// subscribe path.
 	SyncEveryAppend bool
+	// Telemetry is the metrics registry the store reports WAL and
+	// snapshot activity into (nil: a private registry — counters still
+	// work, nobody scrapes them).
+	Telemetry *telemetry.Registry
+}
+
+// storeMetrics are the store's registry handles. Names are part of the
+// stable observability surface (README "Observability"); CI's
+// chaos-smoke asserts on treesim_wal_replayed_records_total.
+type storeMetrics struct {
+	appends     *telemetry.Counter
+	appendBytes *telemetry.Counter
+	fsyncNS     *telemetry.Histogram
+	replayed    *telemetry.Counter
+	snapWrites  *telemetry.Counter
+	snapBytes   *telemetry.Counter
+	snapNS      *telemetry.Histogram
+	snapLoads   *telemetry.Counter
+}
+
+func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
+	lb := telemetry.DefaultLatencyBuckets()
+	return storeMetrics{
+		appends:     reg.Counter("treesim_wal_appends_total", "WAL records appended."),
+		appendBytes: reg.Counter("treesim_wal_append_bytes_total", "Bytes appended to the WAL (frame headers included)."),
+		fsyncNS:     reg.Histogram("treesim_wal_fsync_ns", "WAL fsync latency, nanoseconds.", lb),
+		replayed:    reg.Counter("treesim_wal_replayed_records_total", "WAL records replayed into the engine during recovery."),
+		snapWrites:  reg.Counter("treesim_snapshot_writes_total", "Snapshots published."),
+		snapBytes:   reg.Counter("treesim_snapshot_bytes_total", "Snapshot payload bytes written."),
+		snapNS:      reg.Histogram("treesim_snapshot_write_ns", "Snapshot publish latency (sync + write + rename), nanoseconds.", lb),
+		snapLoads:   reg.Counter("treesim_snapshot_loads_total", "Snapshot payloads loaded at recovery."),
+	}
 }
 
 // Store is one broker's durable state: the snapshot/WAL pair in a data
@@ -30,6 +65,8 @@ type Options struct {
 type Store struct {
 	dir  string
 	opts Options
+
+	met storeMetrics
 
 	mu      sync.Mutex
 	wal     *os.File
@@ -47,7 +84,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: create data dir: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Store{dir: dir, opts: opts, met: newStoreMetrics(reg)}
+	reg.GaugeFunc("treesim_wal_pending_records", "WAL records not yet covered by a snapshot.", func() float64 {
+		return float64(s.Pending())
+	})
 	_, snapLSN, ok, err := readSnapshotFile(s.snapshotPath())
 	if err != nil {
 		return nil, err
@@ -87,6 +131,9 @@ func (s *Store) Dir() string { return s.dir }
 // none has been written yet.
 func (s *Store) LoadSnapshot() (payload []byte, ok bool, err error) {
 	payload, _, ok, err = readSnapshotFile(s.snapshotPath())
+	if err == nil && ok {
+		s.met.snapLoads.Inc()
+	}
 	return payload, ok, err
 }
 
@@ -105,7 +152,11 @@ func (s *Store) Replay(fn func(Record) error) error {
 		if rec.LSN <= s.snapLSN {
 			return nil
 		}
-		return fn(rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
+		s.met.replayed.Inc()
+		return nil
 	})
 	if err != nil {
 		return err
@@ -131,12 +182,15 @@ func (s *Store) Append(rec Record) (uint64, error) {
 		return 0, fmt.Errorf("persist: store closed")
 	}
 	lsn := s.nextLSN
-	if err := appendWAL(s.wal, lsn, rec); err != nil {
+	n, err := appendWAL(s.wal, lsn, rec)
+	if err != nil {
 		return 0, err
 	}
+	s.met.appends.Inc()
+	s.met.appendBytes.Add(uint64(n))
 	if s.opts.SyncEveryAppend {
-		if err := s.wal.Sync(); err != nil {
-			return 0, fmt.Errorf("persist: sync wal: %w", err)
+		if err := s.syncWALTimed(); err != nil {
+			return 0, err
 		}
 	}
 	s.nextLSN++
@@ -186,12 +240,16 @@ func (s *Store) WriteSnapshot(payload []byte, upto uint64) error {
 		// as covered; clamp to what the log actually holds.
 		upto = s.lastLSN
 	}
-	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("persist: sync wal: %w", err)
+	snapStart := time.Now()
+	if err := s.syncWALTimed(); err != nil {
+		return err
 	}
 	if err := writeSnapshotFile(s.snapshotPath(), payload, upto); err != nil {
 		return err
 	}
+	s.met.snapWrites.Inc()
+	s.met.snapBytes.Add(uint64(len(payload)))
+	s.met.snapNS.ObserveDuration(time.Since(snapStart).Nanoseconds())
 	s.snapLSN = upto
 	if upto < s.lastLSN {
 		// Records landed after the caller's state cut: keep the whole
@@ -224,6 +282,17 @@ func (s *Store) Close() error {
 		return fmt.Errorf("persist: sync wal: %w", err)
 	}
 	return s.wal.Close()
+}
+
+// syncWALTimed fsyncs the WAL under the fsync-latency histogram.
+// Caller holds s.mu.
+func (s *Store) syncWALTimed() error {
+	t0 := time.Now()
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("persist: sync wal: %w", err)
+	}
+	s.met.fsyncNS.ObserveDuration(time.Since(t0).Nanoseconds())
+	return nil
 }
 
 func (s *Store) snapshotPath() string { return filepath.Join(s.dir, snapshotName) }

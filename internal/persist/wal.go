@@ -74,11 +74,11 @@ func scanWAL(f *os.File, fn func(Record) error) (goodEnd int64, lastLSN uint64, 
 }
 
 // appendWAL frames and writes one record at the file's current end.
-func appendWAL(f *os.File, lsn uint64, rec Record) error {
+func appendWAL(f *os.File, lsn uint64, rec Record) (int, error) {
 	rec.LSN = 0 // the LSN travels in the frame, not the JSON
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("persist: encode wal record: %w", err)
+		return 0, fmt.Errorf("persist: encode wal record: %w", err)
 	}
 	frame := make([]byte, walHeaderLen+8+len(payload))
 	body := frame[walHeaderLen:]
@@ -89,7 +89,7 @@ func appendWAL(f *os.File, lsn uint64, rec Record) error {
 	// One write per record: the frame either lands whole or tears at the
 	// tail, never interleaves with a neighbor.
 	if _, err := f.Write(frame); err != nil {
-		return fmt.Errorf("persist: append wal: %w", err)
+		return 0, fmt.Errorf("persist: append wal: %w", err)
 	}
-	return nil
+	return len(frame), nil
 }

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets with atomic
+// operations only — no locks, no allocation on Observe. Bucket upper
+// bounds are set at construction and never change, which is what makes
+// snapshots from different shards (or different scrape cycles)
+// mergeable by plain element-wise addition. This subsumes the broker's
+// old per-shard latency reservoirs: where the reservoir kept the last
+// N raw samples per shard and sorted them on demand, the histogram
+// keeps exact bucket counts over ALL samples and answers quantiles
+// within one bucket's relative error.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; implicit +Inf bucket follows
+	counts []atomic.Uint64 // len(bounds)+1; counts[i] is observations <= bounds[i]
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds
+// (ascending; an +Inf overflow bucket is implicit). Unregistered
+// histograms are useful on their own for per-shard aggregation.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// ExpBuckets returns count exponentially spaced upper bounds starting
+// at start and growing by factor: start, start·f, start·f², ...
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DefaultLatencyBuckets covers 1µs to ~57s in nanoseconds at ×1.5
+// resolution — every latency histogram in the repo uses these, so
+// cross-metric quantile comparisons share bucket error.
+func DefaultLatencyBuckets() []float64 {
+	return ExpBuckets(1e3, 1.5, 44)
+}
+
+// Observe records one sample. Safe for concurrent use; the only
+// non-wait-free step is the CAS loop maintaining the float sum.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v. Inlined rather than
+	// sort.SearchFloat64s to keep the hot path free of func values.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(ns int64) { h.Observe(float64(ns)) }
+
+// HistogramSnapshot is a consistent-enough point-in-time copy of a
+// histogram: each bucket count is read atomically, so totals may be
+// off by in-flight observations but never corrupt. Snapshots with
+// identical bounds merge by addition.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, ascending; Counts has one extra +Inf slot
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the current bucket state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	var total uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		total += c
+	}
+	// Derive Count from the buckets rather than h.count so the snapshot
+	// is self-consistent under concurrent Observe calls.
+	s.Count = total
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds other's buckets into s. Panics on mismatched bounds —
+// merging histograms with different resolution is always a bug.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	if !equalBounds(s.Bounds, other.Bounds) {
+		panic("telemetry: merging histogram snapshots with different buckets")
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank, the same
+// estimate Prometheus's histogram_quantile computes. The answer is
+// exact to within the bucket's width; an empty snapshot returns 0.
+// Ranks landing in the +Inf overflow bucket return the highest finite
+// bound (there is no upper edge to interpolate toward).
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Bounds) {
+			// Overflow bucket: clamp to the largest finite bound.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		if c == 0 {
+			return upper
+		}
+		// Position of the target rank inside this bucket.
+		below := float64(cum - c)
+		frac := (rank - below) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

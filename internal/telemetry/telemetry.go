@@ -1,0 +1,270 @@
+// Package telemetry is the repo's dependency-free metrics substrate: a
+// registry of lock-free counters, gauges, and fixed-bucket histograms
+// with Prometheus-text exposition, plus a bounded publication-trace
+// ring (trace.go) for hop-by-hop forwarding spans.
+//
+// Design constraints, in order:
+//
+//   - Hot-path writes are a single atomic op. Counter.Add and
+//     Gauge.Set are one uncontended atomic; Histogram.Observe is two
+//     atomics plus a CAS loop for the float sum. No locks, no maps, no
+//     allocation after the handle is created.
+//   - Handles are registered once (startup or link-add time) and held
+//     by the instrumented code; the registry map is only consulted at
+//     registration and scrape time.
+//   - Metric names are a stable public interface (see the README's
+//     Observability catalogue): renames are breaking changes.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use, but handles normally come from Registry.Counter so
+// they appear in the exposition.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() uint64 { return c.v.Add(1) }
+
+// Add adds n and returns the new value (free with atomic.Add, and it
+// lets callers sample every Nth event without a second load).
+func (c *Counter) Add(n uint64) uint64 { return c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Type discriminates metric families in the registry and exposition.
+type Type int
+
+const (
+	TypeCounter Type = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labelled instance within a family. Exactly one of the
+// value fields is set, matching the family type (gauges may instead
+// carry fn, evaluated at scrape time).
+type series struct {
+	labels string // rendered `key="value",...` (sorted), "" when unlabelled
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    Type
+	series map[string]*series // keyed by rendered label string
+	order  []string           // registration order of label keys, for stable output
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted lazily at scrape
+	dirty    bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders "k1=v1 k2=v2 ..." pairs as a canonical, sorted
+// Prometheus label body. Pairs must have even length; odd input
+// panics (programmer error at registration time, never on a hot path).
+func labelString(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("telemetry: odd label pair count")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// getFamily returns (creating if needed) the family for name, checking
+// the type on every access: registering the same name under two types
+// is a programming error and panics immediately rather than producing
+// corrupt exposition.
+func (r *Registry) getFamily(name, help string, typ Type) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		r.dirty = true
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	return f
+}
+
+// Counter returns the counter for name with the given label pairs
+// (k1, v1, k2, v2, ...), creating it on first use. Repeated calls with
+// the same name and labels return the same handle, so independent
+// components may share a registry safely.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, TypeCounter)
+	ls := labelString(labelPairs)
+	if s, ok := f.series[ls]; ok {
+		return s.c
+	}
+	s := &series{labels: ls, c: &Counter{}}
+	f.series[ls] = s
+	f.order = append(f.order, ls)
+	return s.c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, TypeGauge)
+	ls := labelString(labelPairs)
+	if s, ok := f.series[ls]; ok {
+		if s.g == nil {
+			panic(fmt.Sprintf("telemetry: gauge %q{%s} already registered as a gauge func", name, ls))
+		}
+		return s.g
+	}
+	s := &series{labels: ls, g: &Gauge{}}
+	f.series[ls] = s
+	f.order = append(f.order, ls)
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for values already maintained under a component's own locks
+// (live subscription count, queue occupancy) where mirroring into an
+// atomic would be a second bookkeeping path. fn must be safe to call
+// from any goroutine. Re-registering the same name+labels is a no-op
+// (the first fn wins).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, TypeGauge)
+	ls := labelString(labelPairs)
+	if _, ok := f.series[ls]; ok {
+		return
+	}
+	f.series[ls] = &series{labels: ls, fn: fn}
+	f.order = append(f.order, ls)
+}
+
+// Histogram returns the histogram for name+labels, creating it with
+// the given bucket upper bounds on first use (see NewHistogram). Later
+// calls ignore bounds and return the existing handle; mismatched
+// bounds across call sites panic, since merged snapshots would be
+// meaningless.
+func (r *Registry) Histogram(name, help string, bounds []float64, labelPairs ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, TypeHistogram)
+	ls := labelString(labelPairs)
+	if s, ok := f.series[ls]; ok {
+		if !equalBounds(s.h.bounds, bounds) {
+			panic(fmt.Sprintf("telemetry: histogram %q{%s} re-registered with different buckets", name, ls))
+		}
+		return s.h
+	}
+	s := &series{labels: ls, h: NewHistogram(bounds)}
+	f.series[ls] = s
+	f.order = append(f.order, ls)
+	return s.h
+}
+
+// sortedNames returns family names in lexical order, cached between
+// scrapes while no new family has been registered.
+func (r *Registry) sortedNames() []string {
+	if r.dirty {
+		r.names = r.names[:0]
+		for name := range r.families {
+			r.names = append(r.names, name)
+		}
+		sort.Strings(r.names)
+		r.dirty = false
+	}
+	return r.names
+}

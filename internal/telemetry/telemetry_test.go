@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Same name+labels returns the same handle.
+	if r.Counter("test_ops_total", "ops") != c {
+		t.Fatal("re-registration returned a different counter handle")
+	}
+	if r.Counter("test_ops_total", "ops", "shard", "0") == c {
+		t.Fatal("different labels must return a different handle")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("test_x", "")
+}
+
+// exactQuantile is the reference implementation: nearest-rank on the
+// sorted sample set.
+func exactQuantile(samples []float64, q float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// bucketFor returns the (lower, upper] interval of the bucket a value
+// falls in, the histogram's inherent resolution limit.
+func bucketFor(bounds []float64, v float64) (float64, float64) {
+	lower := 0.0
+	for _, b := range bounds {
+		if v <= b {
+			return lower, b
+		}
+		lower = b
+	}
+	return lower, math.Inf(1)
+}
+
+func TestHistogramQuantileVsExact(t *testing.T) {
+	bounds := DefaultLatencyBuckets()
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() float64{
+		// Log-uniform over 2µs..2s, the shape of real latency spread.
+		"loguniform": func() float64 { return 2e3 * math.Pow(1e6, rng.Float64()) },
+		// Lognormal centred near 60µs, like BrokerPublish.
+		"lognormal": func() float64 { return 60e3 * math.Exp(rng.NormFloat64()*0.8) },
+		// Bimodal: fast path + slow tail.
+		"bimodal": func() float64 {
+			if rng.Float64() < 0.9 {
+				return 10e3 + rng.Float64()*5e3
+			}
+			return 5e6 + rng.Float64()*1e6
+		},
+	}
+	for name, gen := range distributions {
+		h := NewHistogram(bounds)
+		samples := make([]float64, 20000)
+		for i := range samples {
+			samples[i] = gen()
+			h.Observe(samples[i])
+		}
+		snap := h.Snapshot()
+		if snap.Count != uint64(len(samples)) {
+			t.Fatalf("%s: snapshot count %d, want %d", name, snap.Count, len(samples))
+		}
+		var wantSum float64
+		for _, v := range samples {
+			wantSum += v
+		}
+		if math.Abs(snap.Sum-wantSum)/wantSum > 1e-9 {
+			t.Fatalf("%s: sum %g, want %g", name, snap.Sum, wantSum)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			est := snap.Quantile(q)
+			exact := exactQuantile(samples, q)
+			// The estimate must land within the bucket containing the
+			// exact quantile — the histogram's guaranteed resolution.
+			lo, hi := bucketFor(bounds, exact)
+			if est < lo || est > hi {
+				t.Errorf("%s: q%.2f estimate %g outside exact value's bucket (%g, %g], exact %g",
+					name, q, est, lo, hi, exact)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeAssociativity(t *testing.T) {
+	bounds := ExpBuckets(1, 2, 10)
+	rng := rand.New(rand.NewSource(7))
+	// Three "shards" with different sample counts.
+	shards := make([]*Histogram, 3)
+	var all []float64
+	for i := range shards {
+		shards[i] = NewHistogram(bounds)
+		for j := 0; j < 1000*(i+1); j++ {
+			v := rng.Float64() * 2000
+			shards[i].Observe(v)
+			all = append(all, v)
+		}
+	}
+	// (a+b)+c
+	left := shards[0].Snapshot()
+	left.Merge(shards[1].Snapshot())
+	left.Merge(shards[2].Snapshot())
+	// a+(b+c)
+	bc := shards[1].Snapshot()
+	bc.Merge(shards[2].Snapshot())
+	right := shards[0].Snapshot()
+	right.Merge(bc)
+	if left.Count != right.Count || left.Count != uint64(len(all)) {
+		t.Fatalf("merge counts differ: %d vs %d (want %d)", left.Count, right.Count, len(all))
+	}
+	for i := range left.Counts {
+		if left.Counts[i] != right.Counts[i] {
+			t.Fatalf("bucket %d differs after re-associated merge: %d vs %d", i, left.Counts[i], right.Counts[i])
+		}
+	}
+	if math.Abs(left.Sum-right.Sum) > 1e-6 {
+		t.Fatalf("merge sums differ: %g vs %g", left.Sum, right.Sum)
+	}
+	// Merged quantile equals a single histogram over the union.
+	union := NewHistogram(bounds)
+	for _, v := range all {
+		union.Observe(v)
+	}
+	us := union.Snapshot()
+	for _, q := range []float64{0.5, 0.99} {
+		if got, want := left.Quantile(q), us.Quantile(q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("q%.2f: merged %g != union %g", q, got, want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 8))
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Float64() * 300)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", snap.Count, goroutines*per)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_sends_total", "sends", "peer", "b").Add(3)
+	r.Counter("test_sends_total", "sends", "peer", `we"ird\`).Add(1)
+	r.Gauge("test_pending", "pending").Set(-2)
+	r.GaugeFunc("test_live", "live", func() float64 { return 12 })
+	h := r.Histogram("test_lat_ns", "latency", ExpBuckets(10, 10, 3))
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(1e9) // overflow bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText on own output: %v\n%s", err, text)
+	}
+	sums := SumByName(samples)
+	checks := map[string]float64{
+		"test_sends_total":  4,
+		"test_pending":      -2,
+		"test_live":         12,
+		"test_lat_ns_count": 3,
+		"test_lat_ns_sum":   5 + 50 + 1e9,
+	}
+	for name, want := range checks {
+		if got, ok := sums[name]; !ok || got != want {
+			t.Errorf("%s = %g (present=%v), want %g\n%s", name, got, ok, want, text)
+		}
+	}
+	// Bucket lines must be cumulative and labelled with le.
+	var infSeen bool
+	for _, s := range samples {
+		if s.Name == "test_lat_ns_bucket" && s.Labels["le"] == "+Inf" {
+			infSeen = true
+			if s.Value != 3 {
+				t.Errorf("+Inf bucket = %g, want 3", s.Value)
+			}
+		}
+	}
+	if !infSeen {
+		t.Errorf("no +Inf bucket emitted:\n%s", text)
+	}
+	// Escaped label round-trips.
+	var escaped bool
+	for _, s := range samples {
+		if s.Labels["peer"] == `we"ird\` {
+			escaped = true
+		}
+	}
+	if !escaped {
+		t.Errorf("escaped label value did not round-trip:\n%s", text)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_value_here\n",
+		"1leading_digit 3\n",
+		`unterminated{a="b 3` + "\n",
+		"name notafloat\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", in)
+		}
+	}
+	// Timestamps after the value are tolerated.
+	s, err := ParseText(strings.NewReader("ok_metric 3 1712345678\n"))
+	if err != nil || len(s) != 1 || s[0].Value != 3 {
+		t.Errorf("timestamped sample: %v %v", s, err)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 6; i++ {
+		id := "keep"
+		if i < 3 {
+			id = "evicted"
+		}
+		r.Add(Span{Trace: id, Seq: uint64(i)})
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("ring len %d, want 4", got)
+	}
+	spans := r.Get("keep")
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans for keep, want 3", len(spans))
+	}
+	for i, s := range spans {
+		if s.Seq != uint64(i+3) {
+			t.Fatalf("spans out of order: %v", spans)
+		}
+	}
+	if left := r.Get("evicted"); len(left) != 1 {
+		t.Fatalf("eviction: %d old spans retained, want exactly 1", len(left))
+	}
+	if id := NewTraceID(); len(id) != TraceIDLen {
+		t.Fatalf("trace id %q has length %d", id, len(id))
+	}
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+)
+
+// Publication tracing: every publish is stamped with a random trace
+// ID that rides the overlay wire codec; each node a publication
+// touches appends one Span to its bounded ring. Collecting the spans
+// for one ID across nodes reconstructs the forwarding tree — who
+// received it from whom, how long matching took at each hop, and how
+// wide each hop fanned out.
+
+// TraceIDLen is the length of a generated trace ID in hex characters.
+const TraceIDLen = 16
+
+// NewTraceID returns a fresh random trace ID (8 bytes, hex).
+func NewTraceID() string {
+	var b [TraceIDLen / 2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID
+		// (still valid, just colliding) beats panicking a publish path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one node's record of handling one traced publication.
+type Span struct {
+	Trace string `json:"trace"`
+	// Node is the recording broker's overlay ID.
+	Node string `json:"node"`
+	// From is the overlay link the publication arrived on; empty at the
+	// origin node. The From chain is what makes the span set a tree.
+	From   string `json:"from,omitempty"`
+	Origin string `json:"origin"`
+	Seq    uint64 `json:"seq"`
+	// StartUnixNS is when this node began handling the publication.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// QueueWaitNS is time spent blocked on (or shed by) the broker's
+	// ingest pipeline before matching began.
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	// MatchNS is time spent in shard routing (match + local delivery).
+	MatchNS int64 `json:"match_ns"`
+	// Deliveries is the local fan-out: subscriptions delivered to here.
+	Deliveries int `json:"deliveries"`
+	// ForwardedTo lists the peer links this node forwarded on; its
+	// length is the hop's forward fan-out.
+	ForwardedTo []string `json:"forwarded_to,omitempty"`
+	// Shed reports that the broker shed the publication under
+	// backpressure (it was NOT matched locally, though it may still
+	// have been forwarded).
+	Shed bool `json:"shed,omitempty"`
+}
+
+// TraceRing is a bounded, concurrency-safe ring of spans. When full,
+// new spans overwrite the oldest — tracing is a diagnostic window, not
+// a durable log. Lookup is a linear scan; with the default capacity of
+// a few thousand spans that is microseconds, and only /trace requests
+// pay it.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	full bool
+}
+
+// DefaultTraceCapacity is the per-node span ring size when the owner
+// does not choose one.
+const DefaultTraceCapacity = 4096
+
+// NewTraceRing returns a ring holding up to capacity spans
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceRing{buf: make([]Span, capacity)}
+}
+
+// Add appends one span, evicting the oldest when full.
+func (r *TraceRing) Add(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Get returns all retained spans for a trace ID, oldest first.
+func (r *TraceRing) Get(trace string) []Span {
+	var out []Span
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		for _, s := range r.buf[n:] {
+			if s.Trace == trace {
+				out = append(out, s)
+			}
+		}
+	}
+	for _, s := range r.buf[:n] {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Len reports how many spans the ring currently retains.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}

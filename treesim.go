@@ -48,6 +48,7 @@ import (
 	"treesim/internal/pattern"
 	"treesim/internal/querygen"
 	"treesim/internal/synopsis"
+	"treesim/internal/telemetry"
 	"treesim/internal/xmlgen"
 	"treesim/internal/xmltree"
 )
@@ -239,6 +240,21 @@ func NewOverlayNode(eng *Broker, cfg OverlayConfig) *OverlayNode {
 // ConnectNodes links two in-process overlay nodes bidirectionally
 // through the wire codec.
 func ConnectNodes(a, b *OverlayNode) error { return overlay.Connect(a, b) }
+
+// Telemetry types, re-exported for public use (package
+// internal/telemetry). Hand one MetricsRegistry to BrokerConfig,
+// OverlayConfig, and persistence so a single Prometheus-text scrape
+// (MetricsRegistry.WritePrometheus) covers the whole process.
+type (
+	// MetricsRegistry holds metric families and renders Prometheus
+	// text exposition.
+	MetricsRegistry = telemetry.Registry
+	// TraceSpan is one hop's record of a traced publication.
+	TraceSpan = telemetry.Span
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // BuildCommunities clusters a similarity matrix into an incrementally
 // maintainable CommunitySet (greedy seeding; representatives are the
