@@ -1,0 +1,356 @@
+// Command treesim-inspect is the federation inspector: it scrapes every
+// node of a treesimd federation over the read-only introspection
+// surfaces (GET /peer/info, /introspect/routes, /introspect/links,
+// /introspect/communities, /stats), assembles the topology and routing
+// tables into one view, and renders it as text or Graphviz DOT. With
+// -check it verifies cross-node invariants — advert versions converged,
+// next-hop chains acyclic per origin, link health symmetric — and exits
+// nonzero on any violation, making federation state CI-assertable:
+//
+//	treesim-inspect -nodes http://h1:8690,http://h2:8691,http://h3:8692
+//	treesim-inspect -nodes ... -dot | dot -Tsvg > topo.svg
+//	treesim-inspect -nodes ... -check || echo "federation inconsistent"
+//
+// The inspector only reads; it never subscribes, publishes, or peers.
+// Checks are point-in-time: gossip still in flight (an advert refresh
+// mid-propagation, a link probe not yet run) can fail a single -check
+// honestly, so CI should poll -check until quiescence rather than
+// sample once.
+//
+// Exit codes: 0 ok, 1 invariant violation (-check), 2 usage or scrape
+// error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"treesim/internal/broker"
+	"treesim/internal/overlay"
+	"treesim/internal/overlay/wire"
+)
+
+// nodeState is everything scraped from one daemon.
+type nodeState struct {
+	base   string // base URL the node was scraped at
+	info   wire.Info
+	routes []overlay.RouteInfo
+	links  []overlay.LinkInfo
+	comms  []broker.CommunityInfo
+	stats  broker.Stats
+}
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "", "comma-separated base URLs of every federation node (required)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request scrape timeout")
+		dot     = flag.Bool("dot", false, "render the topology as Graphviz DOT instead of text")
+		check   = flag.Bool("check", false, "verify cross-node invariants; exit 1 on violation")
+	)
+	flag.Parse()
+
+	var bases []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			bases = append(bases, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "treesim-inspect: -nodes is required (comma-separated base URLs)")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	states, err := scrapeAll(client, bases)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treesim-inspect:", err)
+		os.Exit(2)
+	}
+
+	if *dot {
+		renderDOT(os.Stdout, states)
+	} else {
+		renderText(os.Stdout, states)
+	}
+
+	if *check {
+		violations := checkInvariants(states)
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "treesim-inspect: %d invariant violation(s):\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("checks: advert convergence, next-hop acyclicity, link symmetry — all passed")
+	}
+}
+
+// scrapeAll fetches every node concurrently; any scrape failure fails
+// the whole run (a partial federation view would make -check lie).
+func scrapeAll(client *http.Client, bases []string) ([]*nodeState, error) {
+	states := make([]*nodeState, len(bases))
+	errs := make([]error, len(bases))
+	var wg sync.WaitGroup
+	for i, base := range bases {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			states[i], errs[i] = scrapeNode(client, base)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", bases[i], err)
+		}
+	}
+	return states, nil
+}
+
+func scrapeNode(client *http.Client, base string) (*nodeState, error) {
+	st := &nodeState{base: base}
+	if err := getJSON(client, base+"/peer/info", &st.info); err != nil {
+		return nil, err
+	}
+	var routes struct {
+		Routes []overlay.RouteInfo `json:"routes"`
+	}
+	if err := getJSON(client, base+"/introspect/routes", &routes); err != nil {
+		return nil, err
+	}
+	st.routes = routes.Routes
+	var links struct {
+		Links []overlay.LinkInfo `json:"links"`
+	}
+	if err := getJSON(client, base+"/introspect/links", &links); err != nil {
+		return nil, err
+	}
+	st.links = links.Links
+	var comms struct {
+		Communities []broker.CommunityInfo `json:"communities"`
+	}
+	if err := getJSON(client, base+"/introspect/communities", &comms); err != nil {
+		return nil, err
+	}
+	st.comms = comms.Communities
+	if err := getJSON(client, base+"/stats", &st.stats); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// renderText prints one block per node: identity, links with health,
+// routing table, and community summary.
+func renderText(w *os.File, states []*nodeState) {
+	for _, st := range states {
+		fmt.Fprintf(w, "node %s (%s)\n", st.info.ID, st.base)
+		fmt.Fprintf(w, "  subscriptions=%d communities=%d published=%d deliveries=%d advert_version=%d\n",
+			st.stats.Live, len(st.comms), st.stats.Published, st.stats.Deliveries, st.info.AdvertVer)
+		if len(st.links) == 0 {
+			fmt.Fprintf(w, "  links: none\n")
+		} else {
+			fmt.Fprintf(w, "  links:\n")
+			for _, l := range st.links {
+				health := "up"
+				if !l.Up {
+					health = fmt.Sprintf("DOWN fails=%d backoff=%dms next_probe=%dms err=%q",
+						l.Fails, l.BackoffMS, l.NextProbeMS, l.LastError)
+				}
+				fmt.Fprintf(w, "    %-20s %s  sends=%d errs=%d\n", l.Peer, health, l.Sends, l.Errors)
+			}
+		}
+		if len(st.routes) == 0 {
+			fmt.Fprintf(w, "  routes: none\n")
+		} else {
+			fmt.Fprintf(w, "  routes:\n")
+			for _, r := range st.routes {
+				mark := ""
+				if r.Tombstone {
+					mark = "  [tombstone]"
+				}
+				fmt.Fprintf(w, "    origin=%-20s version=%d hops=%d via=%s age=%s patterns=%d members=%d%s\n",
+					r.Origin, r.Version, r.Hops, r.Via,
+					(time.Duration(r.AgeMS) * time.Millisecond).String(), r.Patterns, r.Members, mark)
+			}
+		}
+	}
+}
+
+// renderDOT emits the link topology as an undirected Graphviz graph:
+// solid edges for healthy links, dashed red for links some endpoint has
+// marked down, and one node label line per broker with its
+// subscription and community counts.
+func renderDOT(w *os.File, states []*nodeState) {
+	byID := statesByID(states)
+	fmt.Fprintln(w, "graph treesim {")
+	fmt.Fprintln(w, "  node [shape=box];")
+	for _, st := range states {
+		fmt.Fprintf(w, "  %q [label=\"%s\\nsubs=%d comms=%d\"];\n",
+			st.info.ID, st.info.ID, st.stats.Live, len(st.comms))
+	}
+	seen := map[string]bool{}
+	for _, st := range states {
+		for _, l := range st.links {
+			a, b := st.info.ID, l.Peer
+			key := a + "\x00" + b
+			if b < a {
+				key = b + "\x00" + a
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			attrs := ""
+			if !l.Up || peerMarksDown(byID[b], a) {
+				attrs = " [style=dashed, color=red]"
+			}
+			fmt.Fprintf(w, "  %q -- %q%s;\n", a, b, attrs)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func peerMarksDown(st *nodeState, peer string) bool {
+	if st == nil {
+		return false
+	}
+	for _, l := range st.links {
+		if l.Peer == peer {
+			return !l.Up
+		}
+	}
+	return false
+}
+
+func statesByID(states []*nodeState) map[string]*nodeState {
+	byID := make(map[string]*nodeState, len(states))
+	for _, st := range states {
+		byID[st.info.ID] = st
+	}
+	return byID
+}
+
+// checkInvariants verifies the cross-node consistency a healthy,
+// quiescent federation must satisfy. All checks are advisory about
+// nodes outside the scrape set: a route via an unscraped node is
+// followed as far as visibility reaches, never reported as a violation.
+func checkInvariants(states []*nodeState) []string {
+	var out []string
+	byID := statesByID(states)
+
+	// 1. Advert-version convergence: every scraped node holding a route
+	// for a scraped origin must hold it at the origin's current advert
+	// version (and therefore all agree with each other).
+	for _, st := range states {
+		for _, r := range st.routes {
+			origin, ok := byID[r.Origin]
+			if !ok {
+				continue
+			}
+			if want := origin.info.AdvertVer; r.Version != want {
+				out = append(out, fmt.Sprintf(
+					"advert divergence: %s holds origin %s at version %d, origin advertises %d",
+					st.info.ID, r.Origin, r.Version, want))
+			}
+		}
+	}
+
+	// 2. Next-hop acyclicity: per origin, following via-pointers from
+	// any node must reach the origin without revisiting a node.
+	routeOf := func(id, origin string) (overlay.RouteInfo, bool) {
+		st := byID[id]
+		if st == nil {
+			return overlay.RouteInfo{}, false
+		}
+		for _, r := range st.routes {
+			if r.Origin == origin {
+				return r, true
+			}
+		}
+		return overlay.RouteInfo{}, false
+	}
+	origins := map[string]bool{}
+	for _, st := range states {
+		for _, r := range st.routes {
+			if !r.Tombstone {
+				origins[r.Origin] = true
+			}
+		}
+	}
+	for origin := range origins {
+		for _, start := range states {
+			if start.info.ID == origin {
+				continue
+			}
+			visited := map[string]bool{}
+			cur := start.info.ID
+			for cur != origin {
+				if visited[cur] {
+					out = append(out, fmt.Sprintf(
+						"next-hop cycle: origin %s, walk from %s revisits %s", origin, start.info.ID, cur))
+					break
+				}
+				visited[cur] = true
+				r, ok := routeOf(cur, origin)
+				if !ok || r.Tombstone {
+					break // no route here (or expired): nothing to follow
+				}
+				if _, scraped := byID[r.Via]; !scraped {
+					break // next hop outside the scrape set: visibility ends
+				}
+				cur = r.Via
+			}
+		}
+	}
+
+	// 3. Link symmetry: a link is one relationship seen from two ends —
+	// both ends must list it, and a link one end trusts while the other
+	// end damps is a half-open failure.
+	for _, st := range states {
+		for _, l := range st.links {
+			peer, ok := byID[l.Peer]
+			if !ok {
+				continue
+			}
+			back := false
+			for _, pl := range peer.links {
+				if pl.Peer == st.info.ID {
+					back = true
+					if l.Up != pl.Up {
+						out = append(out, fmt.Sprintf(
+							"link health asymmetry: %s sees %s up=%v but %s sees %s up=%v",
+							st.info.ID, l.Peer, l.Up, l.Peer, st.info.ID, pl.Up))
+					}
+					break
+				}
+			}
+			if !back {
+				out = append(out, fmt.Sprintf(
+					"peer asymmetry: %s links %s but %s does not link back", st.info.ID, l.Peer, l.Peer))
+			}
+		}
+	}
+
+	sort.Strings(out)
+	return out
+}

@@ -9,7 +9,7 @@ package main
 import (
 	"expvar"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -103,7 +103,7 @@ func (g *serverGate) reasonString() string {
 // serveDebug exposes net/http/pprof and expvar on their own listener,
 // kept off the public mux so profiling endpoints are never reachable
 // through the service port. Returns the bound address.
-func serveDebug(addr string) (string, error) {
+func serveDebug(addr string, logger *slog.Logger) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -120,7 +120,7 @@ func serveDebug(addr string) (string, error) {
 	}
 	go func() {
 		if err := http.Serve(ln, mux); err != nil {
-			log.Printf("treesimd: debug listener: %v", err)
+			logger.Warn("debug listener exited", "err", err.Error())
 		}
 	}()
 	return ln.Addr().String(), nil

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"treesim/internal/broker"
+	"treesim/internal/telemetry"
+)
+
+// testHandler builds the real daemon mux over a fresh standalone engine
+// — the same wiring main uses, minus the listener.
+func testHandler(t *testing.T) (http.Handler, *broker.Engine, *telemetry.EventRing) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	eng := broker.New(broker.Config{Telemetry: reg})
+	t.Cleanup(func() { eng.Close() })
+	events := telemetry.NewEventRing(16)
+	logger := slog.New(slog.DiscardHandler)
+	return newHandler(eng, nil, reg, events, 1<<20, time.Second, logger), eng, events
+}
+
+func do(t *testing.T, h http.Handler, method, path, contentType, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// errorBody decodes the daemon's JSON error shape and fails the test if
+// the response is not {"error": "<nonempty>"}.
+func errorBody(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("error response Content-Type = %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not JSON: %v (%q)", err, w.Body.String())
+	}
+	if e.Error == "" {
+		t.Fatalf("error body carries no error message: %q", w.Body.String())
+	}
+	return e.Error
+}
+
+// TestHandlerErrorPaths is the table-driven sweep over the read and
+// write surfaces' failure modes: every case must answer with the right
+// status code and the daemon's uniform {"error": ...} JSON shape.
+func TestHandlerErrorPaths(t *testing.T) {
+	h, eng, _ := testHandler(t)
+	if _, err := eng.Subscribe("/a/b"); err != nil { // id 1, keeps /deliveries/1 valid
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		ctype      string
+		body       string
+		wantStatus int
+		wantSubstr string
+	}{
+		{"trace without overlay", "GET", "/trace/deadbeefdeadbeef", "", "", http.StatusNotFound, "tracing runs on the overlay"},
+		{"doc absent", "GET", "/doc/999999", "", "", http.StatusNotFound, "not retained"},
+		{"doc malformed seq", "GET", "/doc/xyz", "", "", http.StatusBadRequest, "bad seq"},
+		{"subscribe malformed json", "POST", "/subscribe", "application/json", "{not json", http.StatusBadRequest, "bad request body"},
+		{"subscribe bad pattern", "POST", "/subscribe", "application/json", `{"pattern": "///["}`, http.StatusBadRequest, ""},
+		{"unsubscribe unknown id", "DELETE", "/subscribe/424242", "", "", http.StatusNotFound, "unknown subscription"},
+		{"unsubscribe malformed id", "DELETE", "/subscribe/zz", "", "", http.StatusBadRequest, "bad id"},
+		{"publish malformed xml", "POST", "/publish", "", "<unclosed>", http.StatusBadRequest, ""},
+		{"publish malformed json batch", "POST", "/publish", "application/json", "{not json", http.StatusBadRequest, "bad request body"},
+		{"publish json batch wrong shape", "POST", "/publish", "application/json", `42`, http.StatusBadRequest, "want a JSON array"},
+		{"publish json batch all invalid", "POST", "/publish", "application/json", `["<unclosed>"]`, http.StatusBadRequest, ""},
+		{"deliveries unknown id", "GET", "/deliveries/424242", "", "", http.StatusNotFound, ""},
+		{"deliveries malformed max", "GET", "/deliveries/1?max=-3", "", "", http.StatusBadRequest, "bad max"},
+		{"deliveries malformed wait", "GET", "/deliveries/1?wait=later", "", "", http.StatusBadRequest, "bad wait"},
+		{"explain malformed xml", "POST", "/explain", "", "<unclosed>", http.StatusBadRequest, ""},
+		{"introspect routes without overlay", "GET", "/introspect/routes", "", "", http.StatusNotFound, "routing tables live on the overlay"},
+		{"introspect links without overlay", "GET", "/introspect/links", "", "", http.StatusNotFound, "links live on the overlay"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var w *httptest.ResponseRecorder
+			if tc.name == "publish json batch all invalid" {
+				w = do(t, h, tc.method, tc.path, tc.ctype, tc.body)
+				// Batch responses carry the error inside the summary, not
+				// the uniform shape — assert the status and first_error.
+				if w.Code != tc.wantStatus {
+					t.Fatalf("status = %d, want %d (%s)", w.Code, tc.wantStatus, w.Body.String())
+				}
+				var resp batchResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					t.Fatal(err)
+				}
+				if resp.Errors != 1 || resp.FirstError == "" || resp.Published != 0 {
+					t.Fatalf("batch error accounting wrong: %+v", resp)
+				}
+				return
+			}
+			w = do(t, h, tc.method, tc.path, tc.ctype, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (%s)", w.Code, tc.wantStatus, w.Body.String())
+			}
+			msg := errorBody(t, w)
+			if tc.wantSubstr != "" && !strings.Contains(msg, tc.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", msg, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestStatsDuringDrain pins the gate contract: a draining daemon still
+// answers reads (GET /stats) but refuses writes with the JSON error
+// shape, and /healthz reports the draining phase.
+func TestStatsDuringDrain(t *testing.T) {
+	h, _, _ := testHandler(t)
+	gate := newServerGate()
+	gate.setReady(h)
+	gate.setDraining()
+
+	w := do(t, gate, "GET", "/stats", "", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /stats while draining = %d, want 200 (%s)", w.Code, w.Body.String())
+	}
+	var st broker.Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats body not decodable while draining: %v", err)
+	}
+
+	w = do(t, gate, "POST", "/publish", "", "<a/>")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /publish while draining = %d, want 503", w.Code)
+	}
+	if msg := errorBody(t, w); !strings.Contains(msg, "shutting down") {
+		t.Fatalf("drain refusal message = %q", msg)
+	}
+
+	w = do(t, gate, "GET", "/healthz", "", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("healthz while draining = %d %q", w.Code, w.Body.String())
+	}
+}
+
+// TestExplainEndpointAgreesWithPublish is the HTTP-level differential
+// check: POST /explain's predicted delivery set must match what POST
+// /publish of the same document then reports and what the consumers
+// actually drain.
+func TestExplainEndpointAgreesWithPublish(t *testing.T) {
+	h, _, _ := testHandler(t)
+	subIDs := map[uint64]bool{}
+	for _, pat := range []string{"/x/y", "/x[y]", "/z", "//w"} {
+		w := do(t, h, "POST", "/subscribe", "application/json", `{"pattern": "`+pat+`"}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("subscribe %s: %d %s", pat, w.Code, w.Body.String())
+		}
+		var resp struct {
+			ID uint64 `json:"id"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		subIDs[resp.ID] = true
+	}
+
+	const docXML = "<x><y><w/></y></x>"
+	w := do(t, h, "POST", "/explain", "", docXML)
+	if w.Code != http.StatusOK {
+		t.Fatalf("explain: %d %s", w.Code, w.Body.String())
+	}
+	var ex struct {
+		Local broker.Explanation `json:"local"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Local.Deliveries) == 0 {
+		t.Fatalf("explain predicted no deliveries for %s: %s", docXML, w.Body.String())
+	}
+
+	w = do(t, h, "POST", "/publish", "", docXML)
+	if w.Code != http.StatusOK {
+		t.Fatalf("publish: %d %s", w.Code, w.Body.String())
+	}
+	var pub publishResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &pub); err != nil {
+		t.Fatal(err)
+	}
+	if pub.Deliveries != len(ex.Local.Deliveries) {
+		t.Fatalf("publish delivered to %d queues, explain predicted %d (%v)",
+			pub.Deliveries, len(ex.Local.Deliveries), ex.Local.Deliveries)
+	}
+	for _, id := range ex.Local.Deliveries {
+		if !subIDs[id] {
+			t.Fatalf("explain predicted delivery to unknown subscription %d", id)
+		}
+		w := do(t, h, "GET", "/deliveries/"+strconvU(id), "", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("deliveries/%d: %d", id, w.Code)
+		}
+		var dr struct {
+			Deliveries []broker.Delivery `json:"deliveries"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &dr); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, d := range dr.Deliveries {
+			found = found || d.Doc == pub.Seq
+		}
+		if !found {
+			t.Fatalf("subscription %d drained nothing for doc %d despite prediction", id, pub.Seq)
+		}
+	}
+}
+
+func strconvU(v uint64) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = digits[v%10]
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestEventsEndpoint pins the /events contract: an empty ring answers
+// an empty JSON list, and captured WARN records surface with their
+// attrs and lifetime total.
+func TestEventsEndpoint(t *testing.T) {
+	h, _, events := testHandler(t)
+	w := do(t, h, "GET", "/events", "", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"events":[]`) {
+		t.Fatalf("empty events = %d %q", w.Code, w.Body.String())
+	}
+	events.Add(telemetry.Event{Level: "WARN", Message: "link down", Attrs: map[string]string{"peer": "n2"}})
+	w = do(t, h, "GET", "/events", "", "")
+	var resp struct {
+		Events []telemetry.Event `json:"events"`
+		Total  uint64            `json:"total"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Total != 1 {
+		t.Fatalf("events = %+v", resp)
+	}
+	if e := resp.Events[0]; e.Message != "link down" || e.Attrs["peer"] != "n2" || e.Seq != 1 {
+		t.Fatalf("event round-trip mangled: %+v", e)
+	}
+}
+
+// TestIntrospectEndpointsStandalone exercises the broker-backed
+// introspection surfaces end to end through the mux.
+func TestIntrospectEndpointsStandalone(t *testing.T) {
+	h, _, _ := testHandler(t)
+	for _, pat := range []string{"/a/b", "/a/b[c]"} {
+		if w := do(t, h, "POST", "/subscribe", "application/json", `{"pattern": "`+pat+`"}`); w.Code != http.StatusOK {
+			t.Fatalf("subscribe: %d", w.Code)
+		}
+	}
+	w := do(t, h, "GET", "/introspect/communities", "", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("communities: %d", w.Code)
+	}
+	var comms struct {
+		Communities []broker.CommunityInfo `json:"communities"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &comms); err != nil {
+		t.Fatal(err)
+	}
+	if len(comms.Communities) == 0 {
+		t.Fatalf("no communities introspected: %s", w.Body.String())
+	}
+	w = do(t, h, "GET", "/introspect/subscriptions", "", "")
+	var subs struct {
+		Subscriptions []broker.SubscriptionInfo `json:"subscriptions"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &subs); err != nil {
+		t.Fatal(err)
+	}
+	if len(subs.Subscriptions) != 2 {
+		t.Fatalf("introspected %d subscriptions, want 2", len(subs.Subscriptions))
+	}
+}

@@ -21,6 +21,12 @@
 //	GET    /stats                                         → broker stats
 //	GET    /metrics                                       → Prometheus text exposition
 //	GET    /trace/{id}                                    → this node's spans for a publication trace
+//	POST   /explain            raw XML document           → routing decision record (nothing published)
+//	GET    /introspect/communities                        → clustering snapshot (id, shard, rep, members)
+//	GET    /introspect/subscriptions                      → live subscriptions with queue depth
+//	GET    /introspect/routes                             → per-origin advert routing table (federated)
+//	GET    /introspect/links                              → per-link health and backoff (federated)
+//	GET    /events                                        → recent WARN+ operational events (bounded ring)
 //	GET    /healthz                                       → {"status":"ok"} when ready;
 //	                                                        503 {"status":"starting"|"draining","reason":...}
 //	POST   /peer/advert        wire.AdvertBatch           → 204   (federation)
@@ -67,7 +73,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -118,6 +124,10 @@ func main() {
 
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
 		traceCap  = flag.Int("trace-capacity", 0, "publication-trace spans retained per node (0: default 4096, negative disables tracing)")
+
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log record format: text|json")
+		eventCap  = flag.Int("event-capacity", 0, "operational events retained for GET /events (0: default 256)")
 	)
 	flag.Parse()
 
@@ -140,6 +150,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treesimd:", err)
 		os.Exit(1)
 	}
+	// The logger and event ring exist before any subsystem: every record
+	// flows through one handler chain (level filter + format + WARN-tee
+	// into the ring GET /events serves), stamped with the node identity.
+	nodeName := *nodeID
+	if nodeName == "" {
+		nodeName = ln.Addr().String()
+	}
+	logger, events, err := buildLogger(*logLevel, *logFormat, *eventCap, nodeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treesimd:", err)
+		os.Exit(2)
+	}
+	cfg.Logger = logger.With("component", "broker")
+
 	gate := newServerGate()
 	srv := &http.Server{
 		Handler: gate,
@@ -154,12 +178,12 @@ func main() {
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	if *debugAddr != "" {
-		dbg, err := serveDebug(*debugAddr)
+		dbg, err := serveDebug(*debugAddr, logger)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "treesimd:", err)
 			os.Exit(1)
 		}
-		log.Printf("treesimd: debug endpoints (pprof, expvar) on http://%s/debug/", dbg)
+		logger.Info("debug endpoints (pprof, expvar) up", "url", "http://"+dbg+"/debug/")
 	}
 
 	var (
@@ -169,7 +193,7 @@ func main() {
 	)
 	if *dataDir != "" {
 		gate.setStarting(fmt.Sprintf("recovering snapshot and WAL from %s", *dataDir))
-		pers, eng, minEpoch, err = openDataDir(*dataDir, cfg, *walSync, reg)
+		pers, eng, minEpoch, err = openDataDir(*dataDir, cfg, *walSync, reg, logger.With("component", "persist"))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "treesimd:", err)
 			os.Exit(1)
@@ -193,6 +217,7 @@ func main() {
 			MinEpoch:        minEpoch,
 			Telemetry:       reg,
 			TraceCapacity:   *traceCap,
+			Logger:          logger.With("component", "overlay"),
 		}
 		if ocfg.ID == "" {
 			ocfg.ID = ln.Addr().String()
@@ -208,18 +233,18 @@ func main() {
 			pers.setNode(node)
 		}
 		for _, u := range peerList {
-			go dialPeer(node, u, *peerTO, &stopping)
+			go dialPeer(node, u, *peerTO, &stopping, logger)
 		}
 	}
 
-	gate.setReady(newHandler(eng, node, reg, *maxBody, *peerTO))
+	gate.setReady(newHandler(eng, node, reg, events, *maxBody, *peerTO, logger))
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("treesimd: shutdown signal, draining")
+		logger.Info("shutdown signal, draining")
 		// Ordered shutdown: refuse new ingress (drain gate), detach the
 		// overlay (peer traffic answered 503, no further forwards), close
 		// the engine — which waits out in-flight handlers' commits, drains
@@ -251,8 +276,8 @@ func main() {
 	if node != nil {
 		mode = fmt.Sprintf("federated id=%s peers=%d", node.ID(), len(peerList))
 	}
-	log.Printf("treesimd listening on %s (representation=%s metric=%s threshold=%g, %s)",
-		ln.Addr(), *rep, *metric, *threshold, mode)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"representation", *rep, "metric", *metric, "threshold", *threshold, "mode", mode)
 	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "treesimd:", err)
 		os.Exit(1)
@@ -264,21 +289,54 @@ func main() {
 
 // dialPeer resolves a configured peer URL to its node id and links it,
 // retrying while the peer daemon comes up.
-func dialPeer(node *overlay.Node, base string, timeout time.Duration, stopping *atomic.Bool) {
+func dialPeer(node *overlay.Node, base string, timeout time.Duration, stopping *atomic.Bool, logger *slog.Logger) {
 	client := overlay.NewPeerClient(timeout)
 	deadline := time.Now().Add(60 * time.Second)
 	for !stopping.Load() {
 		err := overlay.DialPeer(node, base, client)
 		if err == nil {
-			log.Printf("treesimd: federated with %s", base)
+			logger.Info("federated with peer", "peer", base)
 			return
 		}
 		if time.Now().After(deadline) {
-			log.Printf("treesimd: giving up on peer %s: %v", base, err)
+			logger.Warn("giving up on peer", "peer", base, "err", err.Error())
 			return
 		}
 		time.Sleep(500 * time.Millisecond)
 	}
+}
+
+// buildLogger assembles the daemon's one logging pipeline: a level-
+// filtered text or JSON handler on stderr, wrapped so WARN+ records
+// also land in the bounded event ring behind GET /events (capture into
+// the ring ignores the console level — a daemon logging at error still
+// retains warnings for scrapes). Every record carries the node id.
+func buildLogger(level, format string, eventCap int, node string) (*slog.Logger, *telemetry.EventRing, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, nil, fmt.Errorf("unknown log format %q", format)
+	}
+	events := telemetry.NewEventRing(eventCap)
+	return slog.New(telemetry.TeeEvents(h, events, slog.LevelWarn)).With("node", node), events, nil
 }
 
 func splitPeers(s string) []string {
@@ -338,7 +396,7 @@ type publishResponse struct {
 
 // newHandler wires the broker (and overlay node, when federated) into a
 // net/http mux (method-and-path patterns, Go ≥ 1.22).
-func newHandler(eng *broker.Engine, node *overlay.Node, reg *telemetry.Registry, maxBody int64, peerTimeout time.Duration) http.Handler {
+func newHandler(eng *broker.Engine, node *overlay.Node, reg *telemetry.Registry, events *telemetry.EventRing, maxBody int64, peerTimeout time.Duration, logger *slog.Logger) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
@@ -455,8 +513,86 @@ func newHandler(eng *broker.Engine, node *overlay.Node, reg *telemetry.Registry,
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WritePrometheus(w); err != nil {
-			log.Printf("treesimd: /metrics write: %v", err)
+			logger.Error("/metrics write failed", "err", err.Error())
 		}
+	})
+
+	// POST /explain dry-runs the routing decision for a document without
+	// publishing it: the body is raw XML exactly as POST /publish takes
+	// it, the response the structured decision record. Federated daemons
+	// include the per-link forward plan; ?origin= and ?from= re-run the
+	// plan as if the document were a forwarded publication from that
+	// origin arriving on that link.
+	mux.HandleFunc("POST /explain", func(w http.ResponseWriter, r *http.Request) {
+		t, err := xmltree.Parse(bodyReader(r, maxBody), eng.Estimator().Config().ParseOptions)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "treesimd: explain: %v", err)
+			return
+		}
+		if node != nil {
+			ex, err := node.ExplainForward(t, r.URL.Query().Get("origin"), r.URL.Query().Get("from"))
+			if err != nil {
+				httpError(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
+			writeJSON(w, http.StatusOK, ex)
+			return
+		}
+		ex, err := eng.Explain(t)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		// Same envelope shape as the federated answer, minus the plan.
+		writeJSON(w, http.StatusOK, map[string]any{"local": ex})
+	})
+
+	mux.HandleFunc("GET /introspect/communities", func(w http.ResponseWriter, r *http.Request) {
+		cs := eng.IntrospectCommunities()
+		if cs == nil {
+			cs = []broker.CommunityInfo{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"communities": cs})
+	})
+
+	mux.HandleFunc("GET /introspect/subscriptions", func(w http.ResponseWriter, r *http.Request) {
+		ss := eng.IntrospectSubscriptions()
+		if ss == nil {
+			ss = []broker.SubscriptionInfo{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"subscriptions": ss})
+	})
+
+	mux.HandleFunc("GET /introspect/routes", func(w http.ResponseWriter, r *http.Request) {
+		if node == nil {
+			httpError(w, http.StatusNotFound, "routing tables live on the overlay; start with -federate or -peers")
+			return
+		}
+		rs := node.IntrospectRoutes()
+		if rs == nil {
+			rs = []overlay.RouteInfo{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"node": node.ID(), "routes": rs})
+	})
+
+	mux.HandleFunc("GET /introspect/links", func(w http.ResponseWriter, r *http.Request) {
+		if node == nil {
+			httpError(w, http.StatusNotFound, "links live on the overlay; start with -federate or -peers")
+			return
+		}
+		ls := node.IntrospectLinks()
+		if ls == nil {
+			ls = []overlay.LinkInfo{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"node": node.ID(), "links": ls})
+	})
+
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		evs := events.Snapshot()
+		if evs == nil {
+			evs = []telemetry.Event{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"events": evs, "total": events.Total()})
 	})
 
 	mux.HandleFunc("GET /trace/{id}", func(w http.ResponseWriter, r *http.Request) {

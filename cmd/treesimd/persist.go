@@ -9,7 +9,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +47,7 @@ type daemonPersist struct {
 	// covers at least the recovered prefix, so the effective watermark
 	// is max(State.WalLSN, floor).
 	floor uint64
+	log   *slog.Logger
 	stop  chan struct{}
 	done  chan struct{}
 }
@@ -59,7 +60,7 @@ type daemonPersist struct {
 // snapshot; overlay.New pads it before flooring the boot epoch, so a
 // restarted node outruns everything its peers have already seen even
 // if the clock regressed.
-func openDataDir(dir string, cfg broker.Config, walSync bool, reg *telemetry.Registry) (*daemonPersist, *broker.Engine, uint64, error) {
+func openDataDir(dir string, cfg broker.Config, walSync bool, reg *telemetry.Registry, logger *slog.Logger) (*daemonPersist, *broker.Engine, uint64, error) {
 	store, err := persist.Open(dir, persist.Options{SyncEveryAppend: walSync, Telemetry: reg})
 	if err != nil {
 		return nil, nil, 0, err
@@ -119,12 +120,13 @@ func openDataDir(dir string, cfg broker.Config, walSync bool, reg *telemetry.Reg
 	// Journal only after replay: recovered operations must not re-enter
 	// the WAL.
 	eng.SetJournal(walJournal{store})
-	log.Printf("treesimd: recovered %d subscriptions from %s (snapshot=%v, wal records=%d)",
-		eng.Live(), dir, hadSnap, replayed)
+	logger.Info("recovered from data dir", "dir", dir,
+		"subscriptions", eng.Live(), "snapshot", hadSnap, "wal_records", replayed)
 	p := &daemonPersist{
 		store: store,
 		eng:   eng,
 		floor: store.LastLSN(),
+		log:   logger,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -183,7 +185,7 @@ func (p *daemonPersist) run(interval time.Duration) {
 				continue
 			}
 			if err := p.snapshot(); err != nil {
-				log.Printf("treesimd: periodic snapshot: %v", err)
+				p.log.Warn("periodic snapshot failed", "err", err.Error())
 			}
 		}
 	}
@@ -198,9 +200,9 @@ func (p *daemonPersist) shutdown() {
 	close(p.stop)
 	<-p.done
 	if err := p.snapshot(); err != nil {
-		log.Printf("treesimd: final snapshot: %v (wal retains full state)", err)
+		p.log.Warn("final snapshot failed (wal retains full state)", "err", err.Error())
 	}
 	if err := p.store.Close(); err != nil {
-		log.Printf("treesimd: close data dir: %v", err)
+		p.log.Warn("close data dir failed", "err", err.Error())
 	}
 }

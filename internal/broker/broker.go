@@ -45,6 +45,7 @@ package broker
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strconv"
@@ -108,6 +109,12 @@ type Config struct {
 	// Rebuild decides when accumulated churn warrants a full
 	// re-clustering (default: DirtyFraction{Fraction: 0.25, MinStale: 64}).
 	Rebuild RebuildPolicy
+	// Logger receives the engine's operational event records — full
+	// re-clusterings and remote-ingest sheds (the latter rate-limited
+	// to about one record per second). Events are emitted at WARN so an
+	// event ring teeing WARN+ retains them even when console logging
+	// runs quieter. nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +144,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Rebuild == nil {
 		c.Rebuild = DirtyFraction{Fraction: 0.25, MinStale: 64}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -226,6 +236,12 @@ type Engine struct {
 	// rebuildBusy lets exactly one goroutine run the (expensive,
 	// lock-free) similarity-matrix phase of a policy rebuild at a time.
 	rebuildBusy atomic.Bool
+
+	// shedLogNS is the unix-nano timestamp of the last shed event
+	// record, the CAS gate rate-limiting shed logging to ~1/s — a
+	// saturated pipeline sheds thousands of times per second and must
+	// not turn the logger into a second bottleneck.
+	shedLogNS atomic.Int64
 
 	// churnHook, when set, observes committed registry mutations
 	// (SetChurnHook; the overlay layer's re-advertisement trigger).
@@ -646,7 +662,9 @@ func (e *Engine) maybeRebuild(force bool) {
 				}
 			}
 			live := len(e.subs)
+			communities := len(e.comms.Groups)
 			e.mu.Unlock()
+			e.cfg.Logger.Warn("registry reclustered", "live", live, "communities", communities)
 			e.notifyChurn(ChurnEvent{Live: live, Rebuilt: true})
 			return
 		}

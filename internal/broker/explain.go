@@ -1,0 +1,230 @@
+package broker
+
+import (
+	"sort"
+
+	"treesim/internal/xmltree"
+)
+
+// This file is the broker's explainability and introspection surface:
+// read-only snapshots of routing state (communities, subscriptions) and
+// a side-effect-free dry run of the real publish match (Explain). The
+// daemon's POST /explain and GET /introspect/* endpoints are thin JSON
+// shims over it. None of it touches the publish hot path: Explain runs
+// the same sharded forest match a publish would, but skips sequence
+// assignment, synopsis ingest, delivery queues, and every counter.
+
+// CommunityVerdict is one community's share of an Explain decision:
+// whether the document matched its representative (and therefore would
+// be delivered to every member), and which members' own patterns
+// exactly matched (the precision detail a sampled publish only
+// estimates).
+type CommunityVerdict struct {
+	// Community is the community index (as stamped into Delivery
+	// .Community) and Shard the matching shard it is pinned to.
+	Community int `json:"community"`
+	Shard     int `json:"shard"`
+	// RepExpr is the representative's subscription expression — the
+	// pattern whose forest verdict decides delivery for the whole
+	// community.
+	RepExpr string `json:"rep"`
+	// Matched reports the representative's verdict: true means every
+	// member listed in MemberIDs receives the document.
+	Matched bool `json:"matched"`
+	// MemberIDs are the subscription ids of every member; ExactIDs the
+	// subset whose own pattern matched the document. Both sorted
+	// ascending. ExactIDs outside a matched community are the recall the
+	// clustering preserved; MemberIDs minus ExactIDs inside one are the
+	// false positives community-granularity routing accepts.
+	MemberIDs []uint64 `json:"members"`
+	ExactIDs  []uint64 `json:"exact,omitempty"`
+}
+
+// ShardExplainStats describes one shard's matching work for the
+// explained document.
+type ShardExplainStats struct {
+	Shard int `json:"shard"`
+	// Communities is how many communities live on the shard (each costs
+	// one representative verdict — the shard's share of filter evals).
+	Communities int `json:"communities"`
+	// LivePatterns and ForestNodes size the shard's forest; shared
+	// subtrees make ForestNodes smaller than the summed pattern sizes.
+	LivePatterns int `json:"live_patterns"`
+	ForestNodes  int `json:"forest_nodes"`
+	// MatchedPatterns counts registered patterns (representatives and
+	// members alike) the document matched on this shard.
+	MatchedPatterns int `json:"matched_patterns"`
+}
+
+// Explanation is the structured decision record of one Explain call:
+// what a Publish of the same document would have done, minus the side
+// effects.
+type Explanation struct {
+	// Communities holds one verdict per community, index-ordered.
+	Communities []CommunityVerdict `json:"communities"`
+	// Deliveries is the predicted delivery set: the subscription ids a
+	// real publish would enqueue to, sorted ascending. It equals the
+	// union of MemberIDs over matched communities.
+	Deliveries []uint64 `json:"deliveries"`
+	// MatchedCommunities mirrors PublishResult.Matched; FilterEvals is
+	// the number of representative verdicts this document cost (the
+	// clustered-routing cost, = len(Communities)).
+	MatchedCommunities int `json:"matched_communities"`
+	FilterEvals        int `json:"filter_evals"`
+	// DocNodes is the flattened document size.
+	DocNodes int `json:"doc_nodes"`
+	// Shards is the per-shard forest/matching breakdown (only shards
+	// hosting at least one community appear).
+	Shards []ShardExplainStats `json:"shards"`
+}
+
+// Explain runs the real sharded forest match for a document without
+// publishing it: no sequence number, no synopsis ingest, no deliveries,
+// no counter moves. The registry read lock is held across the whole
+// match so the verdicts describe one consistent clustering; that lock
+// is never taken by the publish path, so explaining under load stalls
+// only registry churn (subscribe/unsubscribe), and only for about a
+// publish's worth of matching.
+func (e *Engine) Explain(t *xmltree.Tree) (*Explanation, error) {
+	flat, _ := e.flatPool.Get().(*xmltree.Flat)
+	if flat == nil {
+		flat = &xmltree.Flat{}
+	}
+	defer e.flatPool.Put(flat)
+	flat.Load(t, e.tbl)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	ex := &Explanation{
+		Communities: make([]CommunityVerdict, len(e.comms.Groups)),
+		FilterEvals: len(e.comms.Groups),
+		DocNodes:    flat.Len(),
+	}
+	// One pass per shard that hosts communities, exactly like routeDoc —
+	// but verdicts are collected instead of queues pushed. Registry
+	// mutators hold e.mu exclusively for every forest mutation, so under
+	// the read lock each shard's forest is stable and sh.mu.RLock only
+	// orders us with concurrent publish matches (which is safe; matching
+	// is concurrent by design). Lock order e.mu → sh.mu matches the
+	// mutators'.
+	for si, sh := range e.shards {
+		stats := ShardExplainStats{Shard: si}
+		for g := range e.comms.Groups {
+			if e.commShard[g] == si {
+				stats.Communities++
+			}
+		}
+		if stats.Communities == 0 {
+			continue
+		}
+		sh.mu.RLock()
+		stats.LivePatterns = sh.forest.Live()
+		stats.ForestNodes = sh.forest.NodeCount()
+		ms := sh.forest.MatchFlat(t, flat)
+		for g, members := range e.comms.Groups {
+			if e.commShard[g] != si {
+				continue
+			}
+			v := CommunityVerdict{
+				Community: g,
+				Shard:     si,
+				RepExpr:   e.subs[e.comms.Reps[g]].expr,
+				Matched:   ms.Has(e.subs[e.comms.Reps[g]].fh),
+				MemberIDs: make([]uint64, 0, len(members)),
+			}
+			for _, idx := range members {
+				s := e.subs[idx]
+				v.MemberIDs = append(v.MemberIDs, s.id)
+				if ms.Has(s.fh) {
+					v.ExactIDs = append(v.ExactIDs, s.id)
+					stats.MatchedPatterns++
+				}
+			}
+			sortIDs(v.MemberIDs)
+			sortIDs(v.ExactIDs)
+			if v.Matched {
+				ex.MatchedCommunities++
+				ex.Deliveries = append(ex.Deliveries, v.MemberIDs...)
+			}
+			ex.Communities[g] = v
+		}
+		ms.Release()
+		sh.mu.RUnlock()
+		ex.Shards = append(ex.Shards, stats)
+	}
+	sortIDs(ex.Deliveries)
+	return ex, nil
+}
+
+func sortIDs(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// CommunityInfo is one community row of IntrospectCommunities.
+type CommunityInfo struct {
+	Community int    `json:"community"`
+	Shard     int    `json:"shard"`
+	Size      int    `json:"size"`
+	RepID     uint64 `json:"rep_id"`
+	RepExpr   string `json:"rep"`
+	// MemberIDs are the member subscription ids, sorted ascending.
+	MemberIDs []uint64 `json:"members"`
+}
+
+// IntrospectCommunities snapshots the clustering: one row per
+// community with its shard pin, representative, and member ids. The
+// registry read lock is held only while copying.
+func (e *Engine) IntrospectCommunities() []CommunityInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]CommunityInfo, 0, len(e.comms.Groups))
+	for g, members := range e.comms.Groups {
+		rep := e.subs[e.comms.Reps[g]]
+		ci := CommunityInfo{
+			Community: g,
+			Shard:     e.commShard[g],
+			Size:      len(members),
+			RepID:     rep.id,
+			RepExpr:   rep.expr,
+			MemberIDs: make([]uint64, 0, len(members)),
+		}
+		for _, idx := range members {
+			ci.MemberIDs = append(ci.MemberIDs, e.subs[idx].id)
+		}
+		sortIDs(ci.MemberIDs)
+		out = append(out, ci)
+	}
+	return out
+}
+
+// SubscriptionInfo is one subscription row of IntrospectSubscriptions.
+type SubscriptionInfo struct {
+	ID        uint64 `json:"id"`
+	Pattern   string `json:"pattern"`
+	Community int    `json:"community"`
+	Shard     int    `json:"shard"`
+	// Pending is the subscription's current delivery-queue depth.
+	Pending int `json:"pending"`
+}
+
+// IntrospectSubscriptions snapshots every live subscription with its
+// community, shard, and queue depth, sorted by id.
+func (e *Engine) IntrospectSubscriptions() []SubscriptionInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]SubscriptionInfo, 0, len(e.subs))
+	for idx, s := range e.subs {
+		out = append(out, SubscriptionInfo{
+			ID:        s.id,
+			Pattern:   s.expr,
+			Community: e.comms.Find(idx),
+			Shard:     s.shard,
+			Pending:   s.q.len(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -52,6 +52,20 @@ func (e *Engine) Publish(t *xmltree.Tree) (PublishResult, error) {
 // forwarding goroutine, and stalling it would propagate one slow
 // broker's backlog through the overlay. When the pipeline is full the
 // document is shed (counted in Stats.RemoteShed) and ErrBusy returned,
+// logShed emits a remote-ingest shed event record, at most about one
+// per second (a CAS on the last-emit timestamp elects the logging
+// goroutine; losers drop silently — the running total carries the
+// information the skipped records would have).
+func (e *Engine) logShed() {
+	now := time.Now().UnixNano()
+	last := e.shedLogNS.Load()
+	if now-last < int64(time.Second) || !e.shedLogNS.CompareAndSwap(last, now) {
+		return
+	}
+	e.cfg.Logger.Warn("remote publications shed: ingest pipeline full",
+		"shed_total", e.counters.remoteShed.Load())
+}
+
 // so the transport can answer 503 + Retry-After and the upstream peer
 // backs off.
 func (e *Engine) InjectRemote(t *xmltree.Tree) (PublishResult, error) {
@@ -68,6 +82,7 @@ func (e *Engine) InjectRemote(t *xmltree.Tree) (PublishResult, error) {
 	default:
 		e.pipeMu.RUnlock()
 		e.counters.remoteShed.Add(1)
+		e.logShed()
 		return PublishResult{}, ErrBusy
 	}
 	return e.routeOne(t, true, start, time.Now()), nil

@@ -1,0 +1,270 @@
+package overlay
+
+import (
+	"sort"
+	"time"
+
+	"treesim/internal/broker"
+	"treesim/internal/xmltree"
+)
+
+// This file is the overlay's explainability and introspection surface:
+// a side-effect-free dry run of the forwarding decision (ExplainForward)
+// and read-only snapshots of the routing table and link health. Like
+// broker.Engine.Explain, nothing here touches a publish path: no
+// sequence numbers are assigned, no seen-set entries added, no bytes
+// sent, no counters moved.
+
+// OriginMatch records that an origin's advertised aggregate matched the
+// explained document on some link — the reason a forward would happen.
+type OriginMatch struct {
+	Origin string `json:"origin"`
+	// Version is the advert version whose aggregates matched, as
+	// registered in the link's forest.
+	Version uint64 `json:"version"`
+	// Patterns is how many of the origin's advertised covering patterns
+	// matched (≥1; more means the document is squarely inside the
+	// aggregate, not grazing one cover).
+	Patterns int `json:"patterns"`
+}
+
+// Forward-verdict reasons. Exactly one applies per link.
+const (
+	// ReasonMatch: some reachable origin's aggregate matched — forward.
+	ReasonMatch = "match"
+	// ReasonFlood: flood mode forwards on every eligible link.
+	ReasonFlood = "flood"
+	// ReasonNoMatch: aggregates were consulted and none matched.
+	ReasonNoMatch = "no-match"
+	// ReasonNoAggregates: no origin (besides the publication's own) is
+	// routed via this link, so there is nothing to match against.
+	ReasonNoAggregates = "no-aggregates"
+	// ReasonDown: the link is in the damping set; forwarding skips it
+	// until a maintenance probe recovers it.
+	ReasonDown = "down"
+	// ReasonArrival: the publication arrived on this link; forwarding
+	// never echoes it back.
+	ReasonArrival = "arrival"
+)
+
+// ForwardVerdict is one link's share of a forwarding decision.
+type ForwardVerdict struct {
+	// Peer is the link's peer node id.
+	Peer string `json:"peer"`
+	// Forward reports whether the document would be sent on this link;
+	// Reason says why (ReasonMatch/ReasonFlood when forwarding, else
+	// the skip cause).
+	Forward bool   `json:"forward"`
+	Reason  string `json:"reason"`
+	// Matched lists the origins whose adverts matched (reason "match"),
+	// sorted by origin.
+	Matched []OriginMatch `json:"matched,omitempty"`
+}
+
+// ForwardExplanation is the full decision record for one document at
+// one node: the local broker verdicts plus the per-link forward plan.
+type ForwardExplanation struct {
+	// Node is the explaining node's overlay id; Origin the publication
+	// origin the plan assumed (this node for a local publish) and From
+	// the assumed arrival link ("" for a local publish).
+	Node   string `json:"node"`
+	Origin string `json:"origin"`
+	From   string `json:"from,omitempty"`
+	// Local is the engine's delivery explanation (nil only if the
+	// engine is closed mid-call).
+	Local *broker.Explanation `json:"local"`
+	// Links holds one verdict per attached link, sorted by peer id.
+	Links []ForwardVerdict `json:"links"`
+	// ForwardTo is the peer list the document would be sent to — the
+	// plan's bottom line, comparable to a trace span's ForwardedTo.
+	ForwardTo []string `json:"forward_to"`
+}
+
+// ExplainForward dry-runs the forwarding decision for a document:
+// which links would receive a forward and why the others would not,
+// plus the local engine's delivery explanation. origin and from
+// parameterize the scenario — empty origin means "published locally at
+// this node" (from must then be empty too); a non-empty origin with a
+// from link explains a forwarded publication's next hop as
+// HandlePublish would plan it (TTL and duplicate suppression excluded:
+// they depend on per-publication state, not routing state).
+func (n *Node) ExplainForward(t *xmltree.Tree, origin, from string) (*ForwardExplanation, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if origin == "" {
+		origin = n.cfg.ID
+	}
+	ex := &ForwardExplanation{Node: n.cfg.ID, Origin: origin, From: from}
+	// Snapshot every link's state under the node lock; matching happens
+	// after release (linkForest synchronizes internally), mirroring the
+	// real plan/match split in forwardPlanLocked + matchTargets.
+	type probe struct {
+		peer string
+		lf   *linkForest
+	}
+	var probes []probe
+	for id, l := range n.links {
+		switch {
+		case id == from:
+			ex.Links = append(ex.Links, ForwardVerdict{Peer: id, Reason: ReasonArrival})
+		case l.down:
+			ex.Links = append(ex.Links, ForwardVerdict{Peer: id, Reason: ReasonDown})
+		case n.cfg.Flood:
+			ex.Links = append(ex.Links, ForwardVerdict{Peer: id, Forward: true, Reason: ReasonFlood})
+		default:
+			lf := n.forests[id]
+			if lf == nil || !lf.hasOther(origin) {
+				ex.Links = append(ex.Links, ForwardVerdict{Peer: id, Reason: ReasonNoAggregates})
+				continue
+			}
+			probes = append(probes, probe{peer: id, lf: lf})
+		}
+	}
+	n.mu.Unlock()
+
+	for _, p := range probes {
+		v := ForwardVerdict{Peer: p.peer, Reason: ReasonNoMatch}
+		if ms := p.lf.explainMatch(t, origin); len(ms) > 0 {
+			v.Forward = true
+			v.Reason = ReasonMatch
+			v.Matched = ms
+		}
+		ex.Links = append(ex.Links, v)
+	}
+	sort.Slice(ex.Links, func(i, j int) bool { return ex.Links[i].Peer < ex.Links[j].Peer })
+	for _, v := range ex.Links {
+		if v.Forward {
+			ex.ForwardTo = append(ex.ForwardTo, v.Peer)
+		}
+	}
+
+	local, err := n.eng.Explain(t)
+	if err != nil {
+		return nil, err
+	}
+	ex.Local = local
+	return ex, nil
+}
+
+// explainMatch is matchAnyExcept's explanatory sibling: instead of a
+// boolean it returns every origin (with advert version and matched-
+// pattern count) whose aggregates the document matched on this link,
+// sorted by origin.
+func (lf *linkForest) explainMatch(t *xmltree.Tree, exclude string) []OriginMatch {
+	lf.mu.RLock()
+	defer lf.mu.RUnlock()
+	ms := lf.forest.Match(t)
+	defer ms.Release()
+	var out []OriginMatch
+	for o, oh := range lf.byOrigin {
+		if o == exclude {
+			continue
+		}
+		hits := 0
+		for _, h := range oh.hs {
+			if ms.Has(h) {
+				hits++
+			}
+		}
+		if hits > 0 {
+			out = append(out, OriginMatch{Origin: o, Version: oh.version, Patterns: hits})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// RouteInfo is one routing-table row of IntrospectRoutes.
+type RouteInfo struct {
+	Origin  string `json:"origin"`
+	Version uint64 `json:"version"`
+	Hops    int    `json:"hops"`
+	// Via is the next-hop link toward the origin (the accepted advert's
+	// arrival link).
+	Via string `json:"via"`
+	// AgeMS is how long ago the origin was last heard from; the
+	// soft-state sweeper expires entries older than the advert TTL.
+	AgeMS int64 `json:"age_ms"`
+	// Tombstone marks an entry the sweeper has expired (routes evicted,
+	// version retained so stale adverts cannot resurrect them) or an
+	// origin that advertised an empty aggregate.
+	Tombstone bool `json:"tombstone,omitempty"`
+	// Patterns and Members size the origin's advertised aggregates.
+	Patterns int `json:"patterns"`
+	Members  int `json:"members"`
+}
+
+// IntrospectRoutes snapshots the routing table, sorted by origin. The
+// node lock is held only while copying.
+func (n *Node) IntrospectRoutes() []RouteInfo {
+	now := time.Now()
+	n.mu.Lock()
+	out := make([]RouteInfo, 0, len(n.table))
+	for origin, e := range n.table {
+		ri := RouteInfo{
+			Origin:    origin,
+			Version:   e.version,
+			Hops:      e.hops,
+			Via:       e.via,
+			AgeMS:     now.Sub(e.lastSeen).Milliseconds(),
+			Tombstone: e.expired || len(e.advertised) == 0,
+		}
+		for _, c := range e.advertised {
+			ri.Patterns += len(c.Patterns)
+			ri.Members += c.Members
+		}
+		out = append(out, ri)
+	}
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// LinkInfo is one link row of IntrospectLinks.
+type LinkInfo struct {
+	Peer string `json:"peer"`
+	// Up mirrors the damping state: false means forwarding and gossip
+	// skip the link and backoff-paced probes own it.
+	Up bool `json:"up"`
+	// Sends and Errors are the link's lifetime transport outcomes.
+	Sends  uint64 `json:"sends"`
+	Errors uint64 `json:"errors"`
+	// Fails is the consecutive-failure streak; BackoffMS the current
+	// probe backoff and NextProbeMS how far away the next probe is
+	// (0 when the link is healthy).
+	Fails       int   `json:"fails,omitempty"`
+	BackoffMS   int64 `json:"backoff_ms,omitempty"`
+	NextProbeMS int64 `json:"next_probe_ms,omitempty"`
+	// LastError is the most recent send failure, cleared on recovery.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// IntrospectLinks snapshots per-link health, sorted by peer id.
+func (n *Node) IntrospectLinks() []LinkInfo {
+	now := time.Now()
+	n.mu.Lock()
+	out := make([]LinkInfo, 0, len(n.links))
+	for id, l := range n.links {
+		li := LinkInfo{
+			Peer:      id,
+			Up:        !l.down,
+			Sends:     l.sends.Load(),
+			Errors:    l.errs.Load(),
+			Fails:     l.fails,
+			LastError: l.lastErr,
+		}
+		if l.down {
+			li.BackoffMS = l.backoff.Milliseconds()
+			if d := l.nextRetry.Sub(now); d > 0 {
+				li.NextProbeMS = d.Milliseconds()
+			}
+		}
+		out = append(out, li)
+	}
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

@@ -74,10 +74,15 @@ func busyAfter(err error) (time.Duration, bool) {
 // probe — which carries the full-state resync batch — got through:
 // the link rejoins the healthy set.
 func (n *Node) recordSend(peerID string, err error) {
+	// wentDown/recovered capture the transition under the lock; the
+	// event records are emitted after release so a slow log sink never
+	// stalls the node lock.
+	var wentDown, recovered bool
+	var backoff time.Duration
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	l, ok := n.links[peerID]
 	if !ok {
+		n.mu.Unlock()
 		return // link replaced or removed mid-send
 	}
 	if err == nil {
@@ -87,29 +92,41 @@ func (n *Node) recordSend(peerID string, err error) {
 			l.up.Set(1)
 			n.counters.linkRecovered.Add(1)
 			n.counters.resyncs.Add(1)
+			recovered = true
 		}
 		l.fails = 0
 		l.backoff = 0
-		return
-	}
-	l.errs.Inc()
-	l.fails++
-	if !l.down {
-		l.down = true
-		l.up.Set(0)
-		n.counters.linkDowns.Add(1)
-	}
-	if l.backoff == 0 {
-		l.backoff = n.cfg.RetryBase
+		l.lastErr = ""
 	} else {
-		l.backoff *= 2
+		l.errs.Inc()
+		l.fails++
+		l.lastErr = err.Error()
+		if !l.down {
+			l.down = true
+			l.up.Set(0)
+			n.counters.linkDowns.Add(1)
+			wentDown = true
+		}
+		if l.backoff == 0 {
+			l.backoff = n.cfg.RetryBase
+		} else {
+			l.backoff *= 2
+		}
+		if l.backoff > n.cfg.RetryMax {
+			l.backoff = n.cfg.RetryMax
+		}
+		backoff = l.backoff
+		// ±25% jitter; mathrand's global source is fine for scheduling.
+		jitter := time.Duration(mathrand.Int63n(int64(l.backoff)/2+1)) - l.backoff/4
+		l.nextRetry = time.Now().Add(l.backoff + jitter)
 	}
-	if l.backoff > n.cfg.RetryMax {
-		l.backoff = n.cfg.RetryMax
+	n.mu.Unlock()
+	if wentDown {
+		n.cfg.Logger.Warn("link down", "peer", peerID, "err", err.Error(), "backoff", backoff.String())
 	}
-	// ±25% jitter; mathrand's global source is fine for scheduling.
-	jitter := time.Duration(mathrand.Int63n(int64(l.backoff)/2+1)) - l.backoff/4
-	l.nextRetry = time.Now().Add(l.backoff + jitter)
+	if recovered {
+		n.cfg.Logger.Warn("link recovered", "peer", peerID)
+	}
 }
 
 // runMaintenance is the background loop driving refresh, expiry, and
@@ -175,6 +192,7 @@ func (n *Node) expireAdverts(now time.Time) {
 	n.mu.Unlock()
 	for _, u := range tombstones {
 		u.lf.expire(u.origin, u.version)
+		n.cfg.Logger.Warn("advert expired", "origin", u.origin, "version", u.version)
 	}
 	for _, u := range drops {
 		u.lf.forget(u.origin, u.version)

@@ -43,6 +43,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"sync"
@@ -134,6 +135,12 @@ type Config struct {
 	// 250ms and 15s.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+
+	// Logger receives the node's operational event records — link
+	// down/recovery transitions and advert expiries. State transitions
+	// are emitted at WARN so an event ring teeing WARN+ retains them
+	// even when console logging runs quieter. nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +179,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryMax <= 0 {
 		c.RetryMax = 15 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -195,6 +205,9 @@ type link struct {
 	fails     int
 	backoff   time.Duration
 	nextRetry time.Time
+	// lastErr keeps the most recent send failure's message for
+	// introspection; cleared when the link recovers.
+	lastErr string
 }
 
 // nodeCounters are the node's lock-free operational counters — handles

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// This file is the operational event plane: a bounded in-memory ring of
+// noteworthy happenings (link transitions, advert expiries, rebuilds,
+// sheds) and a slog.Handler wrapper that tees qualifying log records
+// into it. The ring answers "what has this node been through lately"
+// (the daemon's GET /events) without requiring log scraping, the same
+// way the trace ring answers it for individual publications.
+
+// DefaultEventCapacity bounds the event ring when the caller does not
+// choose a capacity.
+const DefaultEventCapacity = 256
+
+// Event is one retained operational event — a flattened snapshot of a
+// log record, cheap to copy and JSON-ready.
+type Event struct {
+	// TimeUnixNS is the event's wall-clock timestamp.
+	TimeUnixNS int64 `json:"time_unix_ns"`
+	// Seq is the event's 1-based position in the node's lifetime event
+	// stream; gaps against a previous scrape mean the ring wrapped.
+	Seq uint64 `json:"seq"`
+	// Level is the slog level name (WARN, ERROR, ...).
+	Level string `json:"level"`
+	// Message is the record message.
+	Message string `json:"msg"`
+	// Attrs are the record's attributes, flattened to strings with
+	// group paths joined by dots.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// EventRing retains the most recent events in a fixed-capacity ring.
+// All methods are safe for concurrent use.
+type EventRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewEventRing creates a ring retaining up to capacity events
+// (DefaultEventCapacity if capacity <= 0).
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventRing{buf: make([]Event, 0, capacity)}
+}
+
+// Add appends an event, evicting the oldest when full, and stamps its
+// lifetime sequence number.
+func (r *EventRing) Add(e Event) {
+	r.mu.Lock()
+	r.total++
+	e.Seq = r.total
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *EventRing) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total reports how many events have ever been added (≥ retained).
+func (r *EventRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// TeeEvents wraps a slog.Handler so every record at or above min is
+// also captured into the ring. Capture is independent of the inner
+// handler's level: a daemon logging at ERROR still retains WARN events
+// for GET /events.
+func TeeEvents(next slog.Handler, ring *EventRing, min slog.Level) slog.Handler {
+	return &teeHandler{next: next, ring: ring, min: min}
+}
+
+type teeHandler struct {
+	next   slog.Handler
+	ring   *EventRing
+	min    slog.Level
+	attrs  []slog.Attr // accumulated WithAttrs, group paths pre-joined
+	prefix string      // accumulated WithGroup path ("a.b.")
+}
+
+func (h *teeHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return level >= h.min || h.next.Enabled(ctx, level)
+}
+
+func (h *teeHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if rec.Level >= h.min {
+		e := Event{
+			TimeUnixNS: rec.Time.UnixNano(),
+			Level:      rec.Level.String(),
+			Message:    rec.Message,
+		}
+		if e.TimeUnixNS == 0 || rec.Time.IsZero() {
+			e.TimeUnixNS = time.Now().UnixNano()
+		}
+		n := len(h.attrs) + rec.NumAttrs()
+		if n > 0 {
+			e.Attrs = make(map[string]string, n)
+			for _, a := range h.attrs {
+				flattenAttr(e.Attrs, "", a)
+			}
+			rec.Attrs(func(a slog.Attr) bool {
+				flattenAttr(e.Attrs, h.prefix, a)
+				return true
+			})
+		}
+		h.ring.Add(e)
+	}
+	if h.next.Enabled(ctx, rec.Level) {
+		return h.next.Handle(ctx, rec)
+	}
+	return nil
+}
+
+func (h *teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	nh := *h
+	nh.next = h.next.WithAttrs(attrs)
+	nh.attrs = make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	nh.attrs = append(nh.attrs, h.attrs...)
+	for _, a := range attrs {
+		a.Key = h.prefix + a.Key
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+func (h *teeHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.next = h.next.WithGroup(name)
+	nh.prefix = h.prefix + name + "."
+	return &nh
+}
+
+// flattenAttr renders one attribute into the map, expanding groups into
+// dot-joined keys.
+func flattenAttr(dst map[string]string, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		gp := prefix
+		if a.Key != "" {
+			gp = prefix + a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			flattenAttr(dst, gp, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	dst[prefix+a.Key] = v.String()
+}

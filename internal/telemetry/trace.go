@@ -3,6 +3,7 @@ package telemetry
 import (
 	"crypto/rand"
 	"encoding/hex"
+	mathrand "math/rand/v2"
 	"sync"
 )
 
@@ -16,13 +17,37 @@ import (
 // TraceIDLen is the length of a generated trace ID in hex characters.
 const TraceIDLen = 16
 
+// traceSeed is drawn from crypto/rand once at process start to key the
+// per-call generator; after that NewTraceID never touches the kernel.
+var traceSeed = func() [32]byte {
+	var s [32]byte
+	if _, err := rand.Read(s[:]); err != nil {
+		// crypto/rand never fails on supported platforms; an unseeded
+		// (deterministic) ID stream still traces correctly within one
+		// process, it just risks cross-process collisions.
+		return [32]byte{}
+	}
+	return s
+}()
+
+// traceRand generates trace IDs: a ChaCha8 stream seeded once from
+// crypto/rand, behind a plain mutex. Trace IDs ride the publish hot
+// path (every traced publish draws one), so they must not cost a
+// syscall-backed crypto/rand read each — they are correlation keys,
+// not secrets, and only need to be unique.
+var traceRand = struct {
+	sync.Mutex
+	*mathrand.ChaCha8
+}{ChaCha8: mathrand.NewChaCha8(traceSeed)}
+
 // NewTraceID returns a fresh random trace ID (8 bytes, hex).
 func NewTraceID() string {
+	traceRand.Lock()
+	v := traceRand.Uint64()
+	traceRand.Unlock()
 	var b [TraceIDLen / 2]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand never fails on supported platforms; a zero ID
-		// (still valid, just colliding) beats panicking a publish path.
-		return "0000000000000000"
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
 	}
 	return hex.EncodeToString(b[:])
 }

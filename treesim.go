@@ -36,6 +36,7 @@ package treesim
 
 import (
 	"io"
+	"log/slog"
 	"strings"
 
 	"treesim/internal/aggregate"
@@ -217,6 +218,38 @@ type (
 // NewBroker starts a live broker engine (stop it with Close).
 func NewBroker(cfg BrokerConfig) *Broker { return broker.New(cfg) }
 
+// Explainability and introspection types, re-exported for public use.
+// Explanation (Broker.Explain) is a side-effect-free record of the
+// routing decision the broker would make for one document;
+// ForwardExplanation (OverlayNode.ExplainForward) extends it with the
+// per-link forward plan. The Introspect* snapshot accessors return the
+// matching views over live state without holding routing hot locks.
+type (
+	// Explanation is the decision record of a dry-run local publish.
+	Explanation = broker.Explanation
+	// CommunityVerdict is one community's matched/skipped verdict
+	// within an Explanation.
+	CommunityVerdict = broker.CommunityVerdict
+	// CommunityInfo describes one clustered community
+	// (Broker.IntrospectCommunities).
+	CommunityInfo = broker.CommunityInfo
+	// SubscriptionInfo describes one live subscription
+	// (Broker.IntrospectSubscriptions).
+	SubscriptionInfo = broker.SubscriptionInfo
+	// ForwardExplanation is a dry-run routing decision across an
+	// overlay node: local Explanation plus per-link forward verdicts.
+	ForwardExplanation = overlay.ForwardExplanation
+	// ForwardVerdict is one link's forward-or-skip decision with its
+	// reason and the origin adverts that matched.
+	ForwardVerdict = overlay.ForwardVerdict
+	// RouteInfo is one routing-table entry
+	// (OverlayNode.IntrospectRoutes).
+	RouteInfo = overlay.RouteInfo
+	// LinkInfo is one peer link's health snapshot
+	// (OverlayNode.IntrospectLinks).
+	LinkInfo = overlay.LinkInfo
+)
+
 // Overlay federation types, re-exported for public use (package
 // internal/overlay; served over HTTP by cmd/treesimd -federate and
 // measured by cmd/treesim-net).
@@ -251,10 +284,25 @@ type (
 	MetricsRegistry = telemetry.Registry
 	// TraceSpan is one hop's record of a traced publication.
 	TraceSpan = telemetry.Span
+	// Event is one captured operational log record.
+	Event = telemetry.Event
+	// EventRing is a bounded ring of recent operational events; pair
+	// with TeeEvents to capture WARN+ slog records into it.
+	EventRing = telemetry.EventRing
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewEventRing returns a bounded operational-event ring (capacity <= 0
+// selects the default).
+func NewEventRing(capacity int) *EventRing { return telemetry.NewEventRing(capacity) }
+
+// TeeEvents wraps a slog handler so records at or above min are also
+// captured into ring, regardless of the wrapped handler's own level.
+func TeeEvents(next slog.Handler, ring *EventRing, min slog.Level) slog.Handler {
+	return telemetry.TeeEvents(next, ring, min)
+}
 
 // BuildCommunities clusters a similarity matrix into an incrementally
 // maintainable CommunitySet (greedy seeding; representatives are the
