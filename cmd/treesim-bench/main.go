@@ -26,8 +26,16 @@
 //	    | tee bench.txt
 //	go run ./cmd/benchjson -o BENCH_broker.json bench.txt
 //
+// With -ack the population subscribes at-least-once and the drain
+// workers run the full acked-delivery protocol: each batch's cursor is
+// committed through POST /ack, -ack-skip N stalls every Nth batch (the
+// daemon's lease expiry must redeliver it — run the daemon with a short
+// -ack-lease), and the summary reports acked throughput, redeliveries,
+// and lease expiries as benchjson extras.
+//
 // It exits nonzero if nothing was delivered (used by CI as a smoke
-// assertion) or if the daemon is unreachable.
+// assertion), if stalled batches were never redelivered under -ack-skip,
+// or if the daemon is unreachable.
 package main
 
 import (
@@ -50,11 +58,12 @@ import (
 
 type client struct {
 	base string
+	mode string // delivery mode for subscribes ("" = daemon default)
 	http *http.Client
 }
 
 func (c *client) subscribe(pattern string) (uint64, error) {
-	body, _ := json.Marshal(map[string]string{"pattern": pattern})
+	body, _ := json.Marshal(map[string]string{"pattern": pattern, "mode": c.mode})
 	resp, err := c.http.Post(c.base+"/subscribe", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
@@ -119,23 +128,49 @@ func (c *client) publishBatch(docs []string) (errs int, err error) {
 	return out.Errors, nil
 }
 
-func (c *client) drain(id uint64, max int, wait time.Duration) (int, error) {
+// drainResult is the client's view of one GET /deliveries poll: batch
+// size, daemon-side backlog, and (at-least-once) the ack cursor.
+type drainResult struct {
+	n           int
+	pending     int
+	cursor      uint64
+	redelivered int
+}
+
+func (c *client) drain(id uint64, max int, wait time.Duration) (drainResult, error) {
 	url := fmt.Sprintf("%s/deliveries/%d?max=%d&wait=%s", c.base, id, max, wait)
 	resp, err := c.http.Get(url)
 	if err != nil {
-		return 0, err
+		return drainResult{}, err
 	}
 	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("drain %d: %s", id, resp.Status)
+		return drainResult{}, fmt.Errorf("drain %d: %s", id, resp.Status)
 	}
 	var out struct {
-		Deliveries []json.RawMessage `json:"deliveries"`
+		Deliveries  []json.RawMessage `json:"deliveries"`
+		Pending     int               `json:"pending"`
+		Cursor      uint64            `json:"cursor"`
+		Redelivered int               `json:"redelivered"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, err
+		return drainResult{}, err
 	}
-	return len(out.Deliveries), nil
+	return drainResult{n: len(out.Deliveries), pending: out.Pending, cursor: out.Cursor, redelivered: out.Redelivered}, nil
+}
+
+// ack commits an at-least-once batch up to cursor via POST /ack/{id}.
+func (c *client) ack(id uint64, cursor uint64) error {
+	body, _ := json.Marshal(map[string]uint64{"cursor": cursor})
+	resp, err := c.http.Post(fmt.Sprintf("%s/ack/%d", c.base, id), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ack %d: %s", id, resp.Status)
+	}
+	return nil
 }
 
 func (c *client) stats() (map[string]any, error) {
@@ -189,8 +224,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload generation seed")
 		expect   = flag.Bool("expect-deliveries", true, "exit nonzero if no deliveries happened")
 		metSnap  = flag.Bool("metrics-snapshot", false, "scrape /metrics before and after and report daemon-side counter deltas")
+		ackMode  = flag.Bool("ack", false, "subscribe at-least-once and ack drained batches (the acked-delivery workload)")
+		ackSkip  = flag.Int("ack-skip", 0, "with -ack, stall by skipping the ack on every Nth drained batch; the daemon's lease expiry must redeliver (run it with a short -ack-lease)")
 	)
 	flag.Parse()
+	if *ackSkip > 0 && !*ackMode {
+		fmt.Fprintln(os.Stderr, "treesim-bench: -ack-skip requires -ack")
+		os.Exit(2)
+	}
 
 	if *nSubs <= 0 || *nPublish <= 0 || *nDocs <= 0 {
 		fmt.Fprintln(os.Stderr, "treesim-bench: -subs, -publish and -docs must be positive")
@@ -225,6 +266,9 @@ func main() {
 	c := &client{
 		base: "http://" + *addr,
 		http: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc + *pubs + *drainers + 2}},
+	}
+	if *ackMode {
+		c.mode = "at-least-once"
 	}
 	st0, err := c.stats()
 	if err != nil {
@@ -293,13 +337,23 @@ func main() {
 		defer idsMu.Unlock()
 		return ids[i]
 	}
-	var drained atomic.Uint64
+	var drained, stalled atomic.Uint64
+	// Subscriptions whose simulated consumer has wedged (-ack-skip):
+	// they keep draining — leasing deliveries — but never ack again, so
+	// every delivery they hold must come back via daemon lease expiry.
+	// Acks are cumulative (committing cursor N discharges everything at
+	// or below N), so a one-batch skip would be silently swallowed by
+	// the next batch's ack; wedging the whole subscription is the only
+	// stall the daemon is actually on the hook to repair.
+	var wedgedMu sync.Mutex
+	wedged := make(map[uint64]bool)
 	stopDrain := make(chan struct{})
 	var drainWG sync.WaitGroup
 	for w := 0; w < *drainers; w++ {
 		drainWG.Add(1)
 		go func(w int) {
 			defer drainWG.Done()
+			batches := 0
 			for i := w; ; i = (i + *drainers) % len(ids) {
 				select {
 				case <-stopDrain:
@@ -308,9 +362,29 @@ func main() {
 				}
 				// A short long-poll parks the worker daemon-side when
 				// the queue is empty instead of spinning.
-				n, err := c.drain(idAt(i), 1000, 50*time.Millisecond)
-				if err == nil {
-					drained.Add(uint64(n))
+				id := idAt(i)
+				r, err := c.drain(id, 1000, 50*time.Millisecond)
+				if err != nil {
+					continue
+				}
+				drained.Add(uint64(r.n))
+				if *ackMode && r.n > 0 {
+					batches++
+					if *ackSkip > 0 {
+						wedgedMu.Lock()
+						stall := wedged[id] || batches%*ackSkip == 0
+						if stall {
+							wedged[id] = true
+						}
+						wedgedMu.Unlock()
+						if stall {
+							stalled.Add(1)
+							continue
+						}
+					}
+					if err := c.ack(id, r.cursor); err != nil {
+						errCt.Add(1)
+					}
 				}
 			}
 		}(w)
@@ -370,21 +444,72 @@ func main() {
 	close(stopDrain)
 	drainWG.Wait()
 
-	// Final sweep: collect what is still queued.
+	// Final sweep: collect what is still queued, waiting out queues with
+	// leased entries. A wedged subscription's window must come back via
+	// daemon lease expiry before anything there is acked — acks are
+	// cumulative, so acking a later batch first would silently discharge
+	// the leased window and the redelivery would never be witnessed.
+	sweepDeadline := time.Now().Add(30 * time.Second)
 	runParallel(*drainers, len(ids), func(i int) {
+		id := idAt(i)
+		wedgedMu.Lock()
+		holdAcks := wedged[id]
+		wedgedMu.Unlock()
 		for {
-			n, err := c.drain(idAt(i), 1000, 0)
-			if err != nil || n == 0 {
+			r, err := c.drain(id, 1000, 0)
+			if err != nil {
 				return
 			}
-			drained.Add(uint64(n))
+			if r.redelivered > 0 {
+				holdAcks = false
+			}
+			if r.n > 0 {
+				drained.Add(uint64(r.n))
+				if *ackMode && !holdAcks {
+					if err := c.ack(id, r.cursor); err != nil {
+						errCt.Add(1)
+						return
+					}
+				}
+				continue
+			}
+			if !*ackMode || (r.pending == 0 && !holdAcks) || time.Now().After(sweepDeadline) {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
 		}
 	})
+
+	sweepDur := time.Since(pubStart)
 
 	st, err := c.stats()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "treesim-bench: stats: %v\n", err)
 		os.Exit(1)
+	}
+	// The acked-delivery ledger, as counter deltas across this run (the
+	// daemon may carry state from earlier runs).
+	statDelta := func(key string) uint64 {
+		after, _ := st[key].(float64)
+		before, _ := st0[key].(float64)
+		if after <= before {
+			return 0
+		}
+		return uint64(after - before)
+	}
+	var ackExtras string
+	if *ackMode {
+		acked := statDelta("acked")
+		redeliveries := statDelta("redeliveries")
+		leaseExp := statDelta("lease_expiries")
+		fmt.Printf("acked %d deliveries (%.0f acked/sec), %d batches stalled, %d redeliveries, %d lease expiries\n",
+			acked, float64(acked)/sweepDur.Seconds(), stalled.Load(), redeliveries, leaseExp)
+		ackExtras = fmt.Sprintf("\t%d acked\t%.0f acked/sec\t%d redeliveries\t%d lease_expiries",
+			acked, float64(acked)/sweepDur.Seconds(), redeliveries, leaseExp)
+		if *ackSkip > 0 && stalled.Load() > 0 && redeliveries == 0 {
+			fmt.Fprintln(os.Stderr, "treesim-bench: FAIL: stalled batches but no redeliveries (is the daemon's -ack-lease longer than the run?)")
+			os.Exit(1)
+		}
 	}
 	// The workload's daemon-side footprint: counter deltas across the
 	// run, attached to the publish benchmark line below. Names follow
@@ -440,9 +565,12 @@ func main() {
 	}
 	fmt.Printf("BenchmarkTreesimdSubscribe/%s \t%d\t%d ns/op\t%d cpus\t%d shards\n",
 		label, *nSubs, subDur.Nanoseconds()/int64(*nSubs), daemonCPUs, daemonShards)
-	fmt.Printf("BenchmarkTreesimdPublish/%s \t%d\t%d ns/op\t%d deliveries\t%.0f pub/sec\t%d cpus\t%d shards%s\n",
+	if *ackMode {
+		pubLabel += "/ack"
+	}
+	fmt.Printf("BenchmarkTreesimdPublish/%s \t%d\t%d ns/op\t%d deliveries\t%.0f pub/sec\t%d cpus\t%d shards%s%s\n",
 		pubLabel, *nPublish, pubDur.Nanoseconds()/int64(*nPublish), drained.Load(),
-		float64(*nPublish)/pubDur.Seconds(), daemonCPUs, daemonShards, metricExtras)
+		float64(*nPublish)/pubDur.Seconds(), daemonCPUs, daemonShards, metricExtras, ackExtras)
 
 	if *expect && drained.Load() == 0 {
 		fmt.Fprintln(os.Stderr, "treesim-bench: FAIL: no deliveries")

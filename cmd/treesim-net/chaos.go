@@ -4,12 +4,19 @@ package main
 // steady-state benchmark. One run exercises the full robustness stack
 // end to end on a live in-process federation:
 //
-//	phase 1  all brokers up — exact delivery is required.
+//	phase 1  all brokers up — exact delivery is required. The victim's
+//	         subscriptions run at-least-once: drains are leased and
+//	         explicitly acked.
 //	fault    one broker is snapshotted, mutated (post-snapshot churn
 //	         lands only in its WAL), then killed without any shutdown
 //	         path — its persist store is deliberately left open, the
 //	         in-process analogue of SIGKILL. Simultaneously one
 //	         survivor↔survivor link is severed in both directions.
+//	         Before the kill, a consumer-kill batch is published and
+//	         the victim's consumers drain it WITHOUT acking — the
+//	         in-process analogue of consumers that took delivery and
+//	         crashed before committing. Those hand-outs exist only as
+//	         OpDeliver/OpDrained records in the WAL tail.
 //	phase 2  publishing continues from the survivors. Soft-state TTLs
 //	         must evict the dead broker's adverts from every routing
 //	         table (lost deliveries to its subscribers are the expected
@@ -20,10 +27,13 @@ package main
 //	         watermark) and rewired; the severed link comes back. The
 //	         run waits for convergence: no down links anywhere and every
 //	         node routing for every other.
-//	phase 3  exact delivery is required again — recall 1.0 against
-//	         pattern.Matches ground truth, zero extras — proving the
-//	         overlay healed to exactly-correct routing, not merely to
-//	         connectivity.
+//	phase 3  before new traffic, the recovered broker must redeliver
+//	         the entire unacked window — recall 1.0 over the
+//	         consumer-kill batch, zero lost documents, duplicates
+//	         bounded by the in-flight window — and then exact delivery
+//	         is required again: recall 1.0 against pattern.Matches
+//	         ground truth, zero extras — proving the overlay healed to
+//	         exactly-correct routing, not merely to connectivity.
 //
 // Requires -threshold 2 (exact mode): with similarity clustering on,
 // "recall 1.0" is not a sound invariant to assert against.
@@ -71,8 +81,8 @@ func (s *severable) SendPublish(p wire.Publication) error {
 // committed churn decision on the victim becomes one record.
 type chaosJournal struct{ s *persist.Store }
 
-func (j chaosJournal) Subscribed(id uint64, expr string, group int) (uint64, error) {
-	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
+func (j chaosJournal) Subscribed(id uint64, expr string, group int, mode broker.DeliveryMode) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group, Mode: uint8(mode)})
 }
 
 func (j chaosJournal) Unsubscribed(id uint64) (uint64, error) {
@@ -83,14 +93,28 @@ func (j chaosJournal) Rebuilt(groups [][]uint64, reps []uint64) (uint64, error) 
 	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
 }
 
+func (j chaosJournal) Delivered(seq uint64, xml string, subs, cursors []uint64, comms []int) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpDeliver, Seq: seq, XML: xml, Subs: subs, Cursors: cursors, Comms: comms})
+}
+
+func (j chaosJournal) Acked(id uint64, upto uint64) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpAck, ID: id, Cursor: upto})
+}
+
+func (j chaosJournal) Drained(id uint64, upto uint64) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpDrained, ID: id, Cursor: upto})
+}
+
 // chaosSub is one subscription's whole life: its pattern, home broker,
-// stable ID (which must survive the victim's recovery), and whether it
-// is still registered.
+// stable ID (which must survive the victim's recovery), whether it is
+// still registered, and its delivery contract (victim subscriptions run
+// at-least-once so the recovery owes them their unacked window).
 type chaosSub struct {
-	pat  *pattern.Pattern
-	node int
-	id   uint64
-	live bool
+	pat   *pattern.Pattern
+	node  int
+	id    uint64
+	live  bool
+	acked bool
 }
 
 // victim is the broker that gets killed and recovered. Not node 0 (the
@@ -106,8 +130,8 @@ func runChaos(o options) error {
 	if o.nodes < 4 {
 		return fmt.Errorf("-chaos needs at least 4 nodes (have %d): one victim plus a severable survivor link", o.nodes)
 	}
-	if o.publish < 9 {
-		return fmt.Errorf("-chaos needs at least 9 documents (have %d) for three publish phases", o.publish)
+	if o.publish < 12 {
+		return fmt.Errorf("-chaos needs at least 12 documents (have %d) for four publish phases", o.publish)
 	}
 
 	w, err := buildWorkload(o)
@@ -186,26 +210,36 @@ func runChaos(o options) error {
 	// Load the workload's subscriptions onto their placed brokers.
 	subs := make([]*chaosSub, 0, len(w.subs)+2)
 	victimSubs := 0
+	// Victim subscriptions are at-least-once: their delivery logs, acks,
+	// and leases are exactly the state the crash must not lose.
+	subscribeAt := func(n int, expr string) (uint64, bool, error) {
+		if n == victim {
+			id, err := engines[n].SubscribeOpts(expr, broker.SubscribeOptions{Mode: broker.AtLeastOnce})
+			return id, true, err
+		}
+		id, err := engines[n].Subscribe(expr)
+		return id, false, err
+	}
 	for i, p := range w.subs {
 		n := w.nodeOf[i]
-		id, err := engines[n].Subscribe(w.exprs[i])
+		id, acked, err := subscribeAt(n, w.exprs[i])
 		if err != nil {
 			return fmt.Errorf("subscribe %q: %w", w.exprs[i], err)
 		}
 		if n == victim {
 			victimSubs++
 		}
-		subs = append(subs, &chaosSub{pat: p, node: n, id: id, live: true})
+		subs = append(subs, &chaosSub{pat: p, node: n, id: id, live: true, acked: acked})
 	}
 	if victimSubs == 0 {
 		// Clustered placement can leave a node empty; give the victim a
 		// subscription so its recovery is observable in deliveries.
 		p := w.qg.Generate()
-		id, err := engines[victim].Subscribe(p.String())
+		id, acked, err := subscribeAt(victim, p.String())
 		if err != nil {
 			return err
 		}
-		subs = append(subs, &chaosSub{pat: p, node: victim, id: id, live: true})
+		subs = append(subs, &chaosSub{pat: p, node: victim, id: id, live: true, acked: acked})
 		victimSubs++
 	}
 	for _, n := range nodes {
@@ -238,10 +272,40 @@ func runChaos(o options) error {
 		}
 		return nil
 	}
+	// drainSub empties one subscription's delivery queue into m. For
+	// at-least-once subscriptions the batch is leased; the cursor is
+	// acked afterwards unless ack is false (a consumer that crashed
+	// before committing). Returns deliveries taken and how many were
+	// flagged Redelivered.
+	drainSub := func(si int, s *chaosSub, ack bool, m map[pairKey]int) (int, int, error) {
+		eng := engines[s.node]
+		r, err := eng.DrainBatch(s.id, 0, 0)
+		if err != nil {
+			return 0, 0, fmt.Errorf("drain sub %d at n%02d: %w", si, s.node, err)
+		}
+		redeliv := 0
+		for _, dv := range r.Deliveries {
+			t := eng.Document(dv.Doc)
+			if t == nil {
+				return 0, 0, fmt.Errorf("delivered doc %d not retained at n%02d", dv.Doc, s.node)
+			}
+			m[pairKey{sub: si, doc: t.Clone().Canonicalize().String()}]++
+			if dv.Redelivered {
+				redeliv++
+			}
+		}
+		if s.acked && ack && len(r.Deliveries) > 0 {
+			if _, err := eng.Ack(s.id, r.Cursor); err != nil {
+				return 0, 0, fmt.Errorf("ack sub %d at n%02d (cursor %d): %w", si, s.node, r.Cursor, err)
+			}
+		}
+		return len(r.Deliveries), redeliv, nil
+	}
 	// drain empties every live subscription's delivery queue into one
 	// multiset; sends are synchronous, so after publish returns this is
-	// the complete delivery picture. skipVictim covers the outage window
-	// when the victim's engine is closed.
+	// the complete delivery picture. At-least-once batches are acked.
+	// skipVictim covers the outage window when the victim's engine is
+	// closed.
 	drain := func(skipVictim bool) (map[pairKey]int, int, error) {
 		m := make(map[pairKey]int)
 		total := 0
@@ -249,19 +313,11 @@ func runChaos(o options) error {
 			if !s.live || (skipVictim && s.node == victim) {
 				continue
 			}
-			eng := engines[s.node]
-			ds, err := eng.Drain(s.id, 0, 0)
+			n, _, err := drainSub(si, s, true, m)
 			if err != nil {
-				return nil, 0, fmt.Errorf("drain sub %d at n%02d: %w", si, s.node, err)
+				return nil, 0, err
 			}
-			for _, dv := range ds {
-				t := eng.Document(dv.Doc)
-				if t == nil {
-					return nil, 0, fmt.Errorf("delivered doc %d not retained at n%02d", dv.Doc, s.node)
-				}
-				m[pairKey{sub: si, doc: t.Clone().Canonicalize().String()}]++
-				total++
-			}
+			total += n
 		}
 		return m, total, nil
 	}
@@ -276,8 +332,9 @@ func runChaos(o options) error {
 		return nil
 	}
 
-	third := len(w.docs) / 3
-	p1, p2, p3 := w.docs[:third], w.docs[third:2*third], w.docs[2*third:]
+	quarter := len(w.docs) / 4
+	p1, pk, p2, p3 := w.docs[:quarter], w.docs[quarter:2*quarter],
+		w.docs[2*quarter:3*quarter], w.docs[3*quarter:]
 	allOrigins := make([]int, o.nodes)
 	for i := range allOrigins {
 		allOrigins[i] = i
@@ -325,11 +382,11 @@ func runChaos(o options) error {
 	}
 	for i := 0; i < 2; i++ {
 		p := w.qg.Generate()
-		id, err := engines[victim].Subscribe(p.String())
+		id, acked, err := subscribeAt(victim, p.String())
 		if err != nil {
 			return err
 		}
-		subs = append(subs, &chaosSub{pat: p, node: victim, id: id, live: true})
+		subs = append(subs, &chaosSub{pat: p, node: victim, id: id, live: true, acked: acked})
 		victimSubs++
 	}
 	for _, s := range subs {
@@ -344,6 +401,47 @@ func runChaos(o options) error {
 		return err
 	}
 
+	// Consumer kill: publish a batch, let the victim's at-least-once
+	// consumers drain it, and never ack — the consumers "crashed" with
+	// the window in flight. Every one of these hand-outs lives only as
+	// OpDeliver/OpDrained records in the WAL tail beyond the snapshot;
+	// recovery owes them all back. Survivor subscribers process the same
+	// batch normally and must be exact.
+	expK, _ := expect(pk)
+	if err := publish(pk, allOrigins); err != nil {
+		return err
+	}
+	preKill := make(map[pairKey]int)
+	gotKSurv := make(map[pairKey]int)
+	inFlight := 0
+	for si, s := range subs {
+		if !s.live {
+			continue
+		}
+		if s.node == victim {
+			n, _, err := drainSub(si, s, false, preKill)
+			if err != nil {
+				return err
+			}
+			inFlight += n
+		} else if _, _, err := drainSub(si, s, true, gotKSurv); err != nil {
+			return err
+		}
+	}
+	expKVict := make(map[pairKey]int)
+	expKSurv := make(map[pairKey]int)
+	for k, v := range expK {
+		if subs[k.sub].node == victim {
+			expKVict[k] = v
+		} else {
+			expKSurv[k] = v
+		}
+	}
+	_, lostKSurv, extraKSurv := compare(expKSurv, gotKSurv)
+	_, lostKVict, extraKVict := compare(expKVict, preKill)
+	fmt.Printf("# consumer kill: %d docs, %d deliveries in flight (leased, never acked), survivors %d lost %d extra\n",
+		len(pk), inFlight, lostKSurv, extraKSurv)
+
 	// Kill. No shutdown path runs: the store stays open with whatever
 	// the WAL already holds — exactly a SIGKILL's view of disk.
 	nodes[victim].Close()
@@ -351,8 +449,8 @@ func runChaos(o options) error {
 	sever := w.edges[severIdx]
 	links[severIdx].ab.down.Store(true)
 	links[severIdx].ba.down.Store(true)
-	fmt.Printf("# fault: killed n%02d (snapshot + %d WAL-tail ops), severed n%02d—n%02d\n",
-		victim, 3, sever[0], sever[1])
+	fmt.Printf("# fault: killed n%02d (snapshot + WAL-tail churn and unacked delivery window), severed n%02d—n%02d\n",
+		victim, sever[0], sever[1])
 
 	// Survivors must notice on their own: the victim's origin expires
 	// from every routing table via the advert TTL.
@@ -418,11 +516,17 @@ func runChaos(o options) error {
 		replayed++
 		switch rec.Op {
 		case persist.OpSubscribe:
-			return eng2.ApplySubscribed(rec.ID, rec.Expr, rec.Group)
+			return eng2.ApplySubscribed(rec.ID, rec.Expr, rec.Group, broker.DeliveryMode(rec.Mode))
 		case persist.OpUnsubscribe:
 			return eng2.ApplyUnsubscribed(rec.ID)
 		case persist.OpRebuild:
 			return eng2.ApplyRebuilt(rec.Groups, rec.Reps)
+		case persist.OpDeliver:
+			return eng2.ApplyDelivered(rec.Seq, rec.XML, rec.Subs, rec.Cursors, rec.Comms)
+		case persist.OpAck:
+			return eng2.ApplyAcked(rec.ID, rec.Cursor)
+		case persist.OpDrained:
+			return eng2.ApplyDrained(rec.ID, rec.Cursor)
 		default:
 			return fmt.Errorf("unknown wal op %q", rec.Op)
 		}
@@ -472,6 +576,28 @@ func runChaos(o options) error {
 	}); err != nil {
 		return err
 	}
+	// Redelivery: the recovered broker owes the crashed consumers their
+	// entire unacked window. Drain the victim's subscriptions again —
+	// acking this time, the consumers are "back" — and compare against
+	// what was in flight at the kill: zero lost documents is the
+	// at-least-once contract; every repeat of a delivery the dead
+	// consumers already saw is a duplicate, bounded by that window.
+	postHeal := make(map[pairKey]int)
+	postHealTotal, redelivered := 0, 0
+	for si, s := range subs {
+		if !s.live || s.node != victim {
+			continue
+		}
+		n, rd, err := drainSub(si, s, true, postHeal)
+		if err != nil {
+			return err
+		}
+		postHealTotal += n
+		redelivered += rd
+	}
+	dupes, lostUnacked, extraUnacked := compare(preKill, postHeal)
+	fmt.Printf("# redelivery: %d of %d unacked deliveries returned after recovery (%d lost, %d beyond the window, %d flagged redelivered, %d duplicates for the crashed consumers)\n",
+		postHealTotal, inFlight, lostUnacked, extraUnacked, redelivered, dupes)
 	if _, residue, err := drain(false); err != nil {
 		return err
 	} else if residue > 0 {
@@ -505,17 +631,32 @@ func runChaos(o options) error {
 	}
 
 	name := fmt.Sprintf("topo=%s/nodes=%d/subs=%d/docs=%d", o.topology, o.nodes, len(subs), o.publish)
-	fmt.Printf("BenchmarkOverlayChaos/%s \t%d\t%d ns/op\t%.4f recall_healed\t%d lost_healed\t%d extra_healed\t%d lost_outage\t%d adverts_expired\t%d link_downs\t%d link_recoveries\t%d resyncs\n",
-		name, o.publish, elapsed.Nanoseconds()/int64(o.publish), recall3, lost3, extra3, lost2, expired, downs, recoveries, resyncs)
-	fmt.Printf("# chaos: phase-3 recall %.4f (%d lost, %d extra of %d expected) after losing broker n%02d and link n%02d—n%02d mid-run; %d adverts expired, %d link downs, %d recoveries, %d resyncs\n",
-		recall3, lost3, extra3, exp3Total, victim, sever[0], sever[1], expired, downs, recoveries, resyncs)
+	fmt.Printf("BenchmarkOverlayChaos/%s \t%d\t%d ns/op\t%.4f recall_healed\t%d lost_healed\t%d extra_healed\t%d lost_outage\t%d lost_unacked\t%d redelivered\t%d duplicates\t%d adverts_expired\t%d link_downs\t%d link_recoveries\t%d resyncs\n",
+		name, o.publish, elapsed.Nanoseconds()/int64(o.publish), recall3, lost3, extra3, lost2, lostUnacked, redelivered, dupes, expired, downs, recoveries, resyncs)
+	fmt.Printf("# chaos: phase-3 recall %.4f (%d lost, %d extra of %d expected) after losing broker n%02d, its consumers (%d deliveries in flight), and link n%02d—n%02d mid-run; %d redelivered with %d lost, %d adverts expired, %d link downs, %d recoveries, %d resyncs\n",
+		recall3, lost3, extra3, exp3Total, victim, inFlight, sever[0], sever[1], redelivered, lostUnacked, expired, downs, recoveries, resyncs)
 
 	if o.check {
 		if lost1 != 0 || extra1 != 0 {
 			return fmt.Errorf("phase 1 (healthy) delivery mismatch: %d lost, %d extra", lost1, extra1)
 		}
+		if lostKSurv != 0 || extraKSurv != 0 {
+			return fmt.Errorf("consumer-kill batch mismatch at survivors: %d lost, %d extra", lostKSurv, extraKSurv)
+		}
+		if lostKVict != 0 || extraKVict != 0 {
+			return fmt.Errorf("consumer-kill batch mismatch at the victim's consumers: %d lost, %d extra", lostKVict, extraKVict)
+		}
+		if inFlight == 0 {
+			return fmt.Errorf("consumer kill left nothing in flight: the workload routed no documents to the victim (rerun with more subs/docs)")
+		}
 		if extra2 != 0 {
 			return fmt.Errorf("phase 2 (degraded) produced %d phantom deliveries", extra2)
+		}
+		if lostUnacked != 0 || extraUnacked != 0 {
+			return fmt.Errorf("at-least-once contract broken across the crash: %d unacked deliveries lost, %d beyond the window", lostUnacked, extraUnacked)
+		}
+		if redelivered == 0 {
+			return fmt.Errorf("recovery redelivered the window without Redelivered flags (got %d deliveries, 0 flagged)", postHealTotal)
 		}
 		if lost3 != 0 || extra3 != 0 {
 			return fmt.Errorf("phase 3 (healed) delivery mismatch: %d lost, %d extra (recall %.4f)", lost3, extra3, recall3)

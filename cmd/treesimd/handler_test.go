@@ -22,7 +22,7 @@ func testHandler(t *testing.T) (http.Handler, *broker.Engine, *telemetry.EventRi
 	t.Cleanup(func() { eng.Close() })
 	events := telemetry.NewEventRing(16)
 	logger := slog.New(slog.DiscardHandler)
-	return newHandler(eng, nil, reg, events, 1<<20, time.Second, logger), eng, events
+	return newHandler(eng, nil, reg, events, 1<<20, time.Second, broker.AtMostOnce, logger), eng, events
 }
 
 func do(t *testing.T, h http.Handler, method, path, contentType, body string) *httptest.ResponseRecorder {

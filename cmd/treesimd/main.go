@@ -10,13 +10,19 @@
 //
 // API (all bodies JSON unless noted):
 //
-//	POST   /subscribe          {"pattern": "/a/b[c]"}     → {"id": 7}
+//	POST   /subscribe          {"pattern": "/a/b[c]",
+//	                            "mode": "at-least-once"}  → {"id": 7, "mode": "..."}
+//	                           (mode optional; default from -delivery-mode)
 //	DELETE /subscribe/{id}                                → 204
 //	POST   /publish            raw XML document           → routing summary
 //	POST   /publish            JSON ["<a/>", ...] or {"docs": [...]}
 //	                           (Content-Type: application/json)
 //	                                                      → aggregate batch summary
-//	GET    /deliveries/{id}?max=100&wait=5s               → {"deliveries": [...]}
+//	GET    /deliveries/{id}?max=100&wait=5s               → {"deliveries": [...], "mode": ...,
+//	                                                         "gap": N (at-most-once: evictions since last poll),
+//	                                                         "cursor"/"committed" (at-least-once)}
+//	POST   /ack/{id}           {"cursor": N}              → {"acked": M}
+//	                           (at-least-once only: commits every delivery with cursor ≤ N)
 //	GET    /doc/{seq}                                     → raw XML of a recent publish
 //	GET    /stats                                         → broker stats
 //	GET    /metrics                                       → Prometheus text exposition
@@ -70,6 +76,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -103,6 +110,8 @@ func main() {
 		threshold = flag.Float64("threshold", 0.5, "community similarity threshold")
 		shards    = flag.Int("shards", 0, "matching/delivery shards (0: scale with GOMAXPROCS, <0: single shard)")
 		queueCap  = flag.Int("queue", 256, "per-consumer delivery queue capacity")
+		dmode     = flag.String("delivery-mode", "at-most-once", "default delivery contract for new subscriptions: at-most-once|at-least-once")
+		ackLease  = flag.Duration("ack-lease", 30*time.Second, "redelivery lease for drained-but-unacked at-least-once deliveries")
 		ingestQ   = flag.Int("ingest-queue", 1024, "publish ingest pipeline depth")
 		maxStale  = flag.Int("rebuild-stale", 0, "rebuild after N mutations (0: use -rebuild-fraction)")
 		fraction  = flag.Float64("rebuild-fraction", 0.25, "rebuild when churn exceeds this fraction of live subscriptions")
@@ -137,6 +146,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Shards = *shards
+	cfg.AckLease = *ackLease
+	defaultMode, err := broker.ParseDeliveryMode(*dmode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treesimd:", err)
+		os.Exit(2)
+	}
 	// One registry for the whole process: engine, store, and overlay
 	// node all report into it, and GET /metrics is the single scrape.
 	reg := telemetry.NewRegistry()
@@ -237,7 +252,7 @@ func main() {
 		}
 	}
 
-	gate.setReady(newHandler(eng, node, reg, events, *maxBody, *peerTO, logger))
+	gate.setReady(newHandler(eng, node, reg, events, *maxBody, *peerTO, defaultMode, logger))
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
@@ -396,23 +411,32 @@ type publishResponse struct {
 
 // newHandler wires the broker (and overlay node, when federated) into a
 // net/http mux (method-and-path patterns, Go ≥ 1.22).
-func newHandler(eng *broker.Engine, node *overlay.Node, reg *telemetry.Registry, events *telemetry.EventRing, maxBody int64, peerTimeout time.Duration, logger *slog.Logger) http.Handler {
+func newHandler(eng *broker.Engine, node *overlay.Node, reg *telemetry.Registry, events *telemetry.EventRing, maxBody int64, peerTimeout time.Duration, defaultMode broker.DeliveryMode, logger *slog.Logger) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Pattern string `json:"pattern"`
+			Mode    string `json:"mode"`
 		}
 		if err := json.NewDecoder(bodyReader(r, maxBody)).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
-		id, err := eng.Subscribe(req.Pattern)
+		mode := defaultMode
+		if req.Mode != "" {
+			var err error
+			if mode, err = broker.ParseDeliveryMode(req.Mode); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		id, err := eng.SubscribeOpts(req.Pattern, broker.SubscribeOptions{Mode: mode})
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]uint64{"id": id})
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "mode": mode.String()})
 	})
 
 	mux.HandleFunc("DELETE /subscribe/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -480,15 +504,68 @@ func newHandler(eng *broker.Engine, node *overlay.Node, reg *telemetry.Registry,
 				wait = 30 * time.Second
 			}
 		}
-		ds, err := eng.Drain(id, max, wait)
+		res, err := eng.DrainBatch(id, max, wait)
 		if err != nil {
 			httpError(w, http.StatusNotFound, "%v", err)
 			return
 		}
+		ds := res.Deliveries
 		if ds == nil {
 			ds = []broker.Delivery{}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"deliveries": ds, "pending": eng.Pending(id)})
+		resp := map[string]any{
+			"deliveries": ds,
+			"pending":    eng.Pending(id),
+			"mode":       res.Mode.String(),
+		}
+		if res.Mode == broker.AtLeastOnce {
+			// Batch bookkeeping for the ack protocol: cursor is what the
+			// consumer acks after processing, committed its durable floor.
+			resp["cursor"] = res.Cursor
+			resp["committed"] = res.Committed
+			if res.Redelivered > 0 {
+				resp["redelivered"] = res.Redelivered
+			}
+		} else {
+			// Explicit loss marker: deliveries evicted (drop-oldest) since
+			// the previous poll observed the queue.
+			resp["gap"] = res.Gap
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	// POST /ack/{id} commits an at-least-once consumer's progress: every
+	// delivery with cursor ≤ the posted cursor is discharged, never to be
+	// redelivered, and its document's retention pin drops. Acks are
+	// idempotent; re-acking a committed cursor is a 200 with acked 0.
+	mux.HandleFunc("POST /ack/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad id: %v", err)
+			return
+		}
+		var req struct {
+			Cursor uint64 `json:"cursor"`
+		}
+		if err := json.NewDecoder(bodyReader(r, maxBody)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		acked, err := eng.Ack(id, req.Cursor)
+		if err != nil {
+			status := http.StatusBadRequest // ErrBadCursor: cursor never issued
+			switch {
+			case errors.Is(err, broker.ErrNotFound):
+				status = http.StatusNotFound
+			case errors.Is(err, broker.ErrWrongMode):
+				status = http.StatusConflict
+			case errors.Is(err, broker.ErrClosed):
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"acked": acked})
 	})
 
 	mux.HandleFunc("GET /doc/{seq}", func(w http.ResponseWriter, r *http.Request) {

@@ -24,8 +24,8 @@ import (
 // record's LSN flows back so the engine can watermark its state cuts.
 type walJournal struct{ s *persist.Store }
 
-func (j walJournal) Subscribed(id uint64, expr string, group int) (uint64, error) {
-	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
+func (j walJournal) Subscribed(id uint64, expr string, group int, mode broker.DeliveryMode) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group, Mode: uint8(mode)})
 }
 
 func (j walJournal) Unsubscribed(id uint64) (uint64, error) {
@@ -34,6 +34,18 @@ func (j walJournal) Unsubscribed(id uint64) (uint64, error) {
 
 func (j walJournal) Rebuilt(groups [][]uint64, reps []uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
+}
+
+func (j walJournal) Delivered(seq uint64, xml string, subs, cursors []uint64, comms []int) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpDeliver, Seq: seq, XML: xml, Subs: subs, Cursors: cursors, Comms: comms})
+}
+
+func (j walJournal) Acked(id uint64, upto uint64) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpAck, ID: id, Cursor: upto})
+}
+
+func (j walJournal) Drained(id uint64, upto uint64) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpDrained, ID: id, Cursor: upto})
 }
 
 // daemonPersist owns the store and the periodic snapshot loop.
@@ -104,11 +116,17 @@ func openDataDir(dir string, cfg broker.Config, walSync bool, reg *telemetry.Reg
 		replayed++
 		switch rec.Op {
 		case persist.OpSubscribe:
-			return eng.ApplySubscribed(rec.ID, rec.Expr, rec.Group)
+			return eng.ApplySubscribed(rec.ID, rec.Expr, rec.Group, broker.DeliveryMode(rec.Mode))
 		case persist.OpUnsubscribe:
 			return eng.ApplyUnsubscribed(rec.ID)
 		case persist.OpRebuild:
 			return eng.ApplyRebuilt(rec.Groups, rec.Reps)
+		case persist.OpDeliver:
+			return eng.ApplyDelivered(rec.Seq, rec.XML, rec.Subs, rec.Cursors, rec.Comms)
+		case persist.OpAck:
+			return eng.ApplyAcked(rec.ID, rec.Cursor)
+		case persist.OpDrained:
+			return eng.ApplyDrained(rec.ID, rec.Cursor)
 		default:
 			return fmt.Errorf("unknown wal op %q", rec.Op)
 		}

@@ -104,8 +104,26 @@ type Config struct {
 	// DocCache is how many recent published documents stay retrievable
 	// by sequence number (Document; the daemon's GET /doc/{seq}), so
 	// consumers can fetch the content behind a delivery. Default 4096;
-	// negative disables retention.
+	// negative disables retention. Documents referenced by unacked
+	// at-least-once deliveries are pinned outside this budget and stay
+	// retrievable until every referencing subscription acks, sheds, or
+	// unsubscribes.
 	DocCache int
+	// AckQueueCapacity bounds each at-least-once cursor log (default
+	// 4× QueueCapacity). A full log sheds its oldest entry — counted,
+	// never silent — so a dead consumer cannot pin unbounded memory.
+	AckQueueCapacity int
+	// AckLease is how long a drained at-least-once delivery stays in
+	// flight before a missing ack returns it to redeliverable (default
+	// 30s). It is also the consumer-session lease: a consumer that
+	// stops polling loses its window after AckLease and a reconnecting
+	// one resumes from the committed cursor with redelivery.
+	AckLease time.Duration
+	// LeaseSweep is the background lease-sweeper interval (default
+	// AckLease/4 clamped to [10ms, 1s]). Drains also reclaim lapsed
+	// leases inline, so the sweeper only bounds how long a fully
+	// in-flight queue can park a long-poller.
+	LeaseSweep time.Duration
 	// Rebuild decides when accumulated churn warrants a full
 	// re-clustering (default: DirtyFraction{Fraction: 0.25, MinStale: 64}).
 	Rebuild RebuildPolicy
@@ -142,6 +160,21 @@ func (c Config) withDefaults() Config {
 	if c.DocCache == 0 {
 		c.DocCache = 4096
 	}
+	if c.AckQueueCapacity <= 0 {
+		c.AckQueueCapacity = 4 * c.QueueCapacity
+	}
+	if c.AckLease <= 0 {
+		c.AckLease = 30 * time.Second
+	}
+	if c.LeaseSweep <= 0 {
+		c.LeaseSweep = c.AckLease / 4
+		if c.LeaseSweep < 10*time.Millisecond {
+			c.LeaseSweep = 10 * time.Millisecond
+		}
+		if c.LeaseSweep > time.Second {
+			c.LeaseSweep = time.Second
+		}
+	}
 	if c.Rebuild == nil {
 		c.Rebuild = DirtyFraction{Fraction: 0.25, MinStale: 64}
 	}
@@ -151,12 +184,54 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// DeliveryMode selects a subscription's delivery contract, fixed at
+// subscribe time.
+type DeliveryMode uint8
+
+const (
+	// AtMostOnce is the default: a bounded drop-oldest ring. A slow
+	// consumer loses the oldest deliveries first; the loss is counted
+	// and surfaces as the drain's gap marker, never silently.
+	AtMostOnce DeliveryMode = iota
+	// AtLeastOnce is the acked contract: deliveries are a cursor-ordered
+	// log, drains lease out a window, Ack advances the committed cursor,
+	// and unacked deliveries past the lease are redelivered — across
+	// consumer reconnects and (with a journal) broker crashes.
+	AtLeastOnce
+)
+
+// String renders the mode as its wire name.
+func (m DeliveryMode) String() string {
+	if m == AtLeastOnce {
+		return "at-least-once"
+	}
+	return "at-most-once"
+}
+
+// ParseDeliveryMode parses a wire-format mode name. The empty string is
+// the default (at-most-once).
+func ParseDeliveryMode(s string) (DeliveryMode, error) {
+	switch s {
+	case "", "at-most-once":
+		return AtMostOnce, nil
+	case "at-least-once":
+		return AtLeastOnce, nil
+	}
+	return AtMostOnce, fmt.Errorf("broker: unknown delivery mode %q", s)
+}
+
 // Delivery is one document delivered to one subscription.
 type Delivery struct {
 	// Doc is the broker-assigned publish sequence number.
 	Doc uint64 `json:"doc"`
 	// Community is the community index whose representative matched.
 	Community int `json:"community"`
+	// Cursor is the subscription-local delivery cursor (at-least-once
+	// mode only; acking a cursor acknowledges every delivery up to it).
+	Cursor uint64 `json:"cursor,omitempty"`
+	// Redelivered marks a delivery handed out before (lease lapse or
+	// crash recovery) — the duplicate the at-least-once contract allows.
+	Redelivered bool `json:"redelivered,omitempty"`
 }
 
 // PublishResult summarizes the routing of one published document.
@@ -185,6 +260,8 @@ type subscriber struct {
 	id   uint64
 	pat  *pattern.Pattern
 	expr string
+	// mode is the delivery contract, fixed at subscribe time.
+	mode DeliveryMode
 	// shard is the index of the shard holding the subscription's
 	// community; fh is its handle in that shard's forest.
 	shard int
@@ -269,6 +346,21 @@ type Engine struct {
 	// recovery (SetJournal). Append failures are counted, not fatal.
 	journal atomic.Pointer[Journal]
 
+	// deliveryLSN is the highest journaled delivery-plane LSN
+	// (OpDeliver/OpAck/OpDrained), maintained as a CAS max. Delivery
+	// records are journaled outside the registry lock, so they get
+	// their own watermark; State folds it into WalLSN, reading it
+	// BEFORE copying any queue — every delivery record at or below the
+	// fold provably has its queue effect in the cut (effects precede
+	// appends), and everything above it replays idempotently.
+	deliveryLSN atomic.Uint64
+
+	// sweepStop/sweepWG bound the background lease sweeper that
+	// returns lapsed at-least-once leases to redeliverable and wakes
+	// parked long-polls.
+	sweepStop chan struct{}
+	sweepWG   sync.WaitGroup
+
 	pubSeq   atomic.Uint64
 	counters counters
 	// tel is the metrics registry (cfg.Telemetry or a private one);
@@ -307,6 +399,7 @@ func newEngine(cfg Config, est *core.Estimator) *Engine {
 		ingest:    make(chan ingestItem, cfg.IngestQueue),
 		tel:       tel,
 		counters:  newCounters(tel),
+		sweepStop: make(chan struct{}),
 	}
 	lb := telemetry.DefaultLatencyBuckets()
 	e.pubLat = tel.Histogram("treesim_broker_publish_ns", "End-to-end publish latency (ingest enqueue + shard routing), nanoseconds.", lb)
@@ -321,11 +414,54 @@ func newEngine(cfg Config, est *core.Estimator) *Engine {
 	}
 	e.registerGauges()
 	if cfg.DocCache > 0 {
-		e.docs = &docRing{buf: make([]docEntry, cfg.DocCache)}
+		e.docs = &docRing{buf: make([]docEntry, cfg.DocCache), pinned: make(map[uint64]*pinnedDoc)}
 	}
 	e.ingestWG.Add(1)
 	go e.runIngest()
+	e.sweepWG.Add(1)
+	go e.runLeaseSweeper()
 	return e
+}
+
+// runLeaseSweeper periodically reclaims lapsed at-least-once leases.
+// Drains reclaim inline too; the sweeper exists so a long-poller parked
+// on a fully in-flight queue is woken when a lease lapses, and so
+// lease-expiry metrics move without consumer traffic.
+func (e *Engine) runLeaseSweeper() {
+	defer e.sweepWG.Done()
+	t := time.NewTicker(e.cfg.LeaseSweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.sweepStop:
+			return
+		case <-t.C:
+			e.SweepLeases(time.Now())
+		}
+	}
+}
+
+// SweepLeases reclaims every at-least-once lease lapsed as of now and
+// returns the number of deliveries flipped back to redeliverable.
+// The background sweeper calls it on a timer; tests call it directly
+// for deterministic expiry.
+func (e *Engine) SweepLeases(now time.Time) int {
+	e.mu.RLock()
+	qs := make([]*queue, 0, len(e.subs))
+	for _, s := range e.subs {
+		if s.mode == AtLeastOnce {
+			qs = append(qs, s.q)
+		}
+	}
+	e.mu.RUnlock()
+	n := 0
+	for _, q := range qs {
+		n += q.expire(now)
+	}
+	if n > 0 {
+		e.counters.leaseExpiries.Add(uint64(n))
+	}
+	return n
 }
 
 // Estimator exposes the underlying streaming estimator (shared; follow
@@ -354,13 +490,19 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	// Quiesce the routing plane before closing queues: holding routeMu
 	// exclusively waits out in-flight publishes, so no fan-out races the
-	// queue closes (a post-Close publish routes to nobody).
+	// queue closes (a post-Close publish routes to nobody). Closing an
+	// at-least-once queue releases its retention pins — the delivery
+	// contract ends with the engine; durable cursors live in the WAL.
 	e.routeMu.Lock()
 	e.routeClosed = true
 	for _, s := range subs {
-		s.q.close()
+		if seqs := s.q.close(); len(seqs) > 0 {
+			e.docs.unpin(seqs)
+		}
 	}
 	e.routeMu.Unlock()
+	close(e.sweepStop)
+	e.sweepWG.Wait()
 	// Acquiring pipeMu exclusively waits out any publisher mid-send, so
 	// the channel close below cannot race a send.
 	e.pipeMu.Lock()
@@ -378,6 +520,14 @@ var ErrClosed = fmt.Errorf("broker: engine closed")
 // id that is not live — including one that has just been unsubscribed,
 // so a drain racing an unsubscribe resolves to a definitive not-found.
 var ErrNotFound = fmt.Errorf("broker: unknown subscription")
+
+// ErrWrongMode is returned (wrapped) by Ack on a subscription that is
+// not at-least-once: an at-most-once consumer has nothing to ack.
+var ErrWrongMode = fmt.Errorf("broker: subscription is not at-least-once")
+
+// ErrBadCursor is returned by Ack for a cursor the subscription's log
+// never assigned — a consumer can only acknowledge what it was handed.
+var ErrBadCursor = fmt.Errorf("broker: cursor was never issued")
 
 // ChurnEvent describes one committed registry mutation, delivered to
 // the churn hook. The overlay federation layer uses the stream to
@@ -413,20 +563,37 @@ func (e *Engine) notifyChurn(ev ChurnEvent) {
 	}
 }
 
+// SubscribeOptions selects per-subscription behavior beyond the
+// pattern. The zero value is today's default contract (at-most-once).
+type SubscribeOptions struct {
+	// Mode is the delivery contract (default AtMostOnce).
+	Mode DeliveryMode
+}
+
 // Subscribe registers a tree-pattern subscription given as an XPath
 // expression and returns its id. The new subscription's similarity row
 // against the live registry is computed incrementally (no full-matrix
 // rebuild) and the subscription joins the best existing community, or
 // founds its own; accumulated churn may then trigger a policy rebuild.
 func (e *Engine) Subscribe(expr string) (uint64, error) {
+	return e.SubscribeOpts(expr, SubscribeOptions{})
+}
+
+// SubscribeOpts is Subscribe with explicit options.
+func (e *Engine) SubscribeOpts(expr string, opt SubscribeOptions) (uint64, error) {
 	p, err := pattern.Parse(expr)
 	if err != nil {
 		return 0, err
 	}
-	return e.SubscribePattern(p, expr)
+	return e.SubscribePatternOpts(p, expr, opt)
 }
 
 // SubscribePattern is Subscribe for a pre-parsed pattern.
+func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, error) {
+	return e.SubscribePatternOpts(p, expr, SubscribeOptions{})
+}
+
+// SubscribePatternOpts is the full subscribe entry point.
 //
 // The O(n) similarity row — the dominant cost — is computed from a
 // registry snapshot without holding the registry lock, so concurrent
@@ -434,7 +601,7 @@ func (e *Engine) Subscribe(expr string) (uint64, error) {
 // registry has not churned meanwhile. After bounded retries under
 // sustained churn it falls back to computing under the exclusive lock,
 // guaranteeing progress.
-func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, error) {
+func (e *Engine) SubscribePatternOpts(p *pattern.Pattern, expr string, opt SubscribeOptions) (uint64, error) {
 	pats, _ := e.patsPool.Get().(*[]*pattern.Pattern)
 	if pats == nil {
 		pats = new([]*pattern.Pattern)
@@ -467,7 +634,7 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 			return 0, ErrClosed
 		}
 		if e.regVer == ver {
-			id := e.commitSubscribeLocked(p, expr, row)
+			id := e.commitSubscribeLocked(p, expr, row, opt)
 			ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
 			e.mu.Unlock()
 			e.notifyChurn(ev)
@@ -485,7 +652,7 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 	*pats = e.patternsLocked((*pats)[:0])
 	row := e.est.SimilarityRowInto(*rowBuf, e.cfg.Metric, p, *pats)
 	*rowBuf = row
-	id := e.commitSubscribeLocked(p, expr, row)
+	id := e.commitSubscribeLocked(p, expr, row, opt)
 	ev := ChurnEvent{Stale: e.stale, Live: len(e.subs)}
 	e.mu.Unlock()
 	e.notifyChurn(ev)
@@ -496,7 +663,7 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 // commitSubscribeLocked installs a new subscription given its
 // similarity row against the current registry. Caller holds the write
 // lock and has validated the row's registry version.
-func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []float64) uint64 {
+func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []float64, opt SubscribeOptions) uint64 {
 	g := e.comms.Assign(row)
 	if g == len(e.commShard) {
 		// A freshly founded community: pin it to the least-loaded shard.
@@ -517,9 +684,10 @@ func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []fl
 		id:    id,
 		pat:   p,
 		expr:  expr,
+		mode:  opt.Mode,
 		shard: si,
 		fh:    fh,
-		q:     newQueue(e.cfg.QueueCapacity),
+		q:     e.newSubQueue(opt.Mode),
 	})
 	e.shardLive[si]++
 	e.counters.subscribes.Add(1)
@@ -533,7 +701,7 @@ func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []fl
 	// the commit order (a µs-scale write syscall; fsync policy lives in
 	// the journal implementation).
 	if j := e.journal.Load(); j != nil {
-		if lsn, err := (*j).Subscribed(id, expr, g); err != nil {
+		if lsn, err := (*j).Subscribed(id, expr, g, opt.Mode); err != nil {
 			e.counters.journalErrors.Add(1)
 		} else if lsn > e.walLSN {
 			e.walLSN = lsn
@@ -575,7 +743,12 @@ func (e *Engine) removeSubLocked(id uint64) bool {
 		return false
 	}
 	s := e.subs[idx]
-	s.q.close()
+	// Closing the queue discharges any remaining at-least-once entries:
+	// an unsubscribe is the consumer's explicit exit from the delivery
+	// contract, so the documents' retention pins drop with it.
+	if seqs := s.q.close(); len(seqs) > 0 {
+		e.docs.unpin(seqs)
+	}
 	delete(e.byID, id)
 	g := e.comms.Find(idx)
 	groupsBefore := len(e.comms.Groups)
@@ -686,23 +859,154 @@ func (e *Engine) patternsLocked(dst []*pattern.Pattern) []*pattern.Pattern {
 	return dst
 }
 
+// newSubQueue builds the delivery queue for a subscription's mode.
+func (e *Engine) newSubQueue(mode DeliveryMode) *queue {
+	if mode == AtLeastOnce {
+		return newAckQueue(e.cfg.AckQueueCapacity)
+	}
+	return newQueue(e.cfg.QueueCapacity)
+}
+
+// DrainResult is one drain's batch plus the delivery-contract context
+// the plain []Delivery return never carried.
+type DrainResult struct {
+	// Deliveries is the batch, in cursor order for at-least-once
+	// subscriptions.
+	Deliveries []Delivery
+	// Mode is the subscription's delivery contract.
+	Mode DeliveryMode
+	// Cursor is the highest cursor in the batch (at-least-once; 0 on an
+	// empty batch). Acking it acknowledges the whole batch and every
+	// earlier delivery.
+	Cursor uint64
+	// Committed is the subscription's committed (acked) cursor.
+	Committed uint64
+	// Redelivered counts batch entries handed out before (lease lapse
+	// or crash recovery).
+	Redelivered int
+	// Gap counts at-most-once deliveries evicted (drop-oldest) since
+	// the previous drain observed them — the explicit marker that the
+	// consumer missed documents between polls.
+	Gap uint64
+}
+
 // Drain removes and returns up to max queued deliveries for the given
 // subscription. If the queue is empty it long-polls up to wait before
-// returning an empty batch. Unknown ids error.
+// returning an empty batch. Unknown ids error. For at-least-once
+// subscriptions the batch is leased, not discharged — pair with Ack
+// (DrainBatch exposes the cursor bookkeeping).
 func (e *Engine) Drain(id uint64, max int, wait time.Duration) ([]Delivery, error) {
+	r, err := e.DrainBatch(id, max, wait)
+	return r.Deliveries, err
+}
+
+// DrainBatch is Drain with the full delivery-contract envelope: the
+// batch cursor and committed watermark (at-least-once) or the eviction
+// gap marker (at-most-once). At-least-once batches go in flight under
+// the configured lease; the hand-out is journaled (OpDrained) so a
+// broker crash still owes the window — the recovered log redelivers it,
+// flagged Redelivered.
+func (e *Engine) DrainBatch(id uint64, max int, wait time.Duration) (DrainResult, error) {
 	e.mu.RLock()
 	idx, ok := e.byID[id]
-	var q *queue
+	var s *subscriber
+	closed := e.closed
 	if ok {
-		q = e.subs[idx].q
+		s = e.subs[idx]
 	}
 	e.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w %d", ErrNotFound, id)
+		return DrainResult{}, fmt.Errorf("%w %d", ErrNotFound, id)
 	}
-	ds := q.drain(max, wait)
+	r := DrainResult{Mode: s.mode}
+	if s.mode == AtLeastOnce {
+		ds, committed, redelivered := s.q.drainAcked(max, wait, e.cfg.AckLease, &e.counters)
+		r.Deliveries, r.Committed, r.Redelivered = ds, committed, redelivered
+		if redelivered > 0 {
+			e.counters.redeliveries.Add(uint64(redelivered))
+		}
+		if n := len(ds); n > 0 {
+			r.Cursor = ds[n-1].Cursor
+			e.counters.drained.Add(uint64(n))
+			// Journal the hand-out (skipped on a closed engine — the
+			// store may already be sealed behind the final snapshot). A
+			// lost OpDrained only costs the redelivered flag, never the
+			// redelivery itself.
+			if !closed {
+				if j := e.journal.Load(); j != nil {
+					if lsn, err := (*j).Drained(id, r.Cursor); err != nil {
+						e.counters.journalErrors.Add(1)
+					} else {
+						e.bumpDeliveryLSN(lsn)
+					}
+				}
+			}
+		}
+		return r, nil
+	}
+	ds, gap := s.q.drain(max, wait)
+	r.Deliveries, r.Gap = ds, gap
 	e.counters.drained.Add(uint64(len(ds)))
-	return ds, nil
+	return r, nil
+}
+
+// Ack acknowledges every delivery of subscription id with cursor ≤
+// upto: the committed cursor advances, the discharged documents'
+// retention pins drop, and none of the acked window is ever redelivered
+// — the advance is journaled (OpAck) before Ack returns, so it holds
+// across a crash. Returns the number of deliveries discharged (0 when
+// re-acking an already-committed cursor — acks are idempotent).
+// Errors: unknown id (ErrNotFound), an at-most-once subscription
+// (ErrWrongMode), a cursor the log never issued (ErrBadCursor), or a
+// closed engine (ErrClosed — acks are mutations).
+func (e *Engine) Ack(id uint64, upto uint64) (int, error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	idx, ok := e.byID[id]
+	var s *subscriber
+	if ok {
+		s = e.subs[idx]
+	}
+	e.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w %d", ErrNotFound, id)
+	}
+	if s.mode != AtLeastOnce {
+		return 0, fmt.Errorf("%w (id %d)", ErrWrongMode, id)
+	}
+	acked, advanced, unpin, err := s.q.ack(upto, true)
+	if err != nil {
+		return 0, fmt.Errorf("%w (id %d, cursor %d)", err, id, upto)
+	}
+	e.docs.unpin(unpin)
+	if acked > 0 {
+		e.counters.acked.Add(uint64(acked))
+	}
+	if advanced {
+		if j := e.journal.Load(); j != nil {
+			if lsn, err := (*j).Acked(id, upto); err != nil {
+				e.counters.journalErrors.Add(1)
+			} else {
+				e.bumpDeliveryLSN(lsn)
+			}
+		}
+	}
+	return acked, nil
+}
+
+// bumpDeliveryLSN raises the delivery-plane WAL watermark (CAS max —
+// delivery records are journaled outside the registry lock, so appends
+// can complete out of order relative to each other).
+func (e *Engine) bumpDeliveryLSN(lsn uint64) {
+	for {
+		cur := e.deliveryLSN.Load()
+		if lsn <= cur || e.deliveryLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
 }
 
 // CommunityView is a read-only snapshot of one community: the

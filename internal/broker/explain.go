@@ -206,23 +206,55 @@ type SubscriptionInfo struct {
 	Pattern   string `json:"pattern"`
 	Community int    `json:"community"`
 	Shard     int    `json:"shard"`
-	// Pending is the subscription's current delivery-queue depth.
+	// Mode is the delivery contract ("at-most-once" / "at-least-once").
+	Mode string `json:"mode"`
+	// Pending is the subscription's current delivery-queue depth:
+	// ring occupancy, or redeliverable (unleased) cursor-log entries.
 	Pending int `json:"pending"`
+	// Dropped is the subscription's lifetime drop-oldest evictions
+	// (at-most-once) — the per-consumer attribution of the aggregate
+	// treesim_broker_dropped_total counter.
+	Dropped uint64 `json:"dropped,omitempty"`
+	// The at-least-once ledger: InFlight entries currently leased,
+	// Committed/LastCursor the cursor watermarks, Delivered log
+	// accepts, Acked discharges, Redelivered repeat hand-outs, Shed
+	// capacity-overflow losses, LeaseExpiries lapsed leases. At every
+	// quiescent point Delivered == Acked + Pending + InFlight + Shed.
+	InFlight      int    `json:"in_flight,omitempty"`
+	Committed     uint64 `json:"committed,omitempty"`
+	LastCursor    uint64 `json:"last_cursor,omitempty"`
+	Delivered     uint64 `json:"delivered,omitempty"`
+	Acked         uint64 `json:"acked,omitempty"`
+	Redelivered   uint64 `json:"redelivered,omitempty"`
+	Shed          uint64 `json:"shed,omitempty"`
+	LeaseExpiries uint64 `json:"lease_expiries,omitempty"`
 }
 
 // IntrospectSubscriptions snapshots every live subscription with its
-// community, shard, and queue depth, sorted by id.
+// community, shard, delivery mode, queue depth, and per-subscription
+// loss/redelivery ledger, sorted by id.
 func (e *Engine) IntrospectSubscriptions() []SubscriptionInfo {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	out := make([]SubscriptionInfo, 0, len(e.subs))
 	for idx, s := range e.subs {
+		mode, pending, inflight, committed, lastCursor, st, dropped := s.q.info()
 		out = append(out, SubscriptionInfo{
-			ID:        s.id,
-			Pattern:   s.expr,
-			Community: e.comms.Find(idx),
-			Shard:     s.shard,
-			Pending:   s.q.len(),
+			ID:            s.id,
+			Pattern:       s.expr,
+			Community:     e.comms.Find(idx),
+			Shard:         s.shard,
+			Mode:          mode.String(),
+			Pending:       pending,
+			Dropped:       dropped,
+			InFlight:      inflight,
+			Committed:     committed,
+			LastCursor:    lastCursor,
+			Delivered:     st.delivered,
+			Acked:         st.acked,
+			Redelivered:   st.redelivered,
+			Shed:          st.shed,
+			LeaseExpiries: st.expired,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

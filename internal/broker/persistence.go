@@ -8,6 +8,7 @@ import (
 	"treesim/internal/cluster"
 	"treesim/internal/core"
 	"treesim/internal/pattern"
+	"treesim/internal/xmltree"
 )
 
 // This file is the crash-recovery surface: a snapshotable State, a
@@ -30,16 +31,45 @@ const stateFormat = 1
 
 // SubEntry is one subscription in a State, identified by its stable id
 // and pattern expression (registry order is the State.Subs order).
+// The at-least-once fields (Mode 1) carry the delivery contract's
+// durable half: the committed cursor, the cursor high-water mark, and
+// the undischarged log entries. Zero values decode older snapshots as
+// plain at-most-once subscriptions.
 type SubEntry struct {
 	ID   uint64
 	Expr string
+	// Mode is the delivery contract (uint8 of DeliveryMode).
+	Mode uint8
+	// Committed is the highest acked cursor and LastCursor the highest
+	// assigned one (at-least-once only).
+	Committed  uint64
+	LastCursor uint64
+	// Queued is the undischarged cursor log in cursor order. Lease
+	// state is deliberately excluded: leases do not survive a restart,
+	// every recovered entry is immediately redeliverable.
+	Queued []QueuedDelivery
+}
+
+// QueuedDelivery is one undischarged at-least-once delivery in a
+// snapshot.
+type QueuedDelivery struct {
+	Cursor    uint64
+	Doc       uint64
+	Community int
+	// Attempts is how many times the entry was handed to a consumer —
+	// recovered entries with Attempts > 0 count as redeliveries when
+	// drained again.
+	Attempts int
 }
 
 // State is a point-in-time snapshot of the engine's durable state:
 // the subscription registry, the community partition with shard
 // placement, the id/sequence watermarks, and the estimator synopsis.
-// Delivery-queue contents are deliberately excluded — queued-but-
-// undrained deliveries die with the process (documented loss window).
+// At-most-once delivery-ring contents are deliberately excluded —
+// queued-but-undrained best-effort deliveries die with the process
+// (documented loss window, surfaced to consumers as a gap marker).
+// At-least-once cursor logs ARE included (SubEntry.Queued plus the
+// Docs content map): the acked contract survives the crash.
 type State struct {
 	// Format is the state format version (stateFormat).
 	Format int
@@ -59,12 +89,20 @@ type State struct {
 	Stale  int
 	PubSeq uint64
 	// WalLSN is the LSN of the last journal record whose effect this
-	// state includes (0 when nothing has been journaled). It is captured
-	// inside the same registry critical-section discipline as the
-	// journal appends, so it is exact: a snapshot stamped with it covers
-	// precisely the journaled mutations in Subs/Groups, and every record
-	// above it must replay. Pass it to persist.Store.WriteSnapshot.
+	// state includes (0 when nothing has been journaled). Registry
+	// records are watermarked inside the same critical sections that
+	// journal them; delivery-plane records (OpDeliver/OpAck/OpDrained)
+	// are folded in from a watermark read BEFORE any queue is copied,
+	// so a record at or below WalLSN provably has its effect in the
+	// cut and everything above replays (idempotently — cursors dedupe).
+	// Pass it to persist.Store.WriteSnapshot.
 	WalLSN uint64
+	// Docs maps publish sequence → serialized XML for every document
+	// referenced by a Queued entry, so recovery can repin content the
+	// retention ring lost with the process. A referenced document
+	// missing here (retention disabled, or discharged between the cut
+	// and the serialization) restores as an entry without content.
+	Docs map[uint64]string
 	// Estimator is the synopsis serialization (core.Estimator.Save).
 	Estimator []byte
 }
@@ -103,6 +141,11 @@ func DecodeState(data []byte) (*State, error) {
 // which is exactly what an ordered shutdown wants for its final
 // snapshot — close the engine first, then snapshot what it settled on.
 func (e *Engine) State() (*State, error) {
+	// Read the delivery-plane watermark BEFORE copying any queue: a
+	// delivery record journaled after this read gets a higher LSN and
+	// replays; one at or below it was appended — and therefore applied,
+	// effects precede appends — before every copy below.
+	dLSN := e.deliveryLSN.Load()
 	e.mu.RLock()
 	st := &State{
 		Format:    stateFormat,
@@ -115,14 +158,44 @@ func (e *Engine) State() (*State, error) {
 		Stale:     e.stale,
 		WalLSN:    e.walLSN,
 	}
+	var docSeqs []uint64
 	for i, s := range e.subs {
-		st.Subs[i] = SubEntry{ID: s.id, Expr: s.expr}
+		se := SubEntry{ID: s.id, Expr: s.expr, Mode: uint8(s.mode)}
+		if s.mode == AtLeastOnce {
+			se.Committed, se.LastCursor, se.Queued = s.q.snapshotEntries()
+			for _, qd := range se.Queued {
+				docSeqs = append(docSeqs, qd.Doc)
+			}
+		}
+		st.Subs[i] = se
 	}
 	for g, members := range e.comms.Groups {
 		st.Groups[g] = append([]int(nil), members...)
 	}
 	e.mu.RUnlock()
+	if dLSN > st.WalLSN {
+		st.WalLSN = dLSN
+	}
 	st.PubSeq = e.pubSeq.Load()
+	// Serialize the referenced documents (pins keep them retrievable; a
+	// concurrent ack can discharge one between the cut and here, but its
+	// OpAck record then post-dates the watermark and replays, removing
+	// the contentless entry again).
+	if len(docSeqs) > 0 {
+		st.Docs = make(map[uint64]string, len(docSeqs))
+		for _, seq := range docSeqs {
+			if _, ok := st.Docs[seq]; ok {
+				continue
+			}
+			if t := e.docs.get(seq); t != nil {
+				xml, err := xmltree.XMLString(t, false)
+				if err != nil {
+					return nil, fmt.Errorf("broker: serialize pinned doc %d: %w", seq, err)
+				}
+				st.Docs[seq] = xml
+			}
+		}
+	}
 	var buf bytes.Buffer
 	if err := e.est.Save(&buf); err != nil {
 		return nil, fmt.Errorf("broker: save estimator: %w", err)
@@ -162,6 +235,16 @@ func Restore(cfg Config, st *State) (*Engine, error) {
 		return nil, fmt.Errorf("broker: restore: partition covers %d items, registry has %d", comms.Len(), len(st.Subs))
 	}
 	e := newEngine(cfg, est)
+	// Parse each pinned document once, shared across every subscription
+	// that references it.
+	docTrees := make(map[uint64]*xmltree.Tree, len(st.Docs))
+	for seq, xml := range st.Docs {
+		t, err := xmltree.Parse(bytes.NewReader([]byte(xml)), cfg.Estimator.ParseOptions)
+		if err != nil {
+			return nil, fmt.Errorf("broker: restore pinned doc %d: %w", seq, err)
+		}
+		docTrees[seq] = t
+	}
 	for i, se := range st.Subs {
 		p, err := pattern.Parse(se.Expr)
 		if err != nil {
@@ -170,8 +253,23 @@ func Restore(cfg Config, st *State) (*Engine, error) {
 		if _, dup := e.byID[se.ID]; dup {
 			return nil, fmt.Errorf("broker: restore: duplicate subscription id %d", se.ID)
 		}
+		mode := DeliveryMode(se.Mode)
+		q := e.newSubQueue(mode)
+		if mode == AtLeastOnce {
+			// The engine is not shared yet; fields are set directly. All
+			// recovered entries are redeliverable (no surviving leases).
+			q.committed = se.Committed
+			q.lastCursor = se.LastCursor
+			for _, qd := range se.Queued {
+				q.entries = append(q.entries, ackEntry{cursor: qd.Cursor, doc: qd.Doc, comm: qd.Community, attempts: qd.Attempts})
+				q.stats.delivered++
+				if t, ok := docTrees[qd.Doc]; ok {
+					e.docs.pin(qd.Doc, t)
+				}
+			}
+		}
 		e.byID[se.ID] = i
-		e.subs = append(e.subs, &subscriber{id: se.ID, pat: p, expr: se.Expr, q: newQueue(cfg.QueueCapacity)})
+		e.subs = append(e.subs, &subscriber{id: se.ID, pat: p, expr: se.Expr, mode: mode, q: q})
 		if se.ID > e.nextID {
 			e.nextID = se.ID
 		}
@@ -226,13 +324,23 @@ func Restore(cfg Config, st *State) (*Engine, error) {
 type Journal interface {
 	// Subscribed records a committed subscription with the community
 	// group index the clustering chose (len(groups)-at-commit founds a
-	// new community).
-	Subscribed(id uint64, expr string, group int) (lsn uint64, err error)
+	// new community) and its delivery mode.
+	Subscribed(id uint64, expr string, group int, mode DeliveryMode) (lsn uint64, err error)
 	// Unsubscribed records a committed removal.
 	Unsubscribed(id uint64) (lsn uint64, err error)
 	// Rebuilt records a full re-clustering as the complete partition
 	// keyed by subscription ids (reps parallel to groups).
 	Rebuilt(groups [][]uint64, reps []uint64) (lsn uint64, err error)
+	// Delivered records one published document's at-least-once fan-out:
+	// the document sequence and content plus the parallel per-delivery
+	// arrays (subscription id, assigned cursor, community). Called
+	// outside the registry lock, after the queue appends.
+	Delivered(seq uint64, xml string, subs, cursors []uint64, comms []int) (lsn uint64, err error)
+	// Acked records a committed cursor advance for subscription id.
+	Acked(id uint64, upto uint64) (lsn uint64, err error)
+	// Drained records that deliveries up to upto were handed to a
+	// consumer (the in-flight window a recovered broker still owes).
+	Drained(id uint64, upto uint64) (lsn uint64, err error)
 }
 
 // SetJournal installs the journal. Install it once at boot, after
@@ -268,7 +376,7 @@ func (e *Engine) partitionIDsLocked() (groups [][]uint64, reps []uint64) {
 // cluster.PlaceAt), with no similarity computation. Replaying a record
 // whose id is already live is a no-op (idempotent recovery under
 // snapshot/WAL overlap). Use only during recovery, before traffic.
-func (e *Engine) ApplySubscribed(id uint64, expr string, group int) error {
+func (e *Engine) ApplySubscribed(id uint64, expr string, group int, mode DeliveryMode) error {
 	p, err := pattern.Parse(expr)
 	if err != nil {
 		return fmt.Errorf("broker: replay subscribe %d: %w", id, err)
@@ -299,15 +407,113 @@ func (e *Engine) ApplySubscribed(id uint64, expr string, group int) error {
 		id:    id,
 		pat:   p,
 		expr:  expr,
+		mode:  mode,
 		shard: si,
 		fh:    fh,
-		q:     newQueue(e.cfg.QueueCapacity),
+		q:     e.newSubQueue(mode),
 	})
 	e.shardLive[si]++
 	e.stale++
 	e.regVer++
 	e.rebuildShardRoutingInner(si)
 	sh.mu.Unlock()
+	return nil
+}
+
+// ApplyDelivered replays a journaled at-least-once fan-out. Each
+// (subscription, cursor) pair re-enters that subscription's cursor log
+// unless the cursor was already seen — cursors are monotonic and never
+// reused, so an entry at or below the restored high-water mark (or the
+// committed cursor) is a snapshot/WAL overlap and is skipped, making
+// double replay exactly idempotent. Re-inserted entries repin the
+// document carried in the record; unknown or at-most-once subscription
+// ids are skipped (unsubscribed later in the WAL, or never durable).
+func (e *Engine) ApplyDelivered(seq uint64, xml string, subs, cursors []uint64, comms []int) error {
+	if len(subs) != len(cursors) || len(subs) != len(comms) {
+		return fmt.Errorf("broker: replay deliver %d: %d subs, %d cursors, %d comms", seq, len(subs), len(cursors), len(comms))
+	}
+	var t *xmltree.Tree
+	if xml != "" {
+		var err error
+		t, err = xmltree.Parse(bytes.NewReader([]byte(xml)), e.cfg.Estimator.ParseOptions)
+		if err != nil {
+			return fmt.Errorf("broker: replay deliver %d: %w", seq, err)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	// Keep the sequence watermark ahead of every replayed document so a
+	// recovered engine never reassigns a pinned sequence.
+	for {
+		cur := e.pubSeq.Load()
+		if seq <= cur || e.pubSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	for i, subID := range subs {
+		idx, ok := e.byID[subID]
+		if !ok {
+			continue
+		}
+		s := e.subs[idx]
+		if s.mode != AtLeastOnce {
+			continue
+		}
+		shedDoc, shed, inserted := s.q.restore(cursors[i], seq, comms[i], 1)
+		if shed {
+			e.docs.unpinOne(shedDoc)
+		}
+		if inserted && t != nil {
+			e.docs.pin(seq, t)
+		}
+	}
+	return nil
+}
+
+// ApplyAcked replays a journaled cursor advance. Lenient by design: a
+// cursor above the restored high-water mark (possible after a journal
+// append error dropped the OpDeliver) still advances the committed
+// watermark, and re-acking an already-committed cursor is a no-op.
+func (e *Engine) ApplyAcked(id uint64, upto uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	idx, ok := e.byID[id]
+	if !ok {
+		return nil // unsubscribed later in the WAL
+	}
+	s := e.subs[idx]
+	if s.mode != AtLeastOnce {
+		return nil
+	}
+	_, _, unpin, _ := s.q.ack(upto, false)
+	e.docs.unpin(unpin)
+	return nil
+}
+
+// ApplyDrained replays a journaled hand-out: entries at or below the
+// watermark count as redeliveries when drained again. Unknown ids are
+// a no-op.
+func (e *Engine) ApplyDrained(id uint64, upto uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	idx, ok := e.byID[id]
+	if !ok {
+		return nil
+	}
+	s := e.subs[idx]
+	if s.mode != AtLeastOnce {
+		return nil
+	}
+	s.q.markDrained(upto)
 	return nil
 }
 

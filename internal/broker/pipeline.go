@@ -247,16 +247,57 @@ func (e *Engine) Flush() {
 	<-ch
 }
 
+// journalDelivered records one published document's at-least-once
+// fan-out as a single OpDeliver WAL record: the document content plus
+// every (subscription, cursor) pair the routing enqueued. The queue
+// appends already happened (effects precede appends — the invariant
+// the snapshot watermark proof rests on), so a crash between enqueue
+// and journal loses only publishes whose callers never saw success.
+func (e *Engine) journalDelivered(seq uint64, t *xmltree.Tree, acked []ackedDelivery) {
+	j := e.journal.Load()
+	if j == nil {
+		return
+	}
+	xml, err := xmltree.XMLString(t, false)
+	if err != nil {
+		e.counters.journalErrors.Add(1)
+		return
+	}
+	subs := make([]uint64, len(acked))
+	cursors := make([]uint64, len(acked))
+	comms := make([]int, len(acked))
+	for i, a := range acked {
+		subs[i], cursors[i], comms[i] = a.sub, a.cursor, a.comm
+	}
+	if lsn, err := (*j).Delivered(seq, xml, subs, cursors, comms); err != nil {
+		e.counters.journalErrors.Add(1)
+	} else {
+		e.bumpDeliveryLSN(lsn)
+	}
+}
+
 // docRing retains the most recent published documents keyed by publish
-// sequence, so a delivery's content is retrievable after routing.
+// sequence, so a delivery's content is retrievable after routing. On
+// top of the fixed-size ring sits the pin map: documents referenced by
+// unacked at-least-once deliveries are pinned (refcounted, one
+// reference per queued entry) and stay retrievable however far the
+// ring advances — GET /doc/{seq} must not 404 a document a consumer
+// can still legally be redelivered. Pins are bounded by the cursor
+// logs' capacity, so the map cannot grow without bound.
 type docRing struct {
-	mu  sync.Mutex
-	buf []docEntry
+	mu     sync.Mutex
+	buf    []docEntry
+	pinned map[uint64]*pinnedDoc
 }
 
 type docEntry struct {
 	seq  uint64
 	tree *xmltree.Tree
+}
+
+type pinnedDoc struct {
+	tree *xmltree.Tree
+	refs int
 }
 
 func (r *docRing) put(seq uint64, t *xmltree.Tree) {
@@ -277,5 +318,61 @@ func (r *docRing) get(seq uint64) *xmltree.Tree {
 	if e := r.buf[seq%uint64(len(r.buf))]; e.seq == seq {
 		return e.tree
 	}
+	if p, ok := r.pinned[seq]; ok {
+		return p.tree
+	}
 	return nil
+}
+
+// pin adds one reference to seq, retaining t past ring eviction.
+func (r *docRing) pin(seq uint64, t *xmltree.Tree) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if p, ok := r.pinned[seq]; ok {
+		p.refs++
+	} else {
+		r.pinned[seq] = &pinnedDoc{tree: t, refs: 1}
+	}
+	r.mu.Unlock()
+}
+
+// unpin drops one reference per listed sequence (ack, shed, close).
+func (r *docRing) unpin(seqs []uint64) {
+	if r == nil || len(seqs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	for _, seq := range seqs {
+		if p, ok := r.pinned[seq]; ok {
+			if p.refs--; p.refs <= 0 {
+				delete(r.pinned, seq)
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *docRing) unpinOne(seq uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if p, ok := r.pinned[seq]; ok {
+		if p.refs--; p.refs <= 0 {
+			delete(r.pinned, seq)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// pinnedCount is the number of distinct pinned documents (gauge).
+func (r *docRing) pinnedCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pinned)
 }

@@ -14,14 +14,23 @@ import (
 // the same wiring cmd/treesimd uses.
 type storeJournal struct{ s *persist.Store }
 
-func (j storeJournal) Subscribed(id uint64, expr string, group int) (uint64, error) {
-	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group})
+func (j storeJournal) Subscribed(id uint64, expr string, group int, mode DeliveryMode) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpSubscribe, ID: id, Expr: expr, Group: group, Mode: uint8(mode)})
 }
 func (j storeJournal) Unsubscribed(id uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpUnsubscribe, ID: id})
 }
 func (j storeJournal) Rebuilt(groups [][]uint64, reps []uint64) (uint64, error) {
 	return j.s.Append(persist.Record{Op: persist.OpRebuild, Groups: groups, Reps: reps})
+}
+func (j storeJournal) Delivered(seq uint64, xml string, subs, cursors []uint64, comms []int) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpDeliver, Seq: seq, XML: xml, Subs: subs, Cursors: cursors, Comms: comms})
+}
+func (j storeJournal) Acked(id uint64, upto uint64) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpAck, ID: id, Cursor: upto})
+}
+func (j storeJournal) Drained(id uint64, upto uint64) (uint64, error) {
+	return j.s.Append(persist.Record{Op: persist.OpDrained, ID: id, Cursor: upto})
 }
 
 // replayStore drives a Store's WAL tail through the engine's Apply*
@@ -31,11 +40,17 @@ func replayStore(t *testing.T, s *persist.Store, e *Engine) {
 	if err := s.Replay(func(rec persist.Record) error {
 		switch rec.Op {
 		case persist.OpSubscribe:
-			return e.ApplySubscribed(rec.ID, rec.Expr, rec.Group)
+			return e.ApplySubscribed(rec.ID, rec.Expr, rec.Group, DeliveryMode(rec.Mode))
 		case persist.OpUnsubscribe:
 			return e.ApplyUnsubscribed(rec.ID)
 		case persist.OpRebuild:
 			return e.ApplyRebuilt(rec.Groups, rec.Reps)
+		case persist.OpDeliver:
+			return e.ApplyDelivered(rec.Seq, rec.XML, rec.Subs, rec.Cursors, rec.Comms)
+		case persist.OpAck:
+			return e.ApplyAcked(rec.ID, rec.Cursor)
+		case persist.OpDrained:
+			return e.ApplyDrained(rec.ID, rec.Cursor)
 		default:
 			return fmt.Errorf("unknown op %q", rec.Op)
 		}

@@ -59,22 +59,40 @@ type shardGroup struct {
 }
 
 // shardMember is one receiving subscription: its forest handle (for
-// the precision sample) and delivery queue.
+// the precision sample), stable id and delivery mode (for the
+// at-least-once journal), and delivery queue.
 type shardMember struct {
-	fh int
-	q  *queue
+	fh   int
+	id   uint64
+	mode DeliveryMode
+	q    *queue
+}
+
+// ackedDelivery is one at-least-once enqueue the fan-out committed —
+// the unit the publish journals (OpDeliver) so the delivery survives a
+// crash.
+type ackedDelivery struct {
+	sub    uint64
+	cursor uint64
+	comm   int
 }
 
 // route matches one document (pre-loaded into flat with the shared
 // label table) against the shard's forest and fans it out to the
 // members of every community whose representative matched. Counter
 // updates go straight to the engine's atomic counters; the return
-// values feed the publish's result merge.
-func (sh *shard) route(t *xmltree.Tree, flat *xmltree.Flat, seq uint64, sample int, c *counters) (matched, deliveries, dropped int) {
+// values feed the publish's result merge. At-least-once members get a
+// cursor-log append instead of a ring push: the document is pinned in
+// retention until acked, the assigned cursor is collected into acked
+// (appended to the passed slice, typically a pooled scratch) for the
+// publish's OpDeliver journal record, and a full log sheds its oldest
+// entry — counted, and its pin released.
+func (sh *shard) route(t *xmltree.Tree, flat *xmltree.Flat, seq uint64, sample int, c *counters, ring *docRing, acked []ackedDelivery) (matched, deliveries, dropped int, outAcked []ackedDelivery) {
+	outAcked = acked
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if len(sh.groups) == 0 {
-		return 0, 0, 0
+		return 0, 0, 0, outAcked
 	}
 	matchStart := time.Now()
 	ms := sh.forest.MatchFlat(t, flat)
@@ -85,7 +103,21 @@ func (sh *shard) route(t *xmltree.Tree, flat *xmltree.Flat, seq uint64, sample i
 		}
 		matched++
 		for _, m := range sh.members[g.start:g.end] {
-			enqueued, evicted := m.q.push(Delivery{Doc: seq, Community: g.comm})
+			var enqueued, evicted bool
+			if m.mode == AtLeastOnce {
+				var cursor, shedDoc uint64
+				cursor, shedDoc, evicted, enqueued = m.q.pushAcked(seq, g.comm)
+				if evicted {
+					c.ackShed.Add(1)
+					ring.unpinOne(shedDoc)
+				}
+				if enqueued {
+					ring.pin(seq, t)
+					outAcked = append(outAcked, ackedDelivery{sub: m.id, cursor: cursor, comm: g.comm})
+				}
+			} else {
+				enqueued, evicted = m.q.push(Delivery{Doc: seq, Community: g.comm})
+			}
 			if evicted || !enqueued {
 				// Evictions charge the publish that forced them; the
 				// lost delivery belongs to an older document.
@@ -107,7 +139,7 @@ func (sh *shard) route(t *xmltree.Tree, flat *xmltree.Flat, seq uint64, sample i
 	}
 	ms.Release()
 	sh.matchNS.ObserveDuration(time.Since(matchStart).Nanoseconds())
-	return matched, deliveries, dropped
+	return matched, deliveries, dropped, outAcked
 }
 
 // routeDoc fans one document out to every shard — in parallel when
@@ -133,9 +165,11 @@ func (e *Engine) routeDoc(t *xmltree.Tree, res *PublishResult) {
 		}
 	}
 	fan.active = active
+	allAcked := fan.acked[:0]
 	if len(active) <= 1 || e.procs == 1 {
 		for _, sh := range active {
-			m, d, dr := sh.route(t, flat, res.Seq, sample, &e.counters)
+			var m, d, dr int
+			m, d, dr, allAcked = sh.route(t, flat, res.Seq, sample, &e.counters, e.docs, allAcked)
 			res.Matched += m
 			res.Deliveries += d
 			res.Dropped += dr
@@ -150,18 +184,27 @@ func (e *Engine) routeDoc(t *xmltree.Tree, res *PublishResult) {
 			go func(i int) {
 				defer fan.wg.Done()
 				r := &fan.res[i]
-				r.matched, r.deliveries, r.dropped = active[i].route(t, flat, res.Seq, sample, &e.counters)
+				r.matched, r.deliveries, r.dropped, r.acked = active[i].route(t, flat, res.Seq, sample, &e.counters, e.docs, r.acked[:0])
 			}(i)
 		}
 		r0 := &fan.res[0]
-		r0.matched, r0.deliveries, r0.dropped = active[0].route(t, flat, res.Seq, sample, &e.counters)
+		r0.matched, r0.deliveries, r0.dropped, r0.acked = active[0].route(t, flat, res.Seq, sample, &e.counters, e.docs, r0.acked[:0])
 		fan.wg.Wait()
 		for i := range fan.res {
 			res.Matched += fan.res[i].matched
 			res.Deliveries += fan.res[i].deliveries
 			res.Dropped += fan.res[i].dropped
+			allAcked = append(allAcked, fan.res[i].acked...)
 		}
 	}
+	// Journal the at-least-once deliveries before the publish returns:
+	// once the publisher sees success, the acked-mode fan-out is durable
+	// (the WAL record carries the document itself, so recovery can repin
+	// content the retention ring lost with the process).
+	if len(allAcked) > 0 {
+		e.journalDelivered(res.Seq, t, allAcked)
+	}
+	fan.acked = allAcked[:0]
 	e.fanPool.Put(fan)
 	e.flatPool.Put(flat)
 }
@@ -171,10 +214,12 @@ type fanState struct {
 	wg     sync.WaitGroup
 	active []*shard
 	res    []shardResult
+	acked  []ackedDelivery
 }
 
 type shardResult struct {
 	matched, deliveries, dropped int
+	acked                        []ackedDelivery
 }
 
 // resolveShards turns the configured shard count into an actual one:
@@ -227,7 +272,7 @@ func (e *Engine) rebuildShardRoutingInner(si int) {
 		start := len(sh.members)
 		for _, idx := range members {
 			s := e.subs[idx]
-			sh.members = append(sh.members, shardMember{fh: s.fh, q: s.q})
+			sh.members = append(sh.members, shardMember{fh: s.fh, id: s.id, mode: s.mode, q: s.q})
 		}
 		sh.groups = append(sh.groups, shardGroup{
 			comm:  g,

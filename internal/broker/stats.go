@@ -28,6 +28,10 @@ type counters struct {
 	journalErrors  *telemetry.Counter
 	sampled        *telemetry.Counter
 	sampledHits    *telemetry.Counter
+	acked          *telemetry.Counter
+	redeliveries   *telemetry.Counter
+	leaseExpiries  *telemetry.Counter
+	ackShed        *telemetry.Counter
 }
 
 func newCounters(reg *telemetry.Registry) counters {
@@ -47,6 +51,10 @@ func newCounters(reg *telemetry.Registry) counters {
 		journalErrors:  reg.Counter("treesim_broker_journal_errors_total", "WAL journal append failures (mutation committed in memory; durability degraded)."),
 		sampled:        reg.Counter("treesim_broker_precision_samples_total", "Deliveries exact-matched for the precision proxy."),
 		sampledHits:    reg.Counter("treesim_broker_precision_hits_total", "Precision samples whose subscription exactly matched."),
+		acked:          reg.Counter("treesim_broker_acked_total", "At-least-once deliveries discharged by consumer acknowledgment."),
+		redeliveries:   reg.Counter("treesim_broker_redeliveries_total", "At-least-once deliveries handed out more than once (lease lapse or crash recovery)."),
+		leaseExpiries:  reg.Counter("treesim_broker_lease_expiries_total", "Consumer lease lapses returning in-flight deliveries to redeliverable."),
+		ackShed:        reg.Counter("treesim_broker_ack_shed_total", "At-least-once deliveries shed by cursor-log capacity overflow (oldest first; counted loss)."),
 	}
 }
 
@@ -72,6 +80,9 @@ func (e *Engine) registerGauges() {
 			total += s.q.len()
 		}
 		return float64(total)
+	})
+	e.tel.GaugeFunc("treesim_broker_pinned_docs", "Documents pinned in retention by unacked at-least-once deliveries.", func() float64 {
+		return float64(e.docs.pinnedCount())
 	})
 }
 
@@ -131,6 +142,17 @@ type Stats struct {
 	Dropped     uint64 `json:"dropped"`
 	Drained     uint64 `json:"drained"`
 
+	// The at-least-once ledger: Acked deliveries discharged by consumer
+	// acknowledgment, Redeliveries hand-outs of an already-handed-out
+	// delivery, LeaseExpiries in-flight windows reclaimed from lapsed
+	// consumers, AckShed cursor-log overflow evictions (counted loss),
+	// and PinnedDocs documents held in retention by unacked deliveries.
+	Acked         uint64 `json:"acked"`
+	Redeliveries  uint64 `json:"redeliveries"`
+	LeaseExpiries uint64 `json:"lease_expiries"`
+	AckShed       uint64 `json:"ack_shed"`
+	PinnedDocs    int    `json:"pinned_docs"`
+
 	// PrecisionProxy estimates delivery precision by exact-matching a
 	// sample of deliveries against their subscriptions. Convention
 	// (shared with routing.Result.Precision): with zero samples it is
@@ -182,6 +204,11 @@ func (e *Engine) Stats() Stats {
 		Drained:          c.drained.Load(),
 		PrecisionSamples: c.sampled.Load(),
 		IngestPending:    e.ingestPending(),
+		Acked:            c.acked.Load(),
+		Redeliveries:     c.redeliveries.Load(),
+		LeaseExpiries:    c.leaseExpiries.Load(),
+		AckShed:          c.ackShed.Load(),
+		PinnedDocs:       e.docs.pinnedCount(),
 	}
 	if s.PrecisionSamples == 0 {
 		s.PrecisionProxy = 1 // vacuous, like routing.Result.Precision

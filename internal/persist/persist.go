@@ -38,6 +38,21 @@ const (
 	// OpRebuild records a full clustering rebuild as the complete
 	// partition keyed by stable subscription ids.
 	OpRebuild = "rebuild"
+	// OpDeliver records the at-least-once deliveries of one published
+	// document: the document's sequence number and serialized content,
+	// plus the (subscription id, cursor) pairs the routing fan-out
+	// enqueued. Only acked-mode subscriptions appear — at-most-once
+	// deliveries are ephemeral by contract and never journaled.
+	OpDeliver = "deliver"
+	// OpAck records a committed cursor advance: every delivery of the
+	// subscription with cursor ≤ Cursor is acknowledged and will never
+	// be redelivered.
+	OpAck = "ack"
+	// OpDrained records that deliveries up to Cursor were handed to a
+	// consumer (lease taken). A recovered broker treats them as the
+	// in-flight window: still owed, and counted as redeliveries when
+	// drained again.
+	OpDrained = "drained"
 )
 
 // Record is one WAL entry. Fields beyond Op are populated per kind:
@@ -63,4 +78,22 @@ type Record struct {
 	// Reps lists each rebuilt group's representative subscription id,
 	// parallel to Groups (OpRebuild).
 	Reps []uint64 `json:"reps,omitempty"`
+	// Mode is the subscription's delivery mode (OpSubscribe): 0
+	// at-most-once (the default, omitted on the wire), 1 at-least-once.
+	Mode uint8 `json:"mode,omitempty"`
+	// Seq is the published document's sequence number and XML its
+	// serialized content (OpDeliver). The content rides in the record so
+	// recovery can repin documents the retention ring lost with the
+	// process.
+	Seq uint64 `json:"seq,omitempty"`
+	XML string `json:"xml,omitempty"`
+	// Subs/Cursors/Comms are the parallel per-delivery arrays of an
+	// OpDeliver record: receiving subscription id, the cursor assigned,
+	// and the matched community index.
+	Subs    []uint64 `json:"subs,omitempty"`
+	Cursors []uint64 `json:"cursors,omitempty"`
+	Comms   []int    `json:"comms,omitempty"`
+	// Cursor is the acknowledged (OpAck) or handed-out (OpDrained)
+	// cursor watermark for subscription ID.
+	Cursor uint64 `json:"cursor,omitempty"`
 }

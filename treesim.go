@@ -210,9 +210,26 @@ type (
 	PublishResult = broker.PublishResult
 	// RebuildPolicy decides when churn warrants full re-clustering.
 	RebuildPolicy = broker.RebuildPolicy
+	// DeliveryMode selects a subscription's delivery contract:
+	// AtMostOnce (bounded ring, counted loss) or AtLeastOnce
+	// (cursor-ordered log, explicit ack, lease-based redelivery).
+	DeliveryMode = broker.DeliveryMode
+	// SubscribeOptions carries per-subscription options for
+	// Broker.SubscribeOpts (currently the delivery mode).
+	SubscribeOptions = broker.SubscribeOptions
+	// DrainResult is one acked-mode drain batch: deliveries plus the
+	// batch cursor, committed floor, redelivery count, and (in
+	// at-most-once mode) the explicit loss gap.
+	DrainResult = broker.DrainResult
 	// CommunitySet is an incrementally maintained clustering
 	// (package internal/cluster).
 	CommunitySet = cluster.Communities
+)
+
+// Delivery-mode constants, re-exported for SubscribeOptions.
+const (
+	AtMostOnce  = broker.AtMostOnce
+	AtLeastOnce = broker.AtLeastOnce
 )
 
 // NewBroker starts a live broker engine (stop it with Close).
