@@ -62,6 +62,27 @@ type client struct {
 	http *http.Client
 }
 
+// latencyTransport perturbs the workload: each request sleeps a seeded
+// random duration in [0, max) before reaching the wire, smearing the
+// perfectly synchronized request trains a loopback benchmark produces.
+// Draws come from one locked rng so a given -seed yields the same
+// delay sequence (scheduling still decides which worker gets which
+// draw, so it is a reproducible distribution, not a fixed schedule).
+type latencyTransport struct {
+	base http.RoundTripper
+	max  time.Duration
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (t *latencyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	d := time.Duration(t.rng.Int63n(int64(t.max)))
+	t.mu.Unlock()
+	time.Sleep(d)
+	return t.base.RoundTrip(req)
+}
+
 func (c *client) subscribe(pattern string) (uint64, error) {
 	body, _ := json.Marshal(map[string]string{"pattern": pattern, "mode": c.mode})
 	resp, err := c.http.Post(c.base+"/subscribe", "application/json", bytes.NewReader(body))
@@ -226,6 +247,7 @@ func main() {
 		metSnap  = flag.Bool("metrics-snapshot", false, "scrape /metrics before and after and report daemon-side counter deltas")
 		ackMode  = flag.Bool("ack", false, "subscribe at-least-once and ack drained batches (the acked-delivery workload)")
 		ackSkip  = flag.Int("ack-skip", 0, "with -ack, stall by skipping the ack on every Nth drained batch; the daemon's lease expiry must redeliver (run it with a short -ack-lease)")
+		injLat   = flag.Duration("inject-latency", 0, "sleep a seeded random duration in [0, d) before every client request (perturbation harness; draws come from -seed)")
 	)
 	flag.Parse()
 	if *ackSkip > 0 && !*ackMode {
@@ -263,9 +285,13 @@ func main() {
 	if *batchSz < 1 {
 		*batchSz = 1
 	}
+	var rt http.RoundTripper = &http.Transport{MaxIdleConnsPerHost: *conc + *pubs + *drainers + 2}
+	if *injLat > 0 {
+		rt = &latencyTransport{base: rt, max: *injLat, rng: rand.New(rand.NewSource(*seed))}
+	}
 	c := &client{
 		base: "http://" + *addr,
-		http: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc + *pubs + *drainers + 2}},
+		http: &http.Client{Transport: rt},
 	}
 	if *ackMode {
 		c.mode = "at-least-once"
@@ -556,12 +582,22 @@ func main() {
 	// units through into each result's extras), so merged snapshots can
 	// hold one entry per cpu count.
 	label := fmt.Sprintf("subs=%d", *nSubs)
+	if *injLat > 0 {
+		// Perturbed runs get their own label (they measure jitter
+		// tolerance, not throughput) and carry the delay ceiling and
+		// seed as extras so any snapshot is replayable.
+		label = fmt.Sprintf("%s/latency=%s", label, *injLat)
+	}
 	pubLabel := label
 	if *pubs != *conc {
 		pubLabel = fmt.Sprintf("%s/publishers=%d", label, *pubs)
 	}
 	if *batchSz > 1 {
 		pubLabel = fmt.Sprintf("%s/batch=%d", pubLabel, *batchSz)
+	}
+	var latExtras string
+	if *injLat > 0 {
+		latExtras = fmt.Sprintf("\t%d inject_latency_ns\t%d latency_seed", injLat.Nanoseconds(), *seed)
 	}
 	fmt.Printf("BenchmarkTreesimdSubscribe/%s \t%d\t%d ns/op\t%d cpus\t%d shards\n",
 		label, *nSubs, subDur.Nanoseconds()/int64(*nSubs), daemonCPUs, daemonShards)
@@ -570,7 +606,7 @@ func main() {
 	}
 	fmt.Printf("BenchmarkTreesimdPublish/%s \t%d\t%d ns/op\t%d deliveries\t%.0f pub/sec\t%d cpus\t%d shards%s%s\n",
 		pubLabel, *nPublish, pubDur.Nanoseconds()/int64(*nPublish), drained.Load(),
-		float64(*nPublish)/pubDur.Seconds(), daemonCPUs, daemonShards, metricExtras, ackExtras)
+		float64(*nPublish)/pubDur.Seconds(), daemonCPUs, daemonShards, metricExtras, ackExtras+latExtras)
 
 	if *expect && drained.Load() == 0 {
 		fmt.Fprintln(os.Stderr, "treesim-bench: FAIL: no deliveries")

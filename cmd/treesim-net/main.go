@@ -80,6 +80,11 @@ type options struct {
 	// link mid-workload, then assert the overlay self-heals to exact
 	// delivery.
 	chaos bool
+
+	// Faults mode (see faults.go): a seeded randomized crash schedule
+	// over lossy-link transports and injected disk faults; any failing
+	// seed replays exactly.
+	faults bool
 }
 
 func main() {
@@ -104,11 +109,15 @@ func main() {
 	flag.Float64Var(&o.valueProb, "value-prob", 0.6, "probability a text-bearing pattern element gains a value constraint")
 	flag.StringVar(&o.placement, "placement", "clustered", "subscriber placement: clustered|roundrobin")
 	flag.BoolVar(&o.chaos, "chaos", false, "run the fault-injection scenario (crash+recover a broker, sever+heal a link) instead of the steady-state benchmark")
+	flag.BoolVar(&o.faults, "faults", false, "run the seeded crash-schedule checker (randomized churn/publish/disk-fault/crash/recover interleavings over duplicating+reordering links); failures reproduce with the same -seed")
 	flag.Parse()
 
 	exec := run
 	if o.chaos {
 		exec = runChaos
+	}
+	if o.faults {
+		exec = runFaults
 	}
 	if err := exec(o); err != nil {
 		fmt.Fprintln(os.Stderr, "treesim-net:", err)

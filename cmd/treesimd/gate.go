@@ -31,6 +31,12 @@ type serverGate struct {
 	phase  atomic.Int32
 	reason atomic.Pointer[string]
 	inner  atomic.Pointer[http.Handler]
+	// degraded, when set, is consulted in phaseReady: a true result
+	// turns /healthz into 503 "degraded" (with the returned reason)
+	// while every other route keeps serving — the daemon is wounded,
+	// not dead, and load balancers should drain it without killing the
+	// consumers still reading from it.
+	degraded atomic.Pointer[func() (bool, string)]
 }
 
 func newServerGate() *serverGate {
@@ -50,6 +56,11 @@ func (g *serverGate) setStarting(reason string) {
 func (g *serverGate) setReady(h http.Handler) {
 	g.inner.Store(&h)
 	g.phase.Store(phaseReady)
+}
+
+// setDegradedCheck installs the health probe consulted while ready.
+func (g *serverGate) setDegradedCheck(f func() (bool, string)) {
+	g.degraded.Store(&f)
 }
 
 func (g *serverGate) setDraining() {
@@ -83,6 +94,13 @@ func (g *serverGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (g *serverGate) serveHealthz(w http.ResponseWriter, phase int32) {
 	switch phase {
 	case phaseReady:
+		if f := g.degraded.Load(); f != nil {
+			if bad, reason := (*f)(); bad {
+				writeJSON(w, http.StatusServiceUnavailable,
+					map[string]string{"status": "degraded", "reason": reason})
+				return
+			}
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	case phaseDraining:
 		writeJSON(w, http.StatusServiceUnavailable,

@@ -93,8 +93,10 @@ import (
 
 	"treesim/internal/broker"
 	"treesim/internal/core"
+	"treesim/internal/fault"
 	"treesim/internal/metrics"
 	"treesim/internal/overlay"
+	"treesim/internal/persist"
 	"treesim/internal/telemetry"
 	"treesim/internal/xmltree"
 )
@@ -130,6 +132,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable state directory (snapshot + WAL); empty runs in-memory only")
 		snapEvery = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot period with -data-dir (0 disables; shutdown still snapshots)")
 		walSync   = flag.Bool("wal-sync", false, "fsync the WAL after every subscription mutation (power-loss durability)")
+		faultDisk = flag.String("fault-disk", "", "TESTING ONLY: inject disk faults, comma-separated point:mode[@nth] terms (e.g. wal.sync:fail@2); points wal.{write,sync,truncate}, snapshot.{write,sync,rename}; modes fail|short|enospc")
 
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
 		traceCap  = flag.Int("trace-capacity", 0, "publication-trace spans retained per node (0: default 4096, negative disables tracing)")
@@ -207,14 +210,28 @@ func main() {
 		minEpoch uint64
 	)
 	if *dataDir != "" {
+		var fsys persist.FS
+		if *faultDisk != "" {
+			inj, err := fault.ParseSpec(*faultDisk)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "treesimd:", err)
+				os.Exit(2)
+			}
+			fsys = fault.NewFS(inj)
+			logger.Warn("disk fault injection armed", "schedule", *faultDisk)
+		}
 		gate.setStarting(fmt.Sprintf("recovering snapshot and WAL from %s", *dataDir))
-		pers, eng, minEpoch, err = openDataDir(*dataDir, cfg, *walSync, reg, logger.With("component", "persist"))
+		pers, eng, minEpoch, err = openDataDir(*dataDir, cfg, *walSync, fsys, reg, logger.With("component", "persist"))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "treesimd:", err)
 			os.Exit(1)
 		}
 		go pers.run(*snapEvery)
 	} else {
+		if *faultDisk != "" {
+			fmt.Fprintln(os.Stderr, "treesimd: -fault-disk requires -data-dir")
+			os.Exit(2)
+		}
 		eng = broker.New(cfg)
 	}
 	defer eng.Close()
@@ -252,6 +269,20 @@ func main() {
 		}
 	}
 
+	// Ready-phase health: a failed store (or a journal error latching
+	// the engine degraded) turns /healthz into 503 "degraded" while the
+	// daemon keeps serving reads and at-most-once traffic.
+	persRef := pers
+	engRef := eng
+	gate.setDegradedCheck(func() (bool, string) {
+		if persRef != nil && persRef.store.Failed() {
+			return true, "persistent store failed (fail-stop); serving without durability"
+		}
+		if engRef.Degraded() {
+			return true, "journal append failed; serving without durability"
+		}
+		return false, ""
+	})
 	gate.setReady(newHandler(eng, node, reg, events, *maxBody, *peerTO, defaultMode, logger))
 	shutdownDone := make(chan struct{})
 	go func() {

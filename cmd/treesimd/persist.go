@@ -67,13 +67,19 @@ type daemonPersist struct {
 // openDataDir recovers (or initializes) a broker from the data
 // directory and returns the persistence handle, the live engine, and
 // the overlay epoch floor — the advert-version/publication-sequence
-// watermark persisted at the last snapshot. The floor understates the
-// pre-crash live values by whatever the node issued after that
-// snapshot; overlay.New pads it before flooring the boot epoch, so a
-// restarted node outruns everything its peers have already seen even
-// if the clock regressed.
-func openDataDir(dir string, cfg broker.Config, walSync bool, reg *telemetry.Registry, logger *slog.Logger) (*daemonPersist, *broker.Engine, uint64, error) {
-	store, err := persist.Open(dir, persist.Options{SyncEveryAppend: walSync, Telemetry: reg})
+// watermark persisted at the last snapshot, raised by any boot-epoch
+// records in the WAL tail. The floor understates the pre-crash live
+// values by whatever the node issued after that snapshot; overlay.New
+// pads it before flooring the boot epoch, so a restarted node outruns
+// everything its peers have already seen even if the clock regressed.
+// The boot records matter when the same snapshot serves several
+// recoveries in a row: without them each boot would floor at the same
+// padded value and replay the previous incarnation's sequence range,
+// which peers' seen-sets silently swallow.
+// fsys selects the filesystem the store persists through (nil: the
+// real one; the -fault-disk flag injects failpoints here).
+func openDataDir(dir string, cfg broker.Config, walSync bool, fsys persist.FS, reg *telemetry.Registry, logger *slog.Logger) (*daemonPersist, *broker.Engine, uint64, error) {
+	store, err := persist.Open(dir, persist.Options{SyncEveryAppend: walSync, Telemetry: reg, FS: fsys})
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -127,6 +133,11 @@ func openDataDir(dir string, cfg broker.Config, walSync bool, reg *telemetry.Reg
 			return eng.ApplyAcked(rec.ID, rec.Cursor)
 		case persist.OpDrained:
 			return eng.ApplyDrained(rec.ID, rec.Cursor)
+		case persist.OpBootEpoch:
+			if rec.Seq > minEpoch {
+				minEpoch = rec.Seq
+			}
+			return nil
 		default:
 			return fmt.Errorf("unknown wal op %q", rec.Op)
 		}
@@ -152,8 +163,22 @@ func openDataDir(dir string, cfg broker.Config, walSync bool, reg *telemetry.Reg
 }
 
 // setNode attaches the overlay node whose epoch watermarks snapshots
-// should carry (federated daemons only).
-func (p *daemonPersist) setNode(n *overlay.Node) { p.node.Store(n) }
+// should carry (federated daemons only), and journals the epoch the
+// node booted with so the next recovery floors above this incarnation
+// even if no snapshot lands before the next crash. A journal failure
+// latches the store fail-stop like any other append; the node still
+// runs (degraded, at-most-once).
+func (p *daemonPersist) setNode(n *overlay.Node) {
+	p.node.Store(n)
+	av, ps := n.Epoch()
+	epoch := av
+	if ps > epoch {
+		epoch = ps
+	}
+	if _, err := p.store.Append(persist.Record{Op: persist.OpBootEpoch, Seq: epoch}); err != nil {
+		p.log.Warn("journal boot epoch failed", "err", err.Error())
+	}
+}
 
 // snapshot publishes a point-in-time snapshot covering exactly the
 // journaled churn its state cut includes. Subscribes committing between
@@ -199,7 +224,9 @@ func (p *daemonPersist) run(interval time.Duration) {
 		case <-p.stop:
 			return
 		case <-t.C:
-			if p.store.Pending() == 0 {
+			if p.store.Pending() == 0 || p.store.Failed() {
+				// A failed store is fail-stop: every further snapshot
+				// attempt would just re-fail, so stop hammering it.
 				continue
 			}
 			if err := p.snapshot(); err != nil {
@@ -217,7 +244,9 @@ func (p *daemonPersist) run(interval time.Duration) {
 func (p *daemonPersist) shutdown() {
 	close(p.stop)
 	<-p.done
-	if err := p.snapshot(); err != nil {
+	if p.store.Failed() {
+		p.log.Warn("store failed earlier; skipping final snapshot (wal retains the pre-fault prefix)")
+	} else if err := p.snapshot(); err != nil {
 		p.log.Warn("final snapshot failed (wal retains full state)", "err", err.Error())
 	}
 	if err := p.store.Close(); err != nil {

@@ -343,8 +343,14 @@ type Engine struct {
 	patsPool sync.Pool
 
 	// journal, when set, records committed registry mutations for crash
-	// recovery (SetJournal). Append failures are counted, not fatal.
-	journal atomic.Pointer[Journal]
+	// recovery (SetJournal). Append failures are counted and latch
+	// degraded: the store underneath is fail-stop, so the first error
+	// means every later append would fail too — the engine keeps
+	// serving reads and at-most-once traffic but refuses new
+	// at-least-once subscriptions, whose redelivery contract it could
+	// no longer honor across a crash.
+	journal  atomic.Pointer[Journal]
+	degraded atomic.Bool
 
 	// deliveryLSN is the highest journaled delivery-plane LSN
 	// (OpDeliver/OpAck/OpDrained), maintained as a CAS max. Delivery
@@ -529,6 +535,23 @@ var ErrWrongMode = fmt.Errorf("broker: subscription is not at-least-once")
 // never assigned — a consumer can only acknowledge what it was handed.
 var ErrBadCursor = fmt.Errorf("broker: cursor was never issued")
 
+// ErrDegraded is returned by operations that need a working journal —
+// new at-least-once subscriptions — after a journal append has failed.
+// The fail-stop store never recovers in-process, so neither does this.
+var ErrDegraded = fmt.Errorf("broker: journal failed, durability degraded")
+
+// noteJournalError records a journal append failure and latches the
+// engine degraded.
+func (e *Engine) noteJournalError() {
+	e.counters.journalErrors.Add(1)
+	e.degraded.Store(true)
+}
+
+// Degraded reports whether a journal append has ever failed. While
+// degraded the engine routes and delivers normally, but mutations are
+// no longer durable and new at-least-once subscriptions are refused.
+func (e *Engine) Degraded() bool { return e.degraded.Load() }
+
 // ChurnEvent describes one committed registry mutation, delivered to
 // the churn hook. The overlay federation layer uses the stream to
 // decide when accumulated churn warrants re-advertising its aggregates
@@ -602,6 +625,13 @@ func (e *Engine) SubscribePattern(p *pattern.Pattern, expr string) (uint64, erro
 // sustained churn it falls back to computing under the exclusive lock,
 // guaranteeing progress.
 func (e *Engine) SubscribePatternOpts(p *pattern.Pattern, expr string, opt SubscribeOptions) (uint64, error) {
+	if opt.Mode == AtLeastOnce && e.degraded.Load() {
+		// The redelivery contract is backed by the journal; without it a
+		// crash would silently void every unacked delivery. Existing
+		// at-least-once subscriptions keep draining what the log holds,
+		// but new contracts are refused.
+		return 0, ErrDegraded
+	}
 	pats, _ := e.patsPool.Get().(*[]*pattern.Pattern)
 	if pats == nil {
 		pats = new([]*pattern.Pattern)
@@ -702,7 +732,7 @@ func (e *Engine) commitSubscribeLocked(p *pattern.Pattern, expr string, row []fl
 	// the journal implementation).
 	if j := e.journal.Load(); j != nil {
 		if lsn, err := (*j).Subscribed(id, expr, g, opt.Mode); err != nil {
-			e.counters.journalErrors.Add(1)
+			e.noteJournalError()
 		} else if lsn > e.walLSN {
 			e.walLSN = lsn
 		}
@@ -721,7 +751,7 @@ func (e *Engine) Unsubscribe(id uint64) bool {
 	e.counters.unsubscribes.Add(1)
 	if j := e.journal.Load(); j != nil {
 		if lsn, err := (*j).Unsubscribed(id); err != nil {
-			e.counters.journalErrors.Add(1)
+			e.noteJournalError()
 		} else if lsn > e.walLSN {
 			e.walLSN = lsn
 		}
@@ -829,7 +859,7 @@ func (e *Engine) maybeRebuild(force bool) {
 			if j := e.journal.Load(); j != nil {
 				groups, reps := e.partitionIDsLocked()
 				if lsn, err := (*j).Rebuilt(groups, reps); err != nil {
-					e.counters.journalErrors.Add(1)
+					e.noteJournalError()
 				} else if lsn > e.walLSN {
 					e.walLSN = lsn
 				}
@@ -935,7 +965,7 @@ func (e *Engine) DrainBatch(id uint64, max int, wait time.Duration) (DrainResult
 			if !closed {
 				if j := e.journal.Load(); j != nil {
 					if lsn, err := (*j).Drained(id, r.Cursor); err != nil {
-						e.counters.journalErrors.Add(1)
+						e.noteJournalError()
 					} else {
 						e.bumpDeliveryLSN(lsn)
 					}
@@ -988,7 +1018,7 @@ func (e *Engine) Ack(id uint64, upto uint64) (int, error) {
 	if advanced {
 		if j := e.journal.Load(); j != nil {
 			if lsn, err := (*j).Acked(id, upto); err != nil {
-				e.counters.journalErrors.Add(1)
+				e.noteJournalError()
 			} else {
 				e.bumpDeliveryLSN(lsn)
 			}

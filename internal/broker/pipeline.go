@@ -260,7 +260,7 @@ func (e *Engine) journalDelivered(seq uint64, t *xmltree.Tree, acked []ackedDeli
 	}
 	xml, err := xmltree.XMLString(t, false)
 	if err != nil {
-		e.counters.journalErrors.Add(1)
+		e.noteJournalError()
 		return
 	}
 	subs := make([]uint64, len(acked))
@@ -270,7 +270,7 @@ func (e *Engine) journalDelivered(seq uint64, t *xmltree.Tree, acked []ackedDeli
 		subs[i], cursors[i], comms[i] = a.sub, a.cursor, a.comm
 	}
 	if lsn, err := (*j).Delivered(seq, xml, subs, cursors, comms); err != nil {
-		e.counters.journalErrors.Add(1)
+		e.noteJournalError()
 	} else {
 		e.bumpDeliveryLSN(lsn)
 	}

@@ -84,6 +84,12 @@ func (e *Engine) registerGauges() {
 	e.tel.GaugeFunc("treesim_broker_pinned_docs", "Documents pinned in retention by unacked at-least-once deliveries.", func() float64 {
 		return float64(e.docs.pinnedCount())
 	})
+	e.tel.GaugeFunc("treesim_broker_degraded", "1 after a journal append failure (durability lost, at-least-once subscribes refused), 0 while healthy.", func() float64 {
+		if e.Degraded() {
+			return 1
+		}
+		return 0
+	})
 }
 
 func (e *Engine) ingestPending() uint64 {
@@ -130,9 +136,12 @@ type Stats struct {
 	IngestPending  uint64 `json:"ingest_pending"`
 
 	// JournalErrors counts write-ahead-log append failures (the
-	// mutation still committed in memory; durability is degraded until
-	// the next successful snapshot).
+	// mutation still committed in memory). Degraded is the fail-stop
+	// latch those failures set: once true the engine keeps routing but
+	// refuses new at-least-once subscriptions and stops promising
+	// durability (the store underneath never recovers in-process).
 	JournalErrors uint64 `json:"journal_errors"`
+	Degraded      bool   `json:"degraded"`
 
 	// FilterEvals counts representative match tests (the community
 	// architecture's routing cost); Deliveries, Dropped and Drained
@@ -197,6 +206,7 @@ func (e *Engine) Stats() Stats {
 		RemoteInjected:   c.remoteInjected.Load(),
 		RemoteShed:       c.remoteShed.Load(),
 		JournalErrors:    c.journalErrors.Load(),
+		Degraded:         e.Degraded(),
 		DocsObserved:     e.est.DocsObserved(),
 		FilterEvals:      c.filterEvals.Load(),
 		Deliveries:       c.delivered.Load(),

@@ -1,0 +1,177 @@
+// Package fault is a deterministic fault-injection framework for the
+// two substrates the brokers trust blindly: the disk under
+// persist.Store and the links between overlay nodes.
+//
+// Disk faults are named failpoints armed on an Injector and fired by a
+// fault.FS wrapped around the store's filesystem: a failed fsync, a
+// short write that tears a WAL frame, ENOSPC mid-snapshot, a rename
+// that never lands. Network faults are a fault.Transport wrapped around
+// an overlay link: seeded per-message drop, duplicate, reorder, delay.
+// Both are deterministic — the same seed and the same schedule replay
+// the same faults — so any failing run reproduces exactly.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the root of every injected disk error. Tests match it
+// with errors.Is to tell injected faults from real ones.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// ErrNoSpace is the injected ENOSPC. It wraps ErrInjected.
+var ErrNoSpace = fmt.Errorf("%w: no space left on device", ErrInjected)
+
+// Mode selects what an armed failpoint does when it fires.
+type Mode int
+
+const (
+	// Fail makes the operation return ErrInjected without touching the
+	// substrate — the model for a dead disk or a failed fsync whose
+	// dirty pages the kernel has already dropped.
+	Fail Mode = iota
+	// Short makes a write persist only a prefix of its buffer before
+	// erroring — the model for a torn frame at a power cut.
+	Short
+	// NoSpace makes the operation return ErrNoSpace without writing.
+	NoSpace
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Fail:
+		return "fail"
+	case Short:
+		return "short"
+	case NoSpace:
+		return "enospc"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Rule arms one failpoint.
+type Rule struct {
+	// Mode is what happens when the rule fires.
+	Mode Mode
+	// Nth is the 1-based hit of the failpoint that fires the rule
+	// (zero means the first hit). Each rule fires once, then disarms:
+	// the store underneath is fail-stop, so one fault is the whole
+	// story.
+	Nth int
+	// Bytes bounds how much of a Short write persists before the
+	// error (zero: half the buffer). Ignored by other modes.
+	Bytes int
+}
+
+// Injector is a registry of named failpoints. Arm rules on it, hand it
+// to a fault.FS, and the next matching operation fails on schedule.
+// Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[string]*armed
+	hits  map[string]int
+	fired []string
+}
+
+type armed struct {
+	rule Rule
+}
+
+// NewInjector returns an empty Injector; with no rules armed every
+// operation passes through untouched.
+func NewInjector() *Injector {
+	return &Injector{rules: make(map[string]*armed), hits: make(map[string]int)}
+}
+
+// Arm installs a rule on the named failpoint (see the Point* constants
+// in this package), replacing any rule already armed there.
+func (in *Injector) Arm(point string, r Rule) {
+	if r.Nth <= 0 {
+		r.Nth = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[point] = &armed{rule: r}
+	in.hits[point] = 0
+}
+
+// fire records a hit on point and reports whether an armed rule fires
+// on this hit. A firing rule disarms itself.
+func (in *Injector) fire(point string) (Rule, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	a := in.rules[point]
+	if a == nil {
+		return Rule{}, false
+	}
+	in.hits[point]++
+	if in.hits[point] < a.rule.Nth {
+		return Rule{}, false
+	}
+	delete(in.rules, point)
+	in.fired = append(in.fired, fmt.Sprintf("%s:%s@%d", point, a.rule.Mode, a.rule.Nth))
+	return a.rule, true
+}
+
+// Fired returns the failpoints that have fired, in order, as
+// "point:mode@nth" strings — the audit trail a checker prints when a
+// seeded schedule fails.
+func (in *Injector) Fired() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, len(in.fired))
+	copy(out, in.fired)
+	return out
+}
+
+// Armed reports whether any rule is still waiting to fire.
+func (in *Injector) Armed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.rules) > 0
+}
+
+// ParseSpec builds an Injector from a comma-separated schedule of
+// "point:mode[@nth]" terms, e.g. "wal.sync:fail@2,snapshot.rename:fail".
+// Modes are fail, short, enospc. This is the grammar behind the
+// daemon's -fault-disk flag.
+func ParseSpec(spec string) (*Injector, error) {
+	in := NewInjector()
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		point, rest, ok := strings.Cut(term, ":")
+		if !ok || point == "" {
+			return nil, fmt.Errorf("fault: bad term %q: want point:mode[@nth]", term)
+		}
+		modeStr, nthStr, hasNth := strings.Cut(rest, "@")
+		var mode Mode
+		switch modeStr {
+		case "fail":
+			mode = Fail
+		case "short":
+			mode = Short
+		case "enospc":
+			mode = NoSpace
+		default:
+			return nil, fmt.Errorf("fault: bad mode %q in %q: want fail, short, or enospc", modeStr, term)
+		}
+		nth := 1
+		if hasNth {
+			n, err := strconv.Atoi(nthStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad hit count %q in %q", nthStr, term)
+			}
+			nth = n
+		}
+		in.Arm(point, Rule{Mode: mode, Nth: nth})
+	}
+	return in, nil
+}

@@ -502,8 +502,22 @@ func (n *Node) HasPeer(id string) bool {
 }
 
 // HandleAdvert ingests an advertisement batch from a peer: new versions
-// are recorded in the routing table with the arrival link as next hop
-// and re-gossiped to the other links.
+// are recorded in the routing table and re-gossiped to the other links.
+//
+// The next hop is sticky. A fresher advert arriving on a link other
+// than the entry's current via refreshes the version and aggregate
+// content in place; the route itself moves only when the new path is
+// strictly shorter (fewer hops), the current via link is down or gone,
+// the entry is a tombstone being revived, or the via has carried no
+// advert for this origin in AdvertTTL/2. Without stickiness the route
+// follows whichever copy of each refresh flood lands first, and on
+// multipath topologies a delayed or reordered direct copy briefly
+// points two adjacent nodes at each other — a publication entering
+// that two-cycle is split-horizon dropped and lost for every
+// subscriber behind it. The quiet-via escape keeps liveness: when the
+// path behind a healthy link is partitioned, refreshes stop flowing
+// through it, and after half the advert TTL the freshest alternative
+// link wins the route well before the entry itself would expire.
 func (n *Node) HandleAdvert(batch wire.AdvertBatch) error {
 	n.mu.Lock()
 	if n.closed {
@@ -518,17 +532,43 @@ func (n *Node) HandleAdvert(batch wire.AdvertBatch) error {
 	var accepted []wire.Advert
 	var updates []forestUpdate
 	var firstErr error
+	now := time.Now()
 	for _, a := range batch.Adverts {
 		if a.Origin == n.cfg.ID {
 			continue // our own advert reflected around a cycle
 		}
-		if cur, ok := n.table[a.Origin]; ok && a.Version <= cur.version {
+		cur, known := n.table[a.Origin]
+		if known && a.Version <= cur.version {
+			if batch.From == cur.via {
+				cur.viaSeen = now // a late copy on the via still proves the path
+			}
 			continue // stale or already known
 		}
 		entry, err := newOriginEntry(a, batch.From)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
+			}
+			continue
+		}
+		if known && !cur.expired && cur.via != batch.From && n.viaSticksLocked(cur, a, now) {
+			// Freshness without a route move: update version, hops
+			// estimate and aggregate content on the incumbent via, and
+			// re-gossip under our route's hop count so downstream
+			// staleness gates keep advancing.
+			cur.version = a.Version
+			cur.pats = entry.pats
+			cur.advertised = entry.advertised
+			cur.lastSeen = now
+			lf := n.forests[cur.via]
+			if lf == nil {
+				lf = newLinkForest()
+				n.forests[cur.via] = lf
+			}
+			updates = append(updates, forestUpdate{lf: lf, origin: a.Origin, version: a.Version, pats: entry.pats})
+			if fwd := a; cur.hops+1 <= wire.MaxTTL {
+				fwd.Hops = cur.hops + 1
+				accepted = append(accepted, fwd)
 			}
 			continue
 		}
@@ -539,8 +579,8 @@ func (n *Node) HandleAdvert(batch wire.AdvertBatch) error {
 		// matching (linkForest.mu), and n.mu must never transitively
 		// wait on a match. Version gating inside linkForest makes the
 		// out-of-order application this allows safe.
-		if old, ok := n.table[a.Origin]; ok && old.via != batch.From {
-			if lf := n.forests[old.via]; lf != nil {
+		if known && cur.via != batch.From {
+			if lf := n.forests[cur.via]; lf != nil {
 				updates = append(updates, forestUpdate{lf: lf, origin: a.Origin, version: a.Version})
 			}
 		}
@@ -565,6 +605,27 @@ func (n *Node) HandleAdvert(batch wire.AdvertBatch) error {
 		n.sendAdverts(targets, accepted)
 	}
 	return firstErr
+}
+
+// viaSticksLocked decides whether a fresher advert arriving off-via
+// leaves the route where it is. The incumbent holds as long as its
+// link is up, the new path is no shorter, and the via has proven
+// recently (within half the advert TTL) that it still carries this
+// origin's floods. With liveness disabled (AdvertTTL 0) the quiet
+// check is skipped — there is no timescale to age the via against,
+// and entries never expire either.
+func (n *Node) viaSticksLocked(cur *originEntry, a wire.Advert, now time.Time) bool {
+	l, ok := n.links[cur.via]
+	if !ok || l.down {
+		return false
+	}
+	if a.Hops < cur.hops {
+		return false
+	}
+	if ttl := n.cfg.AdvertTTL; ttl > 0 && now.Sub(cur.viaSeen) > ttl/2 {
+		return false
+	}
+	return true
 }
 
 // forestUpdate is one link-forest mutation planned under the node lock

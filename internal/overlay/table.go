@@ -28,6 +28,15 @@ type originEntry struct {
 	// advert accepted); the soft-state sweeper expires entries silent
 	// past Config.AdvertTTL.
 	lastSeen time.Time
+	// viaSeen is when an advert for this origin last arrived on the via
+	// link itself — any version, stale copies included, because a late
+	// duplicate still proves the path carries this origin's floods. A
+	// fresher advert on a different link normally refreshes the entry
+	// without moving the route (next-hop stickiness); only when the via
+	// has gone quiet for this origin does freshness elsewhere win the
+	// route, so a partition behind a healthy link cannot black-hole
+	// forwards forever.
+	viaSeen time.Time
 	// expired marks an entry the sweeper has tombstoned: its patterns
 	// are gone from the link forests but the version is retained, so the
 	// table and the forests agree that only a strictly newer advert
@@ -42,7 +51,8 @@ type originEntry struct {
 // codec-validated; a parse failure here (direct HandleAdvert callers)
 // rejects the advert.
 func newOriginEntry(a wire.Advert, via string) (*originEntry, error) {
-	e := &originEntry{version: a.Version, hops: a.Hops, via: via, advertised: a.Communities, lastSeen: time.Now()}
+	now := time.Now()
+	e := &originEntry{version: a.Version, hops: a.Hops, via: via, advertised: a.Communities, lastSeen: now, viaSeen: now}
 	for i, c := range a.Communities {
 		for j, s := range c.Patterns {
 			p, err := pattern.Parse(s)

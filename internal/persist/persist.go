@@ -53,6 +53,17 @@ const (
 	// in-flight window: still owed, and counted as redeliveries when
 	// drained again.
 	OpDrained = "drained"
+	// OpBootEpoch records the overlay epoch (Seq) a federated broker
+	// booted with. Snapshot watermarks alone understate a crashed node's
+	// live counters, and two recoveries from the same stale snapshot
+	// would otherwise floor the boot epoch at the identical value —
+	// reusing the previous incarnation's sequence range, which peers'
+	// seen-sets then silently suppress. Recovery takes the max of the
+	// snapshot watermarks and every replayed boot record; the record is
+	// only ever truncated by a snapshot whose own watermarks exceed it
+	// (the node's live counters start at the boot epoch), so the floor
+	// never regresses.
+	OpBootEpoch = "boot"
 )
 
 // Record is one WAL entry. Fields beyond Op are populated per kind:

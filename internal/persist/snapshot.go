@@ -26,19 +26,19 @@ type snapFile struct {
 // records up to lastLSN: write to a temp file in the same directory,
 // fsync it, rename over the target, fsync the directory. A crash at any
 // point leaves either the old snapshot or the new one, never a hybrid.
-func writeSnapshotFile(path string, payload []byte, lastLSN uint64) error {
+func writeSnapshotFile(fsys FS, path string, payload []byte, lastLSN uint64) error {
 	var buf bytes.Buffer
 	sf := snapFile{Format: snapshotFormat, LastLSN: lastLSN, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
 	if err := gob.NewEncoder(&buf).Encode(sf); err != nil {
 		return fmt.Errorf("persist: encode snapshot: %w", err)
 	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	tmp, err := fsys.CreateTemp(dir, ".snapshot-*")
 	if err != nil {
 		return fmt.Errorf("persist: snapshot temp: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer fsys.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
 		return fmt.Errorf("persist: write snapshot: %w", err)
@@ -50,16 +50,16 @@ func writeSnapshotFile(path string, payload []byte, lastLSN uint64) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: close snapshot: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("persist: publish snapshot: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // readSnapshotFile loads and verifies the snapshot at path. A missing
 // file returns ok=false with no error.
-func readSnapshotFile(path string) (payload []byte, lastLSN uint64, ok bool, err error) {
-	data, err := os.ReadFile(path)
+func readSnapshotFile(fsys FS, path string) (payload []byte, lastLSN uint64, ok bool, err error) {
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, 0, false, nil
 	}
@@ -79,8 +79,8 @@ func readSnapshotFile(path string) (payload []byte, lastLSN uint64, ok bool, err
 	return sf.Payload, sf.LastLSN, true, nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("persist: open dir: %w", err)
 	}

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,16 @@ import (
 
 	"treesim/internal/telemetry"
 )
+
+// ErrStoreFailed is latched after the first WAL or snapshot I/O error.
+// The store is fail-stop: a torn mid-log frame followed by "successful"
+// later appends would make every subsequent committed record
+// unrecoverable (scanWAL truncates at the first bad frame), and
+// retrying fsync after a failure silently drops the dirty pages the
+// kernel already gave up on. So after any I/O error the store refuses
+// further appends and snapshots; everything committed before the fault
+// survives reopen, and the caller degrades to serving what it has.
+var ErrStoreFailed = errors.New("persist: store failed (fail-stop after I/O error)")
 
 // File names inside a Store's data directory.
 const (
@@ -29,6 +40,9 @@ type Options struct {
 	// snapshot activity into (nil: a private registry — counters still
 	// work, nobody scrapes them).
 	Telemetry *telemetry.Registry
+	// FS is the filesystem the store persists through (nil: the real
+	// one). Tests inject fault-injecting implementations here.
+	FS FS
 }
 
 // storeMetrics are the store's registry handles. Names are part of the
@@ -65,41 +79,53 @@ func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 type Store struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	met storeMetrics
 
 	mu      sync.Mutex
-	wal     *os.File
+	wal     File
 	nextLSN uint64
 	lastLSN uint64 // highest LSN appended or recovered
 	snapLSN uint64 // watermark of the loaded/last-written snapshot
 	pending int    // records appended since the last snapshot
 	closed  bool
+	failed  bool // fail-stop latch; see ErrStoreFailed
 }
 
 // Open opens (creating if needed) the data directory and its WAL. A
 // torn WAL tail from a previous crash is truncated away here, so the
 // file is append-clean before any new record lands.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: create data dir: %w", err)
 	}
 	reg := opts.Telemetry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	s := &Store{dir: dir, opts: opts, met: newStoreMetrics(reg)}
+	s := &Store{dir: dir, opts: opts, fs: fsys, met: newStoreMetrics(reg)}
 	reg.GaugeFunc("treesim_wal_pending_records", "WAL records not yet covered by a snapshot.", func() float64 {
 		return float64(s.Pending())
 	})
-	_, snapLSN, ok, err := readSnapshotFile(s.snapshotPath())
+	reg.GaugeFunc("treesim_store_failed", "1 when the store has latched fail-stop after an I/O error, 0 while healthy.", func() float64 {
+		if s.Failed() {
+			return 1
+		}
+		return 0
+	})
+	_, snapLSN, ok, err := readSnapshotFile(fsys, s.snapshotPath())
 	if err != nil {
 		return nil, err
 	}
 	if ok {
 		s.snapLSN = snapLSN
 	}
-	f, err := os.OpenFile(s.walPath(), os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(s.walPath(), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open wal: %w", err)
 	}
@@ -130,7 +156,7 @@ func (s *Store) Dir() string { return s.dir }
 // LoadSnapshot returns the latest snapshot payload, or ok=false when
 // none has been written yet.
 func (s *Store) LoadSnapshot() (payload []byte, ok bool, err error) {
-	payload, _, ok, err = readSnapshotFile(s.snapshotPath())
+	payload, _, ok, err = readSnapshotFile(s.fs, s.snapshotPath())
 	if err == nil && ok {
 		s.met.snapLoads.Inc()
 	}
@@ -181,16 +207,19 @@ func (s *Store) Append(rec Record) (uint64, error) {
 	if s.closed {
 		return 0, fmt.Errorf("persist: store closed")
 	}
+	if s.failed {
+		return 0, ErrStoreFailed
+	}
 	lsn := s.nextLSN
 	n, err := appendWAL(s.wal, lsn, rec)
 	if err != nil {
-		return 0, err
+		return 0, s.failLocked(err)
 	}
 	s.met.appends.Inc()
 	s.met.appendBytes.Add(uint64(n))
 	if s.opts.SyncEveryAppend {
 		if err := s.syncWALTimed(); err != nil {
-			return 0, err
+			return 0, s.failLocked(err)
 		}
 	}
 	s.nextLSN++
@@ -235,6 +264,9 @@ func (s *Store) WriteSnapshot(payload []byte, upto uint64) error {
 	if s.closed {
 		return fmt.Errorf("persist: store closed")
 	}
+	if s.failed {
+		return ErrStoreFailed
+	}
 	if upto > s.lastLSN {
 		// A watermark above the tail would mark records not yet written
 		// as covered; clamp to what the log actually holds.
@@ -242,10 +274,10 @@ func (s *Store) WriteSnapshot(payload []byte, upto uint64) error {
 	}
 	snapStart := time.Now()
 	if err := s.syncWALTimed(); err != nil {
-		return err
+		return s.failLocked(err)
 	}
-	if err := writeSnapshotFile(s.snapshotPath(), payload, upto); err != nil {
-		return err
+	if err := writeSnapshotFile(s.fs, s.snapshotPath(), payload, upto); err != nil {
+		return s.failLocked(err)
 	}
 	s.met.snapWrites.Inc()
 	s.met.snapBytes.Add(uint64(len(payload)))
@@ -261,15 +293,34 @@ func (s *Store) WriteSnapshot(payload []byte, upto uint64) error {
 	}
 	s.pending = 0
 	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("persist: truncate wal: %w", err)
+		return s.failLocked(fmt.Errorf("persist: truncate wal: %w", err))
 	}
 	if _, err := s.wal.Seek(0, 0); err != nil {
-		return fmt.Errorf("persist: seek wal: %w", err)
+		return s.failLocked(fmt.Errorf("persist: seek wal: %w", err))
 	}
 	return nil
 }
 
-// Close syncs and closes the WAL.
+// Failed reports whether the store has latched fail-stop. Once true it
+// never resets: the process must restart (and re-scan the log) to
+// persist again.
+func (s *Store) Failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// failLocked latches the fail-stop flag and wraps err so callers can
+// match either the sentinel or the root cause. Caller holds s.mu.
+func (s *Store) failLocked(err error) error {
+	s.failed = true
+	return fmt.Errorf("%w: %w", ErrStoreFailed, err)
+}
+
+// Close closes the WAL file, syncing it first when the store is still
+// healthy (a post-failure fsync retry would falsely report the lost
+// pages as flushed). The file is always closed, even when the sync
+// fails, and neither error masks the other.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -277,11 +328,17 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	if err := s.wal.Sync(); err != nil {
-		s.wal.Close()
-		return fmt.Errorf("persist: sync wal: %w", err)
+	var syncErr error
+	if !s.failed {
+		if err := s.wal.Sync(); err != nil {
+			syncErr = fmt.Errorf("persist: sync wal: %w", err)
+		}
 	}
-	return s.wal.Close()
+	var closeErr error
+	if err := s.wal.Close(); err != nil {
+		closeErr = fmt.Errorf("persist: close wal: %w", err)
+	}
+	return errors.Join(syncErr, closeErr)
 }
 
 // syncWALTimed fsyncs the WAL under the fsync-latency histogram.

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 )
 
 // WAL frame layout: a fixed header followed by the record body.
@@ -30,7 +29,7 @@ const maxWALRecord = 64 << 20
 // header, short body, CRC mismatch, impossible length, or undecodable
 // JSON — ends the scan without error: everything before it is good,
 // everything from it on is the debris of a mid-append crash.
-func scanWAL(f *os.File, fn func(Record) error) (goodEnd int64, lastLSN uint64, err error) {
+func scanWAL(f File, fn func(Record) error) (goodEnd int64, lastLSN uint64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, err
 	}
@@ -74,7 +73,7 @@ func scanWAL(f *os.File, fn func(Record) error) (goodEnd int64, lastLSN uint64, 
 }
 
 // appendWAL frames and writes one record at the file's current end.
-func appendWAL(f *os.File, lsn uint64, rec Record) (int, error) {
+func appendWAL(f File, lsn uint64, rec Record) (int, error) {
 	rec.LSN = 0 // the LSN travels in the frame, not the JSON
 	payload, err := json.Marshal(rec)
 	if err != nil {
